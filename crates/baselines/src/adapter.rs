@@ -1,0 +1,93 @@
+//! [`Thermometer`] adapter for the paper's full sensor, so the comparison
+//! harness can grade it alongside the baselines.
+
+use crate::traits::{TempReading, Thermometer};
+use ptsim_core::error::SensorError;
+use ptsim_core::sensor::{PtSensor, SensorInputs, SensorSpec};
+use ptsim_device::process::Technology;
+
+/// The SOCC 2012 sensor viewed as a plain thermometer.
+#[derive(Debug, Clone)]
+pub struct PtSensorThermometer {
+    sensor: PtSensor,
+}
+
+impl PtSensorThermometer {
+    /// Builds the reference sensor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sensor construction errors.
+    pub fn new(tech: Technology, spec: SensorSpec) -> Result<Self, SensorError> {
+        Ok(PtSensorThermometer {
+            sensor: PtSensor::new(tech, spec)?,
+        })
+    }
+
+    /// Access to the underlying sensor (e.g. for its process readings).
+    #[must_use]
+    pub fn sensor(&self) -> &PtSensor {
+        &self.sensor
+    }
+}
+
+impl Thermometer for PtSensorThermometer {
+    fn name(&self) -> &'static str {
+        "this work (self-calibrated PT)"
+    }
+
+    fn prepare(
+        &mut self,
+        inputs: &SensorInputs<'_>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<(), SensorError> {
+        self.sensor.calibrate(inputs, rng)?;
+        Ok(())
+    }
+
+    fn read_temperature(
+        &self,
+        inputs: &SensorInputs<'_>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<TempReading, SensorError> {
+        let reading = self.sensor.read(inputs, rng)?;
+        Ok(TempReading {
+            temperature: reading.temperature,
+            energy: reading.energy_total(),
+        })
+    }
+
+    fn needs_external_test(&self) -> bool {
+        false
+    }
+
+    fn device_count(&self) -> usize {
+        // Three 51-stage rings + counters + controller datapath.
+        3 * 51 * 2 + 260
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsim_device::units::Celsius;
+    use ptsim_mc::die::{DieSample, DieSite};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn adapter_round_trip() {
+        let mut th =
+            PtSensorThermometer::new(Technology::n65(), SensorSpec::default_65nm()).unwrap();
+        let die = DieSample::nominal();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cal = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
+        th.prepare(&cal, &mut rng).unwrap();
+        let probe = SensorInputs::new(&die, DieSite::CENTER, Celsius(85.0));
+        let r = th.read_temperature(&probe, &mut rng).unwrap();
+        assert!((r.temperature.0 - 85.0).abs() < 1.5);
+        assert!(r.energy.picojoules() > 100.0);
+        assert!(!th.needs_external_test());
+        assert!(th.sensor().calibration().is_some());
+    }
+}

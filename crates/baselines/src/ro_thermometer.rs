@@ -1,0 +1,249 @@
+//! Ring-oscillator thermometer baselines.
+//!
+//! Two rungs of the calibration ladder below the paper's sensor:
+//!
+//! * [`RoCalibration::None`] — inverts the TSRO frequency through the
+//!   *golden* (nominal-process) model with no per-die correction at all.
+//!   Die-to-die threshold shift aliases directly into temperature error
+//!   (tens of °C at the corners), which is the motivating problem.
+//! * [`RoCalibration::OnePoint`] — additionally stores a single multiplicative
+//!   correction at the boot reference point. The offset at 25 °C vanishes,
+//!   but without process decoupling the *slope* is still wrong, producing
+//!   the classic V-shaped error curve.
+
+use crate::traits::{uniform_phase, TempReading, Thermometer};
+use ptsim_circuit::counter::{auto_measure, GatedCounter};
+use ptsim_circuit::energy::EnergyLedger;
+use ptsim_core::bank::{BankSpec, RoBank, RoClass};
+use ptsim_core::error::SensorError;
+use ptsim_core::newton::{newton_solve, NewtonOptions};
+use ptsim_core::sensor::SensorInputs;
+use ptsim_device::inverter::CmosEnv;
+use ptsim_device::process::Technology;
+use ptsim_device::units::{Celsius, Hertz, Joule};
+use serde::{Deserialize, Serialize};
+
+/// Calibration policy of an RO thermometer baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoCalibration {
+    /// No per-die correction.
+    None,
+    /// One multiplicative correction stored at the boot reference point.
+    OnePoint,
+}
+
+/// A plain TSRO thermometer with configurable calibration policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoThermometer {
+    tech: Technology,
+    bank: RoBank,
+    policy: RoCalibration,
+    counter_bits: u32,
+    window_cycles: u64,
+    ref_clock: Hertz,
+    assumed_boot_temp: Celsius,
+    ln_scale: Option<f64>,
+}
+
+impl RoThermometer {
+    /// Builds the baseline on the same TSRO design the full sensor uses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bank construction errors.
+    pub fn new(tech: Technology, policy: RoCalibration) -> Result<Self, SensorError> {
+        let bank = RoBank::new(&tech, BankSpec::default_65nm())?;
+        Ok(RoThermometer {
+            tech,
+            bank,
+            policy,
+            counter_bits: 16,
+            window_cycles: 448,
+            ref_clock: Hertz(32.0e6),
+            assumed_boot_temp: Celsius(25.0),
+            ln_scale: None,
+        })
+    }
+
+    fn measure(
+        &self,
+        inputs: &SensorInputs<'_>,
+        rng: &mut dyn rand::RngCore,
+        ledger: &mut EnergyLedger,
+    ) -> Result<Hertz, SensorError> {
+        let counter = GatedCounter::new(self.counter_bits, self.window_cycles)?;
+        let site = self.bank.site_of(RoClass::Tsro, inputs.site);
+        let env = inputs
+            .die
+            .env_at_with(site, inputs.temp, inputs.extra_vtn, inputs.extra_vtp);
+        let vdd = self.bank.spec().vdd_tsro;
+        let ring = self.bank.ring(RoClass::Tsro).with_vdd(vdd);
+        let f_true = ring.frequency(&self.tech, &env);
+        let (f_meas, counted) = auto_measure(f_true, &counter, self.ref_clock, uniform_phase(rng))?;
+        let window = counter.window(self.ref_clock);
+        ledger.add("TSRO", ring.run_energy(&self.tech, &env, window));
+        ledger.add("counters", Joule(18e-15 * counted as f64));
+        ledger.add("controller", Joule(85e-15 * 120.0));
+        Ok(f_meas)
+    }
+
+    fn golden_frequency(&self, temp: Celsius) -> Hertz {
+        self.bank.frequency(
+            &self.tech,
+            RoClass::Tsro,
+            self.bank.spec().vdd_tsro,
+            &CmosEnv::at(temp),
+        )
+    }
+
+    fn invert(&self, f_meas: Hertz) -> Result<Celsius, SensorError> {
+        let ln_scale = self.ln_scale.unwrap_or(0.0);
+        let mut tx = [self.assumed_boot_temp.0];
+        newton_solve(
+            &mut tx,
+            |v| vec![(self.golden_frequency(Celsius(v[0])).0 / f_meas.0).ln() + ln_scale],
+            &[0.01],
+            &[40.0],
+            &NewtonOptions::default(),
+            "baseline temperature",
+        )?;
+        Ok(Celsius(tx[0]))
+    }
+}
+
+impl Thermometer for RoThermometer {
+    fn name(&self) -> &'static str {
+        match self.policy {
+            RoCalibration::None => "uncalibrated RO",
+            RoCalibration::OnePoint => "1-point RO",
+        }
+    }
+
+    fn prepare(
+        &mut self,
+        inputs: &SensorInputs<'_>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<(), SensorError> {
+        if self.policy == RoCalibration::OnePoint {
+            let mut ledger = EnergyLedger::new();
+            let f = self.measure(inputs, rng, &mut ledger)?;
+            let f_model = self.golden_frequency(self.assumed_boot_temp);
+            self.ln_scale = Some((f.0 / f_model.0).ln());
+        }
+        Ok(())
+    }
+
+    fn read_temperature(
+        &self,
+        inputs: &SensorInputs<'_>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<TempReading, SensorError> {
+        let mut ledger = EnergyLedger::new();
+        let f = self.measure(inputs, rng, &mut ledger)?;
+        let t = self.invert(f)?;
+        Ok(TempReading {
+            temperature: t,
+            energy: ledger.total(),
+        })
+    }
+
+    fn needs_external_test(&self) -> bool {
+        false
+    }
+
+    fn device_count(&self) -> usize {
+        // One 51-stage ring (2 devices per stage) + counter front-end.
+        51 * 2 + 40
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsim_device::units::Volt;
+    use ptsim_mc::die::{DieSample, DieSite};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn inputs(die: &DieSample, t: f64) -> SensorInputs<'_> {
+        SensorInputs::new(die, DieSite::CENTER, Celsius(t))
+    }
+
+    #[test]
+    fn uncalibrated_fine_on_nominal_die() {
+        let th = RoThermometer::new(Technology::n65(), RoCalibration::None).unwrap();
+        let die = DieSample::nominal();
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = th.read_temperature(&inputs(&die, 60.0), &mut rng).unwrap();
+        assert!((r.temperature.0 - 60.0).abs() < 0.5, "{}", r.temperature);
+    }
+
+    #[test]
+    fn uncalibrated_large_error_on_skewed_die() {
+        let th = RoThermometer::new(Technology::n65(), RoCalibration::None).unwrap();
+        let mut die = DieSample::nominal();
+        die.d_vtn_d2d = Volt(0.030);
+        die.d_vtp_d2d = Volt(0.030);
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = th.read_temperature(&inputs(&die, 60.0), &mut rng).unwrap();
+        assert!(
+            (r.temperature.0 - 60.0).abs() > 5.0,
+            "a +30 mV die must alias into large temp error, got {}",
+            r.temperature
+        );
+    }
+
+    #[test]
+    fn one_point_fixes_offset_at_reference() {
+        let mut th = RoThermometer::new(Technology::n65(), RoCalibration::OnePoint).unwrap();
+        let mut die = DieSample::nominal();
+        die.d_vtn_d2d = Volt(0.030);
+        die.d_vtp_d2d = Volt(0.030);
+        let mut rng = StdRng::seed_from_u64(3);
+        th.prepare(&inputs(&die, 25.0), &mut rng).unwrap();
+        let r = th.read_temperature(&inputs(&die, 25.0), &mut rng).unwrap();
+        assert!(
+            (r.temperature.0 - 25.0).abs() < 0.5,
+            "offset must vanish at the calibration point, got {}",
+            r.temperature
+        );
+    }
+
+    #[test]
+    fn one_point_still_errs_away_from_reference() {
+        let mut th = RoThermometer::new(Technology::n65(), RoCalibration::OnePoint).unwrap();
+        let mut die = DieSample::nominal();
+        die.d_vtn_d2d = Volt(0.030);
+        die.d_vtp_d2d = Volt(0.030);
+        let mut rng = StdRng::seed_from_u64(4);
+        th.prepare(&inputs(&die, 25.0), &mut rng).unwrap();
+        let r = th.read_temperature(&inputs(&die, 100.0), &mut rng).unwrap();
+        let err = (r.temperature.0 - 100.0).abs();
+        assert!(
+            err > 1.5,
+            "slope error should exceed the paper sensor's ±1.5 °C, got {err:.2}"
+        );
+    }
+
+    #[test]
+    fn names_and_flags() {
+        let a = RoThermometer::new(Technology::n65(), RoCalibration::None).unwrap();
+        let b = RoThermometer::new(Technology::n65(), RoCalibration::OnePoint).unwrap();
+        assert_ne!(a.name(), b.name());
+        assert!(!a.needs_external_test());
+        assert!(a.device_count() > 100);
+    }
+
+    #[test]
+    fn reading_reports_positive_energy() {
+        let th = RoThermometer::new(Technology::n65(), RoCalibration::None).unwrap();
+        let die = DieSample::nominal();
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = th.read_temperature(&inputs(&die, 25.0), &mut rng).unwrap();
+        let pj = r.energy.picojoules();
+        assert!(
+            pj > 5.0 && pj < 367.5,
+            "baseline should be cheaper: {pj:.1}"
+        );
+    }
+}

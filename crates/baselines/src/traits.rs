@@ -1,0 +1,80 @@
+//! Common interface over the comparison sensors.
+
+use ptsim_core::error::SensorError;
+use ptsim_core::sensor::SensorInputs;
+use ptsim_device::units::{Celsius, Joule};
+
+/// One temperature reading plus the energy it cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TempReading {
+    /// Reported temperature.
+    pub temperature: Celsius,
+    /// Conversion energy.
+    pub energy: Joule,
+}
+
+/// A temperature sensor participating in the T2 comparison table.
+///
+/// Object-safe so the comparison harness can hold a heterogeneous list.
+pub trait Thermometer {
+    /// Display name for tables.
+    fn name(&self) -> &'static str;
+
+    /// Per-die preparation (self-calibration or factory trim). Sensors with
+    /// no calibration step implement this as a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific calibration failures.
+    fn prepare(
+        &mut self,
+        inputs: &SensorInputs<'_>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<(), SensorError>;
+
+    /// One temperature conversion.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific conversion failures.
+    fn read_temperature(
+        &self,
+        inputs: &SensorInputs<'_>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<TempReading, SensorError>;
+
+    /// Whether preparation requires external test equipment (thermal
+    /// chamber / tester), as opposed to fully on-chip self-calibration.
+    fn needs_external_test(&self) -> bool;
+
+    /// Rough area proxy: number of transistors in the sensing front-end.
+    fn device_count(&self) -> usize;
+}
+
+/// Convenience: draw a uniform phase from a dyn RNG.
+pub(crate) fn uniform_phase(rng: &mut dyn rand::RngCore) -> f64 {
+    // Use 53 random bits for a uniform double in [0, 1).
+    let bits = rng.next_u64() >> 11;
+    bits as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_phase_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let p = uniform_phase(&mut rng);
+            assert!((0.0..1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes(_: &dyn Thermometer) {}
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment `x2_aging` (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ptsim_bench::experiments::x2_aging::run());
+}

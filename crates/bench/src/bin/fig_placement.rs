@@ -1,0 +1,4 @@
+//! Regenerates experiment `x3_placement` (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ptsim_bench::experiments::x3_placement::run());
+}

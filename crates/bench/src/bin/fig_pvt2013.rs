@@ -1,0 +1,4 @@
+//! Regenerates experiment `x1_pvt2013` (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ptsim_bench::experiments::x1_pvt2013::run());
+}

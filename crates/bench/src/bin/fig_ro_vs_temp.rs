@@ -1,0 +1,4 @@
+//! Regenerates experiment `f1_ro_vs_temp` (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ptsim_bench::experiments::f1_ro_vs_temp::run());
+}

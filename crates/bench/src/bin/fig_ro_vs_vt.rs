@@ -1,0 +1,4 @@
+//! Regenerates experiment `f2_ro_vs_vt` (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ptsim_bench::experiments::f2_ro_vs_vt::run());
+}

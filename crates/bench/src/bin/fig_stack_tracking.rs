@@ -1,0 +1,4 @@
+//! Regenerates experiment `f5_stack_tracking` (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ptsim_bench::experiments::f5_stack_tracking::run());
+}

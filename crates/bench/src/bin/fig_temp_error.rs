@@ -1,0 +1,4 @@
+//! Regenerates experiment `f3_temp_error` (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ptsim_bench::experiments::f3_temp_error::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment `f6_tsv_stress` (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ptsim_bench::experiments::f6_tsv_stress::run());
+}

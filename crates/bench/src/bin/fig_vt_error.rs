@@ -1,0 +1,4 @@
+//! Regenerates experiment `f4_vt_error` (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ptsim_bench::experiments::f4_vt_error::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment `a1_ablation` (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ptsim_bench::experiments::a1_ablation::run());
+}

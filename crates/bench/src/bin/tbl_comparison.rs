@@ -1,0 +1,4 @@
+//! Regenerates experiment `t2_comparison` (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ptsim_bench::experiments::t2_comparison::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment `t3_corners` (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ptsim_bench::experiments::t3_corners::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment `t1_energy` (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ptsim_bench::experiments::t1_energy::run());
+}

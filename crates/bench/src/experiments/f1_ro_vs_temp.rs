@@ -1,0 +1,107 @@
+//! **F1 — Ring-oscillator frequency vs. temperature.**
+//!
+//! The characterization figure every RO-sensor paper opens with: the three
+//! oscillator classes swept across the operating range at the TT corner.
+//! The TSRO (near-threshold) must show a strong positive tempco while the
+//! PSROs are comparatively flat — that separation is what makes decoupling
+//! possible.
+
+use crate::table::{f, fs, Table};
+use ptsim_core::bank::{BankSpec, RoBank, RoClass};
+use ptsim_device::inverter::CmosEnv;
+use ptsim_device::process::Technology;
+use ptsim_device::units::Celsius;
+
+/// Runs the sweep and renders the report.
+///
+/// # Panics
+///
+/// Panics only if the reference bank spec fails to build (a bug).
+#[must_use]
+pub fn run() -> String {
+    let tech = Technology::n65();
+    let bank = RoBank::new(&tech, BankSpec::default_65nm()).expect("reference bank");
+    let spec = *bank.spec();
+
+    let plan = [
+        (RoClass::PsroN, spec.vdd_low),
+        (RoClass::PsroP, spec.vdd_low),
+        (RoClass::Tsro, spec.vdd_tsro),
+    ];
+
+    let f25: Vec<f64> = plan
+        .iter()
+        .map(|(c, v)| bank.frequency(&tech, *c, *v, &CmosEnv::at(Celsius(25.0))).0)
+        .collect();
+
+    let mut table = Table::new(vec![
+        "T [°C]",
+        "PSRO-N [MHz]",
+        "PSRO-P [MHz]",
+        "TSRO [MHz]",
+        "PSRO-N f/f25",
+        "PSRO-P f/f25",
+        "TSRO f/f25",
+    ]);
+    for t in (-20..=100).step_by(10) {
+        let env = CmosEnv::at(Celsius(f64::from(t)));
+        let fr: Vec<f64> = plan
+            .iter()
+            .map(|(c, v)| bank.frequency(&tech, *c, *v, &env).0)
+            .collect();
+        table.push(vec![
+            t.to_string(),
+            f(fr[0] / 1e6, 2),
+            f(fr[1] / 1e6, 2),
+            f(fr[2] / 1e6, 2),
+            f(fr[0] / f25[0], 4),
+            f(fr[1] / f25[1], 4),
+            f(fr[2] / f25[2], 4),
+        ]);
+    }
+
+    // Average tempco over the range, %/°C.
+    let tempco = |idx: usize| {
+        let cold = bank
+            .frequency(
+                &tech,
+                plan[idx].0,
+                plan[idx].1,
+                &CmosEnv::at(Celsius(-20.0)),
+            )
+            .0;
+        let hot = bank
+            .frequency(
+                &tech,
+                plan[idx].0,
+                plan[idx].1,
+                &CmosEnv::at(Celsius(100.0)),
+            )
+            .0;
+        100.0 * (hot / cold).ln() / 120.0
+    };
+
+    format!(
+        "F1: RO frequency vs temperature (TT corner)\n\
+         PSRO-N/P at VDD = {:.2} V, TSRO at VDD = {:.2} V\n\n{}\n\
+         mean tempco: PSRO-N {} %/°C, PSRO-P {} %/°C, TSRO {} %/°C\n\
+         expectation: TSRO tempco strongly positive and several times the PSROs'\n",
+        spec.vdd_low.0,
+        spec.vdd_tsro.0,
+        table.render(),
+        fs(tempco(0), 3),
+        fs(tempco(1), 3),
+        fs(tempco(2), 3),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_well_formed() {
+        let r = super::run();
+        assert!(r.contains("F1"));
+        assert!(r.contains("TSRO"));
+        assert!(r.lines().count() > 15);
+    }
+}

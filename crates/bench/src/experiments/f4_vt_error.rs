@@ -1,0 +1,98 @@
+//! **F4 — Vtn/Vtp extraction-error histograms.**
+//!
+//! The abstract's ±1.6 mV / ±0.8 mV sensitivity claim, reproduced as
+//! Monte-Carlo histograms of `(extracted − true)` threshold shift at the
+//! oscillator's own site, both at the calibration point (25 °C) and while
+//! tracking at 75 °C.
+
+use crate::experiments::population_size;
+use crate::table::f;
+use ptsim_core::bank::RoClass;
+use ptsim_core::sensor::{PtSensor, SensorInputs, SensorSpec};
+use ptsim_device::process::Technology;
+use ptsim_device::units::Celsius;
+use ptsim_mc::die::DieSite;
+use ptsim_mc::driver::{run_parallel, McConfig};
+use ptsim_mc::model::VariationModel;
+use ptsim_mc::stats::{Histogram, OnlineStats};
+
+/// Runs the population extraction experiment and renders the report.
+///
+/// # Panics
+///
+/// Panics if any die fails to calibrate/convert (indicates a model bug).
+#[must_use]
+pub fn run() -> String {
+    let n = population_size(1000);
+    let tech = Technology::n65();
+    let model = VariationModel::new(&tech);
+    let spec = SensorSpec::default_65nm();
+
+    let per_die = run_parallel(&McConfig::new(n, 0xf4), |i, rng| {
+        let die = model.sample_die_with_id(rng, i);
+        let mut sensor = PtSensor::new(tech.clone(), spec).expect("sensor");
+        let boot = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
+        sensor.calibrate(&boot, rng).expect("self-calibration");
+        let cal = *sensor.calibration().expect("calibrated");
+        let site_n = sensor.bank().site_of(RoClass::PsroN, DieSite::CENTER);
+        let site_p = sensor.bank().site_of(RoClass::PsroP, DieSite::CENTER);
+        let cal_n = (cal.d_vtn() - die.d_vtn_at(site_n)).millivolts();
+        let cal_p = (cal.d_vtp() - die.d_vtp_at(site_p)).millivolts();
+
+        // Tracking at 75 °C.
+        let hot = SensorInputs::new(&die, DieSite::CENTER, Celsius(75.0));
+        let r = sensor.read(&hot, rng).expect("conversion");
+        let trk_n = (r.d_vtn - die.d_vtn_at(site_n)).millivolts();
+        let trk_p = (r.d_vtp - die.d_vtp_at(site_p)).millivolts();
+        (cal_n, cal_p, trk_n, trk_p)
+    });
+
+    let mut out = format!("F4: threshold extraction error histograms ({n} MC dies)\n\n");
+    let labels = [
+        "ΔVtn at 25 °C (calibration)",
+        "ΔVtp at 25 °C (calibration)",
+        "ΔVtn at 75 °C (tracking)",
+        "ΔVtp at 75 °C (tracking)",
+    ];
+    let paper_band = [1.6, 0.8, 1.6, 0.8];
+    for (k, label) in labels.iter().enumerate() {
+        let vals: Vec<f64> = per_die
+            .iter()
+            .map(|d| match k {
+                0 => d.0,
+                1 => d.1,
+                2 => d.2,
+                _ => d.3,
+            })
+            .collect();
+        let stats: OnlineStats = vals.iter().copied().collect();
+        let span = (3.0 * stats.std_dev()).max(0.5);
+        let mut hist = Histogram::new(-span, span, 15);
+        for v in &vals {
+            hist.push(*v);
+        }
+        let inside =
+            vals.iter().filter(|v| v.abs() <= paper_band[k]).count() as f64 / vals.len() as f64;
+        out.push_str(&format!(
+            "{label} [mV]: mean {} σ {} worst {} — {:.1}% inside paper's ±{} mV band\n{}\n",
+            f(stats.mean(), 3),
+            f(stats.std_dev(), 3),
+            f(stats.max_abs(), 3),
+            100.0 * inside,
+            paper_band[k],
+            hist.render(36),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_well_formed() {
+        std::env::set_var("PTSIM_BENCH_DIES", "30");
+        let r = super::run();
+        assert!(r.contains("F4"));
+        assert!(r.contains("ΔVtp at 75"));
+    }
+}

@@ -1,0 +1,99 @@
+//! **F6 — TSV stress-induced threshold shift vs. distance, as seen by the
+//! sensor.**
+//!
+//! Sweeps the sensor's distance from a standard 10 µm TSV and compares the
+//! tracked threshold drift against the Lamé/piezoresistive ground truth,
+//! marking the conventional 1 % keep-out-zone radius.
+
+use crate::table::{f, fs, Table};
+use ptsim_core::sensor::{PtSensor, SensorInputs, SensorSpec};
+use ptsim_device::process::Technology;
+use ptsim_device::units::{Celsius, Micron};
+use ptsim_mc::die::DieSite;
+use ptsim_mc::model::VariationModel;
+use ptsim_mc::stats::OnlineStats;
+use ptsim_tsv::geometry::TsvGeometry;
+use ptsim_tsv::stress::StressModel;
+use rand::SeedableRng;
+
+const DISTANCES: [f64; 9] = [6.0, 7.0, 8.0, 10.0, 12.0, 15.0, 20.0, 35.0, 60.0];
+
+/// Runs the survey and renders the report.
+///
+/// # Panics
+///
+/// Panics if sensor construction/calibration fails (a bug).
+#[must_use]
+pub fn run() -> String {
+    let tech = Technology::n65();
+    let stress = StressModel::default_65nm();
+    let geom = TsvGeometry::standard_10um();
+    let temp = Celsius(60.0);
+    let koz = stress.keep_out_radius(&geom, 0.01, Celsius(25.0));
+
+    let model = VariationModel::new(&tech);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xf6);
+    let die = model.sample_die(&mut rng);
+    let mut sensor = PtSensor::new(tech, SensorSpec::default_65nm()).expect("sensor");
+    sensor
+        .calibrate(
+            &SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)),
+            &mut rng,
+        )
+        .expect("calibration");
+    let clean = sensor
+        .read(&SensorInputs::new(&die, DieSite::CENTER, temp), &mut rng)
+        .expect("clean read");
+
+    let mut table = Table::new(vec![
+        "dist [µm]",
+        "in KOZ?",
+        "true ΔVtn [mV]",
+        "tracked [mV]",
+        "track err [mV]",
+        "true ΔVtp [mV]",
+        "T err [°C]",
+    ]);
+    let mut track_err = OnlineStats::new();
+    for d in DISTANCES {
+        let dist = Micron(d);
+        let s_vtn = stress.delta_vtn(&geom, dist, temp);
+        let s_vtp = stress.delta_vtp(&geom, dist, temp);
+        let inputs = SensorInputs::new(&die, DieSite::CENTER, temp).with_stress(s_vtn, s_vtp);
+        let r = sensor.read(&inputs, &mut rng).expect("stressed read");
+        let tracked = (r.d_vtn - clean.d_vtn).millivolts();
+        let err = tracked - s_vtn.millivolts();
+        track_err.push(err);
+        table.push(vec![
+            f(d, 1),
+            if d <= koz.0 { "yes" } else { "" }.to_owned(),
+            fs(s_vtn.millivolts(), 3),
+            fs(tracked, 3),
+            fs(err, 3),
+            fs(s_vtp.millivolts(), 3),
+            fs(r.temperature.0 - temp.0, 3),
+        ]);
+    }
+
+    format!(
+        "F6: sensed TSV stress vs distance (10 µm via, {:.0} MPa wall stress, 60 °C)\n\
+         1% mobility keep-out radius: {:.1} µm\n\n{}\n\
+         tracking error: σ {:.3} mV, worst {:.3} mV (paper Vtn sensitivity: ±1.6 mV)\n",
+        stress.sigma_edge(Celsius(25.0)).0 / 1e6,
+        koz.0,
+        table.render(),
+        track_err.std_dev(),
+        track_err.max_abs(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_well_formed() {
+        let r = super::run();
+        assert!(r.contains("F6"));
+        assert!(r.contains("KOZ"));
+        assert!(r.contains("tracking error"));
+    }
+}

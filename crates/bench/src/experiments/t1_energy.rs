@@ -1,0 +1,73 @@
+//! **T1 — Conversion-energy breakdown.**
+//!
+//! The abstract's 367.5 pJ/conversion figure, decomposed by component, plus
+//! its temperature and supply dependence.
+
+use crate::table::{f, Table};
+use ptsim_core::sensor::{PtSensor, SensorInputs, SensorSpec};
+use ptsim_device::process::Technology;
+use ptsim_device::units::Celsius;
+use ptsim_mc::die::{DieSample, DieSite};
+use rand::SeedableRng;
+
+/// Runs the breakdown and renders the report.
+///
+/// # Panics
+///
+/// Panics if sensor construction/calibration fails (a bug).
+#[must_use]
+pub fn run() -> String {
+    let tech = Technology::n65();
+    let die = DieSample::nominal();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x71);
+    let mut sensor = PtSensor::new(tech, SensorSpec::default_65nm()).expect("sensor");
+    let boot = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
+    let outcome = sensor.calibrate(&boot, &mut rng).expect("calibration");
+
+    let nominal = sensor.read(&boot, &mut rng).expect("conversion");
+
+    let mut vs_temp = Table::new(vec!["T [°C]", "E/conversion [pJ]"]);
+    for t in [-20.0, 0.0, 25.0, 50.0, 75.0, 100.0] {
+        let r = sensor
+            .read(
+                &SensorInputs::new(&die, DieSite::CENTER, Celsius(t)),
+                &mut rng,
+            )
+            .expect("conversion");
+        vs_temp.push(vec![f(t, 0), f(r.energy_total().picojoules(), 1)]);
+    }
+
+    format!(
+        "T1: conversion energy breakdown (nominal die, 25 °C)\n\n{}\n\
+         total: {:.2} pJ — paper reports 367.5 pJ per conversion\n\n\
+         one-time self-calibration cost: {:.1} pJ ({} Newton iterations)\n\n\
+         energy vs temperature (leakage + faster oscillators when hot):\n{}",
+        nominal.energy.render_table(),
+        nominal.energy_total().picojoules(),
+        outcome.energy.total().picojoules(),
+        outcome.solver_iterations,
+        vs_temp.render(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn total_matches_paper() {
+        let r = super::run();
+        assert!(r.contains("T1"));
+        assert!(r.contains("367.5"));
+        // The tuned total must appear in the 360-375 range.
+        let line = r
+            .lines()
+            .find(|l| l.starts_with("total:"))
+            .expect("total line");
+        let pj: f64 = line
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .expect("parse total");
+        assert!((pj - 367.5).abs() < 8.0, "total {pj}");
+    }
+}

@@ -1,0 +1,167 @@
+//! **T2 — Comparison with baselines.**
+//!
+//! The comparison table every sensor paper closes with: worst-case
+//! temperature error across process and temperature, conversion energy,
+//! whether external test equipment is needed, process readout capability,
+//! and a transistor-count area proxy.
+
+use crate::experiments::population_size;
+use crate::table::{f, Table};
+use ptsim_baselines::adapter::PtSensorThermometer;
+use ptsim_baselines::bjt::BjtSensor;
+use ptsim_baselines::pvt2013::Pvt2013Sensor;
+use ptsim_baselines::ro_thermometer::{RoCalibration, RoThermometer};
+use ptsim_baselines::traits::Thermometer;
+use ptsim_core::sensor::{SensorInputs, SensorSpec};
+use ptsim_device::process::Technology;
+use ptsim_device::units::{Celsius, Volt};
+use ptsim_mc::driver::die_rng;
+use ptsim_mc::model::VariationModel;
+use ptsim_mc::stats::OnlineStats;
+use ptsim_mc::DieSite;
+
+const TEMPS: [f64; 5] = [-20.0, 10.0, 40.0, 70.0, 100.0];
+
+struct Row {
+    name: &'static str,
+    err: OnlineStats,
+    energy: OnlineStats,
+    external: bool,
+    devices: usize,
+    process_readout: bool,
+}
+
+fn grade(
+    build: &mut dyn FnMut() -> Box<dyn Thermometer>,
+    n_dies: usize,
+    seed: u64,
+    external: bool,
+    process_readout: bool,
+) -> Row {
+    let tech = Technology::n65();
+    let model = VariationModel::new(&tech);
+    let mut err = OnlineStats::new();
+    let mut energy = OnlineStats::new();
+    let mut name = "";
+    let mut devices = 0;
+    for i in 0..n_dies {
+        let mut rng = die_rng(seed, i as u64);
+        let die = model.sample_die_with_id(&mut rng, i as u64);
+        let mut th = build();
+        name = th.name();
+        devices = th.device_count();
+        let boot = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
+        th.prepare(&boot, &mut rng).expect("prepare");
+        for &t in &TEMPS {
+            let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(t));
+            let r = th.read_temperature(&inputs, &mut rng).expect("read");
+            err.push(r.temperature.0 - t);
+            energy.push(r.energy.picojoules());
+        }
+    }
+    Row {
+        name,
+        err,
+        energy,
+        external,
+        devices,
+        process_readout,
+    }
+}
+
+/// Runs the comparison and renders the table.
+///
+/// # Panics
+///
+/// Panics if any sensor fails to prepare/convert (a bug).
+#[must_use]
+pub fn run() -> String {
+    let n = population_size(60);
+    let tech = Technology::n65();
+
+    let mut rows = Vec::new();
+    rows.push(grade(
+        &mut || Box::new(RoThermometer::new(tech.clone(), RoCalibration::None).expect("baseline")),
+        n,
+        1,
+        false,
+        false,
+    ));
+    rows.push(grade(
+        &mut || {
+            Box::new(RoThermometer::new(tech.clone(), RoCalibration::OnePoint).expect("baseline"))
+        },
+        n,
+        2,
+        false,
+        false,
+    ));
+    rows.push(grade(
+        &mut || Box::new(BjtSensor::typical()),
+        n,
+        3,
+        true,
+        false,
+    ));
+    rows.push(grade(
+        &mut || Box::new(Pvt2013Sensor::new(tech.clone(), Volt(0.5)).expect("pvt2013")),
+        n,
+        4,
+        false,
+        true,
+    ));
+    rows.push(grade(
+        &mut || {
+            Box::new(
+                PtSensorThermometer::new(tech.clone(), SensorSpec::default_65nm())
+                    .expect("this work"),
+            )
+        },
+        n,
+        5,
+        false,
+        true,
+    ));
+
+    let mut table = Table::new(vec![
+        "sensor",
+        "worst |err| [°C]",
+        "σ err [°C]",
+        "mean E/conv [pJ]",
+        "ext. test?",
+        "P readout?",
+        "~devices",
+    ]);
+    for r in &rows {
+        table.push(vec![
+            r.name.to_owned(),
+            f(r.err.max_abs(), 2),
+            f(r.err.std_dev(), 2),
+            f(r.energy.mean(), 1),
+            if r.external { "yes" } else { "no" }.to_owned(),
+            if r.process_readout { "yes" } else { "no" }.to_owned(),
+            r.devices.to_string(),
+        ]);
+    }
+
+    format!(
+        "T2: comparison across {n} MC dies × {:?} °C\n\
+         (BJT device count under-represents its analog area)\n\n{}\n\
+         expectation: this work is the only row with no external test, \
+         process readout, sub-nJ energy, and ≤1.5 °C worst error\n",
+        TEMPS,
+        table.render(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_contains_all_sensors() {
+        std::env::set_var("PTSIM_BENCH_DIES", "6");
+        let r = super::run();
+        for name in ["uncalibrated RO", "1-point RO", "BJT", "2013", "this work"] {
+            assert!(r.contains(name), "missing {name} in report");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! **T3 — Corner robustness.**
+//!
+//! Self-calibration and conversion at every named global process corner:
+//! the extracted shifts must match the corner definition and the
+//! temperature error must stay inside the paper band at all five corners.
+
+use crate::table::{f, fs, Table};
+use ptsim_core::sensor::{PtSensor, SensorInputs, SensorSpec};
+use ptsim_device::process::{ProcessCorner, Technology};
+use ptsim_device::units::Celsius;
+use ptsim_mc::die::DieSite;
+use ptsim_mc::model::VariationModel;
+use rand::SeedableRng;
+
+const TEMPS: [f64; 5] = [-20.0, 10.0, 40.0, 70.0, 100.0];
+
+/// Runs the corner sweep and renders the table.
+///
+/// # Panics
+///
+/// Panics if a corner fails to calibrate or convert (a bug).
+#[must_use]
+pub fn run() -> String {
+    let tech = Technology::n65();
+    let model = VariationModel::new(&tech);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x73);
+
+    let mut table = Table::new(vec![
+        "corner",
+        "true ΔVtn [mV]",
+        "extracted [mV]",
+        "true ΔVtp [mV]",
+        "extracted [mV]",
+        "worst |T err| [°C]",
+        "E/conv [pJ]",
+    ]);
+    let mut worst_overall: f64 = 0.0;
+    for corner in ProcessCorner::ALL {
+        let die = model.corner_die(corner, &tech);
+        let mut sensor = PtSensor::new(tech.clone(), SensorSpec::default_65nm()).expect("sensor");
+        sensor
+            .calibrate(
+                &SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)),
+                &mut rng,
+            )
+            .expect("calibration");
+        let cal = *sensor.calibration().expect("calibrated");
+        let mut worst: f64 = 0.0;
+        let mut energy = 0.0;
+        for &t in &TEMPS {
+            let r = sensor
+                .read(
+                    &SensorInputs::new(&die, DieSite::CENTER, Celsius(t)),
+                    &mut rng,
+                )
+                .expect("conversion");
+            worst = worst.max((r.temperature.0 - t).abs());
+            energy = r.energy_total().picojoules();
+        }
+        worst_overall = worst_overall.max(worst);
+        table.push(vec![
+            corner.to_string(),
+            fs(corner.vtn_shift(&tech).millivolts(), 1),
+            fs(cal.d_vtn().millivolts(), 2),
+            fs(corner.vtp_shift(&tech).millivolts(), 1),
+            fs(cal.d_vtp().millivolts(), 2),
+            f(worst, 3),
+            f(energy, 1),
+        ]);
+    }
+
+    format!(
+        "T3: corner robustness (calibrate at 25 °C, convert at {TEMPS:?} °C)\n\n{}\n\
+         worst error across all corners: ±{:.3} °C (paper: ±1.5 °C)\n",
+        table.render(),
+        worst_overall,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn covers_all_five_corners() {
+        let r = super::run();
+        for c in ["TT", "FF", "SS", "FS", "SF"] {
+            assert!(r.contains(c), "missing corner {c}");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # ptsim-bench
+//!
+//! Evaluation harness for the SOCC 2012 PT-sensor reproduction: one module
+//! per reconstructed figure/table (see `DESIGN.md` for the experiment index
+//! and `EXPERIMENTS.md` for paper-vs-measured records). Each experiment is a
+//! library function returning its rendered report, wrapped by a thin binary:
+//!
+//! ```text
+//! cargo run --release -p ptsim-bench --bin fig_ro_vs_temp      # F1
+//! cargo run --release -p ptsim-bench --bin fig_ro_vs_vt        # F2
+//! cargo run --release -p ptsim-bench --bin fig_temp_error      # F3
+//! cargo run --release -p ptsim-bench --bin fig_vt_error        # F4
+//! cargo run --release -p ptsim-bench --bin fig_stack_tracking  # F5
+//! cargo run --release -p ptsim-bench --bin fig_tsv_stress      # F6
+//! cargo run --release -p ptsim-bench --bin tbl_energy          # T1
+//! cargo run --release -p ptsim-bench --bin tbl_comparison      # T2
+//! cargo run --release -p ptsim-bench --bin tbl_corners         # T3
+//! cargo run --release -p ptsim-bench --bin tbl_ablation        # A1
+//! cargo run --release -p ptsim-bench --bin fig_pvt2013         # X1
+//! cargo run --release -p ptsim-bench --bin run_all             # everything
+//! ```
+//!
+//! Criterion micro-benchmarks live in `benches/`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod experiments;
+pub mod table;

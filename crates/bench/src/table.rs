@@ -1,0 +1,120 @@
+//! Minimal aligned-text table renderer for experiment reports.
+
+/// Builds an aligned text table from a header row and data rows.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (short rows are padded with empty cells).
+    pub fn push<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut row: Vec<String> = row.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned table with a separator under the header.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = width[i] - cell.chars().count();
+                line.push_str(&" ".repeat(pad));
+                line.push_str(cell);
+                if i + 1 < cells.len() {
+                    line.push_str("  ");
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+        }
+        out
+    }
+}
+
+/// Formats a float with the given precision.
+#[must_use]
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Formats a signed float with the given precision.
+#[must_use]
+pub fn fs(v: f64, prec: usize) -> String {
+    format!("{v:+.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "long-header", "c"]);
+        t.push(vec!["1", "2", "3"]);
+        t.push(vec!["100", "2", "3"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal length.
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+        assert!(lines[1].starts_with('-'));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push(vec!["only"]);
+        assert!(t.render().contains("only"));
+    }
+
+    #[test]
+    fn float_helpers() {
+        assert_eq!(f(1.2345, 2), "1.23");
+        assert_eq!(fs(1.2345, 1), "+1.2");
+        assert_eq!(fs(-0.5, 2), "-0.50");
+    }
+}

@@ -1,0 +1,272 @@
+//! Gated frequency counters.
+//!
+//! The sensor measures each ring oscillator by counting its edges inside a
+//! reference-clock-defined gating window. Counting is inherently quantized:
+//! a window of `T_w` seconds resolves frequency to `1/T_w`. The counter
+//! width bounds the maximum measurable count (overflow wraps, as the real
+//! ripple counter would).
+
+use crate::error::CircuitError;
+use ptsim_device::units::{Hertz, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// A binary ripple counter gated by a measurement window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatedCounter {
+    bits: u32,
+    window_cycles: u64,
+}
+
+impl GatedCounter {
+    /// Creates a counter with `bits` flip-flops, gated for `window_cycles`
+    /// cycles of the reference clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidWindow`] if `bits` is 0 or more than
+    /// 62, or `window_cycles` is 0.
+    pub fn new(bits: u32, window_cycles: u64) -> Result<Self, CircuitError> {
+        if bits == 0 || bits > 62 || window_cycles == 0 {
+            return Err(CircuitError::InvalidWindow {
+                seconds: window_cycles as f64,
+            });
+        }
+        Ok(GatedCounter {
+            bits,
+            window_cycles,
+        })
+    }
+
+    /// Counter width in bits.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Gating window length in reference cycles.
+    #[must_use]
+    pub fn window_cycles(&self) -> u64 {
+        self.window_cycles
+    }
+
+    /// Maximum count before wrap-around.
+    #[must_use]
+    pub fn max_count(&self) -> u64 {
+        (1u64 << self.bits) - 1
+    }
+
+    /// Window length for a given reference clock.
+    #[must_use]
+    pub fn window(&self, ref_clock: Hertz) -> Seconds {
+        Seconds(self.window_cycles as f64 / ref_clock.0)
+    }
+
+    /// Simulates one gated count of a signal at `f_in`, with `phase` in
+    /// `[0, 1)` modelling the unknown alignment between the signal and the
+    /// gate opening. Wraps on overflow exactly like the hardware counter.
+    #[must_use]
+    pub fn count(&self, f_in: Hertz, ref_clock: Hertz, phase: f64) -> u64 {
+        let window = self.window(ref_clock);
+        let edges = f_in.0 * window.0 + phase.rem_euclid(1.0);
+        let n = edges.floor().max(0.0) as u64;
+        n & self.max_count()
+    }
+
+    /// The frequency this counter reports for a raw count.
+    #[must_use]
+    pub fn frequency_from_count(&self, count: u64, ref_clock: Hertz) -> Hertz {
+        Hertz(count as f64 / self.window(ref_clock).0)
+    }
+
+    /// One-step measure: count then convert, i.e. the quantized frequency
+    /// estimate the digital backend sees.
+    #[must_use]
+    pub fn measure(&self, f_in: Hertz, ref_clock: Hertz, phase: f64) -> Hertz {
+        self.frequency_from_count(self.count(f_in, ref_clock, phase), ref_clock)
+    }
+
+    /// Worst-case quantization step of the frequency estimate.
+    #[must_use]
+    pub fn resolution(&self, ref_clock: Hertz) -> Hertz {
+        Hertz(1.0 / self.window(ref_clock).0)
+    }
+
+    /// True if a signal at `f_in` would overflow the counter within the
+    /// window (the measurement would silently alias).
+    #[must_use]
+    pub fn overflows(&self, f_in: Hertz, ref_clock: Hertz) -> bool {
+        f_in.0 * self.window(ref_clock).0 > self.max_count() as f64
+    }
+}
+
+/// A divide-by-2^k prescaler placed in front of a counter so GHz-class ring
+/// oscillators can be counted by a slower counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Prescaler {
+    log2_ratio: u32,
+}
+
+impl Prescaler {
+    /// Divide-by-`2^log2_ratio` prescaler. `log2_ratio` up to 16.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidWindow`] if `log2_ratio > 16`.
+    pub fn new(log2_ratio: u32) -> Result<Self, CircuitError> {
+        if log2_ratio > 16 {
+            return Err(CircuitError::InvalidWindow {
+                seconds: log2_ratio as f64,
+            });
+        }
+        Ok(Prescaler { log2_ratio })
+    }
+
+    /// Division ratio `2^k`.
+    #[must_use]
+    pub fn ratio(&self) -> u64 {
+        1 << self.log2_ratio
+    }
+
+    /// Output frequency for a given input.
+    #[must_use]
+    pub fn output(&self, f_in: Hertz) -> Hertz {
+        Hertz(f_in.0 / self.ratio() as f64)
+    }
+
+    /// Scales a downstream frequency estimate back to the input domain.
+    #[must_use]
+    pub fn undo(&self, f_measured: Hertz) -> Hertz {
+        Hertz(f_measured.0 * self.ratio() as f64)
+    }
+}
+
+/// Auto-ranged measurement: picks the smallest prescale ratio (up to 2^16)
+/// that avoids counter overflow — exactly what the hardware range logic does
+/// — then counts and converts back to the input domain.
+///
+/// Returns the quantized frequency estimate and the raw count.
+///
+/// # Errors
+///
+/// Propagates prescaler construction errors (cannot occur for the internal
+/// ratios used, but kept for API honesty).
+pub fn auto_measure(
+    f_in: Hertz,
+    counter: &GatedCounter,
+    ref_clock: Hertz,
+    phase: f64,
+) -> Result<(Hertz, u64), CircuitError> {
+    let mut log2 = 0u32;
+    while log2 < 16 && counter.overflows(Prescaler::new(log2)?.output(f_in), ref_clock) {
+        log2 += 1;
+    }
+    let prescaler = Prescaler::new(log2)?;
+    let counted = counter.count(prescaler.output(f_in), ref_clock, phase);
+    let f_est = prescaler.undo(counter.frequency_from_count(counted, ref_clock));
+    Ok((f_est, counted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(GatedCounter::new(0, 10).is_err());
+        assert!(GatedCounter::new(63, 10).is_err());
+        assert!(GatedCounter::new(16, 0).is_err());
+        assert!(GatedCounter::new(16, 10).is_ok());
+        assert!(Prescaler::new(17).is_err());
+    }
+
+    #[test]
+    fn count_is_floor_of_edges() {
+        let c = GatedCounter::new(20, 1000).unwrap();
+        let rc = Hertz(1e6); // window = 1 ms
+        assert_eq!(c.count(Hertz(123_456.0), rc, 0.0), 123);
+        assert_eq!(c.count(Hertz(123_999.0), rc, 0.0), 123);
+        assert_eq!(c.count(Hertz(124_000.0), rc, 0.0), 124);
+    }
+
+    #[test]
+    fn phase_can_add_one_edge() {
+        let c = GatedCounter::new(20, 1000).unwrap();
+        let rc = Hertz(1e6);
+        let lo = c.count(Hertz(123_900.0), rc, 0.0);
+        let hi = c.count(Hertz(123_900.0), rc, 0.99);
+        assert!(hi == lo || hi == lo + 1);
+        assert_eq!(
+            c.count(Hertz(123_900.0), rc, 0.11),
+            c.count(Hertz(123_900.0), rc, 1.11)
+        );
+    }
+
+    #[test]
+    fn measurement_error_bounded_by_resolution() {
+        let c = GatedCounter::new(24, 10_000).unwrap();
+        let rc = Hertz(10e6); // window = 1 ms
+        let f = Hertz(2.345_678e6);
+        let est = c.measure(f, rc, 0.3);
+        assert!((est.0 - f.0).abs() <= c.resolution(rc).0);
+    }
+
+    #[test]
+    fn longer_window_finer_resolution() {
+        let short = GatedCounter::new(24, 100).unwrap();
+        let long = GatedCounter::new(24, 10_000).unwrap();
+        let rc = Hertz(1e6);
+        assert!(long.resolution(rc).0 < short.resolution(rc).0);
+    }
+
+    #[test]
+    fn overflow_wraps_like_hardware() {
+        let c = GatedCounter::new(8, 1000).unwrap(); // max 255
+        let rc = Hertz(1e6); // 1 ms window
+        assert!(c.overflows(Hertz(1e6), rc));
+        // 1000 edges wraps to 1000 mod 256.
+        assert_eq!(c.count(Hertz(1e6), rc, 0.0), 1000 % 256);
+    }
+
+    #[test]
+    fn frequency_round_trip() {
+        let c = GatedCounter::new(24, 5000).unwrap();
+        let rc = Hertz(5e6); // 1 ms
+        let f = c.frequency_from_count(12_345, rc);
+        // 12 345 edges in a 1 ms window = 12.345 MHz.
+        assert!((f.0 - 12_345_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn prescaler_round_trip() {
+        let p = Prescaler::new(4).unwrap();
+        assert_eq!(p.ratio(), 16);
+        let f = Hertz(3.2e9);
+        let down = p.output(f);
+        assert!((down.0 - 2e8).abs() < 1.0);
+        assert!((p.undo(down).0 - f.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn auto_measure_handles_fast_and_slow_inputs() {
+        let c = GatedCounter::new(16, 32_000).unwrap(); // 1 ms @ 32 MHz
+        let rc = Hertz(32e6);
+        for f in [1e6, 50e6, 2e9, 60e9] {
+            let (est, counted) = auto_measure(Hertz(f), &c, rc, 0.4).unwrap();
+            assert!(counted <= c.max_count());
+            assert!(
+                (est.0 - f).abs() / f < 1e-2,
+                "f {f:.3e} est {est} counted {counted}"
+            );
+        }
+    }
+
+    #[test]
+    fn prescaler_extends_counter_range() {
+        let c = GatedCounter::new(16, 65_000).unwrap();
+        let rc = Hertz(65e6); // 1 ms window
+        let fast = Hertz(2e9);
+        assert!(c.overflows(fast, rc));
+        let p = Prescaler::new(6).unwrap(); // /64
+        assert!(!c.overflows(p.output(fast), rc));
+    }
+}

@@ -1,0 +1,163 @@
+//! Per-component energy bookkeeping.
+//!
+//! The 367.5 pJ/conversion headline number decomposes into ring-oscillator,
+//! counter, controller and arithmetic contributions; the ledger keeps the
+//! breakdown so the energy table (T1) can be regenerated.
+
+use ptsim_device::units::Joule;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Accumulates energy per named component.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    entries: Vec<(String, Joule)>,
+}
+
+impl EnergyLedger {
+    /// Empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        EnergyLedger::default()
+    }
+
+    /// Adds energy to a component, creating it if needed.
+    pub fn add(&mut self, component: &str, energy: Joule) {
+        if let Some((_, e)) = self.entries.iter_mut().find(|(n, _)| n == component) {
+            *e += energy;
+        } else {
+            self.entries.push((component.to_owned(), energy));
+        }
+    }
+
+    /// Energy attributed to one component (zero if absent).
+    #[must_use]
+    pub fn component(&self, name: &str) -> Joule {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, e)| *e)
+            .unwrap_or(Joule::ZERO)
+    }
+
+    /// Total energy across components.
+    #[must_use]
+    pub fn total(&self) -> Joule {
+        self.entries.iter().map(|(_, e)| *e).sum()
+    }
+
+    /// Iterates `(component, energy)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Joule)> {
+        self.entries.iter().map(|(n, e)| (n.as_str(), *e))
+    }
+
+    /// Number of distinct components.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no energy has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        for (n, e) in other.iter() {
+            self.add(n, e);
+        }
+    }
+
+    /// Renders the breakdown as an aligned text table in picojoules.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .entries
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(9)
+            .max("component".len());
+        out.push_str(&format!("{:<width$}  energy [pJ]   share\n", "component"));
+        let total = self.total().0.max(f64::MIN_POSITIVE);
+        for (n, e) in self.iter() {
+            out.push_str(&format!(
+                "{:<width$}  {:>11.2}   {:>5.1}%\n",
+                n,
+                e.picojoules(),
+                100.0 * e.0 / total,
+            ));
+        }
+        out.push_str(&format!(
+            "{:<width$}  {:>11.2}   100.0%\n",
+            "TOTAL",
+            self.total().picojoules(),
+        ));
+        out
+    }
+}
+
+impl fmt::Display for EnergyLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_per_component() {
+        let mut l = EnergyLedger::new();
+        l.add("ro", Joule::from_picojoules(100.0));
+        l.add("ro", Joule::from_picojoules(50.0));
+        l.add("counter", Joule::from_picojoules(25.0));
+        assert!((l.component("ro").picojoules() - 150.0).abs() < 1e-9);
+        assert!((l.total().picojoules() - 175.0).abs() < 1e-9);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn missing_component_is_zero() {
+        let l = EnergyLedger::new();
+        assert_eq!(l.component("nothing"), Joule::ZERO);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn merge_combines_ledgers() {
+        let mut a = EnergyLedger::new();
+        a.add("x", Joule(1.0));
+        let mut b = EnergyLedger::new();
+        b.add("x", Joule(2.0));
+        b.add("y", Joule(3.0));
+        a.merge(&b);
+        assert_eq!(a.component("x").0, 3.0);
+        assert_eq!(a.component("y").0, 3.0);
+    }
+
+    #[test]
+    fn table_lists_components_and_total() {
+        let mut l = EnergyLedger::new();
+        l.add("oscillators", Joule::from_picojoules(200.0));
+        l.add("counters", Joule::from_picojoules(100.0));
+        let t = l.render_table();
+        assert!(t.contains("oscillators"));
+        assert!(t.contains("TOTAL"));
+        assert!(t.contains("300.00"));
+        assert!(t.contains("66.7%"));
+    }
+
+    #[test]
+    fn iteration_preserves_insertion_order() {
+        let mut l = EnergyLedger::new();
+        l.add("b", Joule(1.0));
+        l.add("a", Joule(1.0));
+        let names: Vec<&str> = l.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["b", "a"]);
+    }
+}

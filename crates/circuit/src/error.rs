@@ -1,0 +1,87 @@
+//! Error type for the circuit crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or evaluating circuit blocks.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A ring oscillator was configured with an invalid stage count
+    /// (must be odd and at least 3).
+    InvalidStageCount {
+        /// Offending stage count.
+        stages: usize,
+    },
+    /// A Q-format was configured with an unsupported bit allocation.
+    InvalidQFormat {
+        /// Integer bits requested.
+        int_bits: u32,
+        /// Fraction bits requested.
+        frac_bits: u32,
+    },
+    /// Two fixed-point operands had different Q-formats.
+    QFormatMismatch,
+    /// A fixed-point operation overflowed its format and saturation was
+    /// disabled.
+    FixedOverflow,
+    /// Division by a zero fixed-point value.
+    FixedDivideByZero,
+    /// A counter/measurement window parameter was not a positive finite
+    /// number.
+    InvalidWindow {
+        /// Offending window length in seconds.
+        seconds: f64,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::InvalidStageCount { stages } => {
+                write!(
+                    f,
+                    "ring oscillator needs an odd stage count >= 3, got {stages}"
+                )
+            }
+            CircuitError::InvalidQFormat {
+                int_bits,
+                frac_bits,
+            } => {
+                write!(
+                    f,
+                    "invalid Q-format Q{int_bits}.{frac_bits} (need 1..=62 total bits)"
+                )
+            }
+            CircuitError::QFormatMismatch => {
+                write!(f, "fixed-point operands have different formats")
+            }
+            CircuitError::FixedOverflow => write!(f, "fixed-point overflow"),
+            CircuitError::FixedDivideByZero => write!(f, "fixed-point division by zero"),
+            CircuitError::InvalidWindow { seconds } => {
+                write!(f, "invalid measurement window: {seconds} s")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(CircuitError::InvalidStageCount { stages: 4 }
+            .to_string()
+            .contains('4'));
+        assert!(CircuitError::QFormatMismatch.to_string().contains("format"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CircuitError>();
+    }
+}

@@ -1,0 +1,44 @@
+//! # ptsim-circuit
+//!
+//! Behavioral circuit primitives for the SOCC 2012 PT-sensor reproduction:
+//! inverter [`ring::InverterRing`] oscillators, gated
+//! [`counter::GatedCounter`]s with prescalers, runtime-parameterized
+//! [`fixed::Fixed`]-point arithmetic (the on-chip datapath), and an
+//! [`energy::EnergyLedger`] for per-component conversion-energy breakdowns.
+//!
+//! These blocks model the *digital* half of the sensor at the level that
+//! matters for its reported accuracy: frequency quantization from finite
+//! counting windows, counter overflow, and fixed-point round-off.
+//!
+//! ## Example
+//!
+//! ```
+//! use ptsim_circuit::counter::{GatedCounter, Prescaler};
+//! use ptsim_device::units::Hertz;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let counter = GatedCounter::new(16, 32_000)?; // 1 ms @ 32 MHz ref
+//! let prescaler = Prescaler::new(6)?; // divide GHz RO down by 64
+//! let ref_clk = Hertz(32.0e6);
+//! let ro = Hertz(2.1e9);
+//! let est = prescaler.undo(counter.measure(prescaler.output(ro), ref_clk, 0.5));
+//! assert!((est.0 - ro.0).abs() / ro.0 < 1e-4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod counter;
+pub mod energy;
+pub mod error;
+pub mod fixed;
+pub mod ring;
+
+pub use counter::{GatedCounter, Prescaler};
+pub use energy::EnergyLedger;
+pub use error::CircuitError;
+pub use fixed::{Fixed, QFormat};
+pub use ring::InverterRing;

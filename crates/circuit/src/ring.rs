@@ -1,0 +1,236 @@
+//! Ring oscillators built from device-level inverters.
+
+use crate::error::CircuitError;
+use ptsim_device::inverter::{CmosEnv, Inverter};
+use ptsim_device::process::Technology;
+use ptsim_device::units::{Farad, Hertz, Joule, Seconds, Volt, Watt};
+use serde::{Deserialize, Serialize};
+
+/// An N-stage inverter ring oscillator.
+///
+/// The oscillation period is `2·N·t_stage`, where each stage drives the next
+/// stage's input capacitance plus its own junction capacitance plus an
+/// explicit wire load. Per period, every node rises and falls exactly once,
+/// so the dynamic energy per period is `N·C_node·VDD²`.
+///
+/// ```
+/// use ptsim_circuit::ring::InverterRing;
+/// use ptsim_device::inverter::{CmosEnv, Inverter};
+/// use ptsim_device::process::Technology;
+/// use ptsim_device::units::{Farad, Micron, Volt};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tech = Technology::n65();
+/// let inv = Inverter::balanced(Micron(0.5), 2.0, &tech)?;
+/// let ro = InverterRing::new(31, inv, Farad(0.5e-15), Volt(1.0))?;
+/// let f = ro.frequency(&tech, &CmosEnv::nominal());
+/// assert!(f.0 > 1e8, "GHz-class oscillator, got {f}");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InverterRing {
+    stages: usize,
+    inverter: Inverter,
+    wire_load: Farad,
+    vdd: Volt,
+}
+
+impl InverterRing {
+    /// Creates a ring oscillator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidStageCount`] unless `stages` is odd and
+    /// at least 3.
+    pub fn new(
+        stages: usize,
+        inverter: Inverter,
+        wire_load: Farad,
+        vdd: Volt,
+    ) -> Result<Self, CircuitError> {
+        if stages < 3 || stages % 2 == 0 {
+            return Err(CircuitError::InvalidStageCount { stages });
+        }
+        Ok(InverterRing {
+            stages,
+            inverter,
+            wire_load,
+            vdd,
+        })
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// The stage inverter.
+    #[must_use]
+    pub fn inverter(&self) -> &Inverter {
+        &self.inverter
+    }
+
+    /// Supply voltage the ring runs at.
+    #[must_use]
+    pub fn vdd(&self) -> Volt {
+        self.vdd
+    }
+
+    /// Copy of this ring at a different supply (for voltage sweeps).
+    #[must_use]
+    pub fn with_vdd(mut self, vdd: Volt) -> Self {
+        self.vdd = vdd;
+        self
+    }
+
+    /// Capacitance switched at each internal node.
+    #[must_use]
+    pub fn node_cap(&self, tech: &Technology) -> Farad {
+        self.inverter.input_cap(tech) + self.inverter.output_cap(tech) + self.wire_load
+    }
+
+    /// Stage propagation delay under `env`.
+    #[must_use]
+    pub fn stage_delay(&self, tech: &Technology, env: &CmosEnv) -> Seconds {
+        self.inverter
+            .stage_delay(tech, self.vdd, self.node_cap(tech), env)
+    }
+
+    /// Oscillation period `2·N·t_stage`.
+    #[must_use]
+    pub fn period(&self, tech: &Technology, env: &CmosEnv) -> Seconds {
+        Seconds(2.0 * self.stages as f64 * self.stage_delay(tech, env).0)
+    }
+
+    /// Oscillation frequency.
+    #[must_use]
+    pub fn frequency(&self, tech: &Technology, env: &CmosEnv) -> Hertz {
+        self.period(tech, env).to_frequency()
+    }
+
+    /// Dynamic energy dissipated per oscillation period (`N·C·VDD²`).
+    #[must_use]
+    pub fn energy_per_period(&self, tech: &Technology) -> Joule {
+        Joule(self.stages as f64 * self.node_cap(tech).0 * self.vdd.0 * self.vdd.0)
+    }
+
+    /// Dynamic power while running.
+    #[must_use]
+    pub fn dynamic_power(&self, tech: &Technology, env: &CmosEnv) -> Watt {
+        Watt(self.energy_per_period(tech).0 * self.frequency(tech, env).0)
+    }
+
+    /// Static leakage power of all stages (paid even when gated off only if
+    /// the ring is not power-gated; the sensor power-gates idle rings).
+    #[must_use]
+    pub fn leakage_power(&self, tech: &Technology, env: &CmosEnv) -> Watt {
+        Watt(self.stages as f64 * self.inverter.leakage_power(tech, self.vdd, env).0)
+    }
+
+    /// Total energy to run the ring for `duration` (dynamic + leakage).
+    #[must_use]
+    pub fn run_energy(&self, tech: &Technology, env: &CmosEnv, duration: Seconds) -> Joule {
+        let p = self.dynamic_power(tech, env).0 + self.leakage_power(tech, env).0;
+        Joule(p * duration.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsim_device::units::{Celsius, Micron};
+
+    fn tech() -> Technology {
+        Technology::n65()
+    }
+
+    fn ring(stages: usize) -> InverterRing {
+        let inv = Inverter::balanced(Micron(0.5), 2.0, &tech()).unwrap();
+        InverterRing::new(stages, inv, Farad(0.5e-15), Volt(1.0)).unwrap()
+    }
+
+    #[test]
+    fn rejects_even_or_tiny_stage_counts() {
+        let inv = Inverter::balanced(Micron(0.5), 2.0, &tech()).unwrap();
+        assert!(InverterRing::new(4, inv, Farad::ZERO, Volt(1.0)).is_err());
+        assert!(InverterRing::new(1, inv, Farad::ZERO, Volt(1.0)).is_err());
+        assert!(InverterRing::new(3, inv, Farad::ZERO, Volt(1.0)).is_ok());
+    }
+
+    #[test]
+    fn more_stages_lower_frequency() {
+        let t = tech();
+        let env = CmosEnv::nominal();
+        let f31 = ring(31).frequency(&t, &env).0;
+        let f61 = ring(61).frequency(&t, &env).0;
+        assert!(f31 > 1.8 * f61 && f31 < 2.2 * f61);
+    }
+
+    #[test]
+    fn frequency_in_plausible_range() {
+        let f = ring(31).frequency(&tech(), &CmosEnv::nominal());
+        assert!(
+            f.0 > 1e8 && f.0 < 2e10,
+            "31-stage 65nm RO should be 0.1-20 GHz, got {f}"
+        );
+    }
+
+    #[test]
+    fn lower_vdd_slower_and_less_energy() {
+        let t = tech();
+        let env = CmosEnv::nominal();
+        let hi = ring(31);
+        let lo = hi.with_vdd(Volt(0.6));
+        assert!(lo.frequency(&t, &env).0 < hi.frequency(&t, &env).0);
+        assert!(lo.energy_per_period(&t).0 < hi.energy_per_period(&t).0);
+    }
+
+    #[test]
+    fn higher_vt_slower() {
+        let t = tech();
+        let slow_env = CmosEnv {
+            d_vtn: Volt(0.04),
+            d_vtp: Volt(0.04),
+            ..CmosEnv::nominal()
+        };
+        let r = ring(31);
+        assert!(r.frequency(&t, &slow_env).0 < r.frequency(&t, &CmosEnv::nominal()).0);
+    }
+
+    #[test]
+    fn period_frequency_consistency() {
+        let t = tech();
+        let env = CmosEnv::at(Celsius(60.0));
+        let r = ring(13);
+        let prod = r.period(&t, &env).0 * r.frequency(&t, &env).0;
+        assert!((prod - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_per_period_scales_with_stage_count() {
+        let t = tech();
+        let e31 = ring(31).energy_per_period(&t).0;
+        let e61 = ring(61).energy_per_period(&t).0;
+        assert!((e61 / e31 - 61.0 / 31.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_energy_combines_dynamic_and_leakage() {
+        let t = tech();
+        let env = CmosEnv::nominal();
+        let r = ring(31);
+        let window = Seconds(1e-6);
+        let e = r.run_energy(&t, &env, window).0;
+        let dyn_only = r.dynamic_power(&t, &env).0 * window.0;
+        assert!(e > dyn_only);
+        assert!(e < dyn_only * 1.5, "leakage is a small fraction at 1.0 V");
+    }
+
+    #[test]
+    fn dynamic_power_positive_microwatt_scale() {
+        let p = ring(31).dynamic_power(&tech(), &CmosEnv::nominal());
+        assert!(p.0 > 1e-7 && p.0 < 1e-2, "RO power {p}");
+    }
+}

@@ -1,0 +1,365 @@
+//! The sensor's ring-oscillator bank: two process-sensitive oscillators
+//! (PSRO-N, PSRO-P) and one temperature-sensitive oscillator (TSRO).
+//!
+//! * **PSRO-N** pairs a deliberately *weak* (narrow) NMOS with a strong
+//!   PMOS: the slow falling edge dominates the stage delay, so frequency
+//!   tracks the NMOS drive current — i.e. `Vtn` and `µn`.
+//! * **PSRO-P** mirrors this for the PMOS.
+//! * **TSRO** is a balanced ring run at a near-threshold supply
+//!   (`VDD ≈ Vt + 50 mV`), where delay is exponential in `Vt(T)/(n·kT/q)` —
+//!   a strong, monotonic temperature dependence.
+//!
+//! The three rings sit at slightly different die sites, so they sample
+//! slightly different within-die variation — a real error source the
+//! evaluation must (and does) capture.
+
+use crate::error::SensorError;
+use ptsim_circuit::ring::InverterRing;
+use ptsim_device::inverter::{CmosEnv, Inverter};
+use ptsim_device::mosfet::{MosPolarity, Mosfet};
+use ptsim_device::process::Technology;
+use ptsim_device::units::{Farad, Hertz, Micron, Volt};
+use ptsim_mc::die::DieSite;
+use serde::{Deserialize, Serialize};
+
+/// Which oscillator of the bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoClass {
+    /// NMOS-sensitive process oscillator.
+    PsroN,
+    /// PMOS-sensitive process oscillator.
+    PsroP,
+    /// Temperature-sensitive near-threshold oscillator.
+    Tsro,
+}
+
+impl RoClass {
+    /// All three classes in reporting order.
+    pub const ALL: [RoClass; 3] = [RoClass::PsroN, RoClass::PsroP, RoClass::Tsro];
+
+    /// Short display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RoClass::PsroN => "PSRO-N",
+            RoClass::PsroP => "PSRO-P",
+            RoClass::Tsro => "TSRO",
+        }
+    }
+}
+
+/// Physical design of the bank.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BankSpec {
+    /// Stages per process-sensitive ring (odd, ≥ 3).
+    pub stages_psro: usize,
+    /// Stages of the temperature ring (odd, ≥ 3).
+    pub stages_tsro: usize,
+    /// Width of the *weak* (sensing) device in a skewed inverter.
+    pub weak_width: Micron,
+    /// Width of the *strong* (non-dominant) device in a skewed inverter.
+    pub strong_width: Micron,
+    /// NMOS width of the balanced TSRO inverter (PMOS gets 2×).
+    pub tsro_width: Micron,
+    /// Extra wire load per ring node.
+    pub wire_load: Farad,
+    /// High measurement supply (mobility-dominated operating point).
+    pub vdd_high: Volt,
+    /// Low measurement supply (threshold-dominated operating point).
+    pub vdd_low: Volt,
+    /// TSRO supply (near-threshold).
+    pub vdd_tsro: Volt,
+    /// Normalized die-coordinate spacing between the bank's oscillators.
+    pub site_spacing: f64,
+}
+
+impl BankSpec {
+    /// Reference design for the 65 nm LP technology.
+    #[must_use]
+    pub fn default_65nm() -> Self {
+        BankSpec {
+            stages_psro: 51,
+            stages_tsro: 51,
+            weak_width: Micron(0.15),
+            strong_width: Micron(1.2),
+            tsro_width: Micron(0.2),
+            wire_load: Farad(0.5e-15),
+            vdd_high: Volt(1.0),
+            vdd_low: Volt(0.55),
+            vdd_tsro: Volt(0.40),
+            site_spacing: 0.004,
+        }
+    }
+
+    fn validate(&self) -> Result<(), SensorError> {
+        for (name, v) in [
+            ("vdd_high", self.vdd_high.0),
+            ("vdd_low", self.vdd_low.0),
+            ("vdd_tsro", self.vdd_tsro.0),
+        ] {
+            if !(v.is_finite() && v > 0.0 && v <= 1.4) {
+                return Err(SensorError::InvalidConfig { name, value: v });
+            }
+        }
+        if self.vdd_low.0 >= self.vdd_high.0 {
+            return Err(SensorError::InvalidConfig {
+                name: "vdd_low (must be below vdd_high)",
+                value: self.vdd_low.0,
+            });
+        }
+        if !(self.site_spacing.is_finite() && self.site_spacing >= 0.0 && self.site_spacing < 0.5) {
+            return Err(SensorError::InvalidConfig {
+                name: "site_spacing",
+                value: self.site_spacing,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for BankSpec {
+    fn default() -> Self {
+        BankSpec::default_65nm()
+    }
+}
+
+/// The instantiated oscillator bank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoBank {
+    spec: BankSpec,
+    psro_n: InverterRing,
+    psro_p: InverterRing,
+    tsro: InverterRing,
+}
+
+impl RoBank {
+    /// Builds the bank for a technology.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device/circuit construction errors and validates the spec.
+    pub fn new(tech: &Technology, spec: BankSpec) -> Result<Self, SensorError> {
+        spec.validate()?;
+        // PSRO-N: weak NMOS senses, strong PMOS keeps the other edge fast.
+        let psro_n_inv = Inverter::new(
+            Mosfet::min_length(MosPolarity::Nmos, spec.weak_width, tech)?,
+            Mosfet::min_length(MosPolarity::Pmos, spec.strong_width, tech)?,
+        )?;
+        // PSRO-P: weak PMOS senses.
+        let psro_p_inv = Inverter::new(
+            Mosfet::min_length(MosPolarity::Nmos, spec.strong_width, tech)?,
+            Mosfet::min_length(MosPolarity::Pmos, spec.weak_width, tech)?,
+        )?;
+        let tsro_inv = Inverter::balanced(spec.tsro_width, 2.0, tech)?;
+
+        Ok(RoBank {
+            spec,
+            psro_n: InverterRing::new(spec.stages_psro, psro_n_inv, spec.wire_load, spec.vdd_low)?,
+            psro_p: InverterRing::new(spec.stages_psro, psro_p_inv, spec.wire_load, spec.vdd_low)?,
+            tsro: InverterRing::new(spec.stages_tsro, tsro_inv, spec.wire_load, spec.vdd_tsro)?,
+        })
+    }
+
+    /// The bank's physical spec.
+    #[must_use]
+    pub fn spec(&self) -> &BankSpec {
+        &self.spec
+    }
+
+    /// The ring of a class (at its default supply).
+    #[must_use]
+    pub fn ring(&self, class: RoClass) -> &InverterRing {
+        match class {
+            RoClass::PsroN => &self.psro_n,
+            RoClass::PsroP => &self.psro_p,
+            RoClass::Tsro => &self.tsro,
+        }
+    }
+
+    /// Oscillation frequency of `class` at supply `vdd` under `env`.
+    #[must_use]
+    pub fn frequency(&self, tech: &Technology, class: RoClass, vdd: Volt, env: &CmosEnv) -> Hertz {
+        self.ring(class).with_vdd(vdd).frequency(tech, env)
+    }
+
+    /// Layout site of a class relative to the bank centre.
+    ///
+    /// The three rings are placed in a tight cluster: PSRO-N left, PSRO-P
+    /// right, TSRO above.
+    #[must_use]
+    pub fn site_of(&self, class: RoClass, center: DieSite) -> DieSite {
+        let s = self.spec.site_spacing;
+        match class {
+            RoClass::PsroN => DieSite::new(center.x - s, center.y),
+            RoClass::PsroP => DieSite::new(center.x + s, center.y),
+            RoClass::Tsro => DieSite::new(center.x, center.y + s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsim_device::units::Celsius;
+
+    fn bank() -> (Technology, RoBank) {
+        let tech = Technology::n65();
+        let bank = RoBank::new(&tech, BankSpec::default_65nm()).unwrap();
+        (tech, bank)
+    }
+
+    fn rel_sensitivity(
+        tech: &Technology,
+        bank: &RoBank,
+        class: RoClass,
+        vdd: Volt,
+        which: RoClass, // PsroN → perturb Vtn, PsroP → perturb Vtp
+    ) -> f64 {
+        let base = CmosEnv::nominal();
+        let mut pert = base;
+        match which {
+            RoClass::PsroN => pert.d_vtn = Volt(0.010),
+            RoClass::PsroP => pert.d_vtp = Volt(0.010),
+            RoClass::Tsro => unreachable!(),
+        }
+        let f0 = bank.frequency(tech, class, vdd, &base).0;
+        let f1 = bank.frequency(tech, class, vdd, &pert).0;
+        ((f1 - f0) / f0).abs()
+    }
+
+    #[test]
+    fn psro_n_tracks_vtn_more_than_vtp() {
+        let (tech, bank) = bank();
+        let vdd = bank.spec().vdd_low;
+        let sn = rel_sensitivity(&tech, &bank, RoClass::PsroN, vdd, RoClass::PsroN);
+        let sp = rel_sensitivity(&tech, &bank, RoClass::PsroN, vdd, RoClass::PsroP);
+        assert!(sn > 2.5 * sp, "Vtn sens {sn:.4} vs Vtp sens {sp:.4}");
+    }
+
+    #[test]
+    fn psro_p_tracks_vtp_more_than_vtn() {
+        let (tech, bank) = bank();
+        let vdd = bank.spec().vdd_low;
+        let sp = rel_sensitivity(&tech, &bank, RoClass::PsroP, vdd, RoClass::PsroP);
+        let sn = rel_sensitivity(&tech, &bank, RoClass::PsroP, vdd, RoClass::PsroN);
+        assert!(sp > 2.5 * sn, "Vtp sens {sp:.4} vs Vtn sens {sn:.4}");
+    }
+
+    #[test]
+    fn low_supply_more_vt_sensitive_than_high() {
+        let (tech, bank) = bank();
+        let lo = rel_sensitivity(
+            &tech,
+            &bank,
+            RoClass::PsroN,
+            bank.spec().vdd_low,
+            RoClass::PsroN,
+        );
+        let hi = rel_sensitivity(
+            &tech,
+            &bank,
+            RoClass::PsroN,
+            bank.spec().vdd_high,
+            RoClass::PsroN,
+        );
+        assert!(lo > 1.5 * hi, "low-VDD {lo:.4} vs high-VDD {hi:.4}");
+    }
+
+    #[test]
+    fn tsro_strongly_temperature_dependent() {
+        let (tech, bank) = bank();
+        let spec = *bank.spec();
+        let f25 = bank
+            .frequency(
+                &tech,
+                RoClass::Tsro,
+                spec.vdd_tsro,
+                &CmosEnv::at(Celsius(25.0)),
+            )
+            .0;
+        let f75 = bank
+            .frequency(
+                &tech,
+                RoClass::Tsro,
+                spec.vdd_tsro,
+                &CmosEnv::at(Celsius(75.0)),
+            )
+            .0;
+        let per_degree = (f75 / f25).ln() / 50.0;
+        assert!(
+            per_degree > 0.005,
+            "TSRO should gain >0.5%/°C, got {:.3}%/°C",
+            per_degree * 100.0
+        );
+        // And it must be faster when hot (monotonic increasing).
+        assert!(f75 > f25);
+    }
+
+    #[test]
+    fn tsro_more_t_sensitive_than_psros() {
+        let (tech, bank) = bank();
+        let spec = *bank.spec();
+        let sens = |class: RoClass, vdd: Volt| {
+            let f25 = bank
+                .frequency(&tech, class, vdd, &CmosEnv::at(Celsius(25.0)))
+                .0;
+            let f75 = bank
+                .frequency(&tech, class, vdd, &CmosEnv::at(Celsius(75.0)))
+                .0;
+            ((f75 / f25).ln() / 50.0).abs()
+        };
+        let t_tsro = sens(RoClass::Tsro, spec.vdd_tsro);
+        let t_psro = sens(RoClass::PsroN, spec.vdd_low);
+        assert!(t_tsro > 2.0 * t_psro);
+    }
+
+    #[test]
+    fn frequencies_countable() {
+        // All rings must land in a range a 16-bit counter with a 32 MHz
+        // reference can measure (directly or with a small prescaler).
+        let (tech, bank) = bank();
+        let spec = *bank.spec();
+        for (class, vdd) in [
+            (RoClass::PsroN, spec.vdd_low),
+            (RoClass::PsroN, spec.vdd_high),
+            (RoClass::PsroP, spec.vdd_low),
+            (RoClass::PsroP, spec.vdd_high),
+            (RoClass::Tsro, spec.vdd_tsro),
+        ] {
+            let f = bank.frequency(&tech, class, vdd, &CmosEnv::nominal());
+            assert!(f.0 > 1e6 && f.0 < 8e9, "{} at {vdd}: {f}", class.name());
+        }
+    }
+
+    #[test]
+    fn sites_form_a_cluster() {
+        let (_, bank) = bank();
+        let c = DieSite::new(0.5, 0.5);
+        let n = bank.site_of(RoClass::PsroN, c);
+        let p = bank.site_of(RoClass::PsroP, c);
+        let t = bank.site_of(RoClass::Tsro, c);
+        assert!(n.x < c.x && p.x > c.x && t.y > c.y);
+        let d = bank.spec().site_spacing;
+        assert!((p.x - n.x - 2.0 * d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spec_validation() {
+        let tech = Technology::n65();
+        let mut bad = BankSpec::default_65nm();
+        bad.vdd_low = Volt(1.2);
+        assert!(RoBank::new(&tech, bad).is_err());
+        let mut bad = BankSpec::default_65nm();
+        bad.site_spacing = 0.7;
+        assert!(RoBank::new(&tech, bad).is_err());
+        let mut bad = BankSpec::default_65nm();
+        bad.stages_psro = 10;
+        assert!(RoBank::new(&tech, bad).is_err());
+    }
+
+    #[test]
+    fn class_names() {
+        assert_eq!(RoClass::PsroN.name(), "PSRO-N");
+        assert_eq!(RoClass::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,142 @@
+//! Per-die calibration state.
+//!
+//! The self-calibration pass extracts the die's process state and stores it
+//! in fixed-point registers. Register word length is part of the hardware
+//! spec — storing through [`Fixed`] models the quantization the real sensor
+//! pays (and is one axis of the A1 ablation).
+
+use ptsim_circuit::fixed::{Fixed, QFormat};
+use ptsim_device::units::{Celsius, Volt};
+use serde::{Deserialize, Serialize};
+
+/// The stored result of one self-calibration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    d_vtn: Fixed,
+    d_vtp: Fixed,
+    mu_n: Fixed,
+    mu_p: Fixed,
+    ln_tsro_scale: Fixed,
+    calib_temp: Celsius,
+}
+
+impl Calibration {
+    /// Quantizes and stores a calibration result.
+    ///
+    /// `ln_tsro_scale` is the log-domain multiplicative correction that maps
+    /// the golden TSRO model onto this die's measured TSRO (absorbing the
+    /// TSRO's local mismatch).
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn store(
+        d_vtn: Volt,
+        d_vtp: Volt,
+        mu_n: f64,
+        mu_p: f64,
+        ln_tsro_scale: f64,
+        calib_temp: Celsius,
+        format: QFormat,
+    ) -> Self {
+        Calibration {
+            d_vtn: Fixed::from_f64(d_vtn.0, format),
+            d_vtp: Fixed::from_f64(d_vtp.0, format),
+            mu_n: Fixed::from_f64(mu_n, format),
+            mu_p: Fixed::from_f64(mu_p, format),
+            ln_tsro_scale: Fixed::from_f64(ln_tsro_scale, format),
+            calib_temp,
+        }
+    }
+
+    /// Extracted NMOS threshold shift (as quantized in the register).
+    #[must_use]
+    pub fn d_vtn(&self) -> Volt {
+        Volt(self.d_vtn.to_f64())
+    }
+
+    /// Extracted PMOS threshold shift.
+    #[must_use]
+    pub fn d_vtp(&self) -> Volt {
+        Volt(self.d_vtp.to_f64())
+    }
+
+    /// Extracted NMOS mobility multiplier.
+    #[must_use]
+    pub fn mu_n(&self) -> f64 {
+        self.mu_n.to_f64()
+    }
+
+    /// Extracted PMOS mobility multiplier.
+    #[must_use]
+    pub fn mu_p(&self) -> f64 {
+        self.mu_p.to_f64()
+    }
+
+    /// Stored TSRO log-domain correction.
+    #[must_use]
+    pub fn ln_tsro_scale(&self) -> f64 {
+        self.ln_tsro_scale.to_f64()
+    }
+
+    /// Temperature the calibration assumed.
+    #[must_use]
+    pub fn calib_temp(&self) -> Celsius {
+        self.calib_temp
+    }
+
+    /// Register format in use.
+    #[must_use]
+    pub fn format(&self) -> QFormat {
+        self.d_vtn.format()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_round_trips_within_resolution() {
+        let c = Calibration::store(
+            Volt(0.0123),
+            Volt(-0.0045),
+            1.031,
+            0.978,
+            0.0021,
+            Celsius(25.0),
+            QFormat::Q16_16,
+        );
+        let res = QFormat::Q16_16.resolution();
+        assert!((c.d_vtn().0 - 0.0123).abs() <= res);
+        assert!((c.d_vtp().0 + 0.0045).abs() <= res);
+        assert!((c.mu_n() - 1.031).abs() <= res);
+        assert!((c.mu_p() - 0.978).abs() <= res);
+        assert!((c.ln_tsro_scale() - 0.0021).abs() <= res);
+        assert_eq!(c.calib_temp(), Celsius(25.0));
+    }
+
+    #[test]
+    fn narrow_format_visibly_coarser() {
+        let fine = Calibration::store(
+            Volt(0.0123),
+            Volt::ZERO,
+            1.0,
+            1.0,
+            0.0,
+            Celsius(25.0),
+            QFormat::Q16_16,
+        );
+        let coarse = Calibration::store(
+            Volt(0.0123),
+            Volt::ZERO,
+            1.0,
+            1.0,
+            0.0,
+            Celsius(25.0),
+            QFormat::Q8_8,
+        );
+        let err_fine = (fine.d_vtn().0 - 0.0123).abs();
+        let err_coarse = (coarse.d_vtn().0 - 0.0123).abs();
+        assert!(err_coarse > err_fine);
+        assert_eq!(coarse.format(), QFormat::Q8_8);
+    }
+}

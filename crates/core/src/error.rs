@@ -1,0 +1,122 @@
+//! Error type for the sensor crate.
+
+use ptsim_device::error::DeviceError;
+use ptsim_device::units::Celsius;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by sensor construction, calibration, and conversion.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SensorError {
+    /// A device-model construction failed.
+    Device(DeviceError),
+    /// A circuit-block construction failed.
+    Circuit(ptsim_circuit::error::CircuitError),
+    /// The Newton decoupling solver did not converge.
+    SolverDiverged {
+        /// What was being solved.
+        what: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+        /// Final residual norm.
+        residual: f64,
+    },
+    /// The linear system inside a Newton step was singular.
+    SingularJacobian {
+        /// What was being solved.
+        what: &'static str,
+    },
+    /// A read was attempted before calibration.
+    NotCalibrated,
+    /// The solved temperature fell outside the sensor's characterized range.
+    TemperatureOutOfRange {
+        /// The solved value.
+        solved: Celsius,
+    },
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SensorError::Device(e) => write!(f, "device model error: {e}"),
+            SensorError::Circuit(e) => write!(f, "circuit block error: {e}"),
+            SensorError::SolverDiverged {
+                what,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{what} solve diverged after {iterations} iterations (residual {residual:.3e})"
+            ),
+            SensorError::SingularJacobian { what } => {
+                write!(f, "singular jacobian while solving {what}")
+            }
+            SensorError::NotCalibrated => {
+                write!(f, "sensor has not been calibrated (call calibrate first)")
+            }
+            SensorError::TemperatureOutOfRange { solved } => {
+                write!(f, "solved temperature {solved} outside characterized range")
+            }
+            SensorError::InvalidConfig { name, value } => {
+                write!(f, "invalid sensor configuration: {name} = {value}")
+            }
+        }
+    }
+}
+
+impl Error for SensorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SensorError::Device(e) => Some(e),
+            SensorError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for SensorError {
+    fn from(e: DeviceError) -> Self {
+        SensorError::Device(e)
+    }
+}
+
+impl From<ptsim_circuit::error::CircuitError> for SensorError {
+    fn from(e: ptsim_circuit::error::CircuitError) -> Self {
+        SensorError::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let e: SensorError = DeviceError::InvalidParameter {
+            name: "beta",
+            value: 0.0,
+        }
+        .into();
+        assert!(Error::source(&e).is_some());
+        assert!(e.to_string().contains("device"));
+    }
+
+    #[test]
+    fn not_calibrated_message() {
+        assert!(SensorError::NotCalibrated.to_string().contains("calibrate"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SensorError>();
+    }
+}

@@ -1,0 +1,269 @@
+//! Small dense damped Newton–Raphson solver used by the decoupling math.
+//!
+//! The systems are tiny (1–4 unknowns), so a straightforward
+//! partial-pivoting Gaussian elimination and forward-difference Jacobians
+//! are entirely adequate.
+
+use crate::error::SensorError;
+
+/// Options controlling a Newton solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonOptions {
+    /// Maximum iterations before reporting divergence.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the residual ∞-norm.
+    pub tolerance: f64,
+    /// Per-component step clamp (same length as the unknown vector, applied
+    /// element-wise from `step_limits`).
+    pub damping: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            max_iterations: 60,
+            tolerance: 1e-10,
+            damping: 1.0,
+        }
+    }
+}
+
+/// Solves `A·x = b` in place by Gaussian elimination with partial pivoting.
+/// `a` is row-major `n × n`.
+///
+/// # Errors
+///
+/// Returns [`SensorError::SingularJacobian`] if a pivot is numerically zero.
+pub fn solve_linear(
+    a: &mut [f64],
+    b: &mut [f64],
+    n: usize,
+    what: &'static str,
+) -> Result<(), SensorError> {
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(b.len(), n);
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        for row in col + 1..n {
+            if a[row * n + col].abs() > a[pivot * n + col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot * n + col].abs() < 1e-300 {
+            return Err(SensorError::SingularJacobian { what });
+        }
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+            b.swap(col, pivot);
+        }
+        // Eliminate.
+        for row in col + 1..n {
+            let factor = a[row * n + col] / a[col * n + col];
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut sum = b[col];
+        for k in col + 1..n {
+            sum -= a[col * n + k] * b[k];
+        }
+        b[col] = sum / a[col * n + col];
+    }
+    Ok(())
+}
+
+/// Damped Newton–Raphson on `residual(x) = 0`.
+///
+/// * `x` — initial guess, updated in place to the solution.
+/// * `residual` — returns the residual vector (same length as `x`).
+/// * `fd_steps` — per-component forward-difference steps for the Jacobian.
+/// * `step_limits` — per-component clamp on each Newton update.
+///
+/// Returns the number of iterations used.
+///
+/// # Errors
+///
+/// * [`SensorError::SolverDiverged`] if the residual norm does not reach
+///   `opts.tolerance` within `opts.max_iterations`;
+/// * [`SensorError::SingularJacobian`] if the Jacobian becomes singular.
+pub fn newton_solve<F>(
+    x: &mut [f64],
+    mut residual: F,
+    fd_steps: &[f64],
+    step_limits: &[f64],
+    opts: &NewtonOptions,
+    what: &'static str,
+) -> Result<usize, SensorError>
+where
+    F: FnMut(&[f64]) -> Vec<f64>,
+{
+    let n = x.len();
+    debug_assert_eq!(fd_steps.len(), n);
+    debug_assert_eq!(step_limits.len(), n);
+
+    let mut jac = vec![0.0; n * n];
+    let mut xp = vec![0.0; n];
+
+    for iter in 1..=opts.max_iterations {
+        let r = residual(x);
+        let norm = r.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        if norm < opts.tolerance {
+            return Ok(iter);
+        }
+        // Forward-difference Jacobian.
+        for j in 0..n {
+            xp.copy_from_slice(x);
+            xp[j] += fd_steps[j];
+            let rp = residual(&xp);
+            for i in 0..n {
+                jac[i * n + j] = (rp[i] - r[i]) / fd_steps[j];
+            }
+        }
+        let mut rhs = r.clone();
+        solve_linear(&mut jac, &mut rhs, n, what)?;
+        for j in 0..n {
+            let step = (opts.damping * rhs[j]).clamp(-step_limits[j], step_limits[j]);
+            x[j] -= step;
+        }
+    }
+    let final_norm = residual(x).iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    Err(SensorError::SolverDiverged {
+        what,
+        iterations: opts.max_iterations,
+        residual: final_norm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_solve_2x2() {
+        // [2 1; 1 3]·x = [5; 10] → x = [1; 3]
+        let mut a = vec![2.0, 1.0, 1.0, 3.0];
+        let mut b = vec![5.0, 10.0];
+        solve_linear(&mut a, &mut b, 2, "test").unwrap();
+        assert!((b[0] - 1.0).abs() < 1e-12);
+        assert!((b[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_solve_requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        let mut b = vec![2.0, 3.0];
+        solve_linear(&mut a, &mut b, 2, "test").unwrap();
+        assert!((b[0] - 3.0).abs() < 1e-12);
+        assert!((b[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_error() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0];
+        let mut b = vec![1.0, 2.0];
+        assert!(matches!(
+            solve_linear(&mut a, &mut b, 2, "test"),
+            Err(SensorError::SingularJacobian { .. })
+        ));
+    }
+
+    #[test]
+    fn newton_scalar_sqrt() {
+        // x² = 2
+        let mut x = [1.0];
+        let iters = newton_solve(
+            &mut x,
+            |v| vec![v[0] * v[0] - 2.0],
+            &[1e-7],
+            &[10.0],
+            &NewtonOptions::default(),
+            "sqrt",
+        )
+        .unwrap();
+        assert!((x[0] - 2.0f64.sqrt()).abs() < 1e-8);
+        assert!(iters < 20);
+    }
+
+    #[test]
+    fn newton_2d_nonlinear() {
+        // x·y = 6, x + y = 5 → (2, 3) or (3, 2).
+        let mut x = [1.0, 4.0];
+        newton_solve(
+            &mut x,
+            |v| vec![v[0] * v[1] - 6.0, v[0] + v[1] - 5.0],
+            &[1e-7, 1e-7],
+            &[10.0, 10.0],
+            &NewtonOptions::default(),
+            "2d",
+        )
+        .unwrap();
+        assert!((x[0] * x[1] - 6.0).abs() < 1e-8);
+        assert!((x[0] + x[1] - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn newton_respects_step_limits() {
+        // Start far away; tight clamp forces many small steps but still
+        // converges.
+        let mut x = [100.0];
+        let iters = newton_solve(
+            &mut x,
+            |v| vec![v[0] - 1.0],
+            &[1e-7],
+            &[2.0],
+            &NewtonOptions {
+                max_iterations: 200,
+                ..NewtonOptions::default()
+            },
+            "clamped",
+        )
+        .unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!(iters >= 50, "clamp forces ≥ (100-1)/2 iterations");
+    }
+
+    #[test]
+    fn newton_divergence_reported() {
+        // Residual never goes to zero.
+        let mut x = [0.0];
+        let err = newton_solve(
+            &mut x,
+            |v| vec![v[0].powi(2) + 1.0],
+            &[1e-7],
+            &[1.0],
+            &NewtonOptions {
+                max_iterations: 10,
+                ..NewtonOptions::default()
+            },
+            "impossible",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SensorError::SolverDiverged { .. }));
+    }
+
+    #[test]
+    fn newton_4x4_linear_system_one_step() {
+        let mut x = [0.0; 4];
+        let target = [1.0, -2.0, 3.0, 0.5];
+        newton_solve(
+            &mut x,
+            |v| (0..4).map(|i| v[i] - target[i]).collect(),
+            &[1e-6; 4],
+            &[100.0; 4],
+            &NewtonOptions::default(),
+            "4x4",
+        )
+        .unwrap();
+        for i in 0..4 {
+            assert!((x[i] - target[i]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Supply-voltage monitoring — the "V" that turns the PT sensor into the
+//! full PVT sensor of the group's 2013 follow-up.
+//!
+//! A balanced ring oscillator's frequency is strongly and monotonically
+//! supply-dependent. Once the PT sensor has extracted the die's process
+//! state and solved temperature, the same inversion machinery turns one
+//! more RO measurement into a supply-voltage estimate: droop on the local
+//! rail shows up as a frequency deficit against the model at the known
+//! (P, T) point.
+
+use crate::error::SensorError;
+use crate::newton::{newton_solve, NewtonOptions};
+use ptsim_circuit::counter::{auto_measure, GatedCounter};
+use ptsim_circuit::ring::InverterRing;
+use ptsim_device::inverter::{CmosEnv, Inverter};
+use ptsim_device::process::Technology;
+use ptsim_device::units::{Celsius, Farad, Hertz, Micron, Volt};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A supply-voltage monitor built on one balanced ring oscillator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VddMonitor {
+    tech: Technology,
+    ring: InverterRing,
+    nominal_vdd: Volt,
+    counter_bits: u32,
+    window_cycles: u64,
+    ref_clock: Hertz,
+    /// Log-domain per-die correction stored at preparation.
+    ln_scale: Option<f64>,
+}
+
+impl VddMonitor {
+    /// Builds a monitor for the given nominal supply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::InvalidConfig`] for a non-positive nominal
+    /// supply; propagates ring construction errors.
+    pub fn new(tech: Technology, nominal_vdd: Volt) -> Result<Self, SensorError> {
+        if !(nominal_vdd.0.is_finite() && nominal_vdd.0 > 0.3 && nominal_vdd.0 <= 1.4) {
+            return Err(SensorError::InvalidConfig {
+                name: "nominal_vdd",
+                value: nominal_vdd.0,
+            });
+        }
+        let inv = Inverter::balanced(Micron(0.4), 2.0, &tech)?;
+        let ring = InverterRing::new(41, inv, Farad(0.4e-15), nominal_vdd)?;
+        Ok(VddMonitor {
+            tech,
+            ring,
+            nominal_vdd,
+            counter_bits: 16,
+            window_cycles: 448,
+            ref_clock: Hertz(32.0e6),
+            ln_scale: None,
+        })
+    }
+
+    /// Nominal supply.
+    #[must_use]
+    pub fn nominal_vdd(&self) -> Volt {
+        self.nominal_vdd
+    }
+
+    fn measure<R: Rng + ?Sized>(
+        &self,
+        actual_vdd: Volt,
+        env: &CmosEnv,
+        rng: &mut R,
+    ) -> Result<Hertz, SensorError> {
+        let counter = GatedCounter::new(self.counter_bits, self.window_cycles)?;
+        let f_true = self.ring.with_vdd(actual_vdd).frequency(&self.tech, env);
+        let (f, _) = auto_measure(f_true, &counter, self.ref_clock, rng.gen())?;
+        Ok(f)
+    }
+
+    fn model_ln_f(&self, vdd: Volt, env: &CmosEnv) -> f64 {
+        self.ring.with_vdd(vdd).frequency(&self.tech, env).0.ln()
+    }
+
+    /// One-time preparation at a known-good supply: absorbs the monitor
+    /// ring's own local mismatch into a stored correction. `known_env` is
+    /// the process/temperature state reported by the PT sensor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates measurement failures.
+    pub fn prepare<R: Rng + ?Sized>(
+        &mut self,
+        known_env: &CmosEnv,
+        rng: &mut R,
+    ) -> Result<(), SensorError> {
+        let f = self.measure(self.nominal_vdd, known_env, rng)?;
+        self.ln_scale = Some(f.0.ln() - self.model_ln_f(self.nominal_vdd, known_env));
+        Ok(())
+    }
+
+    /// Estimates the present supply voltage.
+    ///
+    /// `actual_vdd` is the true rail value (what the physical ring runs
+    /// from); `known_env` is the PT sensor's current process/temperature
+    /// state, which the inversion holds fixed.
+    ///
+    /// # Errors
+    ///
+    /// * [`SensorError::NotCalibrated`] if [`VddMonitor::prepare`] has not
+    ///   run;
+    /// * solver errors if the 1-D Newton inversion diverges.
+    pub fn read_vdd<R: Rng + ?Sized>(
+        &self,
+        actual_vdd: Volt,
+        known_env: &CmosEnv,
+        rng: &mut R,
+    ) -> Result<Volt, SensorError> {
+        let ln_scale = self.ln_scale.ok_or(SensorError::NotCalibrated)?;
+        let f = self.measure(actual_vdd, known_env, rng)?;
+        let mut x = [self.nominal_vdd.0];
+        newton_solve(
+            &mut x,
+            |v| vec![self.model_ln_f(Volt(v[0]), known_env) + ln_scale - f.0.ln()],
+            &[1e-4],
+            &[0.2],
+            &NewtonOptions::default(),
+            "supply voltage",
+        )?;
+        Ok(Volt(x[0]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn prepared() -> (VddMonitor, StdRng) {
+        let mut m = VddMonitor::new(Technology::n65(), Volt(1.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        m.prepare(&CmosEnv::at(Celsius(25.0)), &mut rng).unwrap();
+        (m, rng)
+    }
+
+    #[test]
+    fn rejects_bad_nominal() {
+        assert!(VddMonitor::new(Technology::n65(), Volt(0.1)).is_err());
+        assert!(VddMonitor::new(Technology::n65(), Volt(f64::NAN)).is_err());
+        assert!(VddMonitor::new(Technology::n65(), Volt(1.0)).is_ok());
+    }
+
+    #[test]
+    fn read_before_prepare_fails() {
+        let m = VddMonitor::new(Technology::n65(), Volt(1.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            m.read_vdd(Volt(1.0), &CmosEnv::nominal(), &mut rng)
+                .unwrap_err(),
+            SensorError::NotCalibrated
+        );
+    }
+
+    #[test]
+    fn recovers_droop_within_millivolts() {
+        let (m, mut rng) = prepared();
+        let env = CmosEnv::at(Celsius(25.0));
+        for droop_mv in [-80.0, -50.0, -20.0, 0.0, 20.0, 50.0] {
+            let actual = Volt(1.0 + droop_mv * 1e-3);
+            let est = m.read_vdd(actual, &env, &mut rng).unwrap();
+            assert!(
+                (est - actual).millivolts().abs() < 2.0,
+                "droop {droop_mv} mV: estimated {est}, actual {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn tracks_across_temperature_given_known_t() {
+        let (m, mut rng) = prepared();
+        for t in [0.0, 50.0, 100.0] {
+            let env = CmosEnv::at(Celsius(t));
+            let actual = Volt(0.95);
+            let est = m.read_vdd(actual, &env, &mut rng).unwrap();
+            assert!(
+                (est - actual).millivolts().abs() < 3.0,
+                "at {t} °C: estimated {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn process_shift_absorbed_by_preparation() {
+        let mut m = VddMonitor::new(Technology::n65(), Volt(1.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        // A skewed die, but the PT sensor reports its state exactly.
+        let env = CmosEnv {
+            d_vtn: Volt(0.02),
+            d_vtp: Volt(0.015),
+            mu_n: 1.03,
+            mu_p: 0.98,
+            ..CmosEnv::at(Celsius(25.0))
+        };
+        m.prepare(&env, &mut rng).unwrap();
+        let est = m.read_vdd(Volt(0.93), &env, &mut rng).unwrap();
+        assert!((est.0 - 0.93).abs() < 3e-3, "estimated {est}");
+    }
+
+    #[test]
+    fn wrong_temperature_knowledge_biases_estimate() {
+        let (m, mut rng) = prepared();
+        let truth_env = CmosEnv::at(Celsius(25.0));
+        let wrong_env = CmosEnv::at(Celsius(60.0));
+        let actual = Volt(1.0);
+        // Measure at 25 °C truth but invert believing 60 °C.
+        let f_env = truth_env;
+        let est_right = m.read_vdd(actual, &f_env, &mut rng).unwrap();
+        let est_wrong = {
+            // Simulate: physical ring at 25 °C, model evaluated at 60 °C.
+            let counter = GatedCounter::new(16, 448).unwrap();
+            let f_true = m.ring.with_vdd(actual).frequency(&m.tech, &truth_env);
+            let (f, _) =
+                auto_measure(f_true, &counter, Hertz(32.0e6), 0.5).unwrap();
+            let mut x = [1.0];
+            newton_solve(
+                &mut x,
+                |v| {
+                    vec![
+                        m.model_ln_f(Volt(v[0]), &wrong_env) + m.ln_scale.unwrap()
+                            - f.0.ln(),
+                    ]
+                },
+                &[1e-4],
+                &[0.2],
+                &NewtonOptions::default(),
+                "test",
+            )
+            .unwrap();
+            Volt(x[0])
+        };
+        assert!(
+            (est_wrong - actual).0.abs() > 2.0 * (est_right - actual).0.abs(),
+            "temperature knowledge must matter: {est_wrong} vs {est_right}"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests of the sensor-core invariants.
+
+use proptest::prelude::*;
+use ptsim_circuit::fixed::QFormat;
+use ptsim_core::bank::{BankSpec, RoBank, RoClass};
+use ptsim_core::calib::Calibration;
+use ptsim_core::newton::{newton_solve, solve_linear, NewtonOptions};
+use ptsim_device::inverter::CmosEnv;
+use ptsim_device::process::Technology;
+use ptsim_device::units::{Celsius, Volt};
+
+proptest! {
+    #[test]
+    fn linear_solver_reconstructs_random_solutions(
+        a11 in 0.5f64..5.0, a12 in -2.0f64..2.0,
+        a21 in -2.0f64..2.0, a22 in 0.5f64..5.0,
+        x1 in -10.0f64..10.0, x2 in -10.0f64..10.0,
+    ) {
+        // Diagonally dominant 2x2 — always solvable.
+        let a = [a11 + 3.0, a12, a21, a22 + 3.0];
+        let b = [
+            a[0] * x1 + a[1] * x2,
+            a[2] * x1 + a[3] * x2,
+        ];
+        let mut aa = a.to_vec();
+        let mut bb = b.to_vec();
+        solve_linear(&mut aa, &mut bb, 2, "prop").unwrap();
+        prop_assert!((bb[0] - x1).abs() < 1e-8);
+        prop_assert!((bb[1] - x2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn newton_finds_cubic_roots(target in 0.1f64..50.0) {
+        let mut x = [1.0];
+        newton_solve(
+            &mut x,
+            |v| vec![v[0].powi(3) - target],
+            &[1e-7],
+            &[10.0],
+            &NewtonOptions { max_iterations: 200, ..NewtonOptions::default() },
+            "cubic",
+        )
+        .unwrap();
+        prop_assert!((x[0] - target.cbrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn calibration_storage_error_bounded_by_lsb(
+        dvtn in -0.06f64..0.06,
+        dvtp in -0.06f64..0.06,
+        mu_n in 0.8f64..1.2,
+        mu_p in 0.8f64..1.2,
+        scale in -0.2f64..0.2,
+    ) {
+        let c = Calibration::store(
+            Volt(dvtn), Volt(dvtp), mu_n, mu_p, scale, Celsius(25.0), QFormat::Q16_16,
+        );
+        let lsb = QFormat::Q16_16.resolution();
+        prop_assert!((c.d_vtn().0 - dvtn).abs() <= lsb);
+        prop_assert!((c.d_vtp().0 - dvtp).abs() <= lsb);
+        prop_assert!((c.mu_n() - mu_n).abs() <= lsb);
+        prop_assert!((c.mu_p() - mu_p).abs() <= lsb);
+        prop_assert!((c.ln_tsro_scale() - scale).abs() <= lsb);
+    }
+
+    #[test]
+    fn ro_frequencies_decrease_in_own_vt(
+        shift in 0.002f64..0.05,
+        t in -10.0f64..100.0,
+    ) {
+        let tech = Technology::n65();
+        let bank = RoBank::new(&tech, BankSpec::default_65nm()).unwrap();
+        let vdd = bank.spec().vdd_low;
+        let base = CmosEnv::at(Celsius(t));
+        let mut n_slow = base;
+        n_slow.d_vtn = Volt(shift);
+        let mut p_slow = base;
+        p_slow.d_vtp = Volt(shift);
+        prop_assert!(
+            bank.frequency(&tech, RoClass::PsroN, vdd, &n_slow).0
+                < bank.frequency(&tech, RoClass::PsroN, vdd, &base).0
+        );
+        prop_assert!(
+            bank.frequency(&tech, RoClass::PsroP, vdd, &p_slow).0
+                < bank.frequency(&tech, RoClass::PsroP, vdd, &base).0
+        );
+    }
+
+    #[test]
+    fn mobility_shifts_all_ro_frequencies_up(
+        mu in 1.01f64..1.2,
+        t in 0.0f64..100.0,
+    ) {
+        let tech = Technology::n65();
+        let bank = RoBank::new(&tech, BankSpec::default_65nm()).unwrap();
+        let base = CmosEnv::at(Celsius(t));
+        let fast = CmosEnv { mu_n: mu, mu_p: mu, ..base };
+        for (class, vdd) in [
+            (RoClass::PsroN, bank.spec().vdd_low),
+            (RoClass::PsroP, bank.spec().vdd_low),
+            (RoClass::Tsro, bank.spec().vdd_tsro),
+        ] {
+            prop_assert!(
+                bank.frequency(&tech, class, vdd, &fast).0
+                    > bank.frequency(&tech, class, vdd, &base).0
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    // End-to-end: temperature readback stays in band for arbitrary
+    // operating points on arbitrary (bounded) dies.
+    #[test]
+    fn temperature_readback_in_band(
+        dvt_n in -0.03f64..0.03,
+        dvt_p in -0.03f64..0.03,
+        t in -15.0f64..105.0,
+        seed in 0u64..100,
+    ) {
+        use ptsim_core::sensor::{PtSensor, SensorInputs, SensorSpec};
+        use ptsim_mc::die::{DieSample, DieSite};
+        use rand::SeedableRng;
+
+        let mut die = DieSample::nominal();
+        die.d_vtn_d2d = Volt(dvt_n);
+        die.d_vtp_d2d = Volt(dvt_p);
+        let mut sensor = PtSensor::new(Technology::n65(), SensorSpec::default_65nm()).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        sensor
+            .calibrate(&SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)), &mut rng)
+            .unwrap();
+        let r = sensor
+            .read(&SensorInputs::new(&die, DieSite::CENTER, Celsius(t)), &mut rng)
+            .unwrap();
+        prop_assert!(
+            (r.temperature.0 - t).abs() < 1.5,
+            "err {:.3} at {t} °C", r.temperature.0 - t
+        );
+    }
+}

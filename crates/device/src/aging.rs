@@ -1,0 +1,298 @@
+//! Transistor aging (BTI / hot-carrier) threshold drift.
+//!
+//! The sensor's headline ability — tracking mV-scale threshold drift *after*
+//! deployment — matters because thresholds move over the product lifetime:
+//!
+//! * **BTI** (negative-bias temperature instability on PMOS, its positive
+//!   counterpart on NMOS): a power-law-in-time, Arrhenius-in-temperature,
+//!   exponential-in-overdrive threshold increase. Partially recoverable,
+//!   modelled here as a duty-cycle factor.
+//! * **HCI** (hot-carrier injection): switching-activity-driven power-law
+//!   drift, significant on NMOS at high supply.
+//!
+//! The model is the standard reaction–diffusion-flavoured compact form used
+//! in reliability sign-off:
+//!
+//! `ΔVt(t) = A · duty^n · exp(−Ea/kT) · exp(γ·Vov) · t^n`
+
+use crate::consts::{BOLTZMANN, ELEMENTARY_CHARGE};
+use crate::units::{Celsius, Seconds, Volt};
+use serde::{Deserialize, Serialize};
+
+/// Stress conditions a device ages under.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StressCondition {
+    /// Junction temperature during stress.
+    pub temp: Celsius,
+    /// Gate overdrive magnitude during the ON state.
+    pub overdrive: Volt,
+    /// Fraction of time the device is under stress (0..=1).
+    pub duty: f64,
+    /// Switching activity factor for the HCI term (0..=1).
+    pub activity: f64,
+}
+
+impl StressCondition {
+    /// Typical always-on logic at nominal conditions.
+    #[must_use]
+    pub fn nominal_logic() -> Self {
+        StressCondition {
+            temp: Celsius(70.0),
+            overdrive: Volt(0.65),
+            duty: 0.5,
+            activity: 0.1,
+        }
+    }
+
+    fn clamped(self) -> Self {
+        StressCondition {
+            duty: self.duty.clamp(0.0, 1.0),
+            activity: self.activity.clamp(0.0, 1.0),
+            ..self
+        }
+    }
+}
+
+impl Default for StressCondition {
+    fn default() -> Self {
+        StressCondition::nominal_logic()
+    }
+}
+
+/// Compact BTI + HCI aging model for one device polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgingModel {
+    /// BTI prefactor, volts at 1 s / unity acceleration.
+    pub bti_prefactor: f64,
+    /// BTI time exponent (classically ≈ 1/6 for R–D, 0.1–0.25 measured).
+    pub bti_time_exp: f64,
+    /// BTI activation energy, eV.
+    pub bti_ea_ev: f64,
+    /// BTI overdrive acceleration, 1/V.
+    pub bti_gamma: f64,
+    /// HCI prefactor, volts at 1 s of continuous switching.
+    pub hci_prefactor: f64,
+    /// HCI time exponent (≈ 0.45).
+    pub hci_time_exp: f64,
+}
+
+impl AgingModel {
+    /// 65 nm-class NBTI model (PMOS) — the dominant mechanism.
+    #[must_use]
+    pub fn nbti_65nm() -> Self {
+        AgingModel {
+            bti_prefactor: 3.0e-3,
+            bti_time_exp: 0.17,
+            bti_ea_ev: 0.06,
+            bti_gamma: 2.2,
+            hci_prefactor: 2.0e-5,
+            hci_time_exp: 0.45,
+        }
+    }
+
+    /// 65 nm-class PBTI + HCI model (NMOS) — weaker BTI, stronger HCI.
+    #[must_use]
+    pub fn pbti_65nm() -> Self {
+        AgingModel {
+            bti_prefactor: 1.2e-3,
+            bti_time_exp: 0.17,
+            bti_ea_ev: 0.06,
+            bti_gamma: 2.0,
+            hci_prefactor: 6.0e-5,
+            hci_time_exp: 0.45,
+        }
+    }
+
+    /// Threshold-magnitude increase after `age` of stress under `cond`.
+    ///
+    /// Always non-negative; zero at `age == 0`.
+    #[must_use]
+    pub fn delta_vt(&self, cond: &StressCondition, age: Seconds) -> Volt {
+        let cond = cond.clamped();
+        if age.0 <= 0.0 {
+            return Volt::ZERO;
+        }
+        let tk = cond.temp.to_kelvin().0;
+        let arrhenius = (-self.bti_ea_ev * ELEMENTARY_CHARGE / (BOLTZMANN * tk)).exp();
+        let field = (self.bti_gamma * cond.overdrive.0).exp();
+        let bti = self.bti_prefactor
+            * cond.duty.powf(self.bti_time_exp)
+            * arrhenius
+            * field
+            * age.0.powf(self.bti_time_exp);
+        let hci = self.hci_prefactor
+            * cond.activity
+            * age.0.powf(self.hci_time_exp)
+            * (cond.overdrive.0 / 0.65).max(0.0).powi(3);
+        Volt(bti + hci)
+    }
+
+    /// Inverse query: the stress time at which drift reaches `target`
+    /// (bisection on the monotone model; `None` if unreachable within
+    /// `horizon`).
+    #[must_use]
+    pub fn time_to_drift(
+        &self,
+        cond: &StressCondition,
+        target: Volt,
+        horizon: Seconds,
+    ) -> Option<Seconds> {
+        if target.0 <= 0.0 {
+            return Some(Seconds(0.0));
+        }
+        if self.delta_vt(cond, horizon).0 < target.0 {
+            return None;
+        }
+        let (mut lo, mut hi) = (0.0f64, horizon.0);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.delta_vt(cond, Seconds(mid)).0 < target.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(Seconds(hi))
+    }
+}
+
+/// Ten years of continuous operation — the conventional lifetime target.
+pub const TEN_YEARS: Seconds = Seconds(10.0 * 365.25 * 24.0 * 3600.0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_age_no_drift() {
+        let m = AgingModel::nbti_65nm();
+        assert_eq!(
+            m.delta_vt(&StressCondition::nominal_logic(), Seconds(0.0)),
+            Volt::ZERO
+        );
+    }
+
+    #[test]
+    fn drift_monotone_in_time() {
+        let m = AgingModel::nbti_65nm();
+        let c = StressCondition::nominal_logic();
+        let mut prev = 0.0;
+        for years in [0.1, 0.5, 1.0, 3.0, 10.0] {
+            let d = m.delta_vt(&c, Seconds(years * 3.156e7)).0;
+            assert!(d > prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn ten_year_nbti_drift_tens_of_millivolts() {
+        // Canonical sign-off number: 20-50 mV of PMOS drift at EOL.
+        let m = AgingModel::nbti_65nm();
+        let d = m.delta_vt(&StressCondition::nominal_logic(), TEN_YEARS);
+        assert!(
+            d.millivolts() > 10.0 && d.millivolts() < 80.0,
+            "10-year NBTI drift {d} out of published range"
+        );
+    }
+
+    #[test]
+    fn pmos_bti_exceeds_nmos_bti() {
+        let c = StressCondition {
+            activity: 0.0, // isolate BTI
+            ..StressCondition::nominal_logic()
+        };
+        let p = AgingModel::nbti_65nm().delta_vt(&c, TEN_YEARS).0;
+        let n = AgingModel::pbti_65nm().delta_vt(&c, TEN_YEARS).0;
+        assert!(p > 1.5 * n);
+    }
+
+    #[test]
+    fn hotter_ages_faster() {
+        let m = AgingModel::nbti_65nm();
+        let cool = StressCondition {
+            temp: Celsius(40.0),
+            ..StressCondition::nominal_logic()
+        };
+        let hot = StressCondition {
+            temp: Celsius(110.0),
+            ..StressCondition::nominal_logic()
+        };
+        assert!(m.delta_vt(&hot, TEN_YEARS).0 > m.delta_vt(&cool, TEN_YEARS).0);
+    }
+
+    #[test]
+    fn higher_overdrive_ages_faster() {
+        let m = AgingModel::nbti_65nm();
+        let lo = StressCondition {
+            overdrive: Volt(0.45),
+            ..StressCondition::nominal_logic()
+        };
+        let hi = StressCondition {
+            overdrive: Volt(0.75),
+            ..StressCondition::nominal_logic()
+        };
+        assert!(m.delta_vt(&hi, TEN_YEARS).0 > 1.5 * m.delta_vt(&lo, TEN_YEARS).0);
+    }
+
+    #[test]
+    fn duty_cycle_reduces_drift() {
+        let m = AgingModel::nbti_65nm();
+        let always = StressCondition {
+            duty: 1.0,
+            ..StressCondition::nominal_logic()
+        };
+        let half = StressCondition {
+            duty: 0.5,
+            ..StressCondition::nominal_logic()
+        };
+        assert!(m.delta_vt(&half, TEN_YEARS).0 < m.delta_vt(&always, TEN_YEARS).0);
+    }
+
+    #[test]
+    fn hci_scales_with_activity() {
+        let m = AgingModel::pbti_65nm();
+        let idle = StressCondition {
+            activity: 0.0,
+            ..StressCondition::nominal_logic()
+        };
+        let busy = StressCondition {
+            activity: 1.0,
+            ..StressCondition::nominal_logic()
+        };
+        assert!(m.delta_vt(&busy, TEN_YEARS).0 > m.delta_vt(&idle, TEN_YEARS).0);
+    }
+
+    #[test]
+    fn time_to_drift_inverts_delta_vt() {
+        let m = AgingModel::nbti_65nm();
+        let c = StressCondition::nominal_logic();
+        let target = Volt(0.010);
+        let t = m.time_to_drift(&c, target, TEN_YEARS).expect("reachable");
+        let back = m.delta_vt(&c, t);
+        assert!((back.0 - target.0).abs() < 1e-5, "round trip {back}");
+        assert!(m.time_to_drift(&c, Volt(10.0), TEN_YEARS).is_none());
+        assert_eq!(
+            m.time_to_drift(&c, Volt::ZERO, TEN_YEARS),
+            Some(Seconds(0.0))
+        );
+    }
+
+    #[test]
+    fn stress_condition_clamps() {
+        let m = AgingModel::nbti_65nm();
+        let weird = StressCondition {
+            duty: 7.0,
+            activity: -3.0,
+            ..StressCondition::nominal_logic()
+        };
+        let sane = StressCondition {
+            duty: 1.0,
+            activity: 0.0,
+            ..StressCondition::nominal_logic()
+        };
+        assert_eq!(
+            m.delta_vt(&weird, TEN_YEARS).0,
+            m.delta_vt(&sane, TEN_YEARS).0
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Fundamental physical constants and technology reference points.
+
+use crate::units::{Celsius, Kelvin, Volt};
+
+/// Boltzmann constant, J/K (CODATA 2018 exact value).
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Elementary charge, C (CODATA 2018 exact value).
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Reference temperature at which nominal device parameters are specified.
+pub const T_REF: Celsius = Celsius(25.0);
+
+/// Thermal voltage `kT/q` at absolute temperature `t`.
+///
+/// ```
+/// use ptsim_device::consts::thermal_voltage;
+/// use ptsim_device::units::Kelvin;
+/// let vt = thermal_voltage(Kelvin(300.0));
+/// assert!((vt.0 - 0.02585).abs() < 1e-4);
+/// ```
+#[must_use]
+pub fn thermal_voltage(t: Kelvin) -> Volt {
+    Volt(BOLTZMANN * t.0 / ELEMENTARY_CHARGE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_voltage_at_room_temperature() {
+        let vt = thermal_voltage(Celsius(26.85).to_kelvin());
+        assert!((vt.0 - 0.025852).abs() < 1e-5, "vt = {vt}");
+    }
+
+    #[test]
+    fn thermal_voltage_scales_linearly() {
+        let v1 = thermal_voltage(Kelvin(300.0));
+        let v2 = thermal_voltage(Kelvin(600.0));
+        assert!((v2.0 / v1.0 - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the device crate.
+
+use crate::units::{Micron, Volt};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or evaluating devices.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A device was constructed with non-positive or non-finite dimensions.
+    InvalidGeometry {
+        /// Offending width.
+        w: Micron,
+        /// Offending length.
+        l: Micron,
+    },
+    /// A supply/bias voltage outside the supported range was requested.
+    InvalidVoltage {
+        /// Offending value.
+        value: Volt,
+        /// Human-readable description of what the voltage was for.
+        what: &'static str,
+    },
+    /// A configuration parameter was out of its legal range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidGeometry { w, l } => {
+                write!(f, "invalid device geometry: W = {w}, L = {l}")
+            }
+            DeviceError::InvalidVoltage { value, what } => {
+                write!(f, "invalid {what} voltage: {value}")
+            }
+            DeviceError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = DeviceError::InvalidGeometry {
+            w: Micron(0.0),
+            l: Micron(0.06),
+        };
+        let msg = e.to_string();
+        assert!(msg.starts_with("invalid"));
+        assert!(msg.contains("0.06"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

@@ -1,0 +1,333 @@
+//! CMOS inverter delay, energy and leakage model.
+//!
+//! The inverter is the atom of every ring oscillator in the sensor. Skewing
+//! the NMOS/PMOS width ratio is what makes an oscillator *process-sensitive*:
+//! with a deliberately weak (narrow) NMOS and strong PMOS, the falling edge
+//! is slow and dominates the stage delay budget, so the oscillator frequency
+//! tracks the NMOS drive — i.e. `Vtn` — far more than `Vtp`; and vice versa.
+
+use crate::error::DeviceError;
+use crate::mosfet::{DeviceEnv, MosPolarity, Mosfet};
+use crate::process::Technology;
+use crate::units::{Ampere, Celsius, Farad, Joule, Micron, Seconds, Volt, Watt};
+use serde::{Deserialize, Serialize};
+
+/// Combined NMOS + PMOS variation environment seen by a CMOS gate.
+///
+/// `d_vtn`/`d_vtp` are signed shifts of the respective threshold
+/// *magnitudes* (positive = slower device, for either polarity).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CmosEnv {
+    /// Junction temperature.
+    pub temp: Celsius,
+    /// NMOS threshold-magnitude shift.
+    pub d_vtn: Volt,
+    /// PMOS threshold-magnitude shift.
+    pub d_vtp: Volt,
+    /// NMOS relative mobility multiplier.
+    pub mu_n: f64,
+    /// PMOS relative mobility multiplier.
+    pub mu_p: f64,
+}
+
+impl CmosEnv {
+    /// Nominal process at 25 °C.
+    #[must_use]
+    pub fn nominal() -> Self {
+        CmosEnv::at(crate::consts::T_REF)
+    }
+
+    /// Nominal process at a given temperature.
+    #[must_use]
+    pub fn at(temp: Celsius) -> Self {
+        CmosEnv {
+            temp,
+            d_vtn: Volt::ZERO,
+            d_vtp: Volt::ZERO,
+            mu_n: 1.0,
+            mu_p: 1.0,
+        }
+    }
+
+    /// Environment as seen by the NMOS device.
+    #[must_use]
+    pub fn nmos_env(&self) -> DeviceEnv {
+        DeviceEnv {
+            temp: self.temp,
+            delta_vt: self.d_vtn,
+            mu_factor: self.mu_n,
+        }
+    }
+
+    /// Environment as seen by the PMOS device.
+    #[must_use]
+    pub fn pmos_env(&self) -> DeviceEnv {
+        DeviceEnv {
+            temp: self.temp,
+            delta_vt: self.d_vtp,
+            mu_factor: self.mu_p,
+        }
+    }
+
+    /// Copy of `self` at a different temperature.
+    #[must_use]
+    pub fn with_temp(mut self, temp: Celsius) -> Self {
+        self.temp = temp;
+        self
+    }
+}
+
+impl Default for CmosEnv {
+    fn default() -> Self {
+        CmosEnv::nominal()
+    }
+}
+
+/// A static CMOS inverter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Inverter {
+    nmos: Mosfet,
+    pmos: Mosfet,
+}
+
+impl Inverter {
+    /// Builds an inverter from explicit devices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if the polarities are wrong
+    /// (the first argument must be the NMOS, the second the PMOS).
+    pub fn new(nmos: Mosfet, pmos: Mosfet) -> Result<Self, DeviceError> {
+        if nmos.polarity() != MosPolarity::Nmos {
+            return Err(DeviceError::InvalidParameter {
+                name: "nmos.polarity",
+                value: 1.0,
+            });
+        }
+        if pmos.polarity() != MosPolarity::Pmos {
+            return Err(DeviceError::InvalidParameter {
+                name: "pmos.polarity",
+                value: 0.0,
+            });
+        }
+        Ok(Inverter { nmos, pmos })
+    }
+
+    /// Balanced minimum-length inverter: PMOS is `beta` times wider than the
+    /// NMOS to compensate its weaker mobility (`beta ≈ 2` balances edges in
+    /// this technology).
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors from [`Mosfet::new`].
+    pub fn balanced(wn: Micron, beta: f64, tech: &Technology) -> Result<Self, DeviceError> {
+        if !(beta.is_finite() && beta > 0.0) {
+            return Err(DeviceError::InvalidParameter {
+                name: "beta",
+                value: beta,
+            });
+        }
+        let nmos = Mosfet::min_length(MosPolarity::Nmos, wn, tech)?;
+        let pmos = Mosfet::min_length(MosPolarity::Pmos, Micron(wn.0 * beta), tech)?;
+        Inverter::new(nmos, pmos)
+    }
+
+    /// NMOS device.
+    #[must_use]
+    pub fn nmos(&self) -> &Mosfet {
+        &self.nmos
+    }
+
+    /// PMOS device.
+    #[must_use]
+    pub fn pmos(&self) -> &Mosfet {
+        &self.pmos
+    }
+
+    /// Input gate capacitance of this inverter.
+    #[must_use]
+    pub fn input_cap(&self, tech: &Technology) -> Farad {
+        self.nmos.gate_cap(tech) + self.pmos.gate_cap(tech)
+    }
+
+    /// Self-loading at the output node (junction capacitances).
+    #[must_use]
+    pub fn output_cap(&self, tech: &Technology) -> Farad {
+        self.nmos.junction_cap(tech) + self.pmos.junction_cap(tech)
+    }
+
+    /// High-to-low propagation delay driving `load` (NMOS discharges).
+    ///
+    /// Uses the classic average-current approximation
+    /// `tpHL ≈ C·VDD / (2·Ion,n)`.
+    #[must_use]
+    pub fn tphl(&self, tech: &Technology, vdd: Volt, load: Farad, env: &CmosEnv) -> Seconds {
+        let ion = self.nmos.on_current(tech, vdd, &env.nmos_env());
+        Seconds(load.0 * vdd.0 / (2.0 * ion.0))
+    }
+
+    /// Low-to-high propagation delay driving `load` (PMOS charges).
+    #[must_use]
+    pub fn tplh(&self, tech: &Technology, vdd: Volt, load: Farad, env: &CmosEnv) -> Seconds {
+        let ion = self.pmos.on_current(tech, vdd, &env.pmos_env());
+        Seconds(load.0 * vdd.0 / (2.0 * ion.0))
+    }
+
+    /// Average stage propagation delay `(tpHL + tpLH)/2`.
+    #[must_use]
+    pub fn stage_delay(&self, tech: &Technology, vdd: Volt, load: Farad, env: &CmosEnv) -> Seconds {
+        let hl = self.tphl(tech, vdd, load, env);
+        let lh = self.tplh(tech, vdd, load, env);
+        Seconds(0.5 * (hl.0 + lh.0))
+    }
+
+    /// Dynamic energy for one full output cycle (one rise + one fall):
+    /// `C·VDD²`.
+    #[must_use]
+    pub fn switching_energy(&self, vdd: Volt, load: Farad) -> Joule {
+        Joule(load.0 * vdd.0 * vdd.0)
+    }
+
+    /// Static leakage current (average of the two off-state devices; at any
+    /// moment exactly one device is off).
+    #[must_use]
+    pub fn leakage_current(&self, tech: &Technology, vdd: Volt, env: &CmosEnv) -> Ampere {
+        let in_off = self.nmos.off_current(tech, vdd, &env.nmos_env());
+        let ip_off = self.pmos.off_current(tech, vdd, &env.pmos_env());
+        Ampere(0.5 * (in_off.0 + ip_off.0))
+    }
+
+    /// Static leakage power at `vdd`.
+    #[must_use]
+    pub fn leakage_power(&self, tech: &Technology, vdd: Volt, env: &CmosEnv) -> Watt {
+        vdd * self.leakage_current(tech, vdd, env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::n65()
+    }
+
+    fn inv() -> Inverter {
+        Inverter::balanced(Micron(0.5), 2.0, &tech()).unwrap()
+    }
+
+    #[test]
+    fn constructor_enforces_polarity_order() {
+        let t = tech();
+        let n = Mosfet::min_length(MosPolarity::Nmos, Micron(0.5), &t).unwrap();
+        let p = Mosfet::min_length(MosPolarity::Pmos, Micron(1.0), &t).unwrap();
+        assert!(Inverter::new(n, p).is_ok());
+        assert!(Inverter::new(p, n).is_err());
+    }
+
+    #[test]
+    fn balanced_rejects_bad_beta() {
+        assert!(Inverter::balanced(Micron(0.5), 0.0, &tech()).is_err());
+        assert!(Inverter::balanced(Micron(0.5), f64::NAN, &tech()).is_err());
+    }
+
+    #[test]
+    fn stage_delay_is_picoseconds_scale() {
+        let t = tech();
+        let i = inv();
+        let load = i.input_cap(&t) + i.output_cap(&t); // FO1
+        let d = i.stage_delay(&t, Volt(1.0), load, &CmosEnv::nominal());
+        assert!(
+            d.0 > 1e-12 && d.0 < 100e-12,
+            "FO1 delay should be ps-scale, got {d}"
+        );
+    }
+
+    #[test]
+    fn balanced_inverter_has_similar_edges() {
+        let t = tech();
+        let i = inv();
+        let load = Farad(5e-15);
+        let env = CmosEnv::nominal();
+        let hl = i.tphl(&t, Volt(1.0), load, &env).0;
+        let lh = i.tplh(&t, Volt(1.0), load, &env).0;
+        let ratio = lh / hl;
+        assert!(
+            ratio > 0.5 && ratio < 2.0,
+            "edges should be within 2x, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn delay_increases_at_lower_vdd() {
+        let t = tech();
+        let i = inv();
+        let load = Farad(5e-15);
+        let env = CmosEnv::nominal();
+        let fast = i.stage_delay(&t, Volt(1.0), load, &env).0;
+        let slow = i.stage_delay(&t, Volt(0.6), load, &env).0;
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn nmos_vt_shift_only_slows_falling_edge() {
+        let t = tech();
+        let i = inv();
+        let load = Farad(5e-15);
+        let nominal = CmosEnv::nominal();
+        let skewed = CmosEnv {
+            d_vtn: Volt(0.05),
+            ..nominal
+        };
+        let hl_nom = i.tphl(&t, Volt(1.0), load, &nominal).0;
+        let hl_skew = i.tphl(&t, Volt(1.0), load, &skewed).0;
+        let lh_nom = i.tplh(&t, Volt(1.0), load, &nominal).0;
+        let lh_skew = i.tplh(&t, Volt(1.0), load, &skewed).0;
+        assert!(hl_skew > hl_nom * 1.01);
+        assert!((lh_skew - lh_nom).abs() / lh_nom < 1e-9);
+    }
+
+    #[test]
+    fn switching_energy_quadratic_in_vdd() {
+        let i = inv();
+        let e1 = i.switching_energy(Volt(1.0), Farad(1e-15)).0;
+        let e2 = i.switching_energy(Volt(0.5), Farad(1e-15)).0;
+        assert!((e1 / e2 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_positive_and_grows_with_temperature() {
+        let t = tech();
+        let i = inv();
+        let cold = i.leakage_power(&t, Volt(1.0), &CmosEnv::at(Celsius(0.0))).0;
+        let hot = i
+            .leakage_power(&t, Volt(1.0), &CmosEnv::at(Celsius(100.0)))
+            .0;
+        assert!(cold > 0.0);
+        assert!(hot > 3.0 * cold);
+    }
+
+    #[test]
+    fn cmos_env_device_views() {
+        let env = CmosEnv {
+            temp: Celsius(85.0),
+            d_vtn: Volt(0.01),
+            d_vtp: Volt(-0.02),
+            mu_n: 1.05,
+            mu_p: 0.95,
+        };
+        assert_eq!(env.nmos_env().delta_vt, Volt(0.01));
+        assert_eq!(env.pmos_env().delta_vt, Volt(-0.02));
+        assert_eq!(env.nmos_env().mu_factor, 1.05);
+        assert_eq!(env.pmos_env().temp, Celsius(85.0));
+        assert_eq!(env.with_temp(Celsius(10.0)).temp, Celsius(10.0));
+    }
+
+    #[test]
+    fn input_cap_scales_with_device_widths() {
+        let t = tech();
+        let small = Inverter::balanced(Micron(0.5), 2.0, &t).unwrap();
+        let big = Inverter::balanced(Micron(1.0), 2.0, &t).unwrap();
+        assert!((big.input_cap(&t).0 / small.input_cap(&t).0 - 2.0).abs() < 1e-9);
+    }
+}

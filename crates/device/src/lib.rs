@@ -1,0 +1,47 @@
+//! # ptsim-device
+//!
+//! Device-physics substrate for the SOCC 2012 TSV process–temperature sensor
+//! reproduction: strongly-typed units, a 65 nm-class technology description,
+//! an EKV-style MOSFET compact model valid from weak through strong
+//! inversion, and a CMOS inverter delay/energy model.
+//!
+//! This crate replaces the proprietary TSMC 65 nm PDK + silicon the paper
+//! used: ring-oscillator behaviour versus process (Vtn/Vtp), temperature and
+//! supply depends only on the first-order physics modelled here (threshold
+//! tempco, mobility tempco, subthreshold conduction, velocity saturation).
+//!
+//! ## Example
+//!
+//! ```
+//! use ptsim_device::inverter::{CmosEnv, Inverter};
+//! use ptsim_device::process::Technology;
+//! use ptsim_device::units::{Celsius, Micron, Volt};
+//!
+//! # fn main() -> Result<(), ptsim_device::error::DeviceError> {
+//! let tech = Technology::n65();
+//! let inv = Inverter::balanced(Micron(0.5), 2.0, &tech)?;
+//! let load = inv.input_cap(&tech);
+//! let d25 = inv.stage_delay(&tech, Volt(1.0), load, &CmosEnv::at(Celsius(25.0)));
+//! let d85 = inv.stage_delay(&tech, Volt(1.0), load, &CmosEnv::at(Celsius(85.0)));
+//! assert!(d25.is_finite() && d85.is_finite());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod aging;
+pub mod consts;
+pub mod error;
+pub mod inverter;
+pub mod mosfet;
+pub mod process;
+pub mod units;
+
+pub use aging::{AgingModel, StressCondition};
+pub use error::DeviceError;
+pub use inverter::{CmosEnv, Inverter};
+pub use mosfet::{DeviceEnv, MosPolarity, Mosfet};
+pub use process::{ProcessCorner, Technology};

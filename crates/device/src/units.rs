@@ -1,0 +1,493 @@
+//! Strongly-typed physical units used throughout the simulator.
+//!
+//! Every quantity that crosses a public API boundary is wrapped in a newtype
+//! so that, e.g., a temperature can never be passed where a voltage is
+//! expected (C-NEWTYPE). All wrappers are thin `f64` newtypes with `Copy`
+//! semantics and arithmetic where it is physically meaningful.
+//!
+//! # Examples
+//!
+//! ```
+//! use ptsim_device::units::{Celsius, Kelvin, Volt};
+//!
+//! let t = Celsius(25.0);
+//! let k: Kelvin = t.to_kelvin();
+//! assert!((k.0 - 298.15).abs() < 1e-9);
+//!
+//! let vdd = Volt(1.0);
+//! assert_eq!((vdd + Volt(0.2)).0, 1.2);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Implements the common boilerplate for an `f64` unit newtype.
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Zero of this unit.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Absolute value.
+            #[must_use]
+            pub fn abs(self) -> $name {
+                $name(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[must_use]
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[must_use]
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+
+            /// Clamps `self` into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[must_use]
+            pub fn clamp(self, lo: $name, hi: $name) -> $name {
+                $name(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// True if the inner value is finite (neither NaN nor infinite).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        /// Ratio of two like quantities is dimensionless.
+        impl Div<$name> for $name {
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(v: $name) -> f64 {
+                v.0
+            }
+        }
+    };
+}
+
+unit!(
+    /// Electric potential in volts.
+    Volt,
+    "V"
+);
+unit!(
+    /// Electric current in amperes.
+    Ampere,
+    "A"
+);
+unit!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+unit!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+unit!(
+    /// Energy in joules.
+    Joule,
+    "J"
+);
+unit!(
+    /// Power in watts.
+    Watt,
+    "W"
+);
+unit!(
+    /// Capacitance in farads.
+    Farad,
+    "F"
+);
+unit!(
+    /// Resistance in ohms.
+    Ohm,
+    "Ω"
+);
+unit!(
+    /// Length in micrometres (the natural layout unit of the simulator).
+    Micron,
+    "µm"
+);
+unit!(
+    /// Thermal conductance in watts per kelvin.
+    WattPerKelvin,
+    "W/K"
+);
+unit!(
+    /// Heat capacity in joules per kelvin.
+    JoulePerKelvin,
+    "J/K"
+);
+unit!(
+    /// Mechanical stress in pascals.
+    Pascal,
+    "Pa"
+);
+unit!(
+    /// Temperature in degrees Celsius.
+    Celsius,
+    "°C"
+);
+unit!(
+    /// Absolute temperature in kelvin.
+    Kelvin,
+    "K"
+);
+
+impl Celsius {
+    /// Offset between the Celsius and Kelvin scales.
+    pub const KELVIN_OFFSET: f64 = 273.15;
+
+    /// Converts to an absolute temperature.
+    ///
+    /// ```
+    /// use ptsim_device::units::Celsius;
+    /// assert!((Celsius(0.0).to_kelvin().0 - 273.15).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn to_kelvin(self) -> Kelvin {
+        Kelvin(self.0 + Self::KELVIN_OFFSET)
+    }
+}
+
+impl Kelvin {
+    /// Converts to the Celsius scale.
+    ///
+    /// ```
+    /// use ptsim_device::units::Kelvin;
+    /// assert!((Kelvin(300.0).to_celsius().0 - 26.85).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn to_celsius(self) -> Celsius {
+        Celsius(self.0 - Celsius::KELVIN_OFFSET)
+    }
+}
+
+impl From<Celsius> for Kelvin {
+    fn from(c: Celsius) -> Kelvin {
+        c.to_kelvin()
+    }
+}
+
+impl From<Kelvin> for Celsius {
+    fn from(k: Kelvin) -> Celsius {
+        k.to_celsius()
+    }
+}
+
+// --- Cross-unit physics relations -----------------------------------------
+
+/// `P = V * I`
+impl Mul<Ampere> for Volt {
+    type Output = Watt;
+    fn mul(self, rhs: Ampere) -> Watt {
+        Watt(self.0 * rhs.0)
+    }
+}
+
+/// `P = I * V`
+impl Mul<Volt> for Ampere {
+    type Output = Watt;
+    fn mul(self, rhs: Volt) -> Watt {
+        Watt(self.0 * rhs.0)
+    }
+}
+
+/// `E = P * t`
+impl Mul<Seconds> for Watt {
+    type Output = Joule;
+    fn mul(self, rhs: Seconds) -> Joule {
+        Joule(self.0 * rhs.0)
+    }
+}
+
+/// `E = t * P`
+impl Mul<Watt> for Seconds {
+    type Output = Joule;
+    fn mul(self, rhs: Watt) -> Joule {
+        Joule(self.0 * rhs.0)
+    }
+}
+
+/// `Q = C * V` has no dedicated coulomb type; `C * V * V` is energy-like, so
+/// we provide `C * V -> CoulombVolt` indirectly via explicit f64 math where
+/// needed. What we *do* provide is `V = I * R`.
+impl Mul<Ohm> for Ampere {
+    type Output = Volt;
+    fn mul(self, rhs: Ohm) -> Volt {
+        Volt(self.0 * rhs.0)
+    }
+}
+
+/// `V = R * I`
+impl Mul<Ampere> for Ohm {
+    type Output = Volt;
+    fn mul(self, rhs: Ampere) -> Volt {
+        Volt(self.0 * rhs.0)
+    }
+}
+
+/// `I = V / R`
+impl Div<Ohm> for Volt {
+    type Output = Ampere;
+    fn div(self, rhs: Ohm) -> Ampere {
+        Ampere(self.0 / rhs.0)
+    }
+}
+
+/// `f = 1 / t`
+impl Seconds {
+    /// Frequency whose period is `self`.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; an input of zero produces `Hertz(inf)`.
+    #[must_use]
+    pub fn to_frequency(self) -> Hertz {
+        Hertz(1.0 / self.0)
+    }
+}
+
+impl Hertz {
+    /// Period of this frequency.
+    #[must_use]
+    pub fn period(self) -> Seconds {
+        Seconds(1.0 / self.0)
+    }
+
+    /// Value expressed in megahertz (for display/reporting).
+    #[must_use]
+    pub fn megahertz(self) -> f64 {
+        self.0 / 1e6
+    }
+}
+
+impl Joule {
+    /// Value expressed in picojoules (for display/reporting).
+    #[must_use]
+    pub fn picojoules(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// Builds an energy from picojoules.
+    #[must_use]
+    pub fn from_picojoules(pj: f64) -> Joule {
+        Joule(pj * 1e-12)
+    }
+}
+
+impl Volt {
+    /// Value expressed in millivolts (for display/reporting).
+    #[must_use]
+    pub fn millivolts(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Builds a voltage from millivolts.
+    #[must_use]
+    pub fn from_millivolts(mv: f64) -> Volt {
+        Volt(mv * 1e-3)
+    }
+}
+
+impl Watt {
+    /// Value expressed in microwatts (for display/reporting).
+    #[must_use]
+    pub fn microwatts(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_kelvin_round_trip() {
+        let c = Celsius(25.0);
+        let back = c.to_kelvin().to_celsius();
+        assert!((back.0 - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kelvin_from_celsius_via_from_trait() {
+        let k: Kelvin = Celsius(100.0).into();
+        assert!((k.0 - 373.15).abs() < 1e-12);
+        let c: Celsius = Kelvin(273.15).into();
+        assert!(c.0.abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_add_sub_neg() {
+        let v = Volt(1.0) + Volt(0.5) - Volt(0.25);
+        assert!((v.0 - 1.25).abs() < 1e-12);
+        assert_eq!((-v).0, -1.25);
+    }
+
+    #[test]
+    fn scalar_mul_div() {
+        let v = Volt(2.0) * 3.0;
+        assert_eq!(v.0, 6.0);
+        let w = 0.5 * v;
+        assert_eq!(w.0, 3.0);
+        assert_eq!((w / 3.0).0, 1.0);
+    }
+
+    #[test]
+    fn like_ratio_is_dimensionless() {
+        let ratio: f64 = Hertz(100.0) / Hertz(50.0);
+        assert_eq!(ratio, 2.0);
+    }
+
+    #[test]
+    fn power_energy_relations() {
+        let p: Watt = Volt(1.0) * Ampere(0.001);
+        assert!((p.0 - 1e-3).abs() < 1e-15);
+        let e: Joule = p * Seconds(2.0);
+        assert!((e.0 - 2e-3).abs() < 1e-15);
+        let e2: Joule = Seconds(2.0) * p;
+        assert_eq!(e.0, e2.0);
+    }
+
+    #[test]
+    fn ohms_law() {
+        let v: Volt = Ampere(0.002) * Ohm(500.0);
+        assert!((v.0 - 1.0).abs() < 1e-12);
+        let i: Ampere = Volt(1.0) / Ohm(500.0);
+        assert!((i.0 - 0.002).abs() < 1e-15);
+    }
+
+    #[test]
+    fn frequency_period_inverse() {
+        let f = Hertz(1e9);
+        assert!((f.period().0 - 1e-9).abs() < 1e-21);
+        assert!((f.period().to_frequency().0 - 1e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn display_with_precision() {
+        assert_eq!(format!("{:.2}", Volt(1.2345)), "1.23 V");
+        assert_eq!(format!("{:.1}", Celsius(25.04)), "25.0 °C");
+    }
+
+    #[test]
+    fn unit_helpers() {
+        assert!((Joule::from_picojoules(367.5).picojoules() - 367.5).abs() < 1e-9);
+        assert!((Volt::from_millivolts(350.0).0 - 0.35).abs() < 1e-12);
+        assert!((Hertz(2.5e8).megahertz() - 250.0).abs() < 1e-9);
+        assert!((Watt(2.3e-6).microwatts() - 2.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_clamp_abs() {
+        assert_eq!(Volt(-1.0).abs().0, 1.0);
+        assert_eq!(Volt(1.0).max(Volt(2.0)).0, 2.0);
+        assert_eq!(Volt(1.0).min(Volt(2.0)).0, 1.0);
+        assert_eq!(Volt(3.0).clamp(Volt(0.0), Volt(2.0)).0, 2.0);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Volt = vec![Volt(0.1), Volt(0.2), Volt(0.3)].into_iter().sum();
+        assert!((total.0 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finite_check() {
+        assert!(Volt(1.0).is_finite());
+        assert!(!Volt(f64::NAN).is_finite());
+        assert!(!Volt(f64::INFINITY).is_finite());
+    }
+}

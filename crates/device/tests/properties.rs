@@ -1,0 +1,111 @@
+//! Property-based tests of the device-model invariants.
+
+use proptest::prelude::*;
+use ptsim_device::aging::{AgingModel, StressCondition};
+use ptsim_device::inverter::{CmosEnv, Inverter};
+use ptsim_device::mosfet::{DeviceEnv, MosPolarity, Mosfet};
+use ptsim_device::process::Technology;
+use ptsim_device::units::{Celsius, Micron, Seconds, Volt};
+
+proptest! {
+    #[test]
+    fn drain_current_nonnegative_everywhere(
+        vgs in 0.0f64..1.3,
+        vds in 0.0f64..1.3,
+        t in -40.0f64..130.0,
+        dvt in -0.08f64..0.08,
+        mu in 0.7f64..1.3,
+    ) {
+        let tech = Technology::n65();
+        let m = Mosfet::new(MosPolarity::Nmos, Micron(0.3), Micron(0.06)).unwrap();
+        let env = DeviceEnv { temp: Celsius(t), delta_vt: Volt(dvt), mu_factor: mu };
+        let i = m.drain_current(&tech, Volt(vgs), Volt(vds), &env);
+        prop_assert!(i.0 >= 0.0 && i.0.is_finite());
+    }
+
+    #[test]
+    fn current_scales_linearly_with_width(
+        w in 0.1f64..5.0,
+        vgs in 0.3f64..1.2,
+    ) {
+        let tech = Technology::n65();
+        let env = DeviceEnv::nominal();
+        let m1 = Mosfet::new(MosPolarity::Nmos, Micron(w), Micron(0.06)).unwrap();
+        let m2 = Mosfet::new(MosPolarity::Nmos, Micron(2.0 * w), Micron(0.06)).unwrap();
+        let i1 = m1.drain_current(&tech, Volt(vgs), Volt(1.0), &env).0;
+        let i2 = m2.drain_current(&tech, Volt(vgs), Volt(1.0), &env).0;
+        prop_assert!((i2 / i1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mobility_factor_scales_current(
+        mu in 0.6f64..1.4,
+        vgs in 0.5f64..1.2,
+    ) {
+        let tech = Technology::n65();
+        let m = Mosfet::new(MosPolarity::Pmos, Micron(1.0), Micron(0.06)).unwrap();
+        let base = m.drain_current(&tech, Volt(vgs), Volt(1.0), &DeviceEnv::nominal()).0;
+        let env = DeviceEnv { mu_factor: mu, ..DeviceEnv::nominal() };
+        let scaled = m.drain_current(&tech, Volt(vgs), Volt(1.0), &env).0;
+        prop_assert!((scaled / base - mu).abs() < 1e-9,
+            "current must scale exactly with the mobility factor");
+    }
+
+    #[test]
+    fn inverter_delay_positive_and_finite(
+        wn in 0.1f64..2.0,
+        beta in 0.5f64..4.0,
+        vdd in 0.35f64..1.2,
+        t in -40.0f64..125.0,
+    ) {
+        let tech = Technology::n65();
+        let inv = Inverter::balanced(Micron(wn), beta, &tech).unwrap();
+        let load = inv.input_cap(&tech);
+        let d = inv.stage_delay(&tech, Volt(vdd), load, &CmosEnv::at(Celsius(t)));
+        prop_assert!(d.0 > 0.0 && d.0.is_finite());
+    }
+
+    #[test]
+    fn leakage_always_grows_with_temperature(
+        t in -30.0f64..100.0,
+        dt in 5.0f64..40.0,
+    ) {
+        let tech = Technology::n65();
+        let inv = Inverter::balanced(Micron(0.5), 2.0, &tech).unwrap();
+        let cold = inv.leakage_power(&tech, Volt(1.0), &CmosEnv::at(Celsius(t))).0;
+        let hot = inv.leakage_power(&tech, Volt(1.0), &CmosEnv::at(Celsius(t + dt))).0;
+        prop_assert!(hot > cold);
+    }
+
+    #[test]
+    fn aging_monotone_and_nonnegative(
+        years_a in 0.01f64..5.0,
+        extra in 0.01f64..5.0,
+        duty in 0.05f64..1.0,
+        temp in 25.0f64..125.0,
+    ) {
+        let m = AgingModel::nbti_65nm();
+        let cond = StressCondition {
+            temp: Celsius(temp),
+            duty,
+            ..StressCondition::nominal_logic()
+        };
+        let year = 3.156e7;
+        let d1 = m.delta_vt(&cond, Seconds(years_a * year));
+        let d2 = m.delta_vt(&cond, Seconds((years_a + extra) * year));
+        prop_assert!(d1.0 >= 0.0);
+        prop_assert!(d2.0 >= d1.0);
+    }
+
+    #[test]
+    fn vt_tempco_is_linear(
+        t1 in -40.0f64..120.0,
+        t2 in -40.0f64..120.0,
+    ) {
+        let tech = Technology::n65();
+        let m = Mosfet::new(MosPolarity::Nmos, Micron(1.0), Micron(0.06)).unwrap();
+        let v1 = m.vt_eff(&tech, &DeviceEnv::at(Celsius(t1))).0;
+        let v2 = m.vt_eff(&tech, &DeviceEnv::at(Celsius(t2))).0;
+        prop_assert!((v2 - v1 - tech.dvtn_dt * (t2 - t1)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,186 @@
+//! A sampled die: die-to-die shifts plus within-die fields, queryable at any
+//! layout site.
+
+use crate::spatial::SpatialField;
+use ptsim_device::inverter::CmosEnv;
+use ptsim_device::process::{ProcessCorner, Technology};
+use ptsim_device::units::{Celsius, Volt};
+use serde::{Deserialize, Serialize};
+
+/// A location on the die in normalized coordinates (`0.0..=1.0` each axis).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DieSite {
+    /// Normalized X coordinate.
+    pub x: f64,
+    /// Normalized Y coordinate.
+    pub y: f64,
+}
+
+impl DieSite {
+    /// Die centre.
+    pub const CENTER: DieSite = DieSite { x: 0.5, y: 0.5 };
+
+    /// Creates a site, clamping coordinates into `[0, 1]`.
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Self {
+        DieSite {
+            x: x.clamp(0.0, 1.0),
+            y: y.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// One realized die of the Monte-Carlo population.
+///
+/// Threshold shifts decompose as
+/// `ΔVt(site) = ΔVt_d2d + WID_field(site) + ΔVt_external(site)`,
+/// where the external term (e.g. TSV-stress-induced shift) is supplied by the
+/// caller of [`DieSample::env_at_with`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DieSample {
+    /// Identifier of this die within its Monte-Carlo run.
+    pub die_id: u64,
+    /// Die-to-die NMOS threshold-magnitude shift.
+    pub d_vtn_d2d: Volt,
+    /// Die-to-die PMOS threshold-magnitude shift.
+    pub d_vtp_d2d: Volt,
+    /// Die-to-die NMOS relative mobility multiplier.
+    pub mu_n_d2d: f64,
+    /// Die-to-die PMOS relative mobility multiplier.
+    pub mu_p_d2d: f64,
+    /// Within-die NMOS threshold field (volts).
+    pub vtn_wid: SpatialField,
+    /// Within-die PMOS threshold field (volts).
+    pub vtp_wid: SpatialField,
+}
+
+impl DieSample {
+    /// The nominal (typical, variation-free) die.
+    #[must_use]
+    pub fn nominal() -> Self {
+        DieSample {
+            die_id: 0,
+            d_vtn_d2d: Volt::ZERO,
+            d_vtp_d2d: Volt::ZERO,
+            mu_n_d2d: 1.0,
+            mu_p_d2d: 1.0,
+            vtn_wid: SpatialField::zero(1, 1),
+            vtp_wid: SpatialField::zero(1, 1),
+        }
+    }
+
+    /// A deterministic die sitting exactly at a global process corner
+    /// (no within-die component).
+    #[must_use]
+    pub fn at_corner(corner: ProcessCorner, tech: &Technology) -> Self {
+        DieSample {
+            die_id: 0,
+            d_vtn_d2d: corner.vtn_shift(tech),
+            d_vtp_d2d: corner.vtp_shift(tech),
+            mu_n_d2d: corner.mu_n_factor(tech),
+            mu_p_d2d: corner.mu_p_factor(tech),
+            vtn_wid: SpatialField::zero(1, 1),
+            vtp_wid: SpatialField::zero(1, 1),
+        }
+    }
+
+    /// Total NMOS threshold shift at a site (D2D + WID).
+    #[must_use]
+    pub fn d_vtn_at(&self, site: DieSite) -> Volt {
+        Volt(self.d_vtn_d2d.0 + self.vtn_wid.at(site.x, site.y))
+    }
+
+    /// Total PMOS threshold shift at a site (D2D + WID).
+    #[must_use]
+    pub fn d_vtp_at(&self, site: DieSite) -> Volt {
+        Volt(self.d_vtp_d2d.0 + self.vtp_wid.at(site.x, site.y))
+    }
+
+    /// Gate-level environment at a site and temperature.
+    #[must_use]
+    pub fn env_at(&self, site: DieSite, temp: Celsius) -> CmosEnv {
+        self.env_at_with(site, temp, Volt::ZERO, Volt::ZERO)
+    }
+
+    /// Gate-level environment including externally-imposed threshold shifts
+    /// (e.g. TSV mechanical stress) added on top of process variation.
+    #[must_use]
+    pub fn env_at_with(
+        &self,
+        site: DieSite,
+        temp: Celsius,
+        extra_vtn: Volt,
+        extra_vtp: Volt,
+    ) -> CmosEnv {
+        CmosEnv {
+            temp,
+            d_vtn: self.d_vtn_at(site) + extra_vtn,
+            d_vtp: self.d_vtp_at(site) + extra_vtp,
+            mu_n: self.mu_n_d2d,
+            mu_p: self.mu_p_d2d,
+        }
+    }
+}
+
+impl Default for DieSample {
+    fn default() -> Self {
+        DieSample::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_die_has_no_shifts() {
+        let die = DieSample::nominal();
+        let env = die.env_at(DieSite::CENTER, Celsius(25.0));
+        assert_eq!(env.d_vtn, Volt::ZERO);
+        assert_eq!(env.d_vtp, Volt::ZERO);
+        assert_eq!(env.mu_n, 1.0);
+        assert_eq!(env.mu_p, 1.0);
+    }
+
+    #[test]
+    fn corner_die_matches_corner_definition() {
+        let tech = Technology::n65();
+        let die = DieSample::at_corner(ProcessCorner::FS, &tech);
+        assert!(die.d_vtn_d2d.0 < 0.0);
+        assert!(die.d_vtp_d2d.0 > 0.0);
+        let env = die.env_at(DieSite::new(0.2, 0.9), Celsius(85.0));
+        assert_eq!(env.d_vtn, die.d_vtn_d2d);
+        assert_eq!(env.temp, Celsius(85.0));
+    }
+
+    #[test]
+    fn external_shift_adds_on_top() {
+        let tech = Technology::n65();
+        let die = DieSample::at_corner(ProcessCorner::SS, &tech);
+        let env = die.env_at_with(DieSite::CENTER, Celsius(25.0), Volt(0.01), Volt(-0.005));
+        assert!((env.d_vtn.0 - (die.d_vtn_d2d.0 + 0.01)).abs() < 1e-15);
+        assert!((env.d_vtp.0 - (die.d_vtp_d2d.0 - 0.005)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn site_clamps_coordinates() {
+        let s = DieSite::new(-0.5, 1.5);
+        assert_eq!(s.x, 0.0);
+        assert_eq!(s.y, 1.0);
+    }
+
+    #[test]
+    fn wid_field_varies_across_sites() {
+        use crate::spatial::{SpatialConfig, SpatialField};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(77);
+        let die = DieSample {
+            vtn_wid: SpatialField::generate(&SpatialConfig::vt_default(0.01), &mut rng),
+            ..DieSample::nominal()
+        };
+        let a = die.d_vtn_at(DieSite::new(0.0, 0.0));
+        let b = die.d_vtn_at(DieSite::new(1.0, 1.0));
+        assert_ne!(a, b);
+    }
+}

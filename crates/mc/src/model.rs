@@ -1,0 +1,225 @@
+//! The variation model: turns a [`Technology`] description into a population
+//! of [`DieSample`]s.
+
+use crate::die::DieSample;
+use crate::gaussian::{normal, truncated_normal};
+use crate::spatial::{SpatialConfig, SpatialField};
+use ptsim_device::process::{ProcessCorner, Technology};
+use ptsim_device::units::Volt;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Statistical model of process variation for one technology.
+///
+/// ```
+/// use ptsim_device::process::Technology;
+/// use ptsim_mc::model::VariationModel;
+/// use rand::SeedableRng;
+///
+/// let model = VariationModel::new(&Technology::n65());
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let die = model.sample_die(&mut rng);
+/// assert!(die.d_vtn_d2d.0.abs() < 0.08, "D2D shift bounded by truncation");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariationModel {
+    /// One-sigma die-to-die threshold spread (applies to both polarities).
+    pub sigma_vt_d2d: Volt,
+    /// One-sigma die-to-die relative mobility spread.
+    pub sigma_mu_d2d: f64,
+    /// Truncation (in sigmas) applied to all die-to-die draws.
+    pub d2d_truncation: f64,
+    /// Correlation between the NMOS and PMOS die-to-die threshold shifts
+    /// (shared anneal/litho causes; 0 = independent, 1 = identical).
+    pub nvt_pvt_correlation: f64,
+    /// Within-die field configuration for NMOS thresholds.
+    pub wid_vtn: SpatialConfig,
+    /// Within-die field configuration for PMOS thresholds.
+    pub wid_vtp: SpatialConfig,
+}
+
+impl VariationModel {
+    /// Builds the default model for `tech`.
+    ///
+    /// The within-die sigma is derived from the Pelgrom coefficient at the
+    /// gate area of a typical ring-oscillator device in this work
+    /// (W = 0.5 µm, L = 0.06 µm per device, ~12 devices averaging within a
+    /// stage chain reduces the effective per-oscillator sigma by √12).
+    #[must_use]
+    pub fn new(tech: &Technology) -> Self {
+        let device_area: f64 = 0.5 * 0.06; // µm²
+        let sigma_device = tech.avt_pelgrom / device_area.sqrt();
+        // Averaging over the stages of one oscillator.
+        let stages_averaged = 12.0_f64;
+        let sigma_ro = sigma_device / stages_averaged.sqrt();
+        VariationModel {
+            sigma_vt_d2d: tech.sigma_vt_d2d,
+            sigma_mu_d2d: 0.03,
+            d2d_truncation: 3.0,
+            nvt_pvt_correlation: 0.3,
+            wid_vtn: SpatialConfig::vt_default(sigma_ro),
+            wid_vtp: SpatialConfig::vt_default(sigma_ro),
+        }
+    }
+
+    /// A model with all randomness disabled (every die is nominal).
+    /// Useful for isolating deterministic effects in tests and ablations.
+    #[must_use]
+    pub fn deterministic() -> Self {
+        VariationModel {
+            sigma_vt_d2d: Volt::ZERO,
+            sigma_mu_d2d: 0.0,
+            d2d_truncation: 3.0,
+            nvt_pvt_correlation: 0.0,
+            wid_vtn: SpatialConfig::vt_default(0.0),
+            wid_vtp: SpatialConfig::vt_default(0.0),
+        }
+    }
+
+    /// Draws one die from the population.
+    pub fn sample_die<R: Rng + ?Sized>(&self, rng: &mut R) -> DieSample {
+        self.sample_die_with_id(rng, 0)
+    }
+
+    /// Draws one die, tagging it with `die_id` for traceability.
+    pub fn sample_die_with_id<R: Rng + ?Sized>(&self, rng: &mut R, die_id: u64) -> DieSample {
+        let k = self.d2d_truncation;
+        let s = self.sigma_vt_d2d.0;
+        // Correlated bivariate normal for (ΔVtn, ΔVtp): shared + independent.
+        let rho = self.nvt_pvt_correlation;
+        let shared = truncated_normal(rng, 0.0, 1.0, k);
+        let zn = truncated_normal(rng, 0.0, 1.0, k);
+        let zp = truncated_normal(rng, 0.0, 1.0, k);
+        let d_vtn = s * (rho.sqrt() * shared + (1.0 - rho).sqrt() * zn);
+        let d_vtp = s * (rho.sqrt() * shared + (1.0 - rho).sqrt() * zp);
+
+        let mu_n = (1.0 + normal(rng, 0.0, self.sigma_mu_d2d)).max(0.5);
+        let mu_p = (1.0 + normal(rng, 0.0, self.sigma_mu_d2d)).max(0.5);
+
+        DieSample {
+            die_id,
+            d_vtn_d2d: Volt(d_vtn),
+            d_vtp_d2d: Volt(d_vtp),
+            mu_n_d2d: mu_n,
+            mu_p_d2d: mu_p,
+            vtn_wid: SpatialField::generate(&self.wid_vtn, rng),
+            vtp_wid: SpatialField::generate(&self.wid_vtp, rng),
+        }
+    }
+
+    /// Deterministic die at a named global corner (no WID, no mobility
+    /// randomness) — used for the corner-robustness table.
+    #[must_use]
+    pub fn corner_die(&self, corner: ProcessCorner, tech: &Technology) -> DieSample {
+        DieSample::at_corner(corner, tech)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::OnlineStats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> VariationModel {
+        VariationModel::new(&Technology::n65())
+    }
+
+    #[test]
+    fn d2d_spread_matches_configured_sigma() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut sn = OnlineStats::new();
+        let mut sp = OnlineStats::new();
+        for i in 0..4000 {
+            let die = m.sample_die_with_id(&mut rng, i);
+            sn.push(die.d_vtn_d2d.0);
+            sp.push(die.d_vtp_d2d.0);
+        }
+        // Truncation at 3 sigma shrinks sd by ~1.3%; allow 6% tolerance.
+        assert!((sn.std_dev() - m.sigma_vt_d2d.0).abs() / m.sigma_vt_d2d.0 < 0.06);
+        assert!((sp.std_dev() - m.sigma_vt_d2d.0).abs() / m.sigma_vt_d2d.0 < 0.06);
+        assert!(sn.mean().abs() < 0.002);
+    }
+
+    #[test]
+    fn d2d_draws_are_truncated() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(9);
+        for i in 0..20_000 {
+            let die = m.sample_die_with_id(&mut rng, i);
+            // Correlated construction can slightly exceed k·sigma when the
+            // shared and independent parts align; bound is k·sigma·(√ρ+√(1−ρ)).
+            let bound = m.d2d_truncation
+                * m.sigma_vt_d2d.0
+                * (m.nvt_pvt_correlation.sqrt() + (1.0 - m.nvt_pvt_correlation).sqrt());
+            assert!(die.d_vtn_d2d.0.abs() <= bound + 1e-12);
+        }
+    }
+
+    #[test]
+    fn nmos_pmos_shifts_positively_correlated() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(321);
+        let n = 8000;
+        let mut sum_np = 0.0;
+        let mut sn = OnlineStats::new();
+        let mut sp = OnlineStats::new();
+        for i in 0..n {
+            let die = m.sample_die_with_id(&mut rng, i);
+            sum_np += die.d_vtn_d2d.0 * die.d_vtp_d2d.0;
+            sn.push(die.d_vtn_d2d.0);
+            sp.push(die.d_vtp_d2d.0);
+        }
+        let corr = (sum_np / n as f64) / (sn.std_dev() * sp.std_dev());
+        assert!(
+            (corr - m.nvt_pvt_correlation).abs() < 0.08,
+            "measured correlation {corr}"
+        );
+    }
+
+    #[test]
+    fn mobility_factors_near_unity() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(5);
+        let die = m.sample_die(&mut rng);
+        assert!(die.mu_n_d2d > 0.5 && die.mu_n_d2d < 1.5);
+        assert!(die.mu_p_d2d > 0.5 && die.mu_p_d2d < 1.5);
+    }
+
+    #[test]
+    fn deterministic_model_yields_nominal_dies() {
+        let m = VariationModel::deterministic();
+        let mut rng = StdRng::seed_from_u64(1);
+        let die = m.sample_die(&mut rng);
+        assert_eq!(die.d_vtn_d2d, Volt::ZERO);
+        assert_eq!(die.d_vtp_d2d, Volt::ZERO);
+        assert_eq!(die.mu_n_d2d, 1.0);
+    }
+
+    #[test]
+    fn corner_die_is_deterministic() {
+        let tech = Technology::n65();
+        let m = model();
+        let a = m.corner_die(ProcessCorner::FF, &tech);
+        let b = m.corner_die(ProcessCorner::FF, &tech);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn die_id_is_propagated() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(m.sample_die_with_id(&mut rng, 42).die_id, 42);
+    }
+
+    #[test]
+    fn wid_sigma_is_derived_from_pelgrom() {
+        let tech = Technology::n65();
+        let m = VariationModel::new(&tech);
+        // σ_device = Avt/√(W·L), reduced by √12 stage averaging.
+        let expected = tech.avt_pelgrom / (0.5_f64 * 0.06).sqrt() / 12.0_f64.sqrt();
+        assert!((m.wid_vtn.sigma - expected).abs() < 1e-12);
+    }
+}

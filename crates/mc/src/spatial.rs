@@ -1,0 +1,341 @@
+//! Within-die spatially-correlated variation fields.
+//!
+//! Within-die (WID) threshold variation is not white noise: neighbouring
+//! devices see correlated shifts (shared lithography/anneal gradients) plus
+//! an uncorrelated local-mismatch component. We model this with the standard
+//! two-layer construction: a coarse Gaussian grid, bilinearly interpolated
+//! across the die (the correlated layer), plus independent per-cell noise,
+//! mixed so the total variance equals `sigma²`.
+
+use crate::gaussian::standard_normal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a within-die variation field.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpatialConfig {
+    /// Fine-grid resolution in X (cells across the die).
+    pub nx: usize,
+    /// Fine-grid resolution in Y.
+    pub ny: usize,
+    /// Total standard deviation of the field.
+    pub sigma: f64,
+    /// Correlation length as a fraction of the die edge (0 < ℓ ≤ 1).
+    pub correlation_length: f64,
+    /// Fraction of the variance carried by the spatially-correlated layer
+    /// (the rest is uncorrelated local mismatch). Must be in `[0, 1]`.
+    pub correlated_fraction: f64,
+}
+
+impl SpatialConfig {
+    /// Default field for threshold variation on a sensor-scale die.
+    #[must_use]
+    pub fn vt_default(sigma: f64) -> Self {
+        SpatialConfig {
+            nx: 16,
+            ny: 16,
+            sigma,
+            correlation_length: 0.4,
+            correlated_fraction: 0.5,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.nx >= 1 && self.ny >= 1, "grid must be at least 1x1");
+        assert!(self.sigma >= 0.0, "sigma must be non-negative");
+        assert!(
+            self.correlation_length > 0.0 && self.correlation_length <= 1.0,
+            "correlation length must be in (0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.correlated_fraction),
+            "correlated fraction must be in [0, 1]"
+        );
+    }
+}
+
+impl Default for SpatialConfig {
+    fn default() -> Self {
+        SpatialConfig::vt_default(1.0)
+    }
+}
+
+/// A realized spatial field over normalized die coordinates `[0,1]²`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpatialField {
+    nx: usize,
+    ny: usize,
+    values: Vec<f64>,
+}
+
+impl SpatialField {
+    /// Generates a field realization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is malformed (zero grid, negative sigma, correlation
+    /// parameters out of range).
+    pub fn generate<R: Rng + ?Sized>(cfg: &SpatialConfig, rng: &mut R) -> Self {
+        cfg.validate();
+        // Coarse grid spacing ~ correlation length.
+        let cnx = ((1.0 / cfg.correlation_length).ceil() as usize + 1).max(2);
+        let cny = cnx;
+        let coarse: Vec<f64> = (0..cnx * cny).map(|_| standard_normal(rng)).collect();
+
+        let w_corr = cfg.correlated_fraction.sqrt();
+        let w_local = (1.0 - cfg.correlated_fraction).sqrt();
+
+        let mut values = Vec::with_capacity(cfg.nx * cfg.ny);
+        for iy in 0..cfg.ny {
+            for ix in 0..cfg.nx {
+                let fx = if cfg.nx == 1 {
+                    0.5
+                } else {
+                    ix as f64 / (cfg.nx - 1) as f64
+                };
+                let fy = if cfg.ny == 1 {
+                    0.5
+                } else {
+                    iy as f64 / (cfg.ny - 1) as f64
+                };
+                let c = bilinear_unit_variance(&coarse, cnx, cny, fx, fy);
+                let l = standard_normal(rng);
+                values.push(cfg.sigma * (w_corr * c + w_local * l));
+            }
+        }
+        SpatialField {
+            nx: cfg.nx,
+            ny: cfg.ny,
+            values,
+        }
+    }
+
+    /// A field that is identically zero (used for corner-only dies).
+    #[must_use]
+    pub fn zero(nx: usize, ny: usize) -> Self {
+        SpatialField {
+            nx,
+            ny,
+            values: vec![0.0; nx * ny],
+        }
+    }
+
+    /// Field value at a fine-grid cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    #[must_use]
+    pub fn cell(&self, ix: usize, iy: usize) -> f64 {
+        assert!(ix < self.nx && iy < self.ny, "cell index out of range");
+        self.values[iy * self.nx + ix]
+    }
+
+    /// Bilinear sample at normalized die coordinates (clamped to `[0,1]`).
+    #[must_use]
+    pub fn at(&self, x: f64, y: f64) -> f64 {
+        bilinear(
+            &self.values,
+            self.nx,
+            self.ny,
+            x.clamp(0.0, 1.0),
+            y.clamp(0.0, 1.0),
+        )
+    }
+
+    /// Grid resolution `(nx, ny)`.
+    #[must_use]
+    pub fn resolution(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Mean of all cells.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+}
+
+/// Bilinear interpolation of i.i.d. unit-variance grid values, renormalized
+/// so the result itself has unit variance at every sample point (plain
+/// bilinear interpolation would shrink the variance between grid nodes by up
+/// to 4/9).
+fn bilinear_unit_variance(grid: &[f64], nx: usize, ny: usize, x: f64, y: f64) -> f64 {
+    if nx == 1 && ny == 1 {
+        return grid[0];
+    }
+    let gx = x * (nx - 1).max(1) as f64;
+    let gy = y * (ny - 1).max(1) as f64;
+    let x0 = (gx.floor() as usize).min(nx - 1);
+    let y0 = (gy.floor() as usize).min(ny - 1);
+    let x1 = (x0 + 1).min(nx - 1);
+    let y1 = (y0 + 1).min(ny - 1);
+    let tx = gx - x0 as f64;
+    let ty = gy - y0 as f64;
+    let (w00, w10, w01, w11) = (
+        (1.0 - tx) * (1.0 - ty),
+        tx * (1.0 - ty),
+        (1.0 - tx) * ty,
+        tx * ty,
+    );
+    // When x0==x1 (edge column) the two weights act on the same node; fold
+    // them so the norm is computed over effective weights.
+    let mut acc: Vec<(usize, f64)> = Vec::with_capacity(4);
+    for (idx, w) in [
+        (y0 * nx + x0, w00),
+        (y0 * nx + x1, w10),
+        (y1 * nx + x0, w01),
+        (y1 * nx + x1, w11),
+    ] {
+        if let Some(e) = acc.iter_mut().find(|(i, _)| *i == idx) {
+            e.1 += w;
+        } else {
+            acc.push((idx, w));
+        }
+    }
+    let norm: f64 = acc.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+    acc.iter().map(|(i, w)| grid[*i] * w).sum::<f64>() / norm.max(1e-12)
+}
+
+/// Bilinear interpolation on a row-major `nx × ny` grid with normalized
+/// coordinates in `[0, 1]`.
+fn bilinear(grid: &[f64], nx: usize, ny: usize, x: f64, y: f64) -> f64 {
+    if nx == 1 && ny == 1 {
+        return grid[0];
+    }
+    let gx = x * (nx - 1).max(1) as f64;
+    let gy = y * (ny - 1).max(1) as f64;
+    let x0 = (gx.floor() as usize).min(nx - 1);
+    let y0 = (gy.floor() as usize).min(ny - 1);
+    let x1 = (x0 + 1).min(nx - 1);
+    let y1 = (y0 + 1).min(ny - 1);
+    let tx = gx - x0 as f64;
+    let ty = gy - y0 as f64;
+    let v00 = grid[y0 * nx + x0];
+    let v10 = grid[y0 * nx + x1];
+    let v01 = grid[y1 * nx + x0];
+    let v11 = grid[y1 * nx + x1];
+    v00 * (1.0 - tx) * (1.0 - ty) + v10 * tx * (1.0 - ty) + v01 * (1.0 - tx) * ty + v11 * tx * ty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::OnlineStats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn field_variance_close_to_sigma_squared() {
+        let cfg = SpatialConfig {
+            nx: 32,
+            ny: 32,
+            sigma: 2.0,
+            correlation_length: 0.3,
+            correlated_fraction: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut stats = OnlineStats::new();
+        for _ in 0..100 {
+            let f = SpatialField::generate(&cfg, &mut rng);
+            for iy in 0..32 {
+                for ix in 0..32 {
+                    stats.push(f.cell(ix, iy));
+                }
+            }
+        }
+        assert!(stats.mean().abs() < 0.1, "mean {}", stats.mean());
+        assert!(
+            (stats.std_dev() - 2.0).abs() < 0.15,
+            "sd {}",
+            stats.std_dev()
+        );
+    }
+
+    #[test]
+    fn neighbours_more_correlated_than_far_cells() {
+        let cfg = SpatialConfig {
+            nx: 32,
+            ny: 32,
+            sigma: 1.0,
+            correlation_length: 0.5,
+            correlated_fraction: 0.9,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let (mut near, mut far) = (0.0, 0.0);
+        let n = 400;
+        for _ in 0..n {
+            let f = SpatialField::generate(&cfg, &mut rng);
+            near += f.cell(0, 0) * f.cell(1, 0);
+            far += f.cell(0, 0) * f.cell(31, 31);
+        }
+        near /= n as f64;
+        far /= n as f64;
+        assert!(
+            near > far + 0.1,
+            "near correlation {near} should exceed far {far}"
+        );
+    }
+
+    #[test]
+    fn zero_field_is_zero_everywhere() {
+        let f = SpatialField::zero(8, 8);
+        assert_eq!(f.at(0.3, 0.7), 0.0);
+        assert_eq!(f.mean(), 0.0);
+        assert_eq!(f.resolution(), (8, 8));
+    }
+
+    #[test]
+    fn at_interpolates_between_cells() {
+        let f = SpatialField {
+            nx: 2,
+            ny: 1,
+            values: vec![0.0, 1.0],
+        };
+        assert!((f.at(0.5, 0.0) - 0.5).abs() < 1e-12);
+        assert_eq!(f.at(0.0, 0.0), 0.0);
+        assert_eq!(f.at(1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn at_clamps_out_of_range_coordinates() {
+        let f = SpatialField {
+            nx: 2,
+            ny: 1,
+            values: vec![3.0, 7.0],
+        };
+        assert_eq!(f.at(-1.0, 0.0), 3.0);
+        assert_eq!(f.at(2.0, 0.0), 7.0);
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let cfg = SpatialConfig::vt_default(1.0);
+        let a = SpatialField::generate(&cfg, &mut StdRng::seed_from_u64(1));
+        let b = SpatialField::generate(&cfg, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "correlation length")]
+    fn rejects_bad_correlation_length() {
+        let cfg = SpatialConfig {
+            correlation_length: 0.0,
+            ..SpatialConfig::default()
+        };
+        let _ = SpatialField::generate(&cfg, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn single_cell_grid_works() {
+        let cfg = SpatialConfig {
+            nx: 1,
+            ny: 1,
+            sigma: 1.0,
+            correlation_length: 0.5,
+            correlated_fraction: 0.5,
+        };
+        let f = SpatialField::generate(&cfg, &mut StdRng::seed_from_u64(3));
+        assert!(f.at(0.5, 0.5).is_finite());
+    }
+}

@@ -1,0 +1,366 @@
+//! Streaming and batch statistics used by the Monte-Carlo driver and the
+//! evaluation harness.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Numerically-stable streaming statistics (Welford's algorithm).
+///
+/// ```
+/// use ptsim_mc::stats::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert!((s.mean() - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 if fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Largest absolute observation (0 if empty).
+    #[must_use]
+    pub fn max_abs(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min.abs().max(self.max.abs())
+        }
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = OnlineStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4e} sd={:.4e} min={:.4e} max={:.4e}",
+            self.n,
+            self.mean(),
+            self.std_dev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// Fixed-bin histogram over a closed range; out-of-range samples are clamped
+/// into the edge bins and counted separately.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    under: u64,
+    over: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            under: 0,
+            over: 0,
+            total: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.under += 1;
+            self.bins[0] += 1;
+        } else if x >= self.hi {
+            self.over += 1;
+            let last = self.bins.len() - 1;
+            self.bins[last] += 1;
+        } else {
+            let f = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((f * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Bin counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of observations clamped from below / above the range.
+    #[must_use]
+    pub fn clamped(&self) -> (u64, u64) {
+        (self.under, self.over)
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Renders a fixed-width ASCII bar chart (one line per bin).
+    #[must_use]
+    pub fn render(&self, width: usize) -> String {
+        let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let bar = "#".repeat((c as usize * width).div_ceil(peak as usize).min(width));
+            out.push_str(&format!(
+                "{:>10.4} | {:<width$} {}\n",
+                self.bin_center(i),
+                bar,
+                c,
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of the data by linear interpolation.
+/// The input slice is sorted in place.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `q` is outside `[0, 1]`.
+pub fn quantile_in_place(data: &mut [f64], q: f64) -> f64 {
+    assert!(!data.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    data.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (data.len() - 1) as f64;
+    let i = pos.floor() as usize;
+    let frac = pos - i as f64;
+    if i + 1 < data.len() {
+        data[i] * (1.0 - frac) + data[i + 1] * frac
+    } else {
+        data[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s: OnlineStats = xs.iter().copied().collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic dataset is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 3.0 + 1.0).collect();
+        let all: OnlineStats = xs.iter().copied().collect();
+        let a: OnlineStats = xs[..37].iter().copied().collect();
+        let mut b: OnlineStats = xs[37..].iter().copied().collect();
+        b.merge(&a);
+        assert_eq!(b.count(), all.count());
+        assert!((b.mean() - all.mean()).abs() < 1e-10);
+        assert!((b.variance() - all.variance()).abs() < 1e-10);
+        assert_eq!(b.min(), all.min());
+        assert_eq!(b.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: OnlineStats = [1.0, 2.0].iter().copied().collect();
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn max_abs_considers_both_tails() {
+        let s: OnlineStats = [-3.0, 1.0, 2.0].iter().copied().collect();
+        assert_eq!(s.max_abs(), 3.0);
+        assert_eq!(OnlineStats::new().max_abs(), 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, 1.6, 9.9, -5.0, 20.0] {
+            h.push(x);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.counts()[0], 2); // 0.5 and clamped -5.0
+        assert_eq!(h.counts()[1], 2); // 1.5, 1.6
+        assert_eq!(h.counts()[9], 2); // 9.9 and clamped 20.0
+        assert_eq!(h.clamped(), (1, 1));
+    }
+
+    #[test]
+    fn histogram_bin_center() {
+        let h = Histogram::new(0.0, 10.0, 10);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+        assert!((h.bin_center(9) - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_rejects_zero_bins() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn histogram_render_contains_counts() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.push(0.5);
+        h.push(1.5);
+        h.push(1.6);
+        let s = h.render(20);
+        assert!(s.contains('#'));
+        assert!(s.lines().count() == 2);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let mut data = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_in_place(&mut data, 0.0), 1.0);
+        assert_eq!(quantile_in_place(&mut data, 1.0), 4.0);
+        assert!((quantile_in_place(&mut data, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s: OnlineStats = [1.0].iter().copied().collect();
+        assert!(format!("{s}").contains("n=1"));
+    }
+}

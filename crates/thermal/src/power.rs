@@ -1,0 +1,198 @@
+//! Per-tier power maps.
+
+use crate::error::ThermalError;
+use ptsim_device::units::Watt;
+use serde::{Deserialize, Serialize};
+
+/// A power-density map over the cells of one tier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerMap {
+    nx: usize,
+    ny: usize,
+    cells: Vec<f64>,
+}
+
+impl PowerMap {
+    /// All-zero map of the given resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidGrid`] if either dimension is zero.
+    pub fn zero(nx: usize, ny: usize) -> Result<Self, ThermalError> {
+        if nx == 0 || ny == 0 {
+            return Err(ThermalError::InvalidGrid { nx, ny });
+        }
+        Ok(PowerMap {
+            nx,
+            ny,
+            cells: vec![0.0; nx * ny],
+        })
+    }
+
+    /// Uniform map dissipating `total` watts across the tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidGrid`] if either dimension is zero, or
+    /// [`ThermalError::InvalidPower`] if `total` is negative or non-finite.
+    pub fn uniform(nx: usize, ny: usize, total: Watt) -> Result<Self, ThermalError> {
+        if !(total.0.is_finite() && total.0 >= 0.0) {
+            return Err(ThermalError::InvalidPower { watts: total.0 });
+        }
+        let mut map = PowerMap::zero(nx, ny)?;
+        let per_cell = total.0 / (nx * ny) as f64;
+        map.cells.iter_mut().for_each(|c| *c = per_cell);
+        Ok(map)
+    }
+
+    /// Grid resolution `(nx, ny)`.
+    #[must_use]
+    pub fn resolution(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Power of one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    #[must_use]
+    pub fn cell(&self, ix: usize, iy: usize) -> Watt {
+        assert!(ix < self.nx && iy < self.ny, "power-map index out of range");
+        Watt(self.cells[iy * self.nx + ix])
+    }
+
+    /// Sets the power of one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn set_cell(&mut self, ix: usize, iy: usize, p: Watt) {
+        assert!(ix < self.nx && iy < self.ny, "power-map index out of range");
+        self.cells[iy * self.nx + ix] = p.0.max(0.0);
+    }
+
+    /// Adds a Gaussian hotspot centred at normalized coordinates
+    /// `(cx, cy)` with the given normalized radius (standard deviation),
+    /// carrying `total` additional watts.
+    pub fn add_hotspot(&mut self, cx: f64, cy: f64, radius: f64, total: Watt) {
+        let r = radius.max(1e-6);
+        let mut weights = vec![0.0; self.cells.len()];
+        let mut sum = 0.0;
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                let x = (ix as f64 + 0.5) / self.nx as f64;
+                let y = (iy as f64 + 0.5) / self.ny as f64;
+                let d2 = (x - cx).powi(2) + (y - cy).powi(2);
+                let w = (-d2 / (2.0 * r * r)).exp();
+                weights[iy * self.nx + ix] = w;
+                sum += w;
+            }
+        }
+        if sum > 0.0 {
+            for (c, w) in self.cells.iter_mut().zip(&weights) {
+                *c += total.0 * w / sum;
+            }
+        }
+    }
+
+    /// Adds a rectangular power block covering normalized `[x0,x1]×[y0,y1]`,
+    /// carrying `total` additional watts spread uniformly over the block.
+    pub fn add_block(&mut self, x0: f64, y0: f64, x1: f64, y1: f64, total: Watt) {
+        let mut indices = Vec::new();
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                let x = (ix as f64 + 0.5) / self.nx as f64;
+                let y = (iy as f64 + 0.5) / self.ny as f64;
+                if x >= x0 && x <= x1 && y >= y0 && y <= y1 {
+                    indices.push(iy * self.nx + ix);
+                }
+            }
+        }
+        if !indices.is_empty() {
+            let per = total.0 / indices.len() as f64;
+            for i in indices {
+                self.cells[i] += per;
+            }
+        }
+    }
+
+    /// Total power of the map.
+    #[must_use]
+    pub fn total(&self) -> Watt {
+        Watt(self.cells.iter().sum())
+    }
+
+    /// Peak cell power.
+    #[must_use]
+    pub fn peak(&self) -> Watt {
+        Watt(self.cells.iter().copied().fold(0.0, f64::max))
+    }
+
+    /// Raw cells in row-major order (for the solver).
+    #[must_use]
+    pub fn cells(&self) -> &[f64] {
+        &self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_map_sums_to_zero() {
+        let m = PowerMap::zero(8, 8).unwrap();
+        assert_eq!(m.total().0, 0.0);
+        assert_eq!(m.resolution(), (8, 8));
+    }
+
+    #[test]
+    fn rejects_degenerate_grids_and_negative_power() {
+        assert!(PowerMap::zero(0, 4).is_err());
+        assert!(PowerMap::uniform(4, 4, Watt(-1.0)).is_err());
+        assert!(PowerMap::uniform(4, 4, Watt(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn uniform_conserves_total() {
+        let m = PowerMap::uniform(10, 10, Watt(2.0)).unwrap();
+        assert!((m.total().0 - 2.0).abs() < 1e-12);
+        assert!((m.cell(3, 7).0 - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hotspot_conserves_total_and_peaks_at_center() {
+        let mut m = PowerMap::zero(16, 16).unwrap();
+        m.add_hotspot(0.5, 0.5, 0.1, Watt(1.0));
+        assert!((m.total().0 - 1.0).abs() < 1e-9);
+        let center = m.cell(8, 8).0;
+        let corner = m.cell(0, 0).0;
+        assert!(center > 100.0 * corner.max(1e-18));
+    }
+
+    #[test]
+    fn block_covers_expected_cells() {
+        let mut m = PowerMap::zero(10, 10).unwrap();
+        m.add_block(0.0, 0.0, 0.499, 0.499, Watt(1.0));
+        assert!((m.total().0 - 1.0).abs() < 1e-12);
+        assert!(m.cell(0, 0).0 > 0.0);
+        assert_eq!(m.cell(9, 9).0, 0.0);
+    }
+
+    #[test]
+    fn set_cell_clamps_negative() {
+        let mut m = PowerMap::zero(2, 2).unwrap();
+        m.set_cell(0, 0, Watt(-5.0));
+        assert_eq!(m.cell(0, 0).0, 0.0);
+        m.set_cell(1, 1, Watt(0.25));
+        assert_eq!(m.peak().0, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cell_bounds_checked() {
+        let m = PowerMap::zero(2, 2).unwrap();
+        let _ = m.cell(2, 0);
+    }
+}

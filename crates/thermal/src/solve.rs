@@ -1,0 +1,383 @@
+//! Steady-state and transient solvers for [`ThermalStack`].
+
+use crate::error::ThermalError;
+use crate::stack::ThermalStack;
+use ptsim_device::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Options for the steady-state Gauss–Seidel/SOR solve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolveOptions {
+    /// Convergence tolerance on the per-sweep max temperature change, °C.
+    pub tolerance: f64,
+    /// Maximum number of sweeps before giving up.
+    pub max_iterations: usize,
+    /// Successive-over-relaxation factor in `(0, 2)`.
+    pub omega: f64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            tolerance: 1e-6,
+            max_iterations: 50_000,
+            omega: 1.7,
+        }
+    }
+}
+
+/// Convergence report of a steady-state solve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolveStats {
+    /// Sweeps executed.
+    pub iterations: usize,
+    /// Final max per-sweep temperature change, °C.
+    pub residual: f64,
+}
+
+/// Solves the stack to steady state in place.
+///
+/// # Errors
+///
+/// Returns [`ThermalError::NotConverged`] if the residual does not fall
+/// below `opts.tolerance` within `opts.max_iterations` sweeps, and
+/// [`ThermalError::InvalidGeometry`] for an out-of-range `omega`.
+pub fn solve_steady_state(
+    stack: &mut ThermalStack,
+    opts: &SolveOptions,
+) -> Result<SolveStats, ThermalError> {
+    if !(opts.omega > 0.0 && opts.omega < 2.0) {
+        return Err(ThermalError::InvalidGeometry {
+            name: "omega",
+            value: opts.omega,
+        });
+    }
+    let (tiers, nx, ny) = stack.grid();
+    let mut residual = f64::INFINITY;
+    for sweep in 1..=opts.max_iterations {
+        residual = 0.0;
+        for tier in 0..tiers {
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let (g_sum, gt_sum) = stack.neighbours_sum(tier, ix, iy);
+                    let p = stack.cell_power(tier, ix, iy);
+                    let idx = stack.flat_index(tier, ix, iy);
+                    let old = stack.temps_mut()[idx];
+                    let gauss = (gt_sum + p) / g_sum;
+                    let new = old + opts.omega * (gauss - old);
+                    residual = residual.max((new - old).abs());
+                    stack.temps_mut()[idx] = new;
+                }
+            }
+        }
+        if residual < opts.tolerance {
+            return Ok(SolveStats {
+                iterations: sweep,
+                residual,
+            });
+        }
+    }
+    Err(ThermalError::NotConverged {
+        iterations: opts.max_iterations,
+        residual,
+    })
+}
+
+/// Advances the stack by `dt` of wall-clock time using explicit Euler
+/// integration, automatically substepping to respect the stability limit
+/// `dt_cell < C / Σg`.
+///
+/// Returns the number of substeps taken.
+pub fn step_transient(stack: &mut ThermalStack, dt: Seconds) -> usize {
+    let (tiers, nx, ny) = stack.grid();
+    // Stability: the stiffest cell bounds the step.
+    let mut g_max: f64 = 0.0;
+    for tier in 0..tiers {
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let (g_sum, _) = stack.neighbours_sum(tier, ix, iy);
+                g_max = g_max.max(g_sum);
+            }
+        }
+    }
+    let cap = stack.cell_capacity();
+    let dt_stable = 0.5 * cap / g_max.max(f64::MIN_POSITIVE);
+    let substeps = (dt.0 / dt_stable).ceil().max(1.0) as usize;
+    let h = dt.0 / substeps as f64;
+
+    let n = tiers * nx * ny;
+    let mut derivs = vec![0.0; n];
+    for _ in 0..substeps {
+        for tier in 0..tiers {
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let (g_sum, gt_sum) = stack.neighbours_sum(tier, ix, iy);
+                    let idx = stack.flat_index(tier, ix, iy);
+                    let t = stack.temps_mut()[idx];
+                    let p = stack.cell_power(tier, ix, iy);
+                    derivs[idx] = (gt_sum - g_sum * t + p) / cap;
+                }
+            }
+        }
+        let temps = stack.temps_mut();
+        for (t, d) in temps.iter_mut().zip(&derivs) {
+            *t += h * d;
+        }
+    }
+    substeps
+}
+
+/// Runs the transient solver for `duration`, sampling the mean temperature
+/// of `probe_tier` every `sample_interval`. Returns `(time, °C)` pairs.
+///
+/// # Errors
+///
+/// Returns [`ThermalError::TierOutOfRange`] for a bad probe tier.
+pub fn run_transient(
+    stack: &mut ThermalStack,
+    duration: Seconds,
+    sample_interval: Seconds,
+    probe_tier: usize,
+) -> Result<Vec<(Seconds, f64)>, ThermalError> {
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    out.push((Seconds(0.0), stack.mean_temperature(probe_tier)?.0));
+    while t < duration.0 {
+        let step = sample_interval.0.min(duration.0 - t);
+        step_transient(stack, Seconds(step));
+        t += step;
+        out.push((Seconds(t), stack.mean_temperature(probe_tier)?.0));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::PowerMap;
+    use crate::stack::{StackConfig, ThermalStack};
+    use ptsim_device::units::{Celsius, Watt};
+
+    fn solved_uniform(tiers: usize, watts: f64) -> ThermalStack {
+        let cfg = if tiers == 1 {
+            StackConfig::single_die_5mm()
+        } else {
+            StackConfig {
+                tiers,
+                ..StackConfig::four_tier_5mm()
+            }
+        };
+        let mut s = ThermalStack::new(cfg).unwrap();
+        let (nx, ny) = (s.config().nx, s.config().ny);
+        for tier in 0..tiers {
+            s.set_power(
+                tier,
+                PowerMap::uniform(nx, ny, Watt(watts / tiers as f64)).unwrap(),
+            )
+            .unwrap();
+        }
+        solve_steady_state(&mut s, &SolveOptions::default()).unwrap();
+        s
+    }
+
+    #[test]
+    fn zero_power_stays_at_ambient() {
+        let mut s = ThermalStack::new(StackConfig::four_tier_5mm()).unwrap();
+        let stats = solve_steady_state(&mut s, &SolveOptions::default()).unwrap();
+        assert!(stats.iterations < 100);
+        for tier in 0..4 {
+            assert!((s.mean_temperature(tier).unwrap().0 - 25.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn single_die_rise_matches_lumped_analysis() {
+        // With uniform power the lateral network carries no net heat; the
+        // die sits at ambient + P / (G_sink_total + G_board_total), where
+        // the sink path includes the TIM slab in series.
+        let s = solved_uniform(1, 1.0);
+        let cfg = s.config();
+        let n = (cfg.nx * cfg.ny) as f64;
+        let area = (cfg.die_width.0 * 1e-6) * (cfg.die_height.0 * 1e-6);
+        let g_tim =
+            crate::material::Material::TIM.slab_conductance(area / n, cfg.tim_thickness.0 * 1e-6);
+        let g_sink_cell = 1.0 / (1.0 / g_tim + cfg.sink_resistance * n);
+        let g_total = n * g_sink_cell + 1.0 / cfg.board_resistance;
+        let expected = 25.0 + 1.0 / g_total;
+        let got = s.mean_temperature(0).unwrap().0;
+        assert!(
+            (got - expected).abs() < 0.05,
+            "expected {expected:.3} °C, got {got:.3} °C"
+        );
+    }
+
+    #[test]
+    fn more_power_is_hotter() {
+        let lo = solved_uniform(4, 1.0).max_temperature(0).unwrap().0;
+        let hi = solved_uniform(4, 2.0).max_temperature(0).unwrap().0;
+        assert!(hi > lo + 0.5);
+    }
+
+    #[test]
+    fn hotspot_creates_lateral_gradient() {
+        let mut s = ThermalStack::new(StackConfig::single_die_5mm()).unwrap();
+        let mut p = PowerMap::zero(16, 16).unwrap();
+        p.add_hotspot(0.5, 0.5, 0.08, Watt(2.0));
+        s.set_power(0, p).unwrap();
+        solve_steady_state(&mut s, &SolveOptions::default()).unwrap();
+        let center = s.temperature_at(0, 0.5, 0.5).unwrap().0;
+        let corner = s.temperature_at(0, 0.0, 0.0).unwrap().0;
+        assert!(
+            center > corner + 1.0,
+            "center {center:.2} vs corner {corner:.2}"
+        );
+    }
+
+    #[test]
+    fn bottom_tier_hotter_than_top_with_heatsink_on_top() {
+        // Heat generated at the bottom tier must cross every bond layer to
+        // reach the sink, so tier 0 runs hotter than tier 3.
+        let mut s = ThermalStack::new(StackConfig::four_tier_5mm()).unwrap();
+        s.set_power(0, PowerMap::uniform(16, 16, Watt(2.0)).unwrap())
+            .unwrap();
+        solve_steady_state(&mut s, &SolveOptions::default()).unwrap();
+        let bottom = s.mean_temperature(0).unwrap().0;
+        let top = s.mean_temperature(3).unwrap().0;
+        assert!(bottom > top + 0.5, "bottom {bottom:.2} vs top {top:.2}");
+    }
+
+    #[test]
+    fn tsv_bundle_cools_the_hot_tier() {
+        let build = |with_tsv: bool| {
+            let mut s = ThermalStack::new(StackConfig::four_tier_5mm()).unwrap();
+            s.set_power(0, PowerMap::uniform(16, 16, Watt(2.0)).unwrap())
+                .unwrap();
+            if with_tsv {
+                for iface in 0..3 {
+                    for iy in 0..16 {
+                        for ix in 0..16 {
+                            s.add_vertical_conductance(
+                                iface,
+                                ix,
+                                iy,
+                                ptsim_device::units::WattPerKelvin(2e-4),
+                            )
+                            .unwrap();
+                        }
+                    }
+                }
+            }
+            solve_steady_state(&mut s, &SolveOptions::default()).unwrap();
+            s.mean_temperature(0).unwrap().0
+        };
+        let without = build(false);
+        let with = build(true);
+        assert!(
+            with < without,
+            "TSVs should cool: {with:.2} vs {without:.2}"
+        );
+    }
+
+    #[test]
+    fn transient_approaches_steady_state() {
+        let mut reference = ThermalStack::new(StackConfig::single_die_5mm()).unwrap();
+        reference
+            .set_power(0, PowerMap::uniform(16, 16, Watt(1.0)).unwrap())
+            .unwrap();
+        let mut transient = reference.clone();
+        solve_steady_state(&mut reference, &SolveOptions::default()).unwrap();
+        let target = reference.mean_temperature(0).unwrap().0;
+
+        let trace = run_transient(&mut transient, Seconds(5.0), Seconds(0.5), 0).unwrap();
+        let final_t = trace.last().unwrap().1;
+        assert!(
+            (final_t - target).abs() < 0.5,
+            "transient {final_t:.2} vs steady {target:.2}"
+        );
+        // Monotonic heat-up from ambient.
+        for w in trace.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_omega() {
+        let mut s = ThermalStack::new(StackConfig::single_die_5mm()).unwrap();
+        let opts = SolveOptions {
+            omega: 2.5,
+            ..SolveOptions::default()
+        };
+        assert!(matches!(
+            solve_steady_state(&mut s, &opts),
+            Err(ThermalError::InvalidGeometry { .. })
+        ));
+    }
+
+    #[test]
+    fn not_converged_is_reported() {
+        let mut s = ThermalStack::new(StackConfig::four_tier_5mm()).unwrap();
+        s.set_power(0, PowerMap::uniform(16, 16, Watt(1.0)).unwrap())
+            .unwrap();
+        let opts = SolveOptions {
+            max_iterations: 2,
+            ..SolveOptions::default()
+        };
+        assert!(matches!(
+            solve_steady_state(&mut s, &opts),
+            Err(ThermalError::NotConverged { .. })
+        ));
+    }
+
+    #[test]
+    fn energy_balance_at_steady_state() {
+        // Heat out through both boundaries equals heat in.
+        let s = solved_uniform(4, 1.5);
+        let cfg = s.config().clone();
+        let n = cfg.nx * cfg.ny;
+        let area = (cfg.die_width.0 * 1e-6) * (cfg.die_height.0 * 1e-6);
+        let g_tim = crate::material::Material::TIM
+            .slab_conductance(area / n as f64, cfg.tim_thickness.0 * 1e-6);
+        let g_sink_cell = 1.0 / (1.0 / g_tim + cfg.sink_resistance * n as f64);
+        let g_board_cell = 1.0 / (cfg.board_resistance * n as f64);
+        let mut q_out = 0.0;
+        for iy in 0..cfg.ny {
+            for ix in 0..cfg.nx {
+                let t_top = s.temperature(cfg.tiers - 1, ix, iy).unwrap().0;
+                let t_bot = s.temperature(0, ix, iy).unwrap().0;
+                q_out += g_sink_cell * (t_top - 25.0) + g_board_cell * (t_bot - 25.0);
+            }
+        }
+        assert!(
+            (q_out - 1.5).abs() < 0.01,
+            "energy balance violated: {q_out:.4} W out vs 1.5 W in"
+        );
+    }
+
+    #[test]
+    fn solve_stats_reasonable() {
+        let mut s = ThermalStack::new(StackConfig::single_die_5mm()).unwrap();
+        s.set_power(0, PowerMap::uniform(16, 16, Watt(0.5)).unwrap())
+            .unwrap();
+        let stats = solve_steady_state(&mut s, &SolveOptions::default()).unwrap();
+        assert!(stats.iterations > 1);
+        assert!(stats.residual < 1e-6);
+    }
+
+    #[test]
+    fn step_transient_substeps_scale_with_dt() {
+        let mut s = ThermalStack::new(StackConfig::single_die_5mm()).unwrap();
+        let small = step_transient(&mut s, Seconds(1e-6));
+        let big = step_transient(&mut s, Seconds(1e-3));
+        assert!(big >= small);
+    }
+
+    #[test]
+    fn ambient_shift_propagates() {
+        let mut cfg = StackConfig::single_die_5mm();
+        cfg.ambient = Celsius(85.0);
+        let mut s = ThermalStack::new(cfg).unwrap();
+        let stats = solve_steady_state(&mut s, &SolveOptions::default()).unwrap();
+        assert!(stats.residual < 1e-6);
+        assert!((s.mean_temperature(0).unwrap().0 - 85.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,565 @@
+//! The 3D stacked-die thermal RC network.
+//!
+//! Each tier is discretized into an `nx × ny` grid of silicon cells.
+//! Adjacent in-plane cells exchange heat through lateral silicon
+//! conductances; vertically-adjacent cells across a tier interface exchange
+//! heat through the bond layer (augmented per-cell by TSV thermal vias);
+//! the top tier couples to a heat sink and the bottom tier to the
+//! package/board, both held at ambient.
+//!
+//! Tier 0 is the *bottom* (package side); tier `tiers-1` is the *top*
+//! (heat-sink side).
+
+use crate::error::ThermalError;
+use crate::material::Material;
+use crate::power::PowerMap;
+use ptsim_device::units::{Celsius, Micron, Watt, WattPerKelvin};
+use serde::{Deserialize, Serialize};
+
+/// Geometry and boundary configuration of a die stack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StackConfig {
+    /// Grid cells in X.
+    pub nx: usize,
+    /// Grid cells in Y.
+    pub ny: usize,
+    /// Number of stacked tiers (≥ 1).
+    pub tiers: usize,
+    /// Die width.
+    pub die_width: Micron,
+    /// Die height.
+    pub die_height: Micron,
+    /// Thinned-die silicon thickness per tier.
+    pub tier_thickness: Micron,
+    /// Inter-tier bond/underfill layer thickness.
+    pub bond_thickness: Micron,
+    /// Thermal-interface-material thickness under the heat sink.
+    pub tim_thickness: Micron,
+    /// Heat-sink thermal resistance, K/W (whole die).
+    pub sink_resistance: f64,
+    /// Package/board thermal resistance, K/W (whole die).
+    pub board_resistance: f64,
+    /// Ambient temperature.
+    pub ambient: Celsius,
+}
+
+impl StackConfig {
+    /// The 4-tier, 5 × 5 mm stack used by the F5 case study (the SOCC 2012
+    /// test chip is 5 × 5 mm; its companion papers stack four dies).
+    #[must_use]
+    pub fn four_tier_5mm() -> Self {
+        StackConfig {
+            nx: 16,
+            ny: 16,
+            tiers: 4,
+            die_width: Micron(5000.0),
+            die_height: Micron(5000.0),
+            tier_thickness: Micron(100.0),
+            bond_thickness: Micron(10.0),
+            tim_thickness: Micron(50.0),
+            sink_resistance: 2.0,
+            board_resistance: 20.0,
+            ambient: Celsius(25.0),
+        }
+    }
+
+    /// Single-die variant (for baselines and unit analysis).
+    #[must_use]
+    pub fn single_die_5mm() -> Self {
+        StackConfig {
+            tiers: 1,
+            ..StackConfig::four_tier_5mm()
+        }
+    }
+
+    fn validate(&self) -> Result<(), ThermalError> {
+        if self.nx == 0 || self.ny == 0 {
+            return Err(ThermalError::InvalidGrid {
+                nx: self.nx,
+                ny: self.ny,
+            });
+        }
+        if self.tiers == 0 {
+            return Err(ThermalError::InvalidGeometry {
+                name: "tiers",
+                value: 0.0,
+            });
+        }
+        for (name, v) in [
+            ("die_width", self.die_width.0),
+            ("die_height", self.die_height.0),
+            ("tier_thickness", self.tier_thickness.0),
+            ("bond_thickness", self.bond_thickness.0),
+            ("tim_thickness", self.tim_thickness.0),
+            ("sink_resistance", self.sink_resistance),
+            ("board_resistance", self.board_resistance),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ThermalError::InvalidGeometry { name, value: v });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        StackConfig::four_tier_5mm()
+    }
+}
+
+/// Assembled thermal RC network with a current temperature state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalStack {
+    cfg: StackConfig,
+    /// Lateral conductance between in-plane neighbours, W/K.
+    g_lat: f64,
+    /// Vertical conductance per interface per cell, W/K
+    /// (`[interface][cell]`, interface `i` couples tier `i` and `i+1`).
+    g_vert: Vec<Vec<f64>>,
+    /// Per-cell conductance from the top tier to ambient, W/K.
+    g_sink: f64,
+    /// Per-cell conductance from the bottom tier to ambient, W/K.
+    g_board: f64,
+    /// Per-cell heat capacity, J/K.
+    cell_capacity: f64,
+    /// Per-tier power maps.
+    power: Vec<PowerMap>,
+    /// Cell temperatures, °C, `[tier][row-major cell]` flattened.
+    temps: Vec<f64>,
+}
+
+impl ThermalStack {
+    /// Builds the RC network for `cfg`, initialized at ambient with zero
+    /// power everywhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ThermalError`] describing the first invalid configuration
+    /// parameter.
+    pub fn new(cfg: StackConfig) -> Result<Self, ThermalError> {
+        cfg.validate()?;
+        let m = 1e-6; // µm → m
+        let cell_w = cfg.die_width.0 * m / cfg.nx as f64;
+        let cell_h = cfg.die_height.0 * m / cfg.ny as f64;
+        let t_si = cfg.tier_thickness.0 * m;
+        let cell_area = cell_w * cell_h;
+        let n_cells = cfg.nx * cfg.ny;
+
+        // Lateral silicon conductance (assume square-ish cells; use the
+        // geometric mean pitch for both axes).
+        let pitch = (cell_w * cell_h).sqrt();
+        let g_lat = Material::SILICON.slab_conductance(pitch * t_si, pitch);
+
+        // Vertical interface: half-tier silicon above + bond + half-tier
+        // silicon below, in series.
+        let g_si_half = Material::SILICON.slab_conductance(cell_area, t_si / 2.0);
+        let g_bond = Material::BOND_LAYER.slab_conductance(cell_area, cfg.bond_thickness.0 * m);
+        let g_iface = 1.0 / (2.0 / g_si_half + 1.0 / g_bond);
+        let g_vert = vec![vec![g_iface; n_cells]; cfg.tiers.saturating_sub(1)];
+
+        // Top boundary: TIM slab in series with the heat sink share.
+        let g_tim = Material::TIM.slab_conductance(cell_area, cfg.tim_thickness.0 * m);
+        let g_hs = 1.0 / (cfg.sink_resistance * n_cells as f64);
+        let g_sink = 1.0 / (1.0 / g_tim + 1.0 / g_hs);
+
+        // Bottom boundary: package/board share.
+        let g_board = 1.0 / (cfg.board_resistance * n_cells as f64);
+
+        let cell_capacity = Material::SILICON.volume_capacity(cell_area * t_si);
+
+        let ambient = cfg.ambient.0;
+        let tiers = cfg.tiers;
+        let power = (0..tiers)
+            .map(|_| PowerMap::zero(cfg.nx, cfg.ny))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(ThermalStack {
+            cfg,
+            g_lat,
+            g_vert,
+            g_sink,
+            g_board,
+            cell_capacity,
+            power,
+            temps: vec![ambient; tiers * n_cells],
+        })
+    }
+
+    /// Stack configuration.
+    #[must_use]
+    pub fn config(&self) -> &StackConfig {
+        &self.cfg
+    }
+
+    /// Number of tiers.
+    #[must_use]
+    pub fn tiers(&self) -> usize {
+        self.cfg.tiers
+    }
+
+    fn n_cells(&self) -> usize {
+        self.cfg.nx * self.cfg.ny
+    }
+
+    fn idx(&self, tier: usize, ix: usize, iy: usize) -> usize {
+        tier * self.n_cells() + iy * self.cfg.nx + ix
+    }
+
+    fn check_tier(&self, tier: usize) -> Result<(), ThermalError> {
+        if tier >= self.cfg.tiers {
+            Err(ThermalError::TierOutOfRange {
+                tier,
+                tiers: self.cfg.tiers,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Assigns the power map of a tier.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::TierOutOfRange`] for a bad tier index;
+    /// * [`ThermalError::ResolutionMismatch`] if the map resolution differs
+    ///   from the stack grid.
+    pub fn set_power(&mut self, tier: usize, map: PowerMap) -> Result<(), ThermalError> {
+        self.check_tier(tier)?;
+        if map.resolution() != (self.cfg.nx, self.cfg.ny) {
+            return Err(ThermalError::ResolutionMismatch {
+                expected: (self.cfg.nx, self.cfg.ny),
+                got: map.resolution(),
+            });
+        }
+        self.power[tier] = map;
+        Ok(())
+    }
+
+    /// Adds extra vertical conductance (e.g. a TSV bundle) between tiers
+    /// `interface` and `interface + 1` at one cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::TierOutOfRange`] if `interface` is not a valid
+    /// interface index or the cell is outside the grid.
+    pub fn add_vertical_conductance(
+        &mut self,
+        interface: usize,
+        ix: usize,
+        iy: usize,
+        g: WattPerKelvin,
+    ) -> Result<(), ThermalError> {
+        if interface + 1 >= self.cfg.tiers || ix >= self.cfg.nx || iy >= self.cfg.ny {
+            return Err(ThermalError::TierOutOfRange {
+                tier: interface,
+                tiers: self.cfg.tiers.saturating_sub(1),
+            });
+        }
+        self.g_vert[interface][iy * self.cfg.nx + ix] += g.0.max(0.0);
+        Ok(())
+    }
+
+    /// Temperature of one cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::TierOutOfRange`] for a bad tier index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix`/`iy` are outside the grid.
+    pub fn temperature(&self, tier: usize, ix: usize, iy: usize) -> Result<Celsius, ThermalError> {
+        self.check_tier(tier)?;
+        assert!(ix < self.cfg.nx && iy < self.cfg.ny, "cell out of range");
+        Ok(Celsius(self.temps[self.idx(tier, ix, iy)]))
+    }
+
+    /// Bilinear temperature sample at normalized die coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::TierOutOfRange`] for a bad tier index.
+    pub fn temperature_at(&self, tier: usize, x: f64, y: f64) -> Result<Celsius, ThermalError> {
+        self.check_tier(tier)?;
+        let (nx, ny) = (self.cfg.nx, self.cfg.ny);
+        let base = tier * self.n_cells();
+        let gx = x.clamp(0.0, 1.0) * (nx - 1).max(1) as f64;
+        let gy = y.clamp(0.0, 1.0) * (ny - 1).max(1) as f64;
+        let x0 = (gx.floor() as usize).min(nx - 1);
+        let y0 = (gy.floor() as usize).min(ny - 1);
+        let x1 = (x0 + 1).min(nx - 1);
+        let y1 = (y0 + 1).min(ny - 1);
+        let tx = gx - x0 as f64;
+        let ty = gy - y0 as f64;
+        let v = |xx: usize, yy: usize| self.temps[base + yy * nx + xx];
+        Ok(Celsius(
+            v(x0, y0) * (1.0 - tx) * (1.0 - ty)
+                + v(x1, y0) * tx * (1.0 - ty)
+                + v(x0, y1) * (1.0 - tx) * ty
+                + v(x1, y1) * tx * ty,
+        ))
+    }
+
+    /// Peak temperature of a tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::TierOutOfRange`] for a bad tier index.
+    pub fn max_temperature(&self, tier: usize) -> Result<Celsius, ThermalError> {
+        self.check_tier(tier)?;
+        let base = tier * self.n_cells();
+        Ok(Celsius(
+            self.temps[base..base + self.n_cells()]
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max),
+        ))
+    }
+
+    /// Mean temperature of a tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::TierOutOfRange`] for a bad tier index.
+    pub fn mean_temperature(&self, tier: usize) -> Result<Celsius, ThermalError> {
+        self.check_tier(tier)?;
+        let base = tier * self.n_cells();
+        let sum: f64 = self.temps[base..base + self.n_cells()].iter().sum();
+        Ok(Celsius(sum / self.n_cells() as f64))
+    }
+
+    /// Resets every cell to ambient.
+    pub fn reset(&mut self) {
+        let a = self.cfg.ambient.0;
+        self.temps.iter_mut().for_each(|t| *t = a);
+    }
+
+    /// Total power currently injected.
+    #[must_use]
+    pub fn total_power(&self) -> Watt {
+        self.power.iter().map(PowerMap::total).sum()
+    }
+
+    // ---- solver internals (used by `solve`) -------------------------------
+
+    pub(crate) fn neighbours_sum(&self, tier: usize, ix: usize, iy: usize) -> (f64, f64) {
+        let (nx, ny) = (self.cfg.nx, self.cfg.ny);
+        let cell = iy * nx + ix;
+        let mut g_sum = 0.0;
+        let mut gt_sum = 0.0;
+        let mut visit = |g: f64, t: f64| {
+            g_sum += g;
+            gt_sum += g * t;
+        };
+        if ix > 0 {
+            visit(self.g_lat, self.temps[self.idx(tier, ix - 1, iy)]);
+        }
+        if ix + 1 < nx {
+            visit(self.g_lat, self.temps[self.idx(tier, ix + 1, iy)]);
+        }
+        if iy > 0 {
+            visit(self.g_lat, self.temps[self.idx(tier, ix, iy - 1)]);
+        }
+        if iy + 1 < ny {
+            visit(self.g_lat, self.temps[self.idx(tier, ix, iy + 1)]);
+        }
+        if tier > 0 {
+            visit(
+                self.g_vert[tier - 1][cell],
+                self.temps[self.idx(tier - 1, ix, iy)],
+            );
+        }
+        if tier + 1 < self.cfg.tiers {
+            visit(
+                self.g_vert[tier][cell],
+                self.temps[self.idx(tier + 1, ix, iy)],
+            );
+        }
+        let ambient = self.cfg.ambient.0;
+        if tier == 0 {
+            visit(self.g_board, ambient);
+        }
+        if tier + 1 == self.cfg.tiers {
+            visit(self.g_sink, ambient);
+        }
+        (g_sum, gt_sum)
+    }
+
+    pub(crate) fn cell_power(&self, tier: usize, ix: usize, iy: usize) -> f64 {
+        self.power[tier].cell(ix, iy).0
+    }
+
+    /// Applies the conductance matrix: `out = A·x`, where
+    /// `A·x|i = (Σ_j g_ij + g_boundary,i)·x_i − Σ_j g_ij·x_j` over grid
+    /// neighbours `j`. Boundary conductances contribute to the diagonal
+    /// only; their ambient drive belongs in the right-hand side. `A` is
+    /// symmetric positive-definite, which is what lets conjugate gradients
+    /// solve the steady state.
+    pub(crate) fn apply_conductance(&self, x: &[f64], out: &mut [f64]) {
+        let (tiers, nx, ny) = self.grid();
+        debug_assert_eq!(x.len(), tiers * nx * ny);
+        debug_assert_eq!(out.len(), x.len());
+        for tier in 0..tiers {
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let i = self.idx(tier, ix, iy);
+                    let cell = iy * nx + ix;
+                    let mut g_sum = 0.0;
+                    let mut gx_sum = 0.0;
+                    let mut visit = |g: f64, xv: f64| {
+                        g_sum += g;
+                        gx_sum += g * xv;
+                    };
+                    if ix > 0 {
+                        visit(self.g_lat, x[self.idx(tier, ix - 1, iy)]);
+                    }
+                    if ix + 1 < nx {
+                        visit(self.g_lat, x[self.idx(tier, ix + 1, iy)]);
+                    }
+                    if iy > 0 {
+                        visit(self.g_lat, x[self.idx(tier, ix, iy - 1)]);
+                    }
+                    if iy + 1 < ny {
+                        visit(self.g_lat, x[self.idx(tier, ix, iy + 1)]);
+                    }
+                    if tier > 0 {
+                        visit(self.g_vert[tier - 1][cell], x[self.idx(tier - 1, ix, iy)]);
+                    }
+                    if tier + 1 < tiers {
+                        visit(self.g_vert[tier][cell], x[self.idx(tier + 1, ix, iy)]);
+                    }
+                    if tier == 0 {
+                        g_sum += self.g_board;
+                    }
+                    if tier + 1 == tiers {
+                        g_sum += self.g_sink;
+                    }
+                    out[i] = g_sum * x[i] - gx_sum;
+                }
+            }
+        }
+    }
+
+    /// Right-hand side of the steady-state system `A·T = b`:
+    /// `b_i = P_i + g_boundary,i·T_ambient`.
+    pub(crate) fn steady_state_rhs(&self, out: &mut [f64]) {
+        let (tiers, nx, ny) = self.grid();
+        let ambient = self.cfg.ambient.0;
+        for tier in 0..tiers {
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let i = self.idx(tier, ix, iy);
+                    let mut b = self.cell_power(tier, ix, iy);
+                    if tier == 0 {
+                        b += self.g_board * ambient;
+                    }
+                    if tier + 1 == tiers {
+                        b += self.g_sink * ambient;
+                    }
+                    out[i] = b;
+                }
+            }
+        }
+    }
+
+    pub(crate) fn cell_capacity(&self) -> f64 {
+        self.cell_capacity
+    }
+
+    pub(crate) fn temps_mut(&mut self) -> &mut Vec<f64> {
+        &mut self.temps
+    }
+
+    pub(crate) fn flat_index(&self, tier: usize, ix: usize, iy: usize) -> usize {
+        self.idx(tier, ix, iy)
+    }
+
+    pub(crate) fn grid(&self) -> (usize, usize, usize) {
+        (self.cfg.tiers, self.cfg.nx, self.cfg.ny)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_config() {
+        let mut cfg = StackConfig::four_tier_5mm();
+        cfg.nx = 0;
+        assert!(ThermalStack::new(cfg).is_err());
+        let mut cfg = StackConfig::four_tier_5mm();
+        cfg.tier_thickness = Micron(0.0);
+        assert!(ThermalStack::new(cfg).is_err());
+        assert!(ThermalStack::new(StackConfig::four_tier_5mm()).is_ok());
+    }
+
+    #[test]
+    fn starts_at_ambient() {
+        let s = ThermalStack::new(StackConfig::four_tier_5mm()).unwrap();
+        for tier in 0..4 {
+            assert_eq!(s.temperature(tier, 0, 0).unwrap(), Celsius(25.0));
+            assert_eq!(s.mean_temperature(tier).unwrap(), Celsius(25.0));
+        }
+    }
+
+    #[test]
+    fn set_power_validates() {
+        let mut s = ThermalStack::new(StackConfig::four_tier_5mm()).unwrap();
+        assert!(s
+            .set_power(0, PowerMap::uniform(16, 16, Watt(1.0)).unwrap())
+            .is_ok());
+        assert!(s
+            .set_power(9, PowerMap::uniform(16, 16, Watt(1.0)).unwrap())
+            .is_err());
+        assert!(s
+            .set_power(0, PowerMap::uniform(8, 8, Watt(1.0)).unwrap())
+            .is_err());
+        assert!((s.total_power().0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tsv_conductance_bounds_checked() {
+        let mut s = ThermalStack::new(StackConfig::four_tier_5mm()).unwrap();
+        assert!(s
+            .add_vertical_conductance(0, 0, 0, WattPerKelvin(1e-3))
+            .is_ok());
+        assert!(s
+            .add_vertical_conductance(3, 0, 0, WattPerKelvin(1e-3))
+            .is_err());
+        assert!(s
+            .add_vertical_conductance(0, 99, 0, WattPerKelvin(1e-3))
+            .is_err());
+    }
+
+    #[test]
+    fn single_tier_has_no_interfaces() {
+        let s = ThermalStack::new(StackConfig::single_die_5mm()).unwrap();
+        assert_eq!(s.tiers(), 1);
+        // Both boundaries active on the one tier.
+        let (g, _) = s.neighbours_sum(0, 8, 8);
+        assert!(g > 0.0);
+    }
+
+    #[test]
+    fn temperature_at_interpolates_and_clamps() {
+        let mut s = ThermalStack::new(StackConfig::single_die_5mm()).unwrap();
+        let i = s.flat_index(0, 0, 0);
+        s.temps_mut()[i] = 50.0;
+        let t_corner = s.temperature_at(0, -1.0, -1.0).unwrap();
+        assert_eq!(t_corner, Celsius(50.0));
+        let t_mid = s.temperature_at(0, 0.5, 0.5).unwrap();
+        assert!(t_mid.0 >= 25.0 && t_mid.0 <= 50.0);
+        assert!(s.temperature_at(7, 0.5, 0.5).is_err());
+    }
+
+    #[test]
+    fn reset_restores_ambient() {
+        let mut s = ThermalStack::new(StackConfig::single_die_5mm()).unwrap();
+        let i = s.flat_index(0, 3, 3);
+        s.temps_mut()[i] = 90.0;
+        s.reset();
+        assert_eq!(s.temperature(0, 3, 3).unwrap(), Celsius(25.0));
+    }
+}

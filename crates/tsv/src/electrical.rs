@@ -1,0 +1,87 @@
+//! TSV electrical parasitics (closed-form R and C).
+
+use crate::geometry::TsvGeometry;
+use ptsim_device::units::{Farad, Ohm};
+
+/// Resistivity of electroplated copper, Ω·m (slightly above bulk).
+pub const RHO_COPPER: f64 = 2.2e-8;
+
+/// Vacuum permittivity, F/m.
+pub const EPSILON_0: f64 = 8.854e-12;
+
+/// Relative permittivity of the SiO₂ liner.
+pub const EPSILON_R_OXIDE: f64 = 3.9;
+
+/// DC resistance of the copper body: `R = ρ·h / (π·r²)`.
+///
+/// ```
+/// use ptsim_tsv::electrical::resistance;
+/// use ptsim_tsv::geometry::TsvGeometry;
+/// let r = resistance(&TsvGeometry::standard_10um());
+/// assert!(r.0 > 1e-3 && r.0 < 1.0, "tens of mΩ expected, got {r}");
+/// ```
+#[must_use]
+pub fn resistance(geom: &TsvGeometry) -> Ohm {
+    Ohm(RHO_COPPER * geom.height_m() / geom.copper_area_m2())
+}
+
+/// Oxide (liner) capacitance of the coaxial MOS structure:
+/// `C = 2π·ε·h / ln(r_outer / r)`.
+///
+/// This is the dominant parasitic a TSV presents to circuits and the
+/// quantity the 2012 GHz-characterization companion paper reports
+/// (tens of femtofarads for a mid via).
+#[must_use]
+pub fn liner_capacitance(geom: &TsvGeometry) -> Farad {
+    let r_in = geom.radius.0;
+    let r_out = geom.outer_radius().0;
+    Farad(
+        2.0 * std::f64::consts::PI * EPSILON_R_OXIDE * EPSILON_0 * geom.height_m()
+            / (r_out / r_in).ln(),
+    )
+}
+
+/// RC time constant of one via (a first-order bandwidth proxy).
+#[must_use]
+pub fn rc_time_constant(geom: &TsvGeometry) -> f64 {
+    resistance(geom).0 * liner_capacitance(geom).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resistance_milliohm_scale() {
+        let r = resistance(&TsvGeometry::standard_10um());
+        // ρh/A = 2.2e-8 · 1e-4 / (π·25e-12) ≈ 28 mΩ.
+        assert!((r.0 - 0.028).abs() < 0.005, "got {r}");
+    }
+
+    #[test]
+    fn capacitance_tens_of_femtofarads() {
+        let c = liner_capacitance(&TsvGeometry::standard_10um());
+        assert!(c.0 > 50e-15 && c.0 < 500e-15, "got {c}");
+    }
+
+    #[test]
+    fn smaller_via_higher_resistance_lower_cap() {
+        let big = TsvGeometry::standard_10um();
+        let small = TsvGeometry::fine_5um();
+        assert!(resistance(&small).0 > resistance(&big).0 * 0.9);
+        assert!(liner_capacitance(&small).0 < liner_capacitance(&big).0);
+    }
+
+    #[test]
+    fn rc_far_below_nanosecond() {
+        // TSVs are not the bandwidth bottleneck below tens of GHz.
+        assert!(rc_time_constant(&TsvGeometry::standard_10um()) < 1e-13);
+    }
+
+    #[test]
+    fn thinner_liner_more_capacitance() {
+        let mut thin = TsvGeometry::standard_10um();
+        thin.liner_thickness = ptsim_device::units::Micron(0.2);
+        assert!(liner_capacitance(&thin).0 > liner_capacitance(&TsvGeometry::standard_10um()).0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the TSV crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing TSV models or stack topologies.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TsvError {
+    /// A geometry parameter was out of range.
+    InvalidGeometry {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// An array/topology parameter was out of range.
+    InvalidTopology {
+        /// Description of the violation.
+        what: &'static str,
+    },
+    /// An underlying thermal-model construction failed.
+    Thermal(ptsim_thermal::error::ThermalError),
+}
+
+impl fmt::Display for TsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsvError::InvalidGeometry { name, value } => {
+                write!(f, "invalid TSV geometry: {name} = {value}")
+            }
+            TsvError::InvalidTopology { what } => write!(f, "invalid stack topology: {what}"),
+            TsvError::Thermal(e) => write!(f, "thermal model construction failed: {e}"),
+        }
+    }
+}
+
+impl Error for TsvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TsvError::Thermal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ptsim_thermal::error::ThermalError> for TsvError {
+    fn from(e: ptsim_thermal::error::ThermalError) -> Self {
+        TsvError::Thermal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_thermal_errors() {
+        let e: TsvError = ptsim_thermal::error::ThermalError::InvalidGrid { nx: 0, ny: 1 }.into();
+        assert!(e.to_string().contains("thermal"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<TsvError>();
+    }
+}

@@ -1,0 +1,125 @@
+//! TSV physical geometry.
+
+use crate::error::TsvError;
+use ptsim_device::units::Micron;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one through-silicon via.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TsvGeometry {
+    /// Copper-body radius.
+    pub radius: Micron,
+    /// Via height (thinned-die thickness it crosses).
+    pub height: Micron,
+    /// Oxide liner thickness.
+    pub liner_thickness: Micron,
+}
+
+impl TsvGeometry {
+    /// 10 µm-diameter, 100 µm-deep via with a 0.5 µm liner — the mid-via
+    /// flavour of the group's companion TSV process papers.
+    #[must_use]
+    pub fn standard_10um() -> Self {
+        TsvGeometry {
+            radius: Micron(5.0),
+            height: Micron(100.0),
+            liner_thickness: Micron(0.5),
+        }
+    }
+
+    /// 5 µm-diameter fine-pitch via for dense digital interconnect.
+    #[must_use]
+    pub fn fine_5um() -> Self {
+        TsvGeometry {
+            radius: Micron(2.5),
+            height: Micron(50.0),
+            liner_thickness: Micron(0.2),
+        }
+    }
+
+    /// Validates that all dimensions are positive and the liner is thinner
+    /// than the radius.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsvError::InvalidGeometry`] describing the violation.
+    pub fn validate(&self) -> Result<(), TsvError> {
+        for (name, v) in [
+            ("radius", self.radius.0),
+            ("height", self.height.0),
+            ("liner_thickness", self.liner_thickness.0),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(TsvError::InvalidGeometry { name, value: v });
+            }
+        }
+        if self.liner_thickness.0 >= self.radius.0 {
+            return Err(TsvError::InvalidGeometry {
+                name: "liner_thickness (must be < radius)",
+                value: self.liner_thickness.0,
+            });
+        }
+        Ok(())
+    }
+
+    /// Copper cross-section area, m².
+    #[must_use]
+    pub fn copper_area_m2(&self) -> f64 {
+        let r = self.radius.0 * 1e-6;
+        std::f64::consts::PI * r * r
+    }
+
+    /// Via height, m.
+    #[must_use]
+    pub fn height_m(&self) -> f64 {
+        self.height.0 * 1e-6
+    }
+
+    /// Outer radius including the liner.
+    #[must_use]
+    pub fn outer_radius(&self) -> Micron {
+        Micron(self.radius.0 + self.liner_thickness.0)
+    }
+}
+
+impl Default for TsvGeometry {
+    fn default() -> Self {
+        TsvGeometry::standard_10um()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_geometry_validates() {
+        assert!(TsvGeometry::standard_10um().validate().is_ok());
+        assert!(TsvGeometry::fine_5um().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_nonpositive_dimensions() {
+        let mut g = TsvGeometry::standard_10um();
+        g.radius = Micron(0.0);
+        assert!(g.validate().is_err());
+        let mut g = TsvGeometry::standard_10um();
+        g.height = Micron(f64::NAN);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_liner_thicker_than_radius() {
+        let mut g = TsvGeometry::standard_10um();
+        g.liner_thickness = Micron(6.0);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let g = TsvGeometry::standard_10um();
+        assert!((g.copper_area_m2() - std::f64::consts::PI * 25e-12).abs() < 1e-18);
+        assert!((g.height_m() - 100e-6).abs() < 1e-12);
+        assert_eq!(g.outer_radius().0, 5.5);
+    }
+}

@@ -1,0 +1,40 @@
+//! # ptsim-tsv
+//!
+//! Through-silicon-via models for the SOCC 2012 PT-sensor reproduction:
+//! via [`geometry`], closed-form [`electrical`] parasitics (R, C),
+//! [`thermal_via`] conductance, the thermo-mechanical [`stress`] field with
+//! its piezoresistive Vt/mobility shifts and keep-out zone, and a full 3D
+//! [`topology::StackTopology`] that places TSV arrays at tier interfaces and
+//! exposes the combined thermal + stress environment any die site sees.
+//!
+//! The TSV-induced "thermal stress and Vt scatter" is exactly the stimulus
+//! the paper's sensor exists to observe; this crate generates it.
+//!
+//! ## Example
+//!
+//! ```
+//! use ptsim_device::units::{Celsius, Micron};
+//! use ptsim_tsv::stress::StressModel;
+//! use ptsim_tsv::geometry::TsvGeometry;
+//!
+//! let stress = StressModel::default_65nm();
+//! let geom = TsvGeometry::standard_10um();
+//! let koz = stress.keep_out_radius(&geom, 0.01, Celsius(25.0));
+//! assert!(koz.0 > geom.radius.0, "1% KOZ extends beyond the via wall");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod electrical;
+pub mod error;
+pub mod geometry;
+pub mod stress;
+pub mod thermal_via;
+pub mod topology;
+
+pub use error::TsvError;
+pub use geometry::TsvGeometry;
+pub use stress::StressModel;
+pub use topology::{StackTopology, TsvArray};

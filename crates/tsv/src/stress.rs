@@ -1,0 +1,219 @@
+//! TSV thermo-mechanical stress and its effect on nearby devices.
+//!
+//! Copper's CTE exceeds silicon's by ~14 ppm/K; after the post-plating
+//! anneal the via is frozen in compression and imposes a radially-decaying
+//! stress field on the surrounding silicon (Lamé thick-wall solution,
+//! `σ(r) = σ_edge · (R/r)²`). Through the piezoresistive effect this shifts
+//! carrier mobility and, more weakly, threshold voltage — the "Vt scatter"
+//! near TSVs that motivates the SOCC 2012 sensor. The *keep-out zone* (KOZ)
+//! is the radius inside which the mobility shift exceeds a design threshold.
+
+use crate::geometry::TsvGeometry;
+use ptsim_device::units::{Celsius, Micron, Pascal, Volt};
+use serde::{Deserialize, Serialize};
+
+/// Stress model parameters for one technology/process flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StressModel {
+    /// Radial stress magnitude at the via wall at the reference (25 °C)
+    /// operating temperature.
+    pub sigma_edge_ref: Pascal,
+    /// Anneal temperature at which the via is stress-free.
+    pub anneal_temp: Celsius,
+    /// Fractional NMOS mobility change per pascal of radial stress
+    /// (negative: compression degrades electron mobility along the channel).
+    pub piezo_mu_n: f64,
+    /// Fractional PMOS mobility change per pascal (positive: compression
+    /// helps holes).
+    pub piezo_mu_p: f64,
+    /// NMOS threshold-magnitude shift per pascal, V/Pa.
+    pub dvtn_per_pa: f64,
+    /// PMOS threshold-magnitude shift per pascal, V/Pa.
+    pub dvtp_per_pa: f64,
+}
+
+impl StressModel {
+    /// Published 65 nm-class values: ~150 MPa wall stress after a 250 °C
+    /// anneal, |π| ≈ 0.3/GPa mobility sensitivity, a few mV of Vt shift per
+    /// 100 MPa.
+    #[must_use]
+    pub fn default_65nm() -> Self {
+        StressModel {
+            sigma_edge_ref: Pascal(150.0e6),
+            anneal_temp: Celsius(250.0),
+            piezo_mu_n: -0.30e-9,
+            piezo_mu_p: 0.20e-9,
+            dvtn_per_pa: 2.0e-11,
+            dvtp_per_pa: -1.2e-11,
+        }
+    }
+
+    /// Wall stress at an operating temperature: stress is frozen in at the
+    /// anneal and relaxes linearly toward zero as the die heats back up
+    /// toward the anneal temperature.
+    #[must_use]
+    pub fn sigma_edge(&self, temp: Celsius) -> Pascal {
+        let span = self.anneal_temp.0 - 25.0;
+        if span <= 0.0 {
+            return self.sigma_edge_ref;
+        }
+        let scale = ((self.anneal_temp.0 - temp.0) / span).max(0.0);
+        Pascal(self.sigma_edge_ref.0 * scale)
+    }
+
+    /// Radial stress magnitude at distance `r` from the via *centre*
+    /// (clamped to the wall value inside the via).
+    #[must_use]
+    pub fn radial_stress(&self, geom: &TsvGeometry, r: Micron, temp: Celsius) -> Pascal {
+        let edge = self.sigma_edge(temp);
+        let rr = r.0.max(geom.radius.0);
+        Pascal(edge.0 * (geom.radius.0 / rr).powi(2))
+    }
+
+    /// NMOS threshold shift at distance `r` (positive = slower device).
+    #[must_use]
+    pub fn delta_vtn(&self, geom: &TsvGeometry, r: Micron, temp: Celsius) -> Volt {
+        Volt(self.dvtn_per_pa * self.radial_stress(geom, r, temp).0)
+    }
+
+    /// PMOS threshold shift at distance `r`.
+    #[must_use]
+    pub fn delta_vtp(&self, geom: &TsvGeometry, r: Micron, temp: Celsius) -> Volt {
+        Volt(self.dvtp_per_pa * self.radial_stress(geom, r, temp).0)
+    }
+
+    /// Fractional NMOS mobility change at distance `r`.
+    #[must_use]
+    pub fn mu_shift_n(&self, geom: &TsvGeometry, r: Micron, temp: Celsius) -> f64 {
+        self.piezo_mu_n * self.radial_stress(geom, r, temp).0
+    }
+
+    /// Fractional PMOS mobility change at distance `r`.
+    #[must_use]
+    pub fn mu_shift_p(&self, geom: &TsvGeometry, r: Micron, temp: Celsius) -> f64 {
+        self.piezo_mu_p * self.radial_stress(geom, r, temp).0
+    }
+
+    /// Keep-out radius: distance from the via centre beyond which the worst
+    /// polarity's |mobility shift| stays below `threshold` (e.g. 0.01 for
+    /// the conventional 1 % KOZ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not strictly positive.
+    #[must_use]
+    pub fn keep_out_radius(&self, geom: &TsvGeometry, threshold: f64, temp: Celsius) -> Micron {
+        assert!(threshold > 0.0, "KOZ threshold must be positive");
+        let worst = self
+            .mu_shift_n(geom, geom.radius, temp)
+            .abs()
+            .max(self.mu_shift_p(geom, geom.radius, temp).abs());
+        if worst <= threshold {
+            return geom.radius;
+        }
+        Micron(geom.radius.0 * (worst / threshold).sqrt())
+    }
+}
+
+impl Default for StressModel {
+    fn default() -> Self {
+        StressModel::default_65nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> StressModel {
+        StressModel::default_65nm()
+    }
+
+    fn geom() -> TsvGeometry {
+        TsvGeometry::standard_10um()
+    }
+
+    #[test]
+    fn stress_decays_as_inverse_square() {
+        let m = model();
+        let g = geom();
+        let t = Celsius(25.0);
+        let s1 = m.radial_stress(&g, Micron(10.0), t).0;
+        let s2 = m.radial_stress(&g, Micron(20.0), t).0;
+        assert!((s1 / s2 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stress_clamped_inside_via() {
+        let m = model();
+        let g = geom();
+        let t = Celsius(25.0);
+        assert_eq!(
+            m.radial_stress(&g, Micron(1.0), t),
+            m.radial_stress(&g, g.radius, t)
+        );
+    }
+
+    #[test]
+    fn wall_stress_matches_reference_at_25c() {
+        let m = model();
+        assert!((m.sigma_edge(Celsius(25.0)).0 - 150.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn stress_relaxes_toward_anneal_temperature() {
+        let m = model();
+        let hot = m.sigma_edge(Celsius(100.0)).0;
+        let cold = m.sigma_edge(Celsius(0.0)).0;
+        assert!(hot < 150.0e6);
+        assert!(cold > 150.0e6);
+        assert_eq!(m.sigma_edge(Celsius(250.0)).0, 0.0);
+        // Never negative above the anneal point.
+        assert_eq!(m.sigma_edge(Celsius(300.0)).0, 0.0);
+    }
+
+    #[test]
+    fn vt_shifts_millivolt_scale_at_wall() {
+        let m = model();
+        let g = geom();
+        let dvtn = m.delta_vtn(&g, g.radius, Celsius(25.0));
+        assert!(
+            dvtn.millivolts() > 1.0 && dvtn.millivolts() < 10.0,
+            "{dvtn}"
+        );
+        let dvtp = m.delta_vtp(&g, g.radius, Celsius(25.0));
+        assert!(dvtp.0 < 0.0);
+    }
+
+    #[test]
+    fn mobility_shift_a_few_percent_at_wall() {
+        let m = model();
+        let g = geom();
+        let sn = m.mu_shift_n(&g, g.radius, Celsius(25.0));
+        assert!(sn < -0.01 && sn > -0.10, "{sn}");
+        assert!(m.mu_shift_p(&g, g.radius, Celsius(25.0)) > 0.0);
+    }
+
+    #[test]
+    fn koz_larger_than_via_and_shrinks_with_looser_threshold() {
+        let m = model();
+        let g = geom();
+        let koz1 = m.keep_out_radius(&g, 0.01, Celsius(25.0));
+        let koz5 = m.keep_out_radius(&g, 0.05, Celsius(25.0));
+        assert!(koz1.0 > g.radius.0);
+        assert!(koz5.0 < koz1.0);
+    }
+
+    #[test]
+    fn koz_defaults_to_radius_when_threshold_loose() {
+        let m = model();
+        let g = geom();
+        assert_eq!(m.keep_out_radius(&g, 0.9, Celsius(25.0)), g.radius);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn koz_rejects_zero_threshold() {
+        let _ = model().keep_out_radius(&geom(), 0.0, Celsius(25.0));
+    }
+}

@@ -1,0 +1,46 @@
+//! TSV thermal-via conductance.
+
+use crate::geometry::TsvGeometry;
+use ptsim_device::units::WattPerKelvin;
+use ptsim_thermal::material::Material;
+
+/// Vertical thermal conductance of one via's copper body:
+/// `G = k_cu · π·r² / h`.
+#[must_use]
+pub fn vertical_conductance(geom: &TsvGeometry) -> WattPerKelvin {
+    WattPerKelvin(Material::COPPER.conductivity * geom.copper_area_m2() / geom.height_m())
+}
+
+/// Conductance of a bundle of `count` identical vias in parallel.
+#[must_use]
+pub fn bundle_conductance(geom: &TsvGeometry, count: usize) -> WattPerKelvin {
+    WattPerKelvin(vertical_conductance(geom).0 * count as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_via_conductance_scale() {
+        // 400 · π·25e-12 / 1e-4 ≈ 3.1e-4 W/K.
+        let g = vertical_conductance(&TsvGeometry::standard_10um());
+        assert!((g.0 - 3.14e-4).abs() < 0.5e-4, "got {g}");
+    }
+
+    #[test]
+    fn bundle_scales_linearly() {
+        let geom = TsvGeometry::standard_10um();
+        let one = vertical_conductance(&geom).0;
+        let many = bundle_conductance(&geom, 42).0;
+        assert!((many / one - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shorter_via_conducts_better() {
+        let tall = TsvGeometry::standard_10um();
+        let mut short = tall;
+        short.height = ptsim_device::units::Micron(50.0);
+        assert!(vertical_conductance(&short).0 > vertical_conductance(&tall).0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of the TSV-model invariants.
+
+use proptest::prelude::*;
+use ptsim_device::units::{Celsius, Micron};
+use ptsim_tsv::electrical::{liner_capacitance, rc_time_constant, resistance};
+use ptsim_tsv::geometry::TsvGeometry;
+use ptsim_tsv::stress::StressModel;
+use ptsim_tsv::thermal_via::{bundle_conductance, vertical_conductance};
+use ptsim_tsv::topology::TsvArray;
+
+fn geom_strategy() -> impl Strategy<Value = TsvGeometry> {
+    (1.0f64..10.0, 20.0f64..300.0, 0.05f64..0.9).prop_map(|(r, h, l)| TsvGeometry {
+        radius: Micron(r),
+        height: Micron(h),
+        liner_thickness: Micron(l.min(r * 0.8)),
+    })
+}
+
+proptest! {
+    #[test]
+    fn parasitics_positive_and_finite(g in geom_strategy()) {
+        prop_assert!(g.validate().is_ok());
+        let r = resistance(&g);
+        let c = liner_capacitance(&g);
+        prop_assert!(r.0 > 0.0 && r.0.is_finite());
+        prop_assert!(c.0 > 0.0 && c.0.is_finite());
+        prop_assert!(rc_time_constant(&g) > 0.0);
+    }
+
+    #[test]
+    fn resistance_proportional_to_height(g in geom_strategy()) {
+        let mut tall = g;
+        tall.height = Micron(g.height.0 * 2.0);
+        let ratio = resistance(&tall).0 / resistance(&g).0;
+        prop_assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thermal_conductance_inverse_to_height(g in geom_strategy()) {
+        let mut tall = g;
+        tall.height = Micron(g.height.0 * 2.0);
+        let ratio = vertical_conductance(&tall).0 / vertical_conductance(&g).0;
+        prop_assert!((ratio - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bundle_is_linear(g in geom_strategy(), n in 1usize..500) {
+        let one = vertical_conductance(&g).0;
+        prop_assert!((bundle_conductance(&g, n).0 - n as f64 * one).abs() < 1e-12 * n as f64);
+    }
+
+    #[test]
+    fn stress_bounded_by_wall_value(
+        g in geom_strategy(),
+        r in 0.0f64..500.0,
+        t in -20.0f64..120.0,
+    ) {
+        let m = StressModel::default_65nm();
+        let wall = m.radial_stress(&g, g.radius, Celsius(t)).0;
+        let here = m.radial_stress(&g, Micron(r), Celsius(t)).0;
+        prop_assert!(here <= wall + 1e-9);
+        prop_assert!(here >= 0.0);
+    }
+
+    #[test]
+    fn stress_superposition_scales_vt_shift(
+        g in geom_strategy(),
+        r in 6.0f64..100.0,
+        t in -20.0f64..120.0,
+    ) {
+        // delta_vtn is linear in stress, so doubling stress (two coincident
+        // vias) doubles the shift — checked through the model's linearity.
+        let m = StressModel::default_65nm();
+        let s = m.radial_stress(&g, Micron(r), Celsius(t)).0;
+        let v = m.delta_vtn(&g, Micron(r), Celsius(t)).0;
+        prop_assert!((v - m.dvtn_per_pa * s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn array_positions_count_and_pitch(
+        cols in 1usize..10,
+        rows in 1usize..10,
+        pitch in 30.0f64..200.0,
+    ) {
+        let a = TsvArray::centered(
+            TsvGeometry::standard_10um(),
+            Micron(5000.0),
+            Micron(5000.0),
+            cols,
+            rows,
+            Micron(pitch),
+        );
+        let pos = a.positions();
+        prop_assert_eq!(pos.len(), cols * rows);
+        if cols >= 2 {
+            prop_assert!((pos[1].0 - pos[0].0 - pitch).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn koz_at_least_via_radius(g in geom_strategy(), thr in 0.001f64..0.5) {
+        let m = StressModel::default_65nm();
+        let koz = m.keep_out_radius(&g, thr, Celsius(25.0));
+        prop_assert!(koz.0 >= g.radius.0 - 1e-12);
+    }
+}

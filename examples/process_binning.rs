@@ -1,0 +1,82 @@
+//! Process binning: use the sensor's self-extracted (ΔVtn, ΔVtp) to sort a
+//! wafer's dies into speed bins — with **no external tester**.
+//!
+//! A die's digital speed tracks its threshold shifts; conventional binning
+//! measures ring-oscillator speed on automated test equipment. A
+//! self-calibrated PT sensor lets every die grade *itself* at boot. This
+//! example draws a 500-die population, bins by sensor-reported ΔVtn, and
+//! checks the agreement against the true (hidden) process state.
+//!
+//! Run with: `cargo run --release --example process_binning`
+
+use tsv_pt_sensor::prelude::*;
+
+/// Speed bin by NMOS threshold shift (lower Vt = faster).
+fn bin_of(d_vtn_mv: f64) -> usize {
+    match d_vtn_mv {
+        x if x < -12.0 => 0, // fast
+        x if x < 12.0 => 1,  // typical
+        _ => 2,              // slow
+    }
+}
+
+const BIN_NAMES: [&str; 3] = ["FAST", "TYP ", "SLOW"];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::n65();
+    let model = VariationModel::new(&tech);
+    let spec = SensorSpec::default_65nm();
+
+    let n_dies = 500;
+    let results = run_parallel(&McConfig::new(n_dies, 77), |i, rng| {
+        let die = model.sample_die_with_id(rng, i);
+        let mut sensor = PtSensor::new(tech.clone(), spec).expect("sensor builds");
+        let boot = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
+        sensor.calibrate(&boot, rng).expect("calibration converges");
+        let cal = *sensor.calibration().expect("calibrated");
+        // Truth at the PSRO-N site (what the sensor physically samples).
+        let site = sensor.bank().site_of(RoClass::PsroN, DieSite::CENTER);
+        let truth = die.d_vtn_at(site);
+        (cal.d_vtn().millivolts(), truth.millivolts())
+    });
+
+    let mut confusion = [[0usize; 3]; 3];
+    let mut err_stats = OnlineStats::new();
+    for (reported, truth) in &results {
+        confusion[bin_of(*truth)][bin_of(*reported)] += 1;
+        err_stats.push(reported - truth);
+    }
+
+    println!("self-binning of {n_dies} dies by sensor-extracted ΔVtn\n");
+    println!(
+        "extraction error: mean {:+.3} mV, sd {:.3} mV, worst {:+.3} mV",
+        err_stats.mean(),
+        err_stats.std_dev(),
+        err_stats.max_abs()
+    );
+
+    println!("\nconfusion matrix (rows = true bin, cols = sensor bin):");
+    println!(
+        "          {:>6} {:>6} {:>6}",
+        BIN_NAMES[0], BIN_NAMES[1], BIN_NAMES[2]
+    );
+    let mut correct = 0;
+    for (i, row) in confusion.iter().enumerate() {
+        println!(
+            "  {:>6}  {:>6} {:>6} {:>6}",
+            BIN_NAMES[i], row[0], row[1], row[2]
+        );
+        correct += row[i];
+    }
+    let accuracy = 100.0 * correct as f64 / n_dies as f64;
+    println!("\nbinning agreement: {accuracy:.1}%");
+
+    // Histogram of the reported population.
+    let mut hist = Histogram::new(-45.0, 45.0, 18);
+    for (reported, _) in &results {
+        hist.push(*reported);
+    }
+    println!("\nreported ΔVtn population [mV]:");
+    print!("{}", hist.render(40));
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build the sensor on a randomly-drawn die, self-calibrate at
+//! boot, and read temperature + threshold drift across the operating range.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rand::SeedableRng;
+use tsv_pt_sensor::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::n65();
+    let model = VariationModel::new(&tech);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2012);
+
+    // Draw one die from the process spread — this is "our chip".
+    let die = model.sample_die(&mut rng);
+    println!(
+        "die: ΔVtn(D2D) = {:+.2} mV, ΔVtp(D2D) = {:+.2} mV, µn = {:.3}, µp = {:.3}",
+        die.d_vtn_d2d.millivolts(),
+        die.d_vtp_d2d.millivolts(),
+        die.mu_n_d2d,
+        die.mu_p_d2d
+    );
+
+    // Build the sensor and self-calibrate at the assumed 25 °C boot point.
+    let mut sensor = PtSensor::new(tech, SensorSpec::default_65nm())?;
+    let boot = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
+    let outcome = sensor.calibrate(&boot, &mut rng)?;
+    let cal = outcome.calibration;
+    println!(
+        "self-calibration: extracted ΔVtn = {:+.2} mV, ΔVtp = {:+.2} mV, µn = {:.3}, µp = {:.3} \
+         ({} Newton iterations, {:.1} pJ)",
+        cal.d_vtn().millivolts(),
+        cal.d_vtp().millivolts(),
+        cal.mu_n(),
+        cal.mu_p(),
+        outcome.solver_iterations,
+        outcome.energy.total().picojoules(),
+    );
+
+    // Sweep the true junction temperature and read back.
+    println!(
+        "\n{:>8}  {:>10}  {:>8}  {:>12}  {:>12}  {:>10}",
+        "true °C", "read °C", "err °C", "ΔVtn [mV]", "ΔVtp [mV]", "E [pJ]"
+    );
+    for t in (-20..=100).step_by(10) {
+        let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(t as f64));
+        let r = sensor.read(&inputs, &mut rng)?;
+        println!(
+            "{:>8}  {:>10.3}  {:>8.3}  {:>12.2}  {:>12.2}  {:>10.1}",
+            t,
+            r.temperature.0,
+            r.temperature.0 - t as f64,
+            r.d_vtn.millivolts(),
+            r.d_vtp.millivolts(),
+            r.energy_total().picojoules(),
+        );
+    }
+
+    Ok(())
+}

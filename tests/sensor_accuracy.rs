@@ -1,0 +1,133 @@
+//! Cross-crate integration: grade the sensor against the abstract's
+//! headline numbers over a Monte-Carlo die population.
+//!
+//! Paper targets — Vtn sensitivity ±1.6 mV, Vtp ±0.8 mV, temperature
+//! inaccuracy ±1.5 °C, 367.5 pJ/conversion.
+
+use rand::SeedableRng;
+use tsv_pt_sensor::prelude::*;
+
+fn population_errors(n: usize, temps: &[f64]) -> (OnlineStats, OnlineStats, OnlineStats) {
+    let tech = Technology::n65();
+    let model = VariationModel::new(&tech);
+    let spec = SensorSpec::default_65nm();
+    let per_die = run_parallel(&McConfig::new(n, 0xacc), |i, rng| {
+        let die = model.sample_die_with_id(rng, i);
+        let mut sensor = PtSensor::new(tech.clone(), spec).expect("sensor builds");
+        sensor
+            .calibrate(
+                &SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)),
+                rng,
+            )
+            .expect("calibration converges");
+        let cal = *sensor.calibration().expect("calibrated");
+        let site_n = sensor.bank().site_of(RoClass::PsroN, DieSite::CENTER);
+        let site_p = sensor.bank().site_of(RoClass::PsroP, DieSite::CENTER);
+        let vtn_err = (cal.d_vtn() - die.d_vtn_at(site_n)).millivolts();
+        let vtp_err = (cal.d_vtp() - die.d_vtp_at(site_p)).millivolts();
+        let mut temp_errs = Vec::new();
+        for &t in temps {
+            let r = sensor
+                .read(&SensorInputs::new(&die, DieSite::CENTER, Celsius(t)), rng)
+                .expect("conversion succeeds");
+            temp_errs.push(r.temperature.0 - t);
+        }
+        (vtn_err, vtp_err, temp_errs)
+    });
+
+    let mut vtn = OnlineStats::new();
+    let mut vtp = OnlineStats::new();
+    let mut temp = OnlineStats::new();
+    for (n_err, p_err, t_errs) in per_die {
+        vtn.push(n_err);
+        vtp.push(p_err);
+        temp.extend(t_errs);
+    }
+    (vtn, vtp, temp)
+}
+
+#[test]
+fn vt_extraction_within_paper_bands() {
+    let (vtn, vtp, _) = population_errors(120, &[]);
+    assert!(
+        vtn.max_abs() < 1.6,
+        "Vtn extraction worst error {:.3} mV exceeds paper ±1.6 mV band",
+        vtn.max_abs()
+    );
+    assert!(
+        vtp.max_abs() < 1.6,
+        "Vtp extraction worst error {:.3} mV far outside expectation",
+        vtp.max_abs()
+    );
+    // Estimates must be essentially unbiased.
+    assert!(vtn.mean().abs() < 0.3, "Vtn bias {:.3} mV", vtn.mean());
+    assert!(vtp.mean().abs() < 0.3, "Vtp bias {:.3} mV", vtp.mean());
+}
+
+#[test]
+fn temperature_inaccuracy_within_paper_band() {
+    let (_, _, temp) = population_errors(60, &[-20.0, 10.0, 40.0, 70.0, 100.0]);
+    assert!(
+        temp.max_abs() < 1.5,
+        "temperature worst error {:.3} °C exceeds paper ±1.5 °C band",
+        temp.max_abs()
+    );
+}
+
+#[test]
+fn conversion_energy_tracks_paper() {
+    let tech = Technology::n65();
+    let die = DieSample::nominal();
+    let mut sensor = PtSensor::new(tech, SensorSpec::default_65nm()).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    sensor
+        .calibrate(
+            &SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)),
+            &mut rng,
+        )
+        .unwrap();
+    let r = sensor
+        .read(
+            &SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)),
+            &mut rng,
+        )
+        .unwrap();
+    let pj = r.energy_total().picojoules();
+    assert!((pj - 367.5).abs() < 10.0, "nominal conversion {pj:.1} pJ");
+}
+
+#[test]
+fn corner_dies_all_convert_successfully() {
+    let tech = Technology::n65();
+    let model = VariationModel::new(&tech);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    for corner in ProcessCorner::ALL {
+        let die = model.corner_die(corner, &tech);
+        let mut sensor = PtSensor::new(tech.clone(), SensorSpec::default_65nm()).unwrap();
+        sensor
+            .calibrate(
+                &SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)),
+                &mut rng,
+            )
+            .unwrap_or_else(|e| panic!("corner {corner} calibration failed: {e}"));
+        let r = sensor
+            .read(
+                &SensorInputs::new(&die, DieSite::CENTER, Celsius(85.0)),
+                &mut rng,
+            )
+            .unwrap_or_else(|e| panic!("corner {corner} read failed: {e}"));
+        assert!(
+            (r.temperature.0 - 85.0).abs() < 1.5,
+            "corner {corner}: {:.2} °C error",
+            r.temperature.0 - 85.0
+        );
+        // Extraction must track the corner's sign.
+        let cal = sensor.calibration().unwrap();
+        let want = corner.vtn_shift(&tech).0;
+        assert!(
+            (cal.d_vtn().0 - want).abs() < 2e-3,
+            "corner {corner}: extracted {} vs shift {want}",
+            cal.d_vtn()
+        );
+    }
+}
