@@ -12,12 +12,11 @@ use ptsim_core::error::SensorError;
 use ptsim_core::sensor::SensorInputs;
 use ptsim_device::units::{Celsius, Joule};
 use ptsim_mc::gaussian::normal;
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
-use serde::{Deserialize, Serialize};
+use ptsim_rng::Pcg64;
+use ptsim_rng::RngCore;
 
 /// Behavioral BJT sensor model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BjtSensor {
     /// One-sigma untrimmed per-die offset.
     pub untrimmed_offset_sigma: f64,
@@ -48,7 +47,7 @@ impl BjtSensor {
 
     /// Draws this die's untrimmed offset (call once per die before use).
     pub fn realize_die(&mut self, rng: &mut dyn RngCore) {
-        let mut srng = StdRng::seed_from_u64(rng.next_u64());
+        let mut srng = Pcg64::seed_from_u64(rng.next_u64());
         self.offset = normal(&mut srng, 0.0, self.untrimmed_offset_sigma);
         self.trimmed = false;
     }
@@ -81,7 +80,7 @@ impl Thermometer for BjtSensor {
         inputs: &SensorInputs<'_>,
         rng: &mut dyn RngCore,
     ) -> Result<TempReading, SensorError> {
-        let mut srng = StdRng::seed_from_u64(rng.next_u64());
+        let mut srng = Pcg64::seed_from_u64(rng.next_u64());
         let t = inputs.temp.0;
         let offset = if self.trimmed { 0.0 } else { self.offset };
         let curvature = self.curvature_per_c2 * (t - 25.0) * (t - 25.0);
@@ -107,14 +106,13 @@ impl Thermometer for BjtSensor {
 mod tests {
     use super::*;
     use ptsim_mc::die::{DieSample, DieSite};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ptsim_rng::Pcg64;
 
     #[test]
     fn trimmed_sensor_is_accurate() {
         let mut s = BjtSensor::typical();
         let die = DieSample::nominal();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Pcg64::seed_from_u64(1);
         s.realize_die(&mut rng);
         let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(80.0));
         s.prepare(&inputs, &mut rng).unwrap();
@@ -125,7 +123,7 @@ mod tests {
     #[test]
     fn untrimmed_sensor_carries_die_offset() {
         let mut worst: f64 = 0.0;
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Pcg64::seed_from_u64(2);
         let die = DieSample::nominal();
         for _ in 0..50 {
             let mut s = BjtSensor::typical();

@@ -23,14 +23,13 @@
 //! use ptsim_device::process::Technology;
 //! use ptsim_device::units::{Celsius, Volt};
 //! use ptsim_mc::die::{DieSample, DieSite};
-//! use rand::SeedableRng;
 //!
 //! # fn main() -> Result<(), ptsim_core::error::SensorError> {
 //! let th = RoThermometer::new(Technology::n65(), RoCalibration::None)?;
 //! let mut die = DieSample::nominal();
 //! die.d_vtn_d2d = Volt(0.03); // a slow-corner die
 //! die.d_vtp_d2d = Volt(0.03);
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = ptsim_rng::Pcg64::seed_from_u64(7);
 //! let r = th.read_temperature(
 //!     &SensorInputs::new(&die, DieSite::CENTER, Celsius(60.0)),
 //!     &mut rng,

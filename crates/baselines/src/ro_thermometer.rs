@@ -21,10 +21,9 @@ use ptsim_core::sensor::SensorInputs;
 use ptsim_device::inverter::CmosEnv;
 use ptsim_device::process::Technology;
 use ptsim_device::units::{Celsius, Hertz, Joule};
-use serde::{Deserialize, Serialize};
 
 /// Calibration policy of an RO thermometer baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RoCalibration {
     /// No per-die correction.
     None,
@@ -33,7 +32,7 @@ pub enum RoCalibration {
 }
 
 /// A plain TSRO thermometer with configurable calibration policy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoThermometer {
     tech: Technology,
     bank: RoBank,
@@ -68,7 +67,7 @@ impl RoThermometer {
     fn measure(
         &self,
         inputs: &SensorInputs<'_>,
-        rng: &mut dyn rand::RngCore,
+        rng: &mut dyn ptsim_rng::RngCore,
         ledger: &mut EnergyLedger,
     ) -> Result<Hertz, SensorError> {
         let counter = GatedCounter::new(self.counter_bits, self.window_cycles)?;
@@ -122,7 +121,7 @@ impl Thermometer for RoThermometer {
     fn prepare(
         &mut self,
         inputs: &SensorInputs<'_>,
-        rng: &mut dyn rand::RngCore,
+        rng: &mut dyn ptsim_rng::RngCore,
     ) -> Result<(), SensorError> {
         if self.policy == RoCalibration::OnePoint {
             let mut ledger = EnergyLedger::new();
@@ -136,7 +135,7 @@ impl Thermometer for RoThermometer {
     fn read_temperature(
         &self,
         inputs: &SensorInputs<'_>,
-        rng: &mut dyn rand::RngCore,
+        rng: &mut dyn ptsim_rng::RngCore,
     ) -> Result<TempReading, SensorError> {
         let mut ledger = EnergyLedger::new();
         let f = self.measure(inputs, rng, &mut ledger)?;
@@ -162,8 +161,7 @@ mod tests {
     use super::*;
     use ptsim_device::units::Volt;
     use ptsim_mc::die::{DieSample, DieSite};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ptsim_rng::Pcg64;
 
     fn inputs(die: &DieSample, t: f64) -> SensorInputs<'_> {
         SensorInputs::new(die, DieSite::CENTER, Celsius(t))
@@ -173,7 +171,7 @@ mod tests {
     fn uncalibrated_fine_on_nominal_die() {
         let th = RoThermometer::new(Technology::n65(), RoCalibration::None).unwrap();
         let die = DieSample::nominal();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Pcg64::seed_from_u64(1);
         let r = th.read_temperature(&inputs(&die, 60.0), &mut rng).unwrap();
         assert!((r.temperature.0 - 60.0).abs() < 0.5, "{}", r.temperature);
     }
@@ -184,7 +182,7 @@ mod tests {
         let mut die = DieSample::nominal();
         die.d_vtn_d2d = Volt(0.030);
         die.d_vtp_d2d = Volt(0.030);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Pcg64::seed_from_u64(2);
         let r = th.read_temperature(&inputs(&die, 60.0), &mut rng).unwrap();
         assert!(
             (r.temperature.0 - 60.0).abs() > 5.0,
@@ -199,7 +197,7 @@ mod tests {
         let mut die = DieSample::nominal();
         die.d_vtn_d2d = Volt(0.030);
         die.d_vtp_d2d = Volt(0.030);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Pcg64::seed_from_u64(3);
         th.prepare(&inputs(&die, 25.0), &mut rng).unwrap();
         let r = th.read_temperature(&inputs(&die, 25.0), &mut rng).unwrap();
         assert!(
@@ -215,7 +213,7 @@ mod tests {
         let mut die = DieSample::nominal();
         die.d_vtn_d2d = Volt(0.030);
         die.d_vtp_d2d = Volt(0.030);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Pcg64::seed_from_u64(4);
         th.prepare(&inputs(&die, 25.0), &mut rng).unwrap();
         let r = th.read_temperature(&inputs(&die, 100.0), &mut rng).unwrap();
         let err = (r.temperature.0 - 100.0).abs();
@@ -238,7 +236,7 @@ mod tests {
     fn reading_reports_positive_energy() {
         let th = RoThermometer::new(Technology::n65(), RoCalibration::None).unwrap();
         let die = DieSample::nominal();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Pcg64::seed_from_u64(5);
         let r = th.read_temperature(&inputs(&die, 25.0), &mut rng).unwrap();
         let pj = r.energy.picojoules();
         assert!(

@@ -29,7 +29,7 @@ pub trait Thermometer {
     fn prepare(
         &mut self,
         inputs: &SensorInputs<'_>,
-        rng: &mut dyn rand::RngCore,
+        rng: &mut dyn ptsim_rng::RngCore,
     ) -> Result<(), SensorError>;
 
     /// One temperature conversion.
@@ -40,7 +40,7 @@ pub trait Thermometer {
     fn read_temperature(
         &self,
         inputs: &SensorInputs<'_>,
-        rng: &mut dyn rand::RngCore,
+        rng: &mut dyn ptsim_rng::RngCore,
     ) -> Result<TempReading, SensorError>;
 
     /// Whether preparation requires external test equipment (thermal
@@ -52,7 +52,7 @@ pub trait Thermometer {
 }
 
 /// Convenience: draw a uniform phase from a dyn RNG.
-pub(crate) fn uniform_phase(rng: &mut dyn rand::RngCore) -> f64 {
+pub(crate) fn uniform_phase(rng: &mut dyn ptsim_rng::RngCore) -> f64 {
     // Use 53 random bits for a uniform double in [0, 1).
     let bits = rng.next_u64() >> 11;
     bits as f64 / (1u64 << 53) as f64
@@ -61,12 +61,11 @@ pub(crate) fn uniform_phase(rng: &mut dyn rand::RngCore) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ptsim_rng::Pcg64;
 
     #[test]
     fn uniform_phase_in_unit_interval() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Pcg64::seed_from_u64(1);
         for _ in 0..1000 {
             let p = uniform_phase(&mut rng);
             assert!((0.0..1.0).contains(&p));

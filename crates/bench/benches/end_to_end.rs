@@ -1,7 +1,7 @@
-//! Criterion: end-to-end sensor operations — calibration and conversion
-//! rate (simulated conversions per wall-clock second).
+//! End-to-end sensor operations (internal harness) — calibration and
+//! conversion rate (simulated conversions per wall-clock second).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ptsim_bench::harness::bench;
 use ptsim_core::sensor::{PtSensor, SensorInputs, SensorSpec};
 use ptsim_device::process::Technology;
 use ptsim_device::units::Celsius;
@@ -10,52 +10,41 @@ use ptsim_mc::driver::die_rng;
 use ptsim_mc::model::VariationModel;
 use std::hint::black_box;
 
-fn bench_sensor(c: &mut Criterion) {
+fn main() {
     let tech = Technology::n65();
     let model = VariationModel::new(&tech);
     let mut rng = die_rng(7, 0);
     let die = model.sample_die(&mut rng);
 
-    c.bench_function("self_calibration", |b| {
-        b.iter(|| {
-            let mut sensor = PtSensor::new(tech.clone(), SensorSpec::default_65nm()).unwrap();
-            let mut rng = die_rng(7, 1);
-            black_box(
-                sensor
-                    .calibrate(
-                        &SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)),
-                        &mut rng,
-                    )
-                    .unwrap(),
-            )
-        })
-    });
-
-    c.bench_function("conversion", |b| {
+    bench("self_calibration", || {
         let mut sensor = PtSensor::new(tech.clone(), SensorSpec::default_65nm()).unwrap();
-        let mut rng = die_rng(7, 2);
-        sensor
-            .calibrate(
-                &SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)),
-                &mut rng,
-            )
-            .unwrap();
-        b.iter(|| {
-            black_box(
-                sensor
-                    .read(
-                        &SensorInputs::new(&die, DieSite::CENTER, Celsius(63.0)),
-                        &mut rng,
-                    )
-                    .unwrap(),
-            )
-        })
+        let mut rng = die_rng(7, 1);
+        black_box(
+            sensor
+                .calibrate(
+                    &SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)),
+                    &mut rng,
+                )
+                .unwrap(),
+        );
+    });
+
+    let mut sensor = PtSensor::new(tech.clone(), SensorSpec::default_65nm()).unwrap();
+    let mut rng = die_rng(7, 2);
+    sensor
+        .calibrate(
+            &SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)),
+            &mut rng,
+        )
+        .unwrap();
+    bench("conversion", || {
+        black_box(
+            sensor
+                .read(
+                    &SensorInputs::new(&die, DieSite::CENTER, Celsius(63.0)),
+                    &mut rng,
+                )
+                .unwrap(),
+        );
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_sensor
-}
-criterion_main!(benches);

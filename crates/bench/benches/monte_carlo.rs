@@ -1,36 +1,27 @@
-//! Criterion: Monte-Carlo die-sampling throughput.
+//! Monte-Carlo die-sampling throughput (internal harness).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ptsim_bench::harness::bench;
 use ptsim_device::process::Technology;
 use ptsim_mc::driver::die_rng;
 use ptsim_mc::model::VariationModel;
 use std::hint::black_box;
 
-fn bench_mc(c: &mut Criterion) {
+fn main() {
     let model = VariationModel::new(&Technology::n65());
-    c.bench_function("sample_die", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let mut rng = die_rng(42, i);
-            black_box(model.sample_die_with_id(&mut rng, i))
-        })
-    });
-    c.bench_function("die_env_query", |b| {
-        let mut rng = die_rng(42, 0);
-        let die = model.sample_die(&mut rng);
-        b.iter(|| {
-            black_box(die.env_at(
-                ptsim_mc::die::DieSite::new(0.37, 0.61),
-                ptsim_device::units::Celsius(55.0),
-            ))
-        })
-    });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_mc
+    let mut i = 0u64;
+    bench("sample_die", || {
+        i += 1;
+        let mut rng = die_rng(42, i);
+        black_box(model.sample_die_with_id(&mut rng, i));
+    });
+
+    let mut rng = die_rng(42, 0);
+    let die = model.sample_die(&mut rng);
+    bench("die_env_query", || {
+        black_box(die.env_at(
+            ptsim_mc::die::DieSite::new(0.37, 0.61),
+            ptsim_device::units::Celsius(55.0),
+        ));
+    });
 }
-criterion_main!(benches);

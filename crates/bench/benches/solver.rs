@@ -1,59 +1,47 @@
-//! Criterion: Newton decoupling-solver throughput (the on-chip datapath's
-//! software model — conversions are solver-bound).
+//! Newton decoupling-solver throughput (internal harness) — the on-chip
+//! datapath's software model; conversions are solver-bound.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ptsim_bench::harness::bench;
 use ptsim_core::newton::{newton_solve, NewtonOptions};
 use std::hint::black_box;
 
-fn bench_newton(c: &mut Criterion) {
-    c.bench_function("newton_1d_sqrt", |b| {
-        b.iter(|| {
-            let mut x = [1.0];
-            newton_solve(
-                &mut x,
-                |v| vec![v[0] * v[0] - black_box(2.0)],
-                &[1e-7],
-                &[10.0],
-                &NewtonOptions::default(),
-                "bench",
-            )
-            .unwrap();
-            black_box(x[0])
-        })
+fn main() {
+    bench("newton_1d_sqrt", || {
+        let mut x = [1.0];
+        newton_solve(
+            &mut x,
+            |v| vec![v[0] * v[0] - black_box(2.0)],
+            &[1e-7],
+            &[10.0],
+            &NewtonOptions::default(),
+            "bench",
+        )
+        .unwrap();
+        black_box(x[0]);
     });
-    c.bench_function("newton_4d_decoupling_shape", |b| {
-        // Same dimensionality/conditioning class as the calibration solve.
-        b.iter(|| {
-            let mut x = [0.0f64, 0.0, 1.0, 1.0];
-            let target = [0.012f64, -0.008, 1.03, 0.97];
-            newton_solve(
-                &mut x,
-                |v| {
-                    vec![
-                        (v[2] * (0.65 - v[0]).powf(1.3)).ln()
-                            - (target[2] * (0.65 - target[0]).powf(1.3)).ln(),
-                        (v[2] * (0.20 - v[0]).exp()).ln()
-                            - (target[2] * (0.20 - target[0]).exp()).ln(),
-                        (v[3] * (0.67 - v[1]).powf(1.3)).ln()
-                            - (target[3] * (0.67 - target[1]).powf(1.3)).ln(),
-                        (v[3] * (0.22 - v[1]).exp()).ln()
-                            - (target[3] * (0.22 - target[1]).exp()).ln(),
-                    ]
-                },
-                &[1e-4, 1e-4, 1e-3, 1e-3],
-                &[0.04, 0.04, 0.15, 0.15],
-                &NewtonOptions::default(),
-                "bench",
-            )
-            .unwrap();
-            black_box(x)
-        })
-    });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_newton
+    // Same dimensionality/conditioning class as the calibration solve.
+    bench("newton_4d_decoupling_shape", || {
+        let mut x = [0.0f64, 0.0, 1.0, 1.0];
+        let target = [0.012f64, -0.008, 1.03, 0.97];
+        newton_solve(
+            &mut x,
+            |v| {
+                vec![
+                    (v[2] * (0.65 - v[0]).powf(1.3)).ln()
+                        - (target[2] * (0.65 - target[0]).powf(1.3)).ln(),
+                    (v[2] * (0.20 - v[0]).exp()).ln() - (target[2] * (0.20 - target[0]).exp()).ln(),
+                    (v[3] * (0.67 - v[1]).powf(1.3)).ln()
+                        - (target[3] * (0.67 - target[1]).powf(1.3)).ln(),
+                    (v[3] * (0.22 - v[1]).exp()).ln() - (target[3] * (0.22 - target[1]).exp()).ln(),
+                ]
+            },
+            &[1e-4, 1e-4, 1e-3, 1e-3],
+            &[0.04, 0.04, 0.15, 0.15],
+            &NewtonOptions::default(),
+            "bench",
+        )
+        .unwrap();
+        black_box(x);
+    });
 }
-criterion_main!(benches);

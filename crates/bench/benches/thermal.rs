@@ -1,7 +1,7 @@
-//! Criterion: thermal-solver scaling (steady-state solve of the reference
-//! 4-tier stack, and one transient step).
+//! Thermal-solver scaling (internal harness): steady-state solve of the
+//! reference 4-tier stack at several grid sizes, and one transient step.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ptsim_bench::harness::bench;
 use ptsim_device::units::{Seconds, Watt};
 use ptsim_thermal::power::PowerMap;
 use ptsim_thermal::solve::{solve_steady_state, step_transient, SolveOptions};
@@ -21,27 +21,16 @@ fn stack(n: usize) -> ThermalStack {
     s
 }
 
-fn bench_thermal(c: &mut Criterion) {
-    let mut group = c.benchmark_group("steady_state");
+fn main() {
     for n in [8usize, 16, 32] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut s = stack(n);
-                black_box(solve_steady_state(&mut s, &SolveOptions::default()).unwrap())
-            })
+        bench(&format!("steady_state/{n}"), || {
+            let mut s = stack(n);
+            black_box(solve_steady_state(&mut s, &SolveOptions::default()).unwrap());
         });
     }
-    group.finish();
 
-    c.bench_function("transient_step_16x16x4", |b| {
-        let mut s = stack(16);
-        b.iter(|| black_box(step_transient(&mut s, Seconds(1e-4))))
+    let mut s = stack(16);
+    bench("transient_step_16x16x4", || {
+        black_box(step_transient(&mut s, Seconds(1e-4)));
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_thermal
-}
-criterion_main!(benches);

@@ -14,7 +14,6 @@ use ptsim_mc::model::VariationModel;
 use ptsim_thermal::power::PowerMap;
 use ptsim_thermal::solve::{solve_steady_state, step_transient, SolveOptions};
 use ptsim_tsv::topology::StackTopology;
-use rand::SeedableRng;
 
 /// Runs the stack case study and renders the report.
 ///
@@ -25,7 +24,7 @@ use rand::SeedableRng;
 pub fn run() -> String {
     let tech = Technology::n65();
     let model = VariationModel::new(&tech);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xf5);
+    let mut rng = ptsim_rng::Pcg64::seed_from_u64(0xf5);
     let dies: Vec<DieSample> = (0..4)
         .map(|i| model.sample_die_with_id(&mut rng, i))
         .collect();

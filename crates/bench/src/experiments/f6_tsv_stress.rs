@@ -14,7 +14,6 @@ use ptsim_mc::model::VariationModel;
 use ptsim_mc::stats::OnlineStats;
 use ptsim_tsv::geometry::TsvGeometry;
 use ptsim_tsv::stress::StressModel;
-use rand::SeedableRng;
 
 const DISTANCES: [f64; 9] = [6.0, 7.0, 8.0, 10.0, 12.0, 15.0, 20.0, 35.0, 60.0];
 
@@ -32,7 +31,7 @@ pub fn run() -> String {
     let koz = stress.keep_out_radius(&geom, 0.01, Celsius(25.0));
 
     let model = VariationModel::new(&tech);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xf6);
+    let mut rng = ptsim_rng::Pcg64::seed_from_u64(0xf6);
     let die = model.sample_die(&mut rng);
     let mut sensor = PtSensor::new(tech, SensorSpec::default_65nm()).expect("sensor");
     sensor

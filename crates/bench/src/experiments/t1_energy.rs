@@ -8,7 +8,6 @@ use ptsim_core::sensor::{PtSensor, SensorInputs, SensorSpec};
 use ptsim_device::process::Technology;
 use ptsim_device::units::Celsius;
 use ptsim_mc::die::{DieSample, DieSite};
-use rand::SeedableRng;
 
 /// Runs the breakdown and renders the report.
 ///
@@ -19,7 +18,7 @@ use rand::SeedableRng;
 pub fn run() -> String {
     let tech = Technology::n65();
     let die = DieSample::nominal();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x71);
+    let mut rng = ptsim_rng::Pcg64::seed_from_u64(0x71);
     let mut sensor = PtSensor::new(tech, SensorSpec::default_65nm()).expect("sensor");
     let boot = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
     let outcome = sensor.calibrate(&boot, &mut rng).expect("calibration");

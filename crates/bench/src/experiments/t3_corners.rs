@@ -10,7 +10,6 @@ use ptsim_device::process::{ProcessCorner, Technology};
 use ptsim_device::units::Celsius;
 use ptsim_mc::die::DieSite;
 use ptsim_mc::model::VariationModel;
-use rand::SeedableRng;
 
 const TEMPS: [f64; 5] = [-20.0, 10.0, 40.0, 70.0, 100.0];
 
@@ -23,7 +22,7 @@ const TEMPS: [f64; 5] = [-20.0, 10.0, 40.0, 70.0, 100.0];
 pub fn run() -> String {
     let tech = Technology::n65();
     let model = VariationModel::new(&tech);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x73);
+    let mut rng = ptsim_rng::Pcg64::seed_from_u64(0x73);
 
     let mut table = Table::new(vec![
         "corner",

@@ -14,7 +14,6 @@ use ptsim_device::process::Technology;
 use ptsim_device::units::{Celsius, Volt};
 use ptsim_mc::die::DieSite;
 use ptsim_mc::model::VariationModel;
-use rand::SeedableRng;
 
 const TEMPS: [f64; 4] = [0.0, 25.0, 50.0, 75.0];
 
@@ -27,7 +26,7 @@ const TEMPS: [f64; 4] = [0.0, 25.0, 50.0, 75.0];
 pub fn run() -> String {
     let tech = Technology::n65();
     let model = VariationModel::new(&tech);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x2013);
+    let mut rng = ptsim_rng::Pcg64::seed_from_u64(0x2013);
     let die = model.sample_die(&mut rng);
 
     let mut table = Table::new(vec![

@@ -20,10 +20,13 @@
 //! cargo run --release -p ptsim-bench --bin run_all             # everything
 //! ```
 //!
-//! Criterion micro-benchmarks live in `benches/`.
+//! Micro-benchmarks live in `benches/` and run on the in-tree
+//! [`harness`] (warmup + median-of-N, one JSON line per benchmark on
+//! stdout) — `cargo bench -p ptsim-bench` needs no external crates.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod experiments;
+pub mod harness;
 pub mod table;

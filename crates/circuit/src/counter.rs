@@ -8,10 +8,9 @@
 
 use crate::error::CircuitError;
 use ptsim_device::units::{Hertz, Seconds};
-use serde::{Deserialize, Serialize};
 
 /// A binary ripple counter gated by a measurement window.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GatedCounter {
     bits: u32,
     window_cycles: u64,
@@ -101,7 +100,7 @@ impl GatedCounter {
 
 /// A divide-by-2^k prescaler placed in front of a counter so GHz-class ring
 /// oscillators can be counted by a slower counter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Prescaler {
     log2_ratio: u32,
 }

@@ -5,11 +5,10 @@
 //! breakdown so the energy table (T1) can be regenerated.
 
 use ptsim_device::units::Joule;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Accumulates energy per named component.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct EnergyLedger {
     entries: Vec<(String, Joule)>,
 }

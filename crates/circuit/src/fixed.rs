@@ -11,12 +11,11 @@
 //! typically do.
 
 use crate::error::CircuitError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A signed Q-format: `int_bits` integer bits and `frac_bits` fraction bits,
 /// plus an implicit sign bit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QFormat {
     int_bits: u32,
     frac_bits: u32,
@@ -101,7 +100,7 @@ impl fmt::Display for QFormat {
 }
 
 /// A fixed-point value in some [`QFormat`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Fixed {
     raw: i64,
     format: QFormat,

@@ -4,7 +4,6 @@ use crate::error::CircuitError;
 use ptsim_device::inverter::{CmosEnv, Inverter};
 use ptsim_device::process::Technology;
 use ptsim_device::units::{Farad, Hertz, Joule, Seconds, Volt, Watt};
-use serde::{Deserialize, Serialize};
 
 /// An N-stage inverter ring oscillator.
 ///
@@ -28,7 +27,7 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InverterRing {
     stages: usize,
     inverter: Inverter,

@@ -1,32 +1,32 @@
 //! Property-based tests of the circuit-block invariants.
 
-use proptest::prelude::*;
 use ptsim_circuit::counter::{auto_measure, GatedCounter, Prescaler};
 use ptsim_circuit::energy::EnergyLedger;
 use ptsim_circuit::fixed::{Fixed, QFormat};
 use ptsim_device::units::{Hertz, Joule};
+use ptsim_rng::forall;
 
-proptest! {
+forall! {
     #[test]
     fn fixed_sub_is_add_of_negation(a in -1000.0f64..1000.0, b in -1000.0f64..1000.0) {
         let q = QFormat::Q16_16;
         let x = Fixed::from_f64(a, q);
         let y = Fixed::from_f64(b, q);
-        prop_assert_eq!(x.sub(y).unwrap(), x.add(y.neg()).unwrap());
+        assert_eq!(x.sub(y).unwrap(), x.add(y.neg()).unwrap());
     }
 
     #[test]
-    fn fixed_saturation_is_idempotent(v in proptest::num::f64::NORMAL) {
+    fn fixed_saturation_is_idempotent(v in ptsim_rng::check::NORMAL_F64) {
         let q = QFormat::Q8_8;
         let once = Fixed::from_f64(v, q);
         let twice = Fixed::from_f64(once.to_f64(), q);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice);
     }
 
     #[test]
     fn fixed_abs_is_nonnegative(v in -30000.0f64..30000.0) {
         let q = QFormat::Q16_16;
-        prop_assert!(Fixed::from_f64(v, q).abs().to_f64() >= 0.0);
+        assert!(Fixed::from_f64(v, q).abs().to_f64() >= 0.0);
     }
 
     #[test]
@@ -36,15 +36,15 @@ proptest! {
         let y = Fixed::from_f64(b, q);
         let back = x.div(y).unwrap().mul(y).unwrap().to_f64();
         // Two rounding steps, each ≤ LSB/2, amplified by |y|.
-        prop_assert!((back - x.to_f64()).abs() <= q.resolution() * (2.0 + b));
+        assert!((back - x.to_f64()).abs() <= q.resolution() * (2.0 + b));
     }
 
     #[test]
     fn auto_measure_never_overflows_counter(f in 1e3f64..1e11, phase in 0.0f64..1.0) {
         let c = GatedCounter::new(14, 3_200).unwrap(); // 100 µs @ 32 MHz
         let (est, counted) = auto_measure(Hertz(f), &c, Hertz(32e6), phase).unwrap();
-        prop_assert!(counted <= c.max_count());
-        prop_assert!(est.0 >= 0.0);
+        assert!(counted <= c.max_count());
+        assert!(est.0 >= 0.0);
     }
 
     #[test]
@@ -54,24 +54,24 @@ proptest! {
         // below ~2/max_count.
         let c = GatedCounter::new(16, 32_000).unwrap(); // 1 ms @ 32 MHz
         let (est, _) = auto_measure(Hertz(f), &c, Hertz(32e6), phase).unwrap();
-        prop_assert!(((est.0 - f) / f).abs() < 2e-4, "f {f:.3e} est {est}");
+        assert!(((est.0 - f) / f).abs() < 2e-4, "f {f:.3e} est {est}");
     }
 
     #[test]
     fn prescaler_undo_inverts_output(f in 1.0f64..1e10, k in 0u32..16) {
         let p = Prescaler::new(k).unwrap();
         let rt = p.undo(p.output(Hertz(f)));
-        prop_assert!((rt.0 - f).abs() / f < 1e-12);
+        assert!((rt.0 - f).abs() / f < 1e-12);
     }
 
     #[test]
-    fn ledger_total_equals_sum_of_components(parts in prop::collection::vec(0.0f64..1e-9, 1..20)) {
+    fn ledger_total_equals_sum_of_components(parts in ptsim_rng::check::vec_in(0.0f64..1e-9, 1..20)) {
         let mut l = EnergyLedger::new();
         for (i, p) in parts.iter().enumerate() {
             l.add(&format!("c{}", i % 5), Joule(*p));
         }
         let sum: f64 = parts.iter().sum();
-        prop_assert!((l.total().0 - sum).abs() < 1e-18);
-        prop_assert!(l.len() <= 5);
+        assert!((l.total().0 - sum).abs() < 1e-18);
+        assert!(l.len() <= 5);
     }
 }

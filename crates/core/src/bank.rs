@@ -20,10 +20,9 @@ use ptsim_device::mosfet::{MosPolarity, Mosfet};
 use ptsim_device::process::Technology;
 use ptsim_device::units::{Farad, Hertz, Micron, Volt};
 use ptsim_mc::die::DieSite;
-use serde::{Deserialize, Serialize};
 
 /// Which oscillator of the bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RoClass {
     /// NMOS-sensitive process oscillator.
     PsroN,
@@ -49,7 +48,7 @@ impl RoClass {
 }
 
 /// Physical design of the bank.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BankSpec {
     /// Stages per process-sensitive ring (odd, ≥ 3).
     pub stages_psro: usize,
@@ -124,7 +123,7 @@ impl Default for BankSpec {
 }
 
 /// The instantiated oscillator bank.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoBank {
     spec: BankSpec,
     psro_n: InverterRing,

@@ -7,10 +7,9 @@
 
 use ptsim_circuit::fixed::{Fixed, QFormat};
 use ptsim_device::units::{Celsius, Volt};
-use serde::{Deserialize, Serialize};
 
 /// The stored result of one self-calibration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Calibration {
     d_vtn: Fixed,
     d_vtp: Fixed,

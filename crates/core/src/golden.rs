@@ -18,10 +18,9 @@ use crate::newton::solve_linear;
 use ptsim_device::inverter::CmosEnv;
 use ptsim_device::process::Technology;
 use ptsim_device::units::{Celsius, Volt};
-use serde::{Deserialize, Serialize};
 
 /// Normalization spans of the characterization space.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CharacterizationSpace {
     /// Threshold-shift half-range, volts (surfaces valid over ±this).
     pub vt_span: f64,
@@ -77,7 +76,7 @@ fn eval_basis(indices: &[Vec<usize>], x: &[f64], out: &mut Vec<f64>) {
 }
 
 /// One fitted `ln f` surface.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct Surface {
     class: RoClass,
     vdd: Volt,
@@ -88,7 +87,7 @@ struct Surface {
 
 /// The characterized model: one surface per (oscillator, supply) pair the
 /// sensor measures.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GoldenModel {
     space: CharacterizationSpace,
     indices: Vec<Vec<usize>>,

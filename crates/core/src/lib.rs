@@ -20,12 +20,11 @@
 //! use ptsim_device::process::Technology;
 //! use ptsim_device::units::Celsius;
 //! use ptsim_mc::die::{DieSample, DieSite};
-//! use rand::SeedableRng;
 //!
 //! # fn main() -> Result<(), ptsim_core::error::SensorError> {
 //! let mut sensor = PtSensor::new(Technology::n65(), SensorSpec::default_65nm())?;
 //! let die = DieSample::nominal();
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let mut rng = ptsim_rng::Pcg64::seed_from_u64(42);
 //!
 //! // Boot-time self-calibration at the assumed 25 °C ambient.
 //! sensor.calibrate(&SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)), &mut rng)?;

@@ -12,9 +12,9 @@ use crate::sensor::{PtSensor, Reading, SensorInputs, SensorSpec};
 use ptsim_device::process::Technology;
 use ptsim_device::units::{Celsius, Micron, Volt};
 use ptsim_mc::die::{DieSample, DieSite};
+use ptsim_rng::Rng;
 use ptsim_thermal::stack::ThermalStack;
 use ptsim_tsv::topology::StackTopology;
-use rand::Rng;
 
 /// A sensor placed on one tier of a 3D stack.
 #[derive(Debug, Clone)]
@@ -225,15 +225,14 @@ mod tests {
     use super::*;
     use ptsim_device::units::Watt;
     use ptsim_mc::model::VariationModel;
+    use ptsim_rng::Pcg64;
     use ptsim_thermal::power::PowerMap;
     use ptsim_thermal::solve::{solve_steady_state, SolveOptions};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn monitor() -> StackMonitor {
         let topo = StackTopology::reference_four_tier();
         let model = VariationModel::new(&Technology::n65());
-        let mut rng = StdRng::seed_from_u64(1234);
+        let mut rng = Pcg64::seed_from_u64(1234);
         let dies: Vec<DieSample> = (0..4)
             .map(|i| model.sample_die_with_id(&mut rng, i))
             .collect();
@@ -264,7 +263,7 @@ mod tests {
     #[test]
     fn end_to_end_stack_monitoring() {
         let mut mon = monitor();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Pcg64::seed_from_u64(5);
         mon.calibrate_all(&mut rng).unwrap();
 
         // Heat the stack: 1.5 W hotspot on tier 0.

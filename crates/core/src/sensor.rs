@@ -29,11 +29,10 @@ use ptsim_device::inverter::CmosEnv;
 use ptsim_device::process::Technology;
 use ptsim_device::units::{Celsius, Hertz, Joule, Volt};
 use ptsim_mc::die::{DieSample, DieSite};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use ptsim_rng::Rng;
 
 /// Full hardware specification of one sensor instance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SensorSpec {
     /// Oscillator bank design.
     pub bank: BankSpec,
@@ -125,7 +124,7 @@ impl<'a> SensorInputs<'a> {
 }
 
 /// One conversion result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Reading {
     /// Solved temperature (quantized through the output register).
     pub temperature: Celsius,
@@ -161,7 +160,7 @@ pub struct CalibrationOutcome {
 }
 
 /// The on-chip self-calibrated process–temperature sensor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PtSensor {
     tech: Technology,
     spec: SensorSpec,
@@ -170,7 +169,6 @@ pub struct PtSensor {
     /// characterized polynomial model (hardware-faithful) instead of the
     /// analytic compact model.
     golden: Option<GoldenModel>,
-    #[serde(skip)]
     calibration: Option<Calibration>,
 }
 
@@ -482,8 +480,7 @@ impl PtSensor {
 mod tests {
     use super::*;
     use ptsim_mc::model::VariationModel;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ptsim_rng::Pcg64;
 
     fn sensor() -> PtSensor {
         PtSensor::new(Technology::n65(), SensorSpec::default_65nm()).unwrap()
@@ -492,7 +489,7 @@ mod tests {
     fn calibrated_on(die: &DieSample, seed: u64) -> PtSensor {
         let mut s = sensor();
         let inputs = SensorInputs::new(die, DieSite::CENTER, Celsius(25.0));
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Pcg64::seed_from_u64(seed);
         s.calibrate(&inputs, &mut rng).unwrap();
         s
     }
@@ -502,7 +499,7 @@ mod tests {
         let s = sensor();
         let die = DieSample::nominal();
         let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Pcg64::seed_from_u64(0);
         assert_eq!(
             s.read(&inputs, &mut rng).unwrap_err(),
             SensorError::NotCalibrated
@@ -555,7 +552,7 @@ mod tests {
     fn temperature_readback_accurate_across_range() {
         let die = DieSample::nominal();
         let s = calibrated_on(&die, 3);
-        let mut rng = StdRng::seed_from_u64(33);
+        let mut rng = Pcg64::seed_from_u64(33);
         for t in [-20.0, 0.0, 25.0, 50.0, 75.0, 100.0] {
             let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(t));
             let r = s.read(&inputs, &mut rng).unwrap();
@@ -571,7 +568,7 @@ mod tests {
     fn temperature_accuracy_on_varied_die() {
         // A full Monte-Carlo die (D2D + WID) must still read within spec.
         let model = VariationModel::new(&Technology::n65());
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Pcg64::seed_from_u64(7);
         let die = model.sample_die(&mut rng);
         let s = calibrated_on(&die, 8);
         for t in [0.0, 50.0, 100.0] {
@@ -586,7 +583,7 @@ mod tests {
     fn vt_tracking_follows_stress_shift() {
         let die = DieSample::nominal();
         let s = calibrated_on(&die, 4);
-        let mut rng = StdRng::seed_from_u64(44);
+        let mut rng = Pcg64::seed_from_u64(44);
         let base = SensorInputs::new(&die, DieSite::CENTER, Celsius(60.0));
         let stressed = base.with_stress(Volt(0.004), Volt(-0.002));
         let r0 = s.read(&base, &mut rng).unwrap();
@@ -601,7 +598,7 @@ mod tests {
     fn reading_reports_energy_breakdown() {
         let die = DieSample::nominal();
         let s = calibrated_on(&die, 5);
-        let mut rng = StdRng::seed_from_u64(55);
+        let mut rng = Pcg64::seed_from_u64(55);
         let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
         let r = s.read(&inputs, &mut rng).unwrap();
         for comp in [
@@ -630,7 +627,7 @@ mod tests {
         // is tuned to land there at the nominal corner, 25 °C.
         let die = DieSample::nominal();
         let s = calibrated_on(&die, 42);
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Pcg64::seed_from_u64(42);
         let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
         let r = s.read(&inputs, &mut rng).unwrap();
         let pj = r.energy_total().picojoules();
@@ -646,7 +643,7 @@ mod tests {
         let mut spec = SensorSpec::default_65nm();
         spec.temp_range = (Celsius(0.0), Celsius(50.0));
         let mut s = PtSensor::new(Technology::n65(), spec).unwrap();
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Pcg64::seed_from_u64(6);
         s.calibrate(
             &SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)),
             &mut rng,
@@ -666,7 +663,7 @@ mod tests {
         let cal = *s1.calibration().unwrap();
         let mut s2 = sensor();
         s2.set_calibration(cal);
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Pcg64::seed_from_u64(99);
         let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(40.0));
         let r = s2.read(&inputs, &mut rng).unwrap();
         assert!((r.temperature.0 - 40.0).abs() < 1.5);
@@ -679,7 +676,7 @@ mod tests {
         let die = DieSample::nominal();
         let mut good = sensor();
         let mut bad = sensor();
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = Pcg64::seed_from_u64(10);
         good.calibrate(
             &SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)),
             &mut rng,

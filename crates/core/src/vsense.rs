@@ -14,12 +14,11 @@ use ptsim_circuit::counter::{auto_measure, GatedCounter};
 use ptsim_circuit::ring::InverterRing;
 use ptsim_device::inverter::{CmosEnv, Inverter};
 use ptsim_device::process::Technology;
-use ptsim_device::units::{Celsius, Farad, Hertz, Micron, Volt};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use ptsim_device::units::{Farad, Hertz, Micron, Volt};
+use ptsim_rng::Rng;
 
 /// A supply-voltage monitor built on one balanced ring oscillator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VddMonitor {
     tech: Technology,
     ring: InverterRing,
@@ -132,12 +131,12 @@ impl VddMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ptsim_device::units::Celsius;
+    use ptsim_rng::Pcg64;
 
-    fn prepared() -> (VddMonitor, StdRng) {
+    fn prepared() -> (VddMonitor, Pcg64) {
         let mut m = VddMonitor::new(Technology::n65(), Volt(1.0)).unwrap();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Pcg64::seed_from_u64(7);
         m.prepare(&CmosEnv::at(Celsius(25.0)), &mut rng).unwrap();
         (m, rng)
     }
@@ -152,7 +151,7 @@ mod tests {
     #[test]
     fn read_before_prepare_fails() {
         let m = VddMonitor::new(Technology::n65(), Volt(1.0)).unwrap();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Pcg64::seed_from_u64(1);
         assert_eq!(
             m.read_vdd(Volt(1.0), &CmosEnv::nominal(), &mut rng)
                 .unwrap_err(),
@@ -191,7 +190,7 @@ mod tests {
     #[test]
     fn process_shift_absorbed_by_preparation() {
         let mut m = VddMonitor::new(Technology::n65(), Volt(1.0)).unwrap();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Pcg64::seed_from_u64(3);
         // A skewed die, but the PT sensor reports its state exactly.
         let env = CmosEnv {
             d_vtn: Volt(0.02),
@@ -218,17 +217,11 @@ mod tests {
             // Simulate: physical ring at 25 °C, model evaluated at 60 °C.
             let counter = GatedCounter::new(16, 448).unwrap();
             let f_true = m.ring.with_vdd(actual).frequency(&m.tech, &truth_env);
-            let (f, _) =
-                auto_measure(f_true, &counter, Hertz(32.0e6), 0.5).unwrap();
+            let (f, _) = auto_measure(f_true, &counter, Hertz(32.0e6), 0.5).unwrap();
             let mut x = [1.0];
             newton_solve(
                 &mut x,
-                |v| {
-                    vec![
-                        m.model_ln_f(Volt(v[0]), &wrong_env) + m.ln_scale.unwrap()
-                            - f.0.ln(),
-                    ]
-                },
+                |v| vec![m.model_ln_f(Volt(v[0]), &wrong_env) + m.ln_scale.unwrap() - f.0.ln()],
                 &[1e-4],
                 &[0.2],
                 &NewtonOptions::default(),

@@ -1,6 +1,5 @@
 //! Property-based tests of the sensor-core invariants.
 
-use proptest::prelude::*;
 use ptsim_circuit::fixed::QFormat;
 use ptsim_core::bank::{BankSpec, RoBank, RoClass};
 use ptsim_core::calib::Calibration;
@@ -8,8 +7,9 @@ use ptsim_core::newton::{newton_solve, solve_linear, NewtonOptions};
 use ptsim_device::inverter::CmosEnv;
 use ptsim_device::process::Technology;
 use ptsim_device::units::{Celsius, Volt};
+use ptsim_rng::forall;
 
-proptest! {
+forall! {
     #[test]
     fn linear_solver_reconstructs_random_solutions(
         a11 in 0.5f64..5.0, a12 in -2.0f64..2.0,
@@ -25,8 +25,8 @@ proptest! {
         let mut aa = a.to_vec();
         let mut bb = b.to_vec();
         solve_linear(&mut aa, &mut bb, 2, "prop").unwrap();
-        prop_assert!((bb[0] - x1).abs() < 1e-8);
-        prop_assert!((bb[1] - x2).abs() < 1e-8);
+        assert!((bb[0] - x1).abs() < 1e-8);
+        assert!((bb[1] - x2).abs() < 1e-8);
     }
 
     #[test]
@@ -41,7 +41,7 @@ proptest! {
             "cubic",
         )
         .unwrap();
-        prop_assert!((x[0] - target.cbrt()).abs() < 1e-6);
+        assert!((x[0] - target.cbrt()).abs() < 1e-6);
     }
 
     #[test]
@@ -56,11 +56,11 @@ proptest! {
             Volt(dvtn), Volt(dvtp), mu_n, mu_p, scale, Celsius(25.0), QFormat::Q16_16,
         );
         let lsb = QFormat::Q16_16.resolution();
-        prop_assert!((c.d_vtn().0 - dvtn).abs() <= lsb);
-        prop_assert!((c.d_vtp().0 - dvtp).abs() <= lsb);
-        prop_assert!((c.mu_n() - mu_n).abs() <= lsb);
-        prop_assert!((c.mu_p() - mu_p).abs() <= lsb);
-        prop_assert!((c.ln_tsro_scale() - scale).abs() <= lsb);
+        assert!((c.d_vtn().0 - dvtn).abs() <= lsb);
+        assert!((c.d_vtp().0 - dvtp).abs() <= lsb);
+        assert!((c.mu_n() - mu_n).abs() <= lsb);
+        assert!((c.mu_p() - mu_p).abs() <= lsb);
+        assert!((c.ln_tsro_scale() - scale).abs() <= lsb);
     }
 
     #[test]
@@ -76,11 +76,11 @@ proptest! {
         n_slow.d_vtn = Volt(shift);
         let mut p_slow = base;
         p_slow.d_vtp = Volt(shift);
-        prop_assert!(
+        assert!(
             bank.frequency(&tech, RoClass::PsroN, vdd, &n_slow).0
                 < bank.frequency(&tech, RoClass::PsroN, vdd, &base).0
         );
-        prop_assert!(
+        assert!(
             bank.frequency(&tech, RoClass::PsroP, vdd, &p_slow).0
                 < bank.frequency(&tech, RoClass::PsroP, vdd, &base).0
         );
@@ -100,7 +100,7 @@ proptest! {
             (RoClass::PsroP, bank.spec().vdd_low),
             (RoClass::Tsro, bank.spec().vdd_tsro),
         ] {
-            prop_assert!(
+            assert!(
                 bank.frequency(&tech, class, vdd, &fast).0
                     > bank.frequency(&tech, class, vdd, &base).0
             );
@@ -108,8 +108,8 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
+forall! {
+    #![cases = 10]
 
     // End-to-end: temperature readback stays in band for arbitrary
     // operating points on arbitrary (bounded) dies.
@@ -122,20 +122,19 @@ proptest! {
     ) {
         use ptsim_core::sensor::{PtSensor, SensorInputs, SensorSpec};
         use ptsim_mc::die::{DieSample, DieSite};
-        use rand::SeedableRng;
 
         let mut die = DieSample::nominal();
         die.d_vtn_d2d = Volt(dvt_n);
         die.d_vtp_d2d = Volt(dvt_p);
         let mut sensor = PtSensor::new(Technology::n65(), SensorSpec::default_65nm()).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = ptsim_rng::Pcg64::seed_from_u64(seed);
         sensor
             .calibrate(&SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)), &mut rng)
             .unwrap();
         let r = sensor
             .read(&SensorInputs::new(&die, DieSite::CENTER, Celsius(t)), &mut rng)
             .unwrap();
-        prop_assert!(
+        assert!(
             (r.temperature.0 - t).abs() < 1.5,
             "err {:.3} at {t} °C", r.temperature.0 - t
         );

@@ -17,10 +17,9 @@
 
 use crate::consts::{BOLTZMANN, ELEMENTARY_CHARGE};
 use crate::units::{Celsius, Seconds, Volt};
-use serde::{Deserialize, Serialize};
 
 /// Stress conditions a device ages under.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StressCondition {
     /// Junction temperature during stress.
     pub temp: Celsius,
@@ -60,7 +59,7 @@ impl Default for StressCondition {
 }
 
 /// Compact BTI + HCI aging model for one device polarity.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AgingModel {
     /// BTI prefactor, volts at 1 s / unity acceleration.
     pub bti_prefactor: f64,

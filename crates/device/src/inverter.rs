@@ -10,13 +10,12 @@ use crate::error::DeviceError;
 use crate::mosfet::{DeviceEnv, MosPolarity, Mosfet};
 use crate::process::Technology;
 use crate::units::{Ampere, Celsius, Farad, Joule, Micron, Seconds, Volt, Watt};
-use serde::{Deserialize, Serialize};
 
 /// Combined NMOS + PMOS variation environment seen by a CMOS gate.
 ///
 /// `d_vtn`/`d_vtp` are signed shifts of the respective threshold
 /// *magnitudes* (positive = slower device, for either polarity).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CmosEnv {
     /// Junction temperature.
     pub temp: Celsius,
@@ -84,7 +83,7 @@ impl Default for CmosEnv {
 }
 
 /// A static CMOS inverter.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Inverter {
     nmos: Mosfet,
     pmos: Mosfet,

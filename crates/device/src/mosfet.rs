@@ -19,10 +19,9 @@ use crate::consts::{thermal_voltage, T_REF};
 use crate::error::DeviceError;
 use crate::process::Technology;
 use crate::units::{Ampere, Celsius, Farad, Micron, Volt};
-use serde::{Deserialize, Serialize};
 
 /// Channel polarity of a MOSFET.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MosPolarity {
     /// N-channel device.
     Nmos,
@@ -64,7 +63,7 @@ impl MosPolarity {
 /// `delta_vt` is the signed shift of the threshold *magnitude* (a positive
 /// value always makes the device slower, for either polarity); it aggregates
 /// die-to-die variation, local mismatch, and TSV-stress-induced shift.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceEnv {
     /// Junction temperature.
     pub temp: Celsius,
@@ -114,7 +113,7 @@ impl Default for DeviceEnv {
 /// assert!(ion.0 > 1e-4 && ion.0 < 2e-3, "65nm-class on-current, got {ion}");
 /// # Ok::<(), ptsim_device::error::DeviceError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Mosfet {
     polarity: MosPolarity,
     w: Micron,

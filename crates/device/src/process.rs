@@ -1,14 +1,13 @@
 //! Technology description (65 nm-class) and global process corners.
 
 use crate::units::Volt;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Global (die-to-die) process corner.
 ///
 /// The first letter refers to the NMOS devices, the second to the PMOS
 /// devices. "Fast" means lower threshold magnitude and higher mobility.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ProcessCorner {
     /// Typical NMOS / typical PMOS (nominal).
     #[default]
@@ -101,7 +100,7 @@ impl fmt::Display for ProcessCorner {
 /// let tech = Technology::n65();
 /// assert!((tech.vtn0.0 - 0.35).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Technology {
     /// Human-readable node name, e.g. `"65nm-LP"`.
     pub name: String,

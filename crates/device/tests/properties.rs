@@ -1,13 +1,13 @@
 //! Property-based tests of the device-model invariants.
 
-use proptest::prelude::*;
 use ptsim_device::aging::{AgingModel, StressCondition};
 use ptsim_device::inverter::{CmosEnv, Inverter};
 use ptsim_device::mosfet::{DeviceEnv, MosPolarity, Mosfet};
 use ptsim_device::process::Technology;
 use ptsim_device::units::{Celsius, Micron, Seconds, Volt};
+use ptsim_rng::forall;
 
-proptest! {
+forall! {
     #[test]
     fn drain_current_nonnegative_everywhere(
         vgs in 0.0f64..1.3,
@@ -20,7 +20,7 @@ proptest! {
         let m = Mosfet::new(MosPolarity::Nmos, Micron(0.3), Micron(0.06)).unwrap();
         let env = DeviceEnv { temp: Celsius(t), delta_vt: Volt(dvt), mu_factor: mu };
         let i = m.drain_current(&tech, Volt(vgs), Volt(vds), &env);
-        prop_assert!(i.0 >= 0.0 && i.0.is_finite());
+        assert!(i.0 >= 0.0 && i.0.is_finite());
     }
 
     #[test]
@@ -34,7 +34,7 @@ proptest! {
         let m2 = Mosfet::new(MosPolarity::Nmos, Micron(2.0 * w), Micron(0.06)).unwrap();
         let i1 = m1.drain_current(&tech, Volt(vgs), Volt(1.0), &env).0;
         let i2 = m2.drain_current(&tech, Volt(vgs), Volt(1.0), &env).0;
-        prop_assert!((i2 / i1 - 2.0).abs() < 1e-9);
+        assert!((i2 / i1 - 2.0).abs() < 1e-9);
     }
 
     #[test]
@@ -47,7 +47,7 @@ proptest! {
         let base = m.drain_current(&tech, Volt(vgs), Volt(1.0), &DeviceEnv::nominal()).0;
         let env = DeviceEnv { mu_factor: mu, ..DeviceEnv::nominal() };
         let scaled = m.drain_current(&tech, Volt(vgs), Volt(1.0), &env).0;
-        prop_assert!((scaled / base - mu).abs() < 1e-9,
+        assert!((scaled / base - mu).abs() < 1e-9,
             "current must scale exactly with the mobility factor");
     }
 
@@ -62,7 +62,7 @@ proptest! {
         let inv = Inverter::balanced(Micron(wn), beta, &tech).unwrap();
         let load = inv.input_cap(&tech);
         let d = inv.stage_delay(&tech, Volt(vdd), load, &CmosEnv::at(Celsius(t)));
-        prop_assert!(d.0 > 0.0 && d.0.is_finite());
+        assert!(d.0 > 0.0 && d.0.is_finite());
     }
 
     #[test]
@@ -74,7 +74,7 @@ proptest! {
         let inv = Inverter::balanced(Micron(0.5), 2.0, &tech).unwrap();
         let cold = inv.leakage_power(&tech, Volt(1.0), &CmosEnv::at(Celsius(t))).0;
         let hot = inv.leakage_power(&tech, Volt(1.0), &CmosEnv::at(Celsius(t + dt))).0;
-        prop_assert!(hot > cold);
+        assert!(hot > cold);
     }
 
     #[test]
@@ -93,8 +93,8 @@ proptest! {
         let year = 3.156e7;
         let d1 = m.delta_vt(&cond, Seconds(years_a * year));
         let d2 = m.delta_vt(&cond, Seconds((years_a + extra) * year));
-        prop_assert!(d1.0 >= 0.0);
-        prop_assert!(d2.0 >= d1.0);
+        assert!(d1.0 >= 0.0);
+        assert!(d2.0 >= d1.0);
     }
 
     #[test]
@@ -106,6 +106,6 @@ proptest! {
         let m = Mosfet::new(MosPolarity::Nmos, Micron(1.0), Micron(0.06)).unwrap();
         let v1 = m.vt_eff(&tech, &DeviceEnv::at(Celsius(t1))).0;
         let v2 = m.vt_eff(&tech, &DeviceEnv::at(Celsius(t2))).0;
-        prop_assert!((v2 - v1 - tech.dvtn_dt * (t2 - t1)).abs() < 1e-12);
+        assert!((v2 - v1 - tech.dvtn_dt * (t2 - t1)).abs() < 1e-12);
     }
 }

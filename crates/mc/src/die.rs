@@ -5,10 +5,9 @@ use crate::spatial::SpatialField;
 use ptsim_device::inverter::CmosEnv;
 use ptsim_device::process::{ProcessCorner, Technology};
 use ptsim_device::units::{Celsius, Volt};
-use serde::{Deserialize, Serialize};
 
 /// A location on the die in normalized coordinates (`0.0..=1.0` each axis).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DieSite {
     /// Normalized X coordinate.
     pub x: f64,
@@ -36,7 +35,7 @@ impl DieSite {
 /// `ΔVt(site) = ΔVt_d2d + WID_field(site) + ΔVt_external(site)`,
 /// where the external term (e.g. TSV-stress-induced shift) is supplied by the
 /// caller of [`DieSample::env_at_with`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DieSample {
     /// Identifier of this die within its Monte-Carlo run.
     pub die_id: u64,
@@ -172,9 +171,8 @@ mod tests {
     #[test]
     fn wid_field_varies_across_sites() {
         use crate::spatial::{SpatialConfig, SpatialField};
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
-        let mut rng = StdRng::seed_from_u64(77);
+        use ptsim_rng::Pcg64;
+        let mut rng = Pcg64::seed_from_u64(77);
         let die = DieSample {
             vtn_wid: SpatialField::generate(&SpatialConfig::vt_default(0.01), &mut rng),
             ..DieSample::nominal()

@@ -1,13 +1,15 @@
 //! Parallel Monte-Carlo driver.
 //!
-//! Runs a per-die closure across a thread pool with *deterministic*
-//! per-die seeding: die `i` always sees the same RNG stream regardless of
-//! thread count or scheduling, so experiment results are reproducible and
-//! bisectable.
+//! Runs a per-die closure across a pool of scoped `std::thread` workers with
+//! *deterministic* per-die seeding: die `i` always sees the same RNG stream
+//! regardless of thread count or scheduling, so experiment results are
+//! reproducible and bisectable. Zero external dependencies — work
+//! distribution is a lock-free atomic cursor and result collection a
+//! `std::sync::Mutex`.
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ptsim_rng::{Pcg64, SplitMix64};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Configuration for a Monte-Carlo run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,27 +53,26 @@ impl Default for McConfig {
 /// SplitMix64 finalizer — decorrelates per-die seeds derived from
 /// `(base_seed, index)`.
 fn mix_seed(base: u64, index: u64) -> u64 {
-    let mut z = base ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    SplitMix64::finalize(base ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
 /// Deterministic RNG for die `index` of a run seeded with `base`.
 #[must_use]
-pub fn die_rng(base: u64, index: u64) -> StdRng {
-    StdRng::seed_from_u64(mix_seed(base, index))
+pub fn die_rng(base: u64, index: u64) -> Pcg64 {
+    Pcg64::seed_from_u64(mix_seed(base, index))
 }
 
 /// Runs `f(die_index, rng)` for every die, in parallel, and returns results
 /// in die order.
 ///
 /// The closure must be `Sync` because it is shared across workers; results
-/// must be `Send`. Each invocation receives a deterministic, independent RNG.
+/// must be `Send`. Each invocation receives a deterministic, independent RNG,
+/// so the output is bit-identical for any `threads` setting (see
+/// `tests/determinism.rs` at the workspace root).
 ///
 /// ```
 /// use ptsim_mc::driver::{run_parallel, McConfig};
-/// use rand::Rng;
+/// use ptsim_rng::Rng;
 ///
 /// let out = run_parallel(&McConfig::new(8, 42), |i, rng| {
 ///     (i, rng.gen::<u32>())
@@ -82,7 +83,7 @@ pub fn die_rng(base: u64, index: u64) -> StdRng {
 pub fn run_parallel<T, F>(cfg: &McConfig, f: F) -> Vec<T>
 where
     T: Send,
-    F: Fn(u64, &mut StdRng) -> T + Sync,
+    F: Fn(u64, &mut Pcg64) -> T + Sync,
 {
     let threads = cfg.effective_threads().max(1).min(cfg.n_dies.max(1));
     if cfg.n_dies == 0 {
@@ -97,27 +98,34 @@ where
             .collect();
     }
 
-    let next = std::sync::atomic::AtomicU64::new(0);
+    // Work distribution: a shared atomic cursor hands out die indices one at
+    // a time, so fast workers naturally steal load from slow ones. Workers
+    // buffer results locally and merge under the mutex once, at exit.
+    let next = AtomicU64::new(0);
     let results: Mutex<Vec<(u64, T)>> = Mutex::new(Vec::with_capacity(cfg.n_dies));
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 let mut local: Vec<(u64, T)> = Vec::new();
                 loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= cfg.n_dies as u64 {
                         break;
                     }
                     let mut rng = die_rng(cfg.base_seed, i);
                     local.push((i, f(i, &mut rng)));
                 }
-                results.lock().extend(local);
+                results
+                    .lock()
+                    .expect("monte-carlo result mutex poisoned")
+                    .extend(local);
             });
         }
-    })
-    .expect("monte-carlo worker panicked");
+    });
 
-    let mut out = results.into_inner();
+    let mut out = results
+        .into_inner()
+        .expect("monte-carlo result mutex poisoned");
     out.sort_by_key(|(i, _)| *i);
     out.into_iter().map(|(_, t)| t).collect()
 }
@@ -125,7 +133,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
+    use ptsim_rng::Rng;
 
     #[test]
     fn results_in_die_order() {
@@ -141,7 +149,7 @@ mod tests {
         one.threads = 1;
         let mut four = McConfig::new(64, 99);
         four.threads = 4;
-        let f = |_i: u64, rng: &mut StdRng| rng.gen::<u64>();
+        let f = |_i: u64, rng: &mut Pcg64| rng.gen::<u64>();
         assert_eq!(run_parallel(&one, f), run_parallel(&four, f));
     }
 
@@ -163,6 +171,14 @@ mod tests {
     fn zero_dies_is_empty() {
         let out = run_parallel(&McConfig::new(0, 1), |i, _| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_dies_is_fine() {
+        let mut cfg = McConfig::new(3, 11);
+        cfg.threads = 16;
+        let out = run_parallel(&cfg, |i, _| i);
+        assert_eq!(out, vec![0, 1, 2]);
     }
 
     #[test]

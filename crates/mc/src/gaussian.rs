@@ -1,121 +1,14 @@
-//! Gaussian sampling built on `rand` without pulling in `rand_distr`.
+//! Gaussian sampling — re-exported from the in-tree [`ptsim_rng`] crate.
 //!
-//! Uses the Box–Muller transform (the polar/Marsaglia variant, which avoids
-//! trigonometric functions and rejects ~21% of candidate pairs).
+//! The Box–Muller (polar/Marsaglia) implementation lives in
+//! [`ptsim_rng::gaussian`] so every crate in the workspace shares one
+//! sampler; this module keeps the historical `ptsim_mc::gaussian` path
+//! working for existing call sites.
+//!
+//! ```
+//! let mut rng = ptsim_rng::Pcg64::seed_from_u64(7);
+//! let x = ptsim_mc::gaussian::standard_normal(&mut rng);
+//! assert!(x.is_finite());
+//! ```
 
-use rand::Rng;
-
-/// Draws one standard-normal sample (mean 0, variance 1).
-///
-/// ```
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-/// let x = ptsim_mc::gaussian::standard_normal(&mut rng);
-/// assert!(x.is_finite());
-/// ```
-pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    loop {
-        let u: f64 = rng.gen_range(-1.0..1.0);
-        let v: f64 = rng.gen_range(-1.0..1.0);
-        let s = u * u + v * v;
-        if s > 0.0 && s < 1.0 {
-            return u * (-2.0 * s.ln() / s).sqrt();
-        }
-    }
-}
-
-/// Draws a normal sample with the given mean and standard deviation.
-///
-/// # Panics
-///
-/// Panics in debug builds if `sigma` is negative.
-pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
-    debug_assert!(sigma >= 0.0, "sigma must be non-negative");
-    mean + sigma * standard_normal(rng)
-}
-
-/// Draws a normal sample truncated to `[mean - k*sigma, mean + k*sigma]`
-/// by resampling. Used for corner-bounded die-to-die shifts so a single
-/// pathological draw cannot leave the characterized model range.
-///
-/// # Panics
-///
-/// Panics in debug builds if `sigma` is negative or `k` is not positive.
-pub fn truncated_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64, k: f64) -> f64 {
-    debug_assert!(sigma >= 0.0 && k > 0.0);
-    if sigma == 0.0 {
-        return mean;
-    }
-    loop {
-        let x = normal(rng, mean, sigma);
-        if (x - mean).abs() <= k * sigma {
-            return x;
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    #[test]
-    fn standard_normal_moments() {
-        let mut rng = StdRng::seed_from_u64(42);
-        let n = 200_000;
-        let mut sum = 0.0;
-        let mut sum2 = 0.0;
-        for _ in 0..n {
-            let x = standard_normal(&mut rng);
-            sum += x;
-            sum2 += x * x;
-        }
-        let mean = sum / n as f64;
-        let var = sum2 / n as f64 - mean * mean;
-        assert!(mean.abs() < 0.01, "mean {mean}");
-        assert!((var - 1.0).abs() < 0.02, "var {var}");
-    }
-
-    #[test]
-    fn normal_respects_parameters() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let n = 100_000;
-        let (mu, sd) = (3.0, 0.5);
-        let mut sum = 0.0;
-        let mut sum2 = 0.0;
-        for _ in 0..n {
-            let x = normal(&mut rng, mu, sd);
-            sum += x;
-            sum2 += x * x;
-        }
-        let mean = sum / n as f64;
-        let var = sum2 / n as f64 - mean * mean;
-        assert!((mean - mu).abs() < 0.01);
-        assert!((var.sqrt() - sd).abs() < 0.01);
-    }
-
-    #[test]
-    fn truncated_stays_in_bounds() {
-        let mut rng = StdRng::seed_from_u64(2);
-        for _ in 0..10_000 {
-            let x = truncated_normal(&mut rng, 0.0, 1.0, 2.0);
-            assert!(x.abs() <= 2.0);
-        }
-    }
-
-    #[test]
-    fn truncated_zero_sigma_returns_mean() {
-        let mut rng = StdRng::seed_from_u64(3);
-        assert_eq!(truncated_normal(&mut rng, 5.0, 0.0, 3.0), 5.0);
-    }
-
-    #[test]
-    fn deterministic_for_same_seed() {
-        let mut a = StdRng::seed_from_u64(9);
-        let mut b = StdRng::seed_from_u64(9);
-        for _ in 0..100 {
-            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
-        }
-    }
-}
+pub use ptsim_rng::gaussian::{normal, standard_normal, truncated_normal};

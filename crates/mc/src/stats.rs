@@ -1,7 +1,6 @@
 //! Streaming and batch statistics used by the Monte-Carlo driver and the
 //! evaluation harness.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Numerically-stable streaming statistics (Welford's algorithm).
@@ -15,7 +14,7 @@ use std::fmt;
 /// assert_eq!(s.count(), 4);
 /// assert!((s.mean() - 2.5).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
@@ -150,7 +149,7 @@ impl fmt::Display for OnlineStats {
 
 /// Fixed-bin histogram over a closed range; out-of-range samples are clamped
 /// into the edge bins and counted separately.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

@@ -1,0 +1,257 @@
+//! Seeded, shrink-free property-test harness — the workspace's in-tree
+//! replacement for `proptest`.
+//!
+//! The [`forall!`](crate::forall) macro runs each property over
+//! [`CASES`] deterministically seeded random inputs. A failing case reports
+//! the generated inputs (and the case number) before re-raising the panic,
+//! so failures are reproducible from the test name alone — no shrinking,
+//! no persistence files, no external dependencies.
+//!
+//! ```
+//! ptsim_rng::forall! {
+//!     fn addition_commutes(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+//!         assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! // (inside a test module the property would carry `#[test]`)
+//! addition_commutes();
+//! ```
+
+use crate::traits::{RngCore, SampleUniform};
+
+/// Number of random cases each `forall!` property runs.
+pub const CASES: u64 = 64;
+
+/// Input generator usable on the right of `in` inside [`crate::forall!`].
+///
+/// Blanket-implemented for every [`SampleUniform`] range
+/// (`0.0f64..1.0`, `1usize..50`, ...), plus the combinators in this module.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draws one input for a property case.
+    fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value;
+
+    /// Transforms generated values through `f` (replacement for
+    /// `proptest`'s `prop_map`).
+    fn map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A / a, B / b);
+impl_strategy_tuple!(A / a, B / b, C / c);
+impl_strategy_tuple!(A / a, B / b, C / c, D / d);
+impl_strategy_tuple!(A / a, B / b, C / c, D / d, E / e);
+impl_strategy_tuple!(A / a, B / b, C / c, D / d, E / e, F / f);
+
+impl<S: SampleUniform> Strategy for S {
+    type Value = S::Output;
+
+    fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> S::Output {
+        self.sample_from(rng)
+    }
+}
+
+/// Strategy producing a `Vec` whose elements come from `elem` and whose
+/// length is drawn from `len`. Replacement for `prop::collection::vec`.
+#[derive(Debug, Clone)]
+pub struct VecIn<S> {
+    elem: S,
+    len: core::ops::Range<usize>,
+}
+
+/// A `Vec` strategy: elements from `elem`, length drawn from `len`.
+pub fn vec_in<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecIn<S> {
+    VecIn { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecIn<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> Vec<S::Value> {
+        let n = self.len.sample_from(rng);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.elem.generate(rng));
+        }
+        out
+    }
+}
+
+/// Strategy producing any *normal* `f64` (finite, non-zero exponent, not
+/// subnormal), either sign. Replacement for `proptest::num::f64::NORMAL`.
+#[derive(Debug, Clone, Copy)]
+pub struct NormalF64;
+
+/// Any normal (finite, non-subnormal) `f64`.
+pub const NORMAL_F64: NormalF64 = NormalF64;
+
+impl Strategy for NormalF64 {
+    fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let sign = rng.next_u64() & (1 << 63);
+        // Exponent in [1, 2046]: excludes zero/subnormals (0) and inf/NaN (2047).
+        let exp = (1..2047u64).sample_from(rng) << 52;
+        let mantissa = rng.next_u64() & ((1 << 52) - 1);
+        f64::from_bits(sign | exp | mantissa)
+    }
+
+    type Value = f64;
+}
+
+/// Deterministic per-property base seed derived from the test name
+/// (FNV-1a), so every property gets a distinct but reproducible stream.
+#[must_use]
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `CASES` deterministic random property cases, replacing `proptest!`.
+///
+/// Syntax matches the `proptest!` subset the workspace used: an optional
+/// `mut` pattern, `name in strategy` bindings where a strategy is any
+/// [`check::Strategy`](crate::check::Strategy) (ranges,
+/// [`vec_in`](crate::check::vec_in), [`NORMAL_F64`](crate::check::NORMAL_F64)).
+/// Use plain `assert!`/`assert_eq!` in the body; a failing case prints the
+/// generated inputs and re-raises the panic.
+#[macro_export]
+macro_rules! forall {
+    // Default case count.
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $crate::forall! {
+            #![cases = $crate::check::CASES]
+            $($(#[$meta])* fn $name($($arg in $strat),*) $body)*
+        }
+    };
+    // Block-level override, mirroring proptest's
+    // `#![proptest_config(ProptestConfig::with_cases(n))]`.
+    (#![cases = $cases:expr] $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cases: u64 = $cases;
+            let __seed = $crate::check::seed_for(stringify!($name));
+            for __case in 0..__cases {
+                let mut __rng = $crate::Pcg64::seed_from_u64(
+                    __seed ^ $crate::SplitMix64::finalize(__case),
+                );
+                let mut __ctx = ::std::string::String::new();
+                $(
+                    let __v = $crate::check::Strategy::generate(&($strat), &mut __rng);
+                    __ctx.push_str(&::std::format!(
+                        ::std::concat!("  ", ::std::stringify!($arg), " = {:?}\n"),
+                        __v
+                    ));
+                    let $arg = __v;
+                )*
+                let __result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let ::std::result::Result::Err(__e) = __result {
+                    ::std::eprintln!(
+                        "forall!({}) case {}/{} failed with inputs:\n{}",
+                        ::std::stringify!($name),
+                        __case + 1,
+                        __cases,
+                        __ctx
+                    );
+                    ::std::panic::resume_unwind(__e);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcg::Pcg64;
+
+    crate::forall! {
+        #[test]
+        fn macro_generates_passing_test(x in 0.0f64..1.0, n in 1usize..10) {
+            assert!((0.0..1.0).contains(&x));
+            assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn macro_supports_mut_and_vec(mut xs in vec_in(-1.0f64..1.0, 1..20)) {
+            xs.sort_by(f64::total_cmp);
+            assert!(!xs.is_empty() && xs.len() < 20);
+            assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn seed_for_is_stable_and_distinct() {
+        assert_eq!(seed_for("abc"), seed_for("abc"));
+        assert_ne!(seed_for("abc"), seed_for("abd"));
+    }
+
+    #[test]
+    fn vec_in_respects_length_bounds() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let strat = vec_in(0.0f64..1.0, 3..7);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn normal_f64_is_always_normal() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = NORMAL_F64.generate(&mut rng);
+            assert!(x.is_normal(), "{x} (bits {:x})", x.to_bits());
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_and_panics() {
+        crate::forall! {
+            fn always_fails(x in 0.0f64..1.0) {
+                assert!(x < 0.0, "impossible");
+            }
+        }
+        let caught = std::panic::catch_unwind(always_fails);
+        assert!(caught.is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Seedable generators: SplitMix64 (seeding/mixing) and PCG XSL RR 128/64.
+
+use crate::traits::RngCore;
+
+/// SplitMix64 — tiny, fast, passes BigCrush; used to expand a single `u64`
+/// seed into the 256 bits of [`Pcg64`] state and as an avalanche mixer for
+/// deriving decorrelated per-die seeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Generator starting from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        Self::finalize(self.state)
+    }
+
+    /// The SplitMix64 finalizer on its own: a stateless avalanche mix.
+    #[must_use]
+    pub fn finalize(z: u64) -> u64 {
+        let mut z = z;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+}
+
+/// PCG XSL RR 128/64: 128-bit LCG state, 64-bit xor-shift-low + random
+/// rotation output. Period 2^128, excellent statistical quality, and cheap
+/// on any 64-bit target thanks to native `u128` arithmetic.
+///
+/// This is the workspace's standard generator; everything that used to take
+/// an external `StdRng` now takes `Pcg64`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg64 {
+    state: u128,
+    /// Stream selector; always odd.
+    inc: u128,
+}
+
+/// Default multiplier from the PCG reference implementation.
+const PCG_MUL: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+
+impl Pcg64 {
+    /// Generator from full 128-bit state and stream. The stream is forced
+    /// odd as the LCG requires.
+    #[must_use]
+    pub fn new(state: u128, stream: u128) -> Self {
+        let mut rng = Pcg64 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        // Standard PCG initialization: advance once, add the seed, advance
+        // again, so near-identical seeds still decorrelate quickly.
+        rng.step();
+        rng.state = rng.state.wrapping_add(state);
+        rng.step();
+        rng
+    }
+
+    /// Deterministic generator from a single `u64` seed, expanded through
+    /// SplitMix64 (mirrors `SeedableRng::seed_from_u64`).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let state = (u128::from(sm.next()) << 64) | u128::from(sm.next());
+        let stream = (u128::from(sm.next()) << 64) | u128::from(sm.next());
+        Pcg64::new(state, stream)
+    }
+
+    fn step(&mut self) {
+        self.state = self.state.wrapping_mul(PCG_MUL).wrapping_add(self.inc);
+    }
+
+    /// Next 64-bit output (XSL RR output function).
+    pub fn next(&mut self) -> u64 {
+        self.step();
+        let xored = ((self.state >> 64) as u64) ^ (self.state as u64);
+        let rot = (self.state >> 122) as u32;
+        xored.rotate_right(rot)
+    }
+}
+
+impl RngCore for Pcg64 {
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Rng;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Pcg64::seed_from_u64(123);
+        let mut b = Pcg64::seed_from_u64(123);
+        for _ in 0..64 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<u64> = (0..8).map(|_| 0).collect();
+        let mut x = Pcg64::seed_from_u64(1);
+        let mut y = Pcg64::seed_from_u64(2);
+        let xs: Vec<u64> = a.iter().map(|_| x.next()).collect();
+        let ys: Vec<u64> = a.iter().map(|_| y.next()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn adjacent_seeds_decorrelate() {
+        let mut x = Pcg64::seed_from_u64(0);
+        let mut y = Pcg64::seed_from_u64(1);
+        // Outputs should differ in roughly half their bits on average.
+        let mut total = 0;
+        for _ in 0..64 {
+            total += (x.next() ^ y.next()).count_ones();
+        }
+        let mean = f64::from(total) / 64.0;
+        assert!((20.0..44.0).contains(&mean), "mean hamming {mean}");
+    }
+
+    #[test]
+    fn output_is_well_distributed() {
+        // Bit-frequency sanity check: each of the 64 bit positions should be
+        // set close to half the time.
+        let mut rng = Pcg64::seed_from_u64(99);
+        let n = 4096;
+        let mut counts = [0u32; 64];
+        for _ in 0..n {
+            let v = rng.next();
+            for (i, c) in counts.iter_mut().enumerate() {
+                *c += ((v >> i) & 1) as u32;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let p = f64::from(c) / f64::from(n);
+            assert!((0.45..0.55).contains(&p), "bit {i} frequency {p}");
+        }
+    }
+
+    #[test]
+    fn uniform_f64_in_unit_interval() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn splitmix_finalizer_avalanches() {
+        let a = SplitMix64::finalize(0);
+        let b = SplitMix64::finalize(1);
+        assert!((a ^ b).count_ones() > 10);
+    }
+
+    #[test]
+    fn clone_continues_identically() {
+        let mut rng = Pcg64::seed_from_u64(77);
+        rng.next();
+        let mut fork = rng.clone();
+        for _ in 0..16 {
+            assert_eq!(rng.next(), fork.next());
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Sequence helpers: Fisher–Yates shuffling.
+
+use crate::traits::{Rng, RngCore};
+
+/// Random slice operations (mirrors the `rand::seq::SliceRandom` subset the
+/// workspace uses).
+pub trait SliceRandom {
+    /// Uniformly shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcg::Pcg64;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_deterministic_for_seed() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b: Vec<u32> = (0..50).collect();
+        a.shuffle(&mut Pcg64::seed_from_u64(9));
+        b.shuffle(&mut Pcg64::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shuffle_actually_moves_elements() {
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut Pcg64::seed_from_u64(2));
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_handles_tiny_slices() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let mut empty: [u8; 0] = [];
+        empty.shuffle(&mut rng);
+        let mut one = [42u8];
+        one.shuffle(&mut rng);
+        assert_eq!(one, [42]);
+    }
+}

@@ -1,0 +1,219 @@
+//! The `RngCore` / `Rng` trait pair.
+//!
+//! `RngCore` is deliberately object-safe (the baseline thermometers take
+//! `&mut dyn RngCore`); `Rng` is the ergonomic layer with generic methods,
+//! blanket-implemented for everything that implements `RngCore`.
+
+/// Object-safe source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (top half of `next_u64`, which has the best
+    /// statistical quality for PCG-family generators).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// Types that can be drawn uniformly from an RNG via [`Rng::gen`].
+pub trait FromRng {
+    /// Draws one uniformly distributed value.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromRng for u64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for u32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl FromRng for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleUniform {
+    /// The sampled value type.
+    type Output;
+    /// Draws uniformly from the (half-open) range.
+    fn sample_from<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleUniform for core::ops::Range<f64> {
+    type Output = f64;
+
+    fn sample_from<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        debug_assert!(self.start < self.end, "empty range");
+        let u = f64::from_rng(rng);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+/// Uniform integer in `[0, span)` without modulo bias (rejection sampling
+/// over the widest zone divisible by `span`).
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % span) - 1;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for core::ops::Range<$t> {
+            type Output = $t;
+
+            fn sample_from<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + uniform_u64(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u64, u32, usize, u16, u8);
+
+impl SampleUniform for core::ops::Range<i64> {
+    type Output = i64;
+
+    fn sample_from<R: RngCore + ?Sized>(&self, rng: &mut R) -> i64 {
+        assert!(self.start < self.end, "empty range");
+        let span = (self.end as u64).wrapping_sub(self.start as u64);
+        self.start.wrapping_add(uniform_u64(rng, span) as i64)
+    }
+}
+
+impl SampleUniform for core::ops::Range<i32> {
+    type Output = i32;
+
+    fn sample_from<R: RngCore + ?Sized>(&self, rng: &mut R) -> i32 {
+        assert!(self.start < self.end, "empty range");
+        let span = (i64::from(self.end) - i64::from(self.start)) as u64;
+        (i64::from(self.start) + uniform_u64(rng, span) as i64) as i32
+    }
+}
+
+/// Ergonomic random-value methods, mirroring the subset of `rand::Rng` the
+/// workspace uses. Blanket-implemented for all [`RngCore`] types.
+///
+/// Unlike [`RngCore`] this trait is *not* object-safe (its methods are
+/// generic); trait objects should take `&mut dyn RngCore` instead.
+pub trait Rng: RngCore {
+    /// Draws a uniformly distributed value of type `T`
+    /// (`u64`/`u32` full-range, `f64` in `[0, 1)`, `bool` fair coin).
+    fn gen<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Draws uniformly from a half-open range, e.g. `rng.gen_range(-1.0..1.0)`.
+    fn gen_range<S: SampleUniform>(&mut self, range: S) -> S::Output {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        f64::from_rng(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcg::Pcg64;
+
+    #[test]
+    fn gen_range_f64_stays_in_bounds() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_usize_covers_all_values() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_range_negative_ints() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let x = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability_tracks_p() {
+        let mut rng = Pcg64::seed_from_u64(4);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.25)).count();
+        let p = hits as f64 / f64::from(n);
+        assert!((p - 0.25).abs() < 0.01, "p {p}");
+    }
+
+    #[test]
+    fn dyn_rng_core_is_usable() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        let dynref: &mut dyn RngCore = &mut rng;
+        let a = dynref.next_u64();
+        let b = dynref.next_u32();
+        assert!(a != u64::from(b));
+    }
+
+    #[test]
+    fn uniform_u64_power_of_two_fast_path() {
+        let mut rng = Pcg64::seed_from_u64(6);
+        for _ in 0..1_000 {
+            assert!(uniform_u64(&mut rng, 16) < 16);
+            assert!(uniform_u64(&mut rng, 7) < 7);
+        }
+    }
+}

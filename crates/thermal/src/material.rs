@@ -4,10 +4,8 @@
 //! them as temperature-independent, which is accurate to a few percent over
 //! the −20…100 °C range the sensor is graded on.
 
-use serde::{Deserialize, Serialize};
-
 /// Thermal properties of one material.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Material {
     /// Thermal conductivity, W/(m·K).
     pub conductivity: f64,

@@ -2,10 +2,9 @@
 
 use crate::error::ThermalError;
 use ptsim_device::units::Watt;
-use serde::{Deserialize, Serialize};
 
 /// A power-density map over the cells of one tier.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerMap {
     nx: usize,
     ny: usize,

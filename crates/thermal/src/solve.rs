@@ -3,10 +3,9 @@
 use crate::error::ThermalError;
 use crate::stack::ThermalStack;
 use ptsim_device::units::Seconds;
-use serde::{Deserialize, Serialize};
 
 /// Options for the steady-state Gauss–Seidel/SOR solve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolveOptions {
     /// Convergence tolerance on the per-sweep max temperature change, °C.
     pub tolerance: f64,
@@ -27,7 +26,7 @@ impl Default for SolveOptions {
 }
 
 /// Convergence report of a steady-state solve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolveStats {
     /// Sweeps executed.
     pub iterations: usize,

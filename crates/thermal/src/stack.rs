@@ -14,10 +14,9 @@ use crate::error::ThermalError;
 use crate::material::Material;
 use crate::power::PowerMap;
 use ptsim_device::units::{Celsius, Micron, Watt, WattPerKelvin};
-use serde::{Deserialize, Serialize};
 
 /// Geometry and boundary configuration of a die stack.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StackConfig {
     /// Grid cells in X.
     pub nx: usize,
@@ -109,7 +108,7 @@ impl Default for StackConfig {
 }
 
 /// Assembled thermal RC network with a current temperature state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThermalStack {
     cfg: StackConfig,
     /// Lateral conductance between in-plane neighbours, W/K.

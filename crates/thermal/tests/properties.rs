@@ -1,7 +1,7 @@
 //! Property-based tests of the thermal-solver invariants.
 
-use proptest::prelude::*;
 use ptsim_device::units::{Seconds, Watt};
+use ptsim_rng::forall;
 use ptsim_thermal::cg::{solve_steady_state_cg, CgOptions};
 use ptsim_thermal::power::PowerMap;
 use ptsim_thermal::solve::{solve_steady_state, step_transient, SolveOptions};
@@ -17,8 +17,8 @@ fn small_stack(tiers: usize) -> ThermalStack {
     ThermalStack::new(cfg).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+forall! {
+    #![cases = 24]
 
     #[test]
     fn steady_state_above_ambient_everywhere(
@@ -33,7 +33,7 @@ proptest! {
             for iy in 0..8 {
                 for ix in 0..8 {
                     let t = s.temperature(tier, ix, iy).unwrap().0;
-                    prop_assert!(t >= 25.0 - 1e-9, "cell below ambient: {t}");
+                    assert!(t >= 25.0 - 1e-9, "cell below ambient: {t}");
                 }
             }
         }
@@ -64,7 +64,7 @@ proptest! {
             solve_steady_state(&mut s, &SolveOptions::default()).unwrap();
             s.temperature_at(0, 0.5, 0.5).unwrap().0 - 25.0
         };
-        prop_assert!((both - (a + b)).abs() < 1e-3,
+        assert!((both - (a + b)).abs() < 1e-3,
             "superposition violated: {both} vs {a}+{b}");
     }
 
@@ -85,7 +85,7 @@ proptest! {
         solve_steady_state_cg(&mut cg, &CgOptions::default()).unwrap();
         let a = gs.temperature_at(1, cx, cy).unwrap().0;
         let b = cg.temperature_at(1, cx, cy).unwrap().0;
-        prop_assert!((a - b).abs() < 1e-3, "GS {a} vs CG {b}");
+        assert!((a - b).abs() < 1e-3, "GS {a} vs CG {b}");
     }
 
     #[test]
@@ -98,7 +98,7 @@ proptest! {
         for _ in 0..20 {
             step_transient(&mut transient, Seconds(0.01));
             let t = transient.max_temperature(0).unwrap().0;
-            prop_assert!(t <= target + 1e-6, "overshoot: {t} vs {target}");
+            assert!(t <= target + 1e-6, "overshoot: {t} vs {target}");
         }
     }
 
@@ -108,7 +108,7 @@ proptest! {
     ) {
         let mut m = PowerMap::zero(16, 16).unwrap();
         m.add_block(x0, y0, x0 + 0.4, y0 + 0.4, Watt(w));
-        prop_assert!((m.total().0 - w).abs() < 1e-9);
-        prop_assert!(m.peak().0 <= w);
+        assert!((m.total().0 - w).abs() < 1e-9);
+        assert!(m.peak().0 <= w);
     }
 }

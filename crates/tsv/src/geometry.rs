@@ -2,10 +2,9 @@
 
 use crate::error::TsvError;
 use ptsim_device::units::Micron;
-use serde::{Deserialize, Serialize};
 
 /// Geometry of one through-silicon via.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TsvGeometry {
     /// Copper-body radius.
     pub radius: Micron,

@@ -10,10 +10,9 @@
 
 use crate::geometry::TsvGeometry;
 use ptsim_device::units::{Celsius, Micron, Pascal, Volt};
-use serde::{Deserialize, Serialize};
 
 /// Stress model parameters for one technology/process flavour.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StressModel {
     /// Radial stress magnitude at the via wall at the reference (25 °C)
     /// operating temperature.

@@ -7,10 +7,9 @@ use crate::stress::StressModel;
 use crate::thermal_via::vertical_conductance;
 use ptsim_device::units::{Celsius, Micron, Volt};
 use ptsim_thermal::stack::{StackConfig, ThermalStack};
-use serde::{Deserialize, Serialize};
 
 /// A regular grid of identical TSVs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TsvArray {
     /// Geometry of each via.
     pub geometry: TsvGeometry,
@@ -94,7 +93,7 @@ impl TsvArray {
 
 /// A full 3D-stack description: thermal configuration plus TSV arrays at
 /// tier interfaces and a stress model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StackTopology {
     thermal_cfg: StackConfig,
     /// `(interface, array)` pairs; interface `i` couples tiers `i` and `i+1`.

@@ -1,7 +1,8 @@
 //! Property-based tests of the TSV-model invariants.
 
-use proptest::prelude::*;
 use ptsim_device::units::{Celsius, Micron};
+use ptsim_rng::check::Strategy;
+use ptsim_rng::forall;
 use ptsim_tsv::electrical::{liner_capacitance, rc_time_constant, resistance};
 use ptsim_tsv::geometry::TsvGeometry;
 use ptsim_tsv::stress::StressModel;
@@ -9,22 +10,22 @@ use ptsim_tsv::thermal_via::{bundle_conductance, vertical_conductance};
 use ptsim_tsv::topology::TsvArray;
 
 fn geom_strategy() -> impl Strategy<Value = TsvGeometry> {
-    (1.0f64..10.0, 20.0f64..300.0, 0.05f64..0.9).prop_map(|(r, h, l)| TsvGeometry {
+    (1.0f64..10.0, 20.0f64..300.0, 0.05f64..0.9).map(|(r, h, l)| TsvGeometry {
         radius: Micron(r),
         height: Micron(h),
         liner_thickness: Micron(l.min(r * 0.8)),
     })
 }
 
-proptest! {
+forall! {
     #[test]
     fn parasitics_positive_and_finite(g in geom_strategy()) {
-        prop_assert!(g.validate().is_ok());
+        assert!(g.validate().is_ok());
         let r = resistance(&g);
         let c = liner_capacitance(&g);
-        prop_assert!(r.0 > 0.0 && r.0.is_finite());
-        prop_assert!(c.0 > 0.0 && c.0.is_finite());
-        prop_assert!(rc_time_constant(&g) > 0.0);
+        assert!(r.0 > 0.0 && r.0.is_finite());
+        assert!(c.0 > 0.0 && c.0.is_finite());
+        assert!(rc_time_constant(&g) > 0.0);
     }
 
     #[test]
@@ -32,7 +33,7 @@ proptest! {
         let mut tall = g;
         tall.height = Micron(g.height.0 * 2.0);
         let ratio = resistance(&tall).0 / resistance(&g).0;
-        prop_assert!((ratio - 2.0).abs() < 1e-9);
+        assert!((ratio - 2.0).abs() < 1e-9);
     }
 
     #[test]
@@ -40,13 +41,13 @@ proptest! {
         let mut tall = g;
         tall.height = Micron(g.height.0 * 2.0);
         let ratio = vertical_conductance(&tall).0 / vertical_conductance(&g).0;
-        prop_assert!((ratio - 0.5).abs() < 1e-9);
+        assert!((ratio - 0.5).abs() < 1e-9);
     }
 
     #[test]
     fn bundle_is_linear(g in geom_strategy(), n in 1usize..500) {
         let one = vertical_conductance(&g).0;
-        prop_assert!((bundle_conductance(&g, n).0 - n as f64 * one).abs() < 1e-12 * n as f64);
+        assert!((bundle_conductance(&g, n).0 - n as f64 * one).abs() < 1e-12 * n as f64);
     }
 
     #[test]
@@ -58,8 +59,8 @@ proptest! {
         let m = StressModel::default_65nm();
         let wall = m.radial_stress(&g, g.radius, Celsius(t)).0;
         let here = m.radial_stress(&g, Micron(r), Celsius(t)).0;
-        prop_assert!(here <= wall + 1e-9);
-        prop_assert!(here >= 0.0);
+        assert!(here <= wall + 1e-9);
+        assert!(here >= 0.0);
     }
 
     #[test]
@@ -73,7 +74,7 @@ proptest! {
         let m = StressModel::default_65nm();
         let s = m.radial_stress(&g, Micron(r), Celsius(t)).0;
         let v = m.delta_vtn(&g, Micron(r), Celsius(t)).0;
-        prop_assert!((v - m.dvtn_per_pa * s).abs() < 1e-15);
+        assert!((v - m.dvtn_per_pa * s).abs() < 1e-15);
     }
 
     #[test]
@@ -91,9 +92,9 @@ proptest! {
             Micron(pitch),
         );
         let pos = a.positions();
-        prop_assert_eq!(pos.len(), cols * rows);
+        assert_eq!(pos.len(), cols * rows);
         if cols >= 2 {
-            prop_assert!((pos[1].0 - pos[0].0 - pitch).abs() < 1e-9);
+            assert!((pos[1].0 - pos[0].0 - pitch).abs() < 1e-9);
         }
     }
 
@@ -101,6 +102,6 @@ proptest! {
     fn koz_at_least_via_radius(g in geom_strategy(), thr in 0.001f64..0.5) {
         let m = StressModel::default_65nm();
         let koz = m.keep_out_radius(&g, thr, Celsius(25.0));
-        prop_assert!(koz.0 >= g.radius.0 - 1e-12);
+        assert!(koz.0 >= g.radius.0 - 1e-12);
     }
 }

@@ -8,14 +8,13 @@
 //!
 //! Run with: `cargo run --release --example aging_monitor`
 
-use rand::SeedableRng;
 use tsv_pt_sensor::device::aging::{AgingModel, StressCondition, TEN_YEARS};
 use tsv_pt_sensor::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = Technology::n65();
     let model = VariationModel::new(&tech);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut rng = ptsim_rng::Pcg64::seed_from_u64(3);
     let die = model.sample_die(&mut rng);
 
     let nbti = AgingModel::nbti_65nm();

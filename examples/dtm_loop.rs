@@ -10,7 +10,6 @@
 //!
 //! Run with: `cargo run --release --example dtm_loop`
 
-use rand::SeedableRng;
 use tsv_pt_sensor::core::fieldest::FieldEstimator;
 use tsv_pt_sensor::prelude::*;
 
@@ -28,7 +27,7 @@ fn tier0_power(throttled: bool) -> Result<PowerMap, Box<dyn std::error::Error>> 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = Technology::n65();
     let model = VariationModel::new(&tech);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let mut rng = ptsim_rng::Pcg64::seed_from_u64(77);
     let dies: Vec<DieSample> = (0..4)
         .map(|i| model.sample_die_with_id(&mut rng, i))
         .collect();

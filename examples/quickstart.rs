@@ -3,13 +3,12 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use rand::SeedableRng;
 use tsv_pt_sensor::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = Technology::n65();
     let model = VariationModel::new(&tech);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2012);
+    let mut rng = ptsim_rng::Pcg64::seed_from_u64(2012);
 
     // Draw one die from the process spread — this is "our chip".
     let die = model.sample_die(&mut rng);

@@ -6,13 +6,12 @@
 //!
 //! Run with: `cargo run --release --example stack_monitor`
 
-use rand::SeedableRng;
 use tsv_pt_sensor::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = Technology::n65();
     let model = VariationModel::new(&tech);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut rng = ptsim_rng::Pcg64::seed_from_u64(42);
 
     // Four independently-fabricated dies stacked with TSVs.
     let dies: Vec<DieSample> = (0..4)

@@ -5,7 +5,6 @@
 //!
 //! Run with: `cargo run --release --example tsv_keepout`
 
-use rand::SeedableRng;
 use tsv_pt_sensor::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("1% mobility keep-out radius: {:.1} µm\n", koz.0);
 
     // One die, one sensor, calibrated far from any TSV.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let mut rng = ptsim_rng::Pcg64::seed_from_u64(9);
     let model = VariationModel::new(&tech);
     let die = model.sample_die(&mut rng);
     let mut sensor = PtSensor::new(tech, SensorSpec::default_65nm())?;

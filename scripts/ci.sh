@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate — hermetic, offline, zero external dependencies.
+#
+# The workspace must build and test from a clean checkout with no network
+# and an empty cargo registry cache. Every step below runs with --offline;
+# if any step tries to touch the registry, that is itself a regression
+# (an external dependency crept back into a Cargo.toml).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline (all targets)"
+cargo build --release --offline --all-targets
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "tier-1 gate: OK"

@@ -22,13 +22,12 @@
 //!
 //! ```
 //! use tsv_pt_sensor::prelude::*;
-//! use rand::SeedableRng;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // A die drawn from the 65 nm process spread.
 //! let tech = Technology::n65();
 //! let model = VariationModel::new(&tech);
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(2012);
+//! let mut rng = ptsim_rng::Pcg64::seed_from_u64(2012);
 //! let die = model.sample_die(&mut rng);
 //!
 //! // Build + self-calibrate the sensor at the 25 °C boot reference.
@@ -57,6 +56,7 @@ pub use ptsim_circuit as circuit;
 pub use ptsim_core as core;
 pub use ptsim_device as device;
 pub use ptsim_mc as mc;
+pub use ptsim_rng as rng;
 pub use ptsim_thermal as thermal;
 pub use ptsim_tsv as tsv;
 
@@ -81,6 +81,7 @@ pub mod prelude {
     pub use ptsim_mc::{
         die_rng, run_parallel, DieSample, DieSite, Histogram, McConfig, OnlineStats, VariationModel,
     };
+    pub use ptsim_rng::{Pcg64, Rng, RngCore};
     pub use ptsim_thermal::{
         run_transient, solve_steady_state, step_transient, PowerMap, SolveOptions, StackConfig,
         ThermalStack,

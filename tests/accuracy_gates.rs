@@ -1,0 +1,111 @@
+//! Golden accuracy gates: the paper-abstract numbers, asserted over a
+//! fixed-seed 100-die Monte-Carlo population.
+//!
+//! These are the tier-1 regression fences for the reproduction:
+//!
+//! - post-calibration temperature error ≤ ±1.5 °C,
+//! - Vtn extraction error ≤ ±1.6 mV, Vtp ≤ ±0.8 mV,
+//! - conversion energy within 5 % of 367.5 pJ.
+//!
+//! The population (100 dies, seed `0x2012`) is deterministic — the in-tree
+//! PCG64 and the std-thread MC driver are bit-reproducible regardless of
+//! thread count — so any drift here is a real model/algorithm change, not
+//! noise.
+
+use tsv_pt_sensor::prelude::*;
+
+const GATE_SEED: u64 = 0x2012;
+const GATE_DIES: usize = 100;
+
+struct DieOutcome {
+    vtn_err_mv: f64,
+    vtp_err_mv: f64,
+    temp_errs_c: Vec<f64>,
+    energy_pj: f64,
+}
+
+/// Calibrates and reads each die of the fixed gate population.
+fn gate_population(temps: &[f64]) -> Vec<DieOutcome> {
+    let tech = Technology::n65();
+    let model = VariationModel::new(&tech);
+    let spec = SensorSpec::default_65nm();
+    run_parallel(&McConfig::new(GATE_DIES, GATE_SEED), |i, rng| {
+        let die = model.sample_die_with_id(rng, i);
+        let mut sensor = PtSensor::new(tech.clone(), spec).expect("sensor builds");
+        sensor
+            .calibrate(
+                &SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)),
+                rng,
+            )
+            .expect("calibration converges");
+        let cal = *sensor.calibration().expect("calibrated");
+        let site_n = sensor.bank().site_of(RoClass::PsroN, DieSite::CENTER);
+        let site_p = sensor.bank().site_of(RoClass::PsroP, DieSite::CENTER);
+        let mut temp_errs_c = Vec::new();
+        let mut energy_pj = f64::NAN;
+        for &t in temps {
+            let r = sensor
+                .read(&SensorInputs::new(&die, DieSite::CENTER, Celsius(t)), rng)
+                .expect("conversion succeeds");
+            temp_errs_c.push(r.temperature.0 - t);
+            if t == 25.0 {
+                energy_pj = r.energy_total().picojoules();
+            }
+        }
+        DieOutcome {
+            vtn_err_mv: (cal.d_vtn() - die.d_vtn_at(site_n)).millivolts(),
+            vtp_err_mv: (cal.d_vtp() - die.d_vtp_at(site_p)).millivolts(),
+            temp_errs_c,
+            energy_pj,
+        }
+    })
+}
+
+#[test]
+fn paper_abstract_numbers_hold_over_gate_population() {
+    let temps = [-20.0, 25.0, 70.0, 100.0];
+    let pop = gate_population(&temps);
+    assert_eq!(pop.len(), GATE_DIES);
+
+    let worst_vtn = pop.iter().map(|d| d.vtn_err_mv.abs()).fold(0.0, f64::max);
+    let worst_vtp = pop.iter().map(|d| d.vtp_err_mv.abs()).fold(0.0, f64::max);
+    let worst_temp = pop
+        .iter()
+        .flat_map(|d| d.temp_errs_c.iter())
+        .fold(0.0f64, |a, e| a.max(e.abs()));
+
+    assert!(
+        worst_vtn <= 1.6,
+        "Vtn extraction worst error {worst_vtn:.3} mV exceeds paper ±1.6 mV"
+    );
+    assert!(
+        worst_vtp <= 0.8,
+        "Vtp extraction worst error {worst_vtp:.3} mV exceeds paper ±0.8 mV"
+    );
+    assert!(
+        worst_temp <= 1.5,
+        "temperature worst error {worst_temp:.3} °C exceeds paper ±1.5 °C"
+    );
+
+    // Energy: population mean within 5 % of the paper's 367.5 pJ/conversion.
+    let mean_pj = pop.iter().map(|d| d.energy_pj).sum::<f64>() / pop.len() as f64;
+    let rel = (mean_pj - 367.5).abs() / 367.5;
+    assert!(
+        rel <= 0.05,
+        "mean conversion energy {mean_pj:.1} pJ deviates {:.1} % from 367.5 pJ",
+        rel * 100.0
+    );
+}
+
+#[test]
+fn gate_population_is_reproducible() {
+    // Same seed ⇒ bit-identical gate metrics (guards the gate itself
+    // against nondeterminism creeping into the driver or the RNG).
+    let a = gate_population(&[25.0]);
+    let b = gate_population(&[25.0]);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.vtn_err_mv.to_bits(), y.vtn_err_mv.to_bits());
+        assert_eq!(x.vtp_err_mv.to_bits(), y.vtp_err_mv.to_bits());
+        assert_eq!(x.energy_pj.to_bits(), y.energy_pj.to_bits());
+    }
+}

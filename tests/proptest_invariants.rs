@@ -1,21 +1,21 @@
 //! Property-based tests over the whole stack's core invariants.
 
-use proptest::prelude::*;
+use ptsim_rng::forall;
 use tsv_pt_sensor::prelude::*;
 
-proptest! {
+forall! {
     // ---- units ------------------------------------------------------------
 
     #[test]
     fn celsius_kelvin_round_trip(t in -200.0f64..500.0) {
         let back = Celsius(t).to_kelvin().to_celsius();
-        prop_assert!((back.0 - t).abs() < 1e-9);
+        assert!((back.0 - t).abs() < 1e-9);
     }
 
     #[test]
     fn frequency_period_are_inverse(f in 1.0f64..1e12) {
         let p = Hertz(f).period();
-        prop_assert!((p.to_frequency().0 - f).abs() / f < 1e-12);
+        assert!((p.to_frequency().0 - f).abs() / f < 1e-12);
     }
 
     // ---- fixed point -------------------------------------------------------
@@ -24,7 +24,7 @@ proptest! {
     fn fixed_round_trip_error_bounded(v in -30000.0f64..30000.0) {
         let q = QFormat::Q16_16;
         let err = (Fixed::from_f64(v, q).to_f64() - v).abs();
-        prop_assert!(err <= q.resolution() / 2.0 + 1e-12);
+        assert!(err <= q.resolution() / 2.0 + 1e-12);
     }
 
     #[test]
@@ -32,7 +32,7 @@ proptest! {
         let q = QFormat::Q16_16;
         let x = Fixed::from_f64(a, q);
         let y = Fixed::from_f64(b, q);
-        prop_assert_eq!(x.add(y).unwrap(), y.add(x).unwrap());
+        assert_eq!(x.add(y).unwrap(), y.add(x).unwrap());
     }
 
     #[test]
@@ -43,7 +43,7 @@ proptest! {
         let exact = x.to_f64() * y.to_f64();
         if exact.abs() < q.max_value() {
             let got = x.mul(y).unwrap().to_f64();
-            prop_assert!((got - exact).abs() <= 2.0 * q.resolution() * (1.0 + a.abs() + b.abs()));
+            assert!((got - exact).abs() <= 2.0 * q.resolution() * (1.0 + a.abs() + b.abs()));
         }
     }
 
@@ -55,7 +55,7 @@ proptest! {
         let rc = Hertz(32e6);
         if !c.overflows(Hertz(f), rc) {
             let est = c.measure(Hertz(f), rc, phase);
-            prop_assert!((est.0 - f).abs() <= c.resolution(rc).0 + 1e-9);
+            assert!((est.0 - f).abs() <= c.resolution(rc).0 + 1e-9);
         }
     }
 
@@ -65,7 +65,7 @@ proptest! {
         let rc = Hertz(32e6);
         let a = c.count(Hertz(f), rc, 0.3);
         let b = c.count(Hertz(f + df), rc, 0.3);
-        prop_assert!(b >= a);
+        assert!(b >= a);
     }
 
     // ---- device physics ----------------------------------------------------
@@ -77,7 +77,7 @@ proptest! {
         let env = DeviceEnv::nominal();
         let i1 = m.drain_current(&tech, Volt(v1), Volt(1.0), &env).0;
         let i2 = m.drain_current(&tech, Volt(v1 + dv), Volt(1.0), &env).0;
-        prop_assert!(i2 >= i1);
+        assert!(i2 >= i1);
     }
 
     #[test]
@@ -91,7 +91,7 @@ proptest! {
             d_vtp: Volt(shift),
             ..CmosEnv::nominal()
         };
-        prop_assert!(ring.frequency(&tech, &slow_env).0 < base);
+        assert!(ring.frequency(&tech, &slow_env).0 < base);
     }
 
     #[test]
@@ -101,21 +101,21 @@ proptest! {
         let vdd = bank.spec().vdd_tsro;
         let f1 = bank.frequency(&tech, RoClass::Tsro, vdd, &CmosEnv::at(Celsius(t1))).0;
         let f2 = bank.frequency(&tech, RoClass::Tsro, vdd, &CmosEnv::at(Celsius(t1 + dt))).0;
-        prop_assert!(f2 > f1, "TSRO must speed up with temperature");
+        assert!(f2 > f1, "TSRO must speed up with temperature");
     }
 
     // ---- statistics ----------------------------------------------------------
 
     #[test]
-    fn welford_merge_equals_sequential(xs in prop::collection::vec(-1e3f64..1e3, 2..200), split in 1usize..100) {
+    fn welford_merge_equals_sequential(xs in ptsim_rng::check::vec_in(-1e3f64..1e3, 2..200), split in 1usize..100) {
         let split = split.min(xs.len() - 1);
         let all: OnlineStats = xs.iter().copied().collect();
         let a: OnlineStats = xs[..split].iter().copied().collect();
         let mut b: OnlineStats = xs[split..].iter().copied().collect();
         b.merge(&a);
-        prop_assert_eq!(b.count(), all.count());
-        prop_assert!((b.mean() - all.mean()).abs() < 1e-6);
-        prop_assert!((b.variance() - all.variance()).abs() < 1e-3);
+        assert_eq!(b.count(), all.count());
+        assert!((b.mean() - all.mean()).abs() < 1e-6);
+        assert!((b.variance() - all.variance()).abs() < 1e-3);
     }
 
     // ---- thermal -------------------------------------------------------------
@@ -125,7 +125,7 @@ proptest! {
                                          r in 0.02f64..0.3, w in 0.1f64..5.0) {
         let mut m = PowerMap::zero(16, 16).unwrap();
         m.add_hotspot(cx, cy, r, Watt(w));
-        prop_assert!((m.total().0 - w).abs() < 1e-9);
+        assert!((m.total().0 - w).abs() < 1e-9);
     }
 
     #[test]
@@ -134,10 +134,10 @@ proptest! {
         s.set_power(0, PowerMap::uniform(16, 16, Watt(w)).unwrap()).unwrap();
         solve_steady_state(&mut s, &SolveOptions::default()).unwrap();
         let t = s.mean_temperature(0).unwrap().0;
-        prop_assert!(t > 25.0);
+        assert!(t > 25.0);
         // Linear RC network: rise proportional to power.
         let rise_per_watt = (t - 25.0) / w;
-        prop_assert!(rise_per_watt > 0.5 && rise_per_watt < 50.0);
+        assert!(rise_per_watt > 0.5 && rise_per_watt < 50.0);
     }
 
     // ---- TSV -----------------------------------------------------------------
@@ -148,7 +148,7 @@ proptest! {
         let g = TsvGeometry::standard_10um();
         let s1 = sm.radial_stress(&g, Micron(r1), Celsius(25.0)).0;
         let s2 = sm.radial_stress(&g, Micron(r1 + dr), Celsius(25.0)).0;
-        prop_assert!(s2 <= s1);
+        assert!(s2 <= s1);
     }
 
     #[test]
@@ -157,12 +157,12 @@ proptest! {
         let g = TsvGeometry::standard_10um();
         let k1 = sm.keep_out_radius(&g, t1, Celsius(25.0)).0;
         let k2 = sm.keep_out_radius(&g, t2, Celsius(25.0)).0;
-        prop_assert!(k1 >= k2, "tighter threshold, larger KOZ");
+        assert!(k1 >= k2, "tighter threshold, larger KOZ");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+forall! {
+    #![cases = 16]
 
     // Expensive end-to-end property: the calibrated sensor recovers any
     // injected D2D shift within the paper band.
@@ -174,21 +174,20 @@ proptest! {
         mu_p in 0.92f64..1.08,
         seed in 0u64..1000,
     ) {
-        use rand::SeedableRng;
         let mut die = DieSample::nominal();
         die.d_vtn_d2d = Volt(dvtn);
         die.d_vtp_d2d = Volt(dvtp);
         die.mu_n_d2d = mu_n;
         die.mu_p_d2d = mu_p;
         let mut sensor = PtSensor::new(Technology::n65(), SensorSpec::default_65nm()).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = ptsim_rng::Pcg64::seed_from_u64(seed);
         sensor
             .calibrate(&SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)), &mut rng)
             .unwrap();
         let cal = sensor.calibration().unwrap();
-        prop_assert!((cal.d_vtn().0 - dvtn).abs() < 1.6e-3,
+        assert!((cal.d_vtn().0 - dvtn).abs() < 1.6e-3,
             "Vtn {:.2} mV vs injected {:.2} mV", cal.d_vtn().millivolts(), dvtn * 1e3);
-        prop_assert!((cal.d_vtp().0 - dvtp).abs() < 1.6e-3,
+        assert!((cal.d_vtp().0 - dvtp).abs() < 1.6e-3,
             "Vtp {:.2} mV vs injected {:.2} mV", cal.d_vtp().millivolts(), dvtp * 1e3);
     }
 }

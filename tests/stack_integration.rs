@@ -1,12 +1,11 @@
 //! Cross-crate integration: thermal × TSV × Monte-Carlo × sensor.
 
-use rand::SeedableRng;
 use tsv_pt_sensor::prelude::*;
 
 fn build_monitor(seed: u64) -> StackMonitor {
     let tech = Technology::n65();
     let model = VariationModel::new(&tech);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = ptsim_rng::Pcg64::seed_from_u64(seed);
     let dies: Vec<DieSample> = (0..4)
         .map(|i| model.sample_die_with_id(&mut rng, i))
         .collect();
@@ -23,7 +22,7 @@ fn build_monitor(seed: u64) -> StackMonitor {
 #[test]
 fn heated_stack_read_within_band_on_every_tier() {
     let mut mon = build_monitor(11);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    let mut rng = ptsim_rng::Pcg64::seed_from_u64(12);
     mon.calibrate_all(&mut rng).unwrap();
 
     let mut thermal = mon.build_thermal().unwrap();
@@ -53,7 +52,7 @@ fn heated_stack_read_within_band_on_every_tier() {
 #[test]
 fn transient_tracking_follows_heatup() {
     let mut mon = build_monitor(21);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+    let mut rng = ptsim_rng::Pcg64::seed_from_u64(22);
     mon.calibrate_all(&mut rng).unwrap();
 
     let mut thermal = mon.build_thermal().unwrap();
@@ -97,7 +96,7 @@ fn sensor_detects_tsv_stress_near_array() {
     assert!(cold.0 .0 > hot.0 .0, "stress must relax when hot");
 
     let mut sensor = PtSensor::new(tech, SensorSpec::default_65nm()).unwrap();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let mut rng = ptsim_rng::Pcg64::seed_from_u64(31);
     sensor
         .calibrate(
             &SensorInputs::new(&die, site, Celsius(25.0)).with_stress(cold.0, cold.1),
@@ -132,7 +131,7 @@ fn thermal_tsv_coupling_reduces_gradient() {
         } else {
             StackTopology::new(StackConfig::four_tier_5mm())
         };
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = ptsim_rng::Pcg64::seed_from_u64(seed);
         let dies = vec![DieSample::nominal(); 4];
         let mut mon = StackMonitor::new(
             topo,
