@@ -1,0 +1,4 @@
+//! Regenerates the R1 fault-injection campaign report on its own.
+fn main() {
+    println!("{}", ptsim_bench::experiments::r1_faults::run());
+}

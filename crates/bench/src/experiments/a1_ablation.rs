@@ -35,61 +35,62 @@ struct Variant {
 
 fn variants() -> Vec<Variant> {
     let base = SensorSpec::default_65nm();
-    let mut v = Vec::new();
-    v.push(Variant {
-        label: "reference (Q16.16, 14 µs window)",
-        spec: base,
-        boot_actual: 25.0,
-        characterized: false,
-    });
-    v.push(Variant {
-        label: "characterized (ROM) model math",
-        spec: base,
-        boot_actual: 25.0,
-        characterized: true,
-    });
-    v.push(Variant {
-        label: "Q8.8 registers",
-        spec: SensorSpec {
-            qformat: QFormat::Q8_8,
-            ..base
+    let mut v = vec![
+        Variant {
+            label: "reference (Q16.16, 14 µs window)",
+            spec: base,
+            boot_actual: 25.0,
+            characterized: false,
         },
-        boot_actual: 25.0,
-        characterized: false,
-    });
-    v.push(Variant {
-        label: "window ÷ 8 (1.75 µs)",
-        spec: SensorSpec {
-            window_cycles: 56,
-            ..base
+        Variant {
+            label: "characterized (ROM) model math",
+            spec: base,
+            boot_actual: 25.0,
+            characterized: true,
         },
-        boot_actual: 25.0,
-        characterized: false,
-    });
-    v.push(Variant {
-        label: "window × 4 (56 µs)",
-        spec: SensorSpec {
-            window_cycles: 1792,
-            ..base
+        Variant {
+            label: "Q8.8 registers",
+            spec: SensorSpec {
+                qformat: QFormat::Q8_8,
+                ..base
+            },
+            boot_actual: 25.0,
+            characterized: false,
         },
-        boot_actual: 25.0,
-        characterized: false,
-    });
-    v.push(Variant {
-        label: "10-bit counters",
-        spec: SensorSpec {
-            counter_bits: 10,
-            ..base
+        Variant {
+            label: "window ÷ 8 (1.75 µs)",
+            spec: SensorSpec {
+                window_cycles: 56,
+                ..base
+            },
+            boot_actual: 25.0,
+            characterized: false,
         },
-        boot_actual: 25.0,
-        characterized: false,
-    });
-    v.push(Variant {
-        label: "boot 5 °C hotter than assumed",
-        spec: base,
-        boot_actual: 30.0,
-        characterized: false,
-    });
+        Variant {
+            label: "window × 4 (56 µs)",
+            spec: SensorSpec {
+                window_cycles: 1792,
+                ..base
+            },
+            boot_actual: 25.0,
+            characterized: false,
+        },
+        Variant {
+            label: "10-bit counters",
+            spec: SensorSpec {
+                counter_bits: 10,
+                ..base
+            },
+            boot_actual: 25.0,
+            characterized: false,
+        },
+        Variant {
+            label: "boot 5 °C hotter than assumed",
+            spec: base,
+            boot_actual: 30.0,
+            characterized: false,
+        },
+    ];
     let mut wide = base;
     wide.bank.site_spacing = 0.05;
     v.push(Variant {

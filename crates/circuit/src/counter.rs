@@ -71,6 +71,30 @@ impl GatedCounter {
         n & self.max_count()
     }
 
+    /// Like [`GatedCounter::count`], but reports overflow as a typed error
+    /// instead of wrapping — the check the hardened sensor controller runs
+    /// on every raw count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::CounterSaturated`] if the signal would
+    /// overflow the counter inside the window.
+    pub fn count_checked(
+        &self,
+        f_in: Hertz,
+        ref_clock: Hertz,
+        phase: f64,
+    ) -> Result<u64, CircuitError> {
+        if self.overflows(f_in, ref_clock) {
+            let edges = (f_in.0 * self.window(ref_clock).0).max(0.0) as u64;
+            return Err(CircuitError::CounterSaturated {
+                edges,
+                max_count: self.max_count(),
+            });
+        }
+        Ok(self.count(f_in, ref_clock, phase))
+    }
+
     /// The frequency this counter reports for a raw count.
     #[must_use]
     pub fn frequency_from_count(&self, count: u64, ref_clock: Hertz) -> Hertz {
@@ -139,28 +163,50 @@ impl Prescaler {
     }
 }
 
-/// Auto-ranged measurement: picks the smallest prescale ratio (up to 2^16)
-/// that avoids counter overflow — exactly what the hardware range logic does
-/// — then counts and converts back to the input domain.
+/// Auto-ranged count: picks the smallest prescale ratio (up to 2^16) that
+/// avoids counter overflow — exactly what the hardware range logic does —
+/// then performs one gated count.
+///
+/// Returns the raw count and the prescaler the range logic settled on, so
+/// callers can reconstruct the frequency (and model datapath faults on the
+/// raw count in between).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::CounterSaturated`] if the signal overflows the
+/// counter even at the maximum prescale ratio (previously this aliased
+/// silently, wrapping like the bare hardware counter would).
+pub fn auto_count(
+    f_in: Hertz,
+    counter: &GatedCounter,
+    ref_clock: Hertz,
+    phase: f64,
+) -> Result<(u64, Prescaler), CircuitError> {
+    let mut log2 = 0u32;
+    while log2 < 16 && counter.overflows(Prescaler::new(log2)?.output(f_in), ref_clock) {
+        log2 += 1;
+    }
+    let prescaler = Prescaler::new(log2)?;
+    let counted = counter.count_checked(prescaler.output(f_in), ref_clock, phase)?;
+    Ok((counted, prescaler))
+}
+
+/// Auto-ranged measurement: [`auto_count`] followed by the frequency
+/// reconstruction the digital backend performs.
 ///
 /// Returns the quantized frequency estimate and the raw count.
 ///
 /// # Errors
 ///
-/// Propagates prescaler construction errors (cannot occur for the internal
-/// ratios used, but kept for API honesty).
+/// Returns [`CircuitError::CounterSaturated`] if the signal overflows the
+/// counter even at the maximum prescale ratio.
 pub fn auto_measure(
     f_in: Hertz,
     counter: &GatedCounter,
     ref_clock: Hertz,
     phase: f64,
 ) -> Result<(Hertz, u64), CircuitError> {
-    let mut log2 = 0u32;
-    while log2 < 16 && counter.overflows(Prescaler::new(log2)?.output(f_in), ref_clock) {
-        log2 += 1;
-    }
-    let prescaler = Prescaler::new(log2)?;
-    let counted = counter.count(prescaler.output(f_in), ref_clock, phase);
+    let (counted, prescaler) = auto_count(f_in, counter, ref_clock, phase)?;
     let f_est = prescaler.undo(counter.frequency_from_count(counted, ref_clock));
     Ok((f_est, counted))
 }
@@ -257,6 +303,41 @@ mod tests {
                 "f {f:.3e} est {est} counted {counted}"
             );
         }
+    }
+
+    #[test]
+    fn count_checked_reports_saturation() {
+        let c = GatedCounter::new(8, 1000).unwrap(); // max 255
+        let rc = Hertz(1e6); // 1 ms window
+        assert!(matches!(
+            c.count_checked(Hertz(1e6), rc, 0.0),
+            Err(CircuitError::CounterSaturated {
+                edges: 1000,
+                max_count: 255,
+            })
+        ));
+        assert_eq!(c.count_checked(Hertz(200e3), rc, 0.0).unwrap(), 200);
+    }
+
+    #[test]
+    fn auto_count_saturates_at_max_prescale() {
+        // A 4-bit counter with a long window cannot range a GHz signal even
+        // at /2^16 — the hardened path must see a typed error, not a wrap.
+        let c = GatedCounter::new(4, 32_000).unwrap();
+        let rc = Hertz(32e6); // 1 ms window
+        assert!(matches!(
+            auto_count(Hertz(2e9), &c, rc, 0.0),
+            Err(CircuitError::CounterSaturated { .. })
+        ));
+        assert!(matches!(
+            auto_measure(Hertz(2e9), &c, rc, 0.0),
+            Err(CircuitError::CounterSaturated { .. })
+        ));
+        // A countable signal still works and agrees with auto_measure.
+        let (counted, p) = auto_count(Hertz(10e3), &c, rc, 0.0).unwrap();
+        let (f_est, counted2) = auto_measure(Hertz(10e3), &c, rc, 0.0).unwrap();
+        assert_eq!(counted, counted2);
+        assert!((p.undo(c.frequency_from_count(counted, rc)).0 - f_est.0).abs() < 1e-9);
     }
 
     #[test]

@@ -33,6 +33,14 @@ pub enum CircuitError {
         /// Offending window length in seconds.
         seconds: f64,
     },
+    /// A gated count exceeded the counter width even at the maximum
+    /// prescale ratio — the measurement would alias (wrap) in hardware.
+    CounterSaturated {
+        /// Edges that would have been counted inside the window.
+        edges: u64,
+        /// Largest count the counter can hold.
+        max_count: u64,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -60,6 +68,12 @@ impl fmt::Display for CircuitError {
             CircuitError::FixedDivideByZero => write!(f, "fixed-point division by zero"),
             CircuitError::InvalidWindow { seconds } => {
                 write!(f, "invalid measurement window: {seconds} s")
+            }
+            CircuitError::CounterSaturated { edges, max_count } => {
+                write!(
+                    f,
+                    "gated counter saturated: {edges} edges exceed max count {max_count}"
+                )
             }
         }
     }

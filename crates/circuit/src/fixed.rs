@@ -179,6 +179,10 @@ impl Fixed {
     /// # Errors
     ///
     /// Returns [`CircuitError::QFormatMismatch`] if formats differ.
+    // The arithmetic methods share names with the `std::ops` traits but
+    // cannot implement them: they are fallible (format-checked) and
+    // saturating, and hiding that behind operators would be misleading.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Fixed) -> Result<Fixed, CircuitError> {
         self.check_format(other)?;
         Ok(Fixed::saturate(
@@ -192,6 +196,7 @@ impl Fixed {
     /// # Errors
     ///
     /// Returns [`CircuitError::QFormatMismatch`] if formats differ.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Fixed) -> Result<Fixed, CircuitError> {
         self.check_format(other)?;
         Ok(Fixed::saturate(
@@ -206,6 +211,7 @@ impl Fixed {
     /// # Errors
     ///
     /// Returns [`CircuitError::QFormatMismatch`] if formats differ.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Fixed) -> Result<Fixed, CircuitError> {
         self.check_format(other)?;
         let wide = self.raw as i128 * other.raw as i128;
@@ -220,6 +226,7 @@ impl Fixed {
     ///
     /// * [`CircuitError::QFormatMismatch`] if formats differ;
     /// * [`CircuitError::FixedDivideByZero`] if `other` is zero.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, other: Fixed) -> Result<Fixed, CircuitError> {
         self.check_format(other)?;
         if other.raw == 0 {
@@ -232,6 +239,7 @@ impl Fixed {
 
     /// Saturating negation.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Fixed {
         Fixed::saturate(-(self.raw as i128), self.format)
     }
@@ -243,6 +251,33 @@ impl Fixed {
             self.neg()
         } else {
             self
+        }
+    }
+
+    /// The stored word with one bit flipped — a single-event upset (SEU) in
+    /// the register holding this value. `bit` 0 is the LSB; `bit` may range
+    /// over the data bits plus the sign position (`total_bits()`).
+    ///
+    /// The flip acts on the raw two's-complement word, exactly as radiation
+    /// would: the resulting value stays inside the register's physical
+    /// range but can be arbitrarily far from the original value.
+    #[must_use]
+    pub fn with_bit_flipped(self, bit: u32) -> Fixed {
+        let bit = bit.min(self.format.total_bits());
+        // Flip within the sign-extended word, then fold back into range:
+        // flipping the top (sign) bit toggles between x and x - 2^(total+1).
+        let mask = 1i64 << bit;
+        let flipped = self.raw ^ mask;
+        let wrapped = if flipped > self.format.raw_max() {
+            flipped - (1i64 << (self.format.total_bits() + 1))
+        } else if flipped < self.format.raw_min() {
+            flipped + (1i64 << (self.format.total_bits() + 1))
+        } else {
+            flipped
+        };
+        Fixed {
+            raw: wrapped,
+            format: self.format,
         }
     }
 }
@@ -344,6 +379,21 @@ mod tests {
         assert_eq!(a.abs().to_f64(), 2.5);
         assert_eq!(a.neg().to_f64(), 2.5);
         assert_eq!(a.abs().neg().to_f64(), -2.5);
+    }
+
+    #[test]
+    fn bit_flip_changes_value_and_double_flip_restores() {
+        let q = QFormat::Q16_16;
+        let v = Fixed::from_f64(0.0123, q);
+        for bit in [0, 5, 12, 20, q.total_bits()] {
+            let hit = v.with_bit_flipped(bit);
+            assert_ne!(hit.raw(), v.raw(), "bit {bit} flip must change the word");
+            assert_eq!(hit.with_bit_flipped(bit).raw(), v.raw());
+            assert!(hit.raw() <= q.max_value() as i64 * (1 << q.frac_bits()) + 1);
+        }
+        // Flip magnitude matches the bit weight for in-range results.
+        let lsb = v.with_bit_flipped(0);
+        assert!((lsb.to_f64() - v.to_f64()).abs() - q.resolution() < 1e-12);
     }
 
     #[test]

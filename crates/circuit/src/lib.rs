@@ -37,7 +37,7 @@ pub mod error;
 pub mod fixed;
 pub mod ring;
 
-pub use counter::{GatedCounter, Prescaler};
+pub use counter::{auto_count, auto_measure, GatedCounter, Prescaler};
 pub use energy::EnergyLedger;
 pub use error::CircuitError;
 pub use fixed::{Fixed, QFormat};

@@ -48,7 +48,7 @@ impl InverterRing {
         wire_load: Farad,
         vdd: Volt,
     ) -> Result<Self, CircuitError> {
-        if stages < 3 || stages % 2 == 0 {
+        if stages < 3 || stages.is_multiple_of(2) {
             return Err(CircuitError::InvalidStageCount { stages });
         }
         Ok(InverterRing {

@@ -4,9 +4,18 @@
 //! in fixed-point registers. Register word length is part of the hardware
 //! spec — storing through [`Fixed`] models the quantization the real sensor
 //! pays (and is one axis of the A1 ablation).
+//!
+//! Each register word also carries a parity bit, written once at store
+//! time. A single-event upset flips a register bit but not its parity, so
+//! [`Calibration::parity_errors`] exposes exactly which registers can no
+//! longer be trusted — the hook the sensor's parity scrub checks before
+//! every conversion.
 
 use ptsim_circuit::fixed::{Fixed, QFormat};
 use ptsim_device::units::{Celsius, Volt};
+
+/// Number of calibration registers (`ΔVtn, ΔVtp, µn, µp, ln-TSRO-scale`).
+pub const CALIB_REGISTERS: usize = 5;
 
 /// The stored result of one self-calibration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,6 +26,14 @@ pub struct Calibration {
     mu_p: Fixed,
     ln_tsro_scale: Fixed,
     calib_temp: Celsius,
+    /// Per-register parity written at store time: bit *i* is the XOR of
+    /// register *i*'s word bits.
+    parity: u8,
+}
+
+/// Parity (XOR of all bits) of one register word.
+fn word_parity(reg: Fixed) -> u8 {
+    ((reg.raw() as u64).count_ones() & 1) as u8
 }
 
 impl Calibration {
@@ -36,13 +53,61 @@ impl Calibration {
         calib_temp: Celsius,
         format: QFormat,
     ) -> Self {
-        Calibration {
+        let mut cal = Calibration {
             d_vtn: Fixed::from_f64(d_vtn.0, format),
             d_vtp: Fixed::from_f64(d_vtp.0, format),
             mu_n: Fixed::from_f64(mu_n, format),
             mu_p: Fixed::from_f64(mu_p, format),
             ln_tsro_scale: Fixed::from_f64(ln_tsro_scale, format),
             calib_temp,
+            parity: 0,
+        };
+        cal.parity = cal.computed_parity();
+        cal
+    }
+
+    fn register(&self, index: usize) -> Fixed {
+        match index {
+            0 => self.d_vtn,
+            1 => self.d_vtp,
+            2 => self.mu_n,
+            3 => self.mu_p,
+            4 => self.ln_tsro_scale,
+            _ => panic!("calibration register index {index} out of range"),
+        }
+    }
+
+    fn register_mut(&mut self, index: usize) -> &mut Fixed {
+        match index {
+            0 => &mut self.d_vtn,
+            1 => &mut self.d_vtp,
+            2 => &mut self.mu_n,
+            3 => &mut self.mu_p,
+            4 => &mut self.ln_tsro_scale,
+            _ => panic!("calibration register index {index} out of range"),
+        }
+    }
+
+    fn computed_parity(&self) -> u8 {
+        (0..CALIB_REGISTERS).fold(0u8, |mask, i| mask | (word_parity(self.register(i)) << i))
+    }
+
+    /// Bitmask of registers whose current parity disagrees with the parity
+    /// written at store time (bit *i* = register *i*). `0` means every
+    /// register still checks out.
+    #[must_use]
+    pub fn parity_errors(&self) -> u8 {
+        self.computed_parity() ^ self.parity
+    }
+
+    /// Flips one bit of one register word *without* updating the stored
+    /// parity — exactly what a single-event upset does to the physical
+    /// register. Register indices follow the `ΔVtn, ΔVtp, µn, µp, ln-scale`
+    /// order; out-of-range registers are ignored (no flip).
+    pub fn inject_bit_flip(&mut self, register: usize, bit: u32) {
+        if register < CALIB_REGISTERS {
+            let reg = self.register_mut(register);
+            *reg = reg.with_bit_flipped(bit);
         }
     }
 
@@ -137,5 +202,65 @@ mod tests {
         let err_coarse = (coarse.d_vtn().0 - 0.0123).abs();
         assert!(err_coarse > err_fine);
         assert_eq!(coarse.format(), QFormat::Q8_8);
+    }
+
+    fn sample() -> Calibration {
+        Calibration::store(
+            Volt(0.0123),
+            Volt(-0.0045),
+            1.031,
+            0.978,
+            0.0021,
+            Celsius(25.0),
+            QFormat::Q16_16,
+        )
+    }
+
+    #[test]
+    fn fresh_calibration_has_clean_parity() {
+        assert_eq!(sample().parity_errors(), 0);
+    }
+
+    #[test]
+    fn seu_flips_exactly_one_parity_bit() {
+        for register in 0..CALIB_REGISTERS {
+            let mut c = sample();
+            c.inject_bit_flip(register, 7);
+            assert_eq!(
+                c.parity_errors(),
+                1 << register,
+                "register {register} parity mask"
+            );
+        }
+    }
+
+    #[test]
+    fn double_flip_restores_parity_and_value() {
+        let mut c = sample();
+        let before = c;
+        c.inject_bit_flip(2, 11);
+        assert_ne!(c.mu_n(), before.mu_n());
+        assert_ne!(c.parity_errors(), 0);
+        c.inject_bit_flip(2, 11);
+        assert_eq!(c, before);
+        assert_eq!(c.parity_errors(), 0);
+    }
+
+    #[test]
+    fn seu_changes_stored_value_measurably() {
+        let mut c = sample();
+        // Bit 16+5 in Q16.16 is 2^5 = 32 in value terms — a catastrophic
+        // corruption of a millivolt-scale register.
+        c.inject_bit_flip(0, 21);
+        assert!((c.d_vtn().0 - 0.0123).abs() > 1.0);
+        assert_eq!(c.parity_errors(), 0b00001);
+    }
+
+    #[test]
+    fn out_of_range_register_is_ignored() {
+        let mut c = sample();
+        let before = c;
+        c.inject_bit_flip(CALIB_REGISTERS, 3);
+        assert_eq!(c, before);
     }
 }

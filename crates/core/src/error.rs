@@ -27,6 +27,28 @@ pub enum SensorError {
         /// What was being solved.
         what: &'static str,
     },
+    /// The Jacobian was numerically solvable but so badly conditioned the
+    /// solution cannot be trusted (condition estimate above the configured
+    /// limit).
+    IllConditioned {
+        /// What was being solved.
+        what: &'static str,
+        /// Lower-bound condition-number estimate.
+        condition: f64,
+    },
+    /// An oscillator channel produced no plausible measurement even after
+    /// retries — the sensor cannot convert.
+    ChannelFailed {
+        /// Display name of the failed channel.
+        channel: &'static str,
+    },
+    /// The parity scrub found corrupted calibration registers; the reading
+    /// was refused and the sensor must self-recalibrate.
+    CalibrationCorrupted {
+        /// Bitmask of corrupted registers (bit *i* = register *i*, in
+        /// `ΔVtn, ΔVtp, µn, µp, ln-scale` order).
+        registers: u8,
+    },
     /// A read was attempted before calibration.
     NotCalibrated,
     /// The solved temperature fell outside the sensor's characterized range.
@@ -58,6 +80,24 @@ impl fmt::Display for SensorError {
             ),
             SensorError::SingularJacobian { what } => {
                 write!(f, "singular jacobian while solving {what}")
+            }
+            SensorError::IllConditioned { what, condition } => {
+                write!(
+                    f,
+                    "jacobian while solving {what} is ill-conditioned (estimate {condition:.3e})"
+                )
+            }
+            SensorError::ChannelFailed { channel } => {
+                write!(
+                    f,
+                    "oscillator channel {channel} failed: no plausible measurement after retries"
+                )
+            }
+            SensorError::CalibrationCorrupted { registers } => {
+                write!(
+                    f,
+                    "calibration registers corrupted (parity mask {registers:#07b}); recalibrate"
+                )
             }
             SensorError::NotCalibrated => {
                 write!(f, "sensor has not been calibrated (call calibrate first)")

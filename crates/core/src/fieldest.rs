@@ -162,7 +162,7 @@ pub fn place_sensors_greedy(
                 .map(|s| subset_error(s, tier, &sites))
                 .fold(0.0f64, f64::max);
             sites.pop();
-            if best.map_or(true, |(_, b)| worst < b) {
+            if best.is_none_or(|(_, b)| worst < b) {
                 best = Some((ci, worst));
             }
         }

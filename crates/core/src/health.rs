@@ -1,0 +1,248 @@
+//! Self-diagnosis state attached to every sensor result.
+//!
+//! The hardened controller never trusts a reading it cannot vouch for:
+//! every plausibility rejection, replica disagreement, retry, solver
+//! retune, and degradation leaves a [`HealthEvent`] in the result's
+//! [`Health`] record, and the overall [`HealthStatus`] is the worst
+//! severity among them. A fault that corrupts an output must therefore
+//! either turn the reading into an error or leave the health record
+//! non-nominal — silent data corruption is the one outcome the design
+//! rules out.
+
+use ptsim_device::units::Volt;
+
+/// Overall quality of a sensor result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthStatus {
+    /// Everything behaved as designed on the first attempt.
+    Nominal,
+    /// A fault was detected and masked (vote, retry, retune); the reported
+    /// values are full-accuracy but the hardware needs attention.
+    Recovered,
+    /// The sensor is running in a reduced mode (lost channel, ROM fallback,
+    /// implausible drift); outputs carry reduced accuracy guarantees.
+    Degraded,
+}
+
+/// One diagnosed anomaly during a calibration or conversion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum HealthEvent {
+    /// A replica's measurement fell outside the design-time plausibility
+    /// band for its oscillator/supply pair.
+    ImplausibleReading {
+        /// Channel display name.
+        channel: &'static str,
+        /// Replica index within the channel.
+        replica: usize,
+    },
+    /// A replica's counter saturated even at the maximum prescale ratio.
+    CounterSaturated {
+        /// Channel display name.
+        channel: &'static str,
+        /// Replica index within the channel.
+        replica: usize,
+    },
+    /// A plausible replica disagreed with the replica majority and was
+    /// excluded from the vote.
+    ReplicaOutvoted {
+        /// Channel display name.
+        channel: &'static str,
+        /// Replica index within the channel.
+        replica: usize,
+    },
+    /// The surviving replicas agree only loosely (relative spread above the
+    /// hardening limit) — excess jitter or marginal supply.
+    ReplicaSpread {
+        /// Channel display name.
+        channel: &'static str,
+        /// Relative spread `(max − min) / median` of the voted replicas.
+        spread_rel: f64,
+    },
+    /// A channel produced no trustworthy majority and was re-measured with
+    /// a widened counting window.
+    RetriedWindow {
+        /// Channel display name.
+        channel: &'static str,
+        /// Window-scale factor used for the retry.
+        window_scale: u64,
+    },
+    /// A retry produced a trustworthy value after the first attempt failed.
+    Recovered {
+        /// Channel display name.
+        channel: &'static str,
+    },
+    /// A channel produced no trustworthy value even after every retry.
+    ChannelLost {
+        /// Channel display name.
+        channel: &'static str,
+    },
+    /// The plain Newton solve failed and the solver was re-run with the
+    /// robust (adaptive-damping) tuning.
+    SolverRetuned {
+        /// Which decoupling solve was retuned.
+        what: &'static str,
+    },
+    /// Both solver tunings failed; the output came from a bisection against
+    /// the characterized (ROM) response instead of the joint decoupling.
+    RomFallback {
+        /// Which decoupling solve fell back.
+        what: &'static str,
+    },
+    /// A PSRO bank is lost: only temperature was solved, with the threshold
+    /// shifts frozen at their calibration values.
+    DegradedTemperatureOnly,
+    /// The solved threshold drift exceeded the hardening plausibility limit
+    /// — the process outputs cannot be trusted.
+    ImplausibleDrift {
+        /// Which threshold drifted (`"d_vtn"` / `"d_vtp"`).
+        which: &'static str,
+        /// Apparent drift relative to the stored calibration.
+        drift: Volt,
+    },
+    /// The calibration-register parity scrub found corrupted registers and
+    /// triggered a self-recalibration.
+    ParityScrubbed {
+        /// Bitmask of corrupted registers.
+        registers: u8,
+    },
+}
+
+impl HealthEvent {
+    /// The severity this event implies on its own.
+    #[must_use]
+    pub fn severity(&self) -> HealthStatus {
+        match self {
+            HealthEvent::ImplausibleReading { .. }
+            | HealthEvent::CounterSaturated { .. }
+            | HealthEvent::ReplicaOutvoted { .. }
+            | HealthEvent::ReplicaSpread { .. }
+            | HealthEvent::RetriedWindow { .. }
+            | HealthEvent::Recovered { .. }
+            | HealthEvent::SolverRetuned { .. }
+            | HealthEvent::ParityScrubbed { .. } => HealthStatus::Recovered,
+            HealthEvent::ChannelLost { .. }
+            | HealthEvent::RomFallback { .. }
+            | HealthEvent::DegradedTemperatureOnly
+            | HealthEvent::ImplausibleDrift { .. } => HealthStatus::Degraded,
+        }
+    }
+}
+
+/// The full self-diagnosis record of one calibration or conversion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Health {
+    status: HealthStatus,
+    events: Vec<HealthEvent>,
+}
+
+impl Health {
+    /// A clean record: nominal, no events.
+    #[must_use]
+    pub fn nominal() -> Self {
+        Health {
+            status: HealthStatus::Nominal,
+            events: Vec::new(),
+        }
+    }
+
+    /// Records an event, escalating the overall status to the worst
+    /// severity seen so far.
+    pub fn record(&mut self, event: HealthEvent) {
+        self.status = self.status.max(event.severity());
+        self.events.push(event);
+    }
+
+    /// Overall status.
+    #[must_use]
+    pub fn status(&self) -> HealthStatus {
+        self.status
+    }
+
+    /// Every diagnosed event, in occurrence order.
+    #[must_use]
+    pub fn events(&self) -> &[HealthEvent] {
+        &self.events
+    }
+
+    /// True if nothing anomalous was diagnosed.
+    #[must_use]
+    pub fn is_nominal(&self) -> bool {
+        self.status == HealthStatus::Nominal && self.events.is_empty()
+    }
+
+    /// True if anything at all was diagnosed — the inverse of
+    /// [`Health::is_nominal`]. A *silent* corruption is precisely a wrong
+    /// reading for which this returns `false`.
+    #[must_use]
+    pub fn flagged(&self) -> bool {
+        !self.is_nominal()
+    }
+
+    /// True if any recorded event matches the predicate.
+    pub fn any(&self, pred: impl FnMut(&HealthEvent) -> bool) -> bool {
+        self.events.iter().any(pred)
+    }
+}
+
+impl Default for Health {
+    fn default() -> Self {
+        Health::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_record_is_clean() {
+        let h = Health::nominal();
+        assert!(h.is_nominal());
+        assert!(!h.flagged());
+        assert_eq!(h.status(), HealthStatus::Nominal);
+        assert!(h.events().is_empty());
+    }
+
+    #[test]
+    fn status_escalates_to_worst_event_and_stays() {
+        let mut h = Health::nominal();
+        h.record(HealthEvent::RetriedWindow {
+            channel: "TSRO",
+            window_scale: 4,
+        });
+        assert_eq!(h.status(), HealthStatus::Recovered);
+        h.record(HealthEvent::ChannelLost { channel: "PSRO-N" });
+        assert_eq!(h.status(), HealthStatus::Degraded);
+        // A later mild event must not downgrade the status.
+        h.record(HealthEvent::Recovered { channel: "TSRO" });
+        assert_eq!(h.status(), HealthStatus::Degraded);
+        assert_eq!(h.events().len(), 3);
+        assert!(h.flagged());
+    }
+
+    #[test]
+    fn severity_ordering_matches_design() {
+        assert!(HealthStatus::Nominal < HealthStatus::Recovered);
+        assert!(HealthStatus::Recovered < HealthStatus::Degraded);
+        assert_eq!(
+            HealthEvent::DegradedTemperatureOnly.severity(),
+            HealthStatus::Degraded
+        );
+        assert_eq!(
+            HealthEvent::ParityScrubbed { registers: 0b1 }.severity(),
+            HealthStatus::Recovered
+        );
+    }
+
+    #[test]
+    fn any_finds_matching_events() {
+        let mut h = Health::nominal();
+        h.record(HealthEvent::ReplicaOutvoted {
+            channel: "PSRO-P",
+            replica: 1,
+        });
+        assert!(h.any(|e| matches!(e, HealthEvent::ReplicaOutvoted { replica: 1, .. })));
+        assert!(!h.any(|e| matches!(e, HealthEvent::ChannelLost { .. })));
+    }
+}

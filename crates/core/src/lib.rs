@@ -45,6 +45,7 @@ pub mod calib;
 pub mod error;
 pub mod fieldest;
 pub mod golden;
+pub mod health;
 pub mod monitor;
 pub mod newton;
 pub mod sensor;
@@ -55,6 +56,7 @@ pub use calib::Calibration;
 pub use error::SensorError;
 pub use fieldest::{place_sensors_greedy, refine_placement_swaps, FieldEstimator};
 pub use golden::{CharacterizationSpace, GoldenModel};
+pub use health::{Health, HealthEvent, HealthStatus};
 pub use monitor::{SensorNode, StackMonitor, TierReading};
-pub use sensor::{CalibrationOutcome, PtSensor, Reading, SensorInputs, SensorSpec};
+pub use sensor::{CalibrationOutcome, HardeningSpec, PtSensor, Reading, SensorInputs, SensorSpec};
 pub use vsense::VddMonitor;

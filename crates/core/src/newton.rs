@@ -2,7 +2,15 @@
 //!
 //! The systems are tiny (1–4 unknowns), so a straightforward
 //! partial-pivoting Gaussian elimination and forward-difference Jacobians
-//! are entirely adequate.
+//! are entirely adequate. The solver has two personalities:
+//!
+//! * the **default** options reproduce the plain damped iteration the
+//!   original conversion datapath runs (bit-identical to earlier
+//!   revisions), and
+//! * [`NewtonOptions::robust`] adds adaptive step damping (halve on
+//!   residual growth) and a Jacobian condition guard — the retuned mode the
+//!   hardened sensor falls back to when the plain solve diverges on a
+//!   corrupted measurement.
 
 use crate::error::SensorError;
 
@@ -13,9 +21,22 @@ pub struct NewtonOptions {
     pub max_iterations: usize,
     /// Convergence tolerance on the residual ∞-norm.
     pub tolerance: f64,
-    /// Per-component step clamp (same length as the unknown vector, applied
-    /// element-wise from `step_limits`).
+    /// Scalar multiplier in `(0, 1]` applied to every Newton update
+    /// *before* the per-component `step_limits` clamp (the clamp itself is
+    /// the separate `step_limits` argument of [`newton_solve`]; this field
+    /// uniformly shortens the update).
     pub damping: f64,
+    /// When `true`, the solver backs off: if an accepted step *grows* the
+    /// residual ∞-norm, the step is reverted and the working damping is
+    /// halved (down to `min_damping`); it relaxes back toward `damping`
+    /// after successful steps.
+    pub adaptive: bool,
+    /// Floor for the adaptive damping back-off.
+    pub min_damping: f64,
+    /// Reject the solve with [`SensorError::IllConditioned`] if the
+    /// Jacobian's condition estimate exceeds this (∞-norm over smallest
+    /// pivot — a cheap lower bound). `f64::INFINITY` disables the guard.
+    pub max_condition: f64,
 }
 
 impl Default for NewtonOptions {
@@ -24,6 +45,47 @@ impl Default for NewtonOptions {
             max_iterations: 60,
             tolerance: 1e-10,
             damping: 1.0,
+            adaptive: false,
+            min_damping: 1.0 / 64.0,
+            max_condition: f64::INFINITY,
+        }
+    }
+}
+
+impl NewtonOptions {
+    /// The hardened fallback tuning: adaptive damping with a conservative
+    /// initial step, more iterations, and a condition guard, for re-running
+    /// a solve that diverged (or went singular) on implausible inputs.
+    #[must_use]
+    pub fn robust() -> Self {
+        NewtonOptions {
+            max_iterations: 150,
+            tolerance: 1e-10,
+            damping: 0.7,
+            adaptive: true,
+            min_damping: 0.05,
+            max_condition: 1e12,
+        }
+    }
+}
+
+/// Diagnostics from one linear solve: enough to estimate conditioning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearSolveInfo {
+    /// ∞-norm (max absolute row sum) of the matrix before elimination.
+    pub norm_inf: f64,
+    /// Smallest absolute pivot encountered during elimination.
+    pub min_pivot: f64,
+}
+
+impl LinearSolveInfo {
+    /// Cheap lower-bound condition estimate: `‖A‖∞ / min|pivot|`.
+    #[must_use]
+    pub fn condition_estimate(&self) -> f64 {
+        if self.min_pivot > 0.0 {
+            self.norm_inf / self.min_pivot
+        } else {
+            f64::INFINITY
         }
     }
 }
@@ -31,17 +93,28 @@ impl Default for NewtonOptions {
 /// Solves `A·x = b` in place by Gaussian elimination with partial pivoting.
 /// `a` is row-major `n × n`.
 ///
+/// Singularity is decided against the matrix's own scale: a pivot smaller
+/// than `n · ε · ‖A‖∞` is treated as zero. (A fixed absolute threshold like
+/// `1e-300` only catches exact zeros — any rank-deficient system built from
+/// real measurements fails far above that.)
+///
 /// # Errors
 ///
-/// Returns [`SensorError::SingularJacobian`] if a pivot is numerically zero.
+/// Returns [`SensorError::SingularJacobian`] if a pivot is numerically zero
+/// at the matrix's scale.
 pub fn solve_linear(
     a: &mut [f64],
     b: &mut [f64],
     n: usize,
     what: &'static str,
-) -> Result<(), SensorError> {
+) -> Result<LinearSolveInfo, SensorError> {
     debug_assert_eq!(a.len(), n * n);
     debug_assert_eq!(b.len(), n);
+    let norm_inf = (0..n)
+        .map(|row| (0..n).map(|k| a[row * n + k].abs()).sum::<f64>())
+        .fold(0.0f64, f64::max);
+    let pivot_floor = n as f64 * f64::EPSILON * norm_inf;
+    let mut min_pivot = f64::INFINITY;
     for col in 0..n {
         // Pivot.
         let mut pivot = col;
@@ -50,9 +123,11 @@ pub fn solve_linear(
                 pivot = row;
             }
         }
-        if a[pivot * n + col].abs() < 1e-300 {
+        let pivot_abs = a[pivot * n + col].abs();
+        if pivot_abs <= pivot_floor || !pivot_abs.is_finite() {
             return Err(SensorError::SingularJacobian { what });
         }
+        min_pivot = min_pivot.min(pivot_abs);
         if pivot != col {
             for k in 0..n {
                 a.swap(col * n + k, pivot * n + k);
@@ -76,7 +151,10 @@ pub fn solve_linear(
         }
         b[col] = sum / a[col * n + col];
     }
-    Ok(())
+    Ok(LinearSolveInfo {
+        norm_inf,
+        min_pivot,
+    })
 }
 
 /// Damped Newton–Raphson on `residual(x) = 0`.
@@ -92,7 +170,9 @@ pub fn solve_linear(
 ///
 /// * [`SensorError::SolverDiverged`] if the residual norm does not reach
 ///   `opts.tolerance` within `opts.max_iterations`;
-/// * [`SensorError::SingularJacobian`] if the Jacobian becomes singular.
+/// * [`SensorError::SingularJacobian`] if the Jacobian becomes singular;
+/// * [`SensorError::IllConditioned`] if `opts.max_condition` is finite and
+///   the Jacobian's condition estimate exceeds it.
 pub fn newton_solve<F>(
     x: &mut [f64],
     mut residual: F,
@@ -110,6 +190,9 @@ where
 
     let mut jac = vec![0.0; n * n];
     let mut xp = vec![0.0; n];
+    let mut x_prev = vec![0.0; n];
+    let mut damp = opts.damping;
+    let mut prev_norm = f64::INFINITY;
 
     for iter in 1..=opts.max_iterations {
         let r = residual(x);
@@ -117,6 +200,21 @@ where
         if norm < opts.tolerance {
             return Ok(iter);
         }
+        // `partial_cmp` keeps the NaN case explicit: a NaN norm must also
+        // trigger the revert, exactly like a worsened one.
+        let improved = matches!(
+            norm.partial_cmp(&prev_norm),
+            Some(core::cmp::Ordering::Less | core::cmp::Ordering::Equal)
+        );
+        if opts.adaptive && !improved && iter > 1 {
+            // The last step made things worse (or produced NaN): revert it
+            // and retry from the previous point with half the damping.
+            x.copy_from_slice(&x_prev);
+            damp = (damp * 0.5).max(opts.min_damping);
+            continue;
+        }
+        prev_norm = norm;
+        x_prev.copy_from_slice(x);
         // Forward-difference Jacobian.
         for j in 0..n {
             xp.copy_from_slice(x);
@@ -127,10 +225,24 @@ where
             }
         }
         let mut rhs = r.clone();
-        solve_linear(&mut jac, &mut rhs, n, what)?;
+        let info = solve_linear(&mut jac, &mut rhs, n, what)?;
+        if opts.max_condition.is_finite() {
+            let cond = info.condition_estimate();
+            if cond > opts.max_condition {
+                return Err(SensorError::IllConditioned {
+                    what,
+                    condition: cond,
+                });
+            }
+        }
         for j in 0..n {
-            let step = (opts.damping * rhs[j]).clamp(-step_limits[j], step_limits[j]);
+            let step = (damp * rhs[j]).clamp(-step_limits[j], step_limits[j]);
             x[j] -= step;
+        }
+        if opts.adaptive {
+            // Relax the damping back toward the configured value after an
+            // accepted step.
+            damp = (damp * 1.5).min(opts.damping);
         }
     }
     let final_norm = residual(x).iter().fold(0.0f64, |m, v| m.max(v.abs()));
@@ -173,6 +285,42 @@ mod tests {
             solve_linear(&mut a, &mut b, 2, "test"),
             Err(SensorError::SingularJacobian { .. })
         ));
+    }
+
+    #[test]
+    fn near_singular_at_scale_is_error_despite_large_absolute_pivot() {
+        // Rows differ by one part in 1e18 — far above 1e-300 in absolute
+        // terms, but rank-deficient at the matrix's own scale. The old
+        // fixed threshold accepted this and returned garbage.
+        let mut a = vec![1e10, 2e10, 1e10, 2e10 * (1.0 + 1e-18)];
+        let mut b = vec![1.0, 2.0];
+        assert!(matches!(
+            solve_linear(&mut a, &mut b, 2, "test"),
+            Err(SensorError::SingularJacobian { .. })
+        ));
+    }
+
+    #[test]
+    fn well_scaled_tiny_matrix_still_solves() {
+        // Uniformly tiny but well-conditioned: must NOT be rejected (the
+        // scaled test is relative, not absolute).
+        let mut a = vec![2e-200, 1e-200, 1e-200, 3e-200];
+        let mut b = vec![5e-200, 10e-200];
+        solve_linear(&mut a, &mut b, 2, "test").unwrap();
+        assert!((b[0] - 1.0).abs() < 1e-10);
+        assert!((b[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_info_reports_conditioning() {
+        let mut a = vec![1.0, 0.0, 0.0, 1e-8];
+        let mut b = vec![1.0, 1.0];
+        let info = solve_linear(&mut a, &mut b, 2, "test").unwrap();
+        assert!(info.condition_estimate() > 1e7);
+        let mut a = vec![1.0, 0.0, 0.0, 1.0];
+        let mut b = vec![1.0, 1.0];
+        let info = solve_linear(&mut a, &mut b, 2, "test").unwrap();
+        assert!(info.condition_estimate() < 10.0);
     }
 
     #[test]
@@ -265,5 +413,85 @@ mod tests {
         for i in 0..4 {
             assert!((x[i] - target[i]).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn adaptive_damping_recovers_where_plain_newton_oscillates() {
+        // f(x) = atan(x) from x0 = 2: undamped Newton overshoots and
+        // diverges (|x| grows every step); the adaptive back-off shrinks
+        // the step until the iteration enters the convergent basin.
+        let plain = NewtonOptions {
+            max_iterations: 20,
+            ..NewtonOptions::default()
+        };
+        let mut x = [2.0];
+        assert!(newton_solve(
+            &mut x,
+            |v| vec![v[0].atan()],
+            &[1e-7],
+            &[1e6],
+            &plain,
+            "atan-plain",
+        )
+        .is_err());
+
+        let mut x = [2.0];
+        newton_solve(
+            &mut x,
+            |v| vec![v[0].atan()],
+            &[1e-7],
+            &[1e6],
+            &NewtonOptions::robust(),
+            "atan-robust",
+        )
+        .unwrap();
+        assert!(x[0].abs() < 1e-8);
+    }
+
+    #[test]
+    fn condition_guard_rejects_nearly_degenerate_jacobian() {
+        // Jacobian ≈ diag(1, 1e-12): far above the singularity floor, but
+        // condition ≈ 1e12 — past the configured 1e10 limit.
+        let opts = NewtonOptions {
+            max_condition: 1e10,
+            ..NewtonOptions::robust()
+        };
+        let residual = |v: &[f64]| vec![v[0] - 1.0, 1e-12 * (v[1] - 1.0)];
+        let mut x = [0.0, 0.0];
+        let err = newton_solve(
+            &mut x,
+            residual,
+            &[1e-4, 1e-4],
+            &[10.0, 10.0],
+            &opts,
+            "degenerate",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SensorError::IllConditioned { .. }), "{err}");
+        // Without the guard (default INFINITY) the same system solves.
+        let opts = NewtonOptions {
+            max_condition: f64::INFINITY,
+            ..NewtonOptions::robust()
+        };
+        let mut x = [0.0, 0.0];
+        newton_solve(
+            &mut x,
+            residual,
+            &[1e-4, 1e-4],
+            &[10.0, 10.0],
+            &opts,
+            "degenerate",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn default_options_remain_plain_newton() {
+        // The default personality must not grow new behavior: adaptive off,
+        // no condition guard.
+        let d = NewtonOptions::default();
+        assert!(!d.adaptive);
+        assert_eq!(d.max_condition, f64::INFINITY);
+        assert_eq!(d.damping, 1.0);
     }
 }

@@ -16,20 +16,114 @@
 //!    post-calibration drift — TSV stress, BTI/HCI aging — is tracked.
 //!    Results are quantized through the Q-format output registers and every
 //!    component's energy is charged to an [`EnergyLedger`].
+//!
+//! ## Hardening
+//!
+//! The controller distrusts every raw number it handles
+//! ([`HardeningSpec`]): counts are checked against design-time plausibility
+//! bands, optionally majority-voted across redundant oscillator replicas,
+//! and re-measured with a widened window when implausible; calibration
+//! registers carry parity; the decoupling solver escalates from the plain
+//! Newton tuning through [`NewtonOptions::robust`] to a bisection against
+//! the characterized response; a lost PSRO bank degrades the sensor to a
+//! temperature-only output instead of killing it. Every result carries a
+//! [`Health`] record — a corrupted output is either an error or flagged,
+//! never silent. Faults are injected with [`PtSensor::inject_faults`]; with
+//! no faults and the default single-replica hardening the datapath is
+//! bit-identical to the unhardened sensor.
 
 use crate::bank::{BankSpec, RoBank, RoClass};
 use crate::calib::Calibration;
 use crate::error::SensorError;
 use crate::golden::{CharacterizationSpace, GoldenModel};
+use crate::health::{Health, HealthEvent};
 use crate::newton::{newton_solve, NewtonOptions};
-use ptsim_circuit::counter::{auto_measure, GatedCounter};
+use ptsim_circuit::counter::{auto_count, GatedCounter};
 use ptsim_circuit::energy::EnergyLedger;
+use ptsim_circuit::error::CircuitError;
 use ptsim_circuit::fixed::{Fixed, QFormat};
 use ptsim_device::inverter::CmosEnv;
 use ptsim_device::process::Technology;
 use ptsim_device::units::{Celsius, Hertz, Joule, Volt};
+use ptsim_faults::{Channel, FaultPlan};
 use ptsim_mc::die::{DieSample, DieSite};
 use ptsim_rng::Rng;
+
+/// Process/temperature envelope the plausibility bands are evaluated over —
+/// the design-time characterization corners, deliberately wider than any
+/// die the variation model can produce. `spec.temp_range` is the
+/// *application's* acceptance range for solved temperatures; the bands must
+/// not reject a frequency a real out-of-range die could produce, or the
+/// solve-range guard would never fire.
+const BAND_TEMPS: (f64, f64) = (-55.0, 150.0);
+const BAND_DVT: f64 = 0.045;
+const BAND_MU: (f64, f64) = (0.8, 1.25);
+/// Step of the characterized-response bisection grid used as the last-ditch
+/// solver fallback, in °C.
+const ROM_GRID_STEP: f64 = 0.25;
+
+/// Robustness knobs of the sensor controller.
+///
+/// The defaults describe the paper's baseline sensor: one oscillator per
+/// channel, two widened-window retries, and plausibility margins wide
+/// enough that no healthy die is ever flagged — the hardened datapath is
+/// bit-identical to the unhardened one until something actually fails.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardeningSpec {
+    /// Redundant oscillator+counter replicas per channel (majority-voted).
+    pub replicas: usize,
+    /// Widened-window re-measurements before a channel is declared lost.
+    pub max_retries: usize,
+    /// Window stretch factor for retry measurements.
+    pub retry_window_scale: u64,
+    /// Plausibility band lower edge, as a fraction of the slowest
+    /// design-corner frequency.
+    pub band_margin_low: f64,
+    /// Plausibility band upper edge, as a multiple of the fastest
+    /// design-corner frequency.
+    pub band_margin_high: f64,
+    /// Relative deviation from the replica median beyond which a replica is
+    /// outvoted.
+    pub replica_outlier_rel: f64,
+    /// Relative spread of the voted replicas beyond which the channel is
+    /// flagged (excess jitter / marginal supply).
+    pub replica_spread_rel: f64,
+    /// Largest plausible post-calibration threshold drift; solved drifts
+    /// beyond it flag the reading.
+    pub max_drift: Volt,
+}
+
+impl HardeningSpec {
+    /// Baseline: single replica, guards only.
+    #[must_use]
+    pub fn baseline() -> Self {
+        HardeningSpec {
+            replicas: 1,
+            max_retries: 2,
+            retry_window_scale: 4,
+            band_margin_low: 0.25,
+            band_margin_high: 6.0,
+            replica_outlier_rel: 0.02,
+            replica_spread_rel: 5e-3,
+            max_drift: Volt(0.08),
+        }
+    }
+
+    /// Triple modular redundancy on every channel, otherwise baseline.
+    #[must_use]
+    pub fn redundant() -> Self {
+        HardeningSpec {
+            replicas: 3,
+            ..HardeningSpec::baseline()
+        }
+    }
+}
+
+impl Default for HardeningSpec {
+    fn default() -> Self {
+        HardeningSpec::baseline()
+    }
+}
 
 /// Full hardware specification of one sensor instance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,6 +150,8 @@ pub struct SensorSpec {
     pub solver_cycles_per_iteration: u64,
     /// Energy per controller/datapath cycle.
     pub digital_energy_per_cycle: Joule,
+    /// Robustness configuration of the controller.
+    pub hardening: HardeningSpec,
 }
 
 impl SensorSpec {
@@ -75,6 +171,7 @@ impl SensorSpec {
             controller_cycles: 680,
             solver_cycles_per_iteration: 192,
             digital_energy_per_cycle: Joule(85e-15),
+            hardening: HardeningSpec::baseline(),
         }
     }
 }
@@ -128,16 +225,21 @@ impl<'a> SensorInputs<'a> {
 pub struct Reading {
     /// Solved temperature (quantized through the output register).
     pub temperature: Celsius,
-    /// Tracked NMOS threshold shift.
+    /// Tracked NMOS threshold shift. Frozen at the calibration value when
+    /// the sensor is degraded to temperature-only output.
     pub d_vtn: Volt,
-    /// Tracked PMOS threshold shift.
+    /// Tracked PMOS threshold shift (see [`Reading::d_vtn`]).
     pub d_vtp: Volt,
     /// Per-component energy of this conversion.
     pub energy: EnergyLedger,
     /// Measured (quantized) frequencies `(f_tsro, f_psro_n, f_psro_p)`.
+    /// A lost channel reports `0 Hz`.
     pub raw_frequencies: (Hertz, Hertz, Hertz),
-    /// Total Newton iterations spent in the solves.
+    /// Total Newton iterations spent in the solves (model evaluations of
+    /// the bisection grid, if the ROM fallback ran).
     pub solver_iterations: usize,
+    /// Self-diagnosis record of this conversion.
+    pub health: Health,
 }
 
 impl Reading {
@@ -157,6 +259,23 @@ pub struct CalibrationOutcome {
     pub energy: EnergyLedger,
     /// Newton iterations of the 4×4 decoupling solve.
     pub solver_iterations: usize,
+    /// Self-diagnosis record of the calibration pass.
+    pub health: Health,
+}
+
+/// Design-time plausibility band of one oscillator/supply pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Band {
+    class: RoClass,
+    vdd: Volt,
+    lo: Hertz,
+    hi: Hertz,
+}
+
+impl Band {
+    fn contains(&self, f: Hertz) -> bool {
+        f.0 >= self.lo.0 && f.0 <= self.hi.0
+    }
 }
 
 /// The on-chip self-calibrated process–temperature sensor.
@@ -170,6 +289,48 @@ pub struct PtSensor {
     /// analytic compact model.
     golden: Option<GoldenModel>,
     calibration: Option<Calibration>,
+    /// Design-time plausibility bands, one per measurement-plan pair.
+    bands: Vec<Band>,
+    /// Active injected faults (empty in a healthy sensor).
+    faults: FaultPlan,
+}
+
+/// What one replica measurement targets: which oscillator, at which supply,
+/// which physical replica, and how far the gate window is widened.
+#[derive(Debug, Clone, Copy)]
+struct ReplicaMeasurement {
+    class: RoClass,
+    vdd: Volt,
+    replica: usize,
+    window_scale: u64,
+}
+
+fn fault_channel(class: RoClass) -> Channel {
+    match class {
+        RoClass::Tsro => Channel::Tsro,
+        RoClass::PsroN => Channel::PsroN,
+        RoClass::PsroP => Channel::PsroP,
+    }
+}
+
+fn solver_failed(e: &SensorError) -> bool {
+    matches!(
+        e,
+        SensorError::SolverDiverged { .. }
+            | SensorError::SingularJacobian { .. }
+            | SensorError::IllConditioned { .. }
+    )
+}
+
+/// Median of a non-empty, sorted slice: the exact middle sample for odd
+/// lengths (bit-preserving), the mean of the two middles for even lengths.
+fn sorted_median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
 }
 
 impl PtSensor {
@@ -177,18 +338,110 @@ impl PtSensor {
     ///
     /// # Errors
     ///
-    /// Propagates bank/counter construction errors for invalid specs.
+    /// Returns [`SensorError::InvalidConfig`] for an empty/inverted
+    /// `temp_range` or nonsensical hardening knobs, and propagates
+    /// bank/counter construction errors for invalid specs.
     pub fn new(tech: Technology, spec: SensorSpec) -> Result<Self, SensorError> {
-        // Validate counter/bank parameters eagerly.
+        if spec.temp_range.0 .0 >= spec.temp_range.1 .0 {
+            return Err(SensorError::InvalidConfig {
+                name: "temp_range",
+                value: spec.temp_range.0 .0,
+            });
+        }
+        let h = spec.hardening;
+        if h.replicas == 0 || h.replicas > 9 {
+            return Err(SensorError::InvalidConfig {
+                name: "hardening.replicas",
+                value: h.replicas as f64,
+            });
+        }
+        if h.retry_window_scale == 0 {
+            return Err(SensorError::InvalidConfig {
+                name: "hardening.retry_window_scale",
+                value: 0.0,
+            });
+        }
+        if !(h.band_margin_low > 0.0 && h.band_margin_low <= 1.0) {
+            return Err(SensorError::InvalidConfig {
+                name: "hardening.band_margin_low",
+                value: h.band_margin_low,
+            });
+        }
+        if h.band_margin_high < 1.0 {
+            return Err(SensorError::InvalidConfig {
+                name: "hardening.band_margin_high",
+                value: h.band_margin_high,
+            });
+        }
+        // Validate counter/bank parameters eagerly (including the widest
+        // retry window the controller may configure).
         let _ = GatedCounter::new(spec.counter_bits, spec.window_cycles)?;
+        let _ = GatedCounter::new(spec.counter_bits, spec.window_cycles * h.retry_window_scale)?;
         let bank = RoBank::new(&tech, spec.bank)?;
+        let bands = Self::design_bands(&tech, &bank, &spec);
         Ok(PtSensor {
             tech,
             spec,
             bank,
             golden: None,
             calibration: None,
+            bands,
+            faults: FaultPlan::new(),
         })
+    }
+
+    /// Evaluates the analytic bank model over the design-corner envelope
+    /// and derives one `[margin_low · min, margin_high · max]` plausibility
+    /// band per measurement-plan pair.
+    fn design_bands(tech: &Technology, bank: &RoBank, spec: &SensorSpec) -> Vec<Band> {
+        let pairs = [
+            (RoClass::PsroN, spec.bank.vdd_high),
+            (RoClass::PsroN, spec.bank.vdd_low),
+            (RoClass::PsroP, spec.bank.vdd_high),
+            (RoClass::PsroP, spec.bank.vdd_low),
+            (RoClass::Tsro, spec.bank.vdd_tsro),
+        ];
+        let h = spec.hardening;
+        pairs
+            .iter()
+            .map(|&(class, vdd)| {
+                let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+                for &temp in &[BAND_TEMPS.0, BAND_TEMPS.1] {
+                    for &dvtn in &[-BAND_DVT, BAND_DVT] {
+                        for &dvtp in &[-BAND_DVT, BAND_DVT] {
+                            for &mu_n in &[BAND_MU.0, BAND_MU.1] {
+                                for &mu_p in &[BAND_MU.0, BAND_MU.1] {
+                                    let env = CmosEnv {
+                                        temp: Celsius(temp),
+                                        d_vtn: Volt(dvtn),
+                                        d_vtp: Volt(dvtp),
+                                        mu_n,
+                                        mu_p,
+                                    };
+                                    let f = bank.frequency(tech, class, vdd, &env).0;
+                                    lo = lo.min(f);
+                                    hi = hi.max(f);
+                                }
+                            }
+                        }
+                    }
+                }
+                Band {
+                    class,
+                    vdd,
+                    lo: Hertz(h.band_margin_low * lo),
+                    hi: Hertz(h.band_margin_high * hi),
+                }
+            })
+            .collect()
+    }
+
+    fn band_for(&self, class: RoClass, vdd: Volt) -> Band {
+        *self
+            .bands
+            .iter()
+            .find(|b| b.class == class && b.vdd.0.to_bits() == vdd.0.to_bits())
+            .expect("measurement plan pairs always have a design band")
     }
 
     /// Switches the on-chip math to a design-time characterized polynomial
@@ -257,9 +510,54 @@ impl PtSensor {
         self.calibration = Some(calibration);
     }
 
-    /// True environment seen by one oscillator of the bank.
-    fn env_for(&self, class: RoClass, inputs: &SensorInputs<'_>) -> CmosEnv {
-        self.die_env(class, inputs, inputs.temp)
+    /// Injects a set of hardware faults. Calibration-register SEUs strike
+    /// immediately (if a calibration is stored); every other fault corrupts
+    /// subsequent measurements at its physical point of action.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        for (register, bit) in plan.calib_seus() {
+            if let Some(cal) = self.calibration.as_mut() {
+                cal.inject_bit_flip(register, bit);
+            }
+        }
+        self.faults = plan;
+    }
+
+    /// Removes all injected faults (register corruption persists until a
+    /// recalibration rewrites the registers).
+    pub fn clear_faults(&mut self) {
+        self.faults = FaultPlan::new();
+    }
+
+    /// The active fault plan (empty when healthy).
+    #[must_use]
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Checks calibration-register parity and, on a mismatch, recovers by
+    /// re-running the self-calibration. Returns the fresh outcome (with a
+    /// [`HealthEvent::ParityScrubbed`] record) if a scrub was needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates recalibration failures.
+    pub fn parity_scrub<R: Rng + ?Sized>(
+        &mut self,
+        inputs: &SensorInputs<'_>,
+        rng: &mut R,
+    ) -> Result<Option<CalibrationOutcome>, SensorError> {
+        let mask = match &self.calibration {
+            Some(cal) => cal.parity_errors(),
+            None => return Ok(None),
+        };
+        if mask == 0 {
+            return Ok(None);
+        }
+        let mut outcome = self.calibrate(inputs, rng)?;
+        outcome
+            .health
+            .record(HealthEvent::ParityScrubbed { registers: mask });
+        Ok(Some(outcome))
     }
 
     fn die_env(&self, class: RoClass, inputs: &SensorInputs<'_>, temp: Celsius) -> CmosEnv {
@@ -281,21 +579,49 @@ impl PtSensor {
         }
     }
 
-    /// Measures one oscillator: quantizes the true frequency through the
-    /// auto-ranged prescaler + gated counter and charges energy.
-    fn measure<R: Rng + ?Sized>(
+    /// Measures one oscillator replica: quantizes the true frequency
+    /// through the auto-ranged prescaler + gated counter and charges
+    /// energy. Injected faults corrupt the signal at their physical points:
+    /// the ring frequency before counting, the effective gate window, and
+    /// the raw count before reconstruction.
+    fn measure_replica<R: Rng + ?Sized>(
         &self,
-        class: RoClass,
-        vdd: Volt,
+        m: &ReplicaMeasurement,
         env: &CmosEnv,
         rng: &mut R,
         ledger: &mut EnergyLedger,
     ) -> Result<Hertz, SensorError> {
-        let counter = GatedCounter::new(self.spec.counter_bits, self.spec.window_cycles)?;
+        let ReplicaMeasurement {
+            class,
+            vdd,
+            replica,
+            window_scale,
+        } = *m;
+        let counter = GatedCounter::new(
+            self.spec.counter_bits,
+            self.spec.window_cycles * window_scale,
+        )?;
         let ring = self.bank.ring(class).with_vdd(vdd);
         let f_true = ring.frequency(&self.tech, env);
         let phase: f64 = rng.gen();
-        let (f_meas, counted) = auto_measure(f_true, &counter, self.spec.ref_clock, phase)?;
+        let f_in = if self.faults.is_empty() {
+            f_true
+        } else {
+            let corrupted =
+                self.faults
+                    .frequency_effect(fault_channel(class), replica, f_true, rng);
+            // A drifted reference clock mis-sizes every gate window, which
+            // reads as a uniform scale on all reconstructed frequencies.
+            Hertz(corrupted.0 * self.faults.ref_clock_factor())
+        };
+        let (counted, prescaler) = auto_count(f_in, &counter, self.spec.ref_clock, phase)?;
+        let counted = if self.faults.is_empty() {
+            counted
+        } else {
+            self.faults
+                .count_effect(replica, counted, counter.max_count(), rng)
+        };
+        let f_meas = prescaler.undo(counter.frequency_from_count(counted, self.spec.ref_clock));
 
         // Energy: oscillator running for the window + counted edges.
         let window = counter.window(self.spec.ref_clock);
@@ -307,6 +633,128 @@ impl PtSensor {
         Ok(f_meas)
     }
 
+    /// Majority-votes one round of replica samples (`None` = implausible or
+    /// saturated). Returns the voted frequency, or `None` when no strict
+    /// majority of trustworthy replicas exists.
+    fn vote(
+        &self,
+        channel: &'static str,
+        samples: &[Option<Hertz>],
+        health: &mut Health,
+    ) -> Option<Hertz> {
+        let h = self.spec.hardening;
+        let n = samples.len();
+        let plausible: Vec<(usize, f64)> = samples
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|f| (i, f.0)))
+            .collect();
+        if plausible.len() * 2 <= n {
+            return None;
+        }
+        let mut values: Vec<f64> = plausible.iter().map(|&(_, f)| f).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("band-checked samples are finite"));
+        let med = sorted_median(&values);
+
+        let mut inliers: Vec<f64> = Vec::with_capacity(plausible.len());
+        for &(i, f) in &plausible {
+            if (f - med).abs() <= h.replica_outlier_rel * med.abs() {
+                inliers.push(f);
+            } else {
+                health.record(HealthEvent::ReplicaOutvoted {
+                    channel,
+                    replica: i,
+                });
+            }
+        }
+        if inliers.len() * 2 <= n {
+            return None;
+        }
+        inliers.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let voted = sorted_median(&inliers);
+        let spread = (inliers[inliers.len() - 1] - inliers[0]) / voted;
+        if spread > h.replica_spread_rel {
+            health.record(HealthEvent::ReplicaSpread {
+                channel,
+                spread_rel: spread,
+            });
+        }
+        Some(Hertz(voted))
+    }
+
+    /// Measures one channel with the full hardening stack: per-replica
+    /// plausibility check, majority vote, and bounded widened-window
+    /// retries. `Ok(None)` means the channel is lost (no trustworthy
+    /// majority after every retry).
+    fn measure_channel<R: Rng + ?Sized>(
+        &self,
+        class: RoClass,
+        vdd: Volt,
+        inputs: &SensorInputs<'_>,
+        rng: &mut R,
+        ledger: &mut EnergyLedger,
+        health: &mut Health,
+    ) -> Result<Option<Hertz>, SensorError> {
+        let h = self.spec.hardening;
+        let name = class.name();
+        let local_temp = self.faults.local_temperature(inputs.temp);
+        let env = self.die_env(class, inputs, local_temp);
+        let band = self.band_for(class, vdd);
+
+        let mut attempt = 0usize;
+        let mut window_scale = 1u64;
+        loop {
+            let mut samples: Vec<Option<Hertz>> = Vec::with_capacity(h.replicas);
+            for replica in 0..h.replicas {
+                let m = ReplicaMeasurement {
+                    class,
+                    vdd,
+                    replica,
+                    window_scale,
+                };
+                match self.measure_replica(&m, &env, rng, ledger) {
+                    Ok(f) => {
+                        if band.contains(f) {
+                            samples.push(Some(f));
+                        } else {
+                            health.record(HealthEvent::ImplausibleReading {
+                                channel: name,
+                                replica,
+                            });
+                            samples.push(None);
+                        }
+                    }
+                    Err(SensorError::Circuit(CircuitError::CounterSaturated { .. })) => {
+                        health.record(HealthEvent::CounterSaturated {
+                            channel: name,
+                            replica,
+                        });
+                        samples.push(None);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if let Some(f) = self.vote(name, &samples, health) {
+                if attempt > 0 {
+                    health.record(HealthEvent::Recovered { channel: name });
+                }
+                return Ok(Some(f));
+            }
+            if attempt >= h.max_retries {
+                health.record(HealthEvent::ChannelLost { channel: name });
+                return Ok(None);
+            }
+            attempt += 1;
+            window_scale = h.retry_window_scale;
+            health.record(HealthEvent::RetriedWindow {
+                channel: name,
+                window_scale,
+            });
+            // Retry control overhead (re-arming the gate and range logic).
+            self.charge_digital(ledger, "retry", self.spec.controller_cycles / 4);
+        }
+    }
+
     fn charge_digital(&self, ledger: &mut EnergyLedger, name: &str, cycles: u64) {
         ledger.add(
             name,
@@ -314,22 +762,53 @@ impl PtSensor {
         );
     }
 
+    /// The 4×4 boot-time decoupling solve.
+    fn solve_calibration(
+        &self,
+        plan: &[(RoClass, Volt); 4],
+        measured: &[f64; 4],
+        opts: &NewtonOptions,
+    ) -> Result<([f64; 4], usize), SensorError> {
+        let t_cal = self.spec.calib_temp;
+        let mut x = [0.0, 0.0, 1.0, 1.0];
+        let iters = newton_solve(
+            &mut x,
+            |v: &[f64]| -> Vec<f64> {
+                let env = PtSensor::model_env(v[0], v[1], v[2], v[3], t_cal);
+                plan.iter()
+                    .zip(measured)
+                    .map(|((class, vdd), m)| self.model_ln_f(*class, *vdd, &env) - m.ln())
+                    .collect()
+            },
+            &[1e-4, 1e-4, 1e-3, 1e-3],
+            &[0.04, 0.04, 0.15, 0.15],
+            opts,
+            "calibration decoupling",
+        )?;
+        Ok((x, iters))
+    }
+
     /// Self-calibration pass.
     ///
     /// The controller *assumes* the die sits at `spec.calib_temp`; the
     /// caller provides the *true* conditions in `inputs`, so boot-time
     /// temperature error is faithfully propagated into the stored state.
+    /// If the plain decoupling solve fails, the robust tuning is tried
+    /// before giving up (recorded in the outcome's health).
     ///
     /// # Errors
     ///
-    /// Returns solver errors if the 4×4 decoupling diverges, and
-    /// measurement/construction errors from the circuit blocks.
+    /// Returns [`SensorError::ChannelFailed`] if any oscillator produces no
+    /// plausible measurement, solver errors if the 4×4 decoupling diverges
+    /// under both tunings, and measurement/construction errors from the
+    /// circuit blocks.
     pub fn calibrate<R: Rng + ?Sized>(
         &mut self,
         inputs: &SensorInputs<'_>,
         rng: &mut R,
     ) -> Result<CalibrationOutcome, SensorError> {
         let mut ledger = EnergyLedger::new();
+        let mut health = Health::nominal();
         let spec = self.spec;
 
         // Four PSRO measurements: each polarity at both supplies.
@@ -341,29 +820,25 @@ impl PtSensor {
         ];
         let mut measured = [0.0f64; 4];
         for (slot, (class, vdd)) in plan.iter().enumerate() {
-            let env = self.env_for(*class, inputs);
-            measured[slot] = self.measure(*class, *vdd, &env, rng, &mut ledger)?.0;
+            let f = self
+                .measure_channel(*class, *vdd, inputs, rng, &mut ledger, &mut health)?
+                .ok_or(SensorError::ChannelFailed {
+                    channel: class.name(),
+                })?;
+            measured[slot] = f.0;
         }
 
         // 4×4 decoupling at the assumed calibration temperature.
-        let t_cal = spec.calib_temp;
-        let this = &*self;
-        let mut x = [0.0, 0.0, 1.0, 1.0];
-        let residual = |v: &[f64]| -> Vec<f64> {
-            let env = PtSensor::model_env(v[0], v[1], v[2], v[3], t_cal);
-            plan.iter()
-                .zip(&measured)
-                .map(|((class, vdd), m)| this.model_ln_f(*class, *vdd, &env) - m.ln())
-                .collect()
+        let (x, iters) = match self.solve_calibration(&plan, &measured, &NewtonOptions::default()) {
+            Ok(solved) => solved,
+            Err(e) if solver_failed(&e) => {
+                health.record(HealthEvent::SolverRetuned {
+                    what: "calibration decoupling",
+                });
+                self.solve_calibration(&plan, &measured, &NewtonOptions::robust())?
+            }
+            Err(e) => return Err(e),
         };
-        let iters = newton_solve(
-            &mut x,
-            residual,
-            &[1e-4, 1e-4, 1e-3, 1e-3],
-            &[0.04, 0.04, 0.15, 0.15],
-            &NewtonOptions::default(),
-            "calibration decoupling",
-        )?;
         self.charge_digital(
             &mut ledger,
             "solver",
@@ -371,9 +846,19 @@ impl PtSensor {
         );
 
         // TSRO reference: absorb its local mismatch into a stored log-scale.
-        let env_t = self.env_for(RoClass::Tsro, inputs);
-        let f_t = self.measure(RoClass::Tsro, spec.bank.vdd_tsro, &env_t, rng, &mut ledger)?;
-        let model_env = PtSensor::model_env(x[0], x[1], x[2], x[3], t_cal);
+        let f_t = self
+            .measure_channel(
+                RoClass::Tsro,
+                spec.bank.vdd_tsro,
+                inputs,
+                rng,
+                &mut ledger,
+                &mut health,
+            )?
+            .ok_or(SensorError::ChannelFailed {
+                channel: RoClass::Tsro.name(),
+            })?;
+        let model_env = PtSensor::model_env(x[0], x[1], x[2], x[3], spec.calib_temp);
         let ln_f_t_model = self.model_ln_f(RoClass::Tsro, spec.bank.vdd_tsro, &model_env);
         let ln_scale = f_t.0.ln() - ln_f_t_model;
 
@@ -385,7 +870,7 @@ impl PtSensor {
             x[2],
             x[3],
             ln_scale,
-            t_cal,
+            spec.calib_temp,
             spec.qformat,
         );
         self.calibration = Some(calibration);
@@ -393,66 +878,233 @@ impl PtSensor {
             calibration,
             energy: ledger,
             solver_iterations: iters,
+            health,
         })
     }
 
-    /// One conversion: temperature plus tracked threshold shifts.
+    /// The joint 3×3 conversion solve: `(T, ΔVtn, ΔVtp)` from
+    /// `(f_t, f_n, f_p)`.
+    fn solve_conversion(
+        &self,
+        cal: &Calibration,
+        f_t: Hertz,
+        f_n: Hertz,
+        f_p: Hertz,
+        opts: &NewtonOptions,
+    ) -> Result<([f64; 3], usize), SensorError> {
+        let spec = self.spec;
+        let ln_scale = cal.ln_tsro_scale();
+        let (mu_n, mu_p) = (cal.mu_n(), cal.mu_p());
+        // The TSRO row dominates temperature and the PSRO rows dominate the
+        // thresholds, so the Jacobian is diagonally strong and quadratic
+        // convergence holds even for large post-calibration drift (aging,
+        // stress).
+        let mut x = [cal.calib_temp().0, cal.d_vtn().0, cal.d_vtp().0];
+        let iters = newton_solve(
+            &mut x,
+            |v| {
+                let env = PtSensor::model_env(v[1], v[2], mu_n, mu_p, Celsius(v[0]));
+                vec![
+                    self.model_ln_f(RoClass::Tsro, spec.bank.vdd_tsro, &env) - f_t.0.ln()
+                        + ln_scale,
+                    self.model_ln_f(RoClass::PsroN, spec.bank.vdd_low, &env) - f_n.0.ln(),
+                    self.model_ln_f(RoClass::PsroP, spec.bank.vdd_low, &env) - f_p.0.ln(),
+                ]
+            },
+            &[0.01, 1e-4, 1e-4],
+            &[40.0, 0.03, 0.03],
+            opts,
+            "conversion decoupling",
+        )?;
+        Ok((x, iters))
+    }
+
+    /// TSRO-row residual at hypothesized temperature `t`, with the process
+    /// state frozen at the stored calibration.
+    fn tsro_residual(&self, cal: &Calibration, f_t: Hertz, t: f64) -> f64 {
+        let env = PtSensor::model_env(
+            cal.d_vtn().0,
+            cal.d_vtp().0,
+            cal.mu_n(),
+            cal.mu_p(),
+            Celsius(t),
+        );
+        self.model_ln_f(RoClass::Tsro, self.spec.bank.vdd_tsro, &env) - f_t.0.ln()
+            + cal.ln_tsro_scale()
+    }
+
+    /// Temperature-only solve on the TSRO row (1×1 Newton, escalating to
+    /// the robust tuning and finally the characterized-response bisection).
+    /// Returns `(temperature, solver work)`.
+    fn solve_temperature_only(
+        &self,
+        cal: &Calibration,
+        f_t: Hertz,
+        health: &mut Health,
+    ) -> Result<(f64, usize), SensorError> {
+        let run = |opts: &NewtonOptions| -> Result<(f64, usize), SensorError> {
+            let mut x = [cal.calib_temp().0];
+            let iters = newton_solve(
+                &mut x,
+                |v| vec![self.tsro_residual(cal, f_t, v[0])],
+                &[0.01],
+                &[40.0],
+                opts,
+                "temperature-only decoupling",
+            )?;
+            Ok((x[0], iters))
+        };
+        match run(&NewtonOptions::default()) {
+            Ok(solved) => Ok(solved),
+            Err(e) if solver_failed(&e) => {
+                health.record(HealthEvent::SolverRetuned {
+                    what: "temperature-only decoupling",
+                });
+                match run(&NewtonOptions::robust()) {
+                    Ok(solved) => Ok(solved),
+                    Err(e) if solver_failed(&e) => {
+                        health.record(HealthEvent::RomFallback {
+                            what: "temperature-only decoupling",
+                        });
+                        Ok(self.rom_bisect_temperature(cal, f_t))
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Last-ditch solver fallback: grid-scan the characterized TSRO
+    /// response over (a guard band around) the acceptance range for the
+    /// temperature minimizing the residual. Immune to divergence by
+    /// construction. Returns `(temperature, model evaluations)`.
+    fn rom_bisect_temperature(&self, cal: &Calibration, f_t: Hertz) -> (f64, usize) {
+        let (lo, hi) = (
+            self.spec.temp_range.0 .0 - 10.0,
+            self.spec.temp_range.1 .0 + 10.0,
+        );
+        let steps = ((hi - lo) / ROM_GRID_STEP).ceil() as usize;
+        let mut best = (f64::INFINITY, lo);
+        for i in 0..=steps {
+            let t = lo + (hi - lo) * i as f64 / steps as f64;
+            let r = self.tsro_residual(cal, f_t, t).abs();
+            if r < best.0 {
+                best = (r, t);
+            }
+        }
+        (best.1, steps + 1)
+    }
+
+    /// One conversion: temperature plus tracked threshold shifts, with the
+    /// hardened controller's full detection/recovery chain. A lost PSRO
+    /// bank degrades the output to temperature-only (threshold shifts
+    /// frozen at calibration) instead of failing; a lost TSRO is fatal.
     ///
     /// # Errors
     ///
     /// * [`SensorError::NotCalibrated`] if [`PtSensor::calibrate`] has not
     ///   run;
+    /// * [`SensorError::CalibrationCorrupted`] if register parity fails
+    ///   (run [`PtSensor::parity_scrub`] to recover);
+    /// * [`SensorError::ChannelFailed`] if the TSRO yields no plausible
+    ///   measurement after retries;
     /// * [`SensorError::TemperatureOutOfRange`] if the solve leaves the
     ///   characterized range;
-    /// * solver errors if a Newton stage diverges.
+    /// * solver errors if every Newton stage fails.
     pub fn read<R: Rng + ?Sized>(
         &self,
         inputs: &SensorInputs<'_>,
         rng: &mut R,
     ) -> Result<Reading, SensorError> {
         let cal = self.calibration.ok_or(SensorError::NotCalibrated)?;
+        let registers = cal.parity_errors();
+        if registers != 0 {
+            return Err(SensorError::CalibrationCorrupted { registers });
+        }
         let spec = self.spec;
         let mut ledger = EnergyLedger::new();
+        let mut health = Health::nominal();
 
-        // Measurements.
-        let env_t = self.env_for(RoClass::Tsro, inputs);
-        let f_t = self.measure(RoClass::Tsro, spec.bank.vdd_tsro, &env_t, rng, &mut ledger)?;
-        let env_n = self.env_for(RoClass::PsroN, inputs);
-        let f_n = self.measure(RoClass::PsroN, spec.bank.vdd_low, &env_n, rng, &mut ledger)?;
-        let env_p = self.env_for(RoClass::PsroP, inputs);
-        let f_p = self.measure(RoClass::PsroP, spec.bank.vdd_low, &env_p, rng, &mut ledger)?;
-
-        let ln_scale = cal.ln_tsro_scale();
-        let (mu_n, mu_p) = (cal.mu_n(), cal.mu_p());
-        let this = &*self;
-
-        // Joint 3×3 decoupling: (T, ΔVtn, ΔVtp) from (f_t, f_n, f_p).
-        // The TSRO row dominates temperature and the PSRO rows dominate the
-        // thresholds, so the Jacobian is diagonally strong and quadratic
-        // convergence holds even for large post-calibration drift (aging,
-        // stress).
-        let mut x = [cal.calib_temp().0, cal.d_vtn().0, cal.d_vtp().0];
-        let total_iters = newton_solve(
-            &mut x,
-            |v| {
-                let env = PtSensor::model_env(v[1], v[2], mu_n, mu_p, Celsius(v[0]));
-                vec![
-                    this.model_ln_f(RoClass::Tsro, spec.bank.vdd_tsro, &env) - f_t.0.ln()
-                        + ln_scale,
-                    this.model_ln_f(RoClass::PsroN, spec.bank.vdd_low, &env) - f_n.0.ln(),
-                    this.model_ln_f(RoClass::PsroP, spec.bank.vdd_low, &env) - f_p.0.ln(),
-                ]
-            },
-            &[0.01, 1e-4, 1e-4],
-            &[40.0, 0.03, 0.03],
-            &NewtonOptions::default(),
-            "conversion decoupling",
+        // Measurements (TSRO is load-bearing; PSROs may degrade).
+        let f_t = self
+            .measure_channel(
+                RoClass::Tsro,
+                spec.bank.vdd_tsro,
+                inputs,
+                rng,
+                &mut ledger,
+                &mut health,
+            )?
+            .ok_or(SensorError::ChannelFailed {
+                channel: RoClass::Tsro.name(),
+            })?;
+        let f_n = self.measure_channel(
+            RoClass::PsroN,
+            spec.bank.vdd_low,
+            inputs,
+            rng,
+            &mut ledger,
+            &mut health,
         )?;
-        let (temp, d_vtn, d_vtp) = (x[0], x[1], x[2]);
+        let f_p = self.measure_channel(
+            RoClass::PsroP,
+            spec.bank.vdd_low,
+            inputs,
+            rng,
+            &mut ledger,
+            &mut health,
+        )?;
+
+        let (temp, d_vtn, d_vtp, total_iters) = match (f_n, f_p) {
+            (Some(f_n), Some(f_p)) => {
+                match self.solve_conversion(&cal, f_t, f_n, f_p, &NewtonOptions::default()) {
+                    Ok((x, iters)) => (x[0], x[1], x[2], iters),
+                    Err(e) if solver_failed(&e) => {
+                        health.record(HealthEvent::SolverRetuned {
+                            what: "conversion decoupling",
+                        });
+                        match self.solve_conversion(&cal, f_t, f_n, f_p, &NewtonOptions::robust()) {
+                            Ok((x, iters)) => (x[0], x[1], x[2], iters),
+                            Err(e) if solver_failed(&e) => {
+                                health.record(HealthEvent::RomFallback {
+                                    what: "conversion decoupling",
+                                });
+                                let (t, iters) = self.rom_bisect_temperature(&cal, f_t);
+                                (t, cal.d_vtn().0, cal.d_vtp().0, iters)
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            _ => {
+                health.record(HealthEvent::DegradedTemperatureOnly);
+                let (t, iters) = self.solve_temperature_only(&cal, f_t, &mut health)?;
+                (t, cal.d_vtn().0, cal.d_vtp().0, iters)
+            }
+        };
 
         if temp < spec.temp_range.0 .0 || temp > spec.temp_range.1 .0 {
             return Err(SensorError::TemperatureOutOfRange {
                 solved: Celsius(temp),
+            });
+        }
+
+        // Plausibility guard on the solved process outputs: drift beyond
+        // the hardening limit means the numbers cannot be trusted.
+        let h = spec.hardening;
+        if (d_vtn - cal.d_vtn().0).abs() > h.max_drift.0 {
+            health.record(HealthEvent::ImplausibleDrift {
+                which: "d_vtn",
+                drift: Volt(d_vtn - cal.d_vtn().0),
+            });
+        }
+        if (d_vtp - cal.d_vtp().0).abs() > h.max_drift.0 {
+            health.record(HealthEvent::ImplausibleDrift {
+                which: "d_vtp",
+                drift: Volt(d_vtp - cal.d_vtp().0),
             });
         }
 
@@ -470,8 +1122,9 @@ impl PtSensor {
             d_vtn: Volt(Fixed::from_f64(d_vtn, q).to_f64()),
             d_vtp: Volt(Fixed::from_f64(d_vtp, q).to_f64()),
             energy: ledger,
-            raw_frequencies: (f_t, f_n, f_p),
+            raw_frequencies: (f_t, f_n.unwrap_or(Hertz(0.0)), f_p.unwrap_or(Hertz(0.0))),
             solver_iterations: total_iters,
+            health,
         })
     }
 }
@@ -479,6 +1132,8 @@ impl PtSensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::health::HealthStatus;
+    use ptsim_faults::{Fault, ReplicaSel};
     use ptsim_mc::model::VariationModel;
     use ptsim_rng::Pcg64;
 
@@ -560,6 +1215,11 @@ mod tests {
             assert!(
                 err.abs() < 1.5,
                 "at {t} °C error {err:.3} °C exceeds ±1.5 °C"
+            );
+            assert!(
+                r.health.is_nominal(),
+                "healthy read flagged: {:?}",
+                r.health
             );
         }
     }
@@ -657,6 +1317,50 @@ mod tests {
     }
 
     #[test]
+    fn inverted_temp_range_rejected_at_construction() {
+        let mut spec = SensorSpec::default_65nm();
+        spec.temp_range = (Celsius(50.0), Celsius(0.0));
+        assert!(matches!(
+            PtSensor::new(Technology::n65(), spec),
+            Err(SensorError::InvalidConfig {
+                name: "temp_range",
+                ..
+            })
+        ));
+        let mut spec = SensorSpec::default_65nm();
+        spec.temp_range = (Celsius(25.0), Celsius(25.0));
+        assert!(matches!(
+            PtSensor::new(Technology::n65(), spec),
+            Err(SensorError::InvalidConfig {
+                name: "temp_range",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn nonsense_hardening_rejected_at_construction() {
+        let mut spec = SensorSpec::default_65nm();
+        spec.hardening.replicas = 0;
+        assert!(matches!(
+            PtSensor::new(Technology::n65(), spec),
+            Err(SensorError::InvalidConfig {
+                name: "hardening.replicas",
+                ..
+            })
+        ));
+        let mut spec = SensorSpec::default_65nm();
+        spec.hardening.retry_window_scale = 0;
+        assert!(PtSensor::new(Technology::n65(), spec).is_err());
+        let mut spec = SensorSpec::default_65nm();
+        spec.hardening.band_margin_low = 0.0;
+        assert!(PtSensor::new(Technology::n65(), spec).is_err());
+        let mut spec = SensorSpec::default_65nm();
+        spec.hardening.band_margin_high = 0.5;
+        assert!(PtSensor::new(Technology::n65(), spec).is_err());
+    }
+
+    #[test]
     fn set_calibration_replays_stored_state() {
         let die = DieSample::nominal();
         let s1 = calibrated_on(&die, 9);
@@ -691,5 +1395,165 @@ mod tests {
         let e_good = (good.read(&probe, &mut rng).unwrap().temperature.0 - 80.0).abs();
         let e_bad = (bad.read(&probe, &mut rng).unwrap().temperature.0 - 80.0).abs();
         assert!(e_bad > e_good, "boot error must hurt: {e_bad} vs {e_good}");
+    }
+
+    // --- fault-injection / graceful-degradation behavior ---
+
+    fn faulted_inputs(die: &DieSample, t: f64) -> SensorInputs<'_> {
+        SensorInputs::new(die, DieSite::CENTER, Celsius(t))
+    }
+
+    #[test]
+    fn dead_tsro_is_a_detected_channel_failure() {
+        let die = DieSample::nominal();
+        let mut s = calibrated_on(&die, 20);
+        s.inject_faults(FaultPlan::single(Fault::DeadRoStage {
+            channel: Channel::Tsro,
+            replica: ReplicaSel::All,
+        }));
+        let mut rng = Pcg64::seed_from_u64(20);
+        assert!(matches!(
+            s.read(&faulted_inputs(&die, 85.0), &mut rng),
+            Err(SensorError::ChannelFailed { channel: "TSRO" })
+        ));
+    }
+
+    #[test]
+    fn dead_psro_degrades_to_accurate_temperature_only() {
+        let die = DieSample::nominal();
+        let mut s = calibrated_on(&die, 21);
+        s.inject_faults(FaultPlan::single(Fault::DeadRoStage {
+            channel: Channel::PsroN,
+            replica: ReplicaSel::All,
+        }));
+        let mut rng = Pcg64::seed_from_u64(21);
+        let r = s.read(&faulted_inputs(&die, 85.0), &mut rng).unwrap();
+        assert_eq!(r.health.status(), HealthStatus::Degraded);
+        assert!(r
+            .health
+            .any(|e| matches!(e, HealthEvent::DegradedTemperatureOnly)));
+        assert!(r
+            .health
+            .any(|e| matches!(e, HealthEvent::ChannelLost { channel: "PSRO-N" })));
+        assert!(
+            (r.temperature.0 - 85.0).abs() < 3.0,
+            "degraded temp {} vs 85 °C",
+            r.temperature
+        );
+        // Threshold outputs frozen at calibration; lost channel reads 0 Hz.
+        assert_eq!(r.d_vtn, s.calibration().unwrap().d_vtn());
+        assert_eq!(r.raw_frequencies.1, Hertz(0.0));
+    }
+
+    #[test]
+    fn calib_register_seu_is_caught_by_parity_and_scrubbed() {
+        let die = DieSample::nominal();
+        let mut s = calibrated_on(&die, 22);
+        s.inject_faults(FaultPlan::single(Fault::CalibRegisterSeu {
+            register: 0,
+            bit: 14,
+        }));
+        let mut rng = Pcg64::seed_from_u64(22);
+        let err = s.read(&faulted_inputs(&die, 85.0), &mut rng).unwrap_err();
+        assert_eq!(
+            err,
+            SensorError::CalibrationCorrupted { registers: 0b00001 }
+        );
+        // Scrub recovers by recalibrating; the record says why.
+        let outcome = s
+            .parity_scrub(&faulted_inputs(&die, 25.0), &mut rng)
+            .unwrap()
+            .expect("scrub must trigger");
+        assert!(outcome
+            .health
+            .any(|e| matches!(e, HealthEvent::ParityScrubbed { registers: 0b00001 })));
+        let r = s.read(&faulted_inputs(&die, 85.0), &mut rng).unwrap();
+        assert!((r.temperature.0 - 85.0).abs() < 1.5);
+        // A second scrub is a no-op.
+        assert!(s
+            .parity_scrub(&faulted_inputs(&die, 25.0), &mut rng)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn stuck_counter_bit_on_one_replica_is_outvoted() {
+        let die = DieSample::nominal();
+        let mut spec = SensorSpec::default_65nm();
+        spec.hardening = HardeningSpec::redundant();
+        let mut s = PtSensor::new(Technology::n65(), spec).unwrap();
+        let mut rng = Pcg64::seed_from_u64(23);
+        s.calibrate(&faulted_inputs(&die, 25.0), &mut rng).unwrap();
+        s.inject_faults(FaultPlan::single(Fault::CounterStuckBit {
+            replica: ReplicaSel::Index(0),
+            bit: 12,
+            stuck_high: true,
+        }));
+        let r = s.read(&faulted_inputs(&die, 85.0), &mut rng).unwrap();
+        assert!(r.health.flagged(), "stuck bit must be flagged");
+        assert!(
+            (r.temperature.0 - 85.0).abs() < 2.0,
+            "voted temp {} vs 85 °C",
+            r.temperature
+        );
+    }
+
+    #[test]
+    fn redundant_healthy_sensor_is_not_falsely_flagged() {
+        let die = DieSample::nominal();
+        let mut spec = SensorSpec::default_65nm();
+        spec.hardening = HardeningSpec::redundant();
+        let mut s = PtSensor::new(Technology::n65(), spec).unwrap();
+        let mut rng = Pcg64::seed_from_u64(24);
+        let outcome = s.calibrate(&faulted_inputs(&die, 25.0), &mut rng).unwrap();
+        assert!(outcome.health.is_nominal(), "{:?}", outcome.health);
+        for t in [0.0, 50.0, 100.0] {
+            let r = s.read(&faulted_inputs(&die, t), &mut rng).unwrap();
+            assert!(r.health.is_nominal(), "at {t} °C: {:?}", r.health);
+        }
+    }
+
+    #[test]
+    fn clear_faults_restores_nominal_operation() {
+        let die = DieSample::nominal();
+        let mut s = calibrated_on(&die, 25);
+        s.inject_faults(FaultPlan::single(Fault::DeadRoStage {
+            channel: Channel::PsroN,
+            replica: ReplicaSel::All,
+        }));
+        assert!(!s.faults().is_empty());
+        s.clear_faults();
+        assert!(s.faults().is_empty());
+        let mut rng = Pcg64::seed_from_u64(25);
+        let r = s.read(&faulted_inputs(&die, 60.0), &mut rng).unwrap();
+        assert!(r.health.is_nominal());
+        assert!((r.temperature.0 - 60.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn retry_energy_is_charged_when_a_channel_recovers() {
+        // A dead PSRO-N reads 0 Hz — always below the plausibility band —
+        // so the controller retries with the widened window before
+        // declaring the channel lost. The ledger must carry that overhead.
+        let die = DieSample::nominal();
+        let mut s = calibrated_on(&die, 26);
+        s.inject_faults(FaultPlan::single(Fault::DeadRoStage {
+            channel: Channel::PsroN,
+            replica: ReplicaSel::All,
+        }));
+        let mut rng = Pcg64::seed_from_u64(26);
+        let r = s.read(&faulted_inputs(&die, 85.0), &mut rng).unwrap();
+        assert!(r.health.any(|e| matches!(
+            e,
+            HealthEvent::RetriedWindow {
+                channel: "PSRO-N",
+                ..
+            }
+        )));
+        assert!(
+            r.energy.component("retry").0 > 0.0,
+            "retry energy must be charged"
+        );
+        assert_eq!(r.health.status(), HealthStatus::Degraded);
     }
 }

@@ -1,0 +1,289 @@
+//! The campaign catalog: every fault family at a normalized severity.
+//!
+//! [`catalog`] maps one severity knob in `(0, 1]` onto physically-scaled
+//! fault plans, one entry per failure mechanism. The R1 fault campaign and
+//! the `fault_gates` tier-1 tests sweep this same catalog, so the gate
+//! asserts exactly what the campaign reports.
+
+use crate::fault::{Channel, Fault, ReplicaSel};
+use crate::plan::FaultPlan;
+use ptsim_device::units::Celsius;
+
+/// One catalog entry: a named fault plan plus how the campaign should
+/// account for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogEntry {
+    /// Short stable identifier (used in reports and gates).
+    pub id: &'static str,
+    /// Human description of the mechanism.
+    pub describes: &'static str,
+    /// Catastrophic faults must *never* produce an un-flagged reading —
+    /// the fault gates demand ≥ 99 % detection for these.
+    pub catastrophic: bool,
+    /// Whether comparing the reading against the junction truth is
+    /// meaningful (false for thermal-via opens, where the sensor correctly
+    /// reports a *different* local temperature).
+    pub junction_comparable: bool,
+    /// Whether this entry is the reference demonstration of degraded
+    /// temperature-only mode (dead PSRO bank).
+    pub degraded_demo: bool,
+    /// The faults to inject.
+    pub plan: FaultPlan,
+}
+
+/// Stuck counter bit used by the catastrophic stuck-at entry. Bit 12
+/// (weight 4096) sits above every healthy TSRO count and inside the
+/// prescaled PSRO count range, so forcing it high always corrupts at least
+/// the TSRO channel of the afflicted replica.
+pub const STUCK_BIT: u32 = 12;
+
+/// The full catalog at normalized severity `severity` ∈ (0, 1].
+///
+/// Severity scales the *analog* knobs (slow-down factors, jitter sigma,
+/// droop depth, slip magnitude, drift, via offset, SEU bit weight);
+/// all-or-nothing faults (dead stages) are severity-independent.
+///
+/// # Panics
+///
+/// Panics if `severity` is not in `(0, 1]`.
+#[must_use]
+pub fn catalog(severity: f64) -> Vec<CatalogEntry> {
+    assert!(
+        severity > 0.0 && severity <= 1.0,
+        "severity {severity} outside (0, 1]"
+    );
+    let s = severity;
+    // SEU bit weight grows with severity: LSB-adjacent at 0.25, well into
+    // the integer field at 1.0 (register 0 = ΔVtn, Q16.16).
+    let seu_bit = (2.0 + 12.0 * s).round() as u32;
+    vec![
+        CatalogEntry {
+            id: "dead-tsro",
+            describes: "all TSRO replicas dead (stuck ring node)",
+            catastrophic: true,
+            junction_comparable: true,
+            degraded_demo: false,
+            plan: FaultPlan::single(Fault::DeadRoStage {
+                channel: Channel::Tsro,
+                replica: ReplicaSel::All,
+            }),
+        },
+        CatalogEntry {
+            id: "dead-psro-n",
+            describes: "PSRO-N bank dead — degraded temperature-only mode",
+            catastrophic: true,
+            junction_comparable: true,
+            degraded_demo: true,
+            plan: FaultPlan::single(Fault::DeadRoStage {
+                channel: Channel::PsroN,
+                replica: ReplicaSel::All,
+            }),
+        },
+        CatalogEntry {
+            id: "dead-replica",
+            describes: "primary TSRO replica dead — voting must mask it",
+            catastrophic: true,
+            junction_comparable: true,
+            degraded_demo: false,
+            plan: FaultPlan::single(Fault::DeadRoStage {
+                channel: Channel::Tsro,
+                replica: ReplicaSel::Index(0),
+            }),
+        },
+        CatalogEntry {
+            id: "slow-tsro",
+            describes: "uniformly slow TSRO (resistive defect)",
+            catastrophic: false,
+            junction_comparable: true,
+            degraded_demo: false,
+            // A *uniform* slowdown is common-mode across every replica, so
+            // no on-chip vote or band can see it; the conversion solve
+            // amplifies a 1 % TSRO inconsistency into ≈ 2.5 °C. The catalog
+            // envelope for this mechanism is therefore capped at 1.2 % —
+            // larger resistive defects present as slow/dead replicas, which
+            // the voter catches.
+            plan: FaultPlan::single(Fault::SlowRo {
+                channel: Channel::Tsro,
+                replica: ReplicaSel::All,
+                factor: 1.0 - 0.012 * s,
+            }),
+        },
+        CatalogEntry {
+            id: "slow-replica",
+            describes: "one PSRO-P replica at half speed",
+            catastrophic: false,
+            junction_comparable: true,
+            degraded_demo: false,
+            plan: FaultPlan::single(Fault::SlowRo {
+                channel: Channel::PsroP,
+                replica: ReplicaSel::Index(1),
+                factor: 1.0 - 0.5 * s,
+            }),
+        },
+        CatalogEntry {
+            id: "jitter",
+            describes: "per-count frequency jitter on every ring (TSV noise)",
+            catastrophic: false,
+            junction_comparable: true,
+            degraded_demo: false,
+            plan: Channel::ALL.iter().fold(FaultPlan::new(), |plan, &ch| {
+                plan.with(Fault::RoJitter {
+                    channel: ch,
+                    replica: ReplicaSel::All,
+                    sigma_rel: 0.01 * s,
+                })
+            }),
+        },
+        CatalogEntry {
+            id: "supply-droop",
+            describes: "random supply-droop glitches during count windows",
+            catastrophic: false,
+            junction_comparable: true,
+            degraded_demo: false,
+            // Depth capped like `slow-tsro`: a glitch that happens to hit
+            // only the TSRO window is common-mode for that channel.
+            plan: FaultPlan::single(Fault::SupplyDroop {
+                depth: 0.012 * s,
+                probability: 0.5,
+            }),
+        },
+        CatalogEntry {
+            id: "stuck-bit",
+            describes: "counter bit stuck high on the primary replica",
+            catastrophic: true,
+            junction_comparable: true,
+            degraded_demo: false,
+            plan: FaultPlan::single(Fault::CounterStuckBit {
+                replica: ReplicaSel::Index(0),
+                bit: STUCK_BIT,
+                stuck_high: true,
+            }),
+        },
+        CatalogEntry {
+            id: "count-slip",
+            describes: "ripple-counter slip of a few counts",
+            catastrophic: false,
+            junction_comparable: true,
+            degraded_demo: false,
+            plan: FaultPlan::single(Fault::CountSlip {
+                replica: ReplicaSel::All,
+                max_slip: (8.0 * s).ceil() as u64,
+            }),
+        },
+        CatalogEntry {
+            id: "ref-drift",
+            describes: "reference clock off frequency",
+            catastrophic: false,
+            junction_comparable: true,
+            degraded_demo: false,
+            plan: FaultPlan::single(Fault::RefClockDrift { rel: 0.02 * s }),
+        },
+        CatalogEntry {
+            id: "seu",
+            describes: "single-event upset in the ΔVtn calibration register",
+            catastrophic: true,
+            junction_comparable: true,
+            degraded_demo: false,
+            plan: FaultPlan::single(Fault::CalibRegisterSeu {
+                register: 0,
+                bit: seu_bit,
+            }),
+        },
+        CatalogEntry {
+            id: "via-open",
+            describes: "thermal via open — sensor decoupled from junction",
+            catastrophic: false,
+            junction_comparable: false,
+            degraded_demo: false,
+            plan: FaultPlan::single(Fault::ThermalViaOpen {
+                delta: Celsius(-15.0 * s),
+            }),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_every_fault_family() {
+        let entries = catalog(1.0);
+        let mut families: Vec<&str> = Vec::new();
+        for e in &entries {
+            for f in e.plan.faults() {
+                let name = match f {
+                    Fault::DeadRoStage { .. } => "dead",
+                    Fault::SlowRo { .. } => "slow",
+                    Fault::RoJitter { .. } => "jitter",
+                    Fault::SupplyDroop { .. } => "droop",
+                    Fault::CounterStuckBit { .. } => "stuck",
+                    Fault::CountSlip { .. } => "slip",
+                    Fault::RefClockDrift { .. } => "refdrift",
+                    Fault::ThermalViaOpen { .. } => "via",
+                    Fault::CalibRegisterSeu { .. } => "seu",
+                };
+                if !families.contains(&name) {
+                    families.push(name);
+                }
+            }
+        }
+        assert_eq!(families.len(), 9, "families {families:?}");
+    }
+
+    #[test]
+    fn ids_are_unique_and_stable_across_severity() {
+        let a = catalog(0.25);
+        let b = catalog(1.0);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+        }
+        let mut ids: Vec<_> = a.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), a.len());
+    }
+
+    #[test]
+    fn severity_scales_analog_knobs() {
+        let lo = catalog(0.25);
+        let hi = catalog(1.0);
+        let factor = |entries: &[CatalogEntry]| {
+            entries
+                .iter()
+                .find(|e| e.id == "slow-tsro")
+                .and_then(|e| match e.plan.faults()[0] {
+                    Fault::SlowRo { factor, .. } => Some(factor),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert!(factor(&hi) < factor(&lo));
+    }
+
+    #[test]
+    #[should_panic(expected = "severity")]
+    fn severity_out_of_range_rejected() {
+        let _ = catalog(1.5);
+    }
+
+    #[test]
+    fn catastrophic_set_matches_issue_contract() {
+        // dead RO stage, calib-register SEU, counter stuck-at — all marked.
+        let cat: Vec<_> = catalog(0.5)
+            .into_iter()
+            .filter(|e| e.catastrophic)
+            .map(|e| e.id)
+            .collect();
+        for id in [
+            "dead-tsro",
+            "dead-psro-n",
+            "dead-replica",
+            "stuck-bit",
+            "seu",
+        ] {
+            assert!(cat.contains(&id), "{id} must be catastrophic");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! The injectable fault catalog: what can break, and how badly.
+
+use ptsim_device::units::Celsius;
+
+/// Which oscillator channel of the sensor bank a fault attacks.
+///
+/// Mirrors the sensor's `RoClass` without depending on `ptsim-core` (the
+/// dependency points the other way: the core consumes fault plans).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Channel {
+    /// The near-threshold temperature-sensitive oscillator.
+    Tsro,
+    /// The NMOS-sensitive process oscillator.
+    PsroN,
+    /// The PMOS-sensitive process oscillator.
+    PsroP,
+}
+
+impl Channel {
+    /// All channels in reporting order.
+    pub const ALL: [Channel; 3] = [Channel::Tsro, Channel::PsroN, Channel::PsroP];
+
+    /// Short display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Channel::Tsro => "TSRO",
+            Channel::PsroN => "PSRO-N",
+            Channel::PsroP => "PSRO-P",
+        }
+    }
+}
+
+/// Which redundant replica(s) of a channel a fault hits.
+///
+/// A hardened sensor instantiates `replicas` copies of each oscillator and
+/// its counter; an independent physical defect usually kills one copy, while
+/// a shared defect (supply, reference clock) hits all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplicaSel {
+    /// Every replica (a shared/bank-wide defect).
+    All,
+    /// One specific replica (0 is the primary).
+    Index(usize),
+}
+
+impl ReplicaSel {
+    /// Whether this selector covers replica `r`.
+    #[must_use]
+    pub fn matches(self, r: usize) -> bool {
+        match self {
+            ReplicaSel::All => true,
+            ReplicaSel::Index(i) => i == r,
+        }
+    }
+}
+
+/// One injectable hardware fault, with its severity knobs.
+///
+/// Severities are physical: frequency factors, relative sigmas, counter bit
+/// indices, °C offsets. [`crate::catalog::catalog`] maps a normalized
+/// severity in `(0, 1]` onto these knobs for campaign sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// A stage of the ring is dead (stuck node) — oscillation stops
+    /// entirely, the counter sees zero edges.
+    DeadRoStage {
+        /// Affected channel.
+        channel: Channel,
+        /// Affected replica(s).
+        replica: ReplicaSel,
+    },
+    /// A degraded (resistive/slow) ring: frequency multiplied by `factor`.
+    /// `factor < 1` models a slow ring, `factor > 1` a fast (e.g. bridging)
+    /// defect.
+    SlowRo {
+        /// Affected channel.
+        channel: Channel,
+        /// Affected replica(s).
+        replica: ReplicaSel,
+        /// Multiplicative frequency factor (must be ≥ 0).
+        factor: f64,
+    },
+    /// Random per-measurement frequency jitter (substrate/TSV noise
+    /// coupling): each gated count sees `f · (1 + σ·N(0,1))`.
+    RoJitter {
+        /// Affected channel.
+        channel: Channel,
+        /// Affected replica(s).
+        replica: ReplicaSel,
+        /// Relative 1-sigma of the per-measurement frequency error.
+        sigma_rel: f64,
+    },
+    /// Supply-droop glitches during the counting window: with probability
+    /// `probability` per gated count, the ring runs `depth` slower for the
+    /// whole window. Hits every channel (shared supply); each replica's
+    /// window is gated at a slightly different instant, so droops strike
+    /// replicas independently.
+    SupplyDroop {
+        /// Relative frequency loss while drooped (0..1).
+        depth: f64,
+        /// Probability a given gated count is hit.
+        probability: f64,
+    },
+    /// A counter flip-flop stuck at 0 or 1: the raw count has `bit` forced
+    /// to `stuck_high` before the frequency reconstruction.
+    CounterStuckBit {
+        /// Affected replica(s) — each replica has its own counter.
+        replica: ReplicaSel,
+        /// Stuck bit index (0 = LSB).
+        bit: u32,
+        /// `true` = stuck-at-1, `false` = stuck-at-0.
+        stuck_high: bool,
+    },
+    /// Metastability/ripple count slip: each raw count gains a uniform
+    /// error in `[-max_slip, +max_slip]` counts.
+    CountSlip {
+        /// Affected replica(s).
+        replica: ReplicaSel,
+        /// Maximum slip magnitude in counts.
+        max_slip: u64,
+    },
+    /// The reference clock runs at `(1 + rel)` times its nominal frequency
+    /// (crystal aging/drift) — every gated window is the wrong length.
+    RefClockDrift {
+        /// Relative frequency error of the reference (e.g. `0.01` = +1 %).
+        rel: f64,
+    },
+    /// A thermal via next to the sensor is open: the sensor's local
+    /// temperature differs from the junction it is supposed to report by
+    /// `delta` (the sensor itself stays healthy — this is a system-level
+    /// fault only detectable by cross-sensor comparison).
+    ThermalViaOpen {
+        /// Local-minus-junction temperature offset.
+        delta: Celsius,
+    },
+    /// A single-event upset in one Q-format calibration register: bit `bit`
+    /// of register `register` flips once at injection time.
+    ///
+    /// Register indices follow the sensor's storage order:
+    /// 0 = ΔVtn, 1 = ΔVtp, 2 = µn, 3 = µp, 4 = ln-TSRO-scale.
+    CalibRegisterSeu {
+        /// Register index (0..5).
+        register: usize,
+        /// Bit to flip (0 = LSB).
+        bit: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_selectors() {
+        assert!(ReplicaSel::All.matches(0));
+        assert!(ReplicaSel::All.matches(7));
+        assert!(ReplicaSel::Index(2).matches(2));
+        assert!(!ReplicaSel::Index(2).matches(0));
+    }
+
+    #[test]
+    fn channel_names() {
+        assert_eq!(Channel::Tsro.name(), "TSRO");
+        assert_eq!(Channel::ALL.len(), 3);
+    }
+}

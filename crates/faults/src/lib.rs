@@ -1,0 +1,48 @@
+//! # ptsim-faults
+//!
+//! Injectable hardware faults for the SOCC 2012 PT-sensor reproduction —
+//! the "what if the chip is broken" half of the robustness story.
+//!
+//! The paper's sensor exists precisely because TSV 3D stacks stress and
+//! degrade the silicon around them; a reproduction that only ever simulates
+//! a healthy chip cannot say anything about trustworthiness. This crate
+//! provides:
+//!
+//! - [`Fault`] — a catalog of injectable defects with physical severity
+//!   knobs: dead/slow ring-oscillator stages, per-count frequency jitter,
+//!   supply-droop glitches, counter stuck-at bits and count slip,
+//!   calibration-register SEUs, reference-clock drift, and thermal-via
+//!   opens.
+//! - [`FaultPlan`] — a set of concurrently-active faults with hooks the
+//!   sensor core calls at the exact points real hardware would be
+//!   corrupted. An empty plan is a no-op at every hook, so the healthy
+//!   path stays bit-identical.
+//! - [`catalog::catalog`] — the severity-normalized campaign catalog swept
+//!   by the R1 fault-injection experiment and the `fault_gates` tier-1
+//!   tests.
+//!
+//! ```
+//! use ptsim_faults::{Channel, Fault, FaultPlan, ReplicaSel};
+//! use ptsim_device::units::Hertz;
+//!
+//! let plan = FaultPlan::single(Fault::DeadRoStage {
+//!     channel: Channel::Tsro,
+//!     replica: ReplicaSel::Index(0),
+//! });
+//! let mut rng = ptsim_rng::Pcg64::seed_from_u64(1);
+//! // The primary TSRO replica is dead; replica 1 is untouched.
+//! assert_eq!(plan.frequency_effect(Channel::Tsro, 0, Hertz(1e8), &mut rng).0, 0.0);
+//! assert_eq!(plan.frequency_effect(Channel::Tsro, 1, Hertz(1e8), &mut rng).0, 1e8);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod catalog;
+pub mod fault;
+pub mod plan;
+
+pub use catalog::{catalog, CatalogEntry, STUCK_BIT};
+pub use fault::{Channel, Fault, ReplicaSel};
+pub use plan::FaultPlan;

@@ -1,0 +1,340 @@
+//! A set of concurrently-active faults and how they corrupt measurements.
+//!
+//! The sensor core calls the `*_effect` hooks at the exact points the real
+//! hardware would be corrupted: the ring frequency before counting, the raw
+//! count before frequency reconstruction, the reference clock defining the
+//! gate window, and the local temperature the die presents to the bank.
+//! An empty plan is a no-op at every hook, so the healthy path is
+//! bit-identical with or without the fault subsystem.
+
+use crate::fault::{Channel, Fault};
+use ptsim_device::units::{Celsius, Hertz};
+use ptsim_rng::gaussian;
+use ptsim_rng::{Rng, RngCore};
+
+/// An ordered collection of active faults.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty (healthy) plan.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan with one fault.
+    #[must_use]
+    pub fn single(fault: Fault) -> Self {
+        FaultPlan {
+            faults: vec![fault],
+        }
+    }
+
+    /// Adds a fault (builder style).
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Adds a fault in place.
+    pub fn push(&mut self, fault: Fault) {
+        self.faults.push(fault);
+    }
+
+    /// True if no fault is active.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The active faults, in injection order.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Corrupts the true oscillation frequency seen by `(channel, replica)`
+    /// for one gated count. Random effects (jitter, droop) draw from `rng`,
+    /// so a fixed seed reproduces the fault realization exactly.
+    pub fn frequency_effect<R: RngCore + ?Sized>(
+        &self,
+        channel: Channel,
+        replica: usize,
+        f: Hertz,
+        rng: &mut R,
+    ) -> Hertz {
+        let mut f = f.0;
+        for fault in &self.faults {
+            match *fault {
+                Fault::DeadRoStage {
+                    channel: ch,
+                    replica: sel,
+                } if ch == channel && sel.matches(replica) => {
+                    f = 0.0;
+                }
+                Fault::SlowRo {
+                    channel: ch,
+                    replica: sel,
+                    factor,
+                } if ch == channel && sel.matches(replica) => {
+                    f *= factor.max(0.0);
+                }
+                Fault::RoJitter {
+                    channel: ch,
+                    replica: sel,
+                    sigma_rel,
+                } if ch == channel && sel.matches(replica) => {
+                    f *= 1.0 + sigma_rel * gaussian::standard_normal(rng);
+                }
+                Fault::SupplyDroop { depth, probability }
+                    if rng.gen_bool(probability.clamp(0.0, 1.0)) =>
+                {
+                    f *= (1.0 - depth).max(0.0);
+                }
+                _ => {}
+            }
+        }
+        Hertz(f.max(0.0))
+    }
+
+    /// Corrupts a raw gated count from replica `replica`'s counter.
+    /// `max_count` is the counter's largest representable count; corrupted
+    /// values stay inside it (the registers physically cannot hold more).
+    pub fn count_effect<R: RngCore + ?Sized>(
+        &self,
+        replica: usize,
+        count: u64,
+        max_count: u64,
+        rng: &mut R,
+    ) -> u64 {
+        let mut c = count;
+        for fault in &self.faults {
+            match *fault {
+                Fault::CounterStuckBit {
+                    replica: sel,
+                    bit,
+                    stuck_high,
+                } if sel.matches(replica) && bit < 63 => {
+                    if stuck_high {
+                        c |= 1 << bit;
+                    } else {
+                        c &= !(1 << bit);
+                    }
+                }
+                Fault::CountSlip {
+                    replica: sel,
+                    max_slip,
+                } if sel.matches(replica) && max_slip > 0 => {
+                    let slip = rng.gen_range(0..2 * max_slip + 1) as i64 - max_slip as i64;
+                    c = c.saturating_add_signed(slip);
+                }
+                _ => {}
+            }
+        }
+        c.min(max_count)
+    }
+
+    /// The factor the backend's frequency estimates are scaled by because
+    /// the reference clock is off: with the reference running at
+    /// `(1 + rel) · f_nom`, every gate window is `1/(1 + rel)` of its
+    /// nominal length, so reconstructed frequencies read `1/(1 + rel)` of
+    /// truth. Returns `1.0` for a healthy plan.
+    #[must_use]
+    pub fn ref_clock_factor(&self) -> f64 {
+        let mut factor = 1.0;
+        for fault in &self.faults {
+            if let Fault::RefClockDrift { rel } = *fault {
+                factor /= 1.0 + rel;
+            }
+        }
+        factor
+    }
+
+    /// The local temperature the sensor actually sits at, given the
+    /// junction temperature it is supposed to report (thermal-via opens
+    /// decouple the two).
+    #[must_use]
+    pub fn local_temperature(&self, junction: Celsius) -> Celsius {
+        let mut t = junction.0;
+        for fault in &self.faults {
+            if let Fault::ThermalViaOpen { delta } = *fault {
+                t += delta.0;
+            }
+        }
+        Celsius(t)
+    }
+
+    /// All calibration-register SEUs in this plan, as `(register, bit)`
+    /// pairs. Applied once at injection time by the sensor.
+    #[must_use]
+    pub fn calib_seus(&self) -> Vec<(usize, u32)> {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::CalibRegisterSeu { register, bit } => Some((register, bit)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// True if any fault targets the frequency or count path of
+    /// `(channel, replica)` — used by tests to reason about coverage.
+    #[must_use]
+    pub fn targets(&self, channel: Channel, replica: usize) -> bool {
+        self.faults.iter().any(|f| match *f {
+            Fault::DeadRoStage {
+                channel: ch,
+                replica: sel,
+            }
+            | Fault::SlowRo {
+                channel: ch,
+                replica: sel,
+                ..
+            }
+            | Fault::RoJitter {
+                channel: ch,
+                replica: sel,
+                ..
+            } => ch == channel && sel.matches(replica),
+            Fault::CounterStuckBit { replica: sel, .. } | Fault::CountSlip { replica: sel, .. } => {
+                sel.matches(replica)
+            }
+            Fault::SupplyDroop { .. } | Fault::RefClockDrift { .. } => true,
+            Fault::ThermalViaOpen { .. } | Fault::CalibRegisterSeu { .. } => false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::ReplicaSel;
+    use ptsim_rng::Pcg64;
+
+    #[test]
+    fn empty_plan_is_identity_everywhere() {
+        let plan = FaultPlan::new();
+        let mut rng = Pcg64::seed_from_u64(1);
+        assert!(plan.is_empty());
+        assert_eq!(
+            plan.frequency_effect(Channel::Tsro, 0, Hertz(1e8), &mut rng)
+                .0,
+            1e8
+        );
+        assert_eq!(plan.count_effect(0, 1234, 65535, &mut rng), 1234);
+        assert_eq!(plan.ref_clock_factor(), 1.0);
+        assert_eq!(plan.local_temperature(Celsius(85.0)), Celsius(85.0));
+        assert!(plan.calib_seus().is_empty());
+    }
+
+    #[test]
+    fn dead_stage_kills_only_its_target() {
+        let plan = FaultPlan::single(Fault::DeadRoStage {
+            channel: Channel::PsroN,
+            replica: ReplicaSel::Index(1),
+        });
+        let mut rng = Pcg64::seed_from_u64(2);
+        assert_eq!(
+            plan.frequency_effect(Channel::PsroN, 1, Hertz(1e8), &mut rng)
+                .0,
+            0.0
+        );
+        assert_eq!(
+            plan.frequency_effect(Channel::PsroN, 0, Hertz(1e8), &mut rng)
+                .0,
+            1e8
+        );
+        assert_eq!(
+            plan.frequency_effect(Channel::PsroP, 1, Hertz(1e8), &mut rng)
+                .0,
+            1e8
+        );
+        assert!(plan.targets(Channel::PsroN, 1));
+        assert!(!plan.targets(Channel::PsroN, 0));
+    }
+
+    #[test]
+    fn stuck_bit_forces_bit_value() {
+        let plan = FaultPlan::single(Fault::CounterStuckBit {
+            replica: ReplicaSel::All,
+            bit: 3,
+            stuck_high: true,
+        });
+        let mut rng = Pcg64::seed_from_u64(3);
+        assert_eq!(plan.count_effect(0, 0b0000, 65535, &mut rng), 0b1000);
+        assert_eq!(plan.count_effect(2, 0b1000, 65535, &mut rng), 0b1000);
+        let low = FaultPlan::single(Fault::CounterStuckBit {
+            replica: ReplicaSel::All,
+            bit: 3,
+            stuck_high: false,
+        });
+        assert_eq!(low.count_effect(0, 0b1111, 65535, &mut rng), 0b0111);
+    }
+
+    #[test]
+    fn count_slip_bounded_and_clamped() {
+        let plan = FaultPlan::single(Fault::CountSlip {
+            replica: ReplicaSel::All,
+            max_slip: 5,
+        });
+        let mut rng = Pcg64::seed_from_u64(4);
+        for _ in 0..200 {
+            let c = plan.count_effect(0, 100, 120, &mut rng);
+            assert!((95..=105).contains(&c));
+        }
+        // Saturates at the register ceiling and at zero.
+        for _ in 0..200 {
+            assert!(plan.count_effect(0, 119, 120, &mut rng) <= 120);
+            let near_zero = plan.count_effect(0, 2, 120, &mut rng);
+            assert!(near_zero <= 7);
+        }
+    }
+
+    #[test]
+    fn ref_drift_scales_reconstruction() {
+        let plan = FaultPlan::single(Fault::RefClockDrift { rel: 0.02 });
+        assert!((plan.ref_clock_factor() - 1.0 / 1.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thermal_via_open_offsets_local_temperature() {
+        let plan = FaultPlan::single(Fault::ThermalViaOpen {
+            delta: Celsius(-12.0),
+        });
+        assert_eq!(plan.local_temperature(Celsius(85.0)), Celsius(73.0));
+    }
+
+    #[test]
+    fn seus_are_enumerated() {
+        let plan = FaultPlan::new()
+            .with(Fault::CalibRegisterSeu {
+                register: 0,
+                bit: 12,
+            })
+            .with(Fault::CalibRegisterSeu {
+                register: 4,
+                bit: 3,
+            });
+        assert_eq!(plan.calib_seus(), vec![(0, 12), (4, 3)]);
+    }
+
+    #[test]
+    fn jitter_is_seed_deterministic() {
+        let plan = FaultPlan::single(Fault::RoJitter {
+            channel: Channel::Tsro,
+            replica: ReplicaSel::All,
+            sigma_rel: 0.01,
+        });
+        let mut a = Pcg64::seed_from_u64(9);
+        let mut b = Pcg64::seed_from_u64(9);
+        for _ in 0..50 {
+            let fa = plan.frequency_effect(Channel::Tsro, 0, Hertz(1e8), &mut a);
+            let fb = plan.frequency_effect(Channel::Tsro, 0, Hertz(1e8), &mut b);
+            assert_eq!(fa.0.to_bits(), fb.0.to_bits());
+        }
+    }
+}

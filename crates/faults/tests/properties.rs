@@ -1,0 +1,143 @@
+//! Property-based invariants of the fault-injection primitives.
+
+use ptsim_device::units::{Celsius, Hertz};
+use ptsim_faults::{catalog, Channel, Fault, FaultPlan, ReplicaSel};
+use ptsim_rng::{forall, Pcg64};
+
+forall! {
+    #[test]
+    fn frequency_effects_never_go_negative(
+        f in 1.0f64..1e10,
+        factor in -0.5f64..2.0,
+        sigma in 0.0f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let plan = FaultPlan::new()
+            .with(Fault::SlowRo {
+                channel: Channel::Tsro,
+                replica: ReplicaSel::All,
+                factor,
+            })
+            .with(Fault::RoJitter {
+                channel: Channel::Tsro,
+                replica: ReplicaSel::All,
+                sigma_rel: sigma,
+            })
+            .with(Fault::SupplyDroop { depth: 0.9, probability: 0.5 });
+        let mut rng = Pcg64::seed_from_u64(seed);
+        for replica in 0..3 {
+            let out = plan.frequency_effect(Channel::Tsro, replica, Hertz(f), &mut rng);
+            assert!(out.0 >= 0.0 && out.0.is_finite(), "f {f} -> {out}");
+        }
+    }
+
+    #[test]
+    fn count_effects_stay_inside_register_range(
+        count in 0u64..70_000,
+        bit in 0u32..16,
+        stuck_high in 0u8..2,
+        slip in 1u64..32,
+        seed in 0u64..1000,
+    ) {
+        let max_count = 65_535;
+        let plan = FaultPlan::new()
+            .with(Fault::CounterStuckBit {
+                replica: ReplicaSel::All,
+                bit,
+                stuck_high: stuck_high == 1,
+            })
+            .with(Fault::CountSlip { replica: ReplicaSel::All, max_slip: slip });
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let out = plan.count_effect(0, count.min(max_count), max_count, &mut rng);
+        assert!(out <= max_count, "count {count} -> {out}");
+    }
+
+    #[test]
+    fn stuck_bit_effect_is_idempotent(
+        count in 0u64..65_536,
+        bit in 0u32..16,
+        stuck_high in 0u8..2,
+    ) {
+        let plan = FaultPlan::single(Fault::CounterStuckBit {
+            replica: ReplicaSel::All,
+            bit,
+            stuck_high: stuck_high == 1,
+        });
+        let mut rng = Pcg64::seed_from_u64(1);
+        let once = plan.count_effect(0, count, 65_535, &mut rng);
+        let twice = plan.count_effect(0, once, 65_535, &mut rng);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn dead_stage_dominates_every_other_frequency_fault(
+        f in 1.0f64..1e10,
+        factor in 0.1f64..2.0,
+        seed in 0u64..100,
+    ) {
+        let plan = FaultPlan::new()
+            .with(Fault::DeadRoStage {
+                channel: Channel::PsroN,
+                replica: ReplicaSel::All,
+            })
+            .with(Fault::SlowRo {
+                channel: Channel::PsroN,
+                replica: ReplicaSel::All,
+                factor,
+            });
+        let mut rng = Pcg64::seed_from_u64(seed);
+        assert_eq!(
+            plan.frequency_effect(Channel::PsroN, 0, Hertz(f), &mut rng).0,
+            0.0
+        );
+    }
+
+    #[test]
+    fn untargeted_paths_are_bit_exact(
+        f in 1.0f64..1e10,
+        count in 0u64..65_536,
+        seed in 0u64..100,
+    ) {
+        // A plan that targets only (PsroP, replica 2) must leave every
+        // other (channel, replica) untouched, bit for bit.
+        let plan = FaultPlan::new()
+            .with(Fault::SlowRo {
+                channel: Channel::PsroP,
+                replica: ReplicaSel::Index(2),
+                factor: 0.5,
+            })
+            .with(Fault::CounterStuckBit {
+                replica: ReplicaSel::Index(2),
+                bit: 5,
+                stuck_high: true,
+            });
+        let mut rng = Pcg64::seed_from_u64(seed);
+        for ch in Channel::ALL {
+            for replica in 0..2 {
+                let out = plan.frequency_effect(ch, replica, Hertz(f), &mut rng);
+                assert_eq!(out.0.to_bits(), f.to_bits());
+                assert_eq!(plan.count_effect(replica, count, 65_535, &mut rng), count);
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_is_deterministic_in_severity(severity in 0.01f64..1.0) {
+        let a = catalog(severity);
+        let b = catalog(severity);
+        assert_eq!(a, b);
+        for e in &a {
+            assert!(!e.plan.is_empty(), "{} has an empty plan", e.id);
+        }
+    }
+
+    #[test]
+    fn via_open_shifts_local_temperature_linearly(
+        junction in -40.0f64..125.0,
+        delta in -30.0f64..30.0,
+    ) {
+        let plan = FaultPlan::single(Fault::ThermalViaOpen { delta: Celsius(delta) });
+        let local = plan.local_temperature(Celsius(junction));
+        assert!((local.0 - junction - delta).abs() < 1e-12);
+    }
+}

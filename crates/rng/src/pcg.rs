@@ -18,6 +18,10 @@ impl SplitMix64 {
     }
 
     /// Next 64-bit output.
+    // Deliberately named like the generator literature; the stream is
+    // infinite and infallible, so `Iterator::next` (with its `Option`)
+    // would be the wrong shape.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         Self::finalize(self.state)
@@ -87,6 +91,8 @@ impl Pcg64 {
     }
 
     /// Next 64-bit output (XSL RR output function).
+    // See `SplitMix64::next` — infinite, infallible stream.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.step();
         let xored = ((self.state >> 64) as u64) ^ (self.state as u64);

@@ -14,7 +14,13 @@ cargo build --release --offline --all-targets
 echo "==> cargo test -q --offline"
 cargo test -q --offline
 
+echo "==> cargo clippy --offline (deny warnings)"
+cargo clippy --offline --all-targets -- -D warnings
+
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+echo "==> R1 fault-campaign smoke (12 dies)"
+PTSIM_BENCH_DIES=12 cargo run -q --release --offline -p ptsim-bench --bin fault_campaign > /dev/null
 
 echo "tier-1 gate: OK"

@@ -55,6 +55,7 @@ pub use ptsim_baselines as baselines;
 pub use ptsim_circuit as circuit;
 pub use ptsim_core as core;
 pub use ptsim_device as device;
+pub use ptsim_faults as faults;
 pub use ptsim_mc as mc;
 pub use ptsim_rng as rng;
 pub use ptsim_thermal as thermal;
@@ -68,8 +69,9 @@ pub mod prelude {
     };
     pub use ptsim_circuit::{EnergyLedger, Fixed, GatedCounter, InverterRing, Prescaler, QFormat};
     pub use ptsim_core::{
-        BankSpec, Calibration, PtSensor, Reading, RoBank, RoClass, SensorError, SensorInputs,
-        SensorSpec, StackMonitor, TierReading, VddMonitor,
+        BankSpec, Calibration, HardeningSpec, Health, HealthEvent, HealthStatus, PtSensor, Reading,
+        RoBank, RoClass, SensorError, SensorInputs, SensorSpec, StackMonitor, TierReading,
+        VddMonitor,
     };
     pub use ptsim_device::units::{
         Ampere, Celsius, Farad, Hertz, Joule, Kelvin, Micron, Ohm, Pascal, Seconds, Volt, Watt,
@@ -78,6 +80,7 @@ pub mod prelude {
     pub use ptsim_device::{
         CmosEnv, DeviceEnv, Inverter, MosPolarity, Mosfet, ProcessCorner, Technology,
     };
+    pub use ptsim_faults::{catalog, CatalogEntry, Channel, Fault, FaultPlan, ReplicaSel};
     pub use ptsim_mc::{
         die_rng, run_parallel, DieSample, DieSite, Histogram, McConfig, OnlineStats, VariationModel,
     };

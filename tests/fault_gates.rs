@@ -1,0 +1,109 @@
+//! Tier-1 robustness gates over the R1 fault-injection campaign.
+//!
+//! These assert the ISSUE contract on a fixed-seed 100-die population:
+//! catastrophic faults (dead RO stages, calibration-register SEUs, counter
+//! stuck-at bits) are detected ≥ 99 % of the time, no un-flagged reading is
+//! silently wrong by more than 5 °C / 10 mV, degraded temperature-only mode
+//! stays within ±3 °C with a dead PSRO bank, the hardened configuration
+//! never falsely flags a healthy die, and the whole campaign is
+//! deterministic under its fixed seed.
+
+use ptsim_bench::experiments::r1_faults::{run_campaign, CampaignResult, R1_SEED};
+use std::sync::OnceLock;
+
+const GATE_DIES: usize = 100;
+
+fn campaign() -> &'static CampaignResult {
+    static CAMPAIGN: OnceLock<CampaignResult> = OnceLock::new();
+    CAMPAIGN.get_or_init(|| run_campaign(GATE_DIES, R1_SEED))
+}
+
+#[test]
+fn catastrophic_faults_are_detected() {
+    let c = campaign();
+    assert_eq!(c.n_dies, GATE_DIES);
+    for cell in c.cells.iter().filter(|c| c.catastrophic) {
+        assert!(
+            cell.detection_rate() >= 0.99,
+            "{} @ severity {}: detection {:.3} below the 99 % floor",
+            cell.id,
+            cell.severity,
+            cell.detection_rate()
+        );
+    }
+    assert!(c.catastrophic_detection_rate() >= 0.99);
+}
+
+#[test]
+fn no_silent_data_corruption() {
+    let c = campaign();
+    for cell in &c.cells {
+        assert_eq!(
+            cell.sdc,
+            0,
+            "{} @ severity {}: {} silent readings beyond 5 °C / 10 mV \
+             (worst silent T err {:.2} °C, vt err {:.2} mV)",
+            cell.id,
+            cell.severity,
+            cell.sdc,
+            cell.worst_silent_temp_err,
+            cell.worst_silent_vt_err_mv
+        );
+        if cell.junction_comparable {
+            assert!(
+                cell.worst_silent_temp_err <= 5.0,
+                "{} @ severity {}: silent temperature error {:.2} °C",
+                cell.id,
+                cell.severity,
+                cell.worst_silent_temp_err
+            );
+            assert!(
+                cell.worst_silent_vt_err_mv <= 10.0,
+                "{} @ severity {}: silent threshold error {:.2} mV",
+                cell.id,
+                cell.severity,
+                cell.worst_silent_vt_err_mv
+            );
+        }
+    }
+    assert_eq!(c.total_sdc(), 0);
+}
+
+#[test]
+fn degraded_temperature_only_mode_stays_within_budget() {
+    let c = campaign();
+    let mut demos = 0;
+    for cell in c.cells.iter().filter(|c| c.worst_degraded_temp_err > 0.0) {
+        demos += 1;
+        assert!(
+            cell.worst_degraded_temp_err <= 3.0,
+            "{} @ severity {}: degraded temperature-only error {:.2} °C over ±3 °C",
+            cell.id,
+            cell.severity,
+            cell.worst_degraded_temp_err
+        );
+    }
+    // The dead-PSRO-bank demo must actually exercise degraded mode at every
+    // severity.
+    assert!(demos >= 3, "only {demos} cells entered degraded mode");
+}
+
+#[test]
+fn healthy_hardened_population_is_never_falsely_flagged() {
+    assert_eq!(campaign().healthy_flagged, 0);
+}
+
+#[test]
+fn calibration_seu_strikes_are_scrubbed_and_recovered() {
+    let c = campaign();
+    // One scrub attempt per die per severity (the seu cell always refuses).
+    assert_eq!(c.seu_scrub_attempts, 3 * GATE_DIES);
+    assert_eq!(c.seu_scrub_recovered, c.seu_scrub_attempts);
+}
+
+#[test]
+fn campaign_is_deterministic_under_its_fixed_seed() {
+    let a = run_campaign(12, R1_SEED);
+    let b = run_campaign(12, R1_SEED);
+    assert_eq!(a, b);
+}
