@@ -1,9 +1,9 @@
 //! [`Thermometer`] adapter for the paper's full sensor, so the comparison
 //! harness can grade it alongside the baselines.
 
-use crate::traits::{TempReading, Thermometer};
+use crate::traits::{Conversion, Thermometer};
 use ptsim_core::error::SensorError;
-use ptsim_core::sensor::{PtSensor, SensorInputs, SensorSpec};
+use ptsim_core::sensor::{PtSensor, Reading, SensorInputs, SensorSpec};
 use ptsim_device::process::Technology;
 
 /// The SOCC 2012 sensor viewed as a plain thermometer.
@@ -31,30 +31,35 @@ impl PtSensorThermometer {
     }
 }
 
-impl Thermometer for PtSensorThermometer {
-    fn name(&self) -> &'static str {
-        "this work (self-calibrated PT)"
-    }
-
+impl Conversion for PtSensorThermometer {
     fn prepare(
         &mut self,
         inputs: &SensorInputs<'_>,
         rng: &mut dyn ptsim_rng::RngCore,
     ) -> Result<(), SensorError> {
-        self.sensor.calibrate(inputs, rng)?;
-        Ok(())
+        self.sensor.prepare(inputs, rng)
     }
 
-    fn read_temperature(
+    fn convert(
         &self,
         inputs: &SensorInputs<'_>,
         rng: &mut dyn ptsim_rng::RngCore,
-    ) -> Result<TempReading, SensorError> {
-        let reading = self.sensor.read(inputs, rng)?;
-        Ok(TempReading {
-            temperature: reading.temperature,
-            energy: reading.energy_total(),
-        })
+    ) -> Result<Reading, SensorError> {
+        self.sensor.convert(inputs, rng)
+    }
+
+    fn convert_batch(
+        &self,
+        inputs: &[SensorInputs<'_>],
+        rng: &mut dyn ptsim_rng::RngCore,
+    ) -> Result<Vec<Reading>, SensorError> {
+        self.sensor.convert_batch(inputs, rng)
+    }
+}
+
+impl Thermometer for PtSensorThermometer {
+    fn name(&self) -> &'static str {
+        "this work (self-calibrated PT)"
     }
 
     fn needs_external_test(&self) -> bool {

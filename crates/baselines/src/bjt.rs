@@ -7,10 +7,11 @@
 //! energy-hungry, and it measures only temperature — no process
 //! information.
 
-use crate::traits::{TempReading, Thermometer};
+use crate::traits::{Conversion, Thermometer};
+use ptsim_circuit::energy::EnergyLedger;
 use ptsim_core::error::SensorError;
-use ptsim_core::sensor::SensorInputs;
-use ptsim_device::units::{Celsius, Joule};
+use ptsim_core::sensor::{Reading, SensorInputs};
+use ptsim_device::units::{Celsius, Hertz, Joule};
 use ptsim_mc::gaussian::normal;
 use ptsim_rng::Pcg64;
 use ptsim_rng::RngCore;
@@ -59,11 +60,7 @@ impl Default for BjtSensor {
     }
 }
 
-impl Thermometer for BjtSensor {
-    fn name(&self) -> &'static str {
-        "BJT + ADC (trimmed)"
-    }
-
+impl Conversion for BjtSensor {
     fn prepare(
         &mut self,
         _inputs: &SensorInputs<'_>,
@@ -75,20 +72,31 @@ impl Thermometer for BjtSensor {
         Ok(())
     }
 
-    fn read_temperature(
+    fn convert(
         &self,
         inputs: &SensorInputs<'_>,
         rng: &mut dyn RngCore,
-    ) -> Result<TempReading, SensorError> {
+    ) -> Result<Reading, SensorError> {
         let mut srng = Pcg64::seed_from_u64(rng.next_u64());
         let t = inputs.temp.0;
         let offset = if self.trimmed { 0.0 } else { self.offset };
         let curvature = self.curvature_per_c2 * (t - 25.0) * (t - 25.0);
         let noise = normal(&mut srng, 0.0, self.noise_sigma);
-        Ok(TempReading {
-            temperature: Celsius(t + offset + curvature + noise),
-            energy: self.energy_per_conversion,
-        })
+        let mut energy = EnergyLedger::new();
+        energy.add("BJT+ADC", self.energy_per_conversion);
+        Ok(Reading::temperature_only(
+            Celsius(t + offset + curvature + noise),
+            energy,
+            // An analog front-end has no oscillator frequency to report.
+            Hertz(0.0),
+            0,
+        ))
+    }
+}
+
+impl Thermometer for BjtSensor {
+    fn name(&self) -> &'static str {
+        "BJT + ADC (trimmed)"
     }
 
     fn needs_external_test(&self) -> bool {

@@ -14,6 +14,11 @@
 //! * [`adapter::PtSensorThermometer`] — the paper's sensor behind the same
 //!   [`traits::Thermometer`] interface, for apples-to-apples comparison.
 //!
+//! Every sensor implements the shared pipeline [`traits::Conversion`]
+//! trait, so all of them report through the identical `Reading`/`Health`
+//! boundary types (and inherit the batched `convert_batch` schedule);
+//! [`traits::Thermometer`] only adds the comparison-table metadata.
+//!
 //! ## Example
 //!
 //! ```
@@ -54,4 +59,4 @@ pub use adapter::PtSensorThermometer;
 pub use bjt::BjtSensor;
 pub use pvt2013::Pvt2013Sensor;
 pub use ro_thermometer::{RoCalibration, RoThermometer};
-pub use traits::{TempReading, Thermometer};
+pub use traits::{Conversion, TempReading, Thermometer};

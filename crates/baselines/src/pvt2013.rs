@@ -10,12 +10,13 @@
 //! level taken into account. Lower supply bins use exponentially longer
 //! counting windows to preserve resolution (sub-Vth rings are slow).
 
-use crate::traits::{uniform_phase, TempReading, Thermometer};
+use crate::traits::{uniform_phase, Conversion, Thermometer};
 use ptsim_circuit::counter::{auto_measure, GatedCounter};
+use ptsim_circuit::energy::EnergyLedger;
 use ptsim_circuit::ring::InverterRing;
 use ptsim_core::error::SensorError;
 use ptsim_core::newton::{newton_solve, NewtonOptions};
-use ptsim_core::sensor::SensorInputs;
+use ptsim_core::sensor::{Reading, SensorInputs};
 use ptsim_device::inverter::{CmosEnv, Inverter};
 use ptsim_device::process::Technology;
 use ptsim_device::units::{Celsius, Farad, Hertz, Joule, Micron, Volt, Watt};
@@ -120,16 +121,17 @@ impl Pvt2013Sensor {
         &self,
         inputs: &SensorInputs<'_>,
         rng: &mut dyn ptsim_rng::RngCore,
-    ) -> Result<(Hertz, Joule), SensorError> {
+    ) -> Result<(Hertz, EnergyLedger), SensorError> {
         let bin = self.selected_bin();
         let counter = GatedCounter::new(self.counter_bits, self.windows[bin])?;
         let env = self.env_for(inputs);
         let f_true = self.ring.frequency(&self.tech, &env);
         let (f_meas, counted) = auto_measure(f_true, &counter, self.ref_clock, uniform_phase(rng))?;
         let window = counter.window(self.ref_clock);
-        let e_ring = self.ring.run_energy(&self.tech, &env, window);
-        let e_digital = Joule(12e-15 * counted as f64 + 85e-15 * 90.0);
-        Ok((f_meas, Joule(e_ring.0 + e_digital.0)))
+        let mut ledger = EnergyLedger::new();
+        ledger.add("TSRO", self.ring.run_energy(&self.tech, &env, window));
+        ledger.add("digital", Joule(12e-15 * counted as f64 + 85e-15 * 90.0));
+        Ok((f_meas, ledger))
     }
 
     /// Average conversion power at the present operating point (reference
@@ -163,11 +165,7 @@ impl Pvt2013Sensor {
     }
 }
 
-impl Thermometer for Pvt2013Sensor {
-    fn name(&self) -> &'static str {
-        "2013 near-/sub-Vth PVT (DVS)"
-    }
-
+impl Conversion for Pvt2013Sensor {
     fn prepare(
         &mut self,
         inputs: &SensorInputs<'_>,
@@ -201,17 +199,17 @@ impl Thermometer for Pvt2013Sensor {
         Ok(())
     }
 
-    fn read_temperature(
+    fn convert(
         &self,
         inputs: &SensorInputs<'_>,
         rng: &mut dyn ptsim_rng::RngCore,
-    ) -> Result<TempReading, SensorError> {
+    ) -> Result<Reading, SensorError> {
         let bin = self.selected_bin();
         let ln_scale = self.ln_scales[bin].ok_or(SensorError::NotCalibrated)?;
         let (f, energy) = self.measure(inputs, rng)?;
         let vdd = self.sensed_vdd();
         let mut tx = [self.assumed_boot_temp.0];
-        newton_solve(
+        let iters = newton_solve(
             &mut tx,
             |v| vec![(self.golden_frequency(vdd, Celsius(v[0])).0 / f.0).ln() + ln_scale],
             &[0.01],
@@ -219,10 +217,13 @@ impl Thermometer for Pvt2013Sensor {
             &NewtonOptions::default(),
             "pvt2013 temperature",
         )?;
-        Ok(TempReading {
-            temperature: Celsius(tx[0]),
-            energy,
-        })
+        Ok(Reading::temperature_only(Celsius(tx[0]), energy, f, iters))
+    }
+}
+
+impl Thermometer for Pvt2013Sensor {
+    fn name(&self) -> &'static str {
+        "2013 near-/sub-Vth PVT (DVS)"
     }
 
     fn needs_external_test(&self) -> bool {

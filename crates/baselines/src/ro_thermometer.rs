@@ -11,13 +11,13 @@
 //!   but without process decoupling the *slope* is still wrong, producing
 //!   the classic V-shaped error curve.
 
-use crate::traits::{uniform_phase, TempReading, Thermometer};
+use crate::traits::{uniform_phase, Conversion, Thermometer};
 use ptsim_circuit::counter::{auto_measure, GatedCounter};
 use ptsim_circuit::energy::EnergyLedger;
 use ptsim_core::bank::{BankSpec, RoBank, RoClass};
 use ptsim_core::error::SensorError;
 use ptsim_core::newton::{newton_solve, NewtonOptions};
-use ptsim_core::sensor::SensorInputs;
+use ptsim_core::sensor::{Reading, SensorInputs};
 use ptsim_device::inverter::CmosEnv;
 use ptsim_device::process::Technology;
 use ptsim_device::units::{Celsius, Hertz, Joule};
@@ -95,10 +95,13 @@ impl RoThermometer {
         )
     }
 
-    fn invert(&self, f_meas: Hertz) -> Result<Celsius, SensorError> {
+    /// Inverts a measured frequency to temperature through the golden model
+    /// (plus the stored one-point correction), returning the Newton
+    /// iteration count alongside.
+    fn invert(&self, f_meas: Hertz) -> Result<(Celsius, usize), SensorError> {
         let ln_scale = self.ln_scale.unwrap_or(0.0);
         let mut tx = [self.assumed_boot_temp.0];
-        newton_solve(
+        let iters = newton_solve(
             &mut tx,
             |v| vec![(self.golden_frequency(Celsius(v[0])).0 / f_meas.0).ln() + ln_scale],
             &[0.01],
@@ -106,18 +109,11 @@ impl RoThermometer {
             &NewtonOptions::default(),
             "baseline temperature",
         )?;
-        Ok(Celsius(tx[0]))
+        Ok((Celsius(tx[0]), iters))
     }
 }
 
-impl Thermometer for RoThermometer {
-    fn name(&self) -> &'static str {
-        match self.policy {
-            RoCalibration::None => "uncalibrated RO",
-            RoCalibration::OnePoint => "1-point RO",
-        }
-    }
-
+impl Conversion for RoThermometer {
     fn prepare(
         &mut self,
         inputs: &SensorInputs<'_>,
@@ -132,18 +128,24 @@ impl Thermometer for RoThermometer {
         Ok(())
     }
 
-    fn read_temperature(
+    fn convert(
         &self,
         inputs: &SensorInputs<'_>,
         rng: &mut dyn ptsim_rng::RngCore,
-    ) -> Result<TempReading, SensorError> {
+    ) -> Result<Reading, SensorError> {
         let mut ledger = EnergyLedger::new();
         let f = self.measure(inputs, rng, &mut ledger)?;
-        let t = self.invert(f)?;
-        Ok(TempReading {
-            temperature: t,
-            energy: ledger.total(),
-        })
+        let (t, iters) = self.invert(f)?;
+        Ok(Reading::temperature_only(t, ledger, f, iters))
+    }
+}
+
+impl Thermometer for RoThermometer {
+    fn name(&self) -> &'static str {
+        match self.policy {
+            RoCalibration::None => "uncalibrated RO",
+            RoCalibration::OnePoint => "1-point RO",
+        }
     }
 
     fn needs_external_test(&self) -> bool {

@@ -8,11 +8,11 @@
 use crate::experiments::population_size;
 use crate::table::f;
 use ptsim_core::bank::RoClass;
-use ptsim_core::sensor::{PtSensor, SensorInputs, SensorSpec};
+use ptsim_core::pipeline::BatchPlan;
+use ptsim_core::sensor::SensorSpec;
 use ptsim_device::process::Technology;
-use ptsim_device::units::Celsius;
 use ptsim_mc::die::DieSite;
-use ptsim_mc::driver::{run_parallel, McConfig};
+use ptsim_mc::driver::{run_parallel_with, McConfig};
 use ptsim_mc::model::VariationModel;
 use ptsim_mc::stats::{Histogram, OnlineStats};
 
@@ -26,26 +26,33 @@ pub fn run() -> String {
     let n = population_size(1000);
     let tech = Technology::n65();
     let model = VariationModel::new(&tech);
-    let spec = SensorSpec::default_65nm();
+    // Calibrate at the boot point, then track at 75 °C — one batched
+    // schedule, with per-die sensor setup amortized into the plan prototype.
+    let plan = BatchPlan::new(tech.clone(), SensorSpec::default_65nm())
+        .expect("sensor")
+        .read_at(&[75.0]);
 
-    let per_die = run_parallel(&McConfig::new(n, 0xf4), |i, rng| {
-        let die = model.sample_die_with_id(rng, i);
-        let mut sensor = PtSensor::new(tech.clone(), spec).expect("sensor");
-        let boot = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
-        sensor.calibrate(&boot, rng).expect("self-calibration");
-        let cal = *sensor.calibration().expect("calibrated");
-        let site_n = sensor.bank().site_of(RoClass::PsroN, DieSite::CENTER);
-        let site_p = sensor.bank().site_of(RoClass::PsroP, DieSite::CENTER);
-        let cal_n = (cal.d_vtn() - die.d_vtn_at(site_n)).millivolts();
-        let cal_p = (cal.d_vtp() - die.d_vtp_at(site_p)).millivolts();
+    let per_die = run_parallel_with(
+        &McConfig::new(n, 0xf4),
+        || plan.sensor(),
+        |sensor, i, rng| {
+            let die = model.sample_die_with_id(rng, i);
+            let conv = plan
+                .convert_with(sensor, &die, rng)
+                .expect("self-calibration + conversion");
+            let cal = conv.calibration.calibration;
+            let site_n = sensor.bank().site_of(RoClass::PsroN, DieSite::CENTER);
+            let site_p = sensor.bank().site_of(RoClass::PsroP, DieSite::CENTER);
+            let cal_n = (cal.d_vtn() - die.d_vtn_at(site_n)).millivolts();
+            let cal_p = (cal.d_vtp() - die.d_vtp_at(site_p)).millivolts();
 
-        // Tracking at 75 °C.
-        let hot = SensorInputs::new(&die, DieSite::CENTER, Celsius(75.0));
-        let r = sensor.read(&hot, rng).expect("conversion");
-        let trk_n = (r.d_vtn - die.d_vtn_at(site_n)).millivolts();
-        let trk_p = (r.d_vtp - die.d_vtp_at(site_p)).millivolts();
-        (cal_n, cal_p, trk_n, trk_p)
-    });
+            // Tracking at 75 °C.
+            let r = &conv.readings[0];
+            let trk_n = (r.d_vtn - die.d_vtn_at(site_n)).millivolts();
+            let trk_p = (r.d_vtp - die.d_vtp_at(site_p)).millivolts();
+            (cal_n, cal_p, trk_n, trk_p)
+        },
+    );
 
     let mut out = format!("F4: threshold extraction error histograms ({n} MC dies)\n\n");
     let labels = [

@@ -18,18 +18,19 @@
 //! * **degraded accuracy** — temperature error of temperature-only output
 //!   while a PSRO bank is dead;
 //! * **scrub recovery** — calibration-SEU strikes must be caught by parity
-//!   and fully recovered by [`PtSensor::parity_scrub`].
+//!   and fully recovered by [`ptsim_core::PtSensor::parity_scrub`].
 
 use crate::experiments::population_size;
 use crate::table::{f, Table};
 use ptsim_core::health::HealthEvent;
-use ptsim_core::sensor::{HardeningSpec, PtSensor, SensorInputs, SensorSpec};
+use ptsim_core::pipeline::BatchPlan;
+use ptsim_core::sensor::{HardeningSpec, SensorInputs, SensorSpec};
 use ptsim_core::SensorError;
 use ptsim_device::process::Technology;
 use ptsim_device::units::{Celsius, Volt};
 use ptsim_faults::catalog;
 use ptsim_mc::die::DieSite;
-use ptsim_mc::driver::{run_parallel, McConfig};
+use ptsim_mc::driver::{run_parallel_with, McConfig};
 use ptsim_mc::model::VariationModel;
 
 /// Fixed base seed of the campaign population.
@@ -93,7 +94,7 @@ pub struct CellStats {
     /// Worst `|temperature − junction|` among silent readings [°C].
     pub worst_silent_temp_err: f64,
     /// Worst tracked-threshold deviation from the healthy reference among
-    /// silent readings [mV].
+    /// silent readings \[mV\].
     pub worst_silent_vt_err_mv: f64,
     /// Worst `|temperature − junction|` among temperature-only degraded
     /// readings [°C] (0 when the cell never degrades).
@@ -182,72 +183,85 @@ fn count_retries(events: &[HealthEvent]) -> u32 {
 pub fn run_campaign(n_dies: usize, seed: u64) -> CampaignResult {
     let tech = Technology::n65();
     let model = VariationModel::new(&tech);
-    let spec = hardened_spec();
     let n_cells = SEVERITIES.len() * catalog(1.0).len();
+    // The healthy reference of every die runs through the shared batched
+    // schedule: calibrate at boot, one conversion at the campaign's read
+    // temperature. The hardened prototype (TMR bands and all) is built once
+    // and cloned per worker instead of per die.
+    let plan = BatchPlan::new(tech.clone(), hardened_spec())
+        .expect("sensor")
+        .read_at(&[READ_TEMP]);
 
     // Per die: was the healthy path flagged, plus one outcome per cell.
-    let per_die = run_parallel(&McConfig::new(n_dies, seed), |i, rng| {
-        let die = model.sample_die_with_id(rng, i);
-        let mut sensor = PtSensor::new(tech.clone(), spec).expect("sensor");
-        let boot = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
-        let outcome = sensor.calibrate(&boot, rng).expect("healthy calibration");
-        let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(READ_TEMP));
-        let baseline = sensor.read(&inputs, rng).expect("healthy conversion");
-        let healthy_flagged = outcome.health.flagged() || baseline.health.flagged();
-        let base_energy = baseline.energy_total().0;
+    let per_die = run_parallel_with(
+        &McConfig::new(n_dies, seed),
+        || plan.sensor(),
+        |sensor, i, rng| {
+            let die = model.sample_die_with_id(rng, i);
+            let boot = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
+            sensor.clear_faults();
+            let conv = plan
+                .convert_with(sensor, &die, rng)
+                .expect("healthy calibration + conversion");
+            let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(READ_TEMP));
+            let (outcome, baseline) = (conv.calibration, &conv.readings[0]);
+            let healthy_flagged = outcome.health.flagged() || baseline.health.flagged();
+            let base_energy = baseline.energy_total().0;
 
-        let mut outcomes = Vec::with_capacity(n_cells);
-        for severity in SEVERITIES {
-            for entry in catalog(severity) {
-                let mut faulty = sensor.clone();
-                faulty.inject_faults(entry.plan.clone());
-                let mut out = CellOutcome {
-                    detected: false,
-                    errored: false,
-                    temp_err: 0.0,
-                    vt_err_mv: 0.0,
-                    degraded_temp_err: None,
-                    retries: 0,
-                    energy_rel: 0.0,
-                    scrub_recovered: None,
-                };
-                match faulty.read(&inputs, rng) {
-                    Ok(r) => {
-                        out.detected = r.health.flagged();
-                        out.temp_err = r.temperature.0 - READ_TEMP;
-                        out.vt_err_mv = (r.d_vtn - baseline.d_vtn)
-                            .millivolts()
-                            .abs()
-                            .max((r.d_vtp - baseline.d_vtp).millivolts().abs());
-                        if r.health
-                            .any(|e| matches!(e, HealthEvent::DegradedTemperatureOnly))
-                        {
-                            out.degraded_temp_err = Some(out.temp_err.abs());
+            let mut outcomes = Vec::with_capacity(n_cells);
+            for severity in SEVERITIES {
+                for entry in catalog(severity) {
+                    let mut faulty = sensor.clone();
+                    faulty.inject_faults(entry.plan.clone());
+                    let mut out = CellOutcome {
+                        detected: false,
+                        errored: false,
+                        temp_err: 0.0,
+                        vt_err_mv: 0.0,
+                        degraded_temp_err: None,
+                        retries: 0,
+                        energy_rel: 0.0,
+                        scrub_recovered: None,
+                    };
+                    match faulty.read(&inputs, rng) {
+                        Ok(r) => {
+                            out.detected = r.health.flagged();
+                            out.temp_err = r.temperature.0 - READ_TEMP;
+                            out.vt_err_mv = (r.d_vtn - baseline.d_vtn)
+                                .millivolts()
+                                .abs()
+                                .max((r.d_vtp - baseline.d_vtp).millivolts().abs());
+                            if r.health
+                                .any(|e| matches!(e, HealthEvent::DegradedTemperatureOnly))
+                            {
+                                out.degraded_temp_err = Some(out.temp_err.abs());
+                            }
+                            out.retries = count_retries(r.health.events());
+                            out.energy_rel = r.energy_total().0 / base_energy;
                         }
-                        out.retries = count_retries(r.health.events());
-                        out.energy_rel = r.energy_total().0 / base_energy;
-                    }
-                    Err(e) => {
-                        out.detected = true;
-                        out.errored = true;
-                        // A parity trip must be recoverable in place: scrub,
-                        // then convert again on the same die.
-                        if matches!(e, SensorError::CalibrationCorrupted { .. }) {
-                            let scrubbed = faulty.parity_scrub(&boot, rng).ok().flatten().is_some();
-                            let recovered = scrubbed
-                                && matches!(
-                                    faulty.read(&inputs, rng),
-                                    Ok(r2) if (r2.temperature.0 - READ_TEMP).abs() < 3.0
-                                );
-                            out.scrub_recovered = Some(recovered);
+                        Err(e) => {
+                            out.detected = true;
+                            out.errored = true;
+                            // A parity trip must be recoverable in place: scrub,
+                            // then convert again on the same die.
+                            if matches!(e, SensorError::CalibrationCorrupted { .. }) {
+                                let scrubbed =
+                                    faulty.parity_scrub(&boot, rng).ok().flatten().is_some();
+                                let recovered = scrubbed
+                                    && matches!(
+                                        faulty.read(&inputs, rng),
+                                        Ok(r2) if (r2.temperature.0 - READ_TEMP).abs() < 3.0
+                                    );
+                                out.scrub_recovered = Some(recovered);
+                            }
                         }
                     }
+                    outcomes.push(out);
                 }
-                outcomes.push(out);
             }
-        }
-        (healthy_flagged, outcomes)
-    });
+            (healthy_flagged, outcomes)
+        },
+    );
 
     // Aggregate cell-major.
     let mut cells = Vec::with_capacity(n_cells);

@@ -25,14 +25,21 @@ pub fn run() -> String {
 
     let nominal = sensor.read(&boot, &mut rng).expect("conversion");
 
+    // One batched sweep over the temperature schedule (bit-identical to the
+    // per-point loop it replaces: `read_batch` runs the same conversions in
+    // the same order on the same RNG stream).
+    let sweep = [-20.0, 0.0, 25.0, 50.0, 75.0, 100.0];
+    let probes: Vec<SensorInputs<'_>> = sweep
+        .iter()
+        .map(|&t| SensorInputs::new(&die, DieSite::CENTER, Celsius(t)))
+        .collect();
     let mut vs_temp = Table::new(vec!["T [°C]", "E/conversion [pJ]"]);
-    for t in [-20.0, 0.0, 25.0, 50.0, 75.0, 100.0] {
-        let r = sensor
-            .read(
-                &SensorInputs::new(&die, DieSite::CENTER, Celsius(t)),
-                &mut rng,
-            )
-            .expect("conversion");
+    for (r, &t) in sensor
+        .read_batch(&probes, &mut rng)
+        .expect("conversion")
+        .iter()
+        .zip(&sweep)
+    {
         vs_temp.push(vec![f(t, 0), f(r.energy_total().picojoules(), 1)]);
     }
 

@@ -15,7 +15,7 @@ use ptsim_baselines::traits::Thermometer;
 use ptsim_core::sensor::{SensorInputs, SensorSpec};
 use ptsim_device::process::Technology;
 use ptsim_device::units::{Celsius, Volt};
-use ptsim_mc::driver::die_rng;
+use ptsim_mc::driver::{run_parallel, McConfig};
 use ptsim_mc::model::VariationModel;
 use ptsim_mc::stats::OnlineStats;
 use ptsim_mc::DieSite;
@@ -31,32 +31,43 @@ struct Row {
     process_readout: bool,
 }
 
-fn grade(
-    build: &mut dyn FnMut() -> Box<dyn Thermometer>,
-    n_dies: usize,
-    seed: u64,
-    external: bool,
-    process_readout: bool,
-) -> Row {
+fn grade<F>(build: F, n_dies: usize, seed: u64, external: bool, process_readout: bool) -> Row
+where
+    F: Fn() -> Box<dyn Thermometer> + Sync,
+{
     let tech = Technology::n65();
     let model = VariationModel::new(&tech);
+    // Name/area metadata is per-design, not per-die; probe one instance.
+    let proto = build();
+    let name = proto.name();
+    let devices = proto.device_count();
+
+    // Per die: prepare, then the whole schedule through the shared batched
+    // conversion path (sequentially per die, so the RNG stream matches the
+    // per-reading loop this replaces bit for bit).
+    let per_die = run_parallel(&McConfig::new(n_dies, seed), |i, rng| {
+        let die = model.sample_die_with_id(rng, i);
+        let mut th = build();
+        let boot = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
+        th.prepare(&boot, rng).expect("prepare");
+        let probes: Vec<SensorInputs<'_>> = TEMPS
+            .iter()
+            .map(|&t| SensorInputs::new(&die, DieSite::CENTER, Celsius(t)))
+            .collect();
+        th.convert_batch(&probes, rng)
+            .expect("read")
+            .iter()
+            .zip(&TEMPS)
+            .map(|(r, &t)| (r.temperature.0 - t, r.energy_total().picojoules()))
+            .collect::<Vec<_>>()
+    });
+
     let mut err = OnlineStats::new();
     let mut energy = OnlineStats::new();
-    let mut name = "";
-    let mut devices = 0;
-    for i in 0..n_dies {
-        let mut rng = die_rng(seed, i as u64);
-        let die = model.sample_die_with_id(&mut rng, i as u64);
-        let mut th = build();
-        name = th.name();
-        devices = th.device_count();
-        let boot = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
-        th.prepare(&boot, &mut rng).expect("prepare");
-        for &t in &TEMPS {
-            let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(t));
-            let r = th.read_temperature(&inputs, &mut rng).expect("read");
-            err.push(r.temperature.0 - t);
-            energy.push(r.energy.picojoules());
+    for die in &per_die {
+        for &(e, pj) in die {
+            err.push(e);
+            energy.push(pj);
         }
     }
     Row {
@@ -81,15 +92,19 @@ pub fn run() -> String {
 
     let mut rows = Vec::new();
     rows.push(grade(
-        &mut || Box::new(RoThermometer::new(tech.clone(), RoCalibration::None).expect("baseline")),
+        || {
+            Box::new(RoThermometer::new(tech.clone(), RoCalibration::None).expect("baseline"))
+                as Box<dyn Thermometer>
+        },
         n,
         1,
         false,
         false,
     ));
     rows.push(grade(
-        &mut || {
+        || {
             Box::new(RoThermometer::new(tech.clone(), RoCalibration::OnePoint).expect("baseline"))
+                as Box<dyn Thermometer>
         },
         n,
         2,
@@ -97,25 +112,28 @@ pub fn run() -> String {
         false,
     ));
     rows.push(grade(
-        &mut || Box::new(BjtSensor::typical()),
+        || Box::new(BjtSensor::typical()) as Box<dyn Thermometer>,
         n,
         3,
         true,
         false,
     ));
     rows.push(grade(
-        &mut || Box::new(Pvt2013Sensor::new(tech.clone(), Volt(0.5)).expect("pvt2013")),
+        || {
+            Box::new(Pvt2013Sensor::new(tech.clone(), Volt(0.5)).expect("pvt2013"))
+                as Box<dyn Thermometer>
+        },
         n,
         4,
         false,
         true,
     ));
     rows.push(grade(
-        &mut || {
+        || {
             Box::new(
                 PtSensorThermometer::new(tech.clone(), SensorSpec::default_65nm())
                     .expect("this work"),
-            )
+            ) as Box<dyn Thermometer>
         },
         n,
         5,

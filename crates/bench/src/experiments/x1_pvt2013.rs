@@ -8,7 +8,7 @@
 
 use crate::table::{f, fs, Table};
 use ptsim_baselines::pvt2013::{Pvt2013Sensor, VDD_BINS};
-use ptsim_baselines::traits::Thermometer;
+use ptsim_baselines::traits::{Conversion, Thermometer};
 use ptsim_core::sensor::SensorInputs;
 use ptsim_device::process::Technology;
 use ptsim_device::units::{Celsius, Volt};

@@ -215,8 +215,18 @@ impl Fixed {
     pub fn mul(self, other: Fixed) -> Result<Fixed, CircuitError> {
         self.check_format(other)?;
         let wide = self.raw as i128 * other.raw as i128;
-        let half = 1i128 << (self.format.frac_bits.saturating_sub(1));
-        let rounded = if wide >= 0 { wide + half } else { wide - half } >> self.format.frac_bits;
+        let frac = self.format.frac_bits;
+        // Round to nearest, ties away from zero, symmetrically in sign: the
+        // negative branch must mirror the positive one through negation — a
+        // bare arithmetic shift would floor negatives, biasing them away
+        // from zero by up to one LSB. With no fraction bits there is
+        // nothing to round (half would otherwise be a spurious +1).
+        let half = if frac == 0 { 0 } else { 1i128 << (frac - 1) };
+        let rounded = if wide >= 0 {
+            (wide + half) >> frac
+        } else {
+            -((-wide + half) >> frac)
+        };
         Ok(Fixed::saturate(rounded, self.format))
     }
 
@@ -352,6 +362,38 @@ mod tests {
         assert!((prod - 3.25 * 2.6).abs() < 3.0 * q.resolution());
         let quot = a.div(b).unwrap().to_f64();
         assert!((quot - 3.25 / 2.6).abs() < 3.0 * q.resolution());
+    }
+
+    #[test]
+    fn mul_rounds_negative_sub_half_lsb_toward_zero() {
+        // raw −1 × raw 16384 (0.25) ⇒ exact product −0.25 LSB, which must
+        // round to zero. The old floor-based shift returned −1 LSB.
+        let q = QFormat::Q16_16;
+        let a = Fixed { raw: -1, format: q };
+        let b = Fixed {
+            raw: 16384,
+            format: q,
+        };
+        assert_eq!(a.mul(b).unwrap().raw(), 0);
+        // A tie (−0.5 LSB exactly) rounds away from zero, matching the
+        // positive branch.
+        let c = Fixed {
+            raw: 32768,
+            format: q,
+        };
+        assert_eq!(a.mul(c).unwrap().raw(), -1);
+        assert_eq!(a.neg().mul(c).unwrap().raw(), 1);
+    }
+
+    #[test]
+    fn mul_with_zero_frac_bits_is_exact() {
+        // With no fraction bits there is nothing to round; the old code
+        // still added a spurious half = 1 to every product.
+        let q = QFormat::new(20, 0).unwrap();
+        let a = Fixed::from_f64(3.0, q);
+        let b = Fixed::from_f64(5.0, q);
+        assert_eq!(a.mul(b).unwrap().to_f64(), 15.0);
+        assert_eq!(a.neg().mul(b).unwrap().to_f64(), -15.0);
     }
 
     #[test]

@@ -40,6 +40,49 @@ forall! {
     }
 
     #[test]
+    fn fixed_mul_is_sign_symmetric(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+        // Rounding must mirror through negation: no floor-bias on
+        // negative products (the half-LSB asymmetry fixed in `mul`).
+        let q = QFormat::Q16_16;
+        let x = Fixed::from_f64(a, q);
+        let y = Fixed::from_f64(b, q);
+        assert_eq!(x.neg().mul(y).unwrap(), x.mul(y).unwrap().neg());
+        assert_eq!(x.mul(y.neg()).unwrap(), x.mul(y).unwrap().neg());
+    }
+
+    #[test]
+    fn fixed_mul_error_within_half_lsb(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+        // Raw products here stay below 2^53, so the f64 reference product
+        // is exact and round-to-nearest must land within half an LSB.
+        let q = QFormat::Q16_16;
+        let x = Fixed::from_f64(a, q);
+        let y = Fixed::from_f64(b, q);
+        let exact = x.to_f64() * y.to_f64();
+        assert!((x.mul(y).unwrap().to_f64() - exact).abs() <= q.resolution() / 2.0);
+    }
+
+    #[test]
+    fn fixed_mul_saturates_at_format_extremes(a in 70000.0f64..1e6, b in 70000.0f64..1e6) {
+        // Q16.16 overflows for any product of two > 2^16 magnitudes: the
+        // result must pin to the format limits instead of wrapping.
+        let q = QFormat::Q16_16;
+        let x = Fixed::from_f64(a, q);
+        let y = Fixed::from_f64(b, q);
+        let hi = x.mul(y).unwrap();
+        assert!((hi.to_f64() - q.max_value()).abs() < 1e-9);
+        let lo = x.mul(y.neg()).unwrap();
+        assert!(lo.to_f64() <= -q.max_value());
+    }
+
+    #[test]
+    fn fixed_mul_exact_when_no_frac_bits(a in -100i64..100, b in -100i64..100) {
+        let q = QFormat::new(20, 0).unwrap();
+        let x = Fixed::from_f64(a as f64, q);
+        let y = Fixed::from_f64(b as f64, q);
+        assert_eq!(x.mul(y).unwrap().to_f64(), (a * b) as f64);
+    }
+
+    #[test]
     fn auto_measure_never_overflows_counter(f in 1e3f64..1e11, phase in 0.0f64..1.0) {
         let c = GatedCounter::new(14, 3_200).unwrap(); // 100 µs @ 32 MHz
         let (est, counted) = auto_measure(Hertz(f), &c, Hertz(32e6), phase).unwrap();

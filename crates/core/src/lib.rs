@@ -48,6 +48,7 @@ pub mod golden;
 pub mod health;
 pub mod monitor;
 pub mod newton;
+pub mod pipeline;
 pub mod sensor;
 pub mod vsense;
 
@@ -58,5 +59,6 @@ pub use fieldest::{place_sensors_greedy, refine_placement_swaps, FieldEstimator}
 pub use golden::{CharacterizationSpace, GoldenModel};
 pub use health::{Health, HealthEvent, HealthStatus};
 pub use monitor::{SensorNode, StackMonitor, TierReading};
+pub use pipeline::{BatchPlan, Conversion, DieConversion};
 pub use sensor::{CalibrationOutcome, HardeningSpec, PtSensor, Reading, SensorInputs, SensorSpec};
 pub use vsense::VddMonitor;

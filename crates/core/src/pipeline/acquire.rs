@@ -1,0 +1,284 @@
+//! Stage 1 — **acquisition**: one round of raw oscillator measurements.
+//!
+//! Each replica measurement quantizes the true oscillator frequency through
+//! the auto-ranged prescaler + gated counter, charges its energy to the
+//! ledger, and applies any injected faults at their physical points of
+//! action. A round measures every redundant replica of one channel and
+//! band-checks each sample, producing an [`Acquired`] record for the gating
+//! stage to vote over.
+
+use crate::error::SensorError;
+use crate::health::{Health, HealthEvent};
+use crate::pipeline::bands::Band;
+use crate::sensor::PtSensor;
+use ptsim_circuit::counter::{auto_count, GatedCounter};
+use ptsim_circuit::energy::EnergyLedger;
+use ptsim_circuit::error::CircuitError;
+use ptsim_device::inverter::CmosEnv;
+use ptsim_device::units::{Hertz, Joule};
+use ptsim_faults::Channel;
+use ptsim_rng::Rng;
+
+use crate::bank::RoClass;
+use ptsim_device::units::Volt;
+
+/// What one replica measurement targets: which oscillator, at which supply,
+/// which physical replica, and how far the gate window is widened.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicaMeasurement {
+    /// Oscillator class being measured.
+    pub class: RoClass,
+    /// Supply the oscillator runs at.
+    pub vdd: Volt,
+    /// Physical replica index (0 for the baseline single-replica sensor).
+    pub replica: usize,
+    /// Gate-window stretch factor (1 on the first attempt).
+    pub window_scale: u64,
+}
+
+/// One acquisition round: every replica of one channel measured once and
+/// band-checked. `None` marks a sample that was implausible or saturated —
+/// the gating stage treats those as untrustworthy votes.
+#[derive(Debug, Clone)]
+pub struct Acquired {
+    /// Display name of the channel the round measured.
+    pub channel: &'static str,
+    /// Per-replica band-checked samples, in replica order.
+    pub samples: Vec<Option<Hertz>>,
+}
+
+/// Maps an oscillator class to its fault-injection channel.
+pub(crate) fn fault_channel(class: RoClass) -> Channel {
+    match class {
+        RoClass::Tsro => Channel::Tsro,
+        RoClass::PsroN => Channel::PsroN,
+        RoClass::PsroP => Channel::PsroP,
+    }
+}
+
+/// Measures one oscillator replica: quantizes the true frequency through
+/// the auto-ranged prescaler + gated counter and charges energy. Injected
+/// faults corrupt the signal at their physical points: the ring frequency
+/// before counting, the effective gate window, and the raw count before
+/// reconstruction.
+///
+/// # Errors
+///
+/// Propagates counter construction/measurement errors (notably
+/// [`CircuitError::CounterSaturated`], which the acquisition round maps to
+/// an untrusted sample).
+pub fn acquire_replica<R: Rng + ?Sized>(
+    sensor: &PtSensor,
+    m: &ReplicaMeasurement,
+    env: &CmosEnv,
+    rng: &mut R,
+    ledger: &mut EnergyLedger,
+) -> Result<Hertz, SensorError> {
+    let ReplicaMeasurement {
+        class,
+        vdd,
+        replica,
+        window_scale,
+    } = *m;
+    let counter = GatedCounter::new(
+        sensor.spec.counter_bits,
+        sensor.spec.window_cycles * window_scale,
+    )?;
+    let ring = sensor.bank.ring(class).with_vdd(vdd);
+    let f_true = ring.frequency(&sensor.tech, env);
+    let phase: f64 = rng.gen();
+    let f_in = if sensor.faults.is_empty() {
+        f_true
+    } else {
+        let corrupted = sensor
+            .faults
+            .frequency_effect(fault_channel(class), replica, f_true, rng);
+        // A drifted reference clock mis-sizes every gate window, which
+        // reads as a uniform scale on all reconstructed frequencies.
+        Hertz(corrupted.0 * sensor.faults.ref_clock_factor())
+    };
+    let (counted, prescaler) = auto_count(f_in, &counter, sensor.spec.ref_clock, phase)?;
+    let counted = if sensor.faults.is_empty() {
+        counted
+    } else {
+        sensor
+            .faults
+            .count_effect(replica, counted, counter.max_count(), rng)
+    };
+    let f_meas = prescaler.undo(counter.frequency_from_count(counted, sensor.spec.ref_clock));
+
+    // Energy: oscillator running for the window + counted edges.
+    let window = counter.window(sensor.spec.ref_clock);
+    ledger.add(class.name(), ring.run_energy(&sensor.tech, env, window));
+    ledger.add(
+        "counters",
+        Joule(sensor.spec.counter_energy_per_count.0 * counted as f64),
+    );
+    Ok(f_meas)
+}
+
+/// Runs one acquisition round: measures every replica of `class` at `vdd`
+/// under `env`, checks each sample against the design `band`, and records
+/// implausible/saturated samples in `health`.
+///
+/// # Errors
+///
+/// Propagates every measurement error except counter saturation, which is
+/// recorded and degraded to an untrusted (`None`) sample.
+#[allow(clippy::too_many_arguments)] // mirrors the controller datapath
+pub fn acquire_round<R: Rng + ?Sized>(
+    sensor: &PtSensor,
+    class: RoClass,
+    vdd: Volt,
+    env: &CmosEnv,
+    band: &Band,
+    window_scale: u64,
+    rng: &mut R,
+    ledger: &mut EnergyLedger,
+    health: &mut Health,
+) -> Result<Acquired, SensorError> {
+    let name = class.name();
+    let replicas = sensor.spec.hardening.replicas;
+    let mut samples: Vec<Option<Hertz>> = Vec::with_capacity(replicas);
+    for replica in 0..replicas {
+        let m = ReplicaMeasurement {
+            class,
+            vdd,
+            replica,
+            window_scale,
+        };
+        match acquire_replica(sensor, &m, env, rng, ledger) {
+            Ok(f) => {
+                if band.contains(f) {
+                    samples.push(Some(f));
+                } else {
+                    health.record(HealthEvent::ImplausibleReading {
+                        channel: name,
+                        replica,
+                    });
+                    samples.push(None);
+                }
+            }
+            Err(SensorError::Circuit(CircuitError::CounterSaturated { .. })) => {
+                health.record(HealthEvent::CounterSaturated {
+                    channel: name,
+                    replica,
+                });
+                samples.push(None);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Acquired {
+        channel: name,
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::bands::band_for;
+    use crate::sensor::{SensorInputs, SensorSpec};
+    use ptsim_device::process::Technology;
+    use ptsim_device::units::Celsius;
+    use ptsim_faults::{Fault, FaultPlan, ReplicaSel};
+    use ptsim_mc::die::{DieSample, DieSite};
+    use ptsim_rng::Pcg64;
+
+    fn sensor() -> PtSensor {
+        PtSensor::new(Technology::n65(), SensorSpec::default_65nm()).unwrap()
+    }
+
+    #[test]
+    fn healthy_round_yields_plausible_samples() {
+        let s = sensor();
+        let die = DieSample::nominal();
+        let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
+        let env = s.die_env(RoClass::Tsro, &inputs, inputs.temp);
+        let vdd = s.spec().bank.vdd_tsro;
+        let band = band_for(&s.bands, RoClass::Tsro, vdd);
+        let mut rng = Pcg64::seed_from_u64(1);
+        let mut ledger = EnergyLedger::new();
+        let mut health = Health::nominal();
+        let round = acquire_round(
+            &s,
+            RoClass::Tsro,
+            vdd,
+            &env,
+            &band,
+            1,
+            &mut rng,
+            &mut ledger,
+            &mut health,
+        )
+        .unwrap();
+        assert_eq!(round.channel, "TSRO");
+        assert_eq!(round.samples.len(), 1);
+        assert!(round.samples[0].is_some());
+        assert!(health.is_nominal());
+        assert!(ledger.component("TSRO").0 > 0.0);
+        assert!(ledger.component("counters").0 > 0.0);
+    }
+
+    #[test]
+    fn dead_stage_sample_is_rejected_by_the_band() {
+        let mut s = sensor();
+        s.inject_faults(FaultPlan::single(Fault::DeadRoStage {
+            channel: Channel::Tsro,
+            replica: ReplicaSel::All,
+        }));
+        let die = DieSample::nominal();
+        let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
+        let env = s.die_env(RoClass::Tsro, &inputs, inputs.temp);
+        let vdd = s.spec().bank.vdd_tsro;
+        let band = band_for(&s.bands, RoClass::Tsro, vdd);
+        let mut rng = Pcg64::seed_from_u64(2);
+        let mut ledger = EnergyLedger::new();
+        let mut health = Health::nominal();
+        let round = acquire_round(
+            &s,
+            RoClass::Tsro,
+            vdd,
+            &env,
+            &band,
+            1,
+            &mut rng,
+            &mut ledger,
+            &mut health,
+        )
+        .unwrap();
+        assert_eq!(round.samples, vec![None]);
+        assert!(health.any(|e| matches!(
+            e,
+            HealthEvent::ImplausibleReading {
+                channel: "TSRO",
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn widened_window_charges_more_counter_energy() {
+        let s = sensor();
+        let die = DieSample::nominal();
+        let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
+        let env = s.die_env(RoClass::Tsro, &inputs, inputs.temp);
+        let vdd = s.spec().bank.vdd_tsro;
+        let mut rng = Pcg64::seed_from_u64(3);
+        let measure = |scale: u64, rng: &mut Pcg64| {
+            let mut ledger = EnergyLedger::new();
+            let m = ReplicaMeasurement {
+                class: RoClass::Tsro,
+                vdd,
+                replica: 0,
+                window_scale: scale,
+            };
+            acquire_replica(&s, &m, &env, rng, &mut ledger).unwrap();
+            ledger.total().0
+        };
+        let e1 = measure(1, &mut rng);
+        let e4 = measure(4, &mut rng);
+        assert!(e4 > 2.0 * e1, "wider window must cost more: {e4} vs {e1}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Design-time plausibility bands — the shared "is this frequency even
+//! possible?" check used by sensor construction and the gating stage.
+//!
+//! At design time the analytic bank model is evaluated over the full
+//! characterization envelope (temperature × threshold shift × mobility
+//! corners) and each oscillator/supply pair of the measurement plan gets a
+//! `[margin_low · min, margin_high · max]` acceptance band. At run time the
+//! gating stage rejects any replica sample outside its band before it can
+//! reach the solver.
+
+use crate::bank::{RoBank, RoClass};
+use crate::sensor::SensorSpec;
+use ptsim_device::inverter::CmosEnv;
+use ptsim_device::process::Technology;
+use ptsim_device::units::{Celsius, Hertz, Volt};
+
+/// Process/temperature envelope the plausibility bands are evaluated over —
+/// the design-time characterization corners, deliberately wider than any
+/// die the variation model can produce. `spec.temp_range` is the
+/// *application's* acceptance range for solved temperatures; the bands must
+/// not reject a frequency a real out-of-range die could produce, or the
+/// solve-range guard would never fire.
+pub(crate) const BAND_TEMPS: (f64, f64) = (-55.0, 150.0);
+/// Threshold-shift corner of the band envelope, volts.
+pub(crate) const BAND_DVT: f64 = 0.045;
+/// Mobility-multiplier corners of the band envelope.
+pub(crate) const BAND_MU: (f64, f64) = (0.8, 1.25);
+
+/// Design-time plausibility band of one oscillator/supply pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// Oscillator the band applies to.
+    pub class: RoClass,
+    /// Supply the oscillator is measured at.
+    pub vdd: Volt,
+    /// Slowest plausible frequency.
+    pub lo: Hertz,
+    /// Fastest plausible frequency.
+    pub hi: Hertz,
+}
+
+impl Band {
+    /// Whether a measured frequency falls inside the band.
+    #[must_use]
+    pub fn contains(&self, f: Hertz) -> bool {
+        f.0 >= self.lo.0 && f.0 <= self.hi.0
+    }
+}
+
+/// Evaluates the analytic bank model over the design-corner envelope and
+/// derives one `[margin_low · min, margin_high · max]` plausibility band
+/// per measurement-plan pair.
+#[must_use]
+pub fn design_bands(tech: &Technology, bank: &RoBank, spec: &SensorSpec) -> Vec<Band> {
+    let pairs = [
+        (RoClass::PsroN, spec.bank.vdd_high),
+        (RoClass::PsroN, spec.bank.vdd_low),
+        (RoClass::PsroP, spec.bank.vdd_high),
+        (RoClass::PsroP, spec.bank.vdd_low),
+        (RoClass::Tsro, spec.bank.vdd_tsro),
+    ];
+    let h = spec.hardening;
+    pairs
+        .iter()
+        .map(|&(class, vdd)| {
+            let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+            for &temp in &[BAND_TEMPS.0, BAND_TEMPS.1] {
+                for &dvtn in &[-BAND_DVT, BAND_DVT] {
+                    for &dvtp in &[-BAND_DVT, BAND_DVT] {
+                        for &mu_n in &[BAND_MU.0, BAND_MU.1] {
+                            for &mu_p in &[BAND_MU.0, BAND_MU.1] {
+                                let env = CmosEnv {
+                                    temp: Celsius(temp),
+                                    d_vtn: Volt(dvtn),
+                                    d_vtp: Volt(dvtp),
+                                    mu_n,
+                                    mu_p,
+                                };
+                                let f = bank.frequency(tech, class, vdd, &env).0;
+                                lo = lo.min(f);
+                                hi = hi.max(f);
+                            }
+                        }
+                    }
+                }
+            }
+            Band {
+                class,
+                vdd,
+                lo: Hertz(h.band_margin_low * lo),
+                hi: Hertz(h.band_margin_high * hi),
+            }
+        })
+        .collect()
+}
+
+/// Looks up the design band of one measurement-plan pair.
+///
+/// # Panics
+///
+/// Panics if `(class, vdd)` is not a pair [`design_bands`] produced — every
+/// measurement plan the controller issues is covered by construction.
+#[must_use]
+pub fn band_for(bands: &[Band], class: RoClass, vdd: Volt) -> Band {
+    *bands
+        .iter()
+        .find(|b| b.class == class && b.vdd.0.to_bits() == vdd.0.to_bits())
+        .expect("measurement plan pairs always have a design band")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bands() -> Vec<Band> {
+        let tech = Technology::n65();
+        let spec = SensorSpec::default_65nm();
+        let bank = RoBank::new(&tech, spec.bank).unwrap();
+        design_bands(&tech, &bank, &spec)
+    }
+
+    #[test]
+    fn one_band_per_measurement_plan_pair() {
+        let b = bands();
+        assert_eq!(b.len(), 5);
+        let spec = SensorSpec::default_65nm();
+        for (class, vdd) in [
+            (RoClass::PsroN, spec.bank.vdd_high),
+            (RoClass::PsroN, spec.bank.vdd_low),
+            (RoClass::PsroP, spec.bank.vdd_high),
+            (RoClass::PsroP, spec.bank.vdd_low),
+            (RoClass::Tsro, spec.bank.vdd_tsro),
+        ] {
+            let band = band_for(&b, class, vdd);
+            assert!(band.lo.0 > 0.0 && band.lo.0 < band.hi.0);
+        }
+    }
+
+    #[test]
+    fn healthy_frequencies_are_inside_their_band() {
+        let tech = Technology::n65();
+        let spec = SensorSpec::default_65nm();
+        let bank = RoBank::new(&tech, spec.bank).unwrap();
+        let b = bands();
+        for t in [-40.0, 25.0, 125.0] {
+            let env = CmosEnv::at(Celsius(t));
+            for (class, vdd) in [
+                (RoClass::Tsro, spec.bank.vdd_tsro),
+                (RoClass::PsroN, spec.bank.vdd_low),
+                (RoClass::PsroP, spec.bank.vdd_high),
+            ] {
+                let f = bank.frequency(&tech, class, vdd, &env);
+                assert!(
+                    band_for(&b, class, vdd).contains(f),
+                    "{class:?}@{vdd:?} {t} °C outside its band"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_absurd_frequencies_are_rejected() {
+        let b = bands();
+        let spec = SensorSpec::default_65nm();
+        let band = band_for(&b, RoClass::Tsro, spec.bank.vdd_tsro);
+        assert!(!band.contains(Hertz(0.0)));
+        assert!(!band.contains(Hertz(1e15)));
+    }
+
+    #[test]
+    fn wider_margins_widen_the_band() {
+        let tech = Technology::n65();
+        let mut spec = SensorSpec::default_65nm();
+        let bank = RoBank::new(&tech, spec.bank).unwrap();
+        let narrow = design_bands(&tech, &bank, &spec);
+        spec.hardening.band_margin_low /= 2.0;
+        spec.hardening.band_margin_high *= 2.0;
+        let wide = design_bands(&tech, &bank, &spec);
+        for (n, w) in narrow.iter().zip(&wide) {
+            assert!(w.lo.0 < n.lo.0 && w.hi.0 > n.hi.0);
+        }
+    }
+}

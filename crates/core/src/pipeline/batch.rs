@@ -1,0 +1,253 @@
+//! The batched multi-die conversion API.
+//!
+//! A [`BatchPlan`] captures everything that is identical across dies of a
+//! population — the sensor prototype (with its design-time plausibility
+//! bands and optional characterized model already built), the boot
+//! conditions, the site, and the temperature schedule — so per-conversion
+//! setup is amortized: cloning the prototype per die skips the 160-corner
+//! band envelope scan and the polynomial characterization that
+//! [`PtSensor::new`] / [`PtSensor::use_characterized_model`] pay.
+//!
+//! Cloning is bit-identical to fresh construction: band derivation and
+//! characterization consume no RNG, and [`PtSensor::calibrate`] fully
+//! overwrites the stored state, so a cloned prototype behaves exactly like
+//! a sensor built from scratch on the same die.
+
+use crate::error::SensorError;
+use crate::golden::CharacterizationSpace;
+use crate::pipeline::output::{CalibrationOutcome, Reading};
+use crate::sensor::{PtSensor, SensorInputs, SensorSpec};
+use ptsim_device::process::Technology;
+use ptsim_device::units::Celsius;
+use ptsim_mc::die::{DieSample, DieSite};
+use ptsim_mc::driver::{run_parallel_with, McConfig};
+use ptsim_mc::model::VariationModel;
+use ptsim_rng::Rng;
+
+/// Everything one die contributes to a batched campaign: its boot-time
+/// calibration outcome and one [`Reading`] per scheduled temperature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DieConversion {
+    /// Outcome of the boot-time self-calibration.
+    pub calibration: CalibrationOutcome,
+    /// One reading per scheduled temperature, in schedule order.
+    pub readings: Vec<Reading>,
+}
+
+/// A reusable multi-die conversion schedule over one sensor design.
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    prototype: PtSensor,
+    boot_temp: Celsius,
+    site: DieSite,
+    temps: Vec<Celsius>,
+}
+
+impl BatchPlan {
+    /// Builds the plan's sensor prototype once (bands, counters, bank).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sensor construction errors.
+    pub fn new(tech: Technology, spec: SensorSpec) -> Result<Self, SensorError> {
+        let boot_temp = spec.calib_temp;
+        Ok(BatchPlan {
+            prototype: PtSensor::new(tech, spec)?,
+            boot_temp,
+            site: DieSite::CENTER,
+            temps: Vec::new(),
+        })
+    }
+
+    /// Switches the prototype (and so every die of the batch) to the
+    /// design-time characterized polynomial model, paying the
+    /// characterization cost once for the whole population.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterization failures.
+    pub fn with_characterized_model(
+        mut self,
+        space: CharacterizationSpace,
+    ) -> Result<Self, SensorError> {
+        self.prototype.use_characterized_model(space)?;
+        Ok(self)
+    }
+
+    /// Places the sensor bank at `site` on every die.
+    #[must_use]
+    pub fn at_site(mut self, site: DieSite) -> Self {
+        self.site = site;
+        self
+    }
+
+    /// True die temperature during the boot-time self-calibration
+    /// (defaults to the spec's assumed calibration temperature).
+    #[must_use]
+    pub fn boot_temp(mut self, temp: Celsius) -> Self {
+        self.boot_temp = temp;
+        self
+    }
+
+    /// Schedules one reading per temperature (°C), in order, on every die.
+    #[must_use]
+    pub fn read_at(mut self, temps: &[f64]) -> Self {
+        self.temps = temps.iter().map(|&t| Celsius(t)).collect();
+        self
+    }
+
+    /// A fresh per-die sensor: a clone of the prebuilt prototype,
+    /// bit-identical to (and much cheaper than) constructing from scratch.
+    #[must_use]
+    pub fn sensor(&self) -> PtSensor {
+        self.prototype.clone()
+    }
+
+    /// The scheduled read temperatures.
+    #[must_use]
+    pub fn temperatures(&self) -> &[Celsius] {
+        &self.temps
+    }
+
+    /// Runs the plan on one die with a caller-provided sensor (obtained
+    /// from [`BatchPlan::sensor`], possibly with faults injected):
+    /// calibrates at the boot conditions, then reads every scheduled
+    /// temperature in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration/read failures.
+    pub fn convert_with<R: Rng + ?Sized>(
+        &self,
+        sensor: &mut PtSensor,
+        die: &DieSample,
+        rng: &mut R,
+    ) -> Result<DieConversion, SensorError> {
+        let boot = SensorInputs::new(die, self.site, self.boot_temp);
+        let calibration = sensor.calibrate(&boot, rng)?;
+        let mut readings = Vec::with_capacity(self.temps.len());
+        for &t in &self.temps {
+            let inputs = SensorInputs::new(die, self.site, t);
+            readings.push(sensor.read(&inputs, rng)?);
+        }
+        Ok(DieConversion {
+            calibration,
+            readings,
+        })
+    }
+
+    /// Runs the plan on one die with a fresh prototype clone, returning the
+    /// calibrated sensor alongside the conversions (for campaigns that keep
+    /// probing the same die afterwards, e.g. fault injection).
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration/read failures.
+    pub fn convert_die<R: Rng + ?Sized>(
+        &self,
+        die: &DieSample,
+        rng: &mut R,
+    ) -> Result<(PtSensor, DieConversion), SensorError> {
+        let mut sensor = self.sensor();
+        let conv = self.convert_with(&mut sensor, die, rng)?;
+        Ok((sensor, conv))
+    }
+
+    /// Runs the plan over a whole Monte-Carlo population: die `i` is drawn
+    /// from `model` with `die_rng(cfg.base_seed, i)` and converted with the
+    /// same stream, exactly like the bespoke per-die loops this API
+    /// replaces. The prototype is cloned once per worker thread, not per
+    /// die.
+    #[must_use]
+    pub fn run_population(
+        &self,
+        cfg: &McConfig,
+        model: &VariationModel,
+    ) -> Vec<Result<DieConversion, SensorError>> {
+        run_parallel_with(
+            cfg,
+            || self.sensor(),
+            |sensor, i, rng| {
+                let die = model.sample_die_with_id(rng, i);
+                // Re-clone per die only what calibration overwrites anyway:
+                // reuse the worker's sensor, clearing stale state.
+                sensor.clear_faults();
+                self.convert_with(sensor, &die, rng)
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsim_mc::driver::die_rng;
+
+    fn plan() -> BatchPlan {
+        BatchPlan::new(Technology::n65(), SensorSpec::default_65nm())
+            .unwrap()
+            .read_at(&[0.0, 50.0, 100.0])
+    }
+
+    #[test]
+    fn batch_matches_bespoke_per_die_loop() {
+        // The batched path must be bit-identical to the hand-written loop
+        // it replaces.
+        let p = plan();
+        let cfg = McConfig::new(6, 0xbeef);
+        let model = VariationModel::new(&Technology::n65());
+        let batched = p.run_population(&cfg, &model);
+
+        let mut bespoke = Vec::new();
+        for i in 0..6u64 {
+            let mut rng = die_rng(0xbeef, i);
+            let die = model.sample_die_with_id(&mut rng, i);
+            let mut sensor = PtSensor::new(Technology::n65(), SensorSpec::default_65nm()).unwrap();
+            let boot = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
+            let calibration = sensor.calibrate(&boot, &mut rng).unwrap();
+            let readings = [0.0, 50.0, 100.0]
+                .iter()
+                .map(|&t| {
+                    sensor
+                        .read(
+                            &SensorInputs::new(&die, DieSite::CENTER, Celsius(t)),
+                            &mut rng,
+                        )
+                        .unwrap()
+                })
+                .collect::<Vec<_>>();
+            bespoke.push(DieConversion {
+                calibration,
+                readings,
+            });
+        }
+        for (b, e) in batched.iter().zip(&bespoke) {
+            assert_eq!(b.as_ref().unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn prototype_clone_is_bit_identical_to_fresh_construction() {
+        let p = plan();
+        let die = DieSample::nominal();
+        let mut rng_a = die_rng(1, 0);
+        let mut rng_b = die_rng(1, 0);
+        let (_, via_plan) = p.convert_die(&die, &mut rng_a).unwrap();
+        let mut fresh = PtSensor::new(Technology::n65(), SensorSpec::default_65nm()).unwrap();
+        let via_fresh = p.convert_with(&mut fresh, &die, &mut rng_b).unwrap();
+        assert_eq!(via_plan, via_fresh);
+    }
+
+    #[test]
+    fn read_batch_amortizes_over_the_schedule() {
+        let die = DieSample::nominal();
+        let p = plan().boot_temp(Celsius(25.0));
+        let mut rng = die_rng(2, 0);
+        let (_, conv) = p.convert_die(&die, &mut rng).unwrap();
+        assert_eq!(conv.readings.len(), 3);
+        for (r, t) in conv.readings.iter().zip([0.0, 50.0, 100.0]) {
+            assert!((r.temperature.0 - t).abs() < 1.5);
+        }
+        assert!(conv.calibration.health.is_nominal());
+    }
+}

@@ -1,0 +1,386 @@
+//! Stage 2 — **gating**: majority vote over an acquisition round plus the
+//! bounded widened-window retry policy.
+//!
+//! The gate never hands an untrusted number downstream: a channel either
+//! produces a voted, band-checked frequency, degrades to `None`
+//! (a lost channel — recorded in [`Health`]), or the whole conversion
+//! aborts with an error. The [`Gated`] boundary type is what the solver
+//! stage consumes.
+
+use crate::bank::RoClass;
+use crate::error::SensorError;
+use crate::health::{Health, HealthEvent};
+use crate::pipeline::acquire::acquire_round;
+use crate::pipeline::bands::band_for;
+use crate::sensor::{HardeningSpec, PtSensor, SensorInputs, SensorSpec};
+use ptsim_circuit::energy::EnergyLedger;
+use ptsim_device::units::{Hertz, Volt};
+use ptsim_rng::Rng;
+
+/// Gated measurement set of one conversion: the TSRO is load-bearing, the
+/// PSROs may be lost (`None`) and degrade the solve to temperature-only.
+#[derive(Debug, Clone, Copy)]
+pub struct Gated {
+    /// Voted thermal-sensitive RO frequency.
+    pub f_tsro: Hertz,
+    /// Voted NMOS process-sensitive RO frequency, if the channel survived.
+    pub f_psro_n: Option<Hertz>,
+    /// Voted PMOS process-sensitive RO frequency, if the channel survived.
+    pub f_psro_p: Option<Hertz>,
+}
+
+/// Median of a non-empty, sorted slice: the exact middle sample for odd
+/// lengths (bit-preserving), the mean of the two middles for even lengths.
+pub(crate) fn sorted_median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Majority-votes one round of replica samples (`None` = implausible or
+/// saturated). Returns the voted frequency, or `None` when no strict
+/// majority of trustworthy replicas exists.
+pub fn vote(
+    hardening: &HardeningSpec,
+    channel: &'static str,
+    samples: &[Option<Hertz>],
+    health: &mut Health,
+) -> Option<Hertz> {
+    let h = *hardening;
+    let n = samples.len();
+    let plausible: Vec<(usize, f64)> = samples
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.map(|f| (i, f.0)))
+        .collect();
+    if plausible.len() * 2 <= n {
+        return None;
+    }
+    let mut values: Vec<f64> = plausible.iter().map(|&(_, f)| f).collect();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("band-checked samples are finite"));
+    let med = sorted_median(&values);
+
+    let mut inliers: Vec<f64> = Vec::with_capacity(plausible.len());
+    for &(i, f) in &plausible {
+        if (f - med).abs() <= h.replica_outlier_rel * med.abs() {
+            inliers.push(f);
+        } else {
+            health.record(HealthEvent::ReplicaOutvoted {
+                channel,
+                replica: i,
+            });
+        }
+    }
+    if inliers.len() * 2 <= n {
+        return None;
+    }
+    inliers.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let voted = sorted_median(&inliers);
+    let spread = (inliers[inliers.len() - 1] - inliers[0]) / voted;
+    if spread > h.replica_spread_rel {
+        health.record(HealthEvent::ReplicaSpread {
+            channel,
+            spread_rel: spread,
+        });
+    }
+    Some(Hertz(voted))
+}
+
+/// Measures one channel with the full hardening stack: per-replica
+/// plausibility check, majority vote, and bounded widened-window retries.
+/// `Ok(None)` means the channel is lost (no trustworthy majority after
+/// every retry).
+///
+/// # Errors
+///
+/// Propagates fatal measurement errors (saturation is handled inside the
+/// acquisition round).
+pub fn gate_channel<R: Rng + ?Sized>(
+    sensor: &PtSensor,
+    class: RoClass,
+    vdd: Volt,
+    inputs: &SensorInputs<'_>,
+    rng: &mut R,
+    ledger: &mut EnergyLedger,
+    health: &mut Health,
+) -> Result<Option<Hertz>, SensorError> {
+    let h = sensor.spec.hardening;
+    let name = class.name();
+    let local_temp = sensor.faults.local_temperature(inputs.temp);
+    let env = sensor.die_env(class, inputs, local_temp);
+    let band = band_for(&sensor.bands, class, vdd);
+
+    let mut attempt = 0usize;
+    let mut window_scale = 1u64;
+    loop {
+        let round = acquire_round(
+            sensor,
+            class,
+            vdd,
+            &env,
+            &band,
+            window_scale,
+            rng,
+            ledger,
+            health,
+        )?;
+        if let Some(f) = vote(&h, round.channel, &round.samples, health) {
+            if attempt > 0 {
+                health.record(HealthEvent::Recovered { channel: name });
+            }
+            return Ok(Some(f));
+        }
+        if attempt >= h.max_retries {
+            health.record(HealthEvent::ChannelLost { channel: name });
+            return Ok(None);
+        }
+        attempt += 1;
+        window_scale = h.retry_window_scale;
+        health.record(HealthEvent::RetriedWindow {
+            channel: name,
+            window_scale,
+        });
+        // Retry control overhead (re-arming the gate and range logic).
+        sensor.charge_digital(ledger, "retry", sensor.spec.controller_cycles / 4);
+    }
+}
+
+/// The four-measurement boot-time plan: each PSRO polarity at both
+/// supplies, in controller issue order.
+#[must_use]
+pub fn calibration_plan(spec: &SensorSpec) -> [(RoClass, Volt); 4] {
+    [
+        (RoClass::PsroN, spec.bank.vdd_high),
+        (RoClass::PsroN, spec.bank.vdd_low),
+        (RoClass::PsroP, spec.bank.vdd_high),
+        (RoClass::PsroP, spec.bank.vdd_low),
+    ]
+}
+
+/// Gates every measurement of the boot-time calibration plan. Calibration
+/// has no degraded mode — a lost channel is fatal.
+///
+/// # Errors
+///
+/// Returns [`SensorError::ChannelFailed`] for a channel with no trustworthy
+/// majority after retries, and propagates measurement errors.
+pub fn gate_plan<R: Rng + ?Sized>(
+    sensor: &PtSensor,
+    plan: &[(RoClass, Volt); 4],
+    inputs: &SensorInputs<'_>,
+    rng: &mut R,
+    ledger: &mut EnergyLedger,
+    health: &mut Health,
+) -> Result<[f64; 4], SensorError> {
+    let mut measured = [0.0f64; 4];
+    for (slot, (class, vdd)) in plan.iter().enumerate() {
+        let f = gate_channel(sensor, *class, *vdd, inputs, rng, ledger, health)?.ok_or(
+            SensorError::ChannelFailed {
+                channel: class.name(),
+            },
+        )?;
+        measured[slot] = f.0;
+    }
+    Ok(measured)
+}
+
+/// Gates the three conversion measurements. The TSRO is load-bearing
+/// (a lost TSRO is fatal); a lost PSRO survives as `None` and degrades the
+/// solve stage to temperature-only.
+///
+/// # Errors
+///
+/// Returns [`SensorError::ChannelFailed`] when the TSRO yields no plausible
+/// measurement after retries, and propagates measurement errors.
+pub fn gate_conversion<R: Rng + ?Sized>(
+    sensor: &PtSensor,
+    inputs: &SensorInputs<'_>,
+    rng: &mut R,
+    ledger: &mut EnergyLedger,
+    health: &mut Health,
+) -> Result<Gated, SensorError> {
+    let spec = sensor.spec;
+    let f_tsro = gate_channel(
+        sensor,
+        RoClass::Tsro,
+        spec.bank.vdd_tsro,
+        inputs,
+        rng,
+        ledger,
+        health,
+    )?
+    .ok_or(SensorError::ChannelFailed {
+        channel: RoClass::Tsro.name(),
+    })?;
+    let f_psro_n = gate_channel(
+        sensor,
+        RoClass::PsroN,
+        spec.bank.vdd_low,
+        inputs,
+        rng,
+        ledger,
+        health,
+    )?;
+    let f_psro_p = gate_channel(
+        sensor,
+        RoClass::PsroP,
+        spec.bank.vdd_low,
+        inputs,
+        rng,
+        ledger,
+        health,
+    )?;
+    Ok(Gated {
+        f_tsro,
+        f_psro_n,
+        f_psro_p,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsim_device::process::Technology;
+    use ptsim_device::units::Celsius;
+    use ptsim_faults::{Channel, Fault, FaultPlan, ReplicaSel};
+    use ptsim_mc::die::{DieSample, DieSite};
+    use ptsim_rng::Pcg64;
+
+    fn hardening() -> HardeningSpec {
+        HardeningSpec::baseline()
+    }
+
+    #[test]
+    fn unanimous_round_votes_the_median() {
+        let h = hardening();
+        let mut health = Health::nominal();
+        let samples = [
+            Some(Hertz(99.9e6)),
+            Some(Hertz(100.0e6)),
+            Some(Hertz(100.1e6)),
+        ];
+        let voted = vote(&h, "TSRO", &samples, &mut health).unwrap();
+        assert_eq!(voted, Hertz(100.0e6));
+        assert!(health.is_nominal());
+    }
+
+    #[test]
+    fn single_sample_vote_is_bit_preserving() {
+        let h = hardening();
+        let mut health = Health::nominal();
+        let f = Hertz(123.456_789e6);
+        let voted = vote(&h, "TSRO", &[Some(f)], &mut health).unwrap();
+        assert_eq!(voted.0.to_bits(), f.0.to_bits());
+    }
+
+    #[test]
+    fn minority_of_plausible_samples_loses_the_vote() {
+        let h = hardening();
+        let mut health = Health::nominal();
+        assert!(vote(&h, "TSRO", &[None], &mut health).is_none());
+        assert!(vote(&h, "TSRO", &[Some(Hertz(1e8)), None, None], &mut health).is_none());
+    }
+
+    #[test]
+    fn far_outlier_is_outvoted_and_recorded() {
+        let h = hardening();
+        let mut health = Health::nominal();
+        let samples = [
+            Some(Hertz(100.0e6)),
+            Some(Hertz(100.1e6)),
+            Some(Hertz(140.0e6)),
+        ];
+        let voted = vote(&h, "PSRO-N", &samples, &mut health).unwrap();
+        assert!((voted.0 - 100.05e6).abs() < 1.0);
+        assert!(health.any(|e| matches!(
+            e,
+            HealthEvent::ReplicaOutvoted {
+                channel: "PSRO-N",
+                replica: 2,
+            }
+        )));
+    }
+
+    #[test]
+    fn excess_spread_inside_the_outlier_limit_is_flagged() {
+        let mut h = hardening();
+        h.replica_spread_rel = 1e-4;
+        let mut health = Health::nominal();
+        let samples = [
+            Some(Hertz(100.0e6)),
+            Some(Hertz(100.2e6)),
+            Some(Hertz(100.4e6)),
+        ];
+        assert!(vote(&h, "TSRO", &samples, &mut health).is_some());
+        assert!(health.any(|e| matches!(e, HealthEvent::ReplicaSpread { .. })));
+    }
+
+    #[test]
+    fn dead_channel_widens_the_window_then_declares_loss() {
+        // Retry-window widening, isolated at the gate stage: a dead RO
+        // reads 0 Hz, fails the band every time, and the retry policy
+        // must re-measure with the widened window exactly `max_retries`
+        // times before giving up.
+        let tech = Technology::n65();
+        let spec = crate::sensor::SensorSpec::default_65nm();
+        let mut sensor = PtSensor::new(tech, spec).unwrap();
+        sensor.inject_faults(FaultPlan::single(Fault::DeadRoStage {
+            channel: Channel::PsroN,
+            replica: ReplicaSel::All,
+        }));
+        let die = DieSample::nominal();
+        let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
+        let mut rng = Pcg64::seed_from_u64(7);
+        let mut ledger = EnergyLedger::new();
+        let mut health = Health::nominal();
+        let got = gate_channel(
+            &sensor,
+            RoClass::PsroN,
+            spec.bank.vdd_low,
+            &inputs,
+            &mut rng,
+            &mut ledger,
+            &mut health,
+        )
+        .unwrap();
+        assert!(got.is_none(), "a dead channel must be declared lost");
+        let retries = health
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    HealthEvent::RetriedWindow {
+                        channel: "PSRO-N",
+                        window_scale,
+                    } if *window_scale == spec.hardening.retry_window_scale
+                )
+            })
+            .count();
+        assert_eq!(retries, spec.hardening.max_retries);
+        assert!(health.any(|e| matches!(e, HealthEvent::ChannelLost { channel: "PSRO-N" })));
+        assert!(
+            ledger.component("retry").0 > 0.0,
+            "retry overhead must be charged"
+        );
+    }
+
+    #[test]
+    fn healthy_channel_gates_without_retries() {
+        let sensor =
+            PtSensor::new(Technology::n65(), crate::sensor::SensorSpec::default_65nm()).unwrap();
+        let die = DieSample::nominal();
+        let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
+        let mut rng = Pcg64::seed_from_u64(8);
+        let mut ledger = EnergyLedger::new();
+        let mut health = Health::nominal();
+        let gated = gate_conversion(&sensor, &inputs, &mut rng, &mut ledger, &mut health).unwrap();
+        assert!(gated.f_tsro.0 > 0.0);
+        assert!(gated.f_psro_n.is_some());
+        assert!(gated.f_psro_p.is_some());
+        assert!(health.is_nominal());
+    }
+}

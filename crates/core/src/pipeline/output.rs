@@ -1,0 +1,256 @@
+//! Stage 4 — **output**: range/drift bounding, digital energy accounting,
+//! and Q-format quantization of the solved state into a [`Reading`].
+//!
+//! The boundary types every conversion ultimately reports through —
+//! [`Reading`] and [`CalibrationOutcome`] — live here; the full sensor and
+//! all baselines share them, so a BJT reading and a hardened PT-sensor
+//! reading carry identical health/energy bookkeeping.
+
+use crate::calib::Calibration;
+use crate::error::SensorError;
+use crate::health::{Health, HealthEvent};
+use crate::pipeline::gate::Gated;
+use crate::pipeline::solve::Solved;
+use crate::sensor::PtSensor;
+use ptsim_circuit::energy::EnergyLedger;
+use ptsim_circuit::fixed::Fixed;
+use ptsim_device::units::{Celsius, Hertz, Joule, Volt};
+
+/// One conversion result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reading {
+    /// Solved temperature (quantized through the output register).
+    pub temperature: Celsius,
+    /// Tracked NMOS threshold shift. Frozen at the calibration value when
+    /// the sensor is degraded to temperature-only output.
+    pub d_vtn: Volt,
+    /// Tracked PMOS threshold shift (see [`Reading::d_vtn`]).
+    pub d_vtp: Volt,
+    /// Per-component energy of this conversion.
+    pub energy: EnergyLedger,
+    /// Measured (quantized) frequencies `(f_tsro, f_psro_n, f_psro_p)`.
+    /// A lost channel reports `0 Hz`.
+    pub raw_frequencies: (Hertz, Hertz, Hertz),
+    /// Total Newton iterations spent in the solves (model evaluations of
+    /// the bisection grid, if the ROM fallback ran).
+    pub solver_iterations: usize,
+    /// Self-diagnosis record of this conversion.
+    pub health: Health,
+}
+
+impl Reading {
+    /// Total conversion energy.
+    #[must_use]
+    pub fn energy_total(&self) -> Joule {
+        self.energy.total()
+    }
+
+    /// A reading from a temperature-only sensor (no process readout):
+    /// zero tracked threshold shifts, nominal health, and only the single
+    /// measured frequency (`0 Hz` for channels the design lacks). The
+    /// baseline thermometers report through this so every sensor in the
+    /// comparison harness carries identical energy/health bookkeeping.
+    #[must_use]
+    pub fn temperature_only(
+        temperature: Celsius,
+        energy: EnergyLedger,
+        f_meas: Hertz,
+        solver_iterations: usize,
+    ) -> Self {
+        Reading {
+            temperature,
+            d_vtn: Volt(0.0),
+            d_vtp: Volt(0.0),
+            energy,
+            raw_frequencies: (f_meas, Hertz(0.0), Hertz(0.0)),
+            solver_iterations,
+            health: Health::nominal(),
+        }
+    }
+}
+
+/// Outcome of a self-calibration pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationOutcome {
+    /// The stored calibration.
+    pub calibration: Calibration,
+    /// Energy spent by the calibration pass.
+    pub energy: EnergyLedger,
+    /// Newton iterations of the 4×4 decoupling solve.
+    pub solver_iterations: usize,
+    /// Self-diagnosis record of the calibration pass.
+    pub health: Health,
+}
+
+/// Bounds and quantizes one solved conversion into a [`Reading`]: rejects
+/// out-of-range temperatures, flags implausible post-calibration drift,
+/// charges the solver/controller digital energy, and rounds every output
+/// through the Q-format registers.
+///
+/// # Errors
+///
+/// Returns [`SensorError::TemperatureOutOfRange`] when the solve leaves
+/// the characterized range.
+pub fn finalize(
+    sensor: &PtSensor,
+    cal: &Calibration,
+    gated: &Gated,
+    solved: &Solved,
+    mut ledger: EnergyLedger,
+    mut health: Health,
+) -> Result<Reading, SensorError> {
+    let spec = sensor.spec;
+    let Solved {
+        temperature: temp,
+        d_vtn,
+        d_vtp,
+        iterations: total_iters,
+    } = *solved;
+
+    if temp < spec.temp_range.0 .0 || temp > spec.temp_range.1 .0 {
+        return Err(SensorError::TemperatureOutOfRange {
+            solved: Celsius(temp),
+        });
+    }
+
+    // Plausibility guard on the solved process outputs: drift beyond the
+    // hardening limit means the numbers cannot be trusted.
+    let h = spec.hardening;
+    if (d_vtn - cal.d_vtn().0).abs() > h.max_drift.0 {
+        health.record(HealthEvent::ImplausibleDrift {
+            which: "d_vtn",
+            drift: Volt(d_vtn - cal.d_vtn().0),
+        });
+    }
+    if (d_vtp - cal.d_vtp().0).abs() > h.max_drift.0 {
+        health.record(HealthEvent::ImplausibleDrift {
+            which: "d_vtp",
+            drift: Volt(d_vtp - cal.d_vtp().0),
+        });
+    }
+
+    sensor.charge_digital(
+        &mut ledger,
+        "solver",
+        total_iters as u64 * spec.solver_cycles_per_iteration,
+    );
+    sensor.charge_digital(&mut ledger, "controller", spec.controller_cycles);
+
+    // Output registers quantize the reported values.
+    let q = spec.qformat;
+    Ok(Reading {
+        temperature: Celsius(Fixed::from_f64(temp, q).to_f64()),
+        d_vtn: Volt(Fixed::from_f64(d_vtn, q).to_f64()),
+        d_vtp: Volt(Fixed::from_f64(d_vtp, q).to_f64()),
+        energy: ledger,
+        raw_frequencies: (
+            gated.f_tsro,
+            gated.f_psro_n.unwrap_or(Hertz(0.0)),
+            gated.f_psro_p.unwrap_or(Hertz(0.0)),
+        ),
+        solver_iterations: total_iters,
+        health,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensor::{SensorInputs, SensorSpec};
+    use ptsim_device::process::Technology;
+    use ptsim_mc::die::{DieSample, DieSite};
+    use ptsim_rng::Pcg64;
+
+    fn calibrated() -> PtSensor {
+        let die = DieSample::nominal();
+        let mut s = PtSensor::new(Technology::n65(), SensorSpec::default_65nm()).unwrap();
+        let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
+        let mut rng = Pcg64::seed_from_u64(13);
+        s.calibrate(&inputs, &mut rng).unwrap();
+        s
+    }
+
+    fn gated_stub() -> Gated {
+        Gated {
+            f_tsro: Hertz(5.0e8),
+            f_psro_n: Some(Hertz(1.0e8)),
+            f_psro_p: None,
+        }
+    }
+
+    #[test]
+    fn out_of_range_solve_is_rejected() {
+        let s = calibrated();
+        let cal = *s.calibration().unwrap();
+        let solved = Solved {
+            temperature: 200.0,
+            d_vtn: 0.0,
+            d_vtp: 0.0,
+            iterations: 3,
+        };
+        let err = finalize(
+            &s,
+            &cal,
+            &gated_stub(),
+            &solved,
+            EnergyLedger::new(),
+            Health::nominal(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SensorError::TemperatureOutOfRange { .. }));
+    }
+
+    #[test]
+    fn implausible_drift_is_flagged_not_silent() {
+        let s = calibrated();
+        let cal = *s.calibration().unwrap();
+        let drift = s.spec().hardening.max_drift.0 * 2.0;
+        let solved = Solved {
+            temperature: 50.0,
+            d_vtn: cal.d_vtn().0 + drift,
+            d_vtp: cal.d_vtp().0,
+            iterations: 3,
+        };
+        let r = finalize(
+            &s,
+            &cal,
+            &gated_stub(),
+            &solved,
+            EnergyLedger::new(),
+            Health::nominal(),
+        )
+        .unwrap();
+        assert!(r
+            .health
+            .any(|e| matches!(e, HealthEvent::ImplausibleDrift { which: "d_vtn", .. })));
+        assert!(r.health.flagged());
+    }
+
+    #[test]
+    fn outputs_are_quantized_and_energy_charged() {
+        let s = calibrated();
+        let cal = *s.calibration().unwrap();
+        let solved = Solved {
+            temperature: 42.123_456_789,
+            d_vtn: cal.d_vtn().0,
+            d_vtp: cal.d_vtp().0,
+            iterations: 4,
+        };
+        let r = finalize(
+            &s,
+            &cal,
+            &gated_stub(),
+            &solved,
+            EnergyLedger::new(),
+            Health::nominal(),
+        )
+        .unwrap();
+        let q = s.spec().qformat;
+        let expect = Fixed::from_f64(42.123_456_789, q).to_f64();
+        assert_eq!(r.temperature.0.to_bits(), expect.to_bits());
+        assert!(r.energy.component("solver").0 > 0.0);
+        assert!(r.energy.component("controller").0 > 0.0);
+        // A lost PSRO-P reports 0 Hz in the raw tuple.
+        assert_eq!(r.raw_frequencies.2, Hertz(0.0));
+    }
+}

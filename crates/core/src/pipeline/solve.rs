@@ -1,0 +1,385 @@
+//! Stage 3 — **solving**: the Newton decoupling solves with their
+//! escalation ladder (default tuning → robust tuning → characterized-ROM
+//! bisection).
+//!
+//! The boot-time 4×4 decoupling extracts `(ΔVtn, ΔVtp, µn, µp)` from the
+//! four-measurement calibration plan; the per-conversion 3×3 decoupling
+//! jointly solves `(T, ΔVtn, ΔVtp)`; and a degraded sensor falls back to a
+//! 1×1 temperature-only solve on the TSRO row. Every escalation is recorded
+//! in [`Health`], and the [`Solved`] boundary type is what the output stage
+//! consumes.
+
+use crate::bank::RoClass;
+use crate::calib::Calibration;
+use crate::error::SensorError;
+use crate::health::{Health, HealthEvent};
+use crate::newton::{newton_solve, NewtonOptions};
+use crate::pipeline::gate::Gated;
+use crate::sensor::PtSensor;
+use ptsim_device::inverter::CmosEnv;
+use ptsim_device::units::{Celsius, Hertz, Volt};
+
+/// Step of the characterized-response bisection grid used as the last-ditch
+/// solver fallback, in °C.
+pub(crate) const ROM_GRID_STEP: f64 = 0.25;
+
+/// Whether an error is a solver-convergence failure the escalation ladder
+/// may recover from (as opposed to a hard configuration/measurement error).
+pub(crate) fn solver_failed(e: &SensorError) -> bool {
+    matches!(
+        e,
+        SensorError::SolverDiverged { .. }
+            | SensorError::SingularJacobian { .. }
+            | SensorError::IllConditioned { .. }
+    )
+}
+
+/// Model environment used by the decoupling solver (golden model plus
+/// hypothesized process state).
+pub(crate) fn model_env(d_vtn: f64, d_vtp: f64, mu_n: f64, mu_p: f64, temp: Celsius) -> CmosEnv {
+    CmosEnv {
+        temp,
+        d_vtn: Volt(d_vtn),
+        d_vtp: Volt(d_vtp),
+        mu_n,
+        mu_p,
+    }
+}
+
+/// Solved process/temperature state of one conversion, before output
+/// bounding and quantization.
+#[derive(Debug, Clone, Copy)]
+pub struct Solved {
+    /// Solved junction temperature, °C.
+    pub temperature: f64,
+    /// Solved (or calibration-frozen) NMOS threshold shift, V.
+    pub d_vtn: f64,
+    /// Solved (or calibration-frozen) PMOS threshold shift, V.
+    pub d_vtp: f64,
+    /// Newton iterations (or ROM-grid model evaluations) spent.
+    pub iterations: usize,
+}
+
+/// The 4×4 boot-time decoupling solve.
+///
+/// # Errors
+///
+/// Propagates Newton convergence failures under the given tuning.
+pub(crate) fn solve_calibration(
+    sensor: &PtSensor,
+    plan: &[(RoClass, Volt); 4],
+    measured: &[f64; 4],
+    opts: &NewtonOptions,
+) -> Result<([f64; 4], usize), SensorError> {
+    let t_cal = sensor.spec.calib_temp;
+    let mut x = [0.0, 0.0, 1.0, 1.0];
+    let iters = newton_solve(
+        &mut x,
+        |v: &[f64]| -> Vec<f64> {
+            let env = model_env(v[0], v[1], v[2], v[3], t_cal);
+            plan.iter()
+                .zip(measured)
+                .map(|((class, vdd), m)| sensor.model_ln_f(*class, *vdd, &env) - m.ln())
+                .collect()
+        },
+        &[1e-4, 1e-4, 1e-3, 1e-3],
+        &[0.04, 0.04, 0.15, 0.15],
+        opts,
+        "calibration decoupling",
+    )?;
+    Ok((x, iters))
+}
+
+/// The boot-time solve with its escalation: plain tuning first, the robust
+/// tuning on a convergence failure (recorded in `health`).
+///
+/// # Errors
+///
+/// Propagates solver errors when both tunings fail, or any hard error.
+pub(crate) fn solve_calibration_escalating(
+    sensor: &PtSensor,
+    plan: &[(RoClass, Volt); 4],
+    measured: &[f64; 4],
+    health: &mut Health,
+) -> Result<([f64; 4], usize), SensorError> {
+    match solve_calibration(sensor, plan, measured, &NewtonOptions::default()) {
+        Ok(solved) => Ok(solved),
+        Err(e) if solver_failed(&e) => {
+            health.record(HealthEvent::SolverRetuned {
+                what: "calibration decoupling",
+            });
+            solve_calibration(sensor, plan, measured, &NewtonOptions::robust())
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// The joint 3×3 conversion solve: `(T, ΔVtn, ΔVtp)` from `(f_t, f_n, f_p)`.
+fn solve_conversion(
+    sensor: &PtSensor,
+    cal: &Calibration,
+    f_t: Hertz,
+    f_n: Hertz,
+    f_p: Hertz,
+    opts: &NewtonOptions,
+) -> Result<([f64; 3], usize), SensorError> {
+    let spec = sensor.spec;
+    let ln_scale = cal.ln_tsro_scale();
+    let (mu_n, mu_p) = (cal.mu_n(), cal.mu_p());
+    // The TSRO row dominates temperature and the PSRO rows dominate the
+    // thresholds, so the Jacobian is diagonally strong and quadratic
+    // convergence holds even for large post-calibration drift (aging,
+    // stress).
+    let mut x = [cal.calib_temp().0, cal.d_vtn().0, cal.d_vtp().0];
+    let iters = newton_solve(
+        &mut x,
+        |v| {
+            let env = model_env(v[1], v[2], mu_n, mu_p, Celsius(v[0]));
+            vec![
+                sensor.model_ln_f(RoClass::Tsro, spec.bank.vdd_tsro, &env) - f_t.0.ln() + ln_scale,
+                sensor.model_ln_f(RoClass::PsroN, spec.bank.vdd_low, &env) - f_n.0.ln(),
+                sensor.model_ln_f(RoClass::PsroP, spec.bank.vdd_low, &env) - f_p.0.ln(),
+            ]
+        },
+        &[0.01, 1e-4, 1e-4],
+        &[40.0, 0.03, 0.03],
+        opts,
+        "conversion decoupling",
+    )?;
+    Ok((x, iters))
+}
+
+/// TSRO-row residual at hypothesized temperature `t`, with the process
+/// state frozen at the stored calibration.
+fn tsro_residual(sensor: &PtSensor, cal: &Calibration, f_t: Hertz, t: f64) -> f64 {
+    let env = model_env(
+        cal.d_vtn().0,
+        cal.d_vtp().0,
+        cal.mu_n(),
+        cal.mu_p(),
+        Celsius(t),
+    );
+    sensor.model_ln_f(RoClass::Tsro, sensor.spec.bank.vdd_tsro, &env) - f_t.0.ln()
+        + cal.ln_tsro_scale()
+}
+
+/// Temperature-only solve on the TSRO row (1×1 Newton, escalating to the
+/// robust tuning and finally the characterized-response bisection).
+/// Returns `(temperature, solver work)`.
+///
+/// # Errors
+///
+/// Propagates hard (non-convergence) solver errors.
+pub(crate) fn solve_temperature_only(
+    sensor: &PtSensor,
+    cal: &Calibration,
+    f_t: Hertz,
+    health: &mut Health,
+) -> Result<(f64, usize), SensorError> {
+    let run = |opts: &NewtonOptions| -> Result<(f64, usize), SensorError> {
+        let mut x = [cal.calib_temp().0];
+        let iters = newton_solve(
+            &mut x,
+            |v| vec![tsro_residual(sensor, cal, f_t, v[0])],
+            &[0.01],
+            &[40.0],
+            opts,
+            "temperature-only decoupling",
+        )?;
+        Ok((x[0], iters))
+    };
+    match run(&NewtonOptions::default()) {
+        Ok(solved) => Ok(solved),
+        Err(e) if solver_failed(&e) => {
+            health.record(HealthEvent::SolverRetuned {
+                what: "temperature-only decoupling",
+            });
+            match run(&NewtonOptions::robust()) {
+                Ok(solved) => Ok(solved),
+                Err(e) if solver_failed(&e) => {
+                    health.record(HealthEvent::RomFallback {
+                        what: "temperature-only decoupling",
+                    });
+                    Ok(rom_bisect_temperature(sensor, cal, f_t))
+                }
+                Err(e) => Err(e),
+            }
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Last-ditch solver fallback: grid-scan the characterized TSRO response
+/// over (a guard band around) the acceptance range for the temperature
+/// minimizing the residual. Immune to divergence by construction. Returns
+/// `(temperature, model evaluations)`.
+pub(crate) fn rom_bisect_temperature(
+    sensor: &PtSensor,
+    cal: &Calibration,
+    f_t: Hertz,
+) -> (f64, usize) {
+    let (lo, hi) = (
+        sensor.spec.temp_range.0 .0 - 10.0,
+        sensor.spec.temp_range.1 .0 + 10.0,
+    );
+    let steps = ((hi - lo) / ROM_GRID_STEP).ceil() as usize;
+    let mut best = (f64::INFINITY, lo);
+    for i in 0..=steps {
+        let t = lo + (hi - lo) * i as f64 / steps as f64;
+        let r = tsro_residual(sensor, cal, f_t, t).abs();
+        if r < best.0 {
+            best = (r, t);
+        }
+    }
+    (best.1, steps + 1)
+}
+
+/// Solves one gated measurement set. With both PSROs the joint 3×3
+/// decoupling runs (escalating through the robust tuning to the ROM
+/// bisection); a lost PSRO degrades to the temperature-only solve with the
+/// threshold shifts frozen at their calibration values.
+///
+/// # Errors
+///
+/// Propagates solver errors when every escalation stage fails.
+pub fn solve_gated(
+    sensor: &PtSensor,
+    cal: &Calibration,
+    gated: &Gated,
+    health: &mut Health,
+) -> Result<Solved, SensorError> {
+    let f_t = gated.f_tsro;
+    let (temperature, d_vtn, d_vtp, iterations) = match (gated.f_psro_n, gated.f_psro_p) {
+        (Some(f_n), Some(f_p)) => {
+            match solve_conversion(sensor, cal, f_t, f_n, f_p, &NewtonOptions::default()) {
+                Ok((x, iters)) => (x[0], x[1], x[2], iters),
+                Err(e) if solver_failed(&e) => {
+                    health.record(HealthEvent::SolverRetuned {
+                        what: "conversion decoupling",
+                    });
+                    match solve_conversion(sensor, cal, f_t, f_n, f_p, &NewtonOptions::robust()) {
+                        Ok((x, iters)) => (x[0], x[1], x[2], iters),
+                        Err(e) if solver_failed(&e) => {
+                            health.record(HealthEvent::RomFallback {
+                                what: "conversion decoupling",
+                            });
+                            let (t, iters) = rom_bisect_temperature(sensor, cal, f_t);
+                            (t, cal.d_vtn().0, cal.d_vtp().0, iters)
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        _ => {
+            health.record(HealthEvent::DegradedTemperatureOnly);
+            let (t, iters) = solve_temperature_only(sensor, cal, f_t, health)?;
+            (t, cal.d_vtn().0, cal.d_vtp().0, iters)
+        }
+    };
+    Ok(Solved {
+        temperature,
+        d_vtn,
+        d_vtp,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank::RoClass;
+    use crate::sensor::{SensorInputs, SensorSpec};
+    use ptsim_device::process::Technology;
+    use ptsim_mc::die::{DieSample, DieSite};
+    use ptsim_rng::Pcg64;
+
+    fn calibrated() -> (PtSensor, DieSample) {
+        let die = DieSample::nominal();
+        let mut s = PtSensor::new(Technology::n65(), SensorSpec::default_65nm()).unwrap();
+        let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
+        let mut rng = Pcg64::seed_from_u64(11);
+        s.calibrate(&inputs, &mut rng).unwrap();
+        (s, die)
+    }
+
+    fn true_tsro_frequency(s: &PtSensor, die: &DieSample, t: f64) -> Hertz {
+        let inputs = SensorInputs::new(die, DieSite::CENTER, Celsius(t));
+        let env = s.die_env(RoClass::Tsro, &inputs, Celsius(t));
+        let vdd = s.spec().bank.vdd_tsro;
+        s.bank().frequency(s.technology(), RoClass::Tsro, vdd, &env)
+    }
+
+    #[test]
+    fn degraded_solve_freezes_thresholds_at_calibration() {
+        // Degraded temperature-only mode, isolated at the solve stage: a
+        // gated set with a lost PSRO must solve temperature from the TSRO
+        // row alone and freeze the threshold outputs.
+        let (s, die) = calibrated();
+        let cal = *s.calibration().unwrap();
+        let gated = Gated {
+            f_tsro: true_tsro_frequency(&s, &die, 85.0),
+            f_psro_n: None,
+            f_psro_p: Some(Hertz(1.0e8)),
+        };
+        let mut health = Health::nominal();
+        let solved = solve_gated(&s, &cal, &gated, &mut health).unwrap();
+        assert!(health.any(|e| matches!(e, HealthEvent::DegradedTemperatureOnly)));
+        assert!(
+            (solved.temperature - 85.0).abs() < 3.0,
+            "degraded temp {} vs 85 °C",
+            solved.temperature
+        );
+        assert_eq!(solved.d_vtn.to_bits(), cal.d_vtn().0.to_bits());
+        assert_eq!(solved.d_vtp.to_bits(), cal.d_vtp().0.to_bits());
+    }
+
+    #[test]
+    fn rom_bisection_brackets_the_true_temperature() {
+        let (s, die) = calibrated();
+        let cal = *s.calibration().unwrap();
+        let f_t = true_tsro_frequency(&s, &die, 60.0);
+        let (t, evals) = rom_bisect_temperature(&s, &cal, f_t);
+        assert!(
+            (t - 60.0).abs() < 2.0 * ROM_GRID_STEP + 1.5,
+            "ROM fallback temp {t} vs 60 °C"
+        );
+        assert!(evals > 100, "grid scan must cover the range: {evals} evals");
+    }
+
+    #[test]
+    fn joint_solve_matches_measured_state() {
+        let (s, die) = calibrated();
+        let cal = *s.calibration().unwrap();
+        let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(70.0));
+        let mut rng = Pcg64::seed_from_u64(12);
+        let mut ledger = ptsim_circuit::energy::EnergyLedger::new();
+        let mut health = Health::nominal();
+        let gated =
+            crate::pipeline::gate::gate_conversion(&s, &inputs, &mut rng, &mut ledger, &mut health)
+                .unwrap();
+        let solved = solve_gated(&s, &cal, &gated, &mut health).unwrap();
+        assert!((solved.temperature - 70.0).abs() < 1.5);
+        assert!(solved.iterations > 0);
+        assert!(health.is_nominal());
+    }
+
+    #[test]
+    fn escalation_preserves_rng_free_purity() {
+        // The solve stage consumes no RNG — same gated input, same output.
+        let (s, die) = calibrated();
+        let cal = *s.calibration().unwrap();
+        let gated = Gated {
+            f_tsro: true_tsro_frequency(&s, &die, 40.0),
+            f_psro_n: None,
+            f_psro_p: None,
+        };
+        let mut h1 = Health::nominal();
+        let mut h2 = Health::nominal();
+        let a = solve_gated(&s, &cal, &gated, &mut h1).unwrap();
+        let b = solve_gated(&s, &cal, &gated, &mut h2).unwrap();
+        assert_eq!(a.temperature.to_bits(), b.temperature.to_bits());
+        assert_eq!(a.iterations, b.iterations);
+    }
+}

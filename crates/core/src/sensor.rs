@@ -15,7 +15,15 @@
 //!    temperature, the PSRO rows carry the thresholds), so even large
 //!    post-calibration drift — TSV stress, BTI/HCI aging — is tracked.
 //!    Results are quantized through the Q-format output registers and every
-//!    component's energy is charged to an [`EnergyLedger`].
+//!    component's energy is charged to an
+//!    [`EnergyLedger`].
+//!
+//! Both entry points are thin compositions over the staged
+//! [`pipeline`](crate::pipeline) — acquisition, gating, solving, output —
+//! whose stage modules hold the actual conversion logic and its unit
+//! tests. Multi-die campaigns should use
+//! [`BatchPlan`](crate::pipeline::BatchPlan) or [`PtSensor::read_batch`]
+//! to amortize per-conversion setup.
 //!
 //! ## Hardening
 //!
@@ -24,10 +32,10 @@
 //! bands, optionally majority-voted across redundant oscillator replicas,
 //! and re-measured with a widened window when implausible; calibration
 //! registers carry parity; the decoupling solver escalates from the plain
-//! Newton tuning through [`NewtonOptions::robust`] to a bisection against
-//! the characterized response; a lost PSRO bank degrades the sensor to a
+//! Newton tuning through robust damping to a bisection against the
+//! characterized response; a lost PSRO bank degrades the sensor to a
 //! temperature-only output instead of killing it. Every result carries a
-//! [`Health`] record — a corrupted output is either an error or flagged,
+//! [`Health`](crate::Health) record — a corrupted output is either an error or flagged,
 //! never silent. Faults are injected with [`PtSensor::inject_faults`]; with
 //! no faults and the default single-replica hardening the datapath is
 //! bit-identical to the unhardened sensor.
@@ -36,31 +44,19 @@ use crate::bank::{BankSpec, RoBank, RoClass};
 use crate::calib::Calibration;
 use crate::error::SensorError;
 use crate::golden::{CharacterizationSpace, GoldenModel};
-use crate::health::{Health, HealthEvent};
-use crate::newton::{newton_solve, NewtonOptions};
-use ptsim_circuit::counter::{auto_count, GatedCounter};
+use crate::health::HealthEvent;
+use crate::pipeline::bands::{design_bands, Band};
+use ptsim_circuit::counter::GatedCounter;
 use ptsim_circuit::energy::EnergyLedger;
-use ptsim_circuit::error::CircuitError;
-use ptsim_circuit::fixed::{Fixed, QFormat};
+use ptsim_circuit::fixed::QFormat;
 use ptsim_device::inverter::CmosEnv;
 use ptsim_device::process::Technology;
 use ptsim_device::units::{Celsius, Hertz, Joule, Volt};
-use ptsim_faults::{Channel, FaultPlan};
+use ptsim_faults::FaultPlan;
 use ptsim_mc::die::{DieSample, DieSite};
 use ptsim_rng::Rng;
 
-/// Process/temperature envelope the plausibility bands are evaluated over —
-/// the design-time characterization corners, deliberately wider than any
-/// die the variation model can produce. `spec.temp_range` is the
-/// *application's* acceptance range for solved temperatures; the bands must
-/// not reject a frequency a real out-of-range die could produce, or the
-/// solve-range guard would never fire.
-const BAND_TEMPS: (f64, f64) = (-55.0, 150.0);
-const BAND_DVT: f64 = 0.045;
-const BAND_MU: (f64, f64) = (0.8, 1.25);
-/// Step of the characterized-response bisection grid used as the last-ditch
-/// solver fallback, in °C.
-const ROM_GRID_STEP: f64 = 0.25;
+pub use crate::pipeline::output::{CalibrationOutcome, Reading};
 
 /// Robustness knobs of the sensor controller.
 ///
@@ -220,117 +216,21 @@ impl<'a> SensorInputs<'a> {
     }
 }
 
-/// One conversion result.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Reading {
-    /// Solved temperature (quantized through the output register).
-    pub temperature: Celsius,
-    /// Tracked NMOS threshold shift. Frozen at the calibration value when
-    /// the sensor is degraded to temperature-only output.
-    pub d_vtn: Volt,
-    /// Tracked PMOS threshold shift (see [`Reading::d_vtn`]).
-    pub d_vtp: Volt,
-    /// Per-component energy of this conversion.
-    pub energy: EnergyLedger,
-    /// Measured (quantized) frequencies `(f_tsro, f_psro_n, f_psro_p)`.
-    /// A lost channel reports `0 Hz`.
-    pub raw_frequencies: (Hertz, Hertz, Hertz),
-    /// Total Newton iterations spent in the solves (model evaluations of
-    /// the bisection grid, if the ROM fallback ran).
-    pub solver_iterations: usize,
-    /// Self-diagnosis record of this conversion.
-    pub health: Health,
-}
-
-impl Reading {
-    /// Total conversion energy.
-    #[must_use]
-    pub fn energy_total(&self) -> Joule {
-        self.energy.total()
-    }
-}
-
-/// Outcome of a self-calibration pass.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CalibrationOutcome {
-    /// The stored calibration.
-    pub calibration: Calibration,
-    /// Energy spent by the calibration pass.
-    pub energy: EnergyLedger,
-    /// Newton iterations of the 4×4 decoupling solve.
-    pub solver_iterations: usize,
-    /// Self-diagnosis record of the calibration pass.
-    pub health: Health,
-}
-
-/// Design-time plausibility band of one oscillator/supply pair.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Band {
-    class: RoClass,
-    vdd: Volt,
-    lo: Hertz,
-    hi: Hertz,
-}
-
-impl Band {
-    fn contains(&self, f: Hertz) -> bool {
-        f.0 >= self.lo.0 && f.0 <= self.hi.0
-    }
-}
-
 /// The on-chip self-calibrated process–temperature sensor.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PtSensor {
-    tech: Technology,
-    spec: SensorSpec,
-    bank: RoBank,
+    pub(crate) tech: Technology,
+    pub(crate) spec: SensorSpec,
+    pub(crate) bank: RoBank,
     /// When present, calibration/conversion math runs on the design-time
     /// characterized polynomial model (hardware-faithful) instead of the
     /// analytic compact model.
-    golden: Option<GoldenModel>,
-    calibration: Option<Calibration>,
+    pub(crate) golden: Option<GoldenModel>,
+    pub(crate) calibration: Option<Calibration>,
     /// Design-time plausibility bands, one per measurement-plan pair.
-    bands: Vec<Band>,
+    pub(crate) bands: Vec<Band>,
     /// Active injected faults (empty in a healthy sensor).
-    faults: FaultPlan,
-}
-
-/// What one replica measurement targets: which oscillator, at which supply,
-/// which physical replica, and how far the gate window is widened.
-#[derive(Debug, Clone, Copy)]
-struct ReplicaMeasurement {
-    class: RoClass,
-    vdd: Volt,
-    replica: usize,
-    window_scale: u64,
-}
-
-fn fault_channel(class: RoClass) -> Channel {
-    match class {
-        RoClass::Tsro => Channel::Tsro,
-        RoClass::PsroN => Channel::PsroN,
-        RoClass::PsroP => Channel::PsroP,
-    }
-}
-
-fn solver_failed(e: &SensorError) -> bool {
-    matches!(
-        e,
-        SensorError::SolverDiverged { .. }
-            | SensorError::SingularJacobian { .. }
-            | SensorError::IllConditioned { .. }
-    )
-}
-
-/// Median of a non-empty, sorted slice: the exact middle sample for odd
-/// lengths (bit-preserving), the mean of the two middles for even lengths.
-fn sorted_median(sorted: &[f64]) -> f64 {
-    let n = sorted.len();
-    if n % 2 == 1 {
-        sorted[n / 2]
-    } else {
-        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
-    }
+    pub(crate) faults: FaultPlan,
 }
 
 impl PtSensor {
@@ -378,7 +278,7 @@ impl PtSensor {
         let _ = GatedCounter::new(spec.counter_bits, spec.window_cycles)?;
         let _ = GatedCounter::new(spec.counter_bits, spec.window_cycles * h.retry_window_scale)?;
         let bank = RoBank::new(&tech, spec.bank)?;
-        let bands = Self::design_bands(&tech, &bank, &spec);
+        let bands = design_bands(&tech, &bank, &spec);
         Ok(PtSensor {
             tech,
             spec,
@@ -388,60 +288,6 @@ impl PtSensor {
             bands,
             faults: FaultPlan::new(),
         })
-    }
-
-    /// Evaluates the analytic bank model over the design-corner envelope
-    /// and derives one `[margin_low · min, margin_high · max]` plausibility
-    /// band per measurement-plan pair.
-    fn design_bands(tech: &Technology, bank: &RoBank, spec: &SensorSpec) -> Vec<Band> {
-        let pairs = [
-            (RoClass::PsroN, spec.bank.vdd_high),
-            (RoClass::PsroN, spec.bank.vdd_low),
-            (RoClass::PsroP, spec.bank.vdd_high),
-            (RoClass::PsroP, spec.bank.vdd_low),
-            (RoClass::Tsro, spec.bank.vdd_tsro),
-        ];
-        let h = spec.hardening;
-        pairs
-            .iter()
-            .map(|&(class, vdd)| {
-                let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
-                for &temp in &[BAND_TEMPS.0, BAND_TEMPS.1] {
-                    for &dvtn in &[-BAND_DVT, BAND_DVT] {
-                        for &dvtp in &[-BAND_DVT, BAND_DVT] {
-                            for &mu_n in &[BAND_MU.0, BAND_MU.1] {
-                                for &mu_p in &[BAND_MU.0, BAND_MU.1] {
-                                    let env = CmosEnv {
-                                        temp: Celsius(temp),
-                                        d_vtn: Volt(dvtn),
-                                        d_vtp: Volt(dvtp),
-                                        mu_n,
-                                        mu_p,
-                                    };
-                                    let f = bank.frequency(tech, class, vdd, &env).0;
-                                    lo = lo.min(f);
-                                    hi = hi.max(f);
-                                }
-                            }
-                        }
-                    }
-                }
-                Band {
-                    class,
-                    vdd,
-                    lo: Hertz(h.band_margin_low * lo),
-                    hi: Hertz(h.band_margin_high * hi),
-                }
-            })
-            .collect()
-    }
-
-    fn band_for(&self, class: RoClass, vdd: Volt) -> Band {
-        *self
-            .bands
-            .iter()
-            .find(|b| b.class == class && b.vdd.0.to_bits() == vdd.0.to_bits())
-            .expect("measurement plan pairs always have a design band")
     }
 
     /// Switches the on-chip math to a design-time characterized polynomial
@@ -471,7 +317,7 @@ impl PtSensor {
     }
 
     /// On-chip model prediction of `ln f` for an oscillator/supply pair.
-    fn model_ln_f(&self, class: RoClass, vdd: Volt, env: &CmosEnv) -> f64 {
+    pub(crate) fn model_ln_f(&self, class: RoClass, vdd: Volt, env: &CmosEnv) -> f64 {
         match &self.golden {
             Some(g) => g
                 .ln_frequency(class, vdd, env)
@@ -560,235 +406,30 @@ impl PtSensor {
         Ok(Some(outcome))
     }
 
-    fn die_env(&self, class: RoClass, inputs: &SensorInputs<'_>, temp: Celsius) -> CmosEnv {
+    /// Environment the sensor bank actually experiences on this die at this
+    /// temperature (site-local variation plus external stress).
+    pub(crate) fn die_env(
+        &self,
+        class: RoClass,
+        inputs: &SensorInputs<'_>,
+        temp: Celsius,
+    ) -> CmosEnv {
         let site = self.bank.site_of(class, inputs.site);
         inputs
             .die
             .env_at_with(site, temp, inputs.extra_vtn, inputs.extra_vtp)
     }
 
-    /// Model environment used by the decoupling solver (golden model plus
-    /// hypothesized process state).
-    fn model_env(d_vtn: f64, d_vtp: f64, mu_n: f64, mu_p: f64, temp: Celsius) -> CmosEnv {
-        CmosEnv {
-            temp,
-            d_vtn: Volt(d_vtn),
-            d_vtp: Volt(d_vtp),
-            mu_n,
-            mu_p,
-        }
-    }
-
-    /// Measures one oscillator replica: quantizes the true frequency
-    /// through the auto-ranged prescaler + gated counter and charges
-    /// energy. Injected faults corrupt the signal at their physical points:
-    /// the ring frequency before counting, the effective gate window, and
-    /// the raw count before reconstruction.
-    fn measure_replica<R: Rng + ?Sized>(
-        &self,
-        m: &ReplicaMeasurement,
-        env: &CmosEnv,
-        rng: &mut R,
-        ledger: &mut EnergyLedger,
-    ) -> Result<Hertz, SensorError> {
-        let ReplicaMeasurement {
-            class,
-            vdd,
-            replica,
-            window_scale,
-        } = *m;
-        let counter = GatedCounter::new(
-            self.spec.counter_bits,
-            self.spec.window_cycles * window_scale,
-        )?;
-        let ring = self.bank.ring(class).with_vdd(vdd);
-        let f_true = ring.frequency(&self.tech, env);
-        let phase: f64 = rng.gen();
-        let f_in = if self.faults.is_empty() {
-            f_true
-        } else {
-            let corrupted =
-                self.faults
-                    .frequency_effect(fault_channel(class), replica, f_true, rng);
-            // A drifted reference clock mis-sizes every gate window, which
-            // reads as a uniform scale on all reconstructed frequencies.
-            Hertz(corrupted.0 * self.faults.ref_clock_factor())
-        };
-        let (counted, prescaler) = auto_count(f_in, &counter, self.spec.ref_clock, phase)?;
-        let counted = if self.faults.is_empty() {
-            counted
-        } else {
-            self.faults
-                .count_effect(replica, counted, counter.max_count(), rng)
-        };
-        let f_meas = prescaler.undo(counter.frequency_from_count(counted, self.spec.ref_clock));
-
-        // Energy: oscillator running for the window + counted edges.
-        let window = counter.window(self.spec.ref_clock);
-        ledger.add(class.name(), ring.run_energy(&self.tech, env, window));
-        ledger.add(
-            "counters",
-            Joule(self.spec.counter_energy_per_count.0 * counted as f64),
-        );
-        Ok(f_meas)
-    }
-
-    /// Majority-votes one round of replica samples (`None` = implausible or
-    /// saturated). Returns the voted frequency, or `None` when no strict
-    /// majority of trustworthy replicas exists.
-    fn vote(
-        &self,
-        channel: &'static str,
-        samples: &[Option<Hertz>],
-        health: &mut Health,
-    ) -> Option<Hertz> {
-        let h = self.spec.hardening;
-        let n = samples.len();
-        let plausible: Vec<(usize, f64)> = samples
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.map(|f| (i, f.0)))
-            .collect();
-        if plausible.len() * 2 <= n {
-            return None;
-        }
-        let mut values: Vec<f64> = plausible.iter().map(|&(_, f)| f).collect();
-        values.sort_by(|a, b| a.partial_cmp(b).expect("band-checked samples are finite"));
-        let med = sorted_median(&values);
-
-        let mut inliers: Vec<f64> = Vec::with_capacity(plausible.len());
-        for &(i, f) in &plausible {
-            if (f - med).abs() <= h.replica_outlier_rel * med.abs() {
-                inliers.push(f);
-            } else {
-                health.record(HealthEvent::ReplicaOutvoted {
-                    channel,
-                    replica: i,
-                });
-            }
-        }
-        if inliers.len() * 2 <= n {
-            return None;
-        }
-        inliers.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let voted = sorted_median(&inliers);
-        let spread = (inliers[inliers.len() - 1] - inliers[0]) / voted;
-        if spread > h.replica_spread_rel {
-            health.record(HealthEvent::ReplicaSpread {
-                channel,
-                spread_rel: spread,
-            });
-        }
-        Some(Hertz(voted))
-    }
-
-    /// Measures one channel with the full hardening stack: per-replica
-    /// plausibility check, majority vote, and bounded widened-window
-    /// retries. `Ok(None)` means the channel is lost (no trustworthy
-    /// majority after every retry).
-    fn measure_channel<R: Rng + ?Sized>(
-        &self,
-        class: RoClass,
-        vdd: Volt,
-        inputs: &SensorInputs<'_>,
-        rng: &mut R,
-        ledger: &mut EnergyLedger,
-        health: &mut Health,
-    ) -> Result<Option<Hertz>, SensorError> {
-        let h = self.spec.hardening;
-        let name = class.name();
-        let local_temp = self.faults.local_temperature(inputs.temp);
-        let env = self.die_env(class, inputs, local_temp);
-        let band = self.band_for(class, vdd);
-
-        let mut attempt = 0usize;
-        let mut window_scale = 1u64;
-        loop {
-            let mut samples: Vec<Option<Hertz>> = Vec::with_capacity(h.replicas);
-            for replica in 0..h.replicas {
-                let m = ReplicaMeasurement {
-                    class,
-                    vdd,
-                    replica,
-                    window_scale,
-                };
-                match self.measure_replica(&m, &env, rng, ledger) {
-                    Ok(f) => {
-                        if band.contains(f) {
-                            samples.push(Some(f));
-                        } else {
-                            health.record(HealthEvent::ImplausibleReading {
-                                channel: name,
-                                replica,
-                            });
-                            samples.push(None);
-                        }
-                    }
-                    Err(SensorError::Circuit(CircuitError::CounterSaturated { .. })) => {
-                        health.record(HealthEvent::CounterSaturated {
-                            channel: name,
-                            replica,
-                        });
-                        samples.push(None);
-                    }
-                    Err(e) => return Err(e),
-                }
-            }
-            if let Some(f) = self.vote(name, &samples, health) {
-                if attempt > 0 {
-                    health.record(HealthEvent::Recovered { channel: name });
-                }
-                return Ok(Some(f));
-            }
-            if attempt >= h.max_retries {
-                health.record(HealthEvent::ChannelLost { channel: name });
-                return Ok(None);
-            }
-            attempt += 1;
-            window_scale = h.retry_window_scale;
-            health.record(HealthEvent::RetriedWindow {
-                channel: name,
-                window_scale,
-            });
-            // Retry control overhead (re-arming the gate and range logic).
-            self.charge_digital(ledger, "retry", self.spec.controller_cycles / 4);
-        }
-    }
-
-    fn charge_digital(&self, ledger: &mut EnergyLedger, name: &str, cycles: u64) {
+    /// Charges `cycles` of digital switching energy to a ledger component.
+    pub(crate) fn charge_digital(&self, ledger: &mut EnergyLedger, name: &str, cycles: u64) {
         ledger.add(
             name,
             Joule(self.spec.digital_energy_per_cycle.0 * cycles as f64),
         );
     }
 
-    /// The 4×4 boot-time decoupling solve.
-    fn solve_calibration(
-        &self,
-        plan: &[(RoClass, Volt); 4],
-        measured: &[f64; 4],
-        opts: &NewtonOptions,
-    ) -> Result<([f64; 4], usize), SensorError> {
-        let t_cal = self.spec.calib_temp;
-        let mut x = [0.0, 0.0, 1.0, 1.0];
-        let iters = newton_solve(
-            &mut x,
-            |v: &[f64]| -> Vec<f64> {
-                let env = PtSensor::model_env(v[0], v[1], v[2], v[3], t_cal);
-                plan.iter()
-                    .zip(measured)
-                    .map(|((class, vdd), m)| self.model_ln_f(*class, *vdd, &env) - m.ln())
-                    .collect()
-            },
-            &[1e-4, 1e-4, 1e-3, 1e-3],
-            &[0.04, 0.04, 0.15, 0.15],
-            opts,
-            "calibration decoupling",
-        )?;
-        Ok((x, iters))
-    }
-
-    /// Self-calibration pass.
+    /// Self-calibration pass — the staged pipeline's
+    /// [`run_calibration`](crate::pipeline::run_calibration).
     ///
     /// The controller *assumes* the die sits at `spec.calib_temp`; the
     /// caller provides the *true* conditions in `inputs`, so boot-time
@@ -807,199 +448,15 @@ impl PtSensor {
         inputs: &SensorInputs<'_>,
         rng: &mut R,
     ) -> Result<CalibrationOutcome, SensorError> {
-        let mut ledger = EnergyLedger::new();
-        let mut health = Health::nominal();
-        let spec = self.spec;
-
-        // Four PSRO measurements: each polarity at both supplies.
-        let plan = [
-            (RoClass::PsroN, spec.bank.vdd_high),
-            (RoClass::PsroN, spec.bank.vdd_low),
-            (RoClass::PsroP, spec.bank.vdd_high),
-            (RoClass::PsroP, spec.bank.vdd_low),
-        ];
-        let mut measured = [0.0f64; 4];
-        for (slot, (class, vdd)) in plan.iter().enumerate() {
-            let f = self
-                .measure_channel(*class, *vdd, inputs, rng, &mut ledger, &mut health)?
-                .ok_or(SensorError::ChannelFailed {
-                    channel: class.name(),
-                })?;
-            measured[slot] = f.0;
-        }
-
-        // 4×4 decoupling at the assumed calibration temperature.
-        let (x, iters) = match self.solve_calibration(&plan, &measured, &NewtonOptions::default()) {
-            Ok(solved) => solved,
-            Err(e) if solver_failed(&e) => {
-                health.record(HealthEvent::SolverRetuned {
-                    what: "calibration decoupling",
-                });
-                self.solve_calibration(&plan, &measured, &NewtonOptions::robust())?
-            }
-            Err(e) => return Err(e),
-        };
-        self.charge_digital(
-            &mut ledger,
-            "solver",
-            iters as u64 * spec.solver_cycles_per_iteration,
-        );
-
-        // TSRO reference: absorb its local mismatch into a stored log-scale.
-        let f_t = self
-            .measure_channel(
-                RoClass::Tsro,
-                spec.bank.vdd_tsro,
-                inputs,
-                rng,
-                &mut ledger,
-                &mut health,
-            )?
-            .ok_or(SensorError::ChannelFailed {
-                channel: RoClass::Tsro.name(),
-            })?;
-        let model_env = PtSensor::model_env(x[0], x[1], x[2], x[3], spec.calib_temp);
-        let ln_f_t_model = self.model_ln_f(RoClass::Tsro, spec.bank.vdd_tsro, &model_env);
-        let ln_scale = f_t.0.ln() - ln_f_t_model;
-
-        self.charge_digital(&mut ledger, "controller", spec.controller_cycles * 2);
-
-        let calibration = Calibration::store(
-            Volt(x[0]),
-            Volt(x[1]),
-            x[2],
-            x[3],
-            ln_scale,
-            spec.calib_temp,
-            spec.qformat,
-        );
-        self.calibration = Some(calibration);
-        Ok(CalibrationOutcome {
-            calibration,
-            energy: ledger,
-            solver_iterations: iters,
-            health,
-        })
+        crate::pipeline::run_calibration(self, inputs, rng)
     }
 
-    /// The joint 3×3 conversion solve: `(T, ΔVtn, ΔVtp)` from
-    /// `(f_t, f_n, f_p)`.
-    fn solve_conversion(
-        &self,
-        cal: &Calibration,
-        f_t: Hertz,
-        f_n: Hertz,
-        f_p: Hertz,
-        opts: &NewtonOptions,
-    ) -> Result<([f64; 3], usize), SensorError> {
-        let spec = self.spec;
-        let ln_scale = cal.ln_tsro_scale();
-        let (mu_n, mu_p) = (cal.mu_n(), cal.mu_p());
-        // The TSRO row dominates temperature and the PSRO rows dominate the
-        // thresholds, so the Jacobian is diagonally strong and quadratic
-        // convergence holds even for large post-calibration drift (aging,
-        // stress).
-        let mut x = [cal.calib_temp().0, cal.d_vtn().0, cal.d_vtp().0];
-        let iters = newton_solve(
-            &mut x,
-            |v| {
-                let env = PtSensor::model_env(v[1], v[2], mu_n, mu_p, Celsius(v[0]));
-                vec![
-                    self.model_ln_f(RoClass::Tsro, spec.bank.vdd_tsro, &env) - f_t.0.ln()
-                        + ln_scale,
-                    self.model_ln_f(RoClass::PsroN, spec.bank.vdd_low, &env) - f_n.0.ln(),
-                    self.model_ln_f(RoClass::PsroP, spec.bank.vdd_low, &env) - f_p.0.ln(),
-                ]
-            },
-            &[0.01, 1e-4, 1e-4],
-            &[40.0, 0.03, 0.03],
-            opts,
-            "conversion decoupling",
-        )?;
-        Ok((x, iters))
-    }
-
-    /// TSRO-row residual at hypothesized temperature `t`, with the process
-    /// state frozen at the stored calibration.
-    fn tsro_residual(&self, cal: &Calibration, f_t: Hertz, t: f64) -> f64 {
-        let env = PtSensor::model_env(
-            cal.d_vtn().0,
-            cal.d_vtp().0,
-            cal.mu_n(),
-            cal.mu_p(),
-            Celsius(t),
-        );
-        self.model_ln_f(RoClass::Tsro, self.spec.bank.vdd_tsro, &env) - f_t.0.ln()
-            + cal.ln_tsro_scale()
-    }
-
-    /// Temperature-only solve on the TSRO row (1×1 Newton, escalating to
-    /// the robust tuning and finally the characterized-response bisection).
-    /// Returns `(temperature, solver work)`.
-    fn solve_temperature_only(
-        &self,
-        cal: &Calibration,
-        f_t: Hertz,
-        health: &mut Health,
-    ) -> Result<(f64, usize), SensorError> {
-        let run = |opts: &NewtonOptions| -> Result<(f64, usize), SensorError> {
-            let mut x = [cal.calib_temp().0];
-            let iters = newton_solve(
-                &mut x,
-                |v| vec![self.tsro_residual(cal, f_t, v[0])],
-                &[0.01],
-                &[40.0],
-                opts,
-                "temperature-only decoupling",
-            )?;
-            Ok((x[0], iters))
-        };
-        match run(&NewtonOptions::default()) {
-            Ok(solved) => Ok(solved),
-            Err(e) if solver_failed(&e) => {
-                health.record(HealthEvent::SolverRetuned {
-                    what: "temperature-only decoupling",
-                });
-                match run(&NewtonOptions::robust()) {
-                    Ok(solved) => Ok(solved),
-                    Err(e) if solver_failed(&e) => {
-                        health.record(HealthEvent::RomFallback {
-                            what: "temperature-only decoupling",
-                        });
-                        Ok(self.rom_bisect_temperature(cal, f_t))
-                    }
-                    Err(e) => Err(e),
-                }
-            }
-            Err(e) => Err(e),
-        }
-    }
-
-    /// Last-ditch solver fallback: grid-scan the characterized TSRO
-    /// response over (a guard band around) the acceptance range for the
-    /// temperature minimizing the residual. Immune to divergence by
-    /// construction. Returns `(temperature, model evaluations)`.
-    fn rom_bisect_temperature(&self, cal: &Calibration, f_t: Hertz) -> (f64, usize) {
-        let (lo, hi) = (
-            self.spec.temp_range.0 .0 - 10.0,
-            self.spec.temp_range.1 .0 + 10.0,
-        );
-        let steps = ((hi - lo) / ROM_GRID_STEP).ceil() as usize;
-        let mut best = (f64::INFINITY, lo);
-        for i in 0..=steps {
-            let t = lo + (hi - lo) * i as f64 / steps as f64;
-            let r = self.tsro_residual(cal, f_t, t).abs();
-            if r < best.0 {
-                best = (r, t);
-            }
-        }
-        (best.1, steps + 1)
-    }
-
-    /// One conversion: temperature plus tracked threshold shifts, with the
-    /// hardened controller's full detection/recovery chain. A lost PSRO
-    /// bank degrades the output to temperature-only (threshold shifts
-    /// frozen at calibration) instead of failing; a lost TSRO is fatal.
+    /// One conversion — the staged pipeline's
+    /// [`run_conversion`](crate::pipeline::run_conversion): temperature
+    /// plus tracked threshold shifts, with the hardened controller's full
+    /// detection/recovery chain. A lost PSRO bank degrades the output to
+    /// temperature-only (threshold shifts frozen at calibration) instead of
+    /// failing; a lost TSRO is fatal.
     ///
     /// # Errors
     ///
@@ -1017,304 +474,30 @@ impl PtSensor {
         inputs: &SensorInputs<'_>,
         rng: &mut R,
     ) -> Result<Reading, SensorError> {
-        let cal = self.calibration.ok_or(SensorError::NotCalibrated)?;
-        let registers = cal.parity_errors();
-        if registers != 0 {
-            return Err(SensorError::CalibrationCorrupted { registers });
-        }
-        let spec = self.spec;
-        let mut ledger = EnergyLedger::new();
-        let mut health = Health::nominal();
+        crate::pipeline::run_conversion(self, inputs, rng)
+    }
 
-        // Measurements (TSRO is load-bearing; PSROs may degrade).
-        let f_t = self
-            .measure_channel(
-                RoClass::Tsro,
-                spec.bank.vdd_tsro,
-                inputs,
-                rng,
-                &mut ledger,
-                &mut health,
-            )?
-            .ok_or(SensorError::ChannelFailed {
-                channel: RoClass::Tsro.name(),
-            })?;
-        let f_n = self.measure_channel(
-            RoClass::PsroN,
-            spec.bank.vdd_low,
-            inputs,
-            rng,
-            &mut ledger,
-            &mut health,
-        )?;
-        let f_p = self.measure_channel(
-            RoClass::PsroP,
-            spec.bank.vdd_low,
-            inputs,
-            rng,
-            &mut ledger,
-            &mut health,
-        )?;
-
-        let (temp, d_vtn, d_vtp, total_iters) = match (f_n, f_p) {
-            (Some(f_n), Some(f_p)) => {
-                match self.solve_conversion(&cal, f_t, f_n, f_p, &NewtonOptions::default()) {
-                    Ok((x, iters)) => (x[0], x[1], x[2], iters),
-                    Err(e) if solver_failed(&e) => {
-                        health.record(HealthEvent::SolverRetuned {
-                            what: "conversion decoupling",
-                        });
-                        match self.solve_conversion(&cal, f_t, f_n, f_p, &NewtonOptions::robust()) {
-                            Ok((x, iters)) => (x[0], x[1], x[2], iters),
-                            Err(e) if solver_failed(&e) => {
-                                health.record(HealthEvent::RomFallback {
-                                    what: "conversion decoupling",
-                                });
-                                let (t, iters) = self.rom_bisect_temperature(&cal, f_t);
-                                (t, cal.d_vtn().0, cal.d_vtp().0, iters)
-                            }
-                            Err(e) => return Err(e),
-                        }
-                    }
-                    Err(e) => return Err(e),
-                }
-            }
-            _ => {
-                health.record(HealthEvent::DegradedTemperatureOnly);
-                let (t, iters) = self.solve_temperature_only(&cal, f_t, &mut health)?;
-                (t, cal.d_vtn().0, cal.d_vtp().0, iters)
-            }
-        };
-
-        if temp < spec.temp_range.0 .0 || temp > spec.temp_range.1 .0 {
-            return Err(SensorError::TemperatureOutOfRange {
-                solved: Celsius(temp),
-            });
-        }
-
-        // Plausibility guard on the solved process outputs: drift beyond
-        // the hardening limit means the numbers cannot be trusted.
-        let h = spec.hardening;
-        if (d_vtn - cal.d_vtn().0).abs() > h.max_drift.0 {
-            health.record(HealthEvent::ImplausibleDrift {
-                which: "d_vtn",
-                drift: Volt(d_vtn - cal.d_vtn().0),
-            });
-        }
-        if (d_vtp - cal.d_vtp().0).abs() > h.max_drift.0 {
-            health.record(HealthEvent::ImplausibleDrift {
-                which: "d_vtp",
-                drift: Volt(d_vtp - cal.d_vtp().0),
-            });
-        }
-
-        self.charge_digital(
-            &mut ledger,
-            "solver",
-            total_iters as u64 * spec.solver_cycles_per_iteration,
-        );
-        self.charge_digital(&mut ledger, "controller", spec.controller_cycles);
-
-        // Output registers quantize the reported values.
-        let q = spec.qformat;
-        Ok(Reading {
-            temperature: Celsius(Fixed::from_f64(temp, q).to_f64()),
-            d_vtn: Volt(Fixed::from_f64(d_vtn, q).to_f64()),
-            d_vtp: Volt(Fixed::from_f64(d_vtp, q).to_f64()),
-            energy: ledger,
-            raw_frequencies: (f_t, f_n.unwrap_or(Hertz(0.0)), f_p.unwrap_or(Hertz(0.0))),
-            solver_iterations: total_iters,
-            health,
-        })
+    /// Converts a batch of conditions in order with the calibrated sensor —
+    /// the sequential composition of [`PtSensor::read`] (bit-identical to a
+    /// hand-written loop). For whole-population batches use
+    /// [`BatchPlan`](crate::pipeline::BatchPlan), which also amortizes
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first failing conversion (see [`PtSensor::read`]).
+    pub fn read_batch<R: Rng + ?Sized>(
+        &self,
+        inputs: &[SensorInputs<'_>],
+        rng: &mut R,
+    ) -> Result<Vec<Reading>, SensorError> {
+        inputs.iter().map(|i| self.read(i, rng)).collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::health::HealthStatus;
-    use ptsim_faults::{Fault, ReplicaSel};
-    use ptsim_mc::model::VariationModel;
-    use ptsim_rng::Pcg64;
-
-    fn sensor() -> PtSensor {
-        PtSensor::new(Technology::n65(), SensorSpec::default_65nm()).unwrap()
-    }
-
-    fn calibrated_on(die: &DieSample, seed: u64) -> PtSensor {
-        let mut s = sensor();
-        let inputs = SensorInputs::new(die, DieSite::CENTER, Celsius(25.0));
-        let mut rng = Pcg64::seed_from_u64(seed);
-        s.calibrate(&inputs, &mut rng).unwrap();
-        s
-    }
-
-    #[test]
-    fn read_before_calibration_fails() {
-        let s = sensor();
-        let die = DieSample::nominal();
-        let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
-        let mut rng = Pcg64::seed_from_u64(0);
-        assert_eq!(
-            s.read(&inputs, &mut rng).unwrap_err(),
-            SensorError::NotCalibrated
-        );
-    }
-
-    #[test]
-    fn nominal_die_calibrates_to_near_zero_shifts() {
-        let die = DieSample::nominal();
-        let s = calibrated_on(&die, 1);
-        let cal = s.calibration().unwrap();
-        assert!(
-            cal.d_vtn().millivolts().abs() < 1.0,
-            "d_vtn {}",
-            cal.d_vtn()
-        );
-        assert!(
-            cal.d_vtp().millivolts().abs() < 1.0,
-            "d_vtp {}",
-            cal.d_vtp()
-        );
-        assert!((cal.mu_n() - 1.0).abs() < 0.01);
-        assert!((cal.mu_p() - 1.0).abs() < 0.01);
-    }
-
-    #[test]
-    fn calibration_recovers_known_d2d_shift() {
-        let mut die = DieSample::nominal();
-        die.d_vtn_d2d = Volt(0.025);
-        die.d_vtp_d2d = Volt(-0.015);
-        die.mu_n_d2d = 1.04;
-        die.mu_p_d2d = 0.97;
-        let s = calibrated_on(&die, 2);
-        let cal = s.calibration().unwrap();
-        assert!(
-            (cal.d_vtn().0 - 0.025).abs() < 2e-3,
-            "d_vtn {} vs 25 mV",
-            cal.d_vtn()
-        );
-        assert!(
-            (cal.d_vtp().0 + 0.015).abs() < 2e-3,
-            "d_vtp {} vs -15 mV",
-            cal.d_vtp()
-        );
-        assert!((cal.mu_n() - 1.04).abs() < 0.02, "mu_n {}", cal.mu_n());
-        assert!((cal.mu_p() - 0.97).abs() < 0.02, "mu_p {}", cal.mu_p());
-    }
-
-    #[test]
-    fn temperature_readback_accurate_across_range() {
-        let die = DieSample::nominal();
-        let s = calibrated_on(&die, 3);
-        let mut rng = Pcg64::seed_from_u64(33);
-        for t in [-20.0, 0.0, 25.0, 50.0, 75.0, 100.0] {
-            let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(t));
-            let r = s.read(&inputs, &mut rng).unwrap();
-            let err = r.temperature.0 - t;
-            assert!(
-                err.abs() < 1.5,
-                "at {t} °C error {err:.3} °C exceeds ±1.5 °C"
-            );
-            assert!(
-                r.health.is_nominal(),
-                "healthy read flagged: {:?}",
-                r.health
-            );
-        }
-    }
-
-    #[test]
-    fn temperature_accuracy_on_varied_die() {
-        // A full Monte-Carlo die (D2D + WID) must still read within spec.
-        let model = VariationModel::new(&Technology::n65());
-        let mut rng = Pcg64::seed_from_u64(7);
-        let die = model.sample_die(&mut rng);
-        let s = calibrated_on(&die, 8);
-        for t in [0.0, 50.0, 100.0] {
-            let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(t));
-            let r = s.read(&inputs, &mut rng).unwrap();
-            let err = r.temperature.0 - t;
-            assert!(err.abs() < 2.0, "at {t} °C error {err:.3} °C");
-        }
-    }
-
-    #[test]
-    fn vt_tracking_follows_stress_shift() {
-        let die = DieSample::nominal();
-        let s = calibrated_on(&die, 4);
-        let mut rng = Pcg64::seed_from_u64(44);
-        let base = SensorInputs::new(&die, DieSite::CENTER, Celsius(60.0));
-        let stressed = base.with_stress(Volt(0.004), Volt(-0.002));
-        let r0 = s.read(&base, &mut rng).unwrap();
-        let r1 = s.read(&stressed, &mut rng).unwrap();
-        let dn = (r1.d_vtn - r0.d_vtn).millivolts();
-        let dp = (r1.d_vtp - r0.d_vtp).millivolts();
-        assert!((dn - 4.0).abs() < 1.0, "tracked ΔVtn {dn:.2} mV vs 4 mV");
-        assert!((dp + 2.0).abs() < 1.0, "tracked ΔVtp {dp:.2} mV vs -2 mV");
-    }
-
-    #[test]
-    fn reading_reports_energy_breakdown() {
-        let die = DieSample::nominal();
-        let s = calibrated_on(&die, 5);
-        let mut rng = Pcg64::seed_from_u64(55);
-        let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
-        let r = s.read(&inputs, &mut rng).unwrap();
-        for comp in [
-            "TSRO",
-            "PSRO-N",
-            "PSRO-P",
-            "counters",
-            "controller",
-            "solver",
-        ] {
-            assert!(
-                r.energy.component(comp).0 > 0.0,
-                "missing energy component {comp}"
-            );
-        }
-        let total_pj = r.energy_total().picojoules();
-        assert!(
-            total_pj > 50.0 && total_pj < 2000.0,
-            "conversion energy {total_pj:.1} pJ implausible"
-        );
-    }
-
-    #[test]
-    fn nominal_conversion_energy_matches_paper() {
-        // The abstract reports 367.5 pJ per conversion; the reference spec
-        // is tuned to land there at the nominal corner, 25 °C.
-        let die = DieSample::nominal();
-        let s = calibrated_on(&die, 42);
-        let mut rng = Pcg64::seed_from_u64(42);
-        let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
-        let r = s.read(&inputs, &mut rng).unwrap();
-        let pj = r.energy_total().picojoules();
-        assert!(
-            (pj - 367.5).abs() < 8.0,
-            "conversion energy {pj:.1} pJ vs paper 367.5 pJ"
-        );
-    }
-
-    #[test]
-    fn out_of_range_temperature_rejected() {
-        let die = DieSample::nominal();
-        let mut spec = SensorSpec::default_65nm();
-        spec.temp_range = (Celsius(0.0), Celsius(50.0));
-        let mut s = PtSensor::new(Technology::n65(), spec).unwrap();
-        let mut rng = Pcg64::seed_from_u64(6);
-        s.calibrate(
-            &SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)),
-            &mut rng,
-        )
-        .unwrap();
-        let hot = SensorInputs::new(&die, DieSite::CENTER, Celsius(120.0));
-        assert!(matches!(
-            s.read(&hot, &mut rng),
-            Err(SensorError::TemperatureOutOfRange { .. })
-        ));
-    }
 
     #[test]
     fn inverted_temp_range_rejected_at_construction() {
@@ -1358,202 +541,5 @@ mod tests {
         let mut spec = SensorSpec::default_65nm();
         spec.hardening.band_margin_high = 0.5;
         assert!(PtSensor::new(Technology::n65(), spec).is_err());
-    }
-
-    #[test]
-    fn set_calibration_replays_stored_state() {
-        let die = DieSample::nominal();
-        let s1 = calibrated_on(&die, 9);
-        let cal = *s1.calibration().unwrap();
-        let mut s2 = sensor();
-        s2.set_calibration(cal);
-        let mut rng = Pcg64::seed_from_u64(99);
-        let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(40.0));
-        let r = s2.read(&inputs, &mut rng).unwrap();
-        assert!((r.temperature.0 - 40.0).abs() < 1.5);
-    }
-
-    #[test]
-    fn boot_temperature_error_degrades_accuracy() {
-        // Calibrating while the die is actually 10 °C hotter than assumed
-        // biases subsequent readings.
-        let die = DieSample::nominal();
-        let mut good = sensor();
-        let mut bad = sensor();
-        let mut rng = Pcg64::seed_from_u64(10);
-        good.calibrate(
-            &SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)),
-            &mut rng,
-        )
-        .unwrap();
-        bad.calibrate(
-            &SensorInputs::new(&die, DieSite::CENTER, Celsius(35.0)),
-            &mut rng,
-        )
-        .unwrap();
-        let probe = SensorInputs::new(&die, DieSite::CENTER, Celsius(80.0));
-        let e_good = (good.read(&probe, &mut rng).unwrap().temperature.0 - 80.0).abs();
-        let e_bad = (bad.read(&probe, &mut rng).unwrap().temperature.0 - 80.0).abs();
-        assert!(e_bad > e_good, "boot error must hurt: {e_bad} vs {e_good}");
-    }
-
-    // --- fault-injection / graceful-degradation behavior ---
-
-    fn faulted_inputs(die: &DieSample, t: f64) -> SensorInputs<'_> {
-        SensorInputs::new(die, DieSite::CENTER, Celsius(t))
-    }
-
-    #[test]
-    fn dead_tsro_is_a_detected_channel_failure() {
-        let die = DieSample::nominal();
-        let mut s = calibrated_on(&die, 20);
-        s.inject_faults(FaultPlan::single(Fault::DeadRoStage {
-            channel: Channel::Tsro,
-            replica: ReplicaSel::All,
-        }));
-        let mut rng = Pcg64::seed_from_u64(20);
-        assert!(matches!(
-            s.read(&faulted_inputs(&die, 85.0), &mut rng),
-            Err(SensorError::ChannelFailed { channel: "TSRO" })
-        ));
-    }
-
-    #[test]
-    fn dead_psro_degrades_to_accurate_temperature_only() {
-        let die = DieSample::nominal();
-        let mut s = calibrated_on(&die, 21);
-        s.inject_faults(FaultPlan::single(Fault::DeadRoStage {
-            channel: Channel::PsroN,
-            replica: ReplicaSel::All,
-        }));
-        let mut rng = Pcg64::seed_from_u64(21);
-        let r = s.read(&faulted_inputs(&die, 85.0), &mut rng).unwrap();
-        assert_eq!(r.health.status(), HealthStatus::Degraded);
-        assert!(r
-            .health
-            .any(|e| matches!(e, HealthEvent::DegradedTemperatureOnly)));
-        assert!(r
-            .health
-            .any(|e| matches!(e, HealthEvent::ChannelLost { channel: "PSRO-N" })));
-        assert!(
-            (r.temperature.0 - 85.0).abs() < 3.0,
-            "degraded temp {} vs 85 °C",
-            r.temperature
-        );
-        // Threshold outputs frozen at calibration; lost channel reads 0 Hz.
-        assert_eq!(r.d_vtn, s.calibration().unwrap().d_vtn());
-        assert_eq!(r.raw_frequencies.1, Hertz(0.0));
-    }
-
-    #[test]
-    fn calib_register_seu_is_caught_by_parity_and_scrubbed() {
-        let die = DieSample::nominal();
-        let mut s = calibrated_on(&die, 22);
-        s.inject_faults(FaultPlan::single(Fault::CalibRegisterSeu {
-            register: 0,
-            bit: 14,
-        }));
-        let mut rng = Pcg64::seed_from_u64(22);
-        let err = s.read(&faulted_inputs(&die, 85.0), &mut rng).unwrap_err();
-        assert_eq!(
-            err,
-            SensorError::CalibrationCorrupted { registers: 0b00001 }
-        );
-        // Scrub recovers by recalibrating; the record says why.
-        let outcome = s
-            .parity_scrub(&faulted_inputs(&die, 25.0), &mut rng)
-            .unwrap()
-            .expect("scrub must trigger");
-        assert!(outcome
-            .health
-            .any(|e| matches!(e, HealthEvent::ParityScrubbed { registers: 0b00001 })));
-        let r = s.read(&faulted_inputs(&die, 85.0), &mut rng).unwrap();
-        assert!((r.temperature.0 - 85.0).abs() < 1.5);
-        // A second scrub is a no-op.
-        assert!(s
-            .parity_scrub(&faulted_inputs(&die, 25.0), &mut rng)
-            .unwrap()
-            .is_none());
-    }
-
-    #[test]
-    fn stuck_counter_bit_on_one_replica_is_outvoted() {
-        let die = DieSample::nominal();
-        let mut spec = SensorSpec::default_65nm();
-        spec.hardening = HardeningSpec::redundant();
-        let mut s = PtSensor::new(Technology::n65(), spec).unwrap();
-        let mut rng = Pcg64::seed_from_u64(23);
-        s.calibrate(&faulted_inputs(&die, 25.0), &mut rng).unwrap();
-        s.inject_faults(FaultPlan::single(Fault::CounterStuckBit {
-            replica: ReplicaSel::Index(0),
-            bit: 12,
-            stuck_high: true,
-        }));
-        let r = s.read(&faulted_inputs(&die, 85.0), &mut rng).unwrap();
-        assert!(r.health.flagged(), "stuck bit must be flagged");
-        assert!(
-            (r.temperature.0 - 85.0).abs() < 2.0,
-            "voted temp {} vs 85 °C",
-            r.temperature
-        );
-    }
-
-    #[test]
-    fn redundant_healthy_sensor_is_not_falsely_flagged() {
-        let die = DieSample::nominal();
-        let mut spec = SensorSpec::default_65nm();
-        spec.hardening = HardeningSpec::redundant();
-        let mut s = PtSensor::new(Technology::n65(), spec).unwrap();
-        let mut rng = Pcg64::seed_from_u64(24);
-        let outcome = s.calibrate(&faulted_inputs(&die, 25.0), &mut rng).unwrap();
-        assert!(outcome.health.is_nominal(), "{:?}", outcome.health);
-        for t in [0.0, 50.0, 100.0] {
-            let r = s.read(&faulted_inputs(&die, t), &mut rng).unwrap();
-            assert!(r.health.is_nominal(), "at {t} °C: {:?}", r.health);
-        }
-    }
-
-    #[test]
-    fn clear_faults_restores_nominal_operation() {
-        let die = DieSample::nominal();
-        let mut s = calibrated_on(&die, 25);
-        s.inject_faults(FaultPlan::single(Fault::DeadRoStage {
-            channel: Channel::PsroN,
-            replica: ReplicaSel::All,
-        }));
-        assert!(!s.faults().is_empty());
-        s.clear_faults();
-        assert!(s.faults().is_empty());
-        let mut rng = Pcg64::seed_from_u64(25);
-        let r = s.read(&faulted_inputs(&die, 60.0), &mut rng).unwrap();
-        assert!(r.health.is_nominal());
-        assert!((r.temperature.0 - 60.0).abs() < 1.5);
-    }
-
-    #[test]
-    fn retry_energy_is_charged_when_a_channel_recovers() {
-        // A dead PSRO-N reads 0 Hz — always below the plausibility band —
-        // so the controller retries with the widened window before
-        // declaring the channel lost. The ledger must carry that overhead.
-        let die = DieSample::nominal();
-        let mut s = calibrated_on(&die, 26);
-        s.inject_faults(FaultPlan::single(Fault::DeadRoStage {
-            channel: Channel::PsroN,
-            replica: ReplicaSel::All,
-        }));
-        let mut rng = Pcg64::seed_from_u64(26);
-        let r = s.read(&faulted_inputs(&die, 85.0), &mut rng).unwrap();
-        assert!(r.health.any(|e| matches!(
-            e,
-            HealthEvent::RetriedWindow {
-                channel: "PSRO-N",
-                ..
-            }
-        )));
-        assert!(
-            r.energy.component("retry").0 > 0.0,
-            "retry energy must be charged"
-        );
-        assert_eq!(r.health.status(), HealthStatus::Degraded);
     }
 }

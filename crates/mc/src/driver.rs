@@ -85,15 +85,35 @@ where
     T: Send,
     F: Fn(u64, &mut Pcg64) -> T + Sync,
 {
+    run_parallel_with(cfg, || (), |(), i, rng| f(i, rng))
+}
+
+/// [`run_parallel`] with a per-worker context: `init()` runs once on each
+/// worker thread and its result is threaded through every die that worker
+/// processes.
+///
+/// This is how per-run setup (a cloned sensor prototype with its design
+/// bands and characterized model already built, scratch buffers, …) is
+/// amortized across dies without requiring the context to be `Send`:
+/// the context never crosses a thread boundary. Determinism is unchanged —
+/// die `i` still sees exactly `die_rng(base_seed, i)` and the context must
+/// not leak state between dies in any result-visible way.
+pub fn run_parallel_with<C, T, FI, F>(cfg: &McConfig, init: FI, f: F) -> Vec<T>
+where
+    T: Send,
+    FI: Fn() -> C + Sync,
+    F: Fn(&mut C, u64, &mut Pcg64) -> T + Sync,
+{
     let threads = cfg.effective_threads().max(1).min(cfg.n_dies.max(1));
     if cfg.n_dies == 0 {
         return Vec::new();
     }
     if threads == 1 {
+        let mut ctx = init();
         return (0..cfg.n_dies as u64)
             .map(|i| {
                 let mut rng = die_rng(cfg.base_seed, i);
-                f(i, &mut rng)
+                f(&mut ctx, i, &mut rng)
             })
             .collect();
     }
@@ -106,6 +126,7 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
+                let mut ctx = init();
                 let mut local: Vec<(u64, T)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -113,7 +134,7 @@ where
                         break;
                     }
                     let mut rng = die_rng(cfg.base_seed, i);
-                    local.push((i, f(i, &mut rng)));
+                    local.push((i, f(&mut ctx, i, &mut rng)));
                 }
                 results
                     .lock()
@@ -179,6 +200,26 @@ mod tests {
         cfg.threads = 16;
         let out = run_parallel(&cfg, |i, _| i);
         assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn per_worker_context_matches_plain_run() {
+        // A context that is genuinely reused across dies must not perturb
+        // results or ordering.
+        let mut one = McConfig::new(40, 3);
+        one.threads = 1;
+        let mut four = McConfig::new(40, 3);
+        four.threads = 4;
+        let plain = run_parallel(&four, |i, rng| (i, rng.gen::<u64>()));
+        let with_ctx = run_parallel_with(
+            &one,
+            || 0u64,
+            |calls, i, rng| {
+                *calls += 1;
+                (i, rng.gen::<u64>())
+            },
+        );
+        assert_eq!(plain, with_ctx);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod spatial;
 pub mod stats;
 
 pub use die::{DieSample, DieSite};
-pub use driver::{die_rng, run_parallel, McConfig};
+pub use driver::{die_rng, run_parallel, run_parallel_with, McConfig};
 pub use lhs::{sample_dies_lhs, unit_hypercube};
 pub use model::VariationModel;
 pub use stats::{Histogram, OnlineStats};

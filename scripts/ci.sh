@@ -20,6 +20,9 @@ cargo clippy --offline --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cargo doc --offline (deny rustdoc warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace --quiet
+
 echo "==> R1 fault-campaign smoke (12 dies)"
 PTSIM_BENCH_DIES=12 cargo run -q --release --offline -p ptsim-bench --bin fault_campaign > /dev/null
 

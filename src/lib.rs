@@ -69,9 +69,9 @@ pub mod prelude {
     };
     pub use ptsim_circuit::{EnergyLedger, Fixed, GatedCounter, InverterRing, Prescaler, QFormat};
     pub use ptsim_core::{
-        BankSpec, Calibration, HardeningSpec, Health, HealthEvent, HealthStatus, PtSensor, Reading,
-        RoBank, RoClass, SensorError, SensorInputs, SensorSpec, StackMonitor, TierReading,
-        VddMonitor,
+        BankSpec, BatchPlan, Calibration, Conversion, DieConversion, HardeningSpec, Health,
+        HealthEvent, HealthStatus, PtSensor, Reading, RoBank, RoClass, SensorError, SensorInputs,
+        SensorSpec, StackMonitor, TierReading, VddMonitor,
     };
     pub use ptsim_device::units::{
         Ampere, Celsius, Farad, Hertz, Joule, Kelvin, Micron, Ohm, Pascal, Seconds, Volt, Watt,
@@ -82,7 +82,8 @@ pub mod prelude {
     };
     pub use ptsim_faults::{catalog, CatalogEntry, Channel, Fault, FaultPlan, ReplicaSel};
     pub use ptsim_mc::{
-        die_rng, run_parallel, DieSample, DieSite, Histogram, McConfig, OnlineStats, VariationModel,
+        die_rng, run_parallel, run_parallel_with, DieSample, DieSite, Histogram, McConfig,
+        OnlineStats, VariationModel,
     };
     pub use ptsim_rng::{Pcg64, Rng, RngCore};
     pub use ptsim_thermal::{
