@@ -1,7 +1,7 @@
 //! End-to-end sensor operations (internal harness) — calibration and
 //! conversion rate (simulated conversions per wall-clock second).
 
-use ptsim_bench::harness::bench;
+use ptsim_bench::harness::{bench, emit_meta};
 use ptsim_core::sensor::{PtSensor, SensorInputs, SensorSpec};
 use ptsim_device::process::Technology;
 use ptsim_device::units::Celsius;
@@ -11,6 +11,7 @@ use ptsim_mc::model::VariationModel;
 use std::hint::black_box;
 
 fn main() {
+    emit_meta();
     let tech = Technology::n65();
     let model = VariationModel::new(&tech);
     let mut rng = die_rng(7, 0);

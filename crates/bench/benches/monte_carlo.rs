@@ -1,12 +1,13 @@
 //! Monte-Carlo die-sampling throughput (internal harness).
 
-use ptsim_bench::harness::bench;
+use ptsim_bench::harness::{bench, emit_meta};
 use ptsim_device::process::Technology;
 use ptsim_mc::driver::die_rng;
 use ptsim_mc::model::VariationModel;
 use std::hint::black_box;
 
 fn main() {
+    emit_meta();
     let model = VariationModel::new(&Technology::n65());
 
     let mut i = 0u64;

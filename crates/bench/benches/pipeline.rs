@@ -1,0 +1,51 @@
+//! Whole-pipeline conversion throughput (internal harness) — the per-die
+//! inner loop every campaign (golden gates, R1, F3/F4) funnels through.
+//!
+//! `batch_convert_100` is the headline perf-trajectory number: a full
+//! 100-die population (calibrate at boot + one conversion per die) on one
+//! thread, so the measurement tracks the per-die hot path rather than
+//! thread-pool noise. `read_batch_100` isolates the steady-state conversion
+//! loop of one calibrated sensor over a 100-point temperature schedule.
+
+use ptsim_bench::harness::{bench, emit_meta};
+use ptsim_core::pipeline::batch::BatchPlan;
+use ptsim_core::sensor::{PtSensor, SensorInputs, SensorSpec};
+use ptsim_device::process::Technology;
+use ptsim_device::units::Celsius;
+use ptsim_mc::die::DieSite;
+use ptsim_mc::driver::{die_rng, McConfig};
+use ptsim_mc::model::VariationModel;
+use std::hint::black_box;
+
+fn main() {
+    emit_meta();
+    let tech = Technology::n65();
+    let model = VariationModel::new(&tech);
+
+    let plan = BatchPlan::new(tech.clone(), SensorSpec::default_65nm())
+        .unwrap()
+        .read_at(&[63.0]);
+    let mut cfg = McConfig::new(100, 0x2012);
+    cfg.threads = 1;
+    bench("batch_convert_100", || {
+        black_box(plan.run_population(&cfg, &model));
+    });
+
+    let mut rng = die_rng(0x2012, 0);
+    let die = model.sample_die(&mut rng);
+    let mut sensor = PtSensor::new(tech, SensorSpec::default_65nm()).unwrap();
+    sensor
+        .calibrate(
+            &SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)),
+            &mut rng,
+        )
+        .unwrap();
+    let temps: Vec<Celsius> = (0..100).map(|i| Celsius(-40.0 + 1.6 * i as f64)).collect();
+    let inputs: Vec<SensorInputs> = temps
+        .iter()
+        .map(|&t| SensorInputs::new(&die, DieSite::CENTER, t))
+        .collect();
+    bench("read_batch_100", || {
+        black_box(sensor.read_batch(&inputs, &mut rng).unwrap());
+    });
+}

@@ -1,11 +1,12 @@
 //! Newton decoupling-solver throughput (internal harness) — the on-chip
 //! datapath's software model; conversions are solver-bound.
 
-use ptsim_bench::harness::bench;
+use ptsim_bench::harness::{bench, emit_meta};
 use ptsim_core::newton::{newton_solve, NewtonOptions};
 use std::hint::black_box;
 
 fn main() {
+    emit_meta();
     bench("newton_1d_sqrt", || {
         let mut x = [1.0];
         newton_solve(

@@ -1,7 +1,7 @@
 //! Thermal-solver scaling (internal harness): steady-state solve of the
 //! reference 4-tier stack at several grid sizes, and one transient step.
 
-use ptsim_bench::harness::bench;
+use ptsim_bench::harness::{bench, emit_meta};
 use ptsim_device::units::{Seconds, Watt};
 use ptsim_thermal::power::PowerMap;
 use ptsim_thermal::solve::{solve_steady_state, step_transient, SolveOptions};
@@ -22,6 +22,7 @@ fn stack(n: usize) -> ThermalStack {
 }
 
 fn main() {
+    emit_meta();
     for n in [8usize, 16, 32] {
         bench(&format!("steady_state/{n}"), || {
             let mut s = stack(n);

@@ -31,6 +31,91 @@ impl Default for Config {
     }
 }
 
+impl Config {
+    /// Default config with optional environment overrides, so CI can run the
+    /// full bench suite as a fast smoke test without timing significance:
+    /// `PTSIM_BENCH_SAMPLES`, `PTSIM_BENCH_TARGET_US`, `PTSIM_BENCH_WARMUP_US`.
+    #[must_use]
+    pub fn from_env() -> Self {
+        fn env_u64(key: &str) -> Option<u64> {
+            std::env::var(key).ok()?.parse().ok()
+        }
+        let mut cfg = Config::default();
+        if let Some(n) = env_u64("PTSIM_BENCH_SAMPLES") {
+            cfg.samples = (n as usize).max(1);
+        }
+        if let Some(us) = env_u64("PTSIM_BENCH_TARGET_US") {
+            cfg.target_sample = Duration::from_micros(us.max(1));
+        }
+        if let Some(us) = env_u64("PTSIM_BENCH_WARMUP_US") {
+            cfg.warmup = Duration::from_micros(us);
+        }
+        cfg
+    }
+}
+
+/// Machine-readable metadata of one bench run, emitted as the first JSON
+/// line so successive `BENCH_*.json` files are comparable. Rev and date are
+/// provided by the caller (the harness reads no clock and runs no `git`):
+/// either directly or via `PTSIM_BENCH_GIT_REV` / `PTSIM_BENCH_DATE`, which
+/// `scripts/bench.sh` populates.
+#[derive(Debug, Clone)]
+pub struct RunMeta {
+    /// Git revision of the benched tree (caller-provided, "unknown" if unset).
+    pub git_rev: String,
+    /// Worker threads available on the machine.
+    pub threads: usize,
+    /// Run date, ISO 8601 (caller-provided, "unknown" if unset).
+    pub date: String,
+}
+
+impl RunMeta {
+    /// Builds metadata from explicit caller-supplied values.
+    #[must_use]
+    pub fn new(git_rev: &str, threads: usize, date: &str) -> Self {
+        RunMeta {
+            git_rev: git_rev.to_string(),
+            threads,
+            date: date.to_string(),
+        }
+    }
+
+    /// Builds metadata from `PTSIM_BENCH_GIT_REV` / `PTSIM_BENCH_DATE`
+    /// (falling back to `"unknown"`) and the machine's thread count.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let get = |key: &str| std::env::var(key).unwrap_or_else(|_| "unknown".to_string());
+        RunMeta {
+            git_rev: get("PTSIM_BENCH_GIT_REV"),
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            date: get("PTSIM_BENCH_DATE"),
+        }
+    }
+
+    /// One-line JSON header record (stable key order, no external
+    /// serializer). Quotes and backslashes in caller strings are dropped so
+    /// the line always stays parseable.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let clean = |s: &str| {
+            s.chars()
+                .filter(|c| !c.is_control() && *c != '"' && *c != '\\')
+                .collect::<String>()
+        };
+        format!(
+            "{{\"meta\":{{\"git_rev\":\"{}\",\"threads\":{},\"date\":\"{}\"}}}}",
+            clean(&self.git_rev),
+            self.threads,
+            clean(&self.date),
+        )
+    }
+}
+
+/// Prints the env-derived [`RunMeta`] header line; call first in bench mains.
+pub fn emit_meta() {
+    println!("{}", RunMeta::from_env().to_json());
+}
+
 /// Outcome of one benchmark: per-iteration timings in nanoseconds.
 #[derive(Debug, Clone)]
 pub struct BenchResult {
@@ -87,9 +172,10 @@ impl BenchResult {
     }
 }
 
-/// Times `f` under the default [`Config`] and prints the JSON record.
+/// Times `f` under [`Config::from_env`] (the default config plus CI smoke
+/// overrides) and prints the JSON record.
 pub fn bench(name: &str, f: impl FnMut()) -> BenchResult {
-    bench_with(&Config::default(), name, f)
+    bench_with(&Config::from_env(), name, f)
 }
 
 /// Times `f` under an explicit [`Config`] and prints the JSON record.

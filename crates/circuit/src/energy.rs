@@ -3,69 +3,122 @@
 //! The 367.5 pJ/conversion headline number decomposes into ring-oscillator,
 //! counter, controller and arithmetic contributions; the ledger keeps the
 //! breakdown so the energy table (T1) can be regenerated.
+//!
+//! Storage is inline (a fixed array of `(&'static str, Joule)` slots): every
+//! [`Reading`](../../ptsim_core/pipeline/output/struct.Reading.html) owns its
+//! ledger, and the conversion hot path must not allocate per die. A
+//! conversion charges ~7 distinct components; should more than
+//! [`EnergyLedger::CAPACITY`] distinct names ever be charged, the excess is
+//! folded into a single `"(other)"` bucket so totals stay exact and `add`
+//! never fails.
 
 use ptsim_device::units::Joule;
 use std::fmt;
 
-/// Accumulates energy per named component.
-#[derive(Debug, Clone, PartialEq, Default)]
+/// Name of the overflow bucket that absorbs components beyond
+/// [`EnergyLedger::CAPACITY`].
+const OVERFLOW: &str = "(other)";
+
+/// Accumulates energy per named component, allocation-free.
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyLedger {
-    entries: Vec<(String, Joule)>,
+    names: [&'static str; EnergyLedger::CAPACITY],
+    energy: [Joule; EnergyLedger::CAPACITY],
+    len: usize,
+    other: Joule,
+    has_other: bool,
 }
 
 impl EnergyLedger {
+    /// Distinct component slots stored inline.
+    pub const CAPACITY: usize = 12;
+
     /// Empty ledger.
     #[must_use]
     pub fn new() -> Self {
-        EnergyLedger::default()
+        EnergyLedger {
+            names: [""; Self::CAPACITY],
+            energy: [Joule::ZERO; Self::CAPACITY],
+            len: 0,
+            other: Joule::ZERO,
+            has_other: false,
+        }
     }
 
-    /// Adds energy to a component, creating it if needed.
-    pub fn add(&mut self, component: &str, energy: Joule) {
-        if let Some((_, e)) = self.entries.iter_mut().find(|(n, _)| n == component) {
-            *e += energy;
+    /// Adds energy to a component, creating it if needed. Components beyond
+    /// [`EnergyLedger::CAPACITY`] distinct names accumulate under
+    /// `"(other)"`.
+    #[inline]
+    pub fn add(&mut self, component: &'static str, energy: Joule) {
+        for i in 0..self.len {
+            if self.names[i] == component {
+                self.energy[i] += energy;
+                return;
+            }
+        }
+        if self.len < Self::CAPACITY {
+            self.names[self.len] = component;
+            self.energy[self.len] = energy;
+            self.len += 1;
         } else {
-            self.entries.push((component.to_owned(), energy));
+            self.other += energy;
+            self.has_other = true;
         }
     }
 
     /// Energy attributed to one component (zero if absent).
     #[must_use]
     pub fn component(&self, name: &str) -> Joule {
-        self.entries
+        if self.has_other && name == OVERFLOW {
+            return self.other;
+        }
+        self.names[..self.len]
             .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, e)| *e)
+            .position(|n| *n == name)
+            .map(|i| self.energy[i])
             .unwrap_or(Joule::ZERO)
     }
 
     /// Total energy across components.
     #[must_use]
     pub fn total(&self) -> Joule {
-        self.entries.iter().map(|(_, e)| *e).sum()
+        let mut total = self.energy[..self.len].iter().copied().sum::<Joule>();
+        if self.has_other {
+            total += self.other;
+        }
+        total
     }
 
-    /// Iterates `(component, energy)` in insertion order.
+    /// Iterates `(component, energy)` in insertion order (the `"(other)"`
+    /// overflow bucket, if any, comes last).
     pub fn iter(&self) -> impl Iterator<Item = (&str, Joule)> {
-        self.entries.iter().map(|(n, e)| (n.as_str(), *e))
+        self.names[..self.len]
+            .iter()
+            .zip(&self.energy[..self.len])
+            .map(|(n, e)| (*n, *e))
+            .chain(self.has_other.then_some((OVERFLOW, self.other)))
     }
 
     /// Number of distinct components.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len + usize::from(self.has_other)
     }
 
     /// True if no energy has been recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0 && !self.has_other
     }
 
     /// Merges another ledger into this one.
     pub fn merge(&mut self, other: &EnergyLedger) {
-        for (n, e) in other.iter() {
-            self.add(n, e);
+        for i in 0..other.len {
+            self.add(other.names[i], other.energy[i]);
+        }
+        if other.has_other {
+            self.other += other.other;
+            self.has_other = true;
         }
     }
 
@@ -74,7 +127,6 @@ impl EnergyLedger {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         let width = self
-            .entries
             .iter()
             .map(|(n, _)| n.len())
             .max()
@@ -96,6 +148,12 @@ impl EnergyLedger {
             self.total().picojoules(),
         ));
         out
+    }
+}
+
+impl Default for EnergyLedger {
+    fn default() -> Self {
+        EnergyLedger::new()
     }
 }
 
@@ -158,5 +216,30 @@ mod tests {
         l.add("a", Joule(1.0));
         let names: Vec<&str> = l.iter().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn overflow_folds_into_other_without_losing_energy() {
+        const NAMES: [&str; 14] = [
+            "c00", "c01", "c02", "c03", "c04", "c05", "c06", "c07", "c08", "c09", "c10", "c11",
+            "c12", "c13",
+        ];
+        let mut l = EnergyLedger::new();
+        for (i, n) in NAMES.iter().enumerate() {
+            l.add(n, Joule((i + 1) as f64));
+        }
+        // 12 inline slots + one "(other)" bucket absorbing the last two.
+        assert_eq!(l.len(), EnergyLedger::CAPACITY + 1);
+        assert_eq!(l.component("(other)").0, 13.0 + 14.0);
+        let expected: f64 = (1..=14).map(|i| i as f64).sum();
+        assert!((l.total().0 - expected).abs() < 1e-12);
+        // Existing components still accumulate inline after overflow.
+        l.add("c00", Joule(1.0));
+        assert_eq!(l.component("c00").0, 2.0);
+        // Merging an overflowed ledger keeps the bucket.
+        let mut m = EnergyLedger::new();
+        m.merge(&l);
+        assert_eq!(m.total(), l.total());
+        assert_eq!(m.component("(other)"), l.component("(other)"));
     }
 }

@@ -55,24 +55,28 @@ impl QFormat {
     }
 
     /// Integer bits.
+    #[inline]
     #[must_use]
     pub fn int_bits(self) -> u32 {
         self.int_bits
     }
 
     /// Fraction bits.
+    #[inline]
     #[must_use]
     pub fn frac_bits(self) -> u32 {
         self.frac_bits
     }
 
     /// Total data bits (excluding sign).
+    #[inline]
     #[must_use]
     pub fn total_bits(self) -> u32 {
         self.int_bits + self.frac_bits
     }
 
     /// Smallest representable increment.
+    #[inline]
     #[must_use]
     pub fn resolution(self) -> f64 {
         (self.frac_bits as f64).exp2().recip()
@@ -84,10 +88,12 @@ impl QFormat {
         self.raw_max() as f64 * self.resolution()
     }
 
+    #[inline]
     fn raw_max(self) -> i64 {
         (1i64 << self.total_bits()) - 1
     }
 
+    #[inline]
     fn raw_min(self) -> i64 {
         -(1i64 << self.total_bits())
     }
@@ -109,6 +115,7 @@ pub struct Fixed {
 impl Fixed {
     /// Quantizes a real number into `format`, rounding to nearest and
     /// saturating at the format limits.
+    #[inline]
     #[must_use]
     pub fn from_f64(value: f64, format: QFormat) -> Self {
         let scaled = value * (format.frac_bits as f64).exp2();
@@ -123,6 +130,7 @@ impl Fixed {
     }
 
     /// Zero in the given format.
+    #[inline]
     #[must_use]
     pub fn zero(format: QFormat) -> Self {
         Fixed { raw: 0, format }
@@ -135,18 +143,21 @@ impl Fixed {
     }
 
     /// Raw underlying word.
+    #[inline]
     #[must_use]
     pub fn raw(self) -> i64 {
         self.raw
     }
 
     /// Format of this value.
+    #[inline]
     #[must_use]
     pub fn format(self) -> QFormat {
         self.format
     }
 
     /// Real value represented.
+    #[inline]
     #[must_use]
     pub fn to_f64(self) -> f64 {
         self.raw as f64 * self.format.resolution()
@@ -158,6 +169,7 @@ impl Fixed {
         Fixed::from_f64(value, format).to_f64() - value
     }
 
+    #[inline]
     fn check_format(self, other: Fixed) -> Result<(), CircuitError> {
         if self.format == other.format {
             Ok(())
@@ -166,6 +178,7 @@ impl Fixed {
         }
     }
 
+    #[inline]
     fn saturate(raw: i128, format: QFormat) -> Fixed {
         let clamped = raw.clamp(format.raw_min() as i128, format.raw_max() as i128) as i64;
         Fixed {
@@ -182,6 +195,7 @@ impl Fixed {
     // The arithmetic methods share names with the `std::ops` traits but
     // cannot implement them: they are fallible (format-checked) and
     // saturating, and hiding that behind operators would be misleading.
+    #[inline]
     #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Fixed) -> Result<Fixed, CircuitError> {
         self.check_format(other)?;
@@ -196,6 +210,7 @@ impl Fixed {
     /// # Errors
     ///
     /// Returns [`CircuitError::QFormatMismatch`] if formats differ.
+    #[inline]
     #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Fixed) -> Result<Fixed, CircuitError> {
         self.check_format(other)?;
@@ -211,6 +226,7 @@ impl Fixed {
     /// # Errors
     ///
     /// Returns [`CircuitError::QFormatMismatch`] if formats differ.
+    #[inline]
     #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Fixed) -> Result<Fixed, CircuitError> {
         self.check_format(other)?;
@@ -236,6 +252,7 @@ impl Fixed {
     ///
     /// * [`CircuitError::QFormatMismatch`] if formats differ;
     /// * [`CircuitError::FixedDivideByZero`] if `other` is zero.
+    #[inline]
     #[allow(clippy::should_implement_trait)]
     pub fn div(self, other: Fixed) -> Result<Fixed, CircuitError> {
         self.check_format(other)?;
@@ -248,6 +265,7 @@ impl Fixed {
     }
 
     /// Saturating negation.
+    #[inline]
     #[must_use]
     #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Fixed {
@@ -255,6 +273,7 @@ impl Fixed {
     }
 
     /// Absolute value (saturating).
+    #[inline]
     #[must_use]
     pub fn abs(self) -> Fixed {
         if self.raw < 0 {

@@ -41,4 +41,4 @@ pub use counter::{auto_count, auto_measure, GatedCounter, Prescaler};
 pub use energy::EnergyLedger;
 pub use error::CircuitError;
 pub use fixed::{Fixed, QFormat};
-pub use ring::InverterRing;
+pub use ring::{InverterRing, RingCache};

@@ -1,9 +1,10 @@
 //! Ring oscillators built from device-level inverters.
 
 use crate::error::CircuitError;
+use ptsim_device::delay::{DelayCache, ThermalPoint};
 use ptsim_device::inverter::{CmosEnv, Inverter};
 use ptsim_device::process::Technology;
-use ptsim_device::units::{Farad, Hertz, Joule, Seconds, Volt, Watt};
+use ptsim_device::units::{Celsius, Farad, Hertz, Joule, Seconds, Volt, Watt};
 
 /// An N-stage inverter ring oscillator.
 ///
@@ -136,6 +137,121 @@ impl InverterRing {
     }
 }
 
+/// Precomputed hot-path evaluation state of one [`InverterRing`]: the
+/// device-level [`DelayCache`] plus the ring-level temperature-independent
+/// products (node capacitance, the `2·N` period prefix, the `N·C_node`
+/// energy prefix). Bit-identical to the uncached ring methods by the same
+/// exact-memoization contract as [`DelayCache`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RingCache {
+    delay: DelayCache,
+    node_cap: Farad,
+    /// Period prefix `2·N` (left-associated prefix of `2·N·t_stage`).
+    two_stages: f64,
+    /// Stage count as float (leakage-power prefix).
+    stages_f: f64,
+    /// Energy prefix `N·C_node` (left-associated prefix of `N·C·VDD²`).
+    energy_prefix: f64,
+}
+
+impl RingCache {
+    /// Hoists the temperature-independent constants of `ring` under `tech`.
+    #[must_use]
+    pub fn new(ring: &InverterRing, tech: &Technology) -> Self {
+        let delay = DelayCache::new(ring.inverter(), tech);
+        let node_cap = delay.input_cap() + delay.output_cap() + ring.wire_load;
+        let stages_f = ring.stages as f64;
+        RingCache {
+            delay,
+            node_cap,
+            two_stages: 2.0 * stages_f,
+            stages_f,
+            energy_prefix: stages_f * node_cap.0,
+        }
+    }
+
+    /// Shared per-temperature quantities (see [`DelayCache::thermal`]).
+    #[must_use]
+    pub fn thermal(&self, temp: Celsius) -> ThermalPoint {
+        self.delay.thermal(temp)
+    }
+
+    /// Precomputed [`InverterRing::node_cap`].
+    #[must_use]
+    pub fn node_cap(&self) -> Farad {
+        self.node_cap
+    }
+
+    /// Bit-identical to `ring.with_vdd(vdd).frequency(tech, env)` at
+    /// `env.temp == th`'s temperature.
+    #[must_use]
+    pub fn frequency(&self, th: &ThermalPoint, vdd: Volt, env: &CmosEnv) -> Hertz {
+        let stage = self.delay.stage_delay(th, vdd, self.node_cap, env);
+        Seconds(self.two_stages * stage.0).to_frequency()
+    }
+
+    /// [`RingCache::frequency`] with the drain-saturation factor already
+    /// computed (`drain` must be
+    /// [`DelayCache::drain_factor`]`(th, vdd)`) — lets a solver evaluating
+    /// several rings at one `(temperature, supply)` point share the factor.
+    #[must_use]
+    pub fn frequency_with_drain(
+        &self,
+        th: &ThermalPoint,
+        drain: f64,
+        vdd: Volt,
+        env: &CmosEnv,
+    ) -> Hertz {
+        let stage = self
+            .delay
+            .stage_delay_with_drain(th, drain, vdd, self.node_cap, env);
+        Seconds(self.two_stages * stage.0).to_frequency()
+    }
+
+    /// The underlying per-inverter [`DelayCache`] — solver loops use it to
+    /// evaluate per-device on-currents they can then memoize across
+    /// finite-difference perturbations.
+    #[must_use]
+    pub fn delay(&self) -> &DelayCache {
+        &self.delay
+    }
+
+    /// [`RingCache::frequency_with_drain`] with both device on-currents
+    /// already computed (`ion_n`/`ion_p` must be this cache's
+    /// [`DelayCache::nmos_current`]/[`DelayCache::pmos_current`] at the
+    /// same `(th, vdd, drain)` point) — the exact arithmetic tail of the
+    /// drain-factor path, so a solver that knows a perturbation left one
+    /// device untouched can skip re-evaluating it.
+    #[must_use]
+    pub fn frequency_from_currents(&self, ion_n: f64, ion_p: f64, vdd: Volt) -> Hertz {
+        let stage = self
+            .delay
+            .stage_delay_from_currents(ion_n, ion_p, vdd, self.node_cap);
+        Seconds(self.two_stages * stage.0).to_frequency()
+    }
+
+    /// Bit-identical to `ring.with_vdd(vdd).run_energy(tech, env, duration)`
+    /// given `frequency` previously obtained from [`RingCache::frequency`]
+    /// (or the uncached equivalent) at the same `(vdd, env)` — the second
+    /// ring evaluation the uncached path performs inside
+    /// [`InverterRing::dynamic_power`] is elided by reusing that value.
+    #[must_use]
+    pub fn run_energy_with(
+        &self,
+        th: &ThermalPoint,
+        vdd: Volt,
+        env: &CmosEnv,
+        frequency: Hertz,
+        duration: Seconds,
+    ) -> Joule {
+        let energy_per_period = self.energy_prefix * vdd.0 * vdd.0;
+        let dynamic = energy_per_period * frequency.0;
+        let leakage = self.stages_f * self.delay.leakage_power(th, vdd, env).0;
+        let p = dynamic + leakage;
+        Joule(p * duration.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,5 +347,55 @@ mod tests {
     fn dynamic_power_positive_microwatt_scale() {
         let p = ring(31).dynamic_power(&tech(), &CmosEnv::nominal());
         assert!(p.0 > 1e-7 && p.0 < 1e-2, "RO power {p}");
+    }
+
+    ptsim_rng::forall! {
+        #[test]
+        fn ring_cache_frequency_is_bit_identical(
+            t in -55.0f64..150.0,
+            dn in -0.05f64..0.05,
+            dp in -0.05f64..0.05,
+            mu in 0.8f64..1.25,
+            vdd in 0.35f64..1.1,
+        ) {
+            let tech = tech();
+            let r = ring(51);
+            let cache = RingCache::new(&r, &tech);
+            let env = CmosEnv {
+                temp: Celsius(t),
+                d_vtn: Volt(dn),
+                d_vtp: Volt(dp),
+                mu_n: mu,
+                mu_p: 2.05 - mu,
+            };
+            let th = cache.thermal(env.temp);
+            let cached = cache.frequency(&th, Volt(vdd), &env);
+            let reference = r.with_vdd(Volt(vdd)).frequency(&tech, &env);
+            assert_eq!(cached.0.to_bits(), reference.0.to_bits());
+        }
+
+        #[test]
+        fn ring_cache_run_energy_is_bit_identical(
+            t in -55.0f64..150.0,
+            dn in -0.05f64..0.05,
+            vdd in 0.35f64..1.1,
+        ) {
+            let tech = tech();
+            let r = ring(51).with_vdd(Volt(vdd));
+            let cache = RingCache::new(&r, &tech);
+            let env = CmosEnv {
+                temp: Celsius(t),
+                d_vtn: Volt(dn),
+                d_vtp: Volt(-dn),
+                mu_n: 1.03,
+                mu_p: 0.97,
+            };
+            let th = cache.thermal(env.temp);
+            let f = cache.frequency(&th, Volt(vdd), &env);
+            let window = Seconds(14e-6);
+            let cached = cache.run_energy_with(&th, Volt(vdd), &env, f, window);
+            let reference = r.run_energy(&tech, &env, window);
+            assert_eq!(cached.0.to_bits(), reference.0.to_bits());
+        }
     }
 }

@@ -109,9 +109,10 @@ forall! {
 
     #[test]
     fn ledger_total_equals_sum_of_components(parts in ptsim_rng::check::vec_in(0.0f64..1e-9, 1..20)) {
+        const NAMES: [&str; 5] = ["c0", "c1", "c2", "c3", "c4"];
         let mut l = EnergyLedger::new();
         for (i, p) in parts.iter().enumerate() {
-            l.add(&format!("c{}", i % 5), Joule(*p));
+            l.add(NAMES[i % 5], Joule(*p));
         }
         let sum: f64 = parts.iter().sum();
         assert!((l.total().0 - sum).abs() < 1e-18);

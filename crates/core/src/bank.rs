@@ -14,11 +14,12 @@
 //! evaluation must (and does) capture.
 
 use crate::error::SensorError;
-use ptsim_circuit::ring::InverterRing;
+use ptsim_circuit::ring::{InverterRing, RingCache};
+use ptsim_device::delay::ThermalPoint;
 use ptsim_device::inverter::{CmosEnv, Inverter};
 use ptsim_device::mosfet::{MosPolarity, Mosfet};
 use ptsim_device::process::Technology;
-use ptsim_device::units::{Farad, Hertz, Micron, Volt};
+use ptsim_device::units::{Celsius, Farad, Hertz, Micron, Volt};
 use ptsim_mc::die::DieSite;
 
 /// Which oscillator of the bank.
@@ -196,10 +197,64 @@ impl RoBank {
     }
 }
 
+/// Precomputed hot-path evaluation state of the whole bank: one
+/// [`RingCache`] per oscillator. Derived entirely from the immutable
+/// `(Technology, RoBank)` pair at sensor construction, so it is rebuilt by
+/// [`crate::sensor::PtSensor::new`] and cloned with the sensor.
+///
+/// Bit-identity contract: every frequency/energy this cache produces is
+/// bit-identical to the corresponding uncached [`RoBank`] evaluation (see
+/// the exact-memoization contract on
+/// [`DelayCache`](ptsim_device::delay::DelayCache)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BankCache {
+    psro_n: RingCache,
+    psro_p: RingCache,
+    tsro: RingCache,
+}
+
+impl BankCache {
+    /// Hoists the temperature-independent state of every ring of `bank`.
+    #[must_use]
+    pub fn new(tech: &Technology, bank: &RoBank) -> Self {
+        BankCache {
+            psro_n: RingCache::new(bank.ring(RoClass::PsroN), tech),
+            psro_p: RingCache::new(bank.ring(RoClass::PsroP), tech),
+            tsro: RingCache::new(bank.ring(RoClass::Tsro), tech),
+        }
+    }
+
+    /// The cache of one ring.
+    #[must_use]
+    pub fn ring(&self, class: RoClass) -> &RingCache {
+        match class {
+            RoClass::PsroN => &self.psro_n,
+            RoClass::PsroP => &self.psro_p,
+            RoClass::Tsro => &self.tsro,
+        }
+    }
+
+    /// Shared per-temperature quantities at `temp`. A [`ThermalPoint`] is a
+    /// pure function of the temperature and the technology, so the point is
+    /// identical for all three rings and can be computed once per
+    /// evaluation temperature (one `powf`) and reused across the bank.
+    #[must_use]
+    pub fn thermal(&self, temp: Celsius) -> ThermalPoint {
+        self.tsro.thermal(temp)
+    }
+
+    /// Cached, bit-identical [`RoBank::frequency`].
+    #[must_use]
+    pub fn frequency(&self, class: RoClass, vdd: Volt, env: &CmosEnv) -> Hertz {
+        let rc = self.ring(class);
+        rc.frequency(&rc.thermal(env.temp), vdd, env)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ptsim_device::units::Celsius;
+    use ptsim_rng::forall;
 
     fn bank() -> (Technology, RoBank) {
         let tech = Technology::n65();
@@ -360,5 +415,37 @@ mod tests {
     fn class_names() {
         assert_eq!(RoClass::PsroN.name(), "PSRO-N");
         assert_eq!(RoClass::ALL.len(), 3);
+    }
+
+    forall! {
+        #[test]
+        fn bank_cache_is_bit_identical_for_every_ring(
+            t in -55.0f64..150.0,
+            dn in -0.05f64..0.05,
+            dp in -0.05f64..0.05,
+            mu in 0.85f64..1.2,
+            vdd in 0.38f64..1.1,
+        ) {
+            let (tech, bank) = bank();
+            let cache = BankCache::new(&tech, &bank);
+            let env = CmosEnv {
+                temp: Celsius(t),
+                d_vtn: Volt(dn),
+                d_vtp: Volt(dp),
+                mu_n: mu,
+                mu_p: 2.0 - mu,
+            };
+            let th = cache.thermal(env.temp);
+            for class in RoClass::ALL {
+                let cached = cache.frequency(class, Volt(vdd), &env);
+                let reference = bank.frequency(&tech, class, Volt(vdd), &env);
+                assert_eq!(cached.0.to_bits(), reference.0.to_bits(), "{}", class.name());
+                // The shared thermal point is identical to each ring's own.
+                assert_eq!(
+                    cache.ring(class).frequency(&th, Volt(vdd), &env).0.to_bits(),
+                    reference.0.to_bits(),
+                );
+            }
+        }
     }
 }

@@ -52,13 +52,13 @@ pub mod pipeline;
 pub mod sensor;
 pub mod vsense;
 
-pub use bank::{BankSpec, RoBank, RoClass};
+pub use bank::{BankCache, BankSpec, RoBank, RoClass};
 pub use calib::Calibration;
 pub use error::SensorError;
 pub use fieldest::{place_sensors_greedy, refine_placement_swaps, FieldEstimator};
 pub use golden::{CharacterizationSpace, GoldenModel};
 pub use health::{Health, HealthEvent, HealthStatus};
 pub use monitor::{SensorNode, StackMonitor, TierReading};
-pub use pipeline::{BatchPlan, Conversion, DieConversion};
+pub use pipeline::{BatchPlan, Conversion, DieConversion, Scratch};
 pub use sensor::{CalibrationOutcome, HardeningSpec, PtSensor, Reading, SensorInputs, SensorSpec};
 pub use vsense::VddMonitor;

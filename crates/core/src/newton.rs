@@ -157,7 +157,50 @@ pub fn solve_linear(
     })
 }
 
+/// Largest system [`NewtonScratch`] supports — the calibration decoupling
+/// (4 unknowns) is the biggest solve the sensor datapath runs.
+pub const MAX_UNKNOWNS: usize = 6;
+
+/// Caller-owned workspace for [`newton_solve_with`] and [`solve_linear`]:
+/// the Jacobian, probe point, revert point and residual buffers, sized for
+/// [`MAX_UNKNOWNS`] and stored inline so a reused scratch makes the whole
+/// solve allocation-free.
+#[derive(Debug, Clone)]
+pub struct NewtonScratch {
+    jac: [f64; MAX_UNKNOWNS * MAX_UNKNOWNS],
+    xp: [f64; MAX_UNKNOWNS],
+    x_prev: [f64; MAX_UNKNOWNS],
+    r: [f64; MAX_UNKNOWNS],
+    rp: [f64; MAX_UNKNOWNS],
+    rhs: [f64; MAX_UNKNOWNS],
+}
+
+impl NewtonScratch {
+    /// Fresh (zeroed) workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        NewtonScratch {
+            jac: [0.0; MAX_UNKNOWNS * MAX_UNKNOWNS],
+            xp: [0.0; MAX_UNKNOWNS],
+            x_prev: [0.0; MAX_UNKNOWNS],
+            r: [0.0; MAX_UNKNOWNS],
+            rp: [0.0; MAX_UNKNOWNS],
+            rhs: [0.0; MAX_UNKNOWNS],
+        }
+    }
+}
+
+impl Default for NewtonScratch {
+    fn default() -> Self {
+        NewtonScratch::new()
+    }
+}
+
 /// Damped Newton–Raphson on `residual(x) = 0`.
+///
+/// Compatibility wrapper over [`newton_solve_with`] for callers that do not
+/// hold a [`NewtonScratch`]; the residual closure returns a fresh `Vec` per
+/// evaluation. The hot path uses [`newton_solve_with`] directly.
 ///
 /// * `x` — initial guess, updated in place to the solution.
 /// * `residual` — returns the residual vector (same length as `x`).
@@ -184,18 +227,61 @@ pub fn newton_solve<F>(
 where
     F: FnMut(&[f64]) -> Vec<f64>,
 {
+    let mut scratch = NewtonScratch::new();
+    newton_solve_with(
+        &mut scratch,
+        x,
+        |v, out| out.copy_from_slice(&residual(v)),
+        fd_steps,
+        step_limits,
+        opts,
+        what,
+    )
+}
+
+/// Damped Newton–Raphson on `residual(x, out) = 0` with a caller-owned
+/// [`NewtonScratch`] — zero heap allocations, so a scratch reused across
+/// conversions makes every solve of the batch hot path allocation-free.
+///
+/// The residual callback writes the residual of `x` (first argument) into
+/// `out` (second argument, length `x.len()`). All other semantics — and all
+/// floating-point results, bit for bit — match [`newton_solve`].
+///
+/// # Panics
+///
+/// Panics if `x.len() > MAX_UNKNOWNS`.
+///
+/// # Errors
+///
+/// Same as [`newton_solve`].
+pub fn newton_solve_with<F>(
+    scratch: &mut NewtonScratch,
+    x: &mut [f64],
+    mut residual: F,
+    fd_steps: &[f64],
+    step_limits: &[f64],
+    opts: &NewtonOptions,
+    what: &'static str,
+) -> Result<usize, SensorError>
+where
+    F: FnMut(&[f64], &mut [f64]),
+{
     let n = x.len();
+    assert!(n <= MAX_UNKNOWNS, "newton_solve_with: {n} > MAX_UNKNOWNS");
     debug_assert_eq!(fd_steps.len(), n);
     debug_assert_eq!(step_limits.len(), n);
 
-    let mut jac = vec![0.0; n * n];
-    let mut xp = vec![0.0; n];
-    let mut x_prev = vec![0.0; n];
+    let jac = &mut scratch.jac[..n * n];
+    let xp = &mut scratch.xp[..n];
+    let x_prev = &mut scratch.x_prev[..n];
+    let r = &mut scratch.r[..n];
+    let rp = &mut scratch.rp[..n];
+    let rhs = &mut scratch.rhs[..n];
     let mut damp = opts.damping;
     let mut prev_norm = f64::INFINITY;
 
     for iter in 1..=opts.max_iterations {
-        let r = residual(x);
+        residual(x, r);
         let norm = r.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         if norm < opts.tolerance {
             return Ok(iter);
@@ -209,7 +295,7 @@ where
         if opts.adaptive && !improved && iter > 1 {
             // The last step made things worse (or produced NaN): revert it
             // and retry from the previous point with half the damping.
-            x.copy_from_slice(&x_prev);
+            x.copy_from_slice(x_prev);
             damp = (damp * 0.5).max(opts.min_damping);
             continue;
         }
@@ -219,13 +305,13 @@ where
         for j in 0..n {
             xp.copy_from_slice(x);
             xp[j] += fd_steps[j];
-            let rp = residual(&xp);
+            residual(xp, rp);
             for i in 0..n {
                 jac[i * n + j] = (rp[i] - r[i]) / fd_steps[j];
             }
         }
-        let mut rhs = r.clone();
-        let info = solve_linear(&mut jac, &mut rhs, n, what)?;
+        rhs.copy_from_slice(r);
+        let info = solve_linear(jac, rhs, n, what)?;
         if opts.max_condition.is_finite() {
             let cond = info.condition_estimate();
             if cond > opts.max_condition {
@@ -245,7 +331,8 @@ where
             damp = (damp * 1.5).min(opts.damping);
         }
     }
-    let final_norm = residual(x).iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    residual(x, r);
+    let final_norm = r.iter().fold(0.0f64, |m, v| m.max(v.abs()));
     Err(SensorError::SolverDiverged {
         what,
         iterations: opts.max_iterations,

@@ -84,8 +84,12 @@ pub fn acquire_replica<R: Rng + ?Sized>(
         sensor.spec.counter_bits,
         sensor.spec.window_cycles * window_scale,
     )?;
-    let ring = sensor.bank.ring(class).with_vdd(vdd);
-    let f_true = ring.frequency(&sensor.tech, env);
+    // Cached ring evaluation (bit-identical to the uncached
+    // `ring.frequency`/`ring.run_energy` pair, which re-derived the device
+    // constants and re-computed the frequency inside the energy model).
+    let rc = sensor.cache.ring(class);
+    let th = rc.thermal(env.temp);
+    let f_true = rc.frequency(&th, vdd, env);
     let phase: f64 = rng.gen();
     let f_in = if sensor.faults.is_empty() {
         f_true
@@ -109,7 +113,10 @@ pub fn acquire_replica<R: Rng + ?Sized>(
 
     // Energy: oscillator running for the window + counted edges.
     let window = counter.window(sensor.spec.ref_clock);
-    ledger.add(class.name(), ring.run_energy(&sensor.tech, env, window));
+    ledger.add(
+        class.name(),
+        rc.run_energy_with(&th, vdd, env, f_true, window),
+    );
     ledger.add(
         "counters",
         Joule(sensor.spec.counter_energy_per_count.0 * counted as f64),
@@ -137,9 +144,48 @@ pub fn acquire_round<R: Rng + ?Sized>(
     ledger: &mut EnergyLedger,
     health: &mut Health,
 ) -> Result<Acquired, SensorError> {
+    let mut samples = Vec::with_capacity(sensor.spec.hardening.replicas);
+    acquire_round_into(
+        sensor,
+        class,
+        vdd,
+        env,
+        band,
+        window_scale,
+        rng,
+        ledger,
+        health,
+        &mut samples,
+    )?;
+    Ok(Acquired {
+        channel: class.name(),
+        samples,
+    })
+}
+
+/// [`acquire_round`] writing into a caller-owned (reusable) sample buffer —
+/// the allocation-free form the batch hot path uses. The buffer is cleared
+/// first; its warm capacity persists across rounds.
+///
+/// # Errors
+///
+/// See [`acquire_round`].
+#[allow(clippy::too_many_arguments)] // mirrors the controller datapath
+pub(crate) fn acquire_round_into<R: Rng + ?Sized>(
+    sensor: &PtSensor,
+    class: RoClass,
+    vdd: Volt,
+    env: &CmosEnv,
+    band: &Band,
+    window_scale: u64,
+    rng: &mut R,
+    ledger: &mut EnergyLedger,
+    health: &mut Health,
+    samples: &mut Vec<Option<Hertz>>,
+) -> Result<(), SensorError> {
     let name = class.name();
     let replicas = sensor.spec.hardening.replicas;
-    let mut samples: Vec<Option<Hertz>> = Vec::with_capacity(replicas);
+    samples.clear();
     for replica in 0..replicas {
         let m = ReplicaMeasurement {
             class,
@@ -169,10 +215,7 @@ pub fn acquire_round<R: Rng + ?Sized>(
             Err(e) => return Err(e),
         }
     }
-    Ok(Acquired {
-        channel: name,
-        samples,
-    })
+    Ok(())
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@
 use crate::error::SensorError;
 use crate::golden::CharacterizationSpace;
 use crate::pipeline::output::{CalibrationOutcome, Reading};
+use crate::pipeline::Scratch;
 use crate::sensor::{PtSensor, SensorInputs, SensorSpec};
 use ptsim_device::process::Technology;
 use ptsim_device::units::Celsius;
@@ -123,12 +124,32 @@ impl BatchPlan {
         die: &DieSample,
         rng: &mut R,
     ) -> Result<DieConversion, SensorError> {
+        self.convert_with_scratch(sensor, die, rng, &mut Scratch::new())
+    }
+
+    /// [`BatchPlan::convert_with`] with a caller-owned (reusable)
+    /// [`Scratch`] — the allocation-free form [`BatchPlan::run_population`]
+    /// drives with one workspace per worker thread. Bit-identical to
+    /// [`BatchPlan::convert_with`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration/read failures.
+    pub fn convert_with_scratch<R: Rng + ?Sized>(
+        &self,
+        sensor: &mut PtSensor,
+        die: &DieSample,
+        rng: &mut R,
+        scratch: &mut Scratch,
+    ) -> Result<DieConversion, SensorError> {
         let boot = SensorInputs::new(die, self.site, self.boot_temp);
-        let calibration = sensor.calibrate(&boot, rng)?;
+        let calibration = crate::pipeline::run_calibration_with(sensor, &boot, rng, scratch)?;
         let mut readings = Vec::with_capacity(self.temps.len());
         for &t in &self.temps {
             let inputs = SensorInputs::new(die, self.site, t);
-            readings.push(sensor.read(&inputs, rng)?);
+            readings.push(crate::pipeline::run_conversion_with(
+                sensor, &inputs, rng, scratch,
+            )?);
         }
         Ok(DieConversion {
             calibration,
@@ -156,8 +177,10 @@ impl BatchPlan {
     /// Runs the plan over a whole Monte-Carlo population: die `i` is drawn
     /// from `model` with `die_rng(cfg.base_seed, i)` and converted with the
     /// same stream, exactly like the bespoke per-die loops this API
-    /// replaces. The prototype is cloned once per worker thread, not per
-    /// die.
+    /// replaces. The prototype is cloned — and one pipeline [`Scratch`] and
+    /// one die sampler (precomputed within-die stencils) created — once per
+    /// worker thread, not per die, so the steady-state conversion loop is
+    /// allocation-free.
     #[must_use]
     pub fn run_population(
         &self,
@@ -166,13 +189,13 @@ impl BatchPlan {
     ) -> Vec<Result<DieConversion, SensorError>> {
         run_parallel_with(
             cfg,
-            || self.sensor(),
-            |sensor, i, rng| {
-                let die = model.sample_die_with_id(rng, i);
+            || (self.sensor(), Scratch::new(), model.sampler()),
+            |(sensor, scratch, sampler), i, rng| {
+                let die = sampler.sample_die_with_id(rng, i);
                 // Re-clone per die only what calibration overwrites anyway:
                 // reuse the worker's sensor, clearing stale state.
                 sensor.clear_faults();
-                self.convert_with(sensor, &die, rng)
+                self.convert_with_scratch(sensor, &die, rng, scratch)
             },
         )
     }

@@ -10,12 +10,22 @@
 use crate::bank::RoClass;
 use crate::error::SensorError;
 use crate::health::{Health, HealthEvent};
-use crate::pipeline::acquire::acquire_round;
+use crate::pipeline::acquire::acquire_round_into;
 use crate::pipeline::bands::band_for;
+use crate::pipeline::Scratch;
 use crate::sensor::{HardeningSpec, PtSensor, SensorInputs, SensorSpec};
 use ptsim_circuit::energy::EnergyLedger;
 use ptsim_device::units::{Hertz, Volt};
 use ptsim_rng::Rng;
+
+/// Reusable buffers of the majority vote. The three vectors warm up to the
+/// replica count (≤ 9) on the first round and never reallocate after.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct VoteScratch {
+    plausible: Vec<(usize, f64)>,
+    values: Vec<f64>,
+    inliers: Vec<f64>,
+}
 
 /// Gated measurement set of one conversion: the TSRO is load-bearing, the
 /// PSROs may be lost (`None`) and degrade the solve to temperature-only.
@@ -49,22 +59,48 @@ pub fn vote(
     samples: &[Option<Hertz>],
     health: &mut Health,
 ) -> Option<Hertz> {
+    vote_with(
+        hardening,
+        channel,
+        samples,
+        health,
+        &mut VoteScratch::default(),
+    )
+}
+
+/// [`vote`] with caller-owned (reusable) buffers — the allocation-free form
+/// the batch hot path uses. Identical logic and float operations.
+pub(crate) fn vote_with(
+    hardening: &HardeningSpec,
+    channel: &'static str,
+    samples: &[Option<Hertz>],
+    health: &mut Health,
+    vs: &mut VoteScratch,
+) -> Option<Hertz> {
     let h = *hardening;
     let n = samples.len();
-    let plausible: Vec<(usize, f64)> = samples
-        .iter()
-        .enumerate()
-        .filter_map(|(i, s)| s.map(|f| (i, f.0)))
-        .collect();
+    let VoteScratch {
+        plausible,
+        values,
+        inliers,
+    } = vs;
+    plausible.clear();
+    plausible.extend(
+        samples
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|f| (i, f.0))),
+    );
     if plausible.len() * 2 <= n {
         return None;
     }
-    let mut values: Vec<f64> = plausible.iter().map(|&(_, f)| f).collect();
+    values.clear();
+    values.extend(plausible.iter().map(|&(_, f)| f));
     values.sort_by(|a, b| a.partial_cmp(b).expect("band-checked samples are finite"));
-    let med = sorted_median(&values);
+    let med = sorted_median(values);
 
-    let mut inliers: Vec<f64> = Vec::with_capacity(plausible.len());
-    for &(i, f) in &plausible {
+    inliers.clear();
+    for &(i, f) in plausible.iter() {
         if (f - med).abs() <= h.replica_outlier_rel * med.abs() {
             inliers.push(f);
         } else {
@@ -78,7 +114,7 @@ pub fn vote(
         return None;
     }
     inliers.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let voted = sorted_median(&inliers);
+    let voted = sorted_median(inliers);
     let spread = (inliers[inliers.len() - 1] - inliers[0]) / voted;
     if spread > h.replica_spread_rel {
         health.record(HealthEvent::ReplicaSpread {
@@ -107,16 +143,46 @@ pub fn gate_channel<R: Rng + ?Sized>(
     ledger: &mut EnergyLedger,
     health: &mut Health,
 ) -> Result<Option<Hertz>, SensorError> {
+    gate_channel_with(
+        sensor,
+        class,
+        vdd,
+        inputs,
+        rng,
+        ledger,
+        health,
+        &mut Scratch::new(),
+    )
+}
+
+/// [`gate_channel`] with a caller-owned (reusable) [`Scratch`] — the
+/// allocation-free form the batch hot path uses.
+///
+/// # Errors
+///
+/// See [`gate_channel`].
+#[allow(clippy::too_many_arguments)] // mirrors the controller datapath
+pub(crate) fn gate_channel_with<R: Rng + ?Sized>(
+    sensor: &PtSensor,
+    class: RoClass,
+    vdd: Volt,
+    inputs: &SensorInputs<'_>,
+    rng: &mut R,
+    ledger: &mut EnergyLedger,
+    health: &mut Health,
+    scratch: &mut Scratch,
+) -> Result<Option<Hertz>, SensorError> {
     let h = sensor.spec.hardening;
     let name = class.name();
     let local_temp = sensor.faults.local_temperature(inputs.temp);
     let env = sensor.die_env(class, inputs, local_temp);
     let band = band_for(&sensor.bands, class, vdd);
+    let Scratch { samples, vote, .. } = scratch;
 
     let mut attempt = 0usize;
     let mut window_scale = 1u64;
     loop {
-        let round = acquire_round(
+        acquire_round_into(
             sensor,
             class,
             vdd,
@@ -126,8 +192,9 @@ pub fn gate_channel<R: Rng + ?Sized>(
             rng,
             ledger,
             health,
+            samples,
         )?;
-        if let Some(f) = vote(&h, round.channel, &round.samples, health) {
+        if let Some(f) = vote_with(&h, name, samples, health, vote) {
             if attempt > 0 {
                 health.record(HealthEvent::Recovered { channel: name });
             }
@@ -175,13 +242,37 @@ pub fn gate_plan<R: Rng + ?Sized>(
     ledger: &mut EnergyLedger,
     health: &mut Health,
 ) -> Result<[f64; 4], SensorError> {
+    gate_plan_with(
+        sensor,
+        plan,
+        inputs,
+        rng,
+        ledger,
+        health,
+        &mut Scratch::new(),
+    )
+}
+
+/// [`gate_plan`] with a caller-owned (reusable) [`Scratch`].
+///
+/// # Errors
+///
+/// See [`gate_plan`].
+pub(crate) fn gate_plan_with<R: Rng + ?Sized>(
+    sensor: &PtSensor,
+    plan: &[(RoClass, Volt); 4],
+    inputs: &SensorInputs<'_>,
+    rng: &mut R,
+    ledger: &mut EnergyLedger,
+    health: &mut Health,
+    scratch: &mut Scratch,
+) -> Result<[f64; 4], SensorError> {
     let mut measured = [0.0f64; 4];
     for (slot, (class, vdd)) in plan.iter().enumerate() {
-        let f = gate_channel(sensor, *class, *vdd, inputs, rng, ledger, health)?.ok_or(
-            SensorError::ChannelFailed {
+        let f = gate_channel_with(sensor, *class, *vdd, inputs, rng, ledger, health, scratch)?
+            .ok_or(SensorError::ChannelFailed {
                 channel: class.name(),
-            },
-        )?;
+            })?;
         measured[slot] = f.0;
     }
     Ok(measured)
@@ -202,8 +293,24 @@ pub fn gate_conversion<R: Rng + ?Sized>(
     ledger: &mut EnergyLedger,
     health: &mut Health,
 ) -> Result<Gated, SensorError> {
+    gate_conversion_with(sensor, inputs, rng, ledger, health, &mut Scratch::new())
+}
+
+/// [`gate_conversion`] with a caller-owned (reusable) [`Scratch`].
+///
+/// # Errors
+///
+/// See [`gate_conversion`].
+pub(crate) fn gate_conversion_with<R: Rng + ?Sized>(
+    sensor: &PtSensor,
+    inputs: &SensorInputs<'_>,
+    rng: &mut R,
+    ledger: &mut EnergyLedger,
+    health: &mut Health,
+    scratch: &mut Scratch,
+) -> Result<Gated, SensorError> {
     let spec = sensor.spec;
-    let f_tsro = gate_channel(
+    let f_tsro = gate_channel_with(
         sensor,
         RoClass::Tsro,
         spec.bank.vdd_tsro,
@@ -211,11 +318,12 @@ pub fn gate_conversion<R: Rng + ?Sized>(
         rng,
         ledger,
         health,
+        scratch,
     )?
     .ok_or(SensorError::ChannelFailed {
         channel: RoClass::Tsro.name(),
     })?;
-    let f_psro_n = gate_channel(
+    let f_psro_n = gate_channel_with(
         sensor,
         RoClass::PsroN,
         spec.bank.vdd_low,
@@ -223,8 +331,9 @@ pub fn gate_conversion<R: Rng + ?Sized>(
         rng,
         ledger,
         health,
+        scratch,
     )?;
-    let f_psro_p = gate_channel(
+    let f_psro_p = gate_channel_with(
         sensor,
         RoClass::PsroP,
         spec.bank.vdd_low,
@@ -232,6 +341,7 @@ pub fn gate_conversion<R: Rng + ?Sized>(
         rng,
         ledger,
         health,
+        scratch,
     )?;
     Ok(Gated {
         f_tsro,

@@ -43,10 +43,36 @@ pub use solve::Solved;
 use crate::calib::Calibration;
 use crate::error::SensorError;
 use crate::health::Health;
+use crate::newton::NewtonScratch;
 use crate::sensor::{PtSensor, SensorInputs};
 use ptsim_circuit::energy::EnergyLedger;
-use ptsim_device::units::Volt;
+use ptsim_device::units::{Hertz, Volt};
 use ptsim_rng::{Rng, RngCore};
+
+/// Reusable per-worker workspace of the conversion pipeline: the acquisition
+/// sample buffer, the majority-vote buffers, and the Newton solver arrays.
+///
+/// Construction is free (no heap allocation happens until the first
+/// conversion warms the buffers up, and the Newton arrays are inline), so
+/// the convenience entry points create one per call; the batch paths
+/// ([`PtSensor::read_batch`](crate::PtSensor::read_batch),
+/// [`BatchPlan::run_population`]) create one per worker and reuse it, making
+/// every conversion after the first perform **zero heap allocations** on the
+/// healthy analytic path.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    pub(crate) samples: Vec<Option<Hertz>>,
+    pub(crate) vote: gate::VoteScratch,
+    pub(crate) newton: NewtonScratch,
+}
+
+impl Scratch {
+    /// Empty workspace (allocates nothing).
+    #[must_use]
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+}
 
 /// One full conversion through the staged pipeline: gate every channel,
 /// solve the decoupling, bound and quantize the output.
@@ -61,6 +87,24 @@ pub fn run_conversion<R: Rng + ?Sized>(
     inputs: &SensorInputs<'_>,
     rng: &mut R,
 ) -> Result<Reading, SensorError> {
+    run_conversion_with(sensor, inputs, rng, &mut Scratch::new())
+}
+
+/// [`run_conversion`] with a caller-owned (reusable) [`Scratch`]: after the
+/// first conversion warms the workspace up, the healthy analytic path
+/// performs zero heap allocations per conversion. Bit-identical to
+/// [`run_conversion`] — same RNG draws and float operations in the same
+/// order.
+///
+/// # Errors
+///
+/// See [`PtSensor::read`].
+pub fn run_conversion_with<R: Rng + ?Sized>(
+    sensor: &PtSensor,
+    inputs: &SensorInputs<'_>,
+    rng: &mut R,
+    scratch: &mut Scratch,
+) -> Result<Reading, SensorError> {
     let cal = sensor.calibration.ok_or(SensorError::NotCalibrated)?;
     let registers = cal.parity_errors();
     if registers != 0 {
@@ -69,8 +113,8 @@ pub fn run_conversion<R: Rng + ?Sized>(
     let mut ledger = EnergyLedger::new();
     let mut health = Health::nominal();
 
-    let gated = gate::gate_conversion(sensor, inputs, rng, &mut ledger, &mut health)?;
-    let solved = solve::solve_gated(sensor, &cal, &gated, &mut health)?;
+    let gated = gate::gate_conversion_with(sensor, inputs, rng, &mut ledger, &mut health, scratch)?;
+    let solved = solve::solve_gated_with(sensor, &cal, &gated, &mut health, &mut scratch.newton)?;
     output::finalize(sensor, &cal, &gated, &solved, ledger, health)
 }
 
@@ -89,16 +133,45 @@ pub fn run_calibration<R: Rng + ?Sized>(
     inputs: &SensorInputs<'_>,
     rng: &mut R,
 ) -> Result<CalibrationOutcome, SensorError> {
+    run_calibration_with(sensor, inputs, rng, &mut Scratch::new())
+}
+
+/// [`run_calibration`] with a caller-owned (reusable) [`Scratch`].
+/// Bit-identical to [`run_calibration`].
+///
+/// # Errors
+///
+/// See [`PtSensor::calibrate`].
+pub fn run_calibration_with<R: Rng + ?Sized>(
+    sensor: &mut PtSensor,
+    inputs: &SensorInputs<'_>,
+    rng: &mut R,
+    scratch: &mut Scratch,
+) -> Result<CalibrationOutcome, SensorError> {
     let mut ledger = EnergyLedger::new();
     let mut health = Health::nominal();
     let spec = sensor.spec;
 
     // Four PSRO measurements: each polarity at both supplies.
     let plan = gate::calibration_plan(&spec);
-    let measured = gate::gate_plan(sensor, &plan, inputs, rng, &mut ledger, &mut health)?;
+    let measured = gate::gate_plan_with(
+        sensor,
+        &plan,
+        inputs,
+        rng,
+        &mut ledger,
+        &mut health,
+        scratch,
+    )?;
 
     // 4×4 decoupling at the assumed calibration temperature.
-    let (x, iters) = solve::solve_calibration_escalating(sensor, &plan, &measured, &mut health)?;
+    let (x, iters) = solve::solve_calibration_escalating(
+        sensor,
+        &plan,
+        &measured,
+        &mut health,
+        &mut scratch.newton,
+    )?;
     sensor.charge_digital(
         &mut ledger,
         "solver",
@@ -106,7 +179,7 @@ pub fn run_calibration<R: Rng + ?Sized>(
     );
 
     // TSRO reference: absorb its local mismatch into a stored log-scale.
-    let f_t = gate::gate_channel(
+    let f_t = gate::gate_channel_with(
         sensor,
         crate::bank::RoClass::Tsro,
         spec.bank.vdd_tsro,
@@ -114,6 +187,7 @@ pub fn run_calibration<R: Rng + ?Sized>(
         rng,
         &mut ledger,
         &mut health,
+        scratch,
     )?
     .ok_or(SensorError::ChannelFailed {
         channel: crate::bank::RoClass::Tsro.name(),
@@ -206,6 +280,17 @@ impl Conversion for PtSensor {
         rng: &mut dyn RngCore,
     ) -> Result<Reading, SensorError> {
         self.read(inputs, rng)
+    }
+
+    /// Overridden to reuse one [`Scratch`] across the batch (bit-identical
+    /// to the default sequential composition — same RNG draws and float
+    /// operations — but allocation-free per die after warm-up).
+    fn convert_batch(
+        &self,
+        inputs: &[SensorInputs<'_>],
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Reading>, SensorError> {
+        self.read_batch(inputs, rng)
     }
 }
 

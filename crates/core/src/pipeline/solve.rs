@@ -13,9 +13,10 @@ use crate::bank::RoClass;
 use crate::calib::Calibration;
 use crate::error::SensorError;
 use crate::health::{Health, HealthEvent};
-use crate::newton::{newton_solve, NewtonOptions};
+use crate::newton::{newton_solve_with, NewtonOptions, NewtonScratch};
 use crate::pipeline::gate::Gated;
 use crate::sensor::PtSensor;
+use ptsim_device::delay::{DelayCache, ThermalPoint};
 use ptsim_device::inverter::CmosEnv;
 use ptsim_device::units::{Celsius, Hertz, Volt};
 
@@ -46,6 +47,56 @@ pub(crate) fn model_env(d_vtn: f64, d_vtp: f64, mu_n: f64, mu_p: f64, temp: Cels
     }
 }
 
+/// A tiny exact-memoization cache for per-device on-currents inside the
+/// Newton residual closures. Keys are the raw bits of the two unknowns a
+/// device's current actually depends on; a hit replays exactly the values
+/// the miss path computed from the same operands, so the finite-difference
+/// Jacobian sweep skips re-evaluating the device a perturbation left
+/// untouched (perturbing an NMOS unknown cannot change any PMOS current,
+/// and vice versa). Three entries cover the sweep's reuse pattern: the
+/// base iterate stays resident while the per-unknown perturbations cycle
+/// through the remaining slots.
+struct CurrentMemo<const R: usize> {
+    keys: [(u64, u64); 3],
+    vals: [[f64; R]; 3],
+    stamp: [u32; 3],
+    len: usize,
+    clock: u32,
+}
+
+impl<const R: usize> CurrentMemo<R> {
+    fn new() -> Self {
+        CurrentMemo {
+            keys: [(0, 0); 3],
+            vals: [[0.0; R]; 3],
+            stamp: [0; 3],
+            len: 0,
+            clock: 0,
+        }
+    }
+
+    fn get_or(&mut self, key: (u64, u64), compute: impl FnOnce() -> [f64; R]) -> [f64; R] {
+        self.clock += 1;
+        for i in 0..self.len {
+            if self.keys[i] == key {
+                self.stamp[i] = self.clock;
+                return self.vals[i];
+            }
+        }
+        let slot = if self.len < self.keys.len() {
+            self.len += 1;
+            self.len - 1
+        } else {
+            // Evict the least-recently-used entry.
+            (1..self.keys.len()).fold(0, |m, i| if self.stamp[i] < self.stamp[m] { i } else { m })
+        };
+        self.keys[slot] = key;
+        self.vals[slot] = compute();
+        self.stamp[slot] = self.clock;
+        self.vals[slot]
+    }
+}
+
 /// Solved process/temperature state of one conversion, before output
 /// bounding and quantization.
 #[derive(Debug, Clone, Copy)]
@@ -70,23 +121,80 @@ pub(crate) fn solve_calibration(
     plan: &[(RoClass, Volt); 4],
     measured: &[f64; 4],
     opts: &NewtonOptions,
+    ns: &mut NewtonScratch,
 ) -> Result<([f64; 4], usize), SensorError> {
     let t_cal = sensor.spec.calib_temp;
+    // The calibration temperature is fixed across iterations, so the shared
+    // per-temperature point — and with it each row's drain-saturation
+    // factor — is hoisted out of the residual entirely, as are the measured
+    // log-frequencies (all bit-identical: the same pure expressions, just
+    // evaluated once instead of per residual call).
+    let th = sensor.cache.thermal(t_cal);
+    let drains = plan.map(|(_, vdd)| DelayCache::drain_factor(&th, vdd));
+    let ln_m = measured.map(f64::ln);
+    const FD_STEPS: [f64; 4] = [1e-4, 1e-4, 1e-3, 1e-3];
+    const STEP_LIMITS: [f64; 4] = [0.04, 0.04, 0.15, 0.15];
     let mut x = [0.0, 0.0, 1.0, 1.0];
-    let iters = newton_solve(
-        &mut x,
-        |v: &[f64]| -> Vec<f64> {
-            let env = model_env(v[0], v[1], v[2], v[3], t_cal);
-            plan.iter()
-                .zip(measured)
-                .map(|((class, vdd), m)| sensor.model_ln_f(*class, *vdd, &env) - m.ln())
-                .collect()
-        },
-        &[1e-4, 1e-4, 1e-3, 1e-3],
-        &[0.04, 0.04, 0.15, 0.15],
-        opts,
-        "calibration decoupling",
-    )?;
+    let iters = if sensor.characterized_model().is_some() {
+        newton_solve_with(
+            ns,
+            &mut x,
+            |v, out| {
+                let env = model_env(v[0], v[1], v[2], v[3], t_cal);
+                for (slot, (class, vdd)) in plan.iter().enumerate() {
+                    out[slot] = sensor.model_ln_f_at_drain(*class, *vdd, &env, &th, drains[slot])
+                        - ln_m[slot];
+                }
+            },
+            &FD_STEPS,
+            &STEP_LIMITS,
+            opts,
+            "calibration decoupling",
+        )?
+    } else {
+        // Analytic path: evaluate per-device on-currents so the Jacobian
+        // sweep can reuse the device a perturbation left untouched — the
+        // NMOS currents depend only on `(v[0], v[2])` and the PMOS
+        // currents only on `(v[1], v[3])` (the temperature is fixed at
+        // `t_cal`). Bit-identical to the unmemoized path: a memo hit
+        // replays the exact values the miss path computes, and the
+        // current→delay→frequency recombination below is the same
+        // arithmetic `frequency_with_drain` performs.
+        let rings = plan.map(|(class, _)| sensor.cache.ring(class));
+        let mut n_memo = CurrentMemo::<4>::new();
+        let mut p_memo = CurrentMemo::<4>::new();
+        newton_solve_with(
+            ns,
+            &mut x,
+            |v, out| {
+                let ions_n = n_memo.get_or((v[0].to_bits(), v[2].to_bits()), || {
+                    core::array::from_fn(|i| {
+                        rings[i]
+                            .delay()
+                            .nmos_current(&th, plan[i].1, v[0], v[2], drains[i])
+                    })
+                });
+                let ions_p = p_memo.get_or((v[1].to_bits(), v[3].to_bits()), || {
+                    core::array::from_fn(|i| {
+                        rings[i]
+                            .delay()
+                            .pmos_current(&th, plan[i].1, v[1], v[3], drains[i])
+                    })
+                });
+                for (slot, out_s) in out.iter_mut().enumerate() {
+                    *out_s = rings[slot]
+                        .frequency_from_currents(ions_n[slot], ions_p[slot], plan[slot].1)
+                        .0
+                        .ln()
+                        - ln_m[slot];
+                }
+            },
+            &FD_STEPS,
+            &STEP_LIMITS,
+            opts,
+            "calibration decoupling",
+        )?
+    };
     Ok((x, iters))
 }
 
@@ -101,14 +209,15 @@ pub(crate) fn solve_calibration_escalating(
     plan: &[(RoClass, Volt); 4],
     measured: &[f64; 4],
     health: &mut Health,
+    ns: &mut NewtonScratch,
 ) -> Result<([f64; 4], usize), SensorError> {
-    match solve_calibration(sensor, plan, measured, &NewtonOptions::default()) {
+    match solve_calibration(sensor, plan, measured, &NewtonOptions::default(), ns) {
         Ok(solved) => Ok(solved),
         Err(e) if solver_failed(&e) => {
             health.record(HealthEvent::SolverRetuned {
                 what: "calibration decoupling",
             });
-            solve_calibration(sensor, plan, measured, &NewtonOptions::robust())
+            solve_calibration(sensor, plan, measured, &NewtonOptions::robust(), ns)
         }
         Err(e) => Err(e),
     }
@@ -122,36 +231,147 @@ fn solve_conversion(
     f_n: Hertz,
     f_p: Hertz,
     opts: &NewtonOptions,
+    ns: &mut NewtonScratch,
 ) -> Result<([f64; 3], usize), SensorError> {
     let spec = sensor.spec;
     let ln_scale = cal.ln_tsro_scale();
     let (mu_n, mu_p) = (cal.mu_n(), cal.mu_p());
+    // Measured log-frequencies are loop constants; hoisting the `ln`s out
+    // of the residual is bit-identical (the subtraction order below is
+    // unchanged — `ln_ft` and `ln_scale` stay separate addends).
+    let (ln_ft, ln_fn, ln_fp) = (f_t.0.ln(), f_n.0.ln(), f_p.0.ln());
+    // One thermal point (one `powf`) and two drain factors (one `exp`
+    // each) per *distinct temperature*, shared by the three model rows and
+    // — via the memo — by the two threshold-perturbed Jacobian evaluations
+    // of each Newton iteration, which re-visit the iterate's temperature.
+    // Exact memoization: a hit replays the identical values the miss path
+    // computes from the same `t`.
+    let mut point_memo: Option<(u64, ThermalPoint, f64, f64)> = None;
+    const FD_STEPS: [f64; 3] = [0.01, 1e-4, 1e-4];
+    const STEP_LIMITS: [f64; 3] = [40.0, 0.03, 0.03];
     // The TSRO row dominates temperature and the PSRO rows dominate the
     // thresholds, so the Jacobian is diagonally strong and quadratic
     // convergence holds even for large post-calibration drift (aging,
     // stress).
     let mut x = [cal.calib_temp().0, cal.d_vtn().0, cal.d_vtp().0];
-    let iters = newton_solve(
-        &mut x,
-        |v| {
-            let env = model_env(v[1], v[2], mu_n, mu_p, Celsius(v[0]));
-            vec![
-                sensor.model_ln_f(RoClass::Tsro, spec.bank.vdd_tsro, &env) - f_t.0.ln() + ln_scale,
-                sensor.model_ln_f(RoClass::PsroN, spec.bank.vdd_low, &env) - f_n.0.ln(),
-                sensor.model_ln_f(RoClass::PsroP, spec.bank.vdd_low, &env) - f_p.0.ln(),
-            ]
-        },
-        &[0.01, 1e-4, 1e-4],
-        &[40.0, 0.03, 0.03],
-        opts,
-        "conversion decoupling",
-    )?;
+    let iters = if sensor.characterized_model().is_some() {
+        newton_solve_with(
+            ns,
+            &mut x,
+            |v, out| {
+                let env = model_env(v[1], v[2], mu_n, mu_p, Celsius(v[0]));
+                let (th, drain_tsro, drain_low) = match point_memo {
+                    Some((bits, th, dt, dl)) if bits == v[0].to_bits() => (th, dt, dl),
+                    _ => {
+                        let th = sensor.cache.thermal(env.temp);
+                        let dt = DelayCache::drain_factor(&th, spec.bank.vdd_tsro);
+                        let dl = DelayCache::drain_factor(&th, spec.bank.vdd_low);
+                        point_memo = Some((v[0].to_bits(), th, dt, dl));
+                        (th, dt, dl)
+                    }
+                };
+                out[0] = sensor.model_ln_f_at_drain(
+                    RoClass::Tsro,
+                    spec.bank.vdd_tsro,
+                    &env,
+                    &th,
+                    drain_tsro,
+                ) - ln_ft
+                    + ln_scale;
+                out[1] = sensor.model_ln_f_at_drain(
+                    RoClass::PsroN,
+                    spec.bank.vdd_low,
+                    &env,
+                    &th,
+                    drain_low,
+                ) - ln_fn;
+                out[2] = sensor.model_ln_f_at_drain(
+                    RoClass::PsroP,
+                    spec.bank.vdd_low,
+                    &env,
+                    &th,
+                    drain_low,
+                ) - ln_fp;
+            },
+            &FD_STEPS,
+            &STEP_LIMITS,
+            opts,
+            "conversion decoupling",
+        )?
+    } else {
+        // Analytic path: per-device currents with exact memoization — the
+        // NMOS currents depend only on `(v[0], v[1])` and the PMOS
+        // currents only on `(v[0], v[2])`, so the threshold-perturbed
+        // Jacobian columns reuse the other device's currents verbatim.
+        let rings = [
+            sensor.cache.ring(RoClass::Tsro),
+            sensor.cache.ring(RoClass::PsroN),
+            sensor.cache.ring(RoClass::PsroP),
+        ];
+        let vdds = [spec.bank.vdd_tsro, spec.bank.vdd_low, spec.bank.vdd_low];
+        let mut n_memo = CurrentMemo::<3>::new();
+        let mut p_memo = CurrentMemo::<3>::new();
+        newton_solve_with(
+            ns,
+            &mut x,
+            |v, out| {
+                let (th, drain_tsro, drain_low) = match point_memo {
+                    Some((bits, th, dt, dl)) if bits == v[0].to_bits() => (th, dt, dl),
+                    _ => {
+                        let th = sensor.cache.thermal(Celsius(v[0]));
+                        let dt = DelayCache::drain_factor(&th, spec.bank.vdd_tsro);
+                        let dl = DelayCache::drain_factor(&th, spec.bank.vdd_low);
+                        point_memo = Some((v[0].to_bits(), th, dt, dl));
+                        (th, dt, dl)
+                    }
+                };
+                let drains = [drain_tsro, drain_low, drain_low];
+                let ions_n = n_memo.get_or((v[0].to_bits(), v[1].to_bits()), || {
+                    core::array::from_fn(|i| {
+                        rings[i]
+                            .delay()
+                            .nmos_current(&th, vdds[i], v[1], mu_n, drains[i])
+                    })
+                });
+                let ions_p = p_memo.get_or((v[0].to_bits(), v[2].to_bits()), || {
+                    core::array::from_fn(|i| {
+                        rings[i]
+                            .delay()
+                            .pmos_current(&th, vdds[i], v[2], mu_p, drains[i])
+                    })
+                });
+                out[0] = rings[0]
+                    .frequency_from_currents(ions_n[0], ions_p[0], vdds[0])
+                    .0
+                    .ln()
+                    - ln_ft
+                    + ln_scale;
+                out[1] = rings[1]
+                    .frequency_from_currents(ions_n[1], ions_p[1], vdds[1])
+                    .0
+                    .ln()
+                    - ln_fn;
+                out[2] = rings[2]
+                    .frequency_from_currents(ions_n[2], ions_p[2], vdds[2])
+                    .0
+                    .ln()
+                    - ln_fp;
+            },
+            &FD_STEPS,
+            &STEP_LIMITS,
+            opts,
+            "conversion decoupling",
+        )?
+    };
     Ok((x, iters))
 }
 
 /// TSRO-row residual at hypothesized temperature `t`, with the process
-/// state frozen at the stored calibration.
-fn tsro_residual(sensor: &PtSensor, cal: &Calibration, f_t: Hertz, t: f64) -> f64 {
+/// state frozen at the stored calibration and the measured log-frequency
+/// (`ln_ft = f_t.ln()`) already computed — solver loops and the ROM grid
+/// scan hoist the `ln` out of their per-evaluation work (bit-identical:
+/// same value, same addend order).
+fn tsro_residual_ln(sensor: &PtSensor, cal: &Calibration, ln_ft: f64, t: f64) -> f64 {
     let env = model_env(
         cal.d_vtn().0,
         cal.d_vtp().0,
@@ -159,8 +379,7 @@ fn tsro_residual(sensor: &PtSensor, cal: &Calibration, f_t: Hertz, t: f64) -> f6
         cal.mu_p(),
         Celsius(t),
     );
-    sensor.model_ln_f(RoClass::Tsro, sensor.spec.bank.vdd_tsro, &env) - f_t.0.ln()
-        + cal.ln_tsro_scale()
+    sensor.model_ln_f(RoClass::Tsro, sensor.spec.bank.vdd_tsro, &env) - ln_ft + cal.ln_tsro_scale()
 }
 
 /// Temperature-only solve on the TSRO row (1×1 Newton, escalating to the
@@ -175,12 +394,15 @@ pub(crate) fn solve_temperature_only(
     cal: &Calibration,
     f_t: Hertz,
     health: &mut Health,
+    ns: &mut NewtonScratch,
 ) -> Result<(f64, usize), SensorError> {
-    let run = |opts: &NewtonOptions| -> Result<(f64, usize), SensorError> {
+    let ln_ft = f_t.0.ln();
+    let run = |opts: &NewtonOptions, ns: &mut NewtonScratch| -> Result<(f64, usize), SensorError> {
         let mut x = [cal.calib_temp().0];
-        let iters = newton_solve(
+        let iters = newton_solve_with(
+            ns,
             &mut x,
-            |v| vec![tsro_residual(sensor, cal, f_t, v[0])],
+            |v, out| out[0] = tsro_residual_ln(sensor, cal, ln_ft, v[0]),
             &[0.01],
             &[40.0],
             opts,
@@ -188,13 +410,13 @@ pub(crate) fn solve_temperature_only(
         )?;
         Ok((x[0], iters))
     };
-    match run(&NewtonOptions::default()) {
+    match run(&NewtonOptions::default(), ns) {
         Ok(solved) => Ok(solved),
         Err(e) if solver_failed(&e) => {
             health.record(HealthEvent::SolverRetuned {
                 what: "temperature-only decoupling",
             });
-            match run(&NewtonOptions::robust()) {
+            match run(&NewtonOptions::robust(), ns) {
                 Ok(solved) => Ok(solved),
                 Err(e) if solver_failed(&e) => {
                     health.record(HealthEvent::RomFallback {
@@ -223,10 +445,11 @@ pub(crate) fn rom_bisect_temperature(
         sensor.spec.temp_range.1 .0 + 10.0,
     );
     let steps = ((hi - lo) / ROM_GRID_STEP).ceil() as usize;
+    let ln_ft = f_t.0.ln();
     let mut best = (f64::INFINITY, lo);
     for i in 0..=steps {
         let t = lo + (hi - lo) * i as f64 / steps as f64;
-        let r = tsro_residual(sensor, cal, f_t, t).abs();
+        let r = tsro_residual_ln(sensor, cal, ln_ft, t).abs();
         if r < best.0 {
             best = (r, t);
         }
@@ -248,16 +471,33 @@ pub fn solve_gated(
     gated: &Gated,
     health: &mut Health,
 ) -> Result<Solved, SensorError> {
+    solve_gated_with(sensor, cal, gated, health, &mut NewtonScratch::new())
+}
+
+/// [`solve_gated`] with a caller-owned (reusable) [`NewtonScratch`] — the
+/// allocation-free form the batch hot path uses.
+///
+/// # Errors
+///
+/// See [`solve_gated`].
+pub(crate) fn solve_gated_with(
+    sensor: &PtSensor,
+    cal: &Calibration,
+    gated: &Gated,
+    health: &mut Health,
+    ns: &mut NewtonScratch,
+) -> Result<Solved, SensorError> {
     let f_t = gated.f_tsro;
     let (temperature, d_vtn, d_vtp, iterations) = match (gated.f_psro_n, gated.f_psro_p) {
         (Some(f_n), Some(f_p)) => {
-            match solve_conversion(sensor, cal, f_t, f_n, f_p, &NewtonOptions::default()) {
+            match solve_conversion(sensor, cal, f_t, f_n, f_p, &NewtonOptions::default(), ns) {
                 Ok((x, iters)) => (x[0], x[1], x[2], iters),
                 Err(e) if solver_failed(&e) => {
                     health.record(HealthEvent::SolverRetuned {
                         what: "conversion decoupling",
                     });
-                    match solve_conversion(sensor, cal, f_t, f_n, f_p, &NewtonOptions::robust()) {
+                    match solve_conversion(sensor, cal, f_t, f_n, f_p, &NewtonOptions::robust(), ns)
+                    {
                         Ok((x, iters)) => (x[0], x[1], x[2], iters),
                         Err(e) if solver_failed(&e) => {
                             health.record(HealthEvent::RomFallback {
@@ -274,7 +514,7 @@ pub fn solve_gated(
         }
         _ => {
             health.record(HealthEvent::DegradedTemperatureOnly);
-            let (t, iters) = solve_temperature_only(sensor, cal, f_t, health)?;
+            let (t, iters) = solve_temperature_only(sensor, cal, f_t, health, ns)?;
             (t, cal.d_vtn().0, cal.d_vtp().0, iters)
         }
     };

@@ -40,7 +40,7 @@
 //! no faults and the default single-replica hardening the datapath is
 //! bit-identical to the unhardened sensor.
 
-use crate::bank::{BankSpec, RoBank, RoClass};
+use crate::bank::{BankCache, BankSpec, RoBank, RoClass};
 use crate::calib::Calibration;
 use crate::error::SensorError;
 use crate::golden::{CharacterizationSpace, GoldenModel};
@@ -49,6 +49,7 @@ use crate::pipeline::bands::{design_bands, Band};
 use ptsim_circuit::counter::GatedCounter;
 use ptsim_circuit::energy::EnergyLedger;
 use ptsim_circuit::fixed::QFormat;
+use ptsim_device::delay::ThermalPoint;
 use ptsim_device::inverter::CmosEnv;
 use ptsim_device::process::Technology;
 use ptsim_device::units::{Celsius, Hertz, Joule, Volt};
@@ -222,6 +223,9 @@ pub struct PtSensor {
     pub(crate) tech: Technology,
     pub(crate) spec: SensorSpec,
     pub(crate) bank: RoBank,
+    /// Precomputed hot-path state of the bank (derived from `tech` + `bank`
+    /// at construction; bit-identical exact memoization).
+    pub(crate) cache: BankCache,
     /// When present, calibration/conversion math runs on the design-time
     /// characterized polynomial model (hardware-faithful) instead of the
     /// analytic compact model.
@@ -279,10 +283,12 @@ impl PtSensor {
         let _ = GatedCounter::new(spec.counter_bits, spec.window_cycles * h.retry_window_scale)?;
         let bank = RoBank::new(&tech, spec.bank)?;
         let bands = design_bands(&tech, &bank, &spec);
+        let cache = BankCache::new(&tech, &bank);
         Ok(PtSensor {
             tech,
             spec,
             bank,
+            cache,
             golden: None,
             calibration: None,
             bands,
@@ -317,12 +323,43 @@ impl PtSensor {
     }
 
     /// On-chip model prediction of `ln f` for an oscillator/supply pair.
+    /// The analytic path runs on the [`BankCache`] (bit-identical to the
+    /// uncached bank evaluation it replaced).
     pub(crate) fn model_ln_f(&self, class: RoClass, vdd: Volt, env: &CmosEnv) -> f64 {
         match &self.golden {
             Some(g) => g
                 .ln_frequency(class, vdd, env)
                 .expect("measurement plan pairs are always characterized"),
-            None => self.bank.frequency(&self.tech, class, vdd, env).0.ln(),
+            None => self.cache.frequency(class, vdd, env).0.ln(),
+        }
+    }
+
+    /// [`PtSensor::model_ln_f`] with a caller-computed [`ThermalPoint`]
+    /// (`th` must be `self.cache.thermal(env.temp)`) and drain-saturation
+    /// factor (`drain` must be
+    /// [`DelayCache::drain_factor`](ptsim_device::delay::DelayCache::drain_factor)
+    /// `(th, vdd)`): the decoupling residuals evaluate three model rows at
+    /// one temperature per call, so sharing the point saves two `powf` —
+    /// and sharing the factor one `exp` — per residual evaluation. The
+    /// golden (characterized) path ignores `th` and `drain`.
+    pub(crate) fn model_ln_f_at_drain(
+        &self,
+        class: RoClass,
+        vdd: Volt,
+        env: &CmosEnv,
+        th: &ThermalPoint,
+        drain: f64,
+    ) -> f64 {
+        match &self.golden {
+            Some(g) => g
+                .ln_frequency(class, vdd, env)
+                .expect("measurement plan pairs are always characterized"),
+            None => self
+                .cache
+                .ring(class)
+                .frequency_with_drain(th, drain, vdd, env)
+                .0
+                .ln(),
         }
     }
 
@@ -421,7 +458,12 @@ impl PtSensor {
     }
 
     /// Charges `cycles` of digital switching energy to a ledger component.
-    pub(crate) fn charge_digital(&self, ledger: &mut EnergyLedger, name: &str, cycles: u64) {
+    pub(crate) fn charge_digital(
+        &self,
+        ledger: &mut EnergyLedger,
+        name: &'static str,
+        cycles: u64,
+    ) {
         ledger.add(
             name,
             Joule(self.spec.digital_energy_per_cycle.0 * cycles as f64),
@@ -478,10 +520,12 @@ impl PtSensor {
     }
 
     /// Converts a batch of conditions in order with the calibrated sensor —
-    /// the sequential composition of [`PtSensor::read`] (bit-identical to a
-    /// hand-written loop). For whole-population batches use
-    /// [`BatchPlan`](crate::pipeline::BatchPlan), which also amortizes
-    /// construction.
+    /// bit-identical to a hand-written [`PtSensor::read`] loop, but one
+    /// [`Scratch`](crate::pipeline::Scratch) workspace is reused across the
+    /// whole batch, so after the first conversion warms it up the analytic
+    /// hot path performs zero heap allocations per die. For whole-population
+    /// batches use [`BatchPlan`](crate::pipeline::BatchPlan), which also
+    /// amortizes construction.
     ///
     /// # Errors
     ///
@@ -491,7 +535,17 @@ impl PtSensor {
         inputs: &[SensorInputs<'_>],
         rng: &mut R,
     ) -> Result<Vec<Reading>, SensorError> {
-        inputs.iter().map(|i| self.read(i, rng)).collect()
+        let mut scratch = crate::pipeline::Scratch::new();
+        let mut readings = Vec::with_capacity(inputs.len());
+        for i in inputs {
+            readings.push(crate::pipeline::run_conversion_with(
+                self,
+                i,
+                rng,
+                &mut scratch,
+            )?);
+        }
+        Ok(readings)
     }
 }
 

@@ -1,0 +1,134 @@
+//! Property test: the batched conversion path ([`Conversion::convert_batch`],
+//! which reuses one `Scratch` workspace across the batch) is **bit-identical**
+//! to a hand-written [`Conversion::convert`] loop — same `Reading`s, same
+//! `Health` records, same RNG stream consumption — across random dies,
+//! temperatures, and fault plans. This is the workspace's enforcement of the
+//! hot-path contract: caching is exact memoization, never approximation.
+
+use ptsim_core::pipeline::Conversion;
+use ptsim_core::sensor::{PtSensor, SensorInputs, SensorSpec};
+use ptsim_device::process::Technology;
+use ptsim_device::units::{Celsius, Volt};
+use ptsim_faults::{Channel, Fault, FaultPlan, ReplicaSel};
+use ptsim_mc::die::{DieSample, DieSite};
+use ptsim_rng::{forall, Pcg64, RngCore};
+
+/// A small catalog of fault plans spanning the interesting code paths:
+/// healthy, frequency-domain faults, count-domain faults, shared-supply and
+/// reference faults, and a dead PSRO bank (degraded temperature-only output).
+fn fault_plan(kind: u64, a: f64, b: f64) -> FaultPlan {
+    match kind {
+        0 => FaultPlan::new(),
+        1 => FaultPlan::single(Fault::SlowRo {
+            channel: Channel::PsroN,
+            replica: ReplicaSel::All,
+            factor: 0.9 + 0.2 * a,
+        }),
+        2 => FaultPlan::single(Fault::RoJitter {
+            channel: Channel::Tsro,
+            replica: ReplicaSel::All,
+            sigma_rel: 0.002 * a,
+        }),
+        3 => FaultPlan::single(Fault::CountSlip {
+            replica: ReplicaSel::All,
+            max_slip: 1 + (a * 3.0) as u64,
+        }),
+        4 => FaultPlan::single(Fault::SupplyDroop {
+            depth: 0.05 * a,
+            probability: b,
+        }),
+        5 => FaultPlan::new()
+            .with(Fault::RefClockDrift {
+                rel: 0.01 * (a - 0.5),
+            })
+            .with(Fault::ThermalViaOpen {
+                delta: Celsius(3.0 * b),
+            }),
+        _ => FaultPlan::single(Fault::DeadRoStage {
+            channel: Channel::PsroN,
+            replica: ReplicaSel::All,
+        }),
+    }
+}
+
+forall! {
+    #![cases = 16]
+
+    #[test]
+    fn convert_batch_is_bit_identical_to_a_convert_loop(
+        dvt_n in -0.02f64..0.02,
+        dvt_p in -0.02f64..0.02,
+        t0 in -20.0f64..110.0,
+        t1 in -20.0f64..110.0,
+        t2 in -20.0f64..110.0,
+        kind in 0u64..7,
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut die = DieSample::nominal();
+        die.d_vtn_d2d = Volt(dvt_n);
+        die.d_vtp_d2d = Volt(dvt_p);
+        let mut sensor =
+            PtSensor::new(Technology::n65(), SensorSpec::default_65nm()).unwrap();
+        let mut rng = Pcg64::seed_from_u64(seed);
+        sensor
+            .prepare(
+                &SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)),
+                &mut rng,
+            )
+            .unwrap();
+        sensor.inject_faults(fault_plan(kind, a, b));
+
+        let inputs: Vec<SensorInputs<'_>> = [t0, t1, t2]
+            .iter()
+            .map(|&t| SensorInputs::new(&die, DieSite::CENTER, Celsius(t)))
+            .collect();
+
+        // One-shot path: one `convert` per input, stopping at the first error
+        // (the documented `convert_batch` failure contract).
+        let mut rng_loop = Pcg64::seed_from_u64(seed ^ 0xd1e5_0f_ba7c4);
+        let looped: Result<Vec<_>, _> = inputs
+            .iter()
+            .map(|i| sensor.convert(i, &mut rng_loop))
+            .collect();
+
+        // Batched path: identical fresh RNG, shared scratch workspace.
+        let mut rng_batch = Pcg64::seed_from_u64(seed ^ 0xd1e5_0f_ba7c4);
+        let batched = sensor.convert_batch(&inputs, &mut rng_batch);
+
+        match (looped, batched) {
+            (Ok(l), Ok(bt)) => {
+                assert_eq!(l.len(), bt.len());
+                for (x, y) in l.iter().zip(&bt) {
+                    // Bitwise equality on every float the reading reports…
+                    assert_eq!(x.temperature.0.to_bits(), y.temperature.0.to_bits());
+                    assert_eq!(x.d_vtn.0.to_bits(), y.d_vtn.0.to_bits());
+                    assert_eq!(x.d_vtp.0.to_bits(), y.d_vtp.0.to_bits());
+                    assert_eq!(
+                        x.raw_frequencies.0 .0.to_bits(),
+                        y.raw_frequencies.0 .0.to_bits()
+                    );
+                    assert_eq!(
+                        x.raw_frequencies.1 .0.to_bits(),
+                        y.raw_frequencies.1 .0.to_bits()
+                    );
+                    assert_eq!(
+                        x.raw_frequencies.2 .0.to_bits(),
+                        y.raw_frequencies.2 .0.to_bits()
+                    );
+                    // …and structural equality on the rest (health events,
+                    // energy ledger, solver iteration counts).
+                    assert_eq!(x, y);
+                }
+                // Both paths must consume exactly the same RNG stream.
+                assert_eq!(rng_loop.next_u64(), rng_batch.next_u64());
+            }
+            (Err(le), Err(be)) => {
+                assert_eq!(format!("{le:?}"), format!("{be:?}"));
+                assert_eq!(rng_loop.next_u64(), rng_batch.next_u64());
+            }
+            (l, bt) => panic!("paths diverged: loop={l:?} batch={bt:?}"),
+        }
+    }
+}

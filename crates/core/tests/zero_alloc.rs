@@ -1,0 +1,99 @@
+//! Enforces the hot-path allocation contract with a counting global
+//! allocator: after the first conversion warms up the reused
+//! [`Scratch`](ptsim_core::Scratch) workspace, the healthy analytic
+//! conversion path performs **zero** heap allocations per die.
+//!
+//! Integration tests are separate binaries, so installing a counting
+//! `#[global_allocator]` here observes every allocation the conversion
+//! makes without affecting any other test.
+
+use ptsim_core::pipeline::run_conversion_with;
+use ptsim_core::sensor::{PtSensor, SensorInputs, SensorSpec};
+use ptsim_core::Scratch;
+use ptsim_device::process::Technology;
+use ptsim_device::units::{Celsius, Volt};
+use ptsim_mc::die::{DieSample, DieSite};
+use ptsim_rng::Pcg64;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Forwards to the system allocator, counting every allocation.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// Tests are not built with `--cfg ptsim` pedantry: unsafe is confined to the
+// trait forwarding below and the counter is a relaxed atomic (exactness per
+// thread is all the single-threaded test needs).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_conversion_path_is_allocation_free() {
+    let mut die = DieSample::nominal();
+    die.d_vtn_d2d = Volt(0.012);
+    die.d_vtp_d2d = Volt(-0.008);
+    let mut sensor = PtSensor::new(Technology::n65(), SensorSpec::default_65nm()).unwrap();
+    let mut rng = Pcg64::seed_from_u64(0xa110c);
+    sensor
+        .calibrate(
+            &SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)),
+            &mut rng,
+        )
+        .unwrap();
+
+    let temps = [Celsius(-10.0), Celsius(25.0), Celsius(60.0), Celsius(95.0)];
+    let mut scratch = Scratch::new();
+
+    // Warm-up: the first conversion is allowed to size the scratch buffers.
+    let warm = run_conversion_with(
+        &sensor,
+        &SensorInputs::new(&die, DieSite::CENTER, temps[0]),
+        &mut rng,
+        &mut scratch,
+    )
+    .unwrap();
+    assert!(warm.temperature.0.is_finite());
+
+    // Measured region: every subsequent conversion must reuse the warmed
+    // scratch without touching the heap.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut checksum = 0.0;
+    for _ in 0..8 {
+        for &t in &temps {
+            let r = run_conversion_with(
+                &sensor,
+                &SensorInputs::new(&die, DieSite::CENTER, t),
+                &mut rng,
+                &mut scratch,
+            )
+            .unwrap();
+            checksum += r.temperature.0;
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert!(checksum.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "warm conversions allocated {} times",
+        after - before
+    );
+}

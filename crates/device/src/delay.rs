@@ -1,0 +1,329 @@
+//! Exact-memoized inverter evaluation — the conversion hot path.
+//!
+//! A [`DelayCache`] hoists every temperature-independent quantity of one
+//! [`Inverter`] out of [`Inverter::stage_delay`] / [`Inverter::leakage_current`]
+//! (threshold/transconductance lookups, the `W/L` division, the
+//! velocity-saturation critical voltage, the `2·n` subthreshold prefix), and
+//! a [`ThermalPoint`] hoists every quantity that depends only on the
+//! evaluation temperature (thermal voltage, the `T^-1.5` mobility power law —
+//! the single most expensive transcendental of the device model, shared by
+//! both devices and every ring at that temperature).
+//!
+//! **Bit-identity contract.** The cached path is *exact memoization*, not an
+//! approximation: every floating-point operation that remains per-sample is
+//! written in the same order and association as the uncached
+//! [`Mosfet::drain_current`](crate::mosfet::Mosfet::drain_current) chain, and
+//! every hoisted value is produced by the identical expression the uncached
+//! path evaluates (e.g. the `2.0 * n` prefix of the long-channel current is a
+//! left-associated prefix of the original product, so pre-multiplying it is
+//! legal; folding `kp·W/L` would not be). Property tests in this module and
+//! in `ptsim-core` assert agreement to the last bit across random
+//! temperature/variation/supply points.
+
+use crate::consts::{thermal_voltage, T_REF};
+use crate::inverter::{CmosEnv, Inverter};
+use crate::mosfet::softplus;
+use crate::process::Technology;
+use crate::units::{Ampere, Celsius, Farad, Seconds, Volt, Watt};
+
+/// Temperature-independent constants of one MOSFET.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct DeviceConsts {
+    /// Nominal threshold magnitude.
+    vt0: f64,
+    /// Threshold temperature coefficient.
+    dvt_dt: f64,
+    /// Process transconductance at the reference temperature.
+    kp0: f64,
+    /// Drawn aspect ratio `W/L`.
+    aspect: f64,
+    /// Velocity-saturation critical voltage scaled to this channel length.
+    vcrit: f64,
+}
+
+impl DeviceConsts {
+    fn new(m: &crate::mosfet::Mosfet, tech: &Technology) -> Self {
+        DeviceConsts {
+            vt0: m.polarity().vt0(tech).0,
+            dvt_dt: m.polarity().dvt_dt(tech),
+            kp0: m.polarity().kp(tech),
+            aspect: m.aspect(),
+            vcrit: tech.vcrit.0 * (m.length().0 / tech.l_min),
+        }
+    }
+}
+
+/// Per-temperature shared quantities (pure functions of the junction
+/// temperature): computed once per evaluation point, reused by both devices
+/// of an inverter and by every oscillator evaluated at that temperature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalPoint {
+    /// Thermal voltage `kT/q`.
+    vt_th: f64,
+    /// Temperature offset from the reference point, `T − 25 °C`.
+    dt: f64,
+    /// Mobility power law `(T/T_ref)^-mu_temp_exp`.
+    mu_pow: f64,
+}
+
+/// All temperature-independent quantities of one inverter, precomputed once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayCache {
+    nmos: DeviceConsts,
+    pmos: DeviceConsts,
+    /// Subthreshold prefix `2·n` (left-associated prefix of the current chain).
+    two_n: f64,
+    /// Negated mobility temperature exponent (`powf` argument).
+    neg_mu_exp: f64,
+    /// Reference temperature in kelvin.
+    t_ref_k: f64,
+    input_cap: Farad,
+    output_cap: Farad,
+}
+
+impl DelayCache {
+    /// Hoists the temperature-independent constants of `inv` under `tech`.
+    #[must_use]
+    pub fn new(inv: &Inverter, tech: &Technology) -> Self {
+        DelayCache {
+            nmos: DeviceConsts::new(inv.nmos(), tech),
+            pmos: DeviceConsts::new(inv.pmos(), tech),
+            two_n: 2.0 * tech.subthreshold_n,
+            neg_mu_exp: -tech.mu_temp_exp,
+            t_ref_k: T_REF.to_kelvin().0,
+            input_cap: inv.input_cap(tech),
+            output_cap: inv.output_cap(tech),
+        }
+    }
+
+    /// Precomputed [`Inverter::input_cap`].
+    #[must_use]
+    pub fn input_cap(&self) -> Farad {
+        self.input_cap
+    }
+
+    /// Precomputed [`Inverter::output_cap`].
+    #[must_use]
+    pub fn output_cap(&self) -> Farad {
+        self.output_cap
+    }
+
+    /// Evaluates the shared per-temperature quantities (one `powf`, reused
+    /// by every subsequent evaluation at `temp`).
+    #[must_use]
+    pub fn thermal(&self, temp: Celsius) -> ThermalPoint {
+        let tk = temp.to_kelvin();
+        ThermalPoint {
+            vt_th: thermal_voltage(tk).0,
+            dt: temp.0 - T_REF.0,
+            mu_pow: (tk.0 / self.t_ref_k).powf(self.neg_mu_exp),
+        }
+    }
+
+    /// Drain current of one device with the shared drain-saturation factor
+    /// already clamped. Same operation order as
+    /// [`Mosfet::drain_current`](crate::mosfet::Mosfet::drain_current).
+    fn current(
+        c: &DeviceConsts,
+        two_n: f64,
+        th: &ThermalPoint,
+        vgs: f64,
+        delta_vt: f64,
+        mu_factor: f64,
+        drain: f64,
+    ) -> f64 {
+        let vt_eff = c.vt0 + c.dvt_dt * th.dt + delta_vt;
+        let x = (vgs - vt_eff) / (two_n * th.vt_th);
+        let g = softplus(x);
+        let mu_scale = mu_factor * th.mu_pow;
+        let kp = c.kp0 * mu_scale;
+        let i_long = two_n * kp * c.aspect * th.vt_th * th.vt_th * g * g;
+        let i_sat = i_long / (1.0 + (2.0 * th.vt_th * g) / c.vcrit);
+        i_sat * drain
+    }
+
+    /// Drain-saturation factor at `vdd`, shared by both devices and by the
+    /// on/off operating points (`vds = vdd` in all four). A pure function
+    /// of `(th, vdd)`: solver loops that evaluate several model rows at one
+    /// temperature and supply may compute it once and pass it to
+    /// [`DelayCache::stage_delay_with_drain`] (bit-identical — the same two
+    /// operands produce the same factor).
+    #[inline]
+    #[must_use]
+    pub fn drain_factor(th: &ThermalPoint, vdd: Volt) -> f64 {
+        let drain = 1.0 - (-vdd.0 / th.vt_th).exp();
+        drain.max(0.0)
+    }
+
+    /// Bit-identical to [`Inverter::stage_delay`] at `env.temp == th`'s
+    /// temperature.
+    #[must_use]
+    pub fn stage_delay(&self, th: &ThermalPoint, vdd: Volt, load: Farad, env: &CmosEnv) -> Seconds {
+        self.stage_delay_with_drain(th, Self::drain_factor(th, vdd), vdd, load, env)
+    }
+
+    /// [`DelayCache::stage_delay`] with the drain-saturation factor already
+    /// computed (`drain` must be `Self::drain_factor(th, vdd)`).
+    #[must_use]
+    pub fn stage_delay_with_drain(
+        &self,
+        th: &ThermalPoint,
+        drain: f64,
+        vdd: Volt,
+        load: Farad,
+        env: &CmosEnv,
+    ) -> Seconds {
+        let ion_n = self.nmos_current(th, vdd, env.d_vtn.0, env.mu_n, drain);
+        let ion_p = self.pmos_current(th, vdd, env.d_vtp.0, env.mu_p, drain);
+        self.stage_delay_from_currents(ion_n, ion_p, vdd, load)
+    }
+
+    /// NMOS on-current at gate/drain voltage `vdd` — a pure function of
+    /// `(th, vdd, d_vtn, mu_n, drain)`, exactly the NMOS half of
+    /// [`DelayCache::stage_delay_with_drain`]. Finite-difference Jacobian
+    /// sweeps that perturb only PMOS unknowns may reuse a previously
+    /// computed value (bit-identical: same operands, same expression).
+    #[inline]
+    #[must_use]
+    pub fn nmos_current(
+        &self,
+        th: &ThermalPoint,
+        vdd: Volt,
+        d_vtn: f64,
+        mu_n: f64,
+        drain: f64,
+    ) -> f64 {
+        Self::current(&self.nmos, self.two_n, th, vdd.0, d_vtn, mu_n, drain)
+    }
+
+    /// PMOS on-current — the PMOS counterpart of
+    /// [`DelayCache::nmos_current`].
+    #[inline]
+    #[must_use]
+    pub fn pmos_current(
+        &self,
+        th: &ThermalPoint,
+        vdd: Volt,
+        d_vtp: f64,
+        mu_p: f64,
+        drain: f64,
+    ) -> f64 {
+        Self::current(&self.pmos, self.two_n, th, vdd.0, d_vtp, mu_p, drain)
+    }
+
+    /// Recombines per-device on-currents (from [`DelayCache::nmos_current`]
+    /// / [`DelayCache::pmos_current`]) into the stage delay — the exact
+    /// arithmetic tail of [`DelayCache::stage_delay_with_drain`].
+    #[inline]
+    #[must_use]
+    pub fn stage_delay_from_currents(
+        &self,
+        ion_n: f64,
+        ion_p: f64,
+        vdd: Volt,
+        load: Farad,
+    ) -> Seconds {
+        let hl = load.0 * vdd.0 / (2.0 * ion_n);
+        let lh = load.0 * vdd.0 / (2.0 * ion_p);
+        Seconds(0.5 * (hl + lh))
+    }
+
+    /// Bit-identical to [`Inverter::leakage_current`].
+    #[must_use]
+    pub fn leakage_current(&self, th: &ThermalPoint, vdd: Volt, env: &CmosEnv) -> Ampere {
+        let drain = Self::drain_factor(th, vdd);
+        let in_off = Self::current(
+            &self.nmos,
+            self.two_n,
+            th,
+            0.0,
+            env.d_vtn.0,
+            env.mu_n,
+            drain,
+        );
+        let ip_off = Self::current(
+            &self.pmos,
+            self.two_n,
+            th,
+            0.0,
+            env.d_vtp.0,
+            env.mu_p,
+            drain,
+        );
+        Ampere(0.5 * (in_off + ip_off))
+    }
+
+    /// Bit-identical to [`Inverter::leakage_power`].
+    #[must_use]
+    pub fn leakage_power(&self, th: &ThermalPoint, vdd: Volt, env: &CmosEnv) -> Watt {
+        vdd * self.leakage_current(th, vdd, env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Micron;
+    use ptsim_rng::forall;
+
+    fn fixture(wn: f64, beta: f64) -> (Technology, Inverter, DelayCache) {
+        let tech = Technology::n65();
+        let inv = Inverter::balanced(Micron(wn), beta, &tech).unwrap();
+        let cache = DelayCache::new(&inv, &tech);
+        (tech, inv, cache)
+    }
+
+    fn env(t: f64, dn: f64, dp: f64, mu_n: f64, mu_p: f64) -> CmosEnv {
+        CmosEnv {
+            temp: Celsius(t),
+            d_vtn: Volt(dn),
+            d_vtp: Volt(dp),
+            mu_n,
+            mu_p,
+        }
+    }
+
+    forall! {
+        #[test]
+        fn cached_stage_delay_is_bit_identical(
+            t in -55.0f64..150.0,
+            dn in -0.06f64..0.06,
+            dp in -0.06f64..0.06,
+            mu in 0.8f64..1.25,
+            vdd in 0.35f64..1.1,
+        ) {
+            let (tech, inv, cache) = fixture(0.2, 2.0);
+            let e = env(t, dn, dp, mu, 2.05 - mu);
+            let load = Farad(2.5e-15);
+            let th = cache.thermal(e.temp);
+            let cached = cache.stage_delay(&th, Volt(vdd), load, &e);
+            let reference = inv.stage_delay(&tech, Volt(vdd), load, &e);
+            assert_eq!(cached.0.to_bits(), reference.0.to_bits());
+        }
+
+        #[test]
+        fn cached_leakage_is_bit_identical(
+            t in -55.0f64..150.0,
+            dn in -0.06f64..0.06,
+            dp in -0.06f64..0.06,
+            vdd in 0.35f64..1.1,
+        ) {
+            let (tech, inv, cache) = fixture(1.2, 1.7);
+            let e = env(t, dn, dp, 1.1, 0.93);
+            let th = cache.thermal(e.temp);
+            let i_cached = cache.leakage_current(&th, Volt(vdd), &e);
+            let i_ref = inv.leakage_current(&tech, Volt(vdd), &e);
+            assert_eq!(i_cached.0.to_bits(), i_ref.0.to_bits());
+            let p_cached = cache.leakage_power(&th, Volt(vdd), &e);
+            let p_ref = inv.leakage_power(&tech, Volt(vdd), &e);
+            assert_eq!(p_cached.0.to_bits(), p_ref.0.to_bits());
+        }
+    }
+
+    #[test]
+    fn caps_match_the_inverter() {
+        let (tech, inv, cache) = fixture(0.15, 2.4);
+        assert_eq!(cache.input_cap(), inv.input_cap(&tech));
+        assert_eq!(cache.output_cap(), inv.output_cap(&tech));
+    }
+}

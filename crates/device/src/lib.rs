@@ -34,6 +34,7 @@
 
 pub mod aging;
 pub mod consts;
+pub mod delay;
 pub mod error;
 pub mod inverter;
 pub mod mosfet;
@@ -41,6 +42,7 @@ pub mod process;
 pub mod units;
 
 pub use aging::{AgingModel, StressCondition};
+pub use delay::{DelayCache, ThermalPoint};
 pub use error::DeviceError;
 pub use inverter::{CmosEnv, Inverter};
 pub use mosfet::{DeviceEnv, MosPolarity, Mosfet};

@@ -121,7 +121,7 @@ pub struct Mosfet {
 }
 
 /// Numerically-stable softplus: `ln(1 + e^x)`.
-fn softplus(x: f64) -> f64 {
+pub(crate) fn softplus(x: f64) -> f64 {
     if x > 30.0 {
         x
     } else if x < -30.0 {

@@ -34,18 +34,21 @@ macro_rules! unit {
             pub const ZERO: $name = $name(0.0);
 
             /// Absolute value.
+            #[inline]
             #[must_use]
             pub fn abs(self) -> $name {
                 $name(self.0.abs())
             }
 
             /// Returns the larger of `self` and `other`.
+            #[inline]
             #[must_use]
             pub fn max(self, other: $name) -> $name {
                 $name(self.0.max(other.0))
             }
 
             /// Returns the smaller of `self` and `other`.
+            #[inline]
             #[must_use]
             pub fn min(self, other: $name) -> $name {
                 $name(self.0.min(other.0))
@@ -56,12 +59,14 @@ macro_rules! unit {
             /// # Panics
             ///
             /// Panics if `lo > hi`.
+            #[inline]
             #[must_use]
             pub fn clamp(self, lo: $name, hi: $name) -> $name {
                 $name(self.0.clamp(lo.0, hi.0))
             }
 
             /// True if the inner value is finite (neither NaN nor infinite).
+            #[inline]
             #[must_use]
             pub fn is_finite(self) -> bool {
                 self.0.is_finite()
@@ -80,6 +85,7 @@ macro_rules! unit {
 
         impl Add for $name {
             type Output = $name;
+            #[inline]
             fn add(self, rhs: $name) -> $name {
                 $name(self.0 + rhs.0)
             }
@@ -87,18 +93,21 @@ macro_rules! unit {
 
         impl Sub for $name {
             type Output = $name;
+            #[inline]
             fn sub(self, rhs: $name) -> $name {
                 $name(self.0 - rhs.0)
             }
         }
 
         impl AddAssign for $name {
+            #[inline]
             fn add_assign(&mut self, rhs: $name) {
                 self.0 += rhs.0;
             }
         }
 
         impl SubAssign for $name {
+            #[inline]
             fn sub_assign(&mut self, rhs: $name) {
                 self.0 -= rhs.0;
             }
@@ -106,6 +115,7 @@ macro_rules! unit {
 
         impl Neg for $name {
             type Output = $name;
+            #[inline]
             fn neg(self) -> $name {
                 $name(-self.0)
             }
@@ -113,6 +123,7 @@ macro_rules! unit {
 
         impl Mul<f64> for $name {
             type Output = $name;
+            #[inline]
             fn mul(self, rhs: f64) -> $name {
                 $name(self.0 * rhs)
             }
@@ -120,6 +131,7 @@ macro_rules! unit {
 
         impl Mul<$name> for f64 {
             type Output = $name;
+            #[inline]
             fn mul(self, rhs: $name) -> $name {
                 $name(self * rhs.0)
             }
@@ -127,6 +139,7 @@ macro_rules! unit {
 
         impl Div<f64> for $name {
             type Output = $name;
+            #[inline]
             fn div(self, rhs: f64) -> $name {
                 $name(self.0 / rhs)
             }
@@ -135,6 +148,7 @@ macro_rules! unit {
         /// Ratio of two like quantities is dimensionless.
         impl Div<$name> for $name {
             type Output = f64;
+            #[inline]
             fn div(self, rhs: $name) -> f64 {
                 self.0 / rhs.0
             }
@@ -147,6 +161,7 @@ macro_rules! unit {
         }
 
         impl From<$name> for f64 {
+            #[inline]
             fn from(v: $name) -> f64 {
                 v.0
             }
@@ -235,6 +250,7 @@ impl Celsius {
     /// use ptsim_device::units::Celsius;
     /// assert!((Celsius(0.0).to_kelvin().0 - 273.15).abs() < 1e-12);
     /// ```
+    #[inline]
     #[must_use]
     pub fn to_kelvin(self) -> Kelvin {
         Kelvin(self.0 + Self::KELVIN_OFFSET)
@@ -248,6 +264,7 @@ impl Kelvin {
     /// use ptsim_device::units::Kelvin;
     /// assert!((Kelvin(300.0).to_celsius().0 - 26.85).abs() < 1e-12);
     /// ```
+    #[inline]
     #[must_use]
     pub fn to_celsius(self) -> Celsius {
         Celsius(self.0 - Celsius::KELVIN_OFFSET)
@@ -255,12 +272,14 @@ impl Kelvin {
 }
 
 impl From<Celsius> for Kelvin {
+    #[inline]
     fn from(c: Celsius) -> Kelvin {
         c.to_kelvin()
     }
 }
 
 impl From<Kelvin> for Celsius {
+    #[inline]
     fn from(k: Kelvin) -> Celsius {
         k.to_celsius()
     }
@@ -271,6 +290,7 @@ impl From<Kelvin> for Celsius {
 /// `P = V * I`
 impl Mul<Ampere> for Volt {
     type Output = Watt;
+    #[inline]
     fn mul(self, rhs: Ampere) -> Watt {
         Watt(self.0 * rhs.0)
     }
@@ -279,6 +299,7 @@ impl Mul<Ampere> for Volt {
 /// `P = I * V`
 impl Mul<Volt> for Ampere {
     type Output = Watt;
+    #[inline]
     fn mul(self, rhs: Volt) -> Watt {
         Watt(self.0 * rhs.0)
     }
@@ -287,6 +308,7 @@ impl Mul<Volt> for Ampere {
 /// `E = P * t`
 impl Mul<Seconds> for Watt {
     type Output = Joule;
+    #[inline]
     fn mul(self, rhs: Seconds) -> Joule {
         Joule(self.0 * rhs.0)
     }
@@ -295,6 +317,7 @@ impl Mul<Seconds> for Watt {
 /// `E = t * P`
 impl Mul<Watt> for Seconds {
     type Output = Joule;
+    #[inline]
     fn mul(self, rhs: Watt) -> Joule {
         Joule(self.0 * rhs.0)
     }
@@ -305,6 +328,7 @@ impl Mul<Watt> for Seconds {
 /// needed. What we *do* provide is `V = I * R`.
 impl Mul<Ohm> for Ampere {
     type Output = Volt;
+    #[inline]
     fn mul(self, rhs: Ohm) -> Volt {
         Volt(self.0 * rhs.0)
     }
@@ -313,6 +337,7 @@ impl Mul<Ohm> for Ampere {
 /// `V = R * I`
 impl Mul<Ampere> for Ohm {
     type Output = Volt;
+    #[inline]
     fn mul(self, rhs: Ampere) -> Volt {
         Volt(self.0 * rhs.0)
     }
@@ -321,6 +346,7 @@ impl Mul<Ampere> for Ohm {
 /// `I = V / R`
 impl Div<Ohm> for Volt {
     type Output = Ampere;
+    #[inline]
     fn div(self, rhs: Ohm) -> Ampere {
         Ampere(self.0 / rhs.0)
     }
@@ -333,6 +359,7 @@ impl Seconds {
     /// # Panics
     ///
     /// Does not panic; an input of zero produces `Hertz(inf)`.
+    #[inline]
     #[must_use]
     pub fn to_frequency(self) -> Hertz {
         Hertz(1.0 / self.0)
@@ -341,6 +368,7 @@ impl Seconds {
 
 impl Hertz {
     /// Period of this frequency.
+    #[inline]
     #[must_use]
     pub fn period(self) -> Seconds {
         Seconds(1.0 / self.0)

@@ -108,32 +108,39 @@ where
     if cfg.n_dies == 0 {
         return Vec::new();
     }
+    // Hoist the per-die loop invariants (seed base, die count) out of the
+    // dispatch loops — `die_rng` then only pays the per-index mix.
+    let n = cfg.n_dies as u64;
+    let base = cfg.base_seed;
     if threads == 1 {
         let mut ctx = init();
-        return (0..cfg.n_dies as u64)
-            .map(|i| {
-                let mut rng = die_rng(cfg.base_seed, i);
-                f(&mut ctx, i, &mut rng)
-            })
-            .collect();
+        let mut out = Vec::with_capacity(cfg.n_dies);
+        for i in 0..n {
+            let mut rng = die_rng(base, i);
+            out.push(f(&mut ctx, i, &mut rng));
+        }
+        return out;
     }
 
     // Work distribution: a shared atomic cursor hands out die indices one at
     // a time, so fast workers naturally steal load from slow ones. Workers
-    // buffer results locally and merge under the mutex once, at exit.
+    // buffer results locally (pre-sized for an even share; stealing beyond
+    // it grows the buffer, never the critical section) and merge under the
+    // mutex once, at exit.
+    let per_worker = cfg.n_dies / threads + 1;
     let next = AtomicU64::new(0);
     let results: Mutex<Vec<(u64, T)>> = Mutex::new(Vec::with_capacity(cfg.n_dies));
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
                 let mut ctx = init();
-                let mut local: Vec<(u64, T)> = Vec::new();
+                let mut local: Vec<(u64, T)> = Vec::with_capacity(per_worker);
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= cfg.n_dies as u64 {
+                    if i >= n {
                         break;
                     }
-                    let mut rng = die_rng(cfg.base_seed, i);
+                    let mut rng = die_rng(base, i);
                     local.push((i, f(&mut ctx, i, &mut rng)));
                 }
                 results

@@ -3,7 +3,7 @@
 
 use crate::die::DieSample;
 use crate::gaussian::{normal, truncated_normal};
-use crate::spatial::{SpatialConfig, SpatialField};
+use crate::spatial::{SpatialConfig, SpatialStencil};
 use ptsim_device::process::{ProcessCorner, Technology};
 use ptsim_device::units::Volt;
 use ptsim_rng::Rng;
@@ -80,7 +80,61 @@ impl VariationModel {
     }
 
     /// Draws one die, tagging it with `die_id` for traceability.
+    ///
+    /// One-shot form: builds the within-die interpolation stencils afresh.
+    /// Population loops should hoist that work with [`VariationModel::sampler`]
+    /// and draw every die through the one [`DieSampler`] (bit-identical).
     pub fn sample_die_with_id<R: Rng + ?Sized>(&self, rng: &mut R, die_id: u64) -> DieSample {
+        self.sampler().sample_die_with_id(rng, die_id)
+    }
+
+    /// Precomputes the per-die-invariant sampling state (the within-die
+    /// bilinear stencils) for drawing many dies from this model.
+    #[must_use]
+    pub fn sampler(&self) -> DieSampler {
+        DieSampler {
+            sigma_vt_d2d: self.sigma_vt_d2d,
+            sigma_mu_d2d: self.sigma_mu_d2d,
+            d2d_truncation: self.d2d_truncation,
+            nvt_pvt_correlation: self.nvt_pvt_correlation,
+            vtn_stencil: SpatialStencil::new(&self.wid_vtn),
+            vtp_stencil: SpatialStencil::new(&self.wid_vtp),
+        }
+    }
+
+    /// Deterministic die at a named global corner (no WID, no mobility
+    /// randomness) — used for the corner-robustness table.
+    #[must_use]
+    pub fn corner_die(&self, corner: ProcessCorner, tech: &Technology) -> DieSample {
+        DieSample::at_corner(corner, tech)
+    }
+}
+
+/// Reusable die-drawing state snapshotted from a [`VariationModel`]: the
+/// die-to-die parameters plus the two within-die [`SpatialStencil`]s, built
+/// once and reused for every die of a population (the Monte-Carlo hot path).
+///
+/// Draws are bit-identical to [`VariationModel::sample_die_with_id`] — which
+/// is itself a thin wrapper over a freshly-built sampler — consuming the RNG
+/// stream identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DieSampler {
+    sigma_vt_d2d: Volt,
+    sigma_mu_d2d: f64,
+    d2d_truncation: f64,
+    nvt_pvt_correlation: f64,
+    vtn_stencil: SpatialStencil,
+    vtp_stencil: SpatialStencil,
+}
+
+impl DieSampler {
+    /// Draws one die from the population.
+    pub fn sample_die<R: Rng + ?Sized>(&mut self, rng: &mut R) -> DieSample {
+        self.sample_die_with_id(rng, 0)
+    }
+
+    /// Draws one die, tagging it with `die_id` for traceability.
+    pub fn sample_die_with_id<R: Rng + ?Sized>(&mut self, rng: &mut R, die_id: u64) -> DieSample {
         let k = self.d2d_truncation;
         let s = self.sigma_vt_d2d.0;
         // Correlated bivariate normal for (ΔVtn, ΔVtp): shared + independent.
@@ -100,16 +154,9 @@ impl VariationModel {
             d_vtp_d2d: Volt(d_vtp),
             mu_n_d2d: mu_n,
             mu_p_d2d: mu_p,
-            vtn_wid: SpatialField::generate(&self.wid_vtn, rng),
-            vtp_wid: SpatialField::generate(&self.wid_vtp, rng),
+            vtn_wid: self.vtn_stencil.generate(rng),
+            vtp_wid: self.vtp_stencil.generate(rng),
         }
-    }
-
-    /// Deterministic die at a named global corner (no WID, no mobility
-    /// randomness) — used for the corner-robustness table.
-    #[must_use]
-    pub fn corner_die(&self, corner: ProcessCorner, tech: &Technology) -> DieSample {
-        DieSample::at_corner(corner, tech)
     }
 }
 

@@ -19,7 +19,7 @@
 //! - [`seq::SliceRandom`] — Fisher–Yates shuffling for slices.
 //!
 //! ```
-//! use ptsim_rng::{Pcg64, Rng};
+//! use ptsim_rng::{Pcg64, Rng, RngCore};
 //!
 //! let mut rng = Pcg64::seed_from_u64(42);
 //! let u: f64 = rng.gen_range(0.0..1.0);

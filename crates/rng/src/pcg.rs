@@ -22,6 +22,7 @@ impl SplitMix64 {
     // infinite and infallible, so `Iterator::next` (with its `Option`)
     // would be the wrong shape.
     #[allow(clippy::should_implement_trait)]
+    #[inline]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         Self::finalize(self.state)
@@ -29,6 +30,7 @@ impl SplitMix64 {
 
     /// The SplitMix64 finalizer on its own: a stateless avalanche mix.
     #[must_use]
+    #[inline]
     pub fn finalize(z: u64) -> u64 {
         let mut z = z;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -38,6 +40,7 @@ impl SplitMix64 {
 }
 
 impl RngCore for SplitMix64 {
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         self.next()
     }
@@ -86,6 +89,7 @@ impl Pcg64 {
         Pcg64::new(state, stream)
     }
 
+    #[inline]
     fn step(&mut self) {
         self.state = self.state.wrapping_mul(PCG_MUL).wrapping_add(self.inc);
     }
@@ -93,6 +97,7 @@ impl Pcg64 {
     /// Next 64-bit output (XSL RR output function).
     // See `SplitMix64::next` — infinite, infallible stream.
     #[allow(clippy::should_implement_trait)]
+    #[inline]
     pub fn next(&mut self) -> u64 {
         self.step();
         let xored = ((self.state >> 64) as u64) ^ (self.state as u64);
@@ -102,6 +107,7 @@ impl Pcg64 {
 }
 
 impl RngCore for Pcg64 {
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         self.next()
     }

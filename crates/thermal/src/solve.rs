@@ -13,6 +13,12 @@ pub struct SolveOptions {
     pub max_iterations: usize,
     /// Successive-over-relaxation factor in `(0, 2)`.
     pub omega: f64,
+    /// Evaluate the convergence residual only every this many sweeps
+    /// (must be ≥ 1). The default of 1 checks after every sweep and is
+    /// bit-identical to the historical solver; larger values skip the
+    /// per-cell `|Δt|` tracking on the intermediate sweeps, trading up to
+    /// `interval − 1` extra sweeps for a cheaper inner loop.
+    pub residual_check_interval: usize,
 }
 
 impl Default for SolveOptions {
@@ -21,6 +27,7 @@ impl Default for SolveOptions {
             tolerance: 1e-6,
             max_iterations: 50_000,
             omega: 1.7,
+            residual_check_interval: 1,
         }
     }
 }
@@ -36,11 +43,18 @@ pub struct SolveStats {
 
 /// Solves the stack to steady state in place.
 ///
+/// The RC network is flattened once into a coefficient-precomputed
+/// stencil (see `ThermalStack::stencil`); the Gauss–Seidel/SOR sweeps
+/// then iterate the flat cell array in the historical tier → row → column
+/// order with bit-identical floating-point operations, so results match
+/// the pre-stencil solver exactly when `residual_check_interval` is 1.
+///
 /// # Errors
 ///
 /// Returns [`ThermalError::NotConverged`] if the residual does not fall
 /// below `opts.tolerance` within `opts.max_iterations` sweeps, and
-/// [`ThermalError::InvalidGeometry`] for an out-of-range `omega`.
+/// [`ThermalError::InvalidGeometry`] for an out-of-range `omega` or a
+/// zero `residual_check_interval`.
 pub fn solve_steady_state(
     stack: &mut ThermalStack,
     opts: &SolveOptions,
@@ -51,29 +65,27 @@ pub fn solve_steady_state(
             value: opts.omega,
         });
     }
-    let (tiers, nx, ny) = stack.grid();
+    if opts.residual_check_interval == 0 {
+        return Err(ThermalError::InvalidGeometry {
+            name: "residual_check_interval",
+            value: 0.0,
+        });
+    }
+    let st = stack.stencil();
+    let temps = stack.temps_mut();
     let mut residual = f64::INFINITY;
     for sweep in 1..=opts.max_iterations {
-        residual = 0.0;
-        for tier in 0..tiers {
-            for iy in 0..ny {
-                for ix in 0..nx {
-                    let (g_sum, gt_sum) = stack.neighbours_sum(tier, ix, iy);
-                    let p = stack.cell_power(tier, ix, iy);
-                    let idx = stack.flat_index(tier, ix, iy);
-                    let old = stack.temps_mut()[idx];
-                    let gauss = (gt_sum + p) / g_sum;
-                    let new = old + opts.omega * (gauss - old);
-                    residual = residual.max((new - old).abs());
-                    stack.temps_mut()[idx] = new;
-                }
+        let check = sweep % opts.residual_check_interval == 0 || sweep == opts.max_iterations;
+        if check {
+            residual = st.sor_sweep::<true>(temps, opts.omega);
+            if residual < opts.tolerance {
+                return Ok(SolveStats {
+                    iterations: sweep,
+                    residual,
+                });
             }
-        }
-        if residual < opts.tolerance {
-            return Ok(SolveStats {
-                iterations: sweep,
-                residual,
-            });
+        } else {
+            st.sor_sweep::<false>(temps, opts.omega);
         }
     }
     Err(ThermalError::NotConverged {
@@ -88,37 +100,20 @@ pub fn solve_steady_state(
 ///
 /// Returns the number of substeps taken.
 pub fn step_transient(stack: &mut ThermalStack, dt: Seconds) -> usize {
-    let (tiers, nx, ny) = stack.grid();
-    // Stability: the stiffest cell bounds the step.
-    let mut g_max: f64 = 0.0;
-    for tier in 0..tiers {
-        for iy in 0..ny {
-            for ix in 0..nx {
-                let (g_sum, _) = stack.neighbours_sum(tier, ix, iy);
-                g_max = g_max.max(g_sum);
-            }
-        }
-    }
+    let st = stack.stencil();
+    // Stability: the stiffest cell bounds the step. The stencil's
+    // precomputed per-cell Σg is scanned in the same flat order the
+    // historical tier/row/column loops used.
+    let g_max = st.g_max();
     let cap = stack.cell_capacity();
     let dt_stable = 0.5 * cap / g_max.max(f64::MIN_POSITIVE);
     let substeps = (dt.0 / dt_stable).ceil().max(1.0) as usize;
     let h = dt.0 / substeps as f64;
 
-    let n = tiers * nx * ny;
-    let mut derivs = vec![0.0; n];
+    let temps = stack.temps_mut();
+    let mut derivs = vec![0.0; st.len()];
     for _ in 0..substeps {
-        for tier in 0..tiers {
-            for iy in 0..ny {
-                for ix in 0..nx {
-                    let (g_sum, gt_sum) = stack.neighbours_sum(tier, ix, iy);
-                    let idx = stack.flat_index(tier, ix, iy);
-                    let t = stack.temps_mut()[idx];
-                    let p = stack.cell_power(tier, ix, iy);
-                    derivs[idx] = (gt_sum - g_sum * t + p) / cap;
-                }
-            }
-        }
-        let temps = stack.temps_mut();
+        st.derivs_into(temps, cap, &mut derivs);
         for (t, d) in temps.iter_mut().zip(&derivs) {
             *t += h * d;
         }
@@ -368,6 +363,231 @@ mod tests {
         let small = step_transient(&mut s, Seconds(1e-6));
         let big = step_transient(&mut s, Seconds(1e-3));
         assert!(big >= small);
+    }
+
+    /// The pre-stencil Gauss–Seidel/SOR loop, kept verbatim as the
+    /// bit-identity oracle for the flattened solver.
+    fn reference_steady_state(
+        stack: &mut ThermalStack,
+        opts: &SolveOptions,
+    ) -> Result<SolveStats, ThermalError> {
+        let (tiers, nx, ny) = stack.grid();
+        let mut residual = f64::INFINITY;
+        for sweep in 1..=opts.max_iterations {
+            residual = 0.0;
+            for tier in 0..tiers {
+                for iy in 0..ny {
+                    for ix in 0..nx {
+                        let (g_sum, gt_sum) = stack.neighbours_sum(tier, ix, iy);
+                        let p = stack.cell_power(tier, ix, iy);
+                        let idx = stack.flat_index(tier, ix, iy);
+                        let old = stack.temps_mut()[idx];
+                        let gauss = (gt_sum + p) / g_sum;
+                        let new = old + opts.omega * (gauss - old);
+                        residual = residual.max((new - old).abs());
+                        stack.temps_mut()[idx] = new;
+                    }
+                }
+            }
+            if residual < opts.tolerance {
+                return Ok(SolveStats {
+                    iterations: sweep,
+                    residual,
+                });
+            }
+        }
+        Err(ThermalError::NotConverged {
+            iterations: opts.max_iterations,
+            residual,
+        })
+    }
+
+    /// The pre-stencil transient step, kept verbatim as the bit-identity
+    /// oracle for the flattened integrator.
+    fn reference_step_transient(stack: &mut ThermalStack, dt: Seconds) -> usize {
+        let (tiers, nx, ny) = stack.grid();
+        let mut g_max: f64 = 0.0;
+        for tier in 0..tiers {
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let (g_sum, _) = stack.neighbours_sum(tier, ix, iy);
+                    g_max = g_max.max(g_sum);
+                }
+            }
+        }
+        let cap = stack.cell_capacity();
+        let dt_stable = 0.5 * cap / g_max.max(f64::MIN_POSITIVE);
+        let substeps = (dt.0 / dt_stable).ceil().max(1.0) as usize;
+        let h = dt.0 / substeps as f64;
+
+        let n = tiers * nx * ny;
+        let mut derivs = vec![0.0; n];
+        for _ in 0..substeps {
+            for tier in 0..tiers {
+                for iy in 0..ny {
+                    for ix in 0..nx {
+                        let (g_sum, gt_sum) = stack.neighbours_sum(tier, ix, iy);
+                        let idx = stack.flat_index(tier, ix, iy);
+                        let t = stack.temps_mut()[idx];
+                        let p = stack.cell_power(tier, ix, iy);
+                        derivs[idx] = (gt_sum - g_sum * t + p) / cap;
+                    }
+                }
+            }
+            let temps = stack.temps_mut();
+            for (t, d) in temps.iter_mut().zip(&derivs) {
+                *t += h * d;
+            }
+        }
+        substeps
+    }
+
+    /// A 3-tier 8×8 stack with a hotspot, a uniform floor, and a diagonal
+    /// TSV bundle — exercises every stencil row shape (interior, edge,
+    /// corner, boundary tiers, non-uniform vertical conductance).
+    fn irregular_stack(cx: f64, cy: f64, w: f64, g_tsv: f64) -> ThermalStack {
+        let cfg = StackConfig {
+            nx: 8,
+            ny: 8,
+            tiers: 3,
+            ..StackConfig::four_tier_5mm()
+        };
+        let mut s = ThermalStack::new(cfg).unwrap();
+        let mut p = PowerMap::uniform(8, 8, Watt(0.2)).unwrap();
+        p.add_hotspot(cx, cy, 0.15, Watt(w));
+        s.set_power(1, p).unwrap();
+        s.set_power(0, PowerMap::uniform(8, 8, Watt(0.5)).unwrap())
+            .unwrap();
+        for iface in 0..2 {
+            for d in 0..8 {
+                s.add_vertical_conductance(iface, d, d, ptsim_device::units::WattPerKelvin(g_tsv))
+                    .unwrap();
+            }
+        }
+        s
+    }
+
+    fn assert_temps_bit_identical(a: &ThermalStack, b: &ThermalStack) {
+        let (tiers, nx, ny) = a.grid();
+        for tier in 0..tiers {
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let ta = a.temperature(tier, ix, iy).unwrap().0;
+                    let tb = b.temperature(tier, ix, iy).unwrap().0;
+                    assert_eq!(
+                        ta.to_bits(),
+                        tb.to_bits(),
+                        "cell ({tier},{ix},{iy}): {ta} vs {tb}"
+                    );
+                }
+            }
+        }
+    }
+
+    ptsim_rng::forall! {
+        #![cases = 12]
+
+        #[test]
+        fn stencil_steady_state_is_bit_identical_to_reference(
+            cx in 0.1f64..0.9, cy in 0.1f64..0.9, w in 0.1f64..2.0,
+            g_tsv in 0.0f64..5e-4,
+        ) {
+            let mut fast = irregular_stack(cx, cy, w, g_tsv);
+            let mut slow = fast.clone();
+            let opts = SolveOptions::default();
+            let a = solve_steady_state(&mut fast, &opts).unwrap();
+            let b = reference_steady_state(&mut slow, &opts).unwrap();
+            assert_eq!(a, b);
+            assert_temps_bit_identical(&fast, &slow);
+        }
+
+        #[test]
+        fn stencil_transient_is_bit_identical_to_reference(
+            cx in 0.1f64..0.9, cy in 0.1f64..0.9, w in 0.1f64..2.0,
+            g_tsv in 0.0f64..5e-4, dt in 1e-5f64..1e-2,
+        ) {
+            let mut fast = irregular_stack(cx, cy, w, g_tsv);
+            let mut slow = fast.clone();
+            for _ in 0..3 {
+                let a = step_transient(&mut fast, Seconds(dt));
+                let b = reference_step_transient(&mut slow, Seconds(dt));
+                assert_eq!(a, b);
+            }
+            assert_temps_bit_identical(&fast, &slow);
+        }
+    }
+
+    #[test]
+    fn stencil_solver_hits_not_converged_like_reference() {
+        let opts = SolveOptions {
+            max_iterations: 3,
+            ..SolveOptions::default()
+        };
+        let mut fast = irregular_stack(0.5, 0.5, 1.0, 1e-4);
+        let mut slow = fast.clone();
+        let a = solve_steady_state(&mut fast, &opts);
+        let b = reference_steady_state(&mut slow, &opts);
+        match (a, b) {
+            (
+                Err(ThermalError::NotConverged {
+                    iterations: ia,
+                    residual: ra,
+                }),
+                Err(ThermalError::NotConverged {
+                    iterations: ib,
+                    residual: rb,
+                }),
+            ) => {
+                assert_eq!(ia, ib);
+                assert_eq!(ra.to_bits(), rb.to_bits());
+            }
+            other => panic!("expected NotConverged from both, got {other:?}"),
+        }
+        assert_temps_bit_identical(&fast, &slow);
+    }
+
+    #[test]
+    fn relaxed_residual_interval_reaches_the_same_answer() {
+        let mut exact = irregular_stack(0.4, 0.6, 1.0, 2e-4);
+        let mut relaxed = exact.clone();
+        let tight = solve_steady_state(&mut exact, &SolveOptions::default()).unwrap();
+        let opts = SolveOptions {
+            residual_check_interval: 8,
+            ..SolveOptions::default()
+        };
+        let loose = solve_steady_state(&mut relaxed, &opts).unwrap();
+        // Convergence is only tested on multiples of the interval, so the
+        // relaxed run does at most interval − 1 extra sweeps…
+        assert!(loose.iterations >= tight.iterations);
+        assert!(loose.iterations <= tight.iterations + 7);
+        assert!(loose.residual < opts.tolerance);
+        // …which can only tighten the answer.
+        let (tiers, nx, ny) = exact.grid();
+        for tier in 0..tiers {
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let a = exact.temperature(tier, ix, iy).unwrap().0;
+                    let b = relaxed.temperature(tier, ix, iy).unwrap().0;
+                    assert!((a - b).abs() < 1e-4, "cell ({tier},{ix},{iy}): {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_residual_check_interval_is_rejected() {
+        let mut s = ThermalStack::new(StackConfig::single_die_5mm()).unwrap();
+        let opts = SolveOptions {
+            residual_check_interval: 0,
+            ..SolveOptions::default()
+        };
+        assert!(matches!(
+            solve_steady_state(&mut s, &opts),
+            Err(ThermalError::InvalidGeometry {
+                name: "residual_check_interval",
+                ..
+            })
+        ));
     }
 
     #[test]

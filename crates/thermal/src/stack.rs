@@ -342,6 +342,12 @@ impl ThermalStack {
 
     // ---- solver internals (used by `solve`) -------------------------------
 
+    /// Per-visit `(Σg, Σg·T)` over one cell's neighbours and boundaries.
+    ///
+    /// Retained (test-only) as the reference implementation the
+    /// [`Stencil`] equivalence tests replay; the solvers themselves now
+    /// iterate the flattened stencil.
+    #[cfg(test)]
     pub(crate) fn neighbours_sum(&self, tier: usize, ix: usize, iy: usize) -> (f64, f64) {
         let (nx, ny) = (self.cfg.nx, self.cfg.ny);
         let cell = iy * nx + ix;
@@ -470,12 +476,469 @@ impl ThermalStack {
         &mut self.temps
     }
 
+    #[cfg(test)]
     pub(crate) fn flat_index(&self, tier: usize, ix: usize, iy: usize) -> usize {
         self.idx(tier, ix, iy)
     }
 
     pub(crate) fn grid(&self) -> (usize, usize, usize) {
         (self.cfg.tiers, self.cfg.nx, self.cfg.ny)
+    }
+
+    /// Flattens the RC network into a [`Stencil`]: the lateral/vertical
+    /// conductances, precomputed boundary drive terms, the per-cell
+    /// conductance sum, and a power snapshot — everything
+    /// temperature-independent that `ThermalStack::neighbours_sum` and
+    /// [`ThermalStack::cell_power`] recompute on every visit.
+    ///
+    /// Bit-identity contract: the stencil kernels visit neighbours in the
+    /// exact order of `ThermalStack::neighbours_sum` (left, right, up,
+    /// down, below, above, board, sink) and `g_sum` is accumulated in that
+    /// same order, so replaying a stencil row reproduces `neighbours_sum`
+    /// to the bit. The boundary drives stay separate sequential addends
+    /// (`g·T_amb` each) rather than being folded into one constant:
+    /// `x + 0.0` is not always `x` in IEEE 754 (`-0.0`), and pre-summing
+    /// would reassociate.
+    pub(crate) fn stencil(&self) -> Stencil {
+        let (tiers, nx, ny) = self.grid();
+        let n_cells = nx * ny;
+        let ambient = self.cfg.ambient.0;
+        let mut g_sum = Vec::with_capacity(tiers * n_cells);
+        let mut power = Vec::with_capacity(tiers * n_cells);
+        for tier in 0..tiers {
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let cell = iy * nx + ix;
+                    let mut g = 0.0;
+                    if ix > 0 {
+                        g += self.g_lat;
+                    }
+                    if ix + 1 < nx {
+                        g += self.g_lat;
+                    }
+                    if iy > 0 {
+                        g += self.g_lat;
+                    }
+                    if iy + 1 < ny {
+                        g += self.g_lat;
+                    }
+                    if tier > 0 {
+                        g += self.g_vert[tier - 1][cell];
+                    }
+                    if tier + 1 < tiers {
+                        g += self.g_vert[tier][cell];
+                    }
+                    if tier == 0 {
+                        g += self.g_board;
+                    }
+                    if tier + 1 == tiers {
+                        g += self.g_sink;
+                    }
+                    g_sum.push(g);
+                    power.push(self.cell_power(tier, ix, iy));
+                }
+            }
+        }
+        let mut g_vert = Vec::with_capacity(tiers.saturating_sub(1) * n_cells);
+        for iface in &self.g_vert {
+            g_vert.extend_from_slice(iface);
+        }
+        Stencil {
+            tiers,
+            nx,
+            ny,
+            g_lat: self.g_lat,
+            g_vert,
+            board_gt: self.g_board * ambient,
+            sink_gt: self.g_sink * ambient,
+            g_sum,
+            power,
+        }
+    }
+}
+
+/// A flattened, coefficient-precomputed view of the RC network for one
+/// solve. Cells are visited in flat-index (tier-major, then row-major)
+/// order — exactly the historical Gauss–Seidel sweep order — and every
+/// neighbour sits at a fixed stride (`±1`, `±nx`, `±nx·ny`), so the
+/// kernels below need no per-neighbour index or conductance loads beyond
+/// the non-uniform vertical (TSV-augmented) interface conductances.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Stencil {
+    tiers: usize,
+    nx: usize,
+    ny: usize,
+    /// Lateral conductance between in-plane neighbours, W/K.
+    g_lat: f64,
+    /// Vertical interface conductances, `[iface · nx·ny + cell]`, W/K.
+    g_vert: Vec<f64>,
+    /// Board boundary drive `g_board · T_ambient` (tier 0 cells).
+    board_gt: f64,
+    /// Sink boundary drive `g_sink · T_ambient` (top-tier cells).
+    sink_gt: f64,
+    /// Per-cell `Σg` including boundaries, accumulated in visit order.
+    g_sum: Vec<f64>,
+    /// Per-cell injected power snapshot, W.
+    power: Vec<f64>,
+}
+
+impl Stencil {
+    /// Number of cells.
+    pub(crate) fn len(&self) -> usize {
+        self.g_sum.len()
+    }
+
+    /// Stiffest cell's `Σg`, scanned in flat order (the stability bound
+    /// for explicit transient integration).
+    pub(crate) fn g_max(&self) -> f64 {
+        let mut g_max: f64 = 0.0;
+        for &g in &self.g_sum {
+            g_max = g_max.max(g);
+        }
+        g_max
+    }
+
+    /// `Σ g·T` over one cell's neighbours and boundary drives, replaying
+    /// the accumulation order of `ThermalStack::neighbours_sum` over the
+    /// given temperature field — bit-identical to the `gt_sum` it
+    /// returns. The neighbour set is monomorphized: `L`/`R`/`UP`/`DOWN`
+    /// say which in-plane neighbours exist, `BELOW`/`ABOVE` which
+    /// vertical interfaces do — and since the board couples exactly the
+    /// tiers with no interface below (and the sink those with none
+    /// above), `!BELOW`/`!ABOVE` are the boundary terms. The compiled
+    /// cell body is branch-free.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn cell_gt<
+        const L: bool,
+        const R: bool,
+        const UP: bool,
+        const DOWN: bool,
+        const BELOW: bool,
+        const ABOVE: bool,
+    >(
+        &self,
+        temps: &[f64],
+        i: usize,
+        cell: usize,
+        below: &[f64],
+        above: &[f64],
+    ) -> f64 {
+        let nx = self.nx;
+        let n_cells = self.nx * self.ny;
+        let mut gt = 0.0;
+        if L {
+            gt += self.g_lat * temps[i - 1];
+        }
+        if R {
+            gt += self.g_lat * temps[i + 1];
+        }
+        if UP {
+            gt += self.g_lat * temps[i - nx];
+        }
+        if DOWN {
+            gt += self.g_lat * temps[i + nx];
+        }
+        if BELOW {
+            gt += below[cell] * temps[i - n_cells];
+        }
+        if ABOVE {
+            gt += above[cell] * temps[i + n_cells];
+        }
+        if !BELOW {
+            gt += self.board_gt;
+        }
+        if !ABOVE {
+            gt += self.sink_gt;
+        }
+        gt
+    }
+
+    /// SOR-updates cell `i` given its neighbour sum, tracking the sweep
+    /// residual when asked.
+    #[inline(always)]
+    fn sor_update<const TRACK: bool>(
+        &self,
+        temps: &mut [f64],
+        i: usize,
+        gt: f64,
+        omega: f64,
+        residual: &mut f64,
+    ) {
+        let gauss = (gt + self.power[i]) / self.g_sum[i];
+        let old = temps[i];
+        let new = old + omega * (gauss - old);
+        if TRACK {
+            *residual = (*residual).max((new - old).abs());
+        }
+        temps[i] = new;
+    }
+
+    /// One Gauss–Seidel row: the `ix = 0` cell, a branch-free interior
+    /// run, and the `ix = nx − 1` cell. `i0`/`cell0` index the row's
+    /// first cell.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn sor_row<
+        const TRACK: bool,
+        const UP: bool,
+        const DOWN: bool,
+        const BELOW: bool,
+        const ABOVE: bool,
+    >(
+        &self,
+        temps: &mut [f64],
+        i0: usize,
+        cell0: usize,
+        below: &[f64],
+        above: &[f64],
+        omega: f64,
+        residual: &mut f64,
+    ) {
+        let nx = self.nx;
+        if nx == 1 {
+            let gt = self
+                .cell_gt::<false, false, UP, DOWN, BELOW, ABOVE>(temps, i0, cell0, below, above);
+            self.sor_update::<TRACK>(temps, i0, gt, omega, residual);
+            return;
+        }
+        let gt =
+            self.cell_gt::<false, true, UP, DOWN, BELOW, ABOVE>(temps, i0, cell0, below, above);
+        self.sor_update::<TRACK>(temps, i0, gt, omega, residual);
+        for dx in 1..nx - 1 {
+            let (i, cell) = (i0 + dx, cell0 + dx);
+            let gt =
+                self.cell_gt::<true, true, UP, DOWN, BELOW, ABOVE>(temps, i, cell, below, above);
+            self.sor_update::<TRACK>(temps, i, gt, omega, residual);
+        }
+        let (i, cell) = (i0 + nx - 1, cell0 + nx - 1);
+        let gt = self.cell_gt::<true, false, UP, DOWN, BELOW, ABOVE>(temps, i, cell, below, above);
+        self.sor_update::<TRACK>(temps, i, gt, omega, residual);
+    }
+
+    /// One tier of the sweep: the `iy = 0` row, the interior rows, and
+    /// the `iy = ny − 1` row, each dispatched to the monomorphized row
+    /// kernel.
+    #[inline(always)]
+    fn sor_tier<const TRACK: bool, const BELOW: bool, const ABOVE: bool>(
+        &self,
+        temps: &mut [f64],
+        tier: usize,
+        below: &[f64],
+        above: &[f64],
+        omega: f64,
+        residual: &mut f64,
+    ) {
+        let (nx, ny) = (self.nx, self.ny);
+        let base = tier * nx * ny;
+        if ny == 1 {
+            self.sor_row::<TRACK, false, false, BELOW, ABOVE>(
+                temps, base, 0, below, above, omega, residual,
+            );
+            return;
+        }
+        self.sor_row::<TRACK, false, true, BELOW, ABOVE>(
+            temps, base, 0, below, above, omega, residual,
+        );
+        for iy in 1..ny - 1 {
+            let row = iy * nx;
+            self.sor_row::<TRACK, true, true, BELOW, ABOVE>(
+                temps,
+                base + row,
+                row,
+                below,
+                above,
+                omega,
+                residual,
+            );
+        }
+        let row = (ny - 1) * nx;
+        self.sor_row::<TRACK, true, false, BELOW, ABOVE>(
+            temps,
+            base + row,
+            row,
+            below,
+            above,
+            omega,
+            residual,
+        );
+    }
+
+    /// The vertical-conductance rows adjacent to `tier` (`(below,
+    /// above)`), empty when the tier has no such interface.
+    #[inline]
+    fn tier_ifaces(&self, tier: usize) -> (&[f64], &[f64]) {
+        let n_cells = self.nx * self.ny;
+        let iface = |k: usize| &self.g_vert[k * n_cells..(k + 1) * n_cells];
+        let below = if tier > 0 { iface(tier - 1) } else { &[] };
+        let above = if tier + 1 < self.tiers {
+            iface(tier)
+        } else {
+            &[]
+        };
+        (below, above)
+    }
+
+    /// One in-place Gauss–Seidel/SOR sweep over `temps` in flat-index
+    /// order, replaying the per-cell accumulation order of
+    /// `ThermalStack::neighbours_sum` bit-for-bit. With `TRACK` the
+    /// per-sweep max `|Δt|` residual is returned; without it the residual
+    /// bookkeeping compiles out and `0.0` comes back.
+    pub(crate) fn sor_sweep<const TRACK: bool>(&self, temps: &mut [f64], omega: f64) -> f64 {
+        let n = self.tiers * self.nx * self.ny;
+        assert_eq!(temps.len(), n, "temperature field / stencil mismatch");
+        assert_eq!(self.g_sum.len(), n);
+        assert_eq!(self.power.len(), n);
+        let mut residual = 0.0f64;
+        for tier in 0..self.tiers {
+            let (below, above) = self.tier_ifaces(tier);
+            match (tier > 0, tier + 1 < self.tiers) {
+                (false, false) => self.sor_tier::<TRACK, false, false>(
+                    temps,
+                    tier,
+                    below,
+                    above,
+                    omega,
+                    &mut residual,
+                ),
+                (false, true) => self.sor_tier::<TRACK, false, true>(
+                    temps,
+                    tier,
+                    below,
+                    above,
+                    omega,
+                    &mut residual,
+                ),
+                (true, true) => self.sor_tier::<TRACK, true, true>(
+                    temps,
+                    tier,
+                    below,
+                    above,
+                    omega,
+                    &mut residual,
+                ),
+                (true, false) => self.sor_tier::<TRACK, true, false>(
+                    temps,
+                    tier,
+                    below,
+                    above,
+                    omega,
+                    &mut residual,
+                ),
+            }
+        }
+        residual
+    }
+
+    /// `dT/dt` of cell `i` from its neighbour sum: the historical
+    /// transient loop's `(Σg·T − Σg·t + P) / C` per-cell expression.
+    #[inline(always)]
+    fn deriv_update(&self, temps: &[f64], i: usize, gt: f64, cap: f64, derivs: &mut [f64]) {
+        derivs[i] = (gt - self.g_sum[i] * temps[i] + self.power[i]) / cap;
+    }
+
+    /// One transient row, split like [`Stencil::sor_row`].
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn deriv_row<const UP: bool, const DOWN: bool, const BELOW: bool, const ABOVE: bool>(
+        &self,
+        temps: &[f64],
+        i0: usize,
+        cell0: usize,
+        below: &[f64],
+        above: &[f64],
+        cap: f64,
+        derivs: &mut [f64],
+    ) {
+        let nx = self.nx;
+        if nx == 1 {
+            let gt = self
+                .cell_gt::<false, false, UP, DOWN, BELOW, ABOVE>(temps, i0, cell0, below, above);
+            self.deriv_update(temps, i0, gt, cap, derivs);
+            return;
+        }
+        let gt =
+            self.cell_gt::<false, true, UP, DOWN, BELOW, ABOVE>(temps, i0, cell0, below, above);
+        self.deriv_update(temps, i0, gt, cap, derivs);
+        for dx in 1..nx - 1 {
+            let (i, cell) = (i0 + dx, cell0 + dx);
+            let gt =
+                self.cell_gt::<true, true, UP, DOWN, BELOW, ABOVE>(temps, i, cell, below, above);
+            self.deriv_update(temps, i, gt, cap, derivs);
+        }
+        let (i, cell) = (i0 + nx - 1, cell0 + nx - 1);
+        let gt = self.cell_gt::<true, false, UP, DOWN, BELOW, ABOVE>(temps, i, cell, below, above);
+        self.deriv_update(temps, i, gt, cap, derivs);
+    }
+
+    /// One transient tier, split like [`Stencil::sor_tier`].
+    #[inline(always)]
+    fn deriv_tier<const BELOW: bool, const ABOVE: bool>(
+        &self,
+        temps: &[f64],
+        tier: usize,
+        below: &[f64],
+        above: &[f64],
+        cap: f64,
+        derivs: &mut [f64],
+    ) {
+        let (nx, ny) = (self.nx, self.ny);
+        let base = tier * nx * ny;
+        if ny == 1 {
+            self.deriv_row::<false, false, BELOW, ABOVE>(temps, base, 0, below, above, cap, derivs);
+            return;
+        }
+        self.deriv_row::<false, true, BELOW, ABOVE>(temps, base, 0, below, above, cap, derivs);
+        for iy in 1..ny - 1 {
+            let row = iy * nx;
+            self.deriv_row::<true, true, BELOW, ABOVE>(
+                temps,
+                base + row,
+                row,
+                below,
+                above,
+                cap,
+                derivs,
+            );
+        }
+        let row = (ny - 1) * nx;
+        self.deriv_row::<true, false, BELOW, ABOVE>(
+            temps,
+            base + row,
+            row,
+            below,
+            above,
+            cap,
+            derivs,
+        );
+    }
+
+    /// Writes `dT/dt` for every cell into `derivs` (Jacobi-style: all
+    /// reads before any write, matching the historical transient loop's
+    /// `(Σg·T − Σg·t + P) / C` per-cell expression bit-for-bit).
+    pub(crate) fn derivs_into(&self, temps: &[f64], cap: f64, derivs: &mut [f64]) {
+        let n = self.tiers * self.nx * self.ny;
+        assert_eq!(temps.len(), n, "temperature field / stencil mismatch");
+        assert_eq!(derivs.len(), n);
+        assert_eq!(self.g_sum.len(), n);
+        assert_eq!(self.power.len(), n);
+        for tier in 0..self.tiers {
+            let (below, above) = self.tier_ifaces(tier);
+            match (tier > 0, tier + 1 < self.tiers) {
+                (false, false) => {
+                    self.deriv_tier::<false, false>(temps, tier, below, above, cap, derivs);
+                }
+                (false, true) => {
+                    self.deriv_tier::<false, true>(temps, tier, below, above, cap, derivs);
+                }
+                (true, true) => {
+                    self.deriv_tier::<true, true>(temps, tier, below, above, cap, derivs);
+                }
+                (true, false) => {
+                    self.deriv_tier::<true, false>(temps, tier, below, above, cap, derivs);
+                }
+            }
+        }
     }
 }
 

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Manual perf gate — runs the ptsim_bench::harness benches and records the
+# trajectory in BENCH_PIPELINE.json (one JSON object per line: a meta header
+# per bench binary, then one result per benchmark).
+#
+# This is NOT part of scripts/ci.sh pass/fail (timing on shared CI machines
+# is too noisy to gate on); run it manually on a quiet machine before and
+# after perf-relevant changes and compare medians. ci.sh only smoke-runs the
+# same binaries with a 1-sample config to keep them buildable and parseable.
+#
+# Usage: scripts/bench.sh [label]
+#   label  optional run label recorded in the output filename
+#          (BENCH_PIPELINE.<label>.json); default appends to
+#          BENCH_PIPELINE.json, so successive runs accumulate a trajectory
+#          (each run starts with its own meta lines carrying the git rev).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-}"
+out="BENCH_PIPELINE${label:+.$label}.json"
+
+# Run metadata is passed INTO the harness (the harness itself reads no
+# clock and runs no git — bench binaries stay hermetic).
+PTSIM_BENCH_GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+PTSIM_BENCH_DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+export PTSIM_BENCH_GIT_REV PTSIM_BENCH_DATE
+
+cargo build --release --offline -p ptsim-bench --benches
+
+touch "$out"
+for b in end_to_end pipeline solver thermal monte_carlo; do
+    echo "==> bench $b" >&2
+    cargo bench -q --offline -p ptsim-bench --bench "$b" >> "$out"
+done
+
+echo "wrote $out" >&2
+cat "$out"

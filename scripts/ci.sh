@@ -26,4 +26,24 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace --quiet
 echo "==> R1 fault-campaign smoke (12 dies)"
 PTSIM_BENCH_DIES=12 cargo run -q --release --offline -p ptsim-bench --bin fault_campaign > /dev/null
 
+echo "==> bench smoke (1 sample, parse-only — timing never gates CI)"
+# Keeps every bench binary buildable and its JSON output machine-parseable;
+# scripts/bench.sh is the manual perf run that records BENCH_PIPELINE.json.
+for b in end_to_end pipeline solver thermal monte_carlo; do
+    PTSIM_BENCH_SAMPLES=1 cargo bench -q --offline -p ptsim-bench --bench "$b"
+done | python3 -c '
+import json, sys
+lines = [l for l in sys.stdin if l.strip()]
+assert lines, "bench smoke emitted no output"
+names = []
+for l in lines:
+    obj = json.loads(l)
+    if "meta" in obj:
+        continue
+    assert {"name", "median_ns", "samples"} <= obj.keys(), l
+    names.append(obj["name"])
+assert names, "bench smoke emitted no results"
+print(f"bench smoke: {len(names)} benchmarks, JSON OK")
+'
+
 echo "tier-1 gate: OK"
