@@ -7,8 +7,9 @@
 //! thread-pool noise. `read_batch_100` isolates the steady-state conversion
 //! loop of one calibrated sensor over a 100-point temperature schedule.
 
-use ptsim_bench::harness::{bench, emit_meta};
+use ptsim_bench::harness::{bench, emit_meta, emit_metrics};
 use ptsim_core::pipeline::batch::BatchPlan;
+use ptsim_core::pipeline::Scratch;
 use ptsim_core::sensor::{PtSensor, SensorInputs, SensorSpec};
 use ptsim_device::process::Technology;
 use ptsim_device::units::Celsius;
@@ -48,4 +49,23 @@ fn main() {
     bench("read_batch_100", || {
         black_box(sensor.read_batch(&inputs, &mut rng).unwrap());
     });
+
+    // Same per-die loop with the observability layer on, so the trajectory
+    // records the instrumented hot path too — and emit the snapshot (per
+    // stage spans, energy histogram, conversion counters) for inspection.
+    let mut scratch = Scratch::with_metrics();
+    bench("batch_convert_metrics_8", || {
+        let mut s = plan.sensor();
+        let mut rng = die_rng(0x2012, 1);
+        let die = model.sample_die(&mut rng);
+        for _ in 0..8 {
+            black_box(
+                plan.convert_with_scratch(&mut s, &die, &mut rng, &mut scratch)
+                    .unwrap(),
+            );
+        }
+    });
+    if let Some(metrics) = scratch.take_metrics() {
+        emit_metrics(&metrics.snapshot());
+    }
 }

@@ -1,4 +1,18 @@
 //! Regenerates the R1 fault-injection campaign report on its own.
+//!
+//! When `PTSIM_METRICS_JSON` names a file, the merged observability
+//! snapshot of the campaign (pipeline counters, energy/span histograms,
+//! MC worker gauges) is written there as one JSON object.
+
+use ptsim_bench::experiments::r1_faults::{render_report, run_campaign_metered, R1_SEED};
+
 fn main() {
-    println!("{}", ptsim_bench::experiments::r1_faults::run());
+    let n = ptsim_bench::experiments::population_size(100);
+    let (result, snapshot) = run_campaign_metered(n, R1_SEED);
+    println!("{}", render_report(&result));
+    if let Ok(path) = std::env::var("PTSIM_METRICS_JSON") {
+        if !path.is_empty() {
+            std::fs::write(&path, snapshot.to_json() + "\n").expect("write metrics snapshot");
+        }
+    }
 }

@@ -23,15 +23,16 @@
 use crate::experiments::population_size;
 use crate::table::{f, Table};
 use ptsim_core::health::HealthEvent;
-use ptsim_core::pipeline::BatchPlan;
+use ptsim_core::pipeline::{run_conversion_with, BatchPlan, Scratch};
 use ptsim_core::sensor::{HardeningSpec, SensorInputs, SensorSpec};
-use ptsim_core::SensorError;
+use ptsim_core::{PipelineMetrics, SensorError};
 use ptsim_device::process::Technology;
 use ptsim_device::units::{Celsius, Volt};
 use ptsim_faults::catalog;
 use ptsim_mc::die::DieSite;
-use ptsim_mc::driver::{run_parallel_with, McConfig};
+use ptsim_mc::driver::{run_parallel_metered, McConfig};
 use ptsim_mc::model::VariationModel;
+use ptsim_obs::Snapshot;
 
 /// Fixed base seed of the campaign population.
 pub const R1_SEED: u64 = 0x0f41;
@@ -181,27 +182,46 @@ fn count_retries(events: &[HealthEvent]) -> u32 {
 /// fault handling must never make the healthy path fragile).
 #[must_use]
 pub fn run_campaign(n_dies: usize, seed: u64) -> CampaignResult {
+    run_campaign_metered(n_dies, seed).0
+}
+
+/// [`run_campaign`] plus the merged observability [`Snapshot`] of every
+/// worker's pipeline metrics — counters, the energy histogram, per-stage
+/// span timings, and the MC driver's worker gauges (`mc.workers`,
+/// `mc.worker_throughput_dies_per_s`, `mc.busy_seconds_total`, `mc.dies`).
+///
+/// The campaign result is bit-identical to [`run_campaign`]; the counter
+/// and histogram subset of the snapshot is deterministic under a fixed
+/// seed (merge order cannot matter: counters and histogram bins add), the
+/// span histograms and worker gauges are wall-clock/scheduling dependent.
+///
+/// # Panics
+///
+/// See [`run_campaign`].
+#[must_use]
+pub fn run_campaign_metered(n_dies: usize, seed: u64) -> (CampaignResult, Snapshot) {
     let tech = Technology::n65();
     let model = VariationModel::new(&tech);
     let n_cells = SEVERITIES.len() * catalog(1.0).len();
     // The healthy reference of every die runs through the shared batched
     // schedule: calibrate at boot, one conversion at the campaign's read
     // temperature. The hardened prototype (TMR bands and all) is built once
-    // and cloned per worker instead of per die.
+    // and cloned per worker instead of per die, as is the metrics-enabled
+    // pipeline scratch the worker's conversions record into.
     let plan = BatchPlan::new(tech.clone(), hardened_spec())
         .expect("sensor")
         .read_at(&[READ_TEMP]);
 
     // Per die: was the healthy path flagged, plus one outcome per cell.
-    let per_die = run_parallel_with(
+    let (per_die, reports) = run_parallel_metered(
         &McConfig::new(n_dies, seed),
-        || plan.sensor(),
-        |sensor, i, rng| {
+        || (plan.sensor(), Scratch::with_metrics()),
+        |(sensor, scratch), i, rng| {
             let die = model.sample_die_with_id(rng, i);
             let boot = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
             sensor.clear_faults();
             let conv = plan
-                .convert_with(sensor, &die, rng)
+                .convert_with_scratch(sensor, &die, rng, scratch)
                 .expect("healthy calibration + conversion");
             let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(READ_TEMP));
             let (outcome, baseline) = (conv.calibration, &conv.readings[0]);
@@ -223,7 +243,7 @@ pub fn run_campaign(n_dies: usize, seed: u64) -> CampaignResult {
                         energy_rel: 0.0,
                         scrub_recovered: None,
                     };
-                    match faulty.read(&inputs, rng) {
+                    match run_conversion_with(&faulty, &inputs, rng, scratch) {
                         Ok(r) => {
                             out.detected = r.health.flagged();
                             out.temp_err = r.temperature.0 - READ_TEMP;
@@ -249,7 +269,7 @@ pub fn run_campaign(n_dies: usize, seed: u64) -> CampaignResult {
                                     faulty.parity_scrub(&boot, rng).ok().flatten().is_some();
                                 let recovered = scrubbed
                                     && matches!(
-                                        faulty.read(&inputs, rng),
+                                        run_conversion_with(&faulty, &inputs, rng, scratch),
                                         Ok(r2) if (r2.temperature.0 - READ_TEMP).abs() < 3.0
                                     );
                                 out.scrub_recovered = Some(recovered);
@@ -337,14 +357,49 @@ pub fn run_campaign(n_dies: usize, seed: u64) -> CampaignResult {
         }
     }
 
-    CampaignResult {
-        n_dies: per_die.len(),
-        seed,
-        healthy_flagged,
-        cells,
-        seu_scrub_attempts: attempts,
-        seu_scrub_recovered: recovered,
+    // Fold every worker's pipeline metrics into one registry (counters and
+    // histogram bins add, so the merge order cannot matter), then attach
+    // the driver-level gauges the pipeline cannot see.
+    let mut metrics = PipelineMetrics::new();
+    let n_workers = reports.len();
+    let mut busy_total = 0.0f64;
+    let mut dies_total = 0u64;
+    for mut report in reports {
+        if let Some(worker) = report.ctx.1.take_metrics() {
+            metrics.merge(&worker);
+        }
+        let busy = report.busy.as_secs_f64();
+        if busy > 0.0 {
+            let throughput = metrics
+                .registry_mut()
+                .gauge("mc.worker_throughput_dies_per_s");
+            metrics
+                .registry_mut()
+                .set_max(throughput, report.dies as f64 / busy);
+        }
+        busy_total += busy;
+        dies_total += report.dies;
     }
+    let reg = metrics.registry_mut();
+    let workers = reg.gauge("mc.workers");
+    reg.set(workers, n_workers as f64);
+    let busy = reg.gauge("mc.busy_seconds_total");
+    reg.set(busy, busy_total);
+    let dies = reg.counter("mc.dies");
+    reg.add(dies, dies_total);
+    let snapshot = metrics.snapshot();
+
+    (
+        CampaignResult {
+            n_dies: per_die.len(),
+            seed,
+            healthy_flagged,
+            cells,
+            seu_scrub_attempts: attempts,
+            seu_scrub_recovered: recovered,
+        },
+        snapshot,
+    )
 }
 
 /// Runs the campaign and renders the report.
@@ -355,8 +410,14 @@ pub fn run_campaign(n_dies: usize, seed: u64) -> CampaignResult {
 #[must_use]
 pub fn run() -> String {
     let n = population_size(100);
-    let result = run_campaign(n, R1_SEED);
+    render_report(&run_campaign(n, R1_SEED))
+}
 
+/// Renders the human-readable campaign report (the body of [`run`], split
+/// out so callers holding a [`CampaignResult`] — e.g. the metered binary —
+/// can render without re-running).
+#[must_use]
+pub fn render_report(result: &CampaignResult) -> String {
     let mut table = Table::new(vec![
         "fault",
         "sev",

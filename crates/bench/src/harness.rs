@@ -116,6 +116,13 @@ pub fn emit_meta() {
     println!("{}", RunMeta::from_env().to_json());
 }
 
+/// Prints an observability snapshot as one `{"metrics":{...}}` JSON line,
+/// alongside the `{"meta":...}` and per-benchmark records — scrapers skip
+/// or collect it by its distinct top-level key.
+pub fn emit_metrics(snapshot: &ptsim_obs::Snapshot) {
+    println!("{{\"metrics\":{}}}", snapshot.to_json());
+}
+
 /// Outcome of one benchmark: per-iteration timings in nanoseconds.
 #[derive(Debug, Clone)]
 pub struct BenchResult {

@@ -22,12 +22,13 @@ impl GatedCounter {
     ///
     /// # Errors
     ///
-    /// Returns [`CircuitError::InvalidWindow`] if `bits` is 0 or more than
+    /// Returns [`CircuitError::InvalidCounter`] if `bits` is 0 or more than
     /// 62, or `window_cycles` is 0.
     pub fn new(bits: u32, window_cycles: u64) -> Result<Self, CircuitError> {
         if bits == 0 || bits > 62 || window_cycles == 0 {
-            return Err(CircuitError::InvalidWindow {
-                seconds: window_cycles as f64,
+            return Err(CircuitError::InvalidCounter {
+                bits,
+                window_cycles,
             });
         }
         Ok(GatedCounter {
@@ -134,12 +135,10 @@ impl Prescaler {
     ///
     /// # Errors
     ///
-    /// Returns [`CircuitError::InvalidWindow`] if `log2_ratio > 16`.
+    /// Returns [`CircuitError::InvalidPrescale`] if `log2_ratio > 16`.
     pub fn new(log2_ratio: u32) -> Result<Self, CircuitError> {
         if log2_ratio > 16 {
-            return Err(CircuitError::InvalidWindow {
-                seconds: log2_ratio as f64,
-            });
+            return Err(CircuitError::InvalidPrescale { log2_ratio });
         }
         Ok(Prescaler { log2_ratio })
     }
@@ -222,6 +221,40 @@ mod tests {
         assert!(GatedCounter::new(16, 0).is_err());
         assert!(GatedCounter::new(16, 10).is_ok());
         assert!(Prescaler::new(17).is_err());
+    }
+
+    #[test]
+    fn construction_errors_report_the_offending_fields() {
+        // Regression: these used to stuff the cycle count / log2 ratio into
+        // InvalidWindow { seconds }, rendering "invalid measurement window:
+        // 10 s" for a 63-bit counter with a 10-cycle window.
+        let err = GatedCounter::new(63, 10).unwrap_err();
+        assert_eq!(
+            err,
+            CircuitError::InvalidCounter {
+                bits: 63,
+                window_cycles: 10,
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("63 bits"), "{msg}");
+        assert!(msg.contains("10-cycle window"), "{msg}");
+        assert!(
+            !msg.contains(" s"),
+            "must not report cycles as seconds: {msg}"
+        );
+
+        let msg = GatedCounter::new(16, 0).unwrap_err().to_string();
+        assert!(
+            msg.contains("16 bits") && msg.contains("0-cycle window"),
+            "{msg}"
+        );
+
+        let err = Prescaler::new(17).unwrap_err();
+        assert_eq!(err, CircuitError::InvalidPrescale { log2_ratio: 17 });
+        let msg = err.to_string();
+        assert!(msg.contains("2^17"), "{msg}");
+        assert!(!msg.contains("seconds") && !msg.contains("17 s"), "{msg}");
     }
 
     #[test]

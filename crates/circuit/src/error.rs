@@ -33,6 +33,20 @@ pub enum CircuitError {
         /// Offending window length in seconds.
         seconds: f64,
     },
+    /// A gated counter was configured with an unsupported width or an empty
+    /// gating window.
+    InvalidCounter {
+        /// Requested counter width in flip-flops (must be 1..=62).
+        bits: u32,
+        /// Requested gating window in reference-clock cycles (must be
+        /// non-zero).
+        window_cycles: u64,
+    },
+    /// A prescaler was configured with an unsupported division ratio.
+    InvalidPrescale {
+        /// Requested `log2` of the division ratio (must be at most 16).
+        log2_ratio: u32,
+    },
     /// A gated count exceeded the counter width even at the maximum
     /// prescale ratio — the measurement would alias (wrap) in hardware.
     CounterSaturated {
@@ -68,6 +82,22 @@ impl fmt::Display for CircuitError {
             CircuitError::FixedDivideByZero => write!(f, "fixed-point division by zero"),
             CircuitError::InvalidWindow { seconds } => {
                 write!(f, "invalid measurement window: {seconds} s")
+            }
+            CircuitError::InvalidCounter {
+                bits,
+                window_cycles,
+            } => {
+                write!(
+                    f,
+                    "invalid gated counter: {bits} bits, {window_cycles}-cycle window \
+                     (need 1..=62 bits and a non-zero window)"
+                )
+            }
+            CircuitError::InvalidPrescale { log2_ratio } => {
+                write!(
+                    f,
+                    "invalid prescaler ratio 2^{log2_ratio} (largest supported is 2^16)"
+                )
             }
             CircuitError::CounterSaturated { edges, max_count } => {
                 write!(

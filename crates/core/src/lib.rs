@@ -46,6 +46,7 @@ pub mod error;
 pub mod fieldest;
 pub mod golden;
 pub mod health;
+pub mod metrics;
 pub mod monitor;
 pub mod newton;
 pub mod pipeline;
@@ -58,6 +59,7 @@ pub use error::SensorError;
 pub use fieldest::{place_sensors_greedy, refine_placement_swaps, FieldEstimator};
 pub use golden::{CharacterizationSpace, GoldenModel};
 pub use health::{Health, HealthEvent, HealthStatus};
+pub use metrics::{PipelineMetrics, Stage};
 pub use monitor::{SensorNode, StackMonitor, TierReading};
 pub use pipeline::{BatchPlan, Conversion, DieConversion, Scratch};
 pub use sensor::{CalibrationOutcome, HardeningSpec, PtSensor, Reading, SensorInputs, SensorSpec};

@@ -173,6 +173,7 @@ pub struct NewtonScratch {
     r: [f64; MAX_UNKNOWNS],
     rp: [f64; MAX_UNKNOWNS],
     rhs: [f64; MAX_UNKNOWNS],
+    backoffs: u64,
 }
 
 impl NewtonScratch {
@@ -186,7 +187,17 @@ impl NewtonScratch {
             r: [0.0; MAX_UNKNOWNS],
             rp: [0.0; MAX_UNKNOWNS],
             rhs: [0.0; MAX_UNKNOWNS],
+            backoffs: 0,
         }
+    }
+
+    /// Cumulative adaptive damping back-offs (reverted steps) across every
+    /// solve that has used this scratch. The diagnostic counterpart of the
+    /// returned iteration count: observers difference it around a solve to
+    /// attribute back-offs. Never reset by the solver itself.
+    #[must_use]
+    pub fn backoffs(&self) -> u64 {
+        self.backoffs
     }
 }
 
@@ -271,12 +282,21 @@ where
     debug_assert_eq!(fd_steps.len(), n);
     debug_assert_eq!(step_limits.len(), n);
 
-    let jac = &mut scratch.jac[..n * n];
-    let xp = &mut scratch.xp[..n];
-    let x_prev = &mut scratch.x_prev[..n];
-    let r = &mut scratch.r[..n];
-    let rp = &mut scratch.rp[..n];
-    let rhs = &mut scratch.rhs[..n];
+    let NewtonScratch {
+        jac,
+        xp,
+        x_prev,
+        r,
+        rp,
+        rhs,
+        backoffs,
+    } = scratch;
+    let jac = &mut jac[..n * n];
+    let xp = &mut xp[..n];
+    let x_prev = &mut x_prev[..n];
+    let r = &mut r[..n];
+    let rp = &mut rp[..n];
+    let rhs = &mut rhs[..n];
     let mut damp = opts.damping;
     let mut prev_norm = f64::INFINITY;
 
@@ -297,6 +317,7 @@ where
             // and retry from the previous point with half the damping.
             x.copy_from_slice(x_prev);
             damp = (damp * 0.5).max(opts.min_damping);
+            *backoffs += 1;
             continue;
         }
         prev_norm = norm;
@@ -533,6 +554,48 @@ mod tests {
         )
         .unwrap();
         assert!(x[0].abs() < 1e-8);
+    }
+
+    #[test]
+    fn adaptive_backoffs_are_counted_in_the_scratch() {
+        // Adaptive damping with a full-length initial step: the first
+        // Newton step on atan from x0 = 2 overshoots (|atan| grows), so the
+        // solver must revert it — and the scratch must count each revert.
+        let opts = NewtonOptions {
+            adaptive: true,
+            damping: 1.0,
+            min_damping: 0.05,
+            max_iterations: 150,
+            ..NewtonOptions::default()
+        };
+        let mut scratch = NewtonScratch::new();
+        assert_eq!(scratch.backoffs(), 0);
+        let mut x = [2.0];
+        newton_solve_with(
+            &mut scratch,
+            &mut x,
+            |v, out| out[0] = v[0].atan(),
+            &[1e-7],
+            &[1e6],
+            &opts,
+            "atan-counted",
+        )
+        .unwrap();
+        assert!(scratch.backoffs() > 0, "reverted steps must be counted");
+        // A well-behaved solve adds nothing.
+        let before = scratch.backoffs();
+        let mut x = [1.0];
+        newton_solve_with(
+            &mut scratch,
+            &mut x,
+            |v, out| out[0] = v[0] - 0.5,
+            &[1e-7],
+            &[10.0],
+            &NewtonOptions::robust(),
+            "linear-counted",
+        )
+        .unwrap();
+        assert_eq!(scratch.backoffs(), before);
     }
 
     #[test]

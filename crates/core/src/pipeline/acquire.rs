@@ -9,6 +9,7 @@
 
 use crate::error::SensorError;
 use crate::health::{Health, HealthEvent};
+use crate::metrics::PipelineMetrics;
 use crate::pipeline::bands::Band;
 use crate::sensor::PtSensor;
 use ptsim_circuit::counter::{auto_count, GatedCounter};
@@ -156,6 +157,7 @@ pub fn acquire_round<R: Rng + ?Sized>(
         ledger,
         health,
         &mut samples,
+        &mut None,
     )?;
     Ok(Acquired {
         channel: class.name(),
@@ -182,6 +184,7 @@ pub(crate) fn acquire_round_into<R: Rng + ?Sized>(
     ledger: &mut EnergyLedger,
     health: &mut Health,
     samples: &mut Vec<Option<Hertz>>,
+    metrics: &mut Option<PipelineMetrics>,
 ) -> Result<(), SensorError> {
     let name = class.name();
     let replicas = sensor.spec.hardening.replicas;
@@ -193,6 +196,9 @@ pub(crate) fn acquire_round_into<R: Rng + ?Sized>(
             replica,
             window_scale,
         };
+        if let Some(m) = metrics.as_mut() {
+            m.on_replica();
+        }
         match acquire_replica(sensor, &m, env, rng, ledger) {
             Ok(f) => {
                 if band.contains(f) {
@@ -202,6 +208,9 @@ pub(crate) fn acquire_round_into<R: Rng + ?Sized>(
                         channel: name,
                         replica,
                     });
+                    if let Some(m) = metrics.as_mut() {
+                        m.on_implausible();
+                    }
                     samples.push(None);
                 }
             }
@@ -210,6 +219,9 @@ pub(crate) fn acquire_round_into<R: Rng + ?Sized>(
                     channel: name,
                     replica,
                 });
+                if let Some(m) = metrics.as_mut() {
+                    m.on_saturated();
+                }
                 samples.push(None);
             }
             Err(e) => return Err(e),

@@ -10,6 +10,7 @@
 use crate::bank::RoClass;
 use crate::error::SensorError;
 use crate::health::{Health, HealthEvent};
+use crate::metrics::{PipelineMetrics, Stage, StageTimer};
 use crate::pipeline::acquire::acquire_round_into;
 use crate::pipeline::bands::band_for;
 use crate::pipeline::Scratch;
@@ -65,6 +66,7 @@ pub fn vote(
         samples,
         health,
         &mut VoteScratch::default(),
+        &mut None,
     )
 }
 
@@ -76,6 +78,7 @@ pub(crate) fn vote_with(
     samples: &[Option<Hertz>],
     health: &mut Health,
     vs: &mut VoteScratch,
+    metrics: &mut Option<PipelineMetrics>,
 ) -> Option<Hertz> {
     let h = *hardening;
     let n = samples.len();
@@ -108,6 +111,9 @@ pub(crate) fn vote_with(
                 channel,
                 replica: i,
             });
+            if let Some(m) = metrics.as_mut() {
+                m.on_outvoted();
+            }
         }
     }
     if inliers.len() * 2 <= n {
@@ -121,6 +127,9 @@ pub(crate) fn vote_with(
             channel,
             spread_rel: spread,
         });
+        if let Some(m) = metrics.as_mut() {
+            m.on_spread();
+        }
     }
     Some(Hertz(voted))
 }
@@ -177,11 +186,17 @@ pub(crate) fn gate_channel_with<R: Rng + ?Sized>(
     let local_temp = sensor.faults.local_temperature(inputs.temp);
     let env = sensor.die_env(class, inputs, local_temp);
     let band = band_for(&sensor.bands, class, vdd);
-    let Scratch { samples, vote, .. } = scratch;
+    let Scratch {
+        samples,
+        vote,
+        metrics,
+        ..
+    } = scratch;
 
     let mut attempt = 0usize;
     let mut window_scale = 1u64;
     loop {
+        let acquire_timer = StageTimer::start(metrics.is_some());
         acquire_round_into(
             sensor,
             class,
@@ -193,15 +208,23 @@ pub(crate) fn gate_channel_with<R: Rng + ?Sized>(
             ledger,
             health,
             samples,
+            metrics,
         )?;
-        if let Some(f) = vote_with(&h, name, samples, health, vote) {
+        acquire_timer.stop(metrics, Stage::Acquire);
+        if let Some(f) = vote_with(&h, name, samples, health, vote, metrics) {
             if attempt > 0 {
                 health.record(HealthEvent::Recovered { channel: name });
+                if let Some(m) = metrics.as_mut() {
+                    m.on_recovered();
+                }
             }
             return Ok(Some(f));
         }
         if attempt >= h.max_retries {
             health.record(HealthEvent::ChannelLost { channel: name });
+            if let Some(m) = metrics.as_mut() {
+                m.on_channel_lost();
+            }
             return Ok(None);
         }
         attempt += 1;
@@ -210,6 +233,9 @@ pub(crate) fn gate_channel_with<R: Rng + ?Sized>(
             channel: name,
             window_scale,
         });
+        if let Some(m) = metrics.as_mut() {
+            m.on_retry();
+        }
         // Retry control overhead (re-arming the gate and range logic).
         sensor.charge_digital(ledger, "retry", sensor.spec.controller_cycles / 4);
     }

@@ -43,6 +43,7 @@ pub use solve::Solved;
 use crate::calib::Calibration;
 use crate::error::SensorError;
 use crate::health::Health;
+use crate::metrics::{PipelineMetrics, Stage, StageTimer};
 use crate::newton::NewtonScratch;
 use crate::sensor::{PtSensor, SensorInputs};
 use ptsim_circuit::energy::EnergyLedger;
@@ -64,6 +65,7 @@ pub struct Scratch {
     pub(crate) samples: Vec<Option<Hertz>>,
     pub(crate) vote: gate::VoteScratch,
     pub(crate) newton: NewtonScratch,
+    pub(crate) metrics: Option<PipelineMetrics>,
 }
 
 impl Scratch {
@@ -71,6 +73,35 @@ impl Scratch {
     #[must_use]
     pub fn new() -> Self {
         Scratch::default()
+    }
+
+    /// Workspace with an attached [`PipelineMetrics`]: every conversion run
+    /// through it records counters, histograms, and span timings. The
+    /// readings themselves stay bit-identical — observability reads, never
+    /// perturbs.
+    #[must_use]
+    pub fn with_metrics() -> Self {
+        Scratch {
+            metrics: Some(PipelineMetrics::new()),
+            ..Scratch::default()
+        }
+    }
+
+    /// The attached metrics, if any.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&PipelineMetrics> {
+        self.metrics.as_ref()
+    }
+
+    /// Mutable access to the attached metrics, if any.
+    pub fn metrics_mut(&mut self) -> Option<&mut PipelineMetrics> {
+        self.metrics.as_mut()
+    }
+
+    /// Detaches and returns the metrics (e.g. to merge per-worker instances
+    /// after a batch run). The scratch keeps its warm buffers.
+    pub fn take_metrics(&mut self) -> Option<PipelineMetrics> {
+        self.metrics.take()
     }
 }
 
@@ -105,6 +136,24 @@ pub fn run_conversion_with<R: Rng + ?Sized>(
     rng: &mut R,
     scratch: &mut Scratch,
 ) -> Result<Reading, SensorError> {
+    let result = run_conversion_inner(sensor, inputs, rng, scratch);
+    if result.is_err() {
+        if let Some(m) = scratch.metrics.as_mut() {
+            m.on_error();
+        }
+    }
+    result
+}
+
+/// Body of [`run_conversion_with`], instrumented. The metrics hooks only
+/// read pipeline state; the RNG draws and float operations are unchanged.
+fn run_conversion_inner<R: Rng + ?Sized>(
+    sensor: &PtSensor,
+    inputs: &SensorInputs<'_>,
+    rng: &mut R,
+    scratch: &mut Scratch,
+) -> Result<Reading, SensorError> {
+    let total = StageTimer::start(scratch.metrics.is_some());
     let cal = sensor.calibration.ok_or(SensorError::NotCalibrated)?;
     let registers = cal.parity_errors();
     if registers != 0 {
@@ -113,9 +162,28 @@ pub fn run_conversion_with<R: Rng + ?Sized>(
     let mut ledger = EnergyLedger::new();
     let mut health = Health::nominal();
 
+    let gate_timer = StageTimer::start(scratch.metrics.is_some());
     let gated = gate::gate_conversion_with(sensor, inputs, rng, &mut ledger, &mut health, scratch)?;
-    let solved = solve::solve_gated_with(sensor, &cal, &gated, &mut health, &mut scratch.newton)?;
-    output::finalize(sensor, &cal, &gated, &solved, ledger, health)
+    gate_timer.stop(&mut scratch.metrics, Stage::Gate);
+
+    let Scratch {
+        newton, metrics, ..
+    } = scratch;
+    let solve_timer = StageTimer::start(metrics.is_some());
+    let solved = solve::solve_gated_with(sensor, &cal, &gated, &mut health, newton, metrics)?;
+    solve_timer.stop(metrics, Stage::Solve);
+
+    let out_timer = StageTimer::start(metrics.is_some());
+    let reading = output::finalize(sensor, &cal, &gated, &solved, ledger, health)?;
+    out_timer.stop(metrics, Stage::Output);
+
+    if let Some(m) = metrics.as_mut() {
+        m.on_conversion();
+        m.on_energy_pj(reading.energy_total().0 * 1e12);
+        m.on_health(reading.health.status());
+    }
+    total.stop(metrics, Stage::Conversion);
+    Ok(reading)
 }
 
 /// One full self-calibration pass through the staged pipeline: gate the
@@ -148,6 +216,24 @@ pub fn run_calibration_with<R: Rng + ?Sized>(
     rng: &mut R,
     scratch: &mut Scratch,
 ) -> Result<CalibrationOutcome, SensorError> {
+    let result = run_calibration_inner(sensor, inputs, rng, scratch);
+    if result.is_err() {
+        if let Some(m) = scratch.metrics.as_mut() {
+            m.on_error();
+        }
+    }
+    result
+}
+
+/// Body of [`run_calibration_with`], instrumented. The metrics hooks only
+/// read pipeline state; the RNG draws and float operations are unchanged.
+fn run_calibration_inner<R: Rng + ?Sized>(
+    sensor: &mut PtSensor,
+    inputs: &SensorInputs<'_>,
+    rng: &mut R,
+    scratch: &mut Scratch,
+) -> Result<CalibrationOutcome, SensorError> {
+    let total = StageTimer::start(scratch.metrics.is_some());
     let mut ledger = EnergyLedger::new();
     let mut health = Health::nominal();
     let spec = sensor.spec;
@@ -165,13 +251,12 @@ pub fn run_calibration_with<R: Rng + ?Sized>(
     )?;
 
     // 4×4 decoupling at the assumed calibration temperature.
-    let (x, iters) = solve::solve_calibration_escalating(
-        sensor,
-        &plan,
-        &measured,
-        &mut health,
-        &mut scratch.newton,
-    )?;
+    let (x, iters) = {
+        let Scratch {
+            newton, metrics, ..
+        } = &mut *scratch;
+        solve::solve_calibration_escalating(sensor, &plan, &measured, &mut health, newton, metrics)?
+    };
     sensor.charge_digital(
         &mut ledger,
         "solver",
@@ -209,6 +294,12 @@ pub fn run_calibration_with<R: Rng + ?Sized>(
         spec.qformat,
     );
     sensor.calibration = Some(calibration);
+    if let Some(m) = scratch.metrics.as_mut() {
+        m.on_calibration();
+        m.on_solver_iterations(iters);
+        m.on_health(health.status());
+    }
+    total.stop(&mut scratch.metrics, Stage::Calibration);
     Ok(CalibrationOutcome {
         calibration,
         energy: ledger,

@@ -13,6 +13,7 @@ use crate::bank::RoClass;
 use crate::calib::Calibration;
 use crate::error::SensorError;
 use crate::health::{Health, HealthEvent};
+use crate::metrics::PipelineMetrics;
 use crate::newton::{newton_solve_with, NewtonOptions, NewtonScratch};
 use crate::pipeline::gate::Gated;
 use crate::sensor::PtSensor;
@@ -210,6 +211,7 @@ pub(crate) fn solve_calibration_escalating(
     measured: &[f64; 4],
     health: &mut Health,
     ns: &mut NewtonScratch,
+    metrics: &mut Option<PipelineMetrics>,
 ) -> Result<([f64; 4], usize), SensorError> {
     match solve_calibration(sensor, plan, measured, &NewtonOptions::default(), ns) {
         Ok(solved) => Ok(solved),
@@ -217,6 +219,9 @@ pub(crate) fn solve_calibration_escalating(
             health.record(HealthEvent::SolverRetuned {
                 what: "calibration decoupling",
             });
+            if let Some(m) = metrics.as_mut() {
+                m.on_solver_retuned();
+            }
             solve_calibration(sensor, plan, measured, &NewtonOptions::robust(), ns)
         }
         Err(e) => Err(e),
@@ -395,6 +400,7 @@ pub(crate) fn solve_temperature_only(
     f_t: Hertz,
     health: &mut Health,
     ns: &mut NewtonScratch,
+    metrics: &mut Option<PipelineMetrics>,
 ) -> Result<(f64, usize), SensorError> {
     let ln_ft = f_t.0.ln();
     let run = |opts: &NewtonOptions, ns: &mut NewtonScratch| -> Result<(f64, usize), SensorError> {
@@ -416,12 +422,18 @@ pub(crate) fn solve_temperature_only(
             health.record(HealthEvent::SolverRetuned {
                 what: "temperature-only decoupling",
             });
+            if let Some(m) = metrics.as_mut() {
+                m.on_solver_retuned();
+            }
             match run(&NewtonOptions::robust(), ns) {
                 Ok(solved) => Ok(solved),
                 Err(e) if solver_failed(&e) => {
                     health.record(HealthEvent::RomFallback {
                         what: "temperature-only decoupling",
                     });
+                    if let Some(m) = metrics.as_mut() {
+                        m.on_rom_fallback();
+                    }
                     Ok(rom_bisect_temperature(sensor, cal, f_t))
                 }
                 Err(e) => Err(e),
@@ -471,7 +483,14 @@ pub fn solve_gated(
     gated: &Gated,
     health: &mut Health,
 ) -> Result<Solved, SensorError> {
-    solve_gated_with(sensor, cal, gated, health, &mut NewtonScratch::new())
+    solve_gated_with(
+        sensor,
+        cal,
+        gated,
+        health,
+        &mut NewtonScratch::new(),
+        &mut None,
+    )
 }
 
 /// [`solve_gated`] with a caller-owned (reusable) [`NewtonScratch`] — the
@@ -486,8 +505,10 @@ pub(crate) fn solve_gated_with(
     gated: &Gated,
     health: &mut Health,
     ns: &mut NewtonScratch,
+    metrics: &mut Option<PipelineMetrics>,
 ) -> Result<Solved, SensorError> {
     let f_t = gated.f_tsro;
+    let backoffs_before = ns.backoffs();
     let (temperature, d_vtn, d_vtp, iterations) = match (gated.f_psro_n, gated.f_psro_p) {
         (Some(f_n), Some(f_p)) => {
             match solve_conversion(sensor, cal, f_t, f_n, f_p, &NewtonOptions::default(), ns) {
@@ -496,6 +517,9 @@ pub(crate) fn solve_gated_with(
                     health.record(HealthEvent::SolverRetuned {
                         what: "conversion decoupling",
                     });
+                    if let Some(m) = metrics.as_mut() {
+                        m.on_solver_retuned();
+                    }
                     match solve_conversion(sensor, cal, f_t, f_n, f_p, &NewtonOptions::robust(), ns)
                     {
                         Ok((x, iters)) => (x[0], x[1], x[2], iters),
@@ -503,6 +527,9 @@ pub(crate) fn solve_gated_with(
                             health.record(HealthEvent::RomFallback {
                                 what: "conversion decoupling",
                             });
+                            if let Some(m) = metrics.as_mut() {
+                                m.on_rom_fallback();
+                            }
                             let (t, iters) = rom_bisect_temperature(sensor, cal, f_t);
                             (t, cal.d_vtn().0, cal.d_vtp().0, iters)
                         }
@@ -514,10 +541,17 @@ pub(crate) fn solve_gated_with(
         }
         _ => {
             health.record(HealthEvent::DegradedTemperatureOnly);
-            let (t, iters) = solve_temperature_only(sensor, cal, f_t, health, ns)?;
+            if let Some(m) = metrics.as_mut() {
+                m.on_degraded();
+            }
+            let (t, iters) = solve_temperature_only(sensor, cal, f_t, health, ns, metrics)?;
             (t, cal.d_vtn().0, cal.d_vtp().0, iters)
         }
     };
+    if let Some(m) = metrics.as_mut() {
+        m.on_solver_iterations(iterations);
+        m.on_newton_backoffs(ns.backoffs() - backoffs_before);
+    }
     Ok(Solved {
         temperature,
         d_vtn,

@@ -87,14 +87,14 @@ forall! {
 
         // One-shot path: one `convert` per input, stopping at the first error
         // (the documented `convert_batch` failure contract).
-        let mut rng_loop = Pcg64::seed_from_u64(seed ^ 0xd1e5_0f_ba7c4);
+        let mut rng_loop = Pcg64::seed_from_u64(seed ^ 0x0d1e_50fb_a7c4);
         let looped: Result<Vec<_>, _> = inputs
             .iter()
             .map(|i| sensor.convert(i, &mut rng_loop))
             .collect();
 
         // Batched path: identical fresh RNG, shared scratch workspace.
-        let mut rng_batch = Pcg64::seed_from_u64(seed ^ 0xd1e5_0f_ba7c4);
+        let mut rng_batch = Pcg64::seed_from_u64(seed ^ 0x0d1e_50fb_a7c4);
         let batched = sensor.convert_batch(&inputs, &mut rng_batch);
 
         match (looped, batched) {

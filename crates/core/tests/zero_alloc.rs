@@ -97,3 +97,63 @@ fn warm_conversion_path_is_allocation_free() {
         after - before
     );
 }
+
+#[test]
+fn warm_conversion_path_with_metrics_is_allocation_free() {
+    // The observability layer must not break the hot-path contract: with a
+    // metrics-enabled scratch, every counter/histogram/span update is an
+    // indexed write into buffers registered at construction. Construction
+    // and warm-up may allocate (registry vectors, the one-time PTSIM_TRACE
+    // lookup); the measured region must not.
+    let die = DieSample::nominal();
+    let mut sensor = PtSensor::new(Technology::n65(), SensorSpec::default_65nm()).unwrap();
+    let mut rng = Pcg64::seed_from_u64(0xa110d);
+    sensor
+        .calibrate(
+            &SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0)),
+            &mut rng,
+        )
+        .unwrap();
+
+    let temps = [Celsius(-10.0), Celsius(25.0), Celsius(60.0), Celsius(95.0)];
+    let mut scratch = Scratch::with_metrics();
+
+    let warm = run_conversion_with(
+        &sensor,
+        &SensorInputs::new(&die, DieSite::CENTER, temps[0]),
+        &mut rng,
+        &mut scratch,
+    )
+    .unwrap();
+    assert!(warm.temperature.0.is_finite());
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut checksum = 0.0;
+    for _ in 0..8 {
+        for &t in &temps {
+            let r = run_conversion_with(
+                &sensor,
+                &SensorInputs::new(&die, DieSite::CENTER, t),
+                &mut rng,
+                &mut scratch,
+            )
+            .unwrap();
+            checksum += r.temperature.0;
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert!(checksum.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "instrumented warm conversions allocated {} times",
+        after - before
+    );
+    // And the metrics actually observed the measured conversions.
+    #[cfg(feature = "obs")]
+    {
+        let snap = scratch.metrics().expect("metrics attached").snapshot();
+        assert_eq!(snap.counter("pipeline.conversions"), Some(33));
+    }
+}

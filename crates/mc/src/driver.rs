@@ -10,6 +10,7 @@
 use ptsim_rng::{Pcg64, SplitMix64};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Configuration for a Monte-Carlo run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,6 +159,109 @@ where
     out.into_iter().map(|(_, t)| t).collect()
 }
 
+/// Per-worker execution report returned by [`run_parallel_metered`]: the
+/// worker's context handed back after the run (e.g. a scratch workspace
+/// carrying a metrics registry), how many dies it processed, and the
+/// wall-clock time it spent in its processing loop.
+///
+/// Die results are deterministic; the *partition* of dies across workers and
+/// the `busy` durations are scheduling-dependent, so reports are diagnostic
+/// data — fold anything you aggregate from them with order-insensitive
+/// operations (integer sums, maxima).
+#[derive(Debug)]
+pub struct WorkerReport<C> {
+    /// The worker's context, returned after its last die.
+    pub ctx: C,
+    /// Number of dies this worker processed.
+    pub dies: u64,
+    /// Wall-clock time the worker spent in its processing loop.
+    pub busy: Duration,
+}
+
+/// [`run_parallel_with`] plus per-worker execution reports, for observability.
+///
+/// Die results are **bit-identical** to [`run_parallel_with`] — the same
+/// cursor-based work distribution and the same `die_rng(base_seed, i)`
+/// per-die streams; the metering only reads a monotonic clock around each
+/// worker's loop. Unlike [`run_parallel_with`], the context must be `Send`
+/// so it can be handed back to the caller after the run. Reports come back
+/// in no particular order, one per worker that ran (at most `threads`).
+pub fn run_parallel_metered<C, T, FI, F>(
+    cfg: &McConfig,
+    init: FI,
+    f: F,
+) -> (Vec<T>, Vec<WorkerReport<C>>)
+where
+    C: Send,
+    T: Send,
+    FI: Fn() -> C + Sync,
+    F: Fn(&mut C, u64, &mut Pcg64) -> T + Sync,
+{
+    let threads = cfg.effective_threads().max(1).min(cfg.n_dies.max(1));
+    if cfg.n_dies == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let n = cfg.n_dies as u64;
+    let base = cfg.base_seed;
+    if threads == 1 {
+        let start = Instant::now();
+        let mut ctx = init();
+        let mut out = Vec::with_capacity(cfg.n_dies);
+        for i in 0..n {
+            let mut rng = die_rng(base, i);
+            out.push(f(&mut ctx, i, &mut rng));
+        }
+        let report = WorkerReport {
+            ctx,
+            dies: n,
+            busy: start.elapsed(),
+        };
+        return (out, vec![report]);
+    }
+
+    let per_worker = cfg.n_dies / threads + 1;
+    let next = AtomicU64::new(0);
+    let results: Mutex<Vec<(u64, T)>> = Mutex::new(Vec::with_capacity(cfg.n_dies));
+    let reports: Mutex<Vec<WorkerReport<C>>> = Mutex::new(Vec::with_capacity(threads));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let start = Instant::now();
+                let mut ctx = init();
+                let mut dies = 0u64;
+                let mut local: Vec<(u64, T)> = Vec::with_capacity(per_worker);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let mut rng = die_rng(base, i);
+                    local.push((i, f(&mut ctx, i, &mut rng)));
+                    dies += 1;
+                }
+                let busy = start.elapsed();
+                results
+                    .lock()
+                    .expect("monte-carlo result mutex poisoned")
+                    .extend(local);
+                reports
+                    .lock()
+                    .expect("monte-carlo report mutex poisoned")
+                    .push(WorkerReport { ctx, dies, busy });
+            });
+        }
+    });
+
+    let mut out = results
+        .into_inner()
+        .expect("monte-carlo result mutex poisoned");
+    out.sort_by_key(|(i, _)| *i);
+    let reports = reports
+        .into_inner()
+        .expect("monte-carlo report mutex poisoned");
+    (out.into_iter().map(|(_, t)| t).collect(), reports)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +331,43 @@ mod tests {
             },
         );
         assert_eq!(plain, with_ctx);
+    }
+
+    #[test]
+    fn metered_results_match_unmetered_bit_for_bit() {
+        let mut cfg = McConfig::new(48, 21);
+        cfg.threads = 4;
+        let plain = run_parallel_with(&cfg, || 0u64, |_, i, rng| (i, rng.gen::<u64>()));
+        let (metered, reports) =
+            run_parallel_metered(&cfg, || 0u64, |_, i, rng| (i, rng.gen::<u64>()));
+        assert_eq!(plain, metered);
+        assert!(!reports.is_empty() && reports.len() <= 4);
+        assert_eq!(reports.iter().map(|r| r.dies).sum::<u64>(), 48);
+    }
+
+    #[test]
+    fn metered_single_thread_returns_one_report_with_context() {
+        let mut cfg = McConfig::new(5, 9);
+        cfg.threads = 1;
+        let (out, reports) = run_parallel_metered(
+            &cfg,
+            || 0u64,
+            |calls, i, _| {
+                *calls += 1;
+                i
+            },
+        );
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].dies, 5);
+        assert_eq!(reports[0].ctx, 5);
+    }
+
+    #[test]
+    fn metered_zero_dies_is_empty() {
+        let (out, reports) = run_parallel_metered(&McConfig::new(0, 1), || (), |(), i, _| i);
+        assert!(out.is_empty());
+        assert!(reports.is_empty());
     }
 
     #[test]

@@ -147,8 +147,19 @@ impl fmt::Display for OnlineStats {
     }
 }
 
-/// Fixed-bin histogram over a closed range; out-of-range samples are clamped
-/// into the edge bins and counted separately.
+/// Fixed-bin histogram over a closed range.
+///
+/// Out-of-range samples are **clamped into the edge bins** — they land in
+/// `counts()[0]` (below the range) or the last bin (at or above the range)
+/// like any other observation — and are *additionally* tallied in the
+/// under/over clamp counters so callers can see how much of the data fell
+/// outside the range. The invariants are therefore:
+///
+/// * `counts().iter().sum::<u64>() == total()` — every observation lands in
+///   exactly one bin, clamped or not;
+/// * `clamped().0 + clamped().1` is the number of clamped observations —
+///   the clamp counters annotate the edge bins, they do not exclude clamped
+///   samples from `counts()`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
@@ -179,7 +190,9 @@ impl Histogram {
         }
     }
 
-    /// Adds one observation.
+    /// Adds one observation. Out-of-range samples are clamped into the
+    /// nearest edge bin *and* tallied in [`Histogram::clamped`]; see the
+    /// type-level invariants.
     pub fn push(&mut self, x: f64) {
         self.total += 1;
         if x < self.lo {
@@ -208,10 +221,37 @@ impl Histogram {
         self.total
     }
 
-    /// Number of observations clamped from below / above the range.
+    /// Number of observations clamped from below / above the range. Clamped
+    /// observations are *also* counted in the edge bins (see the type-level
+    /// invariants).
     #[must_use]
     pub fn clamped(&self) -> (u64, u64) {
         (self.under, self.over)
+    }
+
+    /// The `(lo, hi)` range the bins span.
+    #[must_use]
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Adds another histogram's counts bin-wise (parallel reduction). Both
+    /// histograms must have the identical configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges or bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "histogram merge requires identical range and bin count"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += *b;
+        }
+        self.under += other.under;
+        self.over += other.over;
+        self.total += other.total;
     }
 
     /// Center of bin `i`.
@@ -225,13 +265,18 @@ impl Histogram {
         self.lo + (i as f64 + 0.5) * w
     }
 
-    /// Renders a fixed-width ASCII bar chart (one line per bin).
+    /// Renders a fixed-width ASCII bar chart (one line per bin). Bar length
+    /// scales linearly with the bin count (any non-zero count draws at least
+    /// one `#`, the peak bin draws exactly `width`), computed in f64 so
+    /// counts near `u64::MAX` neither overflow nor truncate on 32-bit
+    /// targets.
     #[must_use]
     pub fn render(&self, width: usize) -> String {
         let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
         let mut out = String::new();
         for (i, &c) in self.bins.iter().enumerate() {
-            let bar = "#".repeat((c as usize * width).div_ceil(peak as usize).min(width));
+            let scaled = (c as f64 * width as f64 / peak as f64).ceil() as usize;
+            let bar = "#".repeat(scaled.min(width));
             out.push_str(&format!(
                 "{:>10.4} | {:<width$} {}\n",
                 self.bin_center(i),
@@ -347,6 +392,109 @@ mod tests {
         let s = h.render(20);
         assert!(s.contains('#'));
         assert!(s.lines().count() == 2);
+    }
+
+    #[test]
+    fn render_survives_huge_counts() {
+        // Regression: the bar width used to be computed as
+        // `(c as usize * width)`, which overflows for counts anywhere near
+        // u64::MAX (and truncates on 32-bit targets). The scaling is now
+        // done in f64.
+        let h = Histogram {
+            lo: 0.0,
+            hi: 3.0,
+            bins: vec![u64::MAX / 2, u64::MAX / 4, 0],
+            under: 0,
+            over: 0,
+            total: u64::MAX / 2 + u64::MAX / 4,
+        };
+        let bars: Vec<usize> = h
+            .render(40)
+            .lines()
+            .map(|l| l.chars().filter(|&ch| ch == '#').count())
+            .collect();
+        assert_eq!(bars, vec![40, 20, 0]);
+    }
+
+    ptsim_rng::forall! {
+        #[test]
+        fn render_bar_width_is_monotone_and_bounded(
+            counts in ptsim_rng::check::vec_in(0u64..u64::MAX, 2..12),
+            width in 1usize..60,
+        ) {
+            let h = Histogram {
+                lo: 0.0,
+                hi: counts.len() as f64,
+                total: 0, // render never reads totals; counts are arbitrary
+                under: 0,
+                over: 0,
+                bins: counts.clone(),
+            };
+            let bars: Vec<usize> = h
+                .render(width)
+                .lines()
+                .map(|l| l.chars().filter(|&ch| ch == '#').count())
+                .collect();
+            assert_eq!(bars.len(), counts.len());
+            let peak = counts.iter().copied().max().unwrap();
+            for (&c, &b) in counts.iter().zip(&bars) {
+                assert!(b <= width, "bar {b} exceeds width {width}");
+                assert_eq!(b == 0, c == 0, "non-zero count must draw a bar");
+                if c == peak && peak > 0 {
+                    assert_eq!(b, width, "peak bin must fill the width");
+                }
+            }
+            // Monotone: a larger count never draws a shorter bar.
+            for (&ca, &ba) in counts.iter().zip(&bars) {
+                for (&cb, &bb) in counts.iter().zip(&bars) {
+                    assert!(ca > cb || ba <= bb || ca == cb,
+                        "count {ca} drew {ba} but count {cb} drew {bb}");
+                }
+            }
+        }
+
+        #[test]
+        fn push_counts_every_sample_exactly_once(
+            xs in ptsim_rng::check::vec_in(-50.0f64..150.0, 1..64),
+        ) {
+            // The documented invariants: every observation (clamped or not)
+            // lands in exactly one bin, and the clamp counters annotate the
+            // edge bins rather than excluding samples from counts().
+            let mut h = Histogram::new(0.0, 100.0, 10);
+            for &x in &xs {
+                h.push(x);
+            }
+            assert_eq!(h.counts().iter().sum::<u64>(), h.total());
+            assert_eq!(h.total(), xs.len() as u64);
+            let (under, over) = h.clamped();
+            assert_eq!(under, xs.iter().filter(|&&x| x < 0.0).count() as u64);
+            assert_eq!(over, xs.iter().filter(|&&x| x >= 100.0).count() as u64);
+        }
+
+        #[test]
+        fn histogram_merge_equals_sequential(
+            xs in ptsim_rng::check::vec_in(-1.0f64..11.0, 2..64),
+            frac in 0.0f64..1.0,
+        ) {
+            let fill = |stream: &[f64]| {
+                let mut h = Histogram::new(0.0, 10.0, 8);
+                for &x in stream {
+                    h.push(x);
+                }
+                h
+            };
+            let split = (frac * xs.len() as f64) as usize;
+            let mut merged = fill(&xs[..split]);
+            merged.merge(&fill(&xs[split..]));
+            assert_eq!(merged, fill(&xs));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "identical range")]
+    fn histogram_merge_rejects_mismatched_config() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        a.merge(&Histogram::new(0.0, 2.0, 4));
     }
 
     #[test]

@@ -1,0 +1,29 @@
+//! Zero-dependency observability primitives for the sensor simulator.
+//!
+//! The crate provides exactly three things, all built on `std` and the
+//! in-workspace [`ptsim_mc::stats::Histogram`]:
+//!
+//! * a [`Registry`] of pre-registered monotonic counters, gauges, and
+//!   fixed-bin histograms, addressed by copyable integer ids so the record
+//!   path is an indexed add with **zero heap allocations**;
+//! * a [`Snapshot`] of a registry — plain public data plus a hand-rolled
+//!   single-line [`Snapshot::to_json`] exporter (no serializer dependency);
+//! * a [`span::emit`] stderr span emitter gated on the `PTSIM_TRACE`
+//!   environment variable (checked once, cached).
+//!
+//! Registries are plain values: each Monte-Carlo worker owns one and the
+//! driver folds them together with [`Registry::merge`] (counters sum, gauges
+//! keep the maximum, histograms add bin-wise), so a parallel run's merged
+//! snapshot matches the sequential run wherever the underlying quantities
+//! are deterministic. Instrumentation reads, never perturbs: nothing in this
+//! crate consumes randomness or feeds back into simulation state.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod registry;
+pub mod span;
+
+pub use registry::{CounterId, GaugeId, HistogramId, HistogramSnapshot, Registry, Snapshot};
+pub use span::{emit, trace_enabled};

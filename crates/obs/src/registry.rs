@@ -1,0 +1,447 @@
+//! The metric registry: named counters, gauges, and histograms behind
+//! copyable ids, with merge and JSON snapshot support.
+
+use ptsim_mc::stats::Histogram;
+use std::fmt::Write as _;
+
+/// Handle to a monotonic counter in a [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a gauge (last-or-max value) in a [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a fixed-bin histogram in a [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A small, flat metric registry.
+///
+/// All metrics are registered up front (typically at sensor or worker
+/// construction); the record path — [`Registry::inc`], [`Registry::add`],
+/// [`Registry::set`], [`Registry::observe`] — is an indexed update that
+/// never allocates. Names are `&'static str` by design: the registry is an
+/// in-process diagnostic surface, not a dynamic metrics database.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, f64)>,
+    hists: Vec<(&'static str, Histogram)>,
+}
+
+impl Registry {
+    /// Empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers a monotonic counter (starting at 0) and returns its id.
+    /// Registering the same name twice returns the existing counter.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| *n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name, 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers a gauge (starting at 0.0) and returns its id. Registering
+    /// the same name twice returns the existing gauge.
+    pub fn gauge(&mut self, name: &'static str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(n, _)| *n == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((name, 0.0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers a histogram with `bins` equal-width bins over `[lo, hi)`
+    /// and returns its id. Registering the same name twice returns the
+    /// existing histogram (its configuration wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi` (see [`Histogram::new`]).
+    pub fn histogram(&mut self, name: &'static str, lo: f64, hi: f64, bins: usize) -> HistogramId {
+        if let Some(i) = self.hists.iter().position(|(n, _)| *n == name) {
+            return HistogramId(i);
+        }
+        self.hists.push((name, Histogram::new(lo, hi, bins)));
+        HistogramId(self.hists.len() - 1)
+    }
+
+    /// Increments a counter by one. Allocation-free.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0].1 += 1;
+    }
+
+    /// Increments a counter by `n`. Allocation-free.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0].1 += n;
+    }
+
+    /// Sets a gauge. Allocation-free.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, v: f64) {
+        self.gauges[id.0].1 = v;
+    }
+
+    /// Raises a gauge to `v` if `v` is larger (high-water mark).
+    /// Allocation-free.
+    #[inline]
+    pub fn set_max(&mut self, id: GaugeId, v: f64) {
+        let g = &mut self.gauges[id.0].1;
+        *g = g.max(v);
+    }
+
+    /// Records one histogram observation (out-of-range samples clamp into
+    /// the edge bins, see [`Histogram::push`]). Allocation-free.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, x: f64) {
+        self.hists[id.0].1.push(x);
+    }
+
+    /// Current value of the counter named `name`, if registered.
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Current value of the gauge named `name`, if registered.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The histogram named `name`, if registered.
+    #[must_use]
+    pub fn histogram_data(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| *n == name).map(|(_, h)| h)
+    }
+
+    /// Folds another registry into this one, matching metrics by name:
+    /// counters sum, gauges keep the maximum, histograms add bin-wise
+    /// ([`Histogram::merge`]). Metrics only present in `other` are appended,
+    /// so merging worker registries into a fresh one loses nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two histograms share a name but differ in range or bin
+    /// count.
+    pub fn merge(&mut self, other: &Registry) {
+        for &(name, v) in &other.counters {
+            let id = self.counter(name);
+            self.counters[id.0].1 += v;
+        }
+        for &(name, v) in &other.gauges {
+            let id = self.gauge(name);
+            self.set_max(id, v);
+        }
+        for (name, h) in &other.hists {
+            if let Some(i) = self.hists.iter().position(|(n, _)| n == name) {
+                self.hists[i].1.merge(h);
+            } else {
+                self.hists.push((name, h.clone()));
+            }
+        }
+    }
+
+    /// A plain-data copy of every metric, in registration order.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .hists
+                .iter()
+                .map(|&(name, ref h)| {
+                    let (under, over) = h.clamped();
+                    let (lo, hi) = h.range();
+                    (
+                        name,
+                        HistogramSnapshot {
+                            lo,
+                            hi,
+                            under,
+                            over,
+                            total: h.total(),
+                            counts: h.counts().to_vec(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Plain-data histogram state inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Lower edge of the range.
+    pub lo: f64,
+    /// Upper edge of the range (exclusive).
+    pub hi: f64,
+    /// Observations clamped up into the first bin.
+    pub under: u64,
+    /// Observations clamped down into the last bin.
+    pub over: u64,
+    /// Total observations; always equals the sum of `counts`.
+    pub total: u64,
+    /// Per-bin counts (clamped observations included in the edge bins).
+    pub counts: Vec<u64>,
+}
+
+/// A point-in-time copy of a [`Registry`], exportable as a single JSON line.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Counter name/value pairs in registration order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Gauge name/value pairs in registration order.
+    pub gauges: Vec<(&'static str, f64)>,
+    /// Histogram name/state pairs in registration order.
+    pub histograms: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Value of the counter named `name`, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Value of the gauge named `name`, if present.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The histogram named `name`, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// A copy keeping only the metrics whose name satisfies `keep`. Useful
+    /// for comparing the deterministic subset of two runs (e.g. dropping
+    /// wall-clock `span.*` histograms).
+    #[must_use]
+    pub fn filtered(&self, keep: impl Fn(&str) -> bool) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(n, _)| keep(n))
+                .copied()
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(n, _)| keep(n))
+                .copied()
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(n, _)| keep(n))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Serializes the snapshot as one line of JSON:
+    ///
+    /// ```json
+    /// {"counters":{"name":1},"gauges":{"name":2.5},
+    ///  "histograms":{"name":{"lo":0.0,"hi":1.0,"under":0,"over":0,
+    ///                        "total":3,"counts":[1,2]}}}
+    /// ```
+    ///
+    /// Hand-rolled on purpose (the workspace is dependency-free); metric
+    /// names are static identifiers (`[A-Za-z0-9._-]`), so no string
+    /// escaping is needed. Non-finite gauge values serialize as `null`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"counters\":{");
+        for (i, &(name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, &(name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":");
+            push_f64(&mut out, v);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{{\"lo\":");
+            push_f64(&mut out, h.lo);
+            out.push_str(",\"hi\":");
+            push_f64(&mut out, h.hi);
+            let _ = write!(
+                out,
+                ",\"under\":{},\"over\":{},\"total\":{},\"counts\":[",
+                h.under, h.over, h.total
+            );
+            for (j, c) in h.counts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Writes `v` as a JSON number (`Debug` formatting of finite f64 is valid
+/// JSON: `2.5`, `0.0`, `1e-12`), or `null` when non-finite.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reregistering_returns_the_same_id() {
+        let mut r = Registry::new();
+        let a = r.counter("a");
+        let b = r.counter("b");
+        assert_ne!(a, b);
+        assert_eq!(r.counter("a"), a);
+        let g = r.gauge("g");
+        assert_eq!(r.gauge("g"), g);
+        let h = r.histogram("h", 0.0, 1.0, 4);
+        assert_eq!(r.histogram("h", 0.0, 1.0, 4), h);
+    }
+
+    #[test]
+    fn record_paths_update_the_named_metric() {
+        let mut r = Registry::new();
+        let c = r.counter("c");
+        let g = r.gauge("g");
+        let h = r.histogram("h", 0.0, 10.0, 10);
+        r.inc(c);
+        r.add(c, 4);
+        r.set(g, 2.5);
+        r.set_max(g, 1.0); // lower: ignored
+        r.set_max(g, 9.0); // higher: taken
+        r.observe(h, 3.3);
+        assert_eq!(r.counter_value("c"), Some(5));
+        assert_eq!(r.gauge_value("g"), Some(9.0));
+        assert_eq!(r.histogram_data("h").unwrap().total(), 1);
+        assert_eq!(r.counter_value("missing"), None);
+    }
+
+    #[test]
+    fn merge_sums_counters_maxes_gauges_and_adds_bins() {
+        let mut a = Registry::new();
+        let ca = a.counter("shared");
+        a.add(ca, 3);
+        let ga = a.gauge("peak");
+        a.set(ga, 2.0);
+        let ha = a.histogram("h", 0.0, 4.0, 4);
+        a.observe(ha, 0.5);
+
+        let mut b = Registry::new();
+        let cb = b.counter("shared");
+        b.add(cb, 7);
+        let only = b.counter("only_in_b");
+        b.inc(only);
+        let gb = b.gauge("peak");
+        b.set(gb, 5.0);
+        let hb = b.histogram("h", 0.0, 4.0, 4);
+        b.observe(hb, 0.6);
+        b.observe(hb, 3.9);
+
+        a.merge(&b);
+        assert_eq!(a.counter_value("shared"), Some(10));
+        assert_eq!(a.counter_value("only_in_b"), Some(1));
+        assert_eq!(a.gauge_value("peak"), Some(5.0));
+        let h = a.histogram_data("h").unwrap();
+        assert_eq!(h.counts(), &[2, 0, 0, 1]);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let mut r = Registry::new();
+        let c = r.counter("pipeline.conversions");
+        r.add(c, 2);
+        let g = r.gauge("mc.workers");
+        r.set(g, 4.0);
+        let h = r.histogram("energy.pj", 0.0, 2.0, 2);
+        r.observe(h, 0.5);
+        r.observe(h, 1.5);
+        r.observe(h, -1.0);
+        let s = r.snapshot();
+        assert_eq!(s.counter("pipeline.conversions"), Some(2));
+        assert_eq!(s.gauge("mc.workers"), Some(4.0));
+        let hs = s.histogram("energy.pj").unwrap();
+        assert_eq!(hs.counts, vec![2, 1]);
+        assert_eq!((hs.under, hs.over, hs.total), (1, 0, 3));
+        let json = s.to_json();
+        assert_eq!(
+            json,
+            "{\"counters\":{\"pipeline.conversions\":2},\
+             \"gauges\":{\"mc.workers\":4.0},\
+             \"histograms\":{\"energy.pj\":{\"lo\":0.0,\"hi\":2.0,\
+             \"under\":1,\"over\":0,\"total\":3,\"counts\":[2,1]}}}"
+        );
+    }
+
+    #[test]
+    fn filtered_drops_unmatched_names() {
+        let mut r = Registry::new();
+        r.counter("keep.me");
+        r.counter("span.drop");
+        r.histogram("span.t", 0.0, 1.0, 2);
+        let s = r.snapshot().filtered(|n| !n.starts_with("span."));
+        assert_eq!(s.counters.len(), 1);
+        assert!(s.histograms.is_empty());
+    }
+
+    #[test]
+    fn non_finite_gauges_serialize_as_null() {
+        let mut r = Registry::new();
+        let g = r.gauge("g");
+        r.set(g, f64::INFINITY);
+        assert!(r.snapshot().to_json().contains("\"g\":null"));
+    }
+}

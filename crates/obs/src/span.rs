@@ -1,0 +1,44 @@
+//! `PTSIM_TRACE`-gated stderr span emitter.
+//!
+//! Spans are deliberately minimal: the pipeline times a stage with
+//! [`std::time::Instant`] and calls [`emit`] with the elapsed duration. When
+//! the `PTSIM_TRACE` environment variable is unset (or set to `""`/`"0"`)
+//! the emitter is a cached boolean check and nothing is written — the
+//! environment is consulted exactly once per process.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// True when `PTSIM_TRACE` is set to a non-empty value other than `"0"`.
+/// The environment is read once and cached for the life of the process.
+#[must_use]
+pub fn trace_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        std::env::var("PTSIM_TRACE")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
+
+/// Writes one `[ptsim-trace] <name> <nanoseconds> ns` line to stderr when
+/// tracing is enabled; otherwise a no-op. The formatted write goes straight
+/// to the locked stderr handle — no heap allocation on either path (after
+/// the first [`trace_enabled`] lookup).
+pub fn emit(name: &str, elapsed: Duration) {
+    if trace_enabled() {
+        eprintln!("[ptsim-trace] {name} {} ns", elapsed.as_nanos());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_is_safe_without_the_env_var() {
+        // The test harness does not set PTSIM_TRACE; this must be a no-op
+        // (and must not panic) regardless of the cached gate state.
+        emit("test.span", Duration::from_nanos(42));
+    }
+}

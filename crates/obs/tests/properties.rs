@@ -1,0 +1,70 @@
+//! Property tests for the registry: record/merge semantics hold for
+//! arbitrary inputs, and a merged split matches the sequential run.
+
+use ptsim_mc::stats::Histogram;
+use ptsim_obs::Registry;
+use ptsim_rng::check::vec_in;
+
+ptsim_rng::forall! {
+    #[test]
+    fn counter_accumulates_the_exact_sum(incs in vec_in(0u64..1_000_000, 1..32)) {
+        let mut r = Registry::new();
+        let id = r.counter("c");
+        for &n in &incs {
+            r.add(id, n);
+        }
+        assert_eq!(r.counter_value("c"), Some(incs.iter().sum::<u64>()));
+    }
+
+    #[test]
+    fn observe_matches_direct_histogram_push(xs in vec_in(-2.0f64..12.0, 1..64)) {
+        let mut r = Registry::new();
+        let id = r.histogram("h", 0.0, 10.0, 8);
+        let mut direct = Histogram::new(0.0, 10.0, 8);
+        for &x in &xs {
+            r.observe(id, x);
+            direct.push(x);
+        }
+        let reg = r.histogram_data("h").unwrap();
+        assert_eq!(reg.counts(), direct.counts());
+        assert_eq!(reg.total(), direct.total());
+        assert_eq!(reg.clamped(), direct.clamped());
+    }
+
+    #[test]
+    fn merged_split_equals_sequential(
+        xs in vec_in(-2.0f64..12.0, 2..64),
+        split_frac in 0.0f64..1.0,
+    ) {
+        // One registry fed everything vs. two registries fed a split of the
+        // same stream, merged into a third: snapshots must be identical.
+        let build = |stream: &[f64]| {
+            let mut r = Registry::new();
+            let c = r.counter("events");
+            let h = r.histogram("values", 0.0, 10.0, 8);
+            for &x in stream {
+                r.inc(c);
+                r.observe(h, x);
+            }
+            r
+        };
+        let split = (split_frac * xs.len() as f64) as usize;
+        let sequential = build(&xs);
+        let mut merged = Registry::new();
+        merged.merge(&build(&xs[..split]));
+        merged.merge(&build(&xs[split..]));
+        assert_eq!(merged.snapshot(), sequential.snapshot());
+        assert_eq!(merged.snapshot().to_json(), sequential.snapshot().to_json());
+    }
+
+    #[test]
+    fn gauge_set_max_is_a_high_water_mark(vs in vec_in(-5.0f64..5.0, 1..32)) {
+        let mut r = Registry::new();
+        let id = r.gauge("g");
+        for &v in &vs {
+            r.set_max(id, v);
+        }
+        let expect = vs.iter().copied().fold(0.0f64, f64::max);
+        assert_eq!(r.gauge_value("g"), Some(expect));
+    }
+}

@@ -23,8 +23,29 @@ cargo fmt --check
 echo "==> cargo doc --offline (deny rustdoc warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace --quiet
 
-echo "==> R1 fault-campaign smoke (12 dies)"
-PTSIM_BENCH_DIES=12 cargo run -q --release --offline -p ptsim-bench --bin fault_campaign > /dev/null
+echo "==> R1 fault-campaign smoke (12 dies) + metrics snapshot schema"
+PTSIM_BENCH_DIES=12 PTSIM_METRICS_JSON=target/metrics_smoke.json \
+    cargo run -q --release --offline -p ptsim-bench --bin fault_campaign > /dev/null
+python3 - target/metrics_smoke.json <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+assert set(snap) == {"counters", "gauges", "histograms"}, sorted(snap)
+for name, v in snap["counters"].items():
+    assert isinstance(v, int) and v >= 0, (name, v)
+for name, v in snap["gauges"].items():
+    assert isinstance(v, (int, float)), (name, v)
+for name, h in snap["histograms"].items():
+    assert set(h) == {"lo", "hi", "under", "over", "total", "counts"}, (name, sorted(h))
+    assert sum(h["counts"]) == h["total"], name
+# The campaign must actually have flowed through the instrumented pipeline.
+assert snap["counters"]["pipeline.calibrations"] > 0
+assert snap["counters"]["pipeline.conversions"] > 0
+assert snap["counters"]["acquire.replicas"] > 0
+assert snap["counters"]["mc.dies"] == 12
+assert snap["histograms"]["energy.conversion_pj"]["total"] > 0
+print(f"metrics snapshot: {len(snap['counters'])} counters, "
+      f"{len(snap['gauges'])} gauges, {len(snap['histograms'])} histograms, schema OK")
+EOF
 
 echo "==> bench smoke (1 sample, parse-only — timing never gates CI)"
 # Keeps every bench binary buildable and its JSON output machine-parseable;
@@ -39,6 +60,10 @@ names = []
 for l in lines:
     obj = json.loads(l)
     if "meta" in obj:
+        continue
+    if "metrics" in obj:
+        snap = obj["metrics"]
+        assert {"counters", "gauges", "histograms"} <= snap.keys(), l
         continue
     assert {"name", "median_ns", "samples"} <= obj.keys(), l
     names.append(obj["name"])
