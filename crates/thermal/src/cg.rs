@@ -6,6 +6,7 @@
 //! sweeps on large grids. Matrix-free: only `A·x` products are formed.
 
 use crate::error::ThermalError;
+use crate::linalg::dot;
 use crate::solve::SolveStats;
 use crate::stack::ThermalStack;
 
@@ -27,15 +28,13 @@ impl Default for CgOptions {
     }
 }
 
-fn dot(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
-}
-
 /// Solves the stack to steady state in place using conjugate gradients.
 ///
 /// Produces the same temperature field as
 /// [`crate::solve::solve_steady_state`] (they solve the identical linear
-/// system); use whichever fits the grid size — CG wins on fine grids.
+/// system); see DESIGN.md's "Thermal solver hierarchy" for when to pick
+/// CG over the Gauss–Seidel oracle or the
+/// [`crate::multigrid::solve_steady_state_mg`] production solver.
 ///
 /// # Errors
 ///

@@ -12,6 +12,14 @@
 //! [`solve::step_transient`] (stability-substepped explicit Euler) produce
 //! the ground-truth temperature fields the sensor is evaluated against.
 //!
+//! Three steady-state solvers share the identical linear system (see
+//! DESIGN.md, "Thermal solver hierarchy"): the lexicographic Gauss–Seidel
+//! oracle ([`solve::solve_steady_state`], the bit-exact default at small
+//! sizes), matrix-free conjugate gradients ([`cg::solve_steady_state_cg`]),
+//! and the geometric multigrid production solver
+//! ([`multigrid::solve_steady_state_mg`]) that makes 32²–64²-per-tier
+//! grids routine.
+//!
 //! ## Example
 //!
 //! ```
@@ -37,7 +45,9 @@
 
 pub mod cg;
 pub mod error;
+mod linalg;
 pub mod material;
+pub mod multigrid;
 pub mod power;
 pub mod solve;
 pub mod stack;
@@ -45,6 +55,7 @@ pub mod stack;
 pub use cg::{solve_steady_state_cg, CgOptions};
 pub use error::ThermalError;
 pub use material::Material;
+pub use multigrid::{solve_steady_state_mg, MgOptions, MultigridSolver};
 pub use power::PowerMap;
 pub use solve::{run_transient, solve_steady_state, step_transient, SolveOptions, SolveStats};
 pub use stack::{StackConfig, ThermalStack};

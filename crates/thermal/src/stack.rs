@@ -472,6 +472,31 @@ impl ThermalStack {
         self.cell_capacity
     }
 
+    // ---- network coefficients (used by `multigrid` to build its finest
+    // level; the hierarchy must see the exact conductances
+    // `apply_conductance` and `neighbours_sum` use) ----------------------
+
+    /// Lateral in-plane conductance, W/K.
+    pub(crate) fn g_lat(&self) -> f64 {
+        self.g_lat
+    }
+
+    /// Per-cell vertical conductances of interface `iface` (couples tier
+    /// `iface` and `iface + 1`), W/K.
+    pub(crate) fn g_vert(&self, iface: usize) -> &[f64] {
+        &self.g_vert[iface]
+    }
+
+    /// Per-cell top-tier conductance to the heat sink, W/K.
+    pub(crate) fn g_sink(&self) -> f64 {
+        self.g_sink
+    }
+
+    /// Per-cell bottom-tier conductance to the package/board, W/K.
+    pub(crate) fn g_board(&self) -> f64 {
+        self.g_board
+    }
+
     pub(crate) fn temps_mut(&mut self) -> &mut Vec<f64> {
         &mut self.temps
     }

@@ -1,0 +1,87 @@
+//! Bit-exactness gates for the parallel multigrid smoother.
+//!
+//! The red-black half-sweeps update one colour from the frozen other
+//! colour, so traversal order — and therefore thread count — cannot
+//! change a single bit of the result. These tests pin that guarantee on
+//! a grid large enough to cross the parallel-dispatch threshold on the
+//! finest level.
+
+use ptsim_device::units::{Watt, WattPerKelvin};
+use ptsim_thermal::multigrid::{solve_steady_state_mg, MgOptions};
+use ptsim_thermal::power::PowerMap;
+use ptsim_thermal::stack::{StackConfig, ThermalStack};
+
+/// 32 × 32 × 4 = 4096 cells: well above `PARALLEL_MIN_CELLS`, so the
+/// finest level actually runs the threaded half-sweep path.
+fn big_stack() -> ThermalStack {
+    let cfg = StackConfig {
+        nx: 32,
+        ny: 32,
+        ..StackConfig::four_tier_5mm()
+    };
+    let mut s = ThermalStack::new(cfg).unwrap();
+    let mut p = PowerMap::zero(32, 32).unwrap();
+    p.add_hotspot(0.3, 0.3, 0.1, Watt(2.0));
+    p.add_hotspot(0.7, 0.6, 0.2, Watt(0.8));
+    s.set_power(0, p).unwrap();
+    s.set_power(2, PowerMap::uniform(32, 32, Watt(0.5)).unwrap())
+        .unwrap();
+    for iface in 0..3 {
+        s.add_vertical_conductance(iface, 5, 27, WattPerKelvin(2.4e-3))
+            .unwrap();
+    }
+    s
+}
+
+fn field_bits(s: &ThermalStack) -> Vec<u64> {
+    let cfg = s.config();
+    let mut out = Vec::with_capacity(cfg.tiers * cfg.nx * cfg.ny);
+    for tier in 0..cfg.tiers {
+        for iy in 0..cfg.ny {
+            for ix in 0..cfg.nx {
+                out.push(s.temperature(tier, ix, iy).unwrap().0.to_bits());
+            }
+        }
+    }
+    out
+}
+
+fn solve_with_threads(threads: usize) -> (Vec<u64>, usize) {
+    let mut s = big_stack();
+    let stats = solve_steady_state_mg(
+        &mut s,
+        &MgOptions {
+            threads,
+            ..MgOptions::default()
+        },
+    )
+    .unwrap();
+    (field_bits(&s), stats.iterations)
+}
+
+#[test]
+fn field_is_bit_identical_across_thread_counts() {
+    let (seq, seq_cycles) = solve_with_threads(1);
+    for threads in [2usize, 4, 0] {
+        let (par, par_cycles) = solve_with_threads(threads);
+        assert_eq!(
+            seq_cycles, par_cycles,
+            "cycle count differs at threads={threads}"
+        );
+        let diffs = seq.iter().zip(&par).filter(|(a, b)| a != b).count();
+        assert_eq!(
+            diffs,
+            0,
+            "{diffs} of {} cells differ bitwise at threads={threads}",
+            seq.len()
+        );
+    }
+}
+
+#[test]
+fn repeated_solves_are_bit_identical() {
+    let (a, cycles_a) = solve_with_threads(4);
+    let (b, cycles_b) = solve_with_threads(4);
+    assert_eq!(cycles_a, cycles_b);
+    assert_eq!(a, b);
+}

@@ -3,6 +3,7 @@
 use ptsim_device::units::{Seconds, Watt};
 use ptsim_rng::forall;
 use ptsim_thermal::cg::{solve_steady_state_cg, CgOptions};
+use ptsim_thermal::multigrid::{solve_steady_state_mg, MgOptions};
 use ptsim_thermal::power::PowerMap;
 use ptsim_thermal::solve::{solve_steady_state, step_transient, SolveOptions};
 use ptsim_thermal::stack::{StackConfig, ThermalStack};
@@ -86,6 +87,40 @@ forall! {
         let a = gs.temperature_at(1, cx, cy).unwrap().0;
         let b = cg.temperature_at(1, cx, cy).unwrap().0;
         assert!((a - b).abs() < 1e-3, "GS {a} vs CG {b}");
+    }
+
+    #[test]
+    fn all_three_steady_solvers_agree(
+        cx in 0.1f64..0.9, cy in 0.1f64..0.9, w in 0.1f64..2.0, tiers in 1usize..4,
+    ) {
+        // GS (oracle), CG, and multigrid solve the identical linear system;
+        // any pair drifting apart flags a conductance-assembly bug in one.
+        let build = || {
+            let mut s = small_stack(tiers);
+            let mut p = PowerMap::zero(8, 8).unwrap();
+            p.add_hotspot(cx, cy, 0.15, Watt(w));
+            s.set_power(tiers - 1, p).unwrap();
+            s
+        };
+        let mut gs = build();
+        solve_steady_state(&mut gs, &SolveOptions::default()).unwrap();
+        let mut cg = build();
+        solve_steady_state_cg(&mut cg, &CgOptions::default()).unwrap();
+        let mut mg = build();
+        solve_steady_state_mg(&mut mg, &MgOptions::default()).unwrap();
+        for tier in 0..tiers {
+            for iy in 0..8 {
+                for ix in 0..8 {
+                    let a = gs.temperature(tier, ix, iy).unwrap().0;
+                    let b = cg.temperature(tier, ix, iy).unwrap().0;
+                    let c = mg.temperature(tier, ix, iy).unwrap().0;
+                    assert!(
+                        (a - b).abs() < 1e-3 && (a - c).abs() < 1e-3,
+                        "tier {tier} cell ({ix},{iy}): GS {a} CG {b} MG {c}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

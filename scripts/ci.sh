@@ -47,6 +47,14 @@ print(f"metrics snapshot: {len(snap['counters'])} counters, "
       f"{len(snap['gauges'])} gauges, {len(snap['histograms'])} histograms, schema OK")
 EOF
 
+echo "==> solver-equivalence smoke (GS oracle vs CG vs multigrid, release FP paths)"
+# Debug-mode `cargo test` above already runs the full equivalence suites;
+# this re-runs the cross-solver and bit-determinism gates against the
+# release binaries, whose float codegen is what the benches and the fault
+# campaign actually execute.
+cargo test -q --release --offline -p ptsim-thermal --test properties all_three_steady_solvers_agree
+cargo test -q --release --offline -p ptsim-thermal --test determinism
+
 echo "==> bench smoke (1 sample, parse-only — timing never gates CI)"
 # Keeps every bench binary buildable and its JSON output machine-parseable;
 # scripts/bench.sh is the manual perf run that records BENCH_PIPELINE.json.
@@ -68,6 +76,8 @@ for l in lines:
     assert {"name", "median_ns", "samples"} <= obj.keys(), l
     names.append(obj["name"])
 assert names, "bench smoke emitted no results"
+assert "steady_state/64" in names, "multigrid 64-grid bench missing"
+assert "steady_state_gs/16" in names, "Gauss-Seidel oracle bench missing"
 print(f"bench smoke: {len(names)} benchmarks, JSON OK")
 '
 
