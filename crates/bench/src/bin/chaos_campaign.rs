@@ -1,0 +1,28 @@
+//! Runs the R2 fleet-service chaos campaign and prints the graded report.
+//!
+//! Exits non-zero if any chaos gate fails, so scripts can use it directly
+//! as a smoke check. `PTSIM_CHAOS_DIES` / `PTSIM_CHAOS_SHARDS` override
+//! the fleet size.
+
+use ptsim_bench::experiments::r2_chaos::{render_report, run_campaign, ChaosConfig};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let defaults = ChaosConfig::default();
+    let cfg = ChaosConfig {
+        n_dies: env_u64("PTSIM_CHAOS_DIES", defaults.n_dies),
+        n_shards: env_u64("PTSIM_CHAOS_SHARDS", defaults.n_shards),
+        ..defaults
+    };
+    let report = run_campaign(&cfg);
+    println!("{}", render_report(&report));
+    if !report.gate_failures().is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -11,6 +11,7 @@
 //! longer be trusted — the hook the sensor's parity scrub checks before
 //! every conversion.
 
+use crate::error::SensorError;
 use ptsim_circuit::fixed::{Fixed, QFormat};
 use ptsim_device::units::{Celsius, Volt};
 
@@ -66,30 +67,48 @@ impl Calibration {
         cal
     }
 
-    fn register(&self, index: usize) -> Fixed {
-        match index {
-            0 => self.d_vtn,
-            1 => self.d_vtp,
-            2 => self.mu_n,
-            3 => self.mu_p,
-            4 => self.ln_tsro_scale,
-            _ => panic!("calibration register index {index} out of range"),
-        }
+    /// Every register word in `ΔVtn, ΔVtp, µn, µp, ln-scale` order.
+    fn registers(&self) -> [Fixed; CALIB_REGISTERS] {
+        [
+            self.d_vtn,
+            self.d_vtp,
+            self.mu_n,
+            self.mu_p,
+            self.ln_tsro_scale,
+        ]
     }
 
-    fn register_mut(&mut self, index: usize) -> &mut Fixed {
+    /// The raw word of register `index` (`ΔVtn, ΔVtp, µn, µp, ln-scale`
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::InvalidRegister`] for indices outside
+    /// `0..CALIB_REGISTERS` — a corrupted register pointer surfaces as a
+    /// recoverable fault instead of aborting the worker that hit it.
+    pub fn register(&self, index: usize) -> Result<Fixed, SensorError> {
+        self.registers()
+            .get(index)
+            .copied()
+            .ok_or(SensorError::InvalidRegister { index })
+    }
+
+    fn register_mut(&mut self, index: usize) -> Result<&mut Fixed, SensorError> {
         match index {
-            0 => &mut self.d_vtn,
-            1 => &mut self.d_vtp,
-            2 => &mut self.mu_n,
-            3 => &mut self.mu_p,
-            4 => &mut self.ln_tsro_scale,
-            _ => panic!("calibration register index {index} out of range"),
+            0 => Ok(&mut self.d_vtn),
+            1 => Ok(&mut self.d_vtp),
+            2 => Ok(&mut self.mu_n),
+            3 => Ok(&mut self.mu_p),
+            4 => Ok(&mut self.ln_tsro_scale),
+            _ => Err(SensorError::InvalidRegister { index }),
         }
     }
 
     fn computed_parity(&self) -> u8 {
-        (0..CALIB_REGISTERS).fold(0u8, |mask, i| mask | (word_parity(self.register(i)) << i))
+        self.registers()
+            .iter()
+            .enumerate()
+            .fold(0u8, |mask, (i, &reg)| mask | (word_parity(reg) << i))
     }
 
     /// Bitmask of registers whose current parity disagrees with the parity
@@ -105,8 +124,7 @@ impl Calibration {
     /// register. Register indices follow the `ΔVtn, ΔVtp, µn, µp, ln-scale`
     /// order; out-of-range registers are ignored (no flip).
     pub fn inject_bit_flip(&mut self, register: usize, bit: u32) {
-        if register < CALIB_REGISTERS {
-            let reg = self.register_mut(register);
+        if let Ok(reg) = self.register_mut(register) {
             *reg = reg.with_bit_flipped(bit);
         }
     }
@@ -262,5 +280,33 @@ mod tests {
         let before = c;
         c.inject_bit_flip(CALIB_REGISTERS, 3);
         assert_eq!(c, before);
+    }
+
+    #[test]
+    fn register_returns_each_word_in_order() {
+        let c = sample();
+        let words: Vec<Fixed> = (0..CALIB_REGISTERS)
+            .map(|i| c.register(i).expect("in-range register"))
+            .collect();
+        assert_eq!(words[0].to_f64(), c.d_vtn().0);
+        assert_eq!(words[1].to_f64(), c.d_vtp().0);
+        assert_eq!(words[2].to_f64(), c.mu_n());
+        assert_eq!(words[3].to_f64(), c.mu_p());
+        assert_eq!(words[4].to_f64(), c.ln_tsro_scale());
+    }
+
+    #[test]
+    fn out_of_range_register_is_typed_error_not_panic() {
+        // Regression: these used to be `panic!` arms, which aborted the
+        // fleet worker that hit a corrupted register pointer.
+        let c = sample();
+        for index in [CALIB_REGISTERS, CALIB_REGISTERS + 1, usize::MAX] {
+            match c.register(index) {
+                Err(SensorError::InvalidRegister { index: got }) => assert_eq!(got, index),
+                other => panic!("expected InvalidRegister, got {other:?}"),
+            }
+        }
+        let msg = c.register(7).unwrap_err().to_string();
+        assert!(msg.contains("7") && msg.contains("out of range"), "{msg}");
     }
 }

@@ -49,6 +49,13 @@ pub enum SensorError {
         /// `ΔVtn, ΔVtp, µn, µp, ln-scale` order).
         registers: u8,
     },
+    /// A calibration register index outside `0..CALIB_REGISTERS` was
+    /// requested — a corrupted register pointer in a controller, not a
+    /// reason to abort a fleet worker.
+    InvalidRegister {
+        /// The offending register index.
+        index: usize,
+    },
     /// A read was attempted before calibration.
     NotCalibrated,
     /// The solved temperature fell outside the sensor's characterized range.
@@ -97,6 +104,13 @@ impl fmt::Display for SensorError {
                 write!(
                     f,
                     "calibration registers corrupted (parity mask {registers:#07b}); recalibrate"
+                )
+            }
+            SensorError::InvalidRegister { index } => {
+                write!(
+                    f,
+                    "calibration register index {index} out of range (0..{})",
+                    crate::calib::CALIB_REGISTERS
                 )
             }
             SensorError::NotCalibrated => {

@@ -8,9 +8,24 @@
 //! `std::sync::Mutex`.
 
 use ptsim_rng::{Pcg64, SplitMix64};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Recovers the guarded data from a possibly-poisoned mutex.
+///
+/// The per-die closures run *outside* every lock, and the merge-side
+/// critical sections only move already-computed data, so a poisoned lock
+/// carries no torn state — recovering it reports the panic that poisoned it
+/// through the panicking worker itself (via [`std::thread::scope`] or
+/// [`run_parallel_caught`]) instead of cascading a second panic into every
+/// surviving worker, which is how one bad die used to take the whole
+/// campaign down.
+fn recover<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Configuration for a Monte-Carlo run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,17 +159,12 @@ where
                     let mut rng = die_rng(base, i);
                     local.push((i, f(&mut ctx, i, &mut rng)));
                 }
-                results
-                    .lock()
-                    .expect("monte-carlo result mutex poisoned")
-                    .extend(local);
+                recover(results.lock()).extend(local);
             });
         }
     });
 
-    let mut out = results
-        .into_inner()
-        .expect("monte-carlo result mutex poisoned");
+    let mut out = recover(results.into_inner());
     out.sort_by_key(|(i, _)| *i);
     out.into_iter().map(|(_, t)| t).collect()
 }
@@ -240,26 +250,89 @@ where
                     dies += 1;
                 }
                 let busy = start.elapsed();
-                results
-                    .lock()
-                    .expect("monte-carlo result mutex poisoned")
-                    .extend(local);
-                reports
-                    .lock()
-                    .expect("monte-carlo report mutex poisoned")
-                    .push(WorkerReport { ctx, dies, busy });
+                recover(results.lock()).extend(local);
+                recover(reports.lock()).push(WorkerReport { ctx, dies, busy });
             });
         }
     });
 
-    let mut out = results
-        .into_inner()
-        .expect("monte-carlo result mutex poisoned");
+    let mut out = recover(results.into_inner());
     out.sort_by_key(|(i, _)| *i);
-    let reports = reports
-        .into_inner()
-        .expect("monte-carlo report mutex poisoned");
+    let reports = recover(reports.into_inner());
     (out.into_iter().map(|(_, t)| t).collect(), reports)
+}
+
+/// One die's closure panicked inside [`run_parallel_caught`].
+///
+/// Carries the die index and the stringified panic payload, so a campaign
+/// can report *which* die died and why while every other die's result still
+/// arrives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Die whose closure panicked.
+    pub die: u64,
+    /// Stringified panic payload (`"<non-string panic payload>"` when the
+    /// payload was neither `String` nor `&str`).
+    pub message: String,
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "die {} panicked: {}", self.die, self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Stringifies a `catch_unwind` payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// [`run_parallel_with`] with per-die panic isolation: a die whose closure
+/// panics yields `Err(WorkerPanic)` in its slot while every other die's
+/// result arrives untouched — one poisoned die no longer takes down the
+/// whole campaign.
+///
+/// After a caught panic the worker's context is dropped and rebuilt with
+/// `init()` before the next die, because an unwound closure may have left
+/// it in a logically-torn state (half-updated caches, mid-conversion
+/// scratch). Determinism of the surviving dies is unchanged — die `i` still
+/// sees exactly `die_rng(base_seed, i)` and contexts never leak
+/// result-visible state between dies.
+pub fn run_parallel_caught<C, T, FI, F>(
+    cfg: &McConfig,
+    init: FI,
+    f: F,
+) -> Vec<Result<T, WorkerPanic>>
+where
+    T: Send,
+    FI: Fn() -> C + Sync,
+    F: Fn(&mut C, u64, &mut Pcg64) -> T + Sync,
+{
+    run_parallel_with(
+        cfg,
+        || None::<C>,
+        |slot, i, rng| {
+            let ctx = slot.get_or_insert_with(&init);
+            match catch_unwind(AssertUnwindSafe(|| f(ctx, i, rng))) {
+                Ok(t) => Ok(t),
+                Err(payload) => {
+                    let message = panic_message(&*payload);
+                    // The context unwound mid-update; rebuild it for the
+                    // next die rather than trusting torn state.
+                    *slot = None;
+                    Err(WorkerPanic { die: i, message })
+                }
+            }
+        },
+    )
 }
 
 #[cfg(test)]
@@ -368,6 +441,97 @@ mod tests {
         let (out, reports) = run_parallel_metered(&McConfig::new(0, 1), || (), |(), i, _| i);
         assert!(out.is_empty());
         assert!(reports.is_empty());
+    }
+
+    /// Silences the default panic-hook stderr spew for tests that inject
+    /// panics on purpose, restoring the previous hook afterwards. The hook
+    /// is process-global, so quiet sections are serialized.
+    fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        static HOOK_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = recover(HOOK_LOCK.lock());
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = f();
+        std::panic::set_hook(prev);
+        r
+    }
+
+    #[test]
+    fn caught_panic_reports_die_and_spares_the_rest() {
+        // Regression for the cascade: one panicking conversion used to
+        // unwind through the scope and (via the poisoned result mutex)
+        // abort every surviving worker's merge. Now the bad die reports a
+        // typed WorkerPanic and all other dies' results still arrive.
+        with_quiet_panics(|| {
+            let mut cfg = McConfig::new(64, 17);
+            cfg.threads = 4;
+            let out = run_parallel_caught(
+                &cfg,
+                || 0u64,
+                |calls, i, rng| {
+                    *calls += 1;
+                    if i == 13 {
+                        panic!("injected conversion failure on die {i}");
+                    }
+                    (i, rng.gen::<u64>())
+                },
+            );
+            assert_eq!(out.len(), 64);
+            let reference = run_parallel(&cfg, |i, rng| (i, rng.gen::<u64>()));
+            for (i, slot) in out.iter().enumerate() {
+                if i == 13 {
+                    let p = slot.as_ref().unwrap_err();
+                    assert_eq!(p.die, 13);
+                    assert!(p.message.contains("die 13"), "{}", p.message);
+                    assert!(p.to_string().contains("panicked"));
+                } else {
+                    // Surviving dies are bit-identical to an uncaught run.
+                    assert_eq!(slot.as_ref().unwrap(), &reference[i]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn caught_panic_rebuilds_worker_context() {
+        with_quiet_panics(|| {
+            let mut cfg = McConfig::new(10, 3);
+            cfg.threads = 1;
+            // The context counts dies since (re)build; a panic must reset it.
+            let out = run_parallel_caught(
+                &cfg,
+                || 0u64,
+                |since_init, i, _| {
+                    *since_init += 1;
+                    if i == 4 {
+                        panic!("boom");
+                    }
+                    *since_init
+                },
+            );
+            // Dies 0..=3 count 1..=4; die 4 panics; dies 5.. restart from 1.
+            assert_eq!(out[3].as_ref().unwrap(), &4);
+            assert!(out[4].is_err());
+            assert_eq!(out[5].as_ref().unwrap(), &1);
+            assert_eq!(out[9].as_ref().unwrap(), &5);
+        });
+    }
+
+    #[test]
+    fn non_string_panic_payload_is_reported() {
+        with_quiet_panics(|| {
+            let mut cfg = McConfig::new(1, 1);
+            cfg.threads = 1;
+            let out = run_parallel_caught(
+                &cfg,
+                || (),
+                |(), _, _| -> u64 { std::panic::panic_any(42i32) },
+            );
+            assert_eq!(
+                out[0].as_ref().unwrap_err().message,
+                "<non-string panic payload>"
+            );
+        });
     }
 
     #[test]

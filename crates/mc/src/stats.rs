@@ -289,24 +289,67 @@ impl Histogram {
     }
 }
 
+/// Why a quantile could not be computed.
+///
+/// A campaign-wide percentile must not abort the campaign because one sample
+/// went bad: every failure mode is typed so the caller can decide whether to
+/// drop the batch, flag it, or propagate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StatsError {
+    /// The input slice was empty.
+    EmptyData,
+    /// The requested quantile was outside `[0, 1]` (or NaN).
+    BadQuantile(f64),
+    /// A sample was NaN — the order statistics of the batch are undefined.
+    /// `index` is the position of the first NaN in the (unsorted) input.
+    NanSample {
+        /// Position of the first NaN in the input slice.
+        index: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyData => write!(f, "quantile of empty data"),
+            StatsError::BadQuantile(q) => write!(f, "quantile {q} outside [0, 1]"),
+            StatsError::NanSample { index } => {
+                write!(f, "NaN sample at index {index} in quantile input")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
 /// Returns the `q`-quantile (0 ≤ q ≤ 1) of the data by linear interpolation.
 /// The input slice is sorted in place.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `data` is empty or `q` is outside `[0, 1]`.
-pub fn quantile_in_place(data: &mut [f64], q: f64) -> f64 {
-    assert!(!data.is_empty(), "quantile of empty data");
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
-    data.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+/// Returns a typed [`StatsError`] — never panics — when the data is empty,
+/// `q` is outside `[0, 1]`, or any sample is NaN (one bad sample mid-campaign
+/// surfaces as a recoverable error, not an abort). Infinities are ordered
+/// normally and need no special casing.
+pub fn quantile_in_place(data: &mut [f64], q: f64) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyData);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::BadQuantile(q));
+    }
+    if let Some(index) = data.iter().position(|x| x.is_nan()) {
+        return Err(StatsError::NanSample { index });
+    }
+    data.sort_by(f64::total_cmp);
     let pos = q * (data.len() - 1) as f64;
     let i = pos.floor() as usize;
     let frac = pos - i as f64;
-    if i + 1 < data.len() {
+    Ok(if i + 1 < data.len() {
         data[i] * (1.0 - frac) + data[i + 1] * frac
     } else {
         data[i]
-    }
+    })
 }
 
 #[cfg(test)]
@@ -500,9 +543,34 @@ mod tests {
     #[test]
     fn quantiles_interpolate() {
         let mut data = vec![1.0, 2.0, 3.0, 4.0];
-        assert_eq!(quantile_in_place(&mut data, 0.0), 1.0);
-        assert_eq!(quantile_in_place(&mut data, 1.0), 4.0);
-        assert!((quantile_in_place(&mut data, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(quantile_in_place(&mut data, 0.0), Ok(1.0));
+        assert_eq!(quantile_in_place(&mut data, 1.0), Ok(4.0));
+        assert!((quantile_in_place(&mut data, 0.5).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_failure_modes_are_typed() {
+        assert_eq!(quantile_in_place(&mut [], 0.5), Err(StatsError::EmptyData));
+        assert_eq!(
+            quantile_in_place(&mut [1.0], 1.5),
+            Err(StatsError::BadQuantile(1.5))
+        );
+        assert!(matches!(
+            quantile_in_place(&mut [1.0], f64::NAN),
+            Err(StatsError::BadQuantile(q)) if q.is_nan()
+        ));
+        assert_eq!(
+            quantile_in_place(&mut [1.0, f64::NAN, 3.0], 0.5),
+            Err(StatsError::NanSample { index: 1 })
+        );
+        assert!(StatsError::NanSample { index: 1 }.to_string().contains("1"));
+    }
+
+    #[test]
+    fn quantile_orders_infinities() {
+        let mut data = vec![f64::INFINITY, 0.0, f64::NEG_INFINITY];
+        assert_eq!(quantile_in_place(&mut data, 0.0), Ok(f64::NEG_INFINITY));
+        assert_eq!(quantile_in_place(&mut data, 1.0), Ok(f64::INFINITY));
     }
 
     #[test]

@@ -58,10 +58,32 @@ forall! {
 
     #[test]
     fn quantiles_are_monotone(mut xs in ptsim_rng::check::vec_in(-100.0f64..100.0, 3..60)) {
-        let q25 = quantile_in_place(&mut xs, 0.25);
-        let q50 = quantile_in_place(&mut xs, 0.50);
-        let q75 = quantile_in_place(&mut xs, 0.75);
+        let q25 = quantile_in_place(&mut xs, 0.25).unwrap();
+        let q50 = quantile_in_place(&mut xs, 0.50).unwrap();
+        let q75 = quantile_in_place(&mut xs, 0.75).unwrap();
         assert!(q25 <= q50 && q50 <= q75);
+    }
+
+    #[test]
+    fn quantile_never_panics_with_a_nan_sample(
+        mut xs in ptsim_rng::check::vec_in(-100.0f64..100.0, 1..40),
+        at in 0usize..40,
+        q in 0.0f64..1.0,
+    ) {
+        // One bad sample mid-campaign must surface as a typed error (with
+        // the position of the first NaN), never a panic.
+        let at = at % xs.len();
+        xs[at] = f64::NAN;
+        let first_nan = xs.iter().position(|x| x.is_nan()).unwrap();
+        assert_eq!(
+            quantile_in_place(&mut xs, q),
+            Err(ptsim_mc::stats::StatsError::NanSample { index: first_nan })
+        );
+        // Removing the NaN makes the same batch computable again.
+        xs.remove(first_nan);
+        if !xs.is_empty() {
+            assert!(quantile_in_place(&mut xs, q).unwrap().is_finite());
+        }
     }
 
     #[test]

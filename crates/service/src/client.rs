@@ -1,0 +1,105 @@
+//! A minimal blocking client for the fleet daemon — used by the CI smoke,
+//! the chaos campaign, and the load generator. One TCP connection, one
+//! in-flight request at a time.
+
+use crate::protocol::{
+    read_frame, write_frame, FrameError, ProtoError, Request, Response, MAX_FRAME,
+};
+use std::fmt;
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connect/read/write failure.
+    Io(io::Error),
+    /// The server's frame was malformed.
+    Frame(FrameError),
+    /// The server's payload did not parse as a response.
+    Proto(ProtoError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client i/o: {e}"),
+            ClientError::Frame(e) => write!(f, "client framing: {e}"),
+            ClientError::Proto(e) => write!(f, "client protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One blocking connection to the daemon.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7421"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: &str) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Bounds how long [`Client::call`] waits for the reply frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket option failures.
+    pub fn set_reply_timeout(&mut self, t: Duration) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(Some(t))?;
+        Ok(())
+    }
+
+    /// Sends one request frame and reads one response frame.
+    ///
+    /// # Errors
+    ///
+    /// Typed client errors; a server-side refusal is an `Ok` carrying
+    /// [`Response::Rejected`].
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, req.to_json().as_bytes())?;
+        let payload = read_frame(&mut self.stream, MAX_FRAME).map_err(ClientError::Frame)?;
+        Response::from_json_bytes(&payload).map_err(ClientError::Proto)
+    }
+
+    /// Writes raw bytes on the wire, bypassing framing — for fuzz/chaos
+    /// tests that need to send garbage a well-formed client never would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        use io::Write;
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Reads one response frame without sending anything (pairs with
+    /// [`Client::send_raw`]).
+    ///
+    /// # Errors
+    ///
+    /// Typed client errors.
+    pub fn read_response(&mut self) -> Result<Response, ClientError> {
+        let payload = read_frame(&mut self.stream, MAX_FRAME).map_err(ClientError::Frame)?;
+        Response::from_json_bytes(&payload).map_err(ClientError::Proto)
+    }
+}

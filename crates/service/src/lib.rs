@@ -1,0 +1,46 @@
+//! Fault-tolerant wafer-fleet telemetry service.
+//!
+//! Exposes a population of virtual process-temperature sensor dies (the
+//! SOCC 2012 design the rest of the workspace models) over a hardened TCP
+//! protocol, with the failure model a production telemetry plane needs:
+//!
+//! * **Supervision** — dies are striped across worker threads, each run
+//!   under `catch_unwind` by a supervisor that restarts it with bounded
+//!   exponential backoff; a shard that exhausts its restart budget goes
+//!   `Dead` and is drained with typed rejections while the rest of the
+//!   fleet keeps serving ([`fleet`]).
+//! * **Admission control** — bounded per-shard queues, per-request
+//!   deadlines, typed `timeout`/`overloaded`/`shard_down` rejections, and
+//!   priority-aware shedding (lowest-priority reads go first). A request
+//!   is always *answered*; it is never dropped silently ([`fleet`],
+//!   [`shard`]).
+//! * **Protocol hardening** — length-prefixed JSON frames with a hard
+//!   frame-size bound enforced before allocation, per-field bounds on
+//!   every request, slow-client write timeouts, and idle-connection
+//!   reaping ([`protocol`], [`server`]).
+//! * **Graceful degradation** — a die whose process readout dies keeps
+//!   serving temperature-only readings carrying an explicit
+//!   `"degraded"` quality flag ([`shard`]).
+//!
+//! Zero dependencies beyond the workspace: `std::net` sockets, an
+//! in-tree bounded JSON parser ([`json`]), and the in-tree
+//! [`ptsim_obs`] metrics that back the fleet-wide `/health` summary.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod client;
+pub mod fleet;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod shard;
+
+pub use client::{Client, ClientError};
+pub use fleet::{Fleet, FleetConfig};
+pub use protocol::{
+    FrameError, HealthWire, InjectKind, ProtoError, Quality, Rejection, Request, Response,
+    MAX_FRAME,
+};
+pub use server::{Server, ServerConfig};
+pub use shard::{ShardState, SvcMetrics};

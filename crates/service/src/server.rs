@@ -1,0 +1,249 @@
+//! The TCP front-end: hardened framing over `std::net`, one thread per
+//! connection, idle reaping, slow-client write timeouts, and a strike
+//! budget for malformed frames.
+//!
+//! Nothing a client sends can take the daemon down: oversize length
+//! prefixes are refused before allocation, malformed payloads are
+//! answered with typed `bad_request` rejections (up to a strike budget,
+//! then the connection is closed), a stalled sender is dropped at the
+//! first mid-frame timeout, and a client that stops reading its replies
+//! hits the write timeout and is disconnected — the fleet never blocks on
+//! one peer.
+
+use crate::fleet::Fleet;
+use crate::protocol::{
+    read_frame, write_frame, FrameError, Rejection, Request, Response, MAX_FRAME,
+};
+use crate::shard::recover;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Front-end tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Drop a connection after this long without a complete frame.
+    pub idle_timeout: Duration,
+    /// Drop a connection whose peer reads replies slower than this.
+    pub write_timeout: Duration,
+    /// Malformed frames tolerated per connection before it is closed.
+    pub bad_frame_strikes: u32,
+    /// Per-`read` poll granularity (bounds shutdown latency).
+    pub poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(2),
+            bad_frame_strikes: 8,
+            poll: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A running daemon: the fleet plus its TCP accept loop.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: thread::JoinHandle<()>,
+    fleet: Arc<Fleet>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (`"127.0.0.1:0"` picks an ephemeral port) and starts
+    /// accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(fleet: Fleet, addr: &str, cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let fleet = Arc::new(fleet);
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let fleet = Arc::clone(&fleet);
+            thread::Builder::new()
+                .name("ptsim-accept".into())
+                .spawn(move || accept_loop(&listener, &fleet, &stop, cfg))
+                .expect("spawn accept loop")
+        };
+        Ok(Server {
+            addr: local,
+            stop,
+            accept,
+            fleet,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown without blocking (the accept loop notices within
+    /// one poll interval; a `shutdown` request frame does this too).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the accept loop (and every connection thread) exits,
+    /// then shuts the fleet down gracefully.
+    pub fn join(self) {
+        let _ = self.accept.join();
+        if let Ok(fleet) = Arc::try_unwrap(self.fleet) {
+            fleet.shutdown();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    fleet: &Arc<Fleet>,
+    stop: &Arc<AtomicBool>,
+    cfg: ServerConfig,
+) {
+    let conns: Mutex<Vec<thread::JoinHandle<()>>> = Mutex::new(Vec::new());
+    let mut next_id: u64 = 0;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                {
+                    let mut m = recover(fleet.front_metrics.lock());
+                    let id = m.conns;
+                    m.reg.inc(id);
+                }
+                let fleet = Arc::clone(fleet);
+                let stop = Arc::clone(stop);
+                let handle = thread::Builder::new()
+                    .name(format!("ptsim-conn-{next_id}"))
+                    .spawn(move || serve_conn(stream, &fleet, &stop, cfg))
+                    .expect("spawn connection thread");
+                next_id += 1;
+                let mut guard = recover(conns.lock());
+                guard.push(handle);
+                // Opportunistically reap finished connection threads so a
+                // long-lived daemon does not accumulate handles.
+                guard.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    for h in recover(conns.lock()).drain(..) {
+        let _ = h.join();
+    }
+}
+
+fn serve_conn(
+    mut stream: TcpStream,
+    fleet: &Arc<Fleet>,
+    stop: &Arc<AtomicBool>,
+    cfg: ServerConfig,
+) {
+    let _ = stream.set_read_timeout(Some(cfg.poll));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut strikes = 0u32;
+    let mut last_frame = Instant::now();
+    let count = |pick: fn(&crate::shard::SvcMetrics) -> ptsim_obs::CounterId| {
+        let mut m = recover(fleet.front_metrics.lock());
+        let id = pick(&m);
+        m.reg.inc(id);
+    };
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match read_frame(&mut stream, MAX_FRAME) {
+            Ok(p) => {
+                last_frame = Instant::now();
+                p
+            }
+            Err(FrameError::Closed) => return,
+            Err(FrameError::Io(e))
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if last_frame.elapsed() >= cfg.idle_timeout {
+                    count(|m| m.idle_reaps);
+                    return;
+                }
+                continue;
+            }
+            Err(FrameError::Oversize { advertised, max }) => {
+                // The stream is desynchronized after a refused prefix:
+                // answer once, then close.
+                count(|m| m.oversize_frames);
+                count(|m| m.bad_frames);
+                let resp = Response::rejected(
+                    Rejection::BadRequest,
+                    format!("frame of {advertised} bytes exceeds the {max}-byte bound"),
+                );
+                let _ = write_frame(&mut stream, resp.to_json().as_bytes());
+                return;
+            }
+            Err(FrameError::Truncated { .. }) => {
+                count(|m| m.bad_frames);
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+
+        let response = match Request::from_json_bytes(&payload) {
+            Err(e) => {
+                count(|m| m.bad_frames);
+                strikes += 1;
+                Response::rejected(Rejection::BadRequest, e.to_string())
+            }
+            Ok(Request::Shutdown) => {
+                let _ = write_frame(&mut stream, Response::ShuttingDown.to_json().as_bytes());
+                stop.store(true, Ordering::SeqCst);
+                return;
+            }
+            Ok(req) => fleet.submit(req),
+        };
+        if let Response::Rejected {
+            rejection: Rejection::BadRequest,
+            ..
+        } = &response
+        {
+            count(|m| m.rej_bad_request);
+        }
+        match write_frame(&mut stream, response.to_json().as_bytes()) {
+            Ok(()) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // The peer stopped reading; do not let it wedge a thread.
+                count(|m| m.slow_client_drops);
+                return;
+            }
+            Err(_) => return,
+        }
+        if strikes >= cfg.bad_frame_strikes {
+            return;
+        }
+    }
+}

@@ -1,0 +1,583 @@
+//! One shard of the fleet: a bounded job queue plus the worker that owns a
+//! stripe of dies.
+//!
+//! The worker keeps a lazily-built, calibrated [`PtSensor`] per owned die
+//! (prototype clone + `die_rng(base_seed, die)` — the same deterministic
+//! per-die seeding the Monte-Carlo driver uses, so a die reads the same
+//! values no matter which fleet boot serves it). Every conversion runs
+//! inside `catch_unwind`: a panicking die answers with a typed
+//! [`Rejection::WorkerPanicked`](crate::protocol::Rejection) and has its
+//! slot rebuilt, while the shard keeps serving its other dies. Chaos flags
+//! (degrade/stall/panic) live in the *shared* state, outside the worker,
+//! precisely so they survive a worker restart — a degraded die must stay
+//! degraded across a crash, or the chaos campaign could never observe
+//! "recovered but still degraded" serving.
+
+use crate::protocol::{InjectKind, Quality, Rejection, Request, Response};
+use ptsim_core::{HealthStatus, PtSensor, SensorInputs, SensorSpec};
+use ptsim_device::process::Technology;
+use ptsim_device::units::Celsius;
+use ptsim_mc::die::{DieSample, DieSite};
+use ptsim_mc::driver::die_rng;
+use ptsim_mc::model::{DieSampler, VariationModel};
+use ptsim_obs::{CounterId, GaugeId, HistogramId, Registry};
+use ptsim_rng::Pcg64;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Recovers the guarded value whether or not the mutex is poisoned. Shard
+/// state must stay reachable after a worker panic — that is the whole
+/// point of the supervision tree — so poisoning is never fatal here.
+pub(crate) fn recover<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Service metric ids over one [`Registry`]. Every holder (each shard, and
+/// the fleet's connection-level registry) registers the same names, so
+/// [`Registry::merge`] aggregates them for `/health`.
+#[derive(Debug)]
+pub struct SvcMetrics {
+    /// The backing registry.
+    pub reg: Registry,
+    /// Requests admitted into a queue.
+    pub requests: CounterId,
+    /// Requests answered with a reading/outcome.
+    pub served: CounterId,
+    /// Served readings carrying `quality == "degraded"`.
+    pub degraded_served: CounterId,
+    /// Typed `timeout` rejections.
+    pub rej_timeout: CounterId,
+    /// Typed `overloaded` rejections (admission-control sheds).
+    pub rej_overloaded: CounterId,
+    /// Typed `shard_down` rejections.
+    pub rej_shard_down: CounterId,
+    /// Typed `bad_request` rejections (malformed frames, bound violations).
+    pub rej_bad_request: CounterId,
+    /// Typed `worker_panicked` rejections (isolated conversion panics).
+    pub rej_worker_panicked: CounterId,
+    /// Typed `conversion_failed` rejections (sensor-level errors).
+    pub rej_conversion_failed: CounterId,
+    /// Jobs dropped at dequeue because their deadline had already passed
+    /// (the client was independently answered with `timeout`).
+    pub deadline_drops: CounterId,
+    /// Worker-thread panics that escaped a request (supervisor-visible).
+    pub worker_panics: CounterId,
+    /// Worker restarts performed by the supervisor.
+    pub restarts: CounterId,
+    /// Accepted connections.
+    pub conns: CounterId,
+    /// Frames refused as malformed/truncated.
+    pub bad_frames: CounterId,
+    /// Frames refused for an oversize length prefix.
+    pub oversize_frames: CounterId,
+    /// Connections dropped because the client read too slowly.
+    pub slow_client_drops: CounterId,
+    /// Connections reaped for idleness.
+    pub idle_reaps: CounterId,
+    /// High-water mark of any shard queue.
+    pub queue_peak: GaugeId,
+    /// Queue-to-reply latency of served requests, µs.
+    pub latency_us: HistogramId,
+}
+
+impl SvcMetrics {
+    /// Registers the full service metric set on a fresh registry.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut reg = Registry::new();
+        let requests = reg.counter("svc.requests");
+        let served = reg.counter("svc.served");
+        let degraded_served = reg.counter("svc.degraded_served");
+        let rej_timeout = reg.counter("svc.rejected.timeout");
+        let rej_overloaded = reg.counter("svc.rejected.overloaded");
+        let rej_shard_down = reg.counter("svc.rejected.shard_down");
+        let rej_bad_request = reg.counter("svc.rejected.bad_request");
+        let rej_worker_panicked = reg.counter("svc.rejected.worker_panicked");
+        let rej_conversion_failed = reg.counter("svc.rejected.conversion_failed");
+        let deadline_drops = reg.counter("svc.deadline_drops");
+        let worker_panics = reg.counter("svc.worker_panics");
+        let restarts = reg.counter("svc.restarts");
+        let conns = reg.counter("svc.connections");
+        let bad_frames = reg.counter("svc.bad_frames");
+        let oversize_frames = reg.counter("svc.oversize_frames");
+        let slow_client_drops = reg.counter("svc.slow_client_drops");
+        let idle_reaps = reg.counter("svc.idle_reaps");
+        let queue_peak = reg.gauge("svc.queue_peak");
+        let latency_us = reg.histogram("svc.latency_us", 0.0, 1.0e6, 48);
+        SvcMetrics {
+            reg,
+            requests,
+            served,
+            degraded_served,
+            rej_timeout,
+            rej_overloaded,
+            rej_shard_down,
+            rej_bad_request,
+            rej_worker_panicked,
+            rej_conversion_failed,
+            deadline_drops,
+            worker_panics,
+            restarts,
+            conns,
+            bad_frames,
+            oversize_frames,
+            slow_client_drops,
+            idle_reaps,
+            queue_peak,
+            latency_us,
+        }
+    }
+}
+
+impl Default for SvcMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Supervision state of a shard worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// The worker is serving.
+    Up,
+    /// The worker crashed and the supervisor is backing off before a
+    /// restart; queued work waits.
+    Restarting,
+    /// The restart budget is exhausted; the supervisor drains the queue
+    /// with typed `shard_down` rejections.
+    Dead,
+}
+
+impl ShardState {
+    /// Wire name (`"up"` / `"restarting"` / `"dead"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardState::Up => "up",
+            ShardState::Restarting => "restarting",
+            ShardState::Dead => "dead",
+        }
+    }
+}
+
+/// Mutable supervision record of one shard.
+#[derive(Debug, Clone)]
+pub struct ShardStatus {
+    /// Current state.
+    pub state: ShardState,
+    /// Restarts so far.
+    pub restarts: u64,
+    /// Message of the most recent escaped panic, if any.
+    pub last_panic: Option<String>,
+}
+
+/// Chaos flags of one die. Kept outside the worker so they survive
+/// restarts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DieFlags {
+    /// Serve degraded temperature-only readings (dead PSRO bank).
+    pub degraded: bool,
+    /// Panic inside the next conversion (one-shot).
+    pub panic_conversion: bool,
+    /// Panic *outside* the per-request boundary on the next job (one-shot)
+    /// — exercises the supervisor.
+    pub panic_worker: bool,
+    /// Stall this many ms before serving the next job (one-shot).
+    pub stall_ms: u64,
+}
+
+/// One queued request with its reply channel and deadline.
+#[derive(Debug)]
+pub struct Job {
+    /// The request (only die-addressed ops are queued).
+    pub req: Request,
+    /// Shedding priority (higher survives overload longer).
+    pub priority: u8,
+    /// Absolute deadline; the fleet stops waiting at this instant and the
+    /// worker discards the job if it is only dequeued afterwards.
+    pub deadline: Instant,
+    /// When the job was admitted (for the latency histogram).
+    pub enqueued: Instant,
+    /// Where the answer goes. A send failure means the client stopped
+    /// waiting; it is never an error.
+    pub reply: mpsc::Sender<Response>,
+}
+
+/// Static configuration of one shard.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardConfig {
+    /// This shard's index.
+    pub shard_id: u64,
+    /// Total shards in the fleet (die `d` belongs to shard
+    /// `d % n_shards`).
+    pub n_shards: u64,
+    /// Total dies in the fleet.
+    pub n_dies: u64,
+    /// Bounded queue depth; admission control sheds beyond it.
+    pub queue_depth: usize,
+    /// Base seed of the fleet's deterministic per-die streams.
+    pub base_seed: u64,
+}
+
+impl ShardConfig {
+    /// Dies this shard owns.
+    #[must_use]
+    pub fn owned_dies(&self) -> u64 {
+        if self.n_dies == 0 {
+            return 0;
+        }
+        let full = self.n_dies / self.n_shards;
+        let extra = u64::from(self.n_dies % self.n_shards > self.shard_id);
+        full + extra
+    }
+
+    fn local_index(&self, die: u64) -> usize {
+        (die / self.n_shards) as usize
+    }
+}
+
+/// State shared between a shard's worker, its supervisor, and the fleet
+/// front-end.
+#[derive(Debug)]
+pub struct ShardShared {
+    /// Static configuration.
+    pub cfg: ShardConfig,
+    /// The bounded job queue.
+    pub queue: Mutex<VecDeque<Job>>,
+    /// Signals the worker when work arrives or shutdown begins.
+    pub cv: Condvar,
+    /// Supervision record.
+    pub status: Mutex<ShardStatus>,
+    /// Per-owned-die chaos flags, indexed by local die index.
+    pub flags: Mutex<Vec<DieFlags>>,
+    /// This shard's metric registry (merged fleet-wide for `/health`).
+    pub metrics: Mutex<SvcMetrics>,
+    /// Set once at fleet shutdown.
+    pub shutdown: AtomicBool,
+}
+
+impl ShardShared {
+    /// Fresh shared state for one shard.
+    #[must_use]
+    pub fn new(cfg: ShardConfig) -> Self {
+        let owned = cfg.owned_dies() as usize;
+        ShardShared {
+            cfg,
+            queue: Mutex::new(VecDeque::with_capacity(cfg.queue_depth)),
+            cv: Condvar::new(),
+            status: Mutex::new(ShardStatus {
+                state: ShardState::Up,
+                restarts: 0,
+                last_panic: None,
+            }),
+            flags: Mutex::new(vec![DieFlags::default(); owned]),
+            metrics: Mutex::new(SvcMetrics::new()),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn count(&self, pick: impl Fn(&SvcMetrics) -> CounterId) {
+        let mut m = recover(self.metrics.lock());
+        let id = pick(&m);
+        m.reg.inc(id);
+    }
+}
+
+/// One die's live serving state inside a worker.
+struct DieSlot {
+    sensor: PtSensor,
+    die: DieSample,
+    rng: Pcg64,
+    calib_quality: Quality,
+}
+
+/// Per-worker context, rebuilt from shared state after every restart.
+/// Construction is deliberately lazy per die: a 4096-die fleet boots in
+/// milliseconds and pays each die's calibration on first touch.
+pub struct WorkerCtx {
+    prototype: PtSensor,
+    sampler: DieSampler,
+    boot_temp: Celsius,
+    slots: Vec<Option<DieSlot>>,
+}
+
+impl WorkerCtx {
+    /// Builds the worker's prototype sensor and die sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the default 65 nm sensor cannot be constructed — a build
+    /// configuration error the supervisor surfaces as a dead shard, not a
+    /// recoverable request failure.
+    #[must_use]
+    pub fn new(cfg: &ShardConfig) -> Self {
+        let spec = SensorSpec::default_65nm();
+        let boot_temp = spec.calib_temp;
+        let prototype = PtSensor::new(Technology::n65(), spec)
+            .expect("default 65nm sensor spec must construct");
+        let model = VariationModel::new(&Technology::n65());
+        WorkerCtx {
+            prototype,
+            sampler: model.sampler(),
+            boot_temp,
+            slots: (0..cfg.owned_dies()).map(|_| None).collect(),
+        }
+    }
+
+    /// The calibrated slot for `die`, built on first touch. `degraded`
+    /// re-applies a persistent degrade flag after a rebuild.
+    fn slot(
+        &mut self,
+        cfg: &ShardConfig,
+        die: u64,
+        degraded: bool,
+    ) -> Result<&mut DieSlot, ptsim_core::SensorError> {
+        let idx = cfg.local_index(die);
+        if self.slots[idx].is_none() {
+            let mut rng = die_rng(cfg.base_seed, die);
+            let sample = self.sampler.sample_die_with_id(&mut rng, die);
+            let mut sensor = self.prototype.clone();
+            let boot = SensorInputs::new(&sample, DieSite::CENTER, self.boot_temp);
+            let outcome = sensor.calibrate(&boot, &mut rng)?;
+            if degraded {
+                sensor.inject_faults(degrade_plan());
+            }
+            self.slots[idx] = Some(DieSlot {
+                sensor,
+                die: sample,
+                rng,
+                calib_quality: quality_of(outcome.health.status()),
+            });
+        }
+        Ok(self.slots[idx].as_mut().expect("slot just built"))
+    }
+}
+
+/// The fault plan behind [`InjectKind::DegradeDie`]: a bank-wide dead
+/// PSRO-N stage. The sensor detects it, freezes the threshold-shift
+/// outputs at their calibration values, and keeps serving temperature with
+/// an explicit degraded flag — exactly the graceful-degradation contract.
+fn degrade_plan() -> ptsim_faults::FaultPlan {
+    ptsim_faults::FaultPlan::single(ptsim_faults::Fault::DeadRoStage {
+        channel: ptsim_faults::Channel::PsroN,
+        replica: ptsim_faults::ReplicaSel::All,
+    })
+}
+
+fn quality_of(status: HealthStatus) -> Quality {
+    match status {
+        HealthStatus::Nominal => Quality::Nominal,
+        HealthStatus::Recovered => Quality::Recovered,
+        HealthStatus::Degraded => Quality::Degraded,
+    }
+}
+
+/// The worker body: dequeues jobs until shutdown. The supervisor wraps
+/// each invocation in `catch_unwind`; `ctx` lives *outside* that boundary
+/// so an escaped panic discards it (`None`) and the next incarnation
+/// rebuilds every touched die from the deterministic seeds.
+pub fn worker_loop(shared: &ShardShared, ctx: &mut Option<WorkerCtx>) {
+    loop {
+        let job = {
+            let mut q = recover(shared.queue.lock());
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                let (guard, _) = recover(shared.cv.wait_timeout(q, Duration::from_millis(25)));
+                q = guard;
+            }
+        };
+        let worker = ctx.get_or_insert_with(|| WorkerCtx::new(&shared.cfg));
+        serve(shared, worker, job);
+    }
+}
+
+/// Serves one job. Panics injected with
+/// [`InjectKind::PanicWorker`] escape this function (by design — they
+/// exercise the supervisor); everything else is isolated per request.
+fn serve(shared: &ShardShared, worker: &mut WorkerCtx, job: Job) {
+    let die = match job.req {
+        Request::Read { die, .. }
+        | Request::Calibrate { die, .. }
+        | Request::Inject { die, .. } => die,
+        // Ping carries no die; Health/Shutdown are answered by the fleet
+        // front-end and never queued.
+        _ => 0,
+    };
+    let idx = shared.cfg.local_index(die);
+    let flags = {
+        let mut all = recover(shared.flags.lock());
+        let f = &mut all[idx];
+        let taken = *f;
+        // One-shot flags arm exactly one job.
+        f.panic_conversion = false;
+        f.panic_worker = false;
+        f.stall_ms = 0;
+        taken
+    };
+    if flags.stall_ms > 0 {
+        std::thread::sleep(Duration::from_millis(flags.stall_ms));
+    }
+    if flags.panic_worker {
+        shared.count(|m| m.worker_panics);
+        panic!("injected worker panic (shard {})", shared.cfg.shard_id);
+    }
+    if Instant::now() >= job.deadline {
+        // The fleet already answered the client with a typed timeout;
+        // record the late discard so "rejected vs silently dropped"
+        // stays auditable.
+        shared.count(|m| m.deadline_drops);
+        return;
+    }
+
+    let response = match job.req {
+        Request::Read { die, temp_c, .. } => {
+            let degraded = flags.degraded;
+            match worker.slot(&shared.cfg, die, degraded) {
+                Err(e) => Response::rejected(Rejection::ConversionFailed, e.to_string()),
+                Ok(slot) => {
+                    let inputs = SensorInputs::new(&slot.die, DieSite::CENTER, Celsius(temp_c));
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        assert!(
+                            !flags.panic_conversion,
+                            "injected conversion panic (die {die})"
+                        );
+                        slot.sensor.read(&inputs, &mut slot.rng)
+                    }));
+                    match outcome {
+                        Err(_) => {
+                            // The slot may be mid-update; rebuild it from
+                            // the deterministic seed on next touch.
+                            worker.slots[idx] = None;
+                            shared.count(|m| m.rej_worker_panicked);
+                            Response::rejected(
+                                Rejection::WorkerPanicked,
+                                format!("conversion on die {die} panicked; die state rebuilt"),
+                            )
+                        }
+                        Ok(Err(e)) => {
+                            shared.count(|m| m.rej_conversion_failed);
+                            Response::rejected(Rejection::ConversionFailed, e.to_string())
+                        }
+                        Ok(Ok(reading)) => {
+                            let quality = quality_of(reading.health.status());
+                            {
+                                let mut m = recover(shared.metrics.lock());
+                                let served = m.served;
+                                m.reg.inc(served);
+                                if quality == Quality::Degraded {
+                                    let id = m.degraded_served;
+                                    m.reg.inc(id);
+                                }
+                                let lat = m.latency_us;
+                                m.reg
+                                    .observe(lat, job.enqueued.elapsed().as_secs_f64() * 1e6);
+                            }
+                            Response::Reading {
+                                die,
+                                temp_c: reading.temperature.0,
+                                d_vtn_mv: reading.d_vtn.millivolts(),
+                                d_vtp_mv: reading.d_vtp.millivolts(),
+                                energy_pj: reading.energy.total().picojoules(),
+                                quality,
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Request::Calibrate { die, .. } => {
+            // Recalibration rebuilds the slot from scratch (fresh sample of
+            // the same deterministic die, fresh calibration).
+            worker.slots[idx] = None;
+            match worker.slot(&shared.cfg, die, flags.degraded) {
+                Err(e) => {
+                    shared.count(|m| m.rej_conversion_failed);
+                    Response::rejected(Rejection::ConversionFailed, e.to_string())
+                }
+                Ok(slot) => {
+                    let q = slot.calib_quality;
+                    shared.count(|m| m.served);
+                    Response::Calibrated { die, quality: q }
+                }
+            }
+        }
+        Request::Inject { die, kind } => {
+            let mut all = recover(shared.flags.lock());
+            let f = &mut all[idx];
+            match kind {
+                InjectKind::DegradeDie => {
+                    f.degraded = true;
+                    if let Some(slot) = &mut worker.slots[idx] {
+                        slot.sensor.inject_faults(degrade_plan());
+                    }
+                }
+                InjectKind::HealDie => {
+                    f.degraded = false;
+                    if let Some(slot) = &mut worker.slots[idx] {
+                        slot.sensor.clear_faults();
+                    }
+                }
+                InjectKind::PanicConversion => f.panic_conversion = true,
+                InjectKind::PanicWorker => f.panic_worker = true,
+                InjectKind::StallMs(ms) => f.stall_ms = ms,
+            }
+            drop(all);
+            shared.count(|m| m.served);
+            Response::Injected { die }
+        }
+        Request::Ping { pad } => {
+            shared.count(|m| m.served);
+            Response::Pong {
+                pad: "x".repeat(pad as usize),
+            }
+        }
+        Request::Health | Request::Shutdown => {
+            Response::rejected(Rejection::BadRequest, "not a shard-addressed op")
+        }
+    };
+    // A failed send means the client already gave up (typed timeout);
+    // never an error here.
+    let _ = job.reply.send(response);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(shard_id: u64) -> ShardConfig {
+        ShardConfig {
+            shard_id,
+            n_shards: 4,
+            n_dies: 10,
+            queue_depth: 8,
+            base_seed: 7,
+        }
+    }
+
+    #[test]
+    fn die_striping_covers_the_fleet_exactly_once() {
+        let owned: u64 = (0..4).map(|s| cfg(s).owned_dies()).sum();
+        assert_eq!(owned, 10);
+        // Local indices are dense per shard.
+        assert_eq!(cfg(2).local_index(2), 0);
+        assert_eq!(cfg(2).local_index(6), 1);
+    }
+
+    #[test]
+    fn metric_names_merge_across_registries() {
+        let mut a = SvcMetrics::new();
+        let b = SvcMetrics::new();
+        a.reg.inc(a.served);
+        a.reg.merge(&b.reg);
+        assert_eq!(a.reg.counter_value("svc.served"), Some(1));
+    }
+}

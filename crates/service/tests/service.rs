@@ -1,0 +1,507 @@
+//! End-to-end tests of the daemon over real TCP sockets: supervised
+//! restart, admission control, deadlines, degraded-mode serving, and the
+//! connection-hardening paths (malformed frames, oversize prefixes, slow
+//! clients, idle reaping).
+
+use ptsim_service::protocol::{write_frame, InjectKind, Quality, Rejection, Request, Response};
+use ptsim_service::{Client, Fleet, FleetConfig, Server, ServerConfig};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn test_fleet_cfg() -> FleetConfig {
+    FleetConfig {
+        n_dies: 8,
+        n_shards: 2,
+        queue_depth: 8,
+        base_seed: 0xd1e5,
+        max_restarts: 3,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(40),
+    }
+}
+
+fn start_server(server_cfg: ServerConfig) -> (Server, String) {
+    let fleet = Fleet::start(test_fleet_cfg());
+    let server = Server::bind(fleet, "127.0.0.1:0", server_cfg).expect("bind ephemeral");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn read(die: u64) -> Request {
+    Request::Read {
+        die,
+        temp_c: 75.0,
+        priority: 1,
+        deadline_ms: 5_000,
+    }
+}
+
+#[test]
+fn end_to_end_read_calibrate_health_shutdown() {
+    let (server, addr) = start_server(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+
+    let r = client.call(&read(2)).unwrap();
+    let Response::Reading {
+        die,
+        temp_c,
+        quality,
+        energy_pj,
+        ..
+    } = r
+    else {
+        panic!("expected reading, got {r:?}");
+    };
+    assert_eq!(die, 2);
+    assert_eq!(quality, Quality::Nominal);
+    assert!((temp_c - 75.0).abs() < 2.0);
+    assert!(energy_pj > 0.0);
+
+    let c = client
+        .call(&Request::Calibrate {
+            die: 2,
+            deadline_ms: 5_000,
+        })
+        .unwrap();
+    assert!(
+        matches!(c, Response::Calibrated { die: 2, .. }),
+        "got {c:?}"
+    );
+
+    let h = client.call(&Request::Health).unwrap();
+    let Response::Health(health) = h else {
+        panic!("expected health, got {h:?}");
+    };
+    assert_eq!(health.shards.len(), 2);
+    assert!(health.shards.iter().all(|s| s.state == "up"));
+    let served = health
+        .counters
+        .iter()
+        .find(|(k, _)| k == "svc.served")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    assert!(
+        served >= 2,
+        "health must report merged counters, got {served}"
+    );
+
+    let bye = client.call(&Request::Shutdown).unwrap();
+    assert_eq!(bye, Response::ShuttingDown);
+    server.join();
+}
+
+#[test]
+fn malformed_frames_get_typed_rejections_and_connection_survives() {
+    let (server, addr) = start_server(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+
+    for garbage in [
+        &b"not json at all"[..],
+        br#"{"op":"warp"}"#,
+        br#"{"op":"read"}"#,
+        br#"{"op":"read","die":1,"temp_c":9999}"#,
+        br#"{"op":"read","die":1,"temp_c":25,"priority":200}"#,
+        br#"[1,2,3]"#,
+        b"\x00\xff\xfe",
+    ] {
+        client.send_raw(&frame(garbage)).unwrap();
+        let resp = client.read_response().unwrap();
+        assert!(
+            matches!(
+                resp,
+                Response::Rejected {
+                    rejection: Rejection::BadRequest,
+                    ..
+                }
+            ),
+            "payload {garbage:?} gave {resp:?}"
+        );
+    }
+
+    // Same connection still serves good requests after the storm.
+    let r = client.call(&read(1)).unwrap();
+    assert!(matches!(r, Response::Reading { die: 1, .. }), "got {r:?}");
+
+    server.stop();
+    server.join();
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, payload).unwrap();
+    buf
+}
+
+#[test]
+fn oversize_prefix_is_answered_then_closed() {
+    let (server, addr) = start_server(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+    // A 16 MiB length prefix: answered with bad_request, then the
+    // (desynchronized) connection is closed.
+    client.send_raw(&(16u32 << 20).to_be_bytes()).unwrap();
+    let resp = client.read_response().unwrap();
+    assert!(
+        matches!(
+            resp,
+            Response::Rejected {
+                rejection: Rejection::BadRequest,
+                ..
+            }
+        ),
+        "got {resp:?}"
+    );
+    assert!(client.read_response().is_err(), "connection must be closed");
+
+    // The daemon itself is fine.
+    let mut fresh = Client::connect(&addr).unwrap();
+    assert!(matches!(
+        fresh.call(&read(0)).unwrap(),
+        Response::Reading { .. }
+    ));
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn bad_frame_strike_budget_closes_the_connection() {
+    let (server, addr) = start_server(ServerConfig {
+        bad_frame_strikes: 3,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&addr).unwrap();
+    let mut rejections = 0;
+    for _ in 0..10 {
+        if client.send_raw(&frame(b"garbage")).is_err() {
+            break;
+        }
+        match client.read_response() {
+            Ok(Response::Rejected { .. }) => rejections += 1,
+            _ => break,
+        }
+    }
+    assert!(
+        (3..10).contains(&rejections),
+        "strike budget of 3 should close after ~3 rejections, got {rejections}"
+    );
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn idle_connections_are_reaped() {
+    let (server, addr) = start_server(ServerConfig {
+        idle_timeout: Duration::from_millis(150),
+        poll: Duration::from_millis(25),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&addr).unwrap();
+    // Prove liveness first, then go quiet past the idle budget.
+    assert!(matches!(
+        client.call(&read(0)).unwrap(),
+        Response::Reading { .. }
+    ));
+    std::thread::sleep(Duration::from_millis(400));
+    client
+        .send_raw(&frame(&read(0).to_json().into_bytes()))
+        .ok();
+    assert!(
+        client.read_response().is_err(),
+        "idle connection must have been reaped"
+    );
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn slow_client_is_dropped_not_wedged() {
+    let (server, addr) = start_server(ServerConfig {
+        write_timeout: Duration::from_millis(100),
+        ..ServerConfig::default()
+    });
+    // Flood ping responses without ever reading them; once the socket
+    // buffers fill, the server's write times out and it drops us.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let ping = frame(&Request::Ping { pad: 32 * 1024 }.to_json().into_bytes());
+    let started = Instant::now();
+    let mut write_failed = false;
+    // Keep feeding requests without reading replies. Once the reply path
+    // blocks past the write timeout, the server closes the connection and
+    // our writes start failing (RST).
+    while started.elapsed() < Duration::from_secs(20) {
+        if stream.write_all(&ping).is_err() {
+            write_failed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(
+        write_failed,
+        "server must drop a client that stops reading its replies"
+    );
+    drop(stream);
+
+    // The daemon still serves other clients promptly.
+    let mut fresh = Client::connect(&addr).unwrap();
+    assert!(matches!(
+        fresh.call(&read(3)).unwrap(),
+        Response::Reading { .. }
+    ));
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn worker_panic_is_isolated_and_typed() {
+    let fleet = Fleet::start(test_fleet_cfg());
+    assert!(matches!(
+        fleet.submit(Request::Inject {
+            die: 4,
+            kind: InjectKind::PanicConversion
+        }),
+        Response::Injected { .. }
+    ));
+    let r = fleet.submit(read(4));
+    assert!(
+        matches!(
+            r,
+            Response::Rejected {
+                rejection: Rejection::WorkerPanicked,
+                ..
+            }
+        ),
+        "got {r:?}"
+    );
+    // The die recovers on the next read (slot rebuilt), and its sibling
+    // dies on the same shard were never disturbed.
+    assert!(matches!(fleet.submit(read(4)), Response::Reading { .. }));
+    assert!(matches!(fleet.submit(read(6)), Response::Reading { .. }));
+    fleet.shutdown();
+}
+
+#[test]
+fn supervisor_restarts_crashed_worker_with_backoff() {
+    let fleet = Fleet::start(test_fleet_cfg());
+    let before = fleet.submit(read(1));
+    let Response::Reading { temp_c, .. } = before else {
+        panic!("expected reading, got {before:?}");
+    };
+
+    assert!(matches!(
+        fleet.submit(Request::Inject {
+            die: 1,
+            kind: InjectKind::PanicWorker
+        }),
+        Response::Injected { .. }
+    ));
+    // The job that trips the worker panic never gets an answer from the
+    // dead worker: the fleet answers with a typed timeout.
+    let tripped = fleet.submit(Request::Read {
+        die: 1,
+        temp_c: 75.0,
+        priority: 1,
+        deadline_ms: 300,
+    });
+    assert!(
+        matches!(
+            tripped,
+            Response::Rejected {
+                rejection: Rejection::Timeout,
+                ..
+            }
+        ),
+        "got {tripped:?}"
+    );
+
+    // Within the backoff budget the supervisor restarts the worker and the
+    // rebuilt die serves bit-identical values.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match fleet.submit(read(1)) {
+            Response::Reading { temp_c: t, .. } => {
+                assert_eq!(
+                    t, temp_c,
+                    "restarted worker must rebuild identical die state"
+                );
+                break;
+            }
+            _ if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+            other => panic!("worker never recovered: {other:?}"),
+        }
+    }
+    let health = fleet.health();
+    let restarts: u64 = health.shards.iter().map(|s| s.restarts).sum();
+    assert!(restarts >= 1, "health must record the restart");
+    fleet.shutdown();
+}
+
+#[test]
+fn exhausted_restart_budget_kills_shard_but_not_fleet() {
+    let fleet = Fleet::start(FleetConfig {
+        max_restarts: 2,
+        ..test_fleet_cfg()
+    });
+    // Dies 1,3,5,7 live on shard 1; crash its worker past the budget.
+    for _ in 0..=2 {
+        let _ = fleet.submit(Request::Inject {
+            die: 1,
+            kind: InjectKind::PanicWorker,
+        });
+        let _ = fleet.submit(Request::Read {
+            die: 1,
+            temp_c: 75.0,
+            priority: 1,
+            deadline_ms: 250,
+        });
+        std::thread::sleep(Duration::from_millis(120));
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let r = fleet.submit(Request::Read {
+            die: 1,
+            temp_c: 75.0,
+            priority: 1,
+            deadline_ms: 250,
+        });
+        match r {
+            Response::Rejected {
+                rejection: Rejection::ShardDown,
+                ..
+            } => break,
+            _ if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(50)),
+            other => panic!("shard never went dead: {other:?}"),
+        }
+    }
+    // Shard 0 (even dies) is untouched.
+    assert!(matches!(fleet.submit(read(2)), Response::Reading { .. }));
+    let health = fleet.health();
+    assert!(health.shards.iter().any(|s| s.state == "dead"));
+    assert!(health.shards.iter().any(|s| s.state == "up"));
+    fleet.shutdown();
+}
+
+#[test]
+fn stalled_worker_costs_the_deadline_not_a_hang() {
+    let fleet = Fleet::start(test_fleet_cfg());
+    let _ = fleet.submit(Request::Inject {
+        die: 0,
+        kind: InjectKind::StallMs(800),
+    });
+    let started = Instant::now();
+    let r = fleet.submit(Request::Read {
+        die: 0,
+        temp_c: 75.0,
+        priority: 1,
+        deadline_ms: 100,
+    });
+    let waited = started.elapsed();
+    assert!(
+        matches!(
+            r,
+            Response::Rejected {
+                rejection: Rejection::Timeout,
+                ..
+            }
+        ),
+        "got {r:?}"
+    );
+    assert!(
+        waited < Duration::from_millis(600),
+        "caller must be released at its own deadline, waited {waited:?}"
+    );
+    fleet.shutdown();
+}
+
+#[test]
+fn overload_sheds_lowest_priority_reads_first() {
+    // One shard, depth 4, and a worker stalled long enough to hold the
+    // queue still while we probe admission control.
+    let fleet = Fleet::start(FleetConfig {
+        n_dies: 4,
+        n_shards: 1,
+        queue_depth: 4,
+        ..test_fleet_cfg()
+    });
+    let _ = fleet.submit(Request::Inject {
+        die: 0,
+        kind: InjectKind::StallMs(1_500),
+    });
+
+    let fleet = std::sync::Arc::new(fleet);
+    let submit_async = |die: u64, priority: u8| {
+        let fleet = std::sync::Arc::clone(&fleet);
+        std::thread::spawn(move || {
+            fleet.submit(Request::Read {
+                die,
+                temp_c: 75.0,
+                priority,
+                deadline_ms: 8_000,
+            })
+        })
+    };
+
+    // The stall victim occupies the worker; then fill the queue with
+    // low-priority reads.
+    let occupier = submit_async(0, 3);
+    std::thread::sleep(Duration::from_millis(100));
+    let low: Vec<_> = (0..4).map(|i| submit_async(i % 4, 0)).collect();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // A high-priority read arrives at the full queue: one low-priority job
+    // must be shed (typed overloaded) to admit it.
+    let high = submit_async(1, 3);
+    let high_resp = high.join().unwrap();
+    assert!(
+        matches!(high_resp, Response::Reading { .. }),
+        "high priority must be admitted and served, got {high_resp:?}"
+    );
+    let low_resps: Vec<_> = low.into_iter().map(|h| h.join().unwrap()).collect();
+    let shed = low_resps
+        .iter()
+        .filter(|r| {
+            matches!(
+                r,
+                Response::Rejected {
+                    rejection: Rejection::Overloaded,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert!(
+        shed >= 1,
+        "one low-priority read must be shed, got {low_resps:?}"
+    );
+    // Everything was answered one way or the other — nothing dropped.
+    assert_eq!(low_resps.len(), 4);
+    assert!(matches!(occupier.join().unwrap(), Response::Reading { .. }));
+
+    std::sync::Arc::try_unwrap(fleet)
+        .expect("all submitters joined")
+        .shutdown();
+}
+
+#[test]
+fn degraded_die_serves_temperature_with_quality_flag_over_tcp() {
+    let (server, addr) = start_server(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+    let _ = client
+        .call(&Request::Inject {
+            die: 7,
+            kind: InjectKind::DegradeDie,
+        })
+        .unwrap();
+    let r = client.call(&read(7)).unwrap();
+    let Response::Reading {
+        quality, temp_c, ..
+    } = r
+    else {
+        panic!("degraded die must keep serving, got {r:?}");
+    };
+    assert_eq!(quality, Quality::Degraded);
+    // Temperature stays useful in degraded mode (the design's contract:
+    // the TSRO channel survives a dead PSRO bank).
+    assert!((temp_c - 75.0).abs() < 5.0, "degraded temp off: {temp_c}");
+    server.stop();
+    server.join();
+}

@@ -47,6 +47,73 @@ print(f"metrics snapshot: {len(snap['counters'])} counters, "
       f"{len(snap['gauges'])} gauges, {len(snap['histograms'])} histograms, schema OK")
 EOF
 
+echo "==> fleet-service smoke (daemon on ephemeral port, hardened protocol)"
+: > target/fleetd_smoke.log
+PTSIM_FLEET_DIES=8 PTSIM_FLEET_SHARDS=2 \
+    cargo run -q --release --offline -p ptsim-service --bin fleetd \
+    > target/fleetd_smoke.log &
+FLEETD_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" target/fleetd_smoke.log 2>/dev/null && break
+    sleep 0.1
+done
+FLEET_ADDR=$(sed -n 's/^ptsim-fleetd listening on //p' target/fleetd_smoke.log)
+python3 - "$FLEET_ADDR" <<'EOF'
+import json, socket, struct, sys
+host, port = sys.argv[1].rsplit(":", 1)
+
+def call(sock, payload: bytes):
+    sock.sendall(struct.pack(">I", len(payload)) + payload)
+    buf = b""
+    while len(buf) < 4:
+        chunk = sock.recv(4 - len(buf))
+        assert chunk, "connection closed mid-header"
+        buf += chunk
+    (n,) = struct.unpack(">I", buf)
+    body = b""
+    while len(body) < n:
+        chunk = sock.recv(n - len(body))
+        assert chunk, "connection closed mid-frame"
+        body += chunk
+    return json.loads(body)
+
+s = socket.create_connection((host, int(port)), timeout=60)
+r = call(s, json.dumps({"op": "read", "die": 3, "temp_c": 80.0}).encode())
+assert r["ok"] and r["op"] == "read" and r["quality"] == "nominal", r
+assert abs(r["temp_c"] - 80.0) < 2.0 and r["energy_pj"] > 0, r
+c = call(s, json.dumps({"op": "calibrate", "die": 3}).encode())
+assert c["ok"] and c["op"] == "calibrate", c
+h = call(s, json.dumps({"op": "health"}).encode())
+assert h["ok"] and {sh["state"] for sh in h["shards"]} == {"up"}, h
+assert h["counters"]["svc.served"] >= 2, h
+bad = call(s, b"definitely not json")
+assert not bad["ok"] and bad["error"] == "bad_request", bad
+oob = call(s, json.dumps({"op": "read", "die": 3, "temp_c": 9999}).encode())
+assert not oob["ok"] and oob["error"] == "bad_request", oob
+bye = call(s, json.dumps({"op": "shutdown"}).encode())
+assert bye["ok"] and bye["op"] == "shutdown", bye
+print("service smoke: read/calibrate/health/malformed/typed-rejection/shutdown OK")
+EOF
+wait "$FLEETD_PID"
+
+echo "==> service loadgen smoke + BENCH_SERVICE schema"
+PTSIM_LOADGEN_REQUESTS=24 PTSIM_LOADGEN_DIES=8 \
+    cargo run -q --release --offline -p ptsim-bench --bin service_loadgen \
+    > target/bench_service_smoke.json
+python3 - target/bench_service_smoke.json <<'EOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert lines and "meta" in lines[0], lines[:1]
+names = set()
+for obj in lines[1:]:
+    assert {"name", "p50_us", "p99_us", "conversions_per_sec", "samples"} <= obj.keys(), obj
+    assert obj["samples"] > 0 and obj["p50_us"] > 0, obj
+    assert obj["p99_us"] >= obj["p50_us"] and obj["conversions_per_sec"] > 0, obj
+    names.add(obj["name"])
+assert {"service/read_seq", "service/read_concurrent", "service/health"} <= names, names
+print(f"service bench: {len(lines) - 1} scenarios, schema OK")
+EOF
+
 echo "==> solver-equivalence smoke (GS oracle vs CG vs multigrid, release FP paths)"
 # Debug-mode `cargo test` above already runs the full equivalence suites;
 # this re-runs the cross-solver and bit-determinism gates against the
