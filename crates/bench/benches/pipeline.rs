@@ -4,8 +4,11 @@
 //! `batch_convert_100` is the headline perf-trajectory number: a full
 //! 100-die population (calibrate at boot + one conversion per die) on one
 //! thread, so the measurement tracks the per-die hot path rather than
-//! thread-pool noise. `read_batch_100` isolates the steady-state conversion
-//! loop of one calibrated sensor over a 100-point temperature schedule.
+//! thread-pool noise — since the SoA refactor it runs the lane kernel,
+//! with `batch_convert_scalar_100` keeping the bit-exact scalar oracle on
+//! the same trajectory. `read_batch_100` isolates the steady-state
+//! conversion loop of one calibrated sensor over a 100-point temperature
+//! schedule.
 
 use ptsim_bench::harness::{bench, emit_meta, emit_metrics};
 use ptsim_core::pipeline::batch::BatchPlan;
@@ -30,6 +33,13 @@ fn main() {
     cfg.threads = 1;
     bench("batch_convert_100", || {
         black_box(plan.run_population(&cfg, &model));
+    });
+
+    // The retained scalar oracle stays on the trajectory next to the lane
+    // kernel (same population, same seed), so a regression in either path
+    // is attributable from the medians alone.
+    bench("batch_convert_scalar_100", || {
+        black_box(plan.run_population_scalar(&cfg, &model));
     });
 
     let mut rng = die_rng(0x2012, 0);

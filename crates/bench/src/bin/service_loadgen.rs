@@ -16,7 +16,7 @@
 //! binaries, so the trajectory files share one schema.
 
 use ptsim_mc::stats::quantile_in_place;
-use ptsim_service::protocol::{Request, Response};
+use ptsim_service::protocol::{BatchItem, Request, Response};
 use ptsim_service::{Client, Fleet, FleetConfig, Server, ServerConfig};
 use std::time::Instant;
 
@@ -31,6 +31,16 @@ fn read_req(die: u64) -> Request {
     Request::Read {
         die,
         temp_c: 60.0 + (die % 7) as f64,
+        priority: 1,
+        deadline_ms: 30_000,
+    }
+}
+
+fn batch_req(die0: u64, count: u64) -> Request {
+    Request::BatchRead {
+        die0,
+        count,
+        temp_c: 60.0 + (die0 % 7) as f64,
         priority: 1,
         deadline_ms: 30_000,
     }
@@ -99,6 +109,40 @@ fn drive(addr: &str, name: &str, conns: usize, requests: usize, n_dies: u64) -> 
     }
 }
 
+/// Closed-loop `batch_read` stream: each frame drains one whole shard
+/// stripe through the lane kernel. `served` counts per-die items so
+/// `conversions_per_sec` stays comparable with the single-read scenarios;
+/// latencies are per frame.
+fn drive_batch(addr: &str, name: &str, requests: usize, n_dies: u64, n_shards: u64) -> Scenario {
+    let started = Instant::now();
+    let mut client = Client::connect(addr).expect("loadgen batch connect");
+    let mut latencies_us = Vec::with_capacity(requests);
+    let mut served = 0usize;
+    for i in 0..requests {
+        let die0 = (i as u64) % n_shards.min(n_dies);
+        let count = n_dies / n_shards + u64::from(n_dies % n_shards > die0);
+        let t0 = Instant::now();
+        let resp = client.call(&batch_req(die0, count));
+        let us = t0.elapsed().as_secs_f64() * 1e6;
+        if let Ok(Response::Batch { items }) = resp {
+            let ok = items
+                .iter()
+                .filter(|item| matches!(item, BatchItem::Reading { .. }))
+                .count();
+            if ok > 0 {
+                latencies_us.push(us);
+                served += ok;
+            }
+        }
+    }
+    Scenario {
+        name: name.to_string(),
+        latencies_us,
+        served,
+        elapsed_s: started.elapsed().as_secs_f64(),
+    }
+}
+
 fn main() {
     let requests = env_usize("PTSIM_LOADGEN_REQUESTS", 200);
     let conns = env_usize("PTSIM_LOADGEN_CONNS", 4).max(1);
@@ -131,6 +175,7 @@ fn main() {
     ptsim_bench::harness::emit_meta();
     drive(&addr, "service/read_seq", 1, requests, n_dies).emit();
     drive(&addr, "service/read_concurrent", conns, requests, n_dies).emit();
+    drive_batch(&addr, "service/batch_read", requests, n_dies, 4).emit();
 
     // Health is the operator's availability probe: it must stay cheap.
     {

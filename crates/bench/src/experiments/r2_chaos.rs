@@ -298,6 +298,7 @@ fn record(
         }
         Ok(
             Response::Calibrated { .. }
+            | Response::Batch { .. }
             | Response::Injected { .. }
             | Response::Pong { .. }
             | Response::Health(_)

@@ -230,6 +230,26 @@ impl RingCache {
         Seconds(self.two_stages * stage.0).to_frequency()
     }
 
+    /// Lane-parallel [`RingCache::frequency_from_currents`]: recombines
+    /// per-lane device currents into per-lane oscillation frequencies in one
+    /// fixed-trip loop over [`LANES`](ptsim_device::delay::LANES). Each lane
+    /// is bit-identical to the scalar call with that lane's operands.
+    #[inline]
+    pub fn frequency_from_currents_lanes(
+        &self,
+        ion_n: &[f64; ptsim_device::delay::LANES],
+        ion_p: &[f64; ptsim_device::delay::LANES],
+        vdd: Volt,
+        active: &[bool; ptsim_device::delay::LANES],
+        out: &mut [f64; ptsim_device::delay::LANES],
+    ) {
+        for l in 0..ptsim_device::delay::LANES {
+            if active[l] {
+                out[l] = self.frequency_from_currents(ion_n[l], ion_p[l], vdd).0;
+            }
+        }
+    }
+
     /// Bit-identical to `ring.with_vdd(vdd).run_energy(tech, env, duration)`
     /// given `frequency` previously obtained from [`RingCache::frequency`]
     /// (or the uncached equivalent) at the same `(vdd, env)` — the second

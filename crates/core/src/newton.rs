@@ -13,6 +13,7 @@
 //!   corrupted measurement.
 
 use crate::error::SensorError;
+use ptsim_device::delay::LANES;
 
 /// Options controlling a Newton solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -361,6 +362,144 @@ where
     })
 }
 
+/// Per-lane outcome of [`newton_solve_lanes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneSolve {
+    /// Lane was masked out on entry; its unknowns were never updated.
+    Masked,
+    /// Converged after this many iterations — the same count the scalar
+    /// solver would report for this lane's system.
+    Converged(usize),
+    /// Singular Jacobian, or no convergence within the iteration budget.
+    /// The caller re-runs this lane through the scalar escalation ladder,
+    /// which reproduces the identical failure and then retunes — so a
+    /// failed lane needs no state snapshot, only its original inputs.
+    Failed,
+}
+
+/// Lane-parallel damped Newton–Raphson: up to [`LANES`] independent `N`-
+/// unknown systems advance in lock-step, with the unknowns held column-wise
+/// (`x[j][lane]`) so the residual callback can evaluate all lanes in
+/// fixed-trip loops.
+///
+/// Semantics are pinned to [`NewtonOptions::default()`] — plain full-step
+/// iteration, no adaptive damping, no condition guard — because that is the
+/// only personality the batch hot path runs; anything that would escalate
+/// (divergence, singular Jacobian) marks the lane [`LaneSolve::Failed`] and
+/// is replayed through the scalar ladder instead. For every lane that
+/// converges, the iterate trajectory, iteration count and final unknowns
+/// are bit-identical to [`newton_solve_with`] on that lane's system alone.
+///
+/// The residual callback is `residual(x, col, active, out)`:
+/// * `col == None` — evaluate the residual of the base point `x` for every
+///   active lane (write `out[i][lane]`); the callback may cache per-lane
+///   intermediates here,
+/// * `col == Some(j)` — `x` is the base point with row `j` perturbed by
+///   `+fd_steps[j]` in every lane; the callback may reuse base-point
+///   intermediates for rows it knows the perturbation cannot touch
+///   (bit-identical to the scalar path's memo hits, which replay stored
+///   values for exactly those operands),
+/// * `active` — the lanes still iterating at this call. The solver never
+///   reads residual entries of inactive lanes, so the callback is free to
+///   skip their (transcendental-heavy) evaluation entirely and leave stale
+///   values behind; active lanes stay bit-identical either way. Masked,
+///   converged and failed lanes have their unknowns frozen.
+///
+/// Returns the per-lane outcome.
+///
+/// # Panics
+///
+/// Panics if `N > MAX_UNKNOWNS`.
+pub fn newton_solve_lanes<const N: usize, F>(
+    x: &mut [[f64; LANES]; N],
+    mut active: [bool; LANES],
+    mut residual: F,
+    fd_steps: &[f64; N],
+    step_limits: &[f64; N],
+    what: &'static str,
+) -> [LaneSolve; LANES]
+where
+    F: FnMut(&[[f64; LANES]; N], Option<usize>, &[bool; LANES], &mut [[f64; LANES]; N]),
+{
+    assert!(N <= MAX_UNKNOWNS, "newton_solve_lanes: {N} > MAX_UNKNOWNS");
+    let opts = NewtonOptions::default();
+    let mut status = active.map(|a| {
+        if a {
+            LaneSolve::Failed
+        } else {
+            LaneSolve::Masked
+        }
+    });
+    let mut r = [[0.0; LANES]; N];
+    let mut rp = [[0.0; LANES]; N];
+    let mut jac = [[[0.0; LANES]; N]; N];
+
+    for iter in 1..=opts.max_iterations {
+        if !active.contains(&true) {
+            break;
+        }
+        residual(x, None, &active, &mut r);
+        for l in 0..LANES {
+            if !active[l] {
+                continue;
+            }
+            let mut norm = 0.0f64;
+            for row in &r {
+                norm = norm.max(row[l].abs());
+            }
+            if norm < opts.tolerance {
+                status[l] = LaneSolve::Converged(iter);
+                active[l] = false;
+            }
+        }
+        if !active.contains(&true) {
+            break;
+        }
+        // Forward-difference Jacobian, one perturbed column at a time
+        // across all lanes.
+        for j in 0..N {
+            let saved = x[j];
+            for xl in x[j].iter_mut() {
+                *xl += fd_steps[j];
+            }
+            residual(x, Some(j), &active, &mut rp);
+            x[j] = saved;
+            for i in 0..N {
+                for l in 0..LANES {
+                    jac[i][j][l] = (rp[i][l] - r[i][l]) / fd_steps[j];
+                }
+            }
+        }
+        // Per-lane linear solve and clamped full step (damping 1.0 —
+        // multiplying by 1.0 is a bitwise no-op, so it is elided).
+        for l in 0..LANES {
+            if !active[l] {
+                continue;
+            }
+            let mut a = [0.0; MAX_UNKNOWNS * MAX_UNKNOWNS];
+            let mut b = [0.0; MAX_UNKNOWNS];
+            for i in 0..N {
+                for j in 0..N {
+                    a[i * N + j] = jac[i][j][l];
+                }
+                b[i] = r[i][l];
+            }
+            match solve_linear(&mut a[..N * N], &mut b[..N], N, what) {
+                Ok(_) => {
+                    for j in 0..N {
+                        x[j][l] -= b[j].clamp(-step_limits[j], step_limits[j]);
+                    }
+                }
+                Err(_) => {
+                    status[l] = LaneSolve::Failed;
+                    active[l] = false;
+                }
+            }
+        }
+    }
+    status
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -633,6 +772,123 @@ mod tests {
             "degenerate",
         )
         .unwrap();
+    }
+
+    #[test]
+    fn lane_newton_matches_scalar_trajectories() {
+        // Eight independent 2-unknown systems x·y = c, x + y = s with
+        // per-lane constants: every lane must converge to the scalar
+        // solver's answer bit for bit, in the same number of iterations.
+        let mut c = [0.0; LANES];
+        let mut s = [0.0; LANES];
+        for l in 0..LANES {
+            c[l] = 4.0 + l as f64;
+            s[l] = 5.0 + 0.5 * l as f64;
+        }
+        let mut x = [[1.0; LANES], [4.0; LANES]];
+        let status = newton_solve_lanes(
+            &mut x,
+            [true; LANES],
+            |x, _, active, out| {
+                for l in 0..LANES {
+                    if !active[l] {
+                        continue;
+                    }
+                    out[0][l] = x[0][l] * x[1][l] - c[l];
+                    out[1][l] = x[0][l] + x[1][l] - s[l];
+                }
+            },
+            &[1e-7, 1e-7],
+            &[10.0, 10.0],
+            "lane-2d",
+        );
+        for l in 0..LANES {
+            let mut xs = [1.0, 4.0];
+            let iters = newton_solve(
+                &mut xs,
+                |v| vec![v[0] * v[1] - c[l], v[0] + v[1] - s[l]],
+                &[1e-7, 1e-7],
+                &[10.0, 10.0],
+                &NewtonOptions::default(),
+                "scalar-2d",
+            )
+            .unwrap();
+            assert_eq!(status[l], LaneSolve::Converged(iters), "lane {l}");
+            assert_eq!(x[0][l].to_bits(), xs[0].to_bits(), "lane {l}");
+            assert_eq!(x[1][l].to_bits(), xs[1].to_bits(), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn failed_lane_does_not_perturb_neighbors() {
+        // Lane 3 has no root (x² + 1 = 0); every other lane solves x² = c.
+        let mut c = [2.0; LANES];
+        c[3] = -1.0;
+        let mut x = [[1.0; LANES]];
+        let status = newton_solve_lanes(
+            &mut x,
+            [true; LANES],
+            |x, _, active, out| {
+                for l in 0..LANES {
+                    if !active[l] {
+                        continue;
+                    }
+                    out[0][l] = x[0][l] * x[0][l] - c[l];
+                }
+            },
+            &[1e-7],
+            &[10.0],
+            "lane-sqrt",
+        );
+        assert_eq!(status[3], LaneSolve::Failed);
+        for l in 0..LANES {
+            if l == 3 {
+                continue;
+            }
+            let mut xs = [1.0];
+            let iters = newton_solve(
+                &mut xs,
+                |v| vec![v[0] * v[0] - c[l]],
+                &[1e-7],
+                &[10.0],
+                &NewtonOptions::default(),
+                "scalar-sqrt",
+            )
+            .unwrap();
+            assert_eq!(status[l], LaneSolve::Converged(iters), "lane {l}");
+            assert_eq!(x[0][l].to_bits(), xs[0].to_bits(), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn masked_lanes_stay_untouched() {
+        let mut active = [true; LANES];
+        active[0] = false;
+        active[7] = false;
+        let mut x = [[9.0; LANES]];
+        let status = newton_solve_lanes(
+            &mut x,
+            active,
+            |x, _, active, out| {
+                for l in 0..LANES {
+                    if !active[l] {
+                        continue;
+                    }
+                    out[0][l] = x[0][l] - 1.0;
+                }
+            },
+            &[1e-7],
+            &[100.0],
+            "lane-masked",
+        );
+        assert_eq!(status[0], LaneSolve::Masked);
+        assert_eq!(status[7], LaneSolve::Masked);
+        assert_eq!(x[0][0], 9.0);
+        assert_eq!(x[0][7], 9.0);
+        for l in 1..7 {
+            assert!(matches!(status[l], LaneSolve::Converged(_)));
+            assert!((x[0][l] - 1.0).abs() < 1e-9);
+        }
     }
 
     #[test]

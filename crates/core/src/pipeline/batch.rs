@@ -13,17 +13,24 @@
 //! overwrites the stored state, so a cloned prototype behaves exactly like
 //! a sensor built from scratch on the same die.
 
+use crate::bank::RoClass;
 use crate::error::SensorError;
 use crate::golden::CharacterizationSpace;
+use crate::metrics::PipelineMetrics;
+use crate::pipeline::lanes::{self, LANES};
 use crate::pipeline::output::{CalibrationOutcome, Reading};
 use crate::pipeline::Scratch;
 use crate::sensor::{PtSensor, SensorInputs, SensorSpec};
 use ptsim_device::process::Technology;
 use ptsim_device::units::Celsius;
 use ptsim_mc::die::{DieSample, DieSite};
-use ptsim_mc::driver::{run_parallel_with, McConfig};
-use ptsim_mc::model::VariationModel;
-use ptsim_rng::Rng;
+use ptsim_mc::driver::{
+    die_field_seed, die_rng, run_parallel_chunked_metered, run_parallel_chunked_with,
+    run_parallel_with, McConfig,
+};
+use ptsim_mc::model::{DieSampler, VariationModel};
+use ptsim_mc::spatial::FieldMask;
+use ptsim_rng::{Pcg64, Rng};
 
 /// Everything one die contributes to a batched campaign: its boot-time
 /// calibration outcome and one [`Reading`] per scheduled temperature.
@@ -174,37 +181,239 @@ impl BatchPlan {
         Ok((sensor, conv))
     }
 
-    /// Runs the plan over a whole Monte-Carlo population: die `i` is drawn
-    /// from `model` with `die_rng(cfg.base_seed, i)` and converted with the
-    /// same stream, exactly like the bespoke per-die loops this API
-    /// replaces. The prototype is cloned — and one pipeline [`Scratch`] and
-    /// one die sampler (precomputed within-die stencils) created — once per
-    /// worker thread, not per die, so the steady-state conversion loop is
-    /// allocation-free.
+    /// Runs the plan over a whole Monte-Carlo population under the batch
+    /// sampling discipline, which splits each die's randomness over two
+    /// documented streams: die `i`'s die-to-die parameters and
+    /// measurement-gating draws come from `die_rng(cfg.base_seed, i)` (in
+    /// the classic order), while its within-die field cells are
+    /// counter-based — each cell is a pure function of
+    /// `die_field_seed(cfg.base_seed, i)` and the cell index (see
+    /// [`DieSampler::sample_die_sparse`]) — so only the handful of cells
+    /// under this plan's ring sites are ever realized. The result is
+    /// deterministic in `(base_seed, i)` and independent of thread count,
+    /// chunking, and schedule. The prototype is cloned — and one pipeline
+    /// [`Scratch`] and one die sampler (precomputed within-die stencils)
+    /// created — once per worker thread, not per die, so the steady-state
+    /// conversion loop is allocation-free.
+    ///
+    /// Analytic-model plans run through the struct-of-arrays **lane
+    /// kernel** ([`crate::pipeline::lanes`]): dies are dispatched in
+    /// [`LANES`]-wide chunks whose RNG-free Newton solves run
+    /// lane-parallel, bit-identical to — and substantially faster than —
+    /// the retained scalar oracle ([`BatchPlan::run_population_scalar`]).
+    /// Characterized-model plans take the scalar path unconditionally.
     #[must_use]
     pub fn run_population(
         &self,
         cfg: &McConfig,
         model: &VariationModel,
     ) -> Vec<Result<DieConversion, SensorError>> {
+        if self.prototype.characterized_model().is_some() {
+            return self.run_population_scalar(cfg, model);
+        }
+        run_parallel_chunked_with(
+            cfg,
+            LANES,
+            || self.lane_worker(model, Scratch::new()),
+            |ctx, start, len, out| self.lane_chunk(ctx, cfg.base_seed, start, len, out),
+        )
+    }
+
+    /// [`BatchPlan::run_population`] with per-worker
+    /// [`PipelineMetrics`](crate::PipelineMetrics) attached and merged
+    /// after the run. The readings are bit-identical to the unmetered run
+    /// — observability reads, never perturbs — and the merged deterministic
+    /// subset (counters, energy histogram) is independent of the thread
+    /// count, because chunking is cursor-free and deterministic.
+    #[must_use]
+    pub fn run_population_with_metrics(
+        &self,
+        cfg: &McConfig,
+        model: &VariationModel,
+    ) -> (Vec<Result<DieConversion, SensorError>>, PipelineMetrics) {
+        if self.prototype.characterized_model().is_some() {
+            let base_seed = cfg.base_seed;
+            let (results, reports) = ptsim_mc::driver::run_parallel_metered(
+                cfg,
+                || self.scalar_worker(model, Scratch::with_metrics()),
+                |(sensor, scratch, sampler, vtn_mask, vtp_mask), i, rng| {
+                    let die = sampler.sample_die_sparse(
+                        rng,
+                        die_field_seed(base_seed, i),
+                        i,
+                        vtn_mask,
+                        vtp_mask,
+                    );
+                    sensor.reset_for_reuse();
+                    self.convert_with_scratch(sensor, &die, rng, scratch)
+                },
+            );
+            let mut total = PipelineMetrics::new();
+            for mut r in reports {
+                if let Some(m) = r.ctx.1.take_metrics() {
+                    total.merge(&m);
+                }
+            }
+            return (results, total);
+        }
+        let (results, reports) = run_parallel_chunked_metered(
+            cfg,
+            LANES,
+            || self.lane_worker(model, Scratch::with_metrics()),
+            |ctx, start, len, out| self.lane_chunk(ctx, cfg.base_seed, start, len, out),
+        );
+        let mut total = PipelineMetrics::new();
+        for mut r in reports {
+            if let Some(m) = r.ctx.scratch.take_metrics() {
+                total.merge(&m);
+            }
+        }
+        (results, total)
+    }
+
+    /// The retained scalar population path — the bit-exact oracle the lane
+    /// kernel is gated against (and the unconditional path for
+    /// characterized-model plans). One die at a time through the staged
+    /// pipeline, one worker context per thread, drawing each die under the
+    /// same two-stream sampling discipline as the lane path (see
+    /// [`BatchPlan::run_population`]) so the two are comparable die for
+    /// die, bit for bit.
+    #[must_use]
+    pub fn run_population_scalar(
+        &self,
+        cfg: &McConfig,
+        model: &VariationModel,
+    ) -> Vec<Result<DieConversion, SensorError>> {
+        let base_seed = cfg.base_seed;
         run_parallel_with(
             cfg,
-            || (self.sensor(), Scratch::new(), model.sampler()),
-            |(sensor, scratch, sampler), i, rng| {
-                let die = sampler.sample_die_with_id(rng, i);
-                // Re-clone per die only what calibration overwrites anyway:
-                // reuse the worker's sensor, clearing stale state.
-                sensor.clear_faults();
+            || self.scalar_worker(model, Scratch::new()),
+            |(sensor, scratch, sampler, vtn_mask, vtp_mask), i, rng| {
+                let die = sampler.sample_die_sparse(
+                    rng,
+                    die_field_seed(base_seed, i),
+                    i,
+                    vtn_mask,
+                    vtp_mask,
+                );
+                // Reuse the worker's sensor, resetting *all* per-die state
+                // (faults and the stored calibration, not just faults).
+                sensor.reset_for_reuse();
                 self.convert_with_scratch(sensor, &die, rng, scratch)
             },
         )
     }
+
+    /// Per-worker context of the scalar population path: sensor clone,
+    /// scratch, sampler, and the sparse-field masks of this plan's sites.
+    fn scalar_worker(
+        &self,
+        model: &VariationModel,
+        scratch: Scratch,
+    ) -> (PtSensor, Scratch, DieSampler, FieldMask, FieldMask) {
+        let sensor = self.sensor();
+        let sampler = model.sampler();
+        let (vtn_mask, vtp_mask) = self.site_masks(&sensor, &sampler);
+        (sensor, scratch, sampler, vtn_mask, vtp_mask)
+    }
+
+    /// Sparse-field masks covering the only points the batch pipeline ever
+    /// probes a die at: this plan's three ring sites.
+    fn site_masks(&self, sensor: &PtSensor, sampler: &DieSampler) -> (FieldMask, FieldMask) {
+        let points = [RoClass::PsroN, RoClass::PsroP, RoClass::Tsro].map(|class| {
+            let site = sensor.bank().site_of(class, self.site);
+            (site.x, site.y)
+        });
+        sampler.field_masks(&points)
+    }
+
+    /// Per-worker context of the lane population path: sensor clone,
+    /// scratch, sampler (with the sparse-field masks of this plan's bank
+    /// sites), and reusable chunk buffers.
+    fn lane_worker(&self, model: &VariationModel, scratch: Scratch) -> LaneWorker {
+        let sensor = self.sensor();
+        let sampler = model.sampler();
+        // The batch pipeline only ever probes a die at its three ring
+        // sites, so the within-die fields are realized sparsely: just the
+        // fine-grid cells under those bilinear reads ever draw a value
+        // (counter-based, so the realized cells are mask-invariant).
+        let (vtn_mask, vtp_mask) = self.site_masks(&sensor, &sampler);
+        LaneWorker {
+            sensor,
+            scratch,
+            sampler,
+            vtn_mask,
+            vtp_mask,
+            dies: Vec::with_capacity(LANES),
+            rngs: Vec::with_capacity(LANES),
+        }
+    }
+
+    /// Converts dies `start .. start + len` as one lane chunk: per-die
+    /// sampling under the two-stream discipline (d2d draws on each die's
+    /// own main stream, counter-based sparse fields), then the phased
+    /// lane-parallel conversion.
+    fn lane_chunk(
+        &self,
+        ctx: &mut LaneWorker,
+        base_seed: u64,
+        start: u64,
+        len: usize,
+        out: &mut Vec<Result<DieConversion, SensorError>>,
+    ) {
+        let LaneWorker {
+            sensor,
+            scratch,
+            sampler,
+            vtn_mask,
+            vtp_mask,
+            dies,
+            rngs,
+        } = ctx;
+        sensor.reset_for_reuse();
+        rngs.clear();
+        dies.clear();
+        for k in 0..len as u64 {
+            let i = start + k;
+            let mut rng = die_rng(base_seed, i);
+            dies.push(sampler.sample_die_sparse(
+                &mut rng,
+                die_field_seed(base_seed, i),
+                i,
+                vtn_mask,
+                vtp_mask,
+            ));
+            rngs.push(rng);
+        }
+        lanes::convert_population_chunk(
+            sensor,
+            scratch,
+            self.site,
+            self.boot_temp,
+            &self.temps,
+            dies,
+            rngs,
+            out,
+        );
+    }
+}
+
+/// Per-worker-thread state of the lane population path (one clone per
+/// thread, reused across every chunk the thread drains).
+struct LaneWorker {
+    sensor: PtSensor,
+    scratch: Scratch,
+    sampler: DieSampler,
+    vtn_mask: FieldMask,
+    vtp_mask: FieldMask,
+    dies: Vec<DieSample>,
+    rngs: Vec<Pcg64>,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ptsim_mc::driver::die_rng;
+    use ptsim_mc::driver::{die_field_seed, die_rng};
 
     fn plan() -> BatchPlan {
         BatchPlan::new(Technology::n65(), SensorSpec::default_65nm())
@@ -214,17 +423,33 @@ mod tests {
 
     #[test]
     fn batch_matches_bespoke_per_die_loop() {
-        // The batched path must be bit-identical to the hand-written loop
-        // it replaces.
+        // The batched path must be bit-identical to a hand-written loop
+        // following the documented two-stream sampling discipline: die-to-
+        // die parameters and gating draws from `die_rng(base_seed, i)`,
+        // within-die fields counter-based from `die_field_seed(base_seed, i)`
+        // with masks over the plan's ring sites.
         let p = plan();
         let cfg = McConfig::new(6, 0xbeef);
         let model = VariationModel::new(&Technology::n65());
         let batched = p.run_population(&cfg, &model);
 
+        let mut sampler = model.sampler();
+        let proto = PtSensor::new(Technology::n65(), SensorSpec::default_65nm()).unwrap();
+        let points = [RoClass::PsroN, RoClass::PsroP, RoClass::Tsro].map(|class| {
+            let site = proto.bank().site_of(class, DieSite::CENTER);
+            (site.x, site.y)
+        });
+        let (vtn_mask, vtp_mask) = sampler.field_masks(&points);
         let mut bespoke = Vec::new();
         for i in 0..6u64 {
             let mut rng = die_rng(0xbeef, i);
-            let die = model.sample_die_with_id(&mut rng, i);
+            let die = sampler.sample_die_sparse(
+                &mut rng,
+                die_field_seed(0xbeef, i),
+                i,
+                &vtn_mask,
+                &vtp_mask,
+            );
             let mut sensor = PtSensor::new(Technology::n65(), SensorSpec::default_65nm()).unwrap();
             let boot = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
             let calibration = sensor.calibrate(&boot, &mut rng).unwrap();
@@ -246,6 +471,20 @@ mod tests {
         }
         for (b, e) in batched.iter().zip(&bespoke) {
             assert_eq!(b.as_ref().unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn lane_population_is_bit_identical_to_scalar_oracle() {
+        // 13 dies: one full lane chunk plus a 5-wide masked tail.
+        let p = plan();
+        let model = VariationModel::new(&Technology::n65());
+        let cfg = McConfig::new(13, 0x50a1);
+        let lane = p.run_population(&cfg, &model);
+        let scalar = p.run_population_scalar(&cfg, &model);
+        assert_eq!(lane.len(), scalar.len());
+        for (a, b) in lane.iter().zip(&scalar) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
         }
     }
 

@@ -1,0 +1,1037 @@
+//! The struct-of-arrays (SoA) **lane kernel** of the batch conversion hot
+//! path.
+//!
+//! The staged pipeline walks one die at a time; profiling shows the batch
+//! bottleneck is the latency chain of scalar `exp`/`ln`/`powf` calls inside
+//! the Newton residuals. This module restructures the *solve* stage to run
+//! up to [`LANES`] independent dies column-wise: every per-die scalar
+//! (`ΔVtn`, measured `ln f`, Newton unknowns, …) becomes one element of a
+//! `[f64; LANES]` column, and every inner loop becomes a fixed-trip loop
+//! over lanes. The pure-arithmetic portions autovectorize; the libm calls
+//! stay scalar (they must, for bit-identity) but run as eight *independent*
+//! dependency chains the core can overlap instead of one serial chain.
+//!
+//! ```text
+//!        scalar (AoS)                       lane kernel (SoA)
+//!   die0: t ── vtn ── vtp              x[0] = [ t0  t1 … t7 ]  ┐
+//!   die1: t ── vtn ── vtp    ──▶       x[1] = [vtn0 vtn1…vtn7] ├─ columns
+//!   die2: t ── vtn ── vtp              x[2] = [vtp0 vtp1…vtp7] ┘
+//!    ⋮  (one solve each)               (one masked 8-lane solve)
+//! ```
+//!
+//! **Bit-identity contract.** Lane `l` of every column sees exactly the
+//! float operations, in exactly the order, that the scalar solver applies
+//! to die `l` — the lane residuals replicate the scalar residuals'
+//! exact-memoization reuse pattern (base-point currents are reused by the
+//! Jacobian columns that cannot perturb them, the shared thermal point is
+//! hoisted) and [`newton_solve_lanes`] replicates the scalar iteration
+//! schedule per lane. A population converted through the lane kernel is
+//! therefore *bit-identical* to the retained scalar path, which remains
+//! the default for single reads and the oracle every golden gate runs on.
+//!
+//! **Masking and fallback.** Partial chunks (population size not a
+//! multiple of [`LANES`]) leave trailing lanes masked: they are excluded
+//! from convergence checks and never updated. A lane whose Newton solve
+//! fails (divergence, singular Jacobian) reports [`LaneSolve::Failed`] and
+//! is re-run from its original inputs through the scalar escalation ladder
+//! — the solves are RNG-free, so the scalar re-run reproduces the identical
+//! default-tuning failure and then escalates exactly like the oracle,
+//! without perturbing neighboring lanes.
+//!
+//! Only [`NewtonOptions::default`](crate::newton::NewtonOptions) tuning is
+//! lane-parallelized (fixed damping, no adaptive state); every escalation
+//! is scalar by construction.
+
+use crate::bank::RoClass;
+use crate::calib::Calibration;
+use crate::error::SensorError;
+use crate::health::Health;
+use crate::metrics::Stage;
+use crate::newton::{newton_solve_lanes, LaneSolve};
+use crate::pipeline::batch::DieConversion;
+use crate::pipeline::gate::{self, Gated};
+use crate::pipeline::output::{self, CalibrationOutcome, Reading};
+use crate::pipeline::solve::{self, Solved};
+use crate::pipeline::Scratch;
+use crate::sensor::{PtSensor, SensorInputs};
+use ptsim_circuit::energy::EnergyLedger;
+use ptsim_device::delay::DelayCache;
+use ptsim_device::units::{Celsius, Volt};
+use ptsim_mc::die::{DieSample, DieSite};
+use ptsim_rng::Rng;
+use std::time::Instant;
+
+pub use ptsim_device::delay::LANES;
+
+/// Finite-difference steps of the 3×3 conversion decoupling (must match
+/// the scalar solver's).
+const CONV_FD_STEPS: [f64; 3] = [0.01, 1e-4, 1e-4];
+/// Per-unknown step limits of the 3×3 conversion decoupling.
+const CONV_STEP_LIMITS: [f64; 3] = [40.0, 0.03, 0.03];
+/// Finite-difference steps of the 4×4 calibration decoupling.
+const CAL_FD_STEPS: [f64; 4] = [1e-4, 1e-4, 1e-3, 1e-3];
+/// Per-unknown step limits of the 4×4 calibration decoupling.
+const CAL_STEP_LIMITS: [f64; 4] = [0.04, 0.04, 0.15, 0.15];
+
+/// Column-wise carrier of up to [`LANES`] independently-gated conversions
+/// against one sensor design: the per-die calibration parameters, measured
+/// log-frequencies, and Newton unknowns, each stored as a `[f64; LANES]`
+/// column so the lane solver's inner loops are fixed-trip.
+///
+/// Build one with [`LaneBatch::new`], [`LaneBatch::push`] up to [`LANES`]
+/// `(calibration, gated)` pairs that [`LaneBatch::accepts`], then run
+/// [`solve_gated_lanes`]. The batch is reusable: [`LaneBatch::clear`]
+/// resets it without touching capacity (it owns no heap memory at all).
+#[derive(Debug, Clone)]
+pub struct LaneBatch {
+    len: usize,
+    /// Unknown columns: `x[0]` = temperature °C, `x[1]` = ΔVtn V,
+    /// `x[2]` = ΔVtp V — seeded from each lane's calibration.
+    x: [[f64; LANES]; 3],
+    ln_ft: [f64; LANES],
+    ln_fn: [f64; LANES],
+    ln_fp: [f64; LANES],
+    ln_scale: [f64; LANES],
+    mu_n: [f64; LANES],
+    mu_p: [f64; LANES],
+    /// Originals retained for the per-lane scalar fallback.
+    cals: [Option<Calibration>; LANES],
+    gateds: [Option<Gated>; LANES],
+}
+
+impl Default for LaneBatch {
+    fn default() -> Self {
+        LaneBatch::new()
+    }
+}
+
+impl LaneBatch {
+    /// An empty batch. Masked (never-pushed) lanes carry benign finite
+    /// filler so the elementwise residual arithmetic stays well-behaved in
+    /// unused lanes.
+    #[must_use]
+    pub fn new() -> Self {
+        LaneBatch {
+            len: 0,
+            x: [[25.0; LANES], [0.0; LANES], [0.0; LANES]],
+            ln_ft: [0.0; LANES],
+            ln_fn: [0.0; LANES],
+            ln_fp: [0.0; LANES],
+            ln_scale: [0.0; LANES],
+            mu_n: [1.0; LANES],
+            mu_p: [1.0; LANES],
+            cals: [None; LANES],
+            gateds: [None; LANES],
+        }
+    }
+
+    /// Number of occupied lanes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no lane is occupied.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when every lane is occupied.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.len == LANES
+    }
+
+    /// Resets the batch to empty (no heap memory to keep warm).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Whether the lane kernel handles this `(sensor, gated)` combination.
+    /// Degraded measurement sets (a lost PSRO) and characterized-model
+    /// sensors take the scalar escalation path directly — the lane kernel
+    /// parallelizes only the analytic joint 3×3 solve.
+    #[must_use]
+    pub fn accepts(sensor: &PtSensor, gated: &Gated) -> bool {
+        sensor.characterized_model().is_none()
+            && gated.f_psro_n.is_some()
+            && gated.f_psro_p.is_some()
+    }
+
+    /// Loads one die into the next free lane and returns its lane index.
+    /// The caller must have checked [`LaneBatch::accepts`] and that the
+    /// batch is not full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is full or `gated` is missing a PSRO.
+    pub fn push(&mut self, cal: &Calibration, gated: &Gated) -> usize {
+        assert!(self.len < LANES, "LaneBatch overflow");
+        let (f_n, f_p) = (
+            gated.f_psro_n.expect("lane push requires both PSROs"),
+            gated.f_psro_p.expect("lane push requires both PSROs"),
+        );
+        let l = self.len;
+        // Same hoisted-`ln` evaluation order as the scalar solver:
+        // (f_t, f_n, f_p).
+        self.ln_ft[l] = gated.f_tsro.0.ln();
+        self.ln_fn[l] = f_n.0.ln();
+        self.ln_fp[l] = f_p.0.ln();
+        self.ln_scale[l] = cal.ln_tsro_scale();
+        self.mu_n[l] = cal.mu_n();
+        self.mu_p[l] = cal.mu_p();
+        self.x[0][l] = cal.calib_temp().0;
+        self.x[1][l] = cal.d_vtn().0;
+        self.x[2][l] = cal.d_vtp().0;
+        self.cals[l] = Some(*cal);
+        self.gateds[l] = Some(*gated);
+        self.len += 1;
+        l
+    }
+}
+
+/// Lane-parallel form of [`solve_gated`](crate::pipeline::solve_gated):
+/// solves every occupied lane of `batch` jointly, writing lane `l`'s result
+/// to `out[l]` and recording its health events in `healths[l]`.
+///
+/// Bit-identical to running the scalar solver per lane: converged lanes
+/// reproduce the scalar Newton trajectory exactly, and a failed lane falls
+/// back to the full scalar escalation ladder from its original inputs
+/// (recording the same `SolverRetuned`/`RomFallback` health events and
+/// metrics the oracle records). Lanes beyond `batch.len()` are untouched.
+///
+/// Allocation-free after scratch warm-up: all solver state is fixed-size
+/// stack arrays.
+///
+/// # Panics
+///
+/// Panics if `healths` or `out` are shorter than `batch.len()`.
+pub fn solve_gated_lanes(
+    sensor: &PtSensor,
+    batch: &LaneBatch,
+    healths: &mut [Health],
+    scratch: &mut Scratch,
+    out: &mut [Option<Result<Solved, SensorError>>],
+) {
+    let n = batch.len();
+    assert!(
+        healths.len() >= n && out.len() >= n,
+        "lane buffers too short"
+    );
+    if n == 0 {
+        return;
+    }
+    debug_assert!(
+        sensor.characterized_model().is_none(),
+        "the lane kernel is analytic-only; characterized sensors take the scalar path"
+    );
+    let spec = sensor.spec;
+    let rings = [
+        sensor.cache.ring(RoClass::Tsro),
+        sensor.cache.ring(RoClass::PsroN),
+        sensor.cache.ring(RoClass::PsroP),
+    ];
+    let vdds = [spec.bank.vdd_tsro, spec.bank.vdd_low, spec.bank.vdd_low];
+    let mut active = [false; LANES];
+    active[..n].fill(true);
+    let mut x = batch.x;
+
+    // Base-point cache replicating the scalar residual's exact memoization:
+    // the thermal point and both drain factors are functions of the
+    // temperature column only, and each device's currents are untouched by
+    // the *other* device's threshold column, so the perturbed Jacobian
+    // columns replay these stored values exactly as the scalar memo does.
+    let th_seed = sensor.cache.thermal(spec.calib_temp);
+    let mut th = [th_seed; LANES];
+    let mut dt = [0.0; LANES];
+    let mut dl = [0.0; LANES];
+    let mut ions_n = [[0.0; LANES]; 3];
+    let mut ions_p = [[0.0; LANES]; 3];
+
+    let statuses = newton_solve_lanes(
+        &mut x,
+        active,
+        |x: &[[f64; LANES]; 3],
+         col: Option<usize>,
+         live: &[bool; LANES],
+         out: &mut [[f64; LANES]; 3]| {
+            let rows = |nn: &[[f64; LANES]; 3],
+                        pp: &[[f64; LANES]; 3],
+                        out: &mut [[f64; LANES]; 3]| {
+                let mut f = [0.0; LANES];
+                for i in 0..3 {
+                    rings[i].frequency_from_currents_lanes(&nn[i], &pp[i], vdds[i], live, &mut f);
+                    if i == 0 {
+                        for l in 0..LANES {
+                            if live[l] {
+                                out[0][l] = f[l].ln() - batch.ln_ft[l] + batch.ln_scale[l];
+                            }
+                        }
+                    } else {
+                        let ln_m = if i == 1 { &batch.ln_fn } else { &batch.ln_fp };
+                        for l in 0..LANES {
+                            if live[l] {
+                                out[i][l] = f[l].ln() - ln_m[l];
+                            }
+                        }
+                    }
+                }
+            };
+            match col {
+                None => {
+                    // Base point: refresh every cached column (live lanes
+                    // only — a retired lane's stale cache is never read).
+                    th = rings[0].delay().thermal_lanes(&x[0], live);
+                    DelayCache::drain_factor_lanes(&th, spec.bank.vdd_tsro, live, &mut dt);
+                    DelayCache::drain_factor_lanes(&th, spec.bank.vdd_low, live, &mut dl);
+                    for i in 0..3 {
+                        let drains = if i == 0 { &dt } else { &dl };
+                        rings[i].delay().nmos_current_lanes(
+                            &th,
+                            vdds[i],
+                            &x[1],
+                            &batch.mu_n,
+                            drains,
+                            live,
+                            &mut ions_n[i],
+                        );
+                        rings[i].delay().pmos_current_lanes(
+                            &th,
+                            vdds[i],
+                            &x[2],
+                            &batch.mu_p,
+                            drains,
+                            live,
+                            &mut ions_p[i],
+                        );
+                    }
+                    rows(&ions_n, &ions_p, out);
+                }
+                Some(0) => {
+                    // Temperature column: everything depends on it — fresh
+                    // locals, the base cache stays resident for columns 1–2.
+                    let th0 = rings[0].delay().thermal_lanes(&x[0], live);
+                    let mut dt0 = [0.0; LANES];
+                    let mut dl0 = [0.0; LANES];
+                    DelayCache::drain_factor_lanes(&th0, spec.bank.vdd_tsro, live, &mut dt0);
+                    DelayCache::drain_factor_lanes(&th0, spec.bank.vdd_low, live, &mut dl0);
+                    let mut nn = [[0.0; LANES]; 3];
+                    let mut pp = [[0.0; LANES]; 3];
+                    for i in 0..3 {
+                        let drains = if i == 0 { &dt0 } else { &dl0 };
+                        rings[i].delay().nmos_current_lanes(
+                            &th0,
+                            vdds[i],
+                            &x[1],
+                            &batch.mu_n,
+                            drains,
+                            live,
+                            &mut nn[i],
+                        );
+                        rings[i].delay().pmos_current_lanes(
+                            &th0,
+                            vdds[i],
+                            &x[2],
+                            &batch.mu_p,
+                            drains,
+                            live,
+                            &mut pp[i],
+                        );
+                    }
+                    rows(&nn, &pp, out);
+                }
+                Some(1) => {
+                    // ΔVtn column: temperature unchanged — reuse the base
+                    // thermal/drain cache and the untouched PMOS currents.
+                    let mut nn = [[0.0; LANES]; 3];
+                    for i in 0..3 {
+                        let drains = if i == 0 { &dt } else { &dl };
+                        rings[i].delay().nmos_current_lanes(
+                            &th,
+                            vdds[i],
+                            &x[1],
+                            &batch.mu_n,
+                            drains,
+                            live,
+                            &mut nn[i],
+                        );
+                    }
+                    rows(&nn, &ions_p, out);
+                }
+                Some(2) => {
+                    // ΔVtp column: reuse base cache and NMOS currents.
+                    let mut pp = [[0.0; LANES]; 3];
+                    for i in 0..3 {
+                        let drains = if i == 0 { &dt } else { &dl };
+                        rings[i].delay().pmos_current_lanes(
+                            &th,
+                            vdds[i],
+                            &x[2],
+                            &batch.mu_p,
+                            drains,
+                            live,
+                            &mut pp[i],
+                        );
+                    }
+                    rows(&ions_n, &pp, out);
+                }
+                Some(j) => unreachable!("3x3 solve has no column {j}"),
+            }
+        },
+        &CONV_FD_STEPS,
+        &CONV_STEP_LIMITS,
+        "conversion decoupling",
+    );
+
+    let Scratch {
+        newton, metrics, ..
+    } = scratch;
+    for l in 0..n {
+        match statuses[l] {
+            LaneSolve::Converged(iterations) => {
+                if let Some(m) = metrics.as_mut() {
+                    // Mirrors the scalar solver's per-solve tally; the
+                    // default tuning never backs off.
+                    m.on_solver_iterations(iterations);
+                    m.on_newton_backoffs(0);
+                }
+                out[l] = Some(Ok(Solved {
+                    temperature: x[0][l],
+                    d_vtn: x[1][l],
+                    d_vtp: x[2][l],
+                    iterations,
+                }));
+            }
+            LaneSolve::Failed => {
+                // Scalar fallback from the original inputs: the solve is
+                // RNG-free, so this reproduces the identical default-tuning
+                // failure and then escalates exactly like the oracle.
+                let cal = batch.cals[l].expect("occupied lane retains its calibration");
+                let gated = batch.gateds[l].expect("occupied lane retains its gated set");
+                out[l] = Some(solve::solve_gated_with(
+                    sensor,
+                    &cal,
+                    &gated,
+                    &mut healths[l],
+                    newton,
+                    metrics,
+                ));
+            }
+            LaneSolve::Masked => unreachable!("occupied lanes are active"),
+        }
+    }
+}
+
+/// Lane-parallel form of the analytic 4×4 calibration decoupling under the
+/// default Newton tuning: solves lanes `0..n` jointly against per-lane
+/// measured frequencies, writing unknowns column-wise into `x`
+/// (`x[j][l]` = unknown `j` of lane `l`). Failed lanes are reported for
+/// the caller to escalate through the scalar ladder.
+///
+/// Bit-identical per lane to
+/// [`solve_calibration`](crate::pipeline::solve::solve_calibration) with
+/// default options on the same measurements.
+pub(crate) fn solve_calibration_lanes(
+    sensor: &PtSensor,
+    plan: &[(RoClass, Volt); 4],
+    measured: &[[f64; 4]; LANES],
+    n: usize,
+    x: &mut [[f64; LANES]; 4],
+) -> [LaneSolve; LANES] {
+    debug_assert!(sensor.characterized_model().is_none());
+    let t_cal = sensor.spec.calib_temp;
+    // Chunk-wide hoists: the calibration temperature — and with it the
+    // thermal point and per-row drain factors — is shared by every lane
+    // (same sensor design, same assumed boot temperature), so what the
+    // scalar solver hoists per die hoists per chunk here.
+    let th = sensor.cache.thermal(t_cal);
+    let th_l = [th; LANES];
+    let rings = plan.map(|(class, _)| sensor.cache.ring(class));
+    let drains = plan.map(|(_, vdd)| DelayCache::drain_factor(&th, vdd));
+    let drains_l: [[f64; LANES]; 4] = core::array::from_fn(|i| [drains[i]; LANES]);
+    let mut ln_m = [[0.0; LANES]; 4];
+    for (l, m) in measured.iter().enumerate().take(n) {
+        for (slot, lm) in ln_m.iter_mut().enumerate() {
+            lm[l] = m[slot].ln();
+        }
+    }
+    let mut active = [false; LANES];
+    active[..n].fill(true);
+    *x = [[0.0; LANES], [0.0; LANES], [1.0; LANES], [1.0; LANES]];
+
+    let mut n_base = [[0.0; LANES]; 4];
+    let mut p_base = [[0.0; LANES]; 4];
+    newton_solve_lanes(
+        x,
+        active,
+        |x: &[[f64; LANES]; 4],
+         col: Option<usize>,
+         live: &[bool; LANES],
+         out: &mut [[f64; LANES]; 4]| {
+            let rows =
+                |nn: &[[f64; LANES]; 4], pp: &[[f64; LANES]; 4], out: &mut [[f64; LANES]; 4]| {
+                    let mut f = [0.0; LANES];
+                    for slot in 0..4 {
+                        rings[slot].frequency_from_currents_lanes(
+                            &nn[slot],
+                            &pp[slot],
+                            plan[slot].1,
+                            live,
+                            &mut f,
+                        );
+                        for l in 0..LANES {
+                            if live[l] {
+                                out[slot][l] = f[l].ln() - ln_m[slot][l];
+                            }
+                        }
+                    }
+                };
+            // NMOS currents depend on `(x[0], x[2])`, PMOS on `(x[1], x[3])`
+            // — each perturbed column recomputes only the device it touches
+            // and replays the base values of the other, exactly like the
+            // scalar solver's current memo.
+            let n_fresh = |x: &[[f64; LANES]; 4], nn: &mut [[f64; LANES]; 4]| {
+                for i in 0..4 {
+                    rings[i].delay().nmos_current_lanes(
+                        &th_l,
+                        plan[i].1,
+                        &x[0],
+                        &x[2],
+                        &drains_l[i],
+                        live,
+                        &mut nn[i],
+                    );
+                }
+            };
+            let p_fresh = |x: &[[f64; LANES]; 4], pp: &mut [[f64; LANES]; 4]| {
+                for i in 0..4 {
+                    rings[i].delay().pmos_current_lanes(
+                        &th_l,
+                        plan[i].1,
+                        &x[1],
+                        &x[3],
+                        &drains_l[i],
+                        live,
+                        &mut pp[i],
+                    );
+                }
+            };
+            match col {
+                None => {
+                    n_fresh(x, &mut n_base);
+                    p_fresh(x, &mut p_base);
+                    rows(&n_base, &p_base, out);
+                }
+                Some(0) | Some(2) => {
+                    let mut nn = [[0.0; LANES]; 4];
+                    n_fresh(x, &mut nn);
+                    rows(&nn, &p_base, out);
+                }
+                Some(1) | Some(3) => {
+                    let mut pp = [[0.0; LANES]; 4];
+                    p_fresh(x, &mut pp);
+                    rows(&n_base, &pp, out);
+                }
+                Some(j) => unreachable!("4x4 solve has no column {j}"),
+            }
+        },
+        &CAL_FD_STEPS,
+        &CAL_STEP_LIMITS,
+        "calibration decoupling",
+    )
+}
+
+/// Converts one chunk of up to [`LANES`] dies of a population through the
+/// lane kernel: per-die RNG-consuming stages (measurement gating) run
+/// scalar in die order on each die's own stream, the RNG-free Newton
+/// solves run lane-parallel across the chunk, and any failed or degraded
+/// lane falls back to the scalar oracle. Pushes one result per die, in die
+/// order. Bit-identical to converting each die through
+/// [`BatchPlan::convert_with_scratch`](crate::pipeline::BatchPlan::convert_with_scratch).
+///
+/// Phase structure (within-die RNG draw order is exactly the scalar
+/// pipeline's; dies own independent streams, so cross-die interleaving is
+/// free):
+///
+/// ```text
+/// A  per die:   gate the 4-measurement boot plan          (consumes RNG)
+///    lanes:     4×4 calibration decoupling                (RNG-free)
+/// A2 per die:   TSRO reference gate, ln-scale, store      (consumes RNG)
+/// B  per temp:
+///    B1 per die: gate the 3 conversion channels           (consumes RNG)
+///    B2 lanes:   3×3 conversion decoupling                (RNG-free)
+///    B3 per die: bound/quantize output, tally metrics
+/// ```
+// The parameters are the per-worker SoA columns (dies, rngs, output) plus
+// the plan constants; a bundling struct would exist for this one call.
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+pub(crate) fn convert_population_chunk<R: Rng>(
+    sensor: &PtSensor,
+    scratch: &mut Scratch,
+    site: DieSite,
+    boot_temp: Celsius,
+    temps: &[Celsius],
+    dies: &[DieSample],
+    rngs: &mut [R],
+    out: &mut Vec<Result<DieConversion, SensorError>>,
+) {
+    let n = dies.len();
+    assert!(n <= LANES && rngs.len() == n, "chunk shape mismatch");
+    debug_assert!(sensor.characterized_model().is_none());
+    let spec = sensor.spec;
+    let mut res: [Option<Result<DieConversion, SensorError>>; LANES] =
+        core::array::from_fn(|_| None);
+    // Mirrors the `run_*_with` wrappers: every per-die failure tallies one
+    // pipeline error and parks the die's Err result.
+    fn fail(
+        scratch: &mut Scratch,
+        slot: &mut Option<Result<DieConversion, SensorError>>,
+        e: SensorError,
+    ) {
+        if let Some(m) = scratch.metrics.as_mut() {
+            m.on_error();
+        }
+        *slot = Some(Err(e));
+    }
+
+    // ---- Phase A: boot-plan gating (scalar, per die) + lane calibration.
+    let cal_started = Instant::now();
+    let plan = gate::calibration_plan(&spec);
+    let mut measured = [[0.0; 4]; LANES];
+    let mut cal_state: [Option<(EnergyLedger, Health)>; LANES] = core::array::from_fn(|_| None);
+    for (k, (die, rng)) in dies.iter().zip(rngs.iter_mut()).enumerate() {
+        let boot = SensorInputs::new(die, site, boot_temp);
+        let mut ledger = EnergyLedger::new();
+        let mut health = Health::nominal();
+        match gate::gate_plan_with(sensor, &plan, &boot, rng, &mut ledger, &mut health, scratch) {
+            Ok(m) => {
+                measured[k] = m;
+                cal_state[k] = Some((ledger, health));
+            }
+            Err(e) => fail(scratch, &mut res[k], e),
+        }
+    }
+
+    let mut x4 = [[0.0; LANES]; 4];
+    let statuses = solve_calibration_lanes(sensor, &plan, &measured, n, &mut x4);
+
+    // ---- Phase A2: per-die TSRO reference, ln-scale, calibration store.
+    let mut cals: [Option<Calibration>; LANES] = [None; LANES];
+    let mut outcomes: [Option<CalibrationOutcome>; LANES] = core::array::from_fn(|_| None);
+    for (k, (die, rng)) in dies.iter().zip(rngs.iter_mut()).enumerate() {
+        let Some((mut ledger, mut health)) = cal_state[k].take() else {
+            continue;
+        };
+        let boot = SensorInputs::new(die, site, boot_temp);
+        let (x, iters) = match statuses[k] {
+            LaneSolve::Converged(iters) => ([x4[0][k], x4[1][k], x4[2][k], x4[3][k]], iters),
+            LaneSolve::Failed => {
+                // Scalar escalation from the original measurements —
+                // reproduces the identical default-tuning failure, then
+                // retunes, exactly like the oracle.
+                let Scratch {
+                    newton, metrics, ..
+                } = &mut *scratch;
+                match solve::solve_calibration_escalating(
+                    sensor,
+                    &plan,
+                    &measured[k],
+                    &mut health,
+                    newton,
+                    metrics,
+                ) {
+                    Ok(solved) => solved,
+                    Err(e) => {
+                        fail(scratch, &mut res[k], e);
+                        continue;
+                    }
+                }
+            }
+            LaneSolve::Masked => unreachable!("dies 0..n occupy active lanes"),
+        };
+        sensor.charge_digital(
+            &mut ledger,
+            "solver",
+            iters as u64 * spec.solver_cycles_per_iteration,
+        );
+        let f_t = match gate::gate_channel_with(
+            sensor,
+            RoClass::Tsro,
+            spec.bank.vdd_tsro,
+            &boot,
+            rng,
+            &mut ledger,
+            &mut health,
+            scratch,
+        ) {
+            Ok(Some(f)) => f,
+            Ok(None) => {
+                fail(
+                    scratch,
+                    &mut res[k],
+                    SensorError::ChannelFailed {
+                        channel: RoClass::Tsro.name(),
+                    },
+                );
+                continue;
+            }
+            Err(e) => {
+                fail(scratch, &mut res[k], e);
+                continue;
+            }
+        };
+        let model_env = solve::model_env(x[0], x[1], x[2], x[3], spec.calib_temp);
+        let ln_f_t_model = sensor.model_ln_f(RoClass::Tsro, spec.bank.vdd_tsro, &model_env);
+        let ln_scale = f_t.0.ln() - ln_f_t_model;
+        sensor.charge_digital(&mut ledger, "controller", spec.controller_cycles * 2);
+        let calibration = Calibration::store(
+            Volt(x[0]),
+            Volt(x[1]),
+            x[2],
+            x[3],
+            ln_scale,
+            spec.calib_temp,
+            spec.qformat,
+        );
+        cals[k] = Some(calibration);
+        if let Some(m) = scratch.metrics.as_mut() {
+            m.on_calibration();
+            m.on_solver_iterations(iters);
+            m.on_health(health.status());
+            m.on_span(Stage::Calibration, cal_started.elapsed());
+        }
+        outcomes[k] = Some(CalibrationOutcome {
+            calibration,
+            energy: ledger,
+            solver_iterations: iters,
+            health,
+        });
+    }
+
+    // ---- Phase B: per-temperature conversions.
+    let mut readings: [Vec<Reading>; LANES] =
+        core::array::from_fn(|_| Vec::with_capacity(temps.len()));
+    let mut batch = LaneBatch::new();
+    let mut healths: [Health; LANES] = core::array::from_fn(|_| Health::nominal());
+    let mut solved_out: [Option<Result<Solved, SensorError>>; LANES] =
+        core::array::from_fn(|_| None);
+    for &t in temps {
+        // B1: gate every live die's three channels (scalar, per die).
+        let mut work: [Option<(Gated, EnergyLedger, Health, Instant)>; LANES] =
+            core::array::from_fn(|_| None);
+        batch.clear();
+        let mut lane_of = [usize::MAX; LANES];
+        let mut lane_die = [usize::MAX; LANES];
+        for (k, (die, rng)) in dies.iter().zip(rngs.iter_mut()).enumerate() {
+            if res[k].is_some() || cals[k].is_none() {
+                continue;
+            }
+            let conv_started = Instant::now();
+            let cal = cals[k].expect("checked above");
+            let registers = cal.parity_errors();
+            if registers != 0 {
+                fail(
+                    scratch,
+                    &mut res[k],
+                    SensorError::CalibrationCorrupted { registers },
+                );
+                continue;
+            }
+            let mut ledger = EnergyLedger::new();
+            let mut health = Health::nominal();
+            let inputs = SensorInputs::new(die, site, t);
+            let gate_started = Instant::now();
+            match gate::gate_conversion_with(
+                sensor,
+                &inputs,
+                rng,
+                &mut ledger,
+                &mut health,
+                scratch,
+            ) {
+                Ok(gated) => {
+                    if let Some(m) = scratch.metrics.as_mut() {
+                        m.on_span(Stage::Gate, gate_started.elapsed());
+                    }
+                    if LaneBatch::accepts(sensor, &gated) {
+                        let l = batch.push(&cal, &gated);
+                        lane_of[k] = l;
+                        lane_die[l] = k;
+                    }
+                    work[k] = Some((gated, ledger, health, conv_started));
+                }
+                Err(e) => fail(scratch, &mut res[k], e),
+            }
+        }
+
+        // B2: lane-parallel joint solve across the chunk (RNG-free).
+        let solve_started = Instant::now();
+        for (l, h) in healths.iter_mut().enumerate().take(batch.len()) {
+            *h = work[lane_die[l]]
+                .as_ref()
+                .map(|(_, _, h, _)| h.clone())
+                .expect("lane dies have gated work");
+            solved_out[l] = None;
+        }
+        solve_gated_lanes(sensor, &batch, &mut healths, scratch, &mut solved_out);
+        let solve_elapsed = solve_started.elapsed();
+
+        // B3: per-die solve pickup (scalar fallback for degraded sets),
+        // output bounding/quantization, metric tallies.
+        for k in 0..n {
+            let Some((gated, ledger, mut health, conv_started)) = work[k].take() else {
+                continue;
+            };
+            if res[k].is_some() {
+                continue;
+            }
+            let cal = cals[k].expect("live dies are calibrated");
+            let solved = if lane_of[k] != usize::MAX {
+                let l = lane_of[k];
+                health = healths[l].clone();
+                solved_out[l].take().expect("lane was solved")
+            } else {
+                // Degraded (lost-PSRO) set: the scalar ladder handles it,
+                // exactly as in the per-die pipeline.
+                let Scratch {
+                    newton, metrics, ..
+                } = &mut *scratch;
+                solve::solve_gated_with(sensor, &cal, &gated, &mut health, newton, metrics)
+            };
+            let solved = match solved {
+                Ok(s) => {
+                    if let Some(m) = scratch.metrics.as_mut() {
+                        m.on_span(Stage::Solve, solve_elapsed);
+                    }
+                    s
+                }
+                Err(e) => {
+                    fail(scratch, &mut res[k], e);
+                    continue;
+                }
+            };
+            let out_started = Instant::now();
+            match output::finalize(sensor, &cal, &gated, &solved, ledger, health) {
+                Ok(reading) => {
+                    if let Some(m) = scratch.metrics.as_mut() {
+                        m.on_span(Stage::Output, out_started.elapsed());
+                        m.on_conversion();
+                        m.on_energy_pj(reading.energy_total().0 * 1e12);
+                        m.on_health(reading.health.status());
+                        m.on_span(Stage::Conversion, conv_started.elapsed());
+                    }
+                    readings[k].push(reading);
+                }
+                Err(e) => fail(scratch, &mut res[k], e),
+            }
+        }
+    }
+
+    // ---- Collect per-die results in die order.
+    for k in 0..n {
+        let slot = match res[k].take() {
+            Some(r) => r,
+            None => Ok(DieConversion {
+                calibration: outcomes[k].take().expect("successful dies calibrated"),
+                readings: std::mem::take(&mut readings[k]),
+            }),
+        };
+        out.push(slot);
+    }
+}
+
+/// [`PtSensor::read_batch`]'s engine: read-path conversions chunked through
+/// the lane kernel.
+///
+/// Gating draws run in input order on the one caller stream — exactly the
+/// sequential read loop's order, since the solves that the scalar path
+/// interleaves between them are RNG-free — then each chunk's lane-eligible
+/// solves run jointly [`LANES`] wide, with degraded (lost-PSRO) sets
+/// falling back to the scalar escalation ladder. On success, both the
+/// returned readings and the RNG stream position are bit-identical to the
+/// sequential composition of [`crate::pipeline::run_conversion`] (the
+/// contract `crates/core/tests/batch_equivalence.rs` pins). On error the
+/// first failing conversion's error is returned, like the sequential loop;
+/// only the stream position past the failing input is unspecified (later
+/// inputs of the same chunk may already have gated).
+pub(crate) fn read_batch_lanes<R: Rng + ?Sized>(
+    sensor: &PtSensor,
+    inputs: &[SensorInputs<'_>],
+    rng: &mut R,
+) -> Result<Vec<Reading>, SensorError> {
+    let mut scratch = Scratch::new();
+    let mut readings = Vec::with_capacity(inputs.len());
+    for chunk in inputs.chunks(LANES) {
+        // The per-conversion preconditions of the scalar path, hoisted per
+        // chunk: `&self` guarantees calibration state cannot change
+        // between the chunk's conversions.
+        let cal = sensor.calibration.ok_or(SensorError::NotCalibrated)?;
+        let registers = cal.parity_errors();
+        if registers != 0 {
+            return Err(SensorError::CalibrationCorrupted { registers });
+        }
+        let mut batch = LaneBatch::new();
+        let mut lane_of = [usize::MAX; LANES];
+        let mut work: [Option<(Gated, EnergyLedger, Health)>; LANES] =
+            core::array::from_fn(|_| None);
+        for (k, inp) in chunk.iter().enumerate() {
+            let mut ledger = EnergyLedger::new();
+            let mut health = Health::nominal();
+            let gated = gate::gate_conversion_with(
+                sensor,
+                inp,
+                rng,
+                &mut ledger,
+                &mut health,
+                &mut scratch,
+            )?;
+            if LaneBatch::accepts(sensor, &gated) {
+                lane_of[k] = batch.push(&cal, &gated);
+            }
+            work[k] = Some((gated, ledger, health));
+        }
+        let mut healths: [Health; LANES] = core::array::from_fn(|_| Health::nominal());
+        let mut solved_out: [Option<Result<Solved, SensorError>>; LANES] =
+            core::array::from_fn(|_| None);
+        for k in 0..chunk.len() {
+            if lane_of[k] != usize::MAX {
+                healths[lane_of[k]] = work[k]
+                    .as_ref()
+                    .map(|(_, _, h)| h.clone())
+                    .expect("gated inputs have work");
+            }
+        }
+        solve_gated_lanes(sensor, &batch, &mut healths, &mut scratch, &mut solved_out);
+        for k in 0..chunk.len() {
+            let (gated, ledger, mut health) = work[k].take().expect("every chunk input gated");
+            let solved = if lane_of[k] != usize::MAX {
+                let l = lane_of[k];
+                health = healths[l].clone();
+                solved_out[l].take().expect("lane was solved")?
+            } else {
+                let Scratch {
+                    newton, metrics, ..
+                } = &mut scratch;
+                solve::solve_gated_with(sensor, &cal, &gated, &mut health, newton, metrics)?
+            };
+            readings.push(output::finalize(
+                sensor, &cal, &gated, &solved, ledger, health,
+            )?);
+        }
+    }
+    Ok(readings)
+}
+
+/// Lane-grouped conversion across *independently calibrated* sensor
+/// instances of one design — the fleet service's `batch_read` drain, where
+/// every die owns a sensor clone and an RNG stream. Element `k` converts
+/// `inputs[k]` on `sensors[k]` drawing from `rngs[k]`, and entry `k` of
+/// the result is exactly what `sensors[k].read(&inputs[k], rngs[k])` would
+/// have produced — bit-identical reading, same stream position — because
+/// gating draws touch only the die's own stream and the jointly-solved
+/// Newton stages are RNG-free. Failures are per-element: one die's error
+/// never disturbs a neighbor's conversion or stream, unlike
+/// [`PtSensor::read_batch`]'s fail-fast contract on a single sensor.
+///
+/// Every sensor must be a clone of one prototype (same technology and
+/// spec): the lane solver evaluates the shared ring/thermal model through
+/// one group member, and only the per-die calibrations and gated
+/// measurements vary per lane. Degraded (lost-PSRO) sets and
+/// characterized-model sensors fall back to the scalar ladder per element.
+///
+/// # Panics
+///
+/// Panics if the three slices disagree in length.
+pub fn read_group<R: Rng>(
+    sensors: &[&PtSensor],
+    inputs: &[SensorInputs<'_>],
+    rngs: &mut [&mut R],
+) -> Vec<Result<Reading, SensorError>> {
+    assert!(
+        sensors.len() == inputs.len() && inputs.len() == rngs.len(),
+        "group shape mismatch"
+    );
+    let mut scratch = Scratch::new();
+    let mut results = Vec::with_capacity(sensors.len());
+    let mut start = 0;
+    while start < sensors.len() {
+        let len = (sensors.len() - start).min(LANES);
+        let mut batch = LaneBatch::new();
+        let mut lane_of = [usize::MAX; LANES];
+        let mut lane_sensor: Option<&PtSensor> = None;
+        let mut work: [Option<(Calibration, Gated, EnergyLedger, Health)>; LANES] =
+            core::array::from_fn(|_| None);
+        let mut errs: [Option<SensorError>; LANES] = core::array::from_fn(|_| None);
+        for k in 0..len {
+            let sensor = sensors[start + k];
+            // The scalar read path's preconditions in its order: a missing
+            // or corrupted calibration fails before any gating draw.
+            let Some(cal) = sensor.calibration else {
+                errs[k] = Some(SensorError::NotCalibrated);
+                continue;
+            };
+            let registers = cal.parity_errors();
+            if registers != 0 {
+                errs[k] = Some(SensorError::CalibrationCorrupted { registers });
+                continue;
+            }
+            let mut ledger = EnergyLedger::new();
+            let mut health = Health::nominal();
+            match gate::gate_conversion_with(
+                sensor,
+                &inputs[start + k],
+                &mut *rngs[start + k],
+                &mut ledger,
+                &mut health,
+                &mut scratch,
+            ) {
+                Ok(gated) => {
+                    if LaneBatch::accepts(sensor, &gated) {
+                        lane_of[k] = batch.push(&cal, &gated);
+                        lane_sensor = Some(sensor);
+                    }
+                    work[k] = Some((cal, gated, ledger, health));
+                }
+                Err(e) => errs[k] = Some(e),
+            }
+        }
+        let mut healths: [Health; LANES] = core::array::from_fn(|_| Health::nominal());
+        let mut solved_out: [Option<Result<Solved, SensorError>>; LANES] =
+            core::array::from_fn(|_| None);
+        for k in 0..len {
+            if lane_of[k] != usize::MAX {
+                healths[lane_of[k]] = work[k]
+                    .as_ref()
+                    .map(|(_, _, _, h)| h.clone())
+                    .expect("lane members have gated work");
+            }
+        }
+        if let Some(shared) = lane_sensor {
+            solve_gated_lanes(shared, &batch, &mut healths, &mut scratch, &mut solved_out);
+        }
+        for k in 0..len {
+            if let Some(e) = errs[k].take() {
+                results.push(Err(e));
+                continue;
+            }
+            let (cal, gated, ledger, mut health) = work[k].take().expect("gated members have work");
+            let sensor = sensors[start + k];
+            let solved = if lane_of[k] != usize::MAX {
+                let l = lane_of[k];
+                health = healths[l].clone();
+                solved_out[l].take().expect("lane was solved")
+            } else {
+                let Scratch {
+                    newton, metrics, ..
+                } = &mut scratch;
+                solve::solve_gated_with(sensor, &cal, &gated, &mut health, newton, metrics)
+            };
+            results.push(
+                solved.and_then(|s| output::finalize(sensor, &cal, &gated, &s, ledger, health)),
+            );
+        }
+        start += len;
+    }
+    results
+}

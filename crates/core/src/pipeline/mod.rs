@@ -30,6 +30,7 @@ pub mod acquire;
 pub mod bands;
 pub mod batch;
 pub mod gate;
+pub mod lanes;
 pub mod output;
 pub mod solve;
 
@@ -37,6 +38,7 @@ pub use acquire::{Acquired, ReplicaMeasurement};
 pub use bands::{band_for, design_bands, Band};
 pub use batch::{BatchPlan, DieConversion};
 pub use gate::Gated;
+pub use lanes::{read_group, solve_gated_lanes, LaneBatch, LANES};
 pub use output::{CalibrationOutcome, Reading};
 pub use solve::Solved;
 

@@ -411,6 +411,20 @@ impl PtSensor {
         self.faults = FaultPlan::new();
     }
 
+    /// Resets *all* per-die state a reused worker sensor carries between
+    /// dies of a batch campaign: the injected fault plan **and** the stored
+    /// calibration. `clear_faults` alone was enough only by accident — the
+    /// scalar path happened to overwrite the stale calibration before
+    /// reading it, but the lane kernel never installs per-die calibrations
+    /// into the shared worker sensor at all, so a stale one must not
+    /// linger. Per-run metrics live in the worker's
+    /// [`Scratch`](crate::pipeline::Scratch), not the sensor, and are
+    /// intentionally preserved (they are merged after the run).
+    pub fn reset_for_reuse(&mut self) {
+        self.faults = FaultPlan::new();
+        self.calibration = None;
+    }
+
     /// The active fault plan (empty when healthy).
     #[must_use]
     pub fn faults(&self) -> &FaultPlan {
@@ -519,33 +533,28 @@ impl PtSensor {
         crate::pipeline::run_conversion(self, inputs, rng)
     }
 
-    /// Converts a batch of conditions in order with the calibrated sensor —
-    /// bit-identical to a hand-written [`PtSensor::read`] loop, but one
-    /// [`Scratch`](crate::pipeline::Scratch) workspace is reused across the
-    /// whole batch, so after the first conversion warms it up the analytic
-    /// hot path performs zero heap allocations per die. For whole-population
-    /// batches use [`BatchPlan`](crate::pipeline::BatchPlan), which also
-    /// amortizes construction.
+    /// Converts a batch of conditions with the calibrated sensor through
+    /// the struct-of-arrays lane kernel: conversions are gated in input
+    /// order, then solved jointly in [`LANES`](crate::pipeline::LANES)-wide
+    /// chunks whose Newton iterations run lane-parallel. On success this is
+    /// bit-identical to a hand-written [`PtSensor::read`] loop — same
+    /// readings, same RNG draws in the same order (the lane solves are
+    /// RNG-free and bit-identical to the scalar solver) — but substantially
+    /// faster for batches past a chunk, and allocation-free per conversion
+    /// once the shared workspace is warm. For whole-population batches use
+    /// [`BatchPlan`](crate::pipeline::BatchPlan), which also amortizes
+    /// construction and sampling.
     ///
     /// # Errors
     ///
-    /// Fails on the first failing conversion (see [`PtSensor::read`]).
+    /// Fails with the first failing conversion's error (see
+    /// [`PtSensor::read`]).
     pub fn read_batch<R: Rng + ?Sized>(
         &self,
         inputs: &[SensorInputs<'_>],
         rng: &mut R,
     ) -> Result<Vec<Reading>, SensorError> {
-        let mut scratch = crate::pipeline::Scratch::new();
-        let mut readings = Vec::with_capacity(inputs.len());
-        for i in inputs {
-            readings.push(crate::pipeline::run_conversion_with(
-                self,
-                i,
-                rng,
-                &mut scratch,
-            )?);
-        }
-        Ok(readings)
+        crate::pipeline::lanes::read_batch_lanes(self, inputs, rng)
     }
 }
 

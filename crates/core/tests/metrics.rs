@@ -145,3 +145,40 @@ fn merged_worker_metrics_match_the_sequential_run() {
     assert_eq!(sequential.counter("pipeline.conversions"), Some(24));
     assert_eq!(sequential.counter("pipeline.calibrations"), Some(12));
 }
+
+#[test]
+fn population_metrics_are_thread_invariant_under_the_lane_kernel() {
+    // Same invariant as above, but through the struct-of-arrays population
+    // path: run_population_with_metrics chunks dies LANES at a time, and
+    // the merged deterministic subset must not depend on how those chunks
+    // were scheduled across workers. 21 dies forces a masked tail chunk.
+    let tech = Technology::n65();
+    let model = VariationModel::new(&tech);
+    let plan = BatchPlan::new(tech, SensorSpec::default_65nm())
+        .unwrap()
+        .read_at(&[40.0, 85.0]);
+
+    let campaign = |threads: usize| {
+        let mut cfg = McConfig::new(21, 0xcafe);
+        cfg.threads = threads;
+        let (results, metrics) = plan.run_population_with_metrics(&cfg, &model);
+        let snap = metrics
+            .snapshot()
+            .filtered(|name| !name.starts_with("span."));
+        (results, snap)
+    };
+
+    let (seq_results, sequential) = campaign(1);
+    let (par_results, parallel) = campaign(4);
+    assert_eq!(seq_results, par_results);
+    assert_eq!(sequential, parallel);
+    assert_eq!(sequential.counter("pipeline.conversions"), Some(42));
+    assert_eq!(sequential.counter("pipeline.calibrations"), Some(21));
+
+    // Metering reads, never perturbs: the metered lane run is bit-identical
+    // to the unmetered one, which is itself gated against the scalar oracle.
+    let mut cfg = McConfig::new(21, 0xcafe);
+    cfg.threads = 4;
+    assert_eq!(seq_results, plan.run_population(&cfg, &model));
+    assert_eq!(seq_results, plan.run_population_scalar(&cfg, &model));
+}

@@ -7,7 +7,9 @@
 //! `#[global_allocator]` here observes every allocation the conversion
 //! makes without affecting any other test.
 
-use ptsim_core::pipeline::run_conversion_with;
+use ptsim_circuit::energy::EnergyLedger;
+use ptsim_core::health::Health;
+use ptsim_core::pipeline::{gate, run_conversion_with, solve_gated_lanes, LaneBatch, LANES};
 use ptsim_core::sensor::{PtSensor, SensorInputs, SensorSpec};
 use ptsim_core::Scratch;
 use ptsim_device::process::Technology;
@@ -156,4 +158,66 @@ fn warm_conversion_path_with_metrics_is_allocation_free() {
         let snap = scratch.metrics().expect("metrics attached").snapshot();
         assert_eq!(snap.counter("pipeline.conversions"), Some(33));
     }
+}
+
+#[test]
+fn warm_lane_kernel_is_allocation_free() {
+    // The SoA batch kernel carries all solver state in fixed-size stack
+    // arrays: once the shared scratch is warm, filling a LaneBatch and
+    // solving all eight lanes jointly must not touch the heap.
+    let die = DieSample::nominal();
+    let mut sensor = PtSensor::new(Technology::n65(), SensorSpec::default_65nm()).unwrap();
+    let mut rng = Pcg64::seed_from_u64(0xa110e);
+    let boot = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
+    sensor.calibrate(&boot, &mut rng).unwrap();
+    let cal = *sensor.calibration().expect("calibrated above");
+
+    // Gate eight conversions up front (gating draws RNG and may size
+    // buffers); the measured region is pure lane work.
+    let temps = [-10.0, 5.0, 20.0, 35.0, 50.0, 65.0, 80.0, 95.0];
+    let gateds: Vec<_> = temps
+        .iter()
+        .map(|&t| {
+            let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(t));
+            let mut ledger = EnergyLedger::new();
+            let mut health = Health::nominal();
+            gate::gate_conversion(&sensor, &inputs, &mut rng, &mut ledger, &mut health).unwrap()
+        })
+        .collect();
+
+    let mut batch = LaneBatch::new();
+    let mut scratch = Scratch::new();
+    let run = |batch: &mut LaneBatch, scratch: &mut Scratch| -> f64 {
+        batch.clear();
+        for gated in &gateds {
+            assert!(LaneBatch::accepts(&sensor, gated));
+            batch.push(&cal, gated);
+        }
+        let mut healths: [Health; LANES] = core::array::from_fn(|_| Health::nominal());
+        let mut out: [Option<_>; LANES] = core::array::from_fn(|_| None);
+        solve_gated_lanes(&sensor, batch, &mut healths, scratch, &mut out);
+        out.iter()
+            .flatten()
+            .map(|r| r.as_ref().unwrap().temperature)
+            .sum()
+    };
+
+    // Warm-up sizes the Newton scratch; the measured solves reuse it.
+    let warm = run(&mut batch, &mut scratch);
+    assert!(warm.is_finite());
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut checksum = 0.0;
+    for _ in 0..8 {
+        checksum += run(&mut batch, &mut scratch);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert!(checksum.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "warm lane solves allocated {} times",
+        after - before
+    );
 }

@@ -26,6 +26,14 @@ use crate::mosfet::softplus;
 use crate::process::Technology;
 use crate::units::{Ampere, Celsius, Farad, Seconds, Volt, Watt};
 
+/// Lane width of the struct-of-arrays batch kernel: every lane-parallel
+/// column is a fixed `[f64; LANES]` chunk, with a masked scalar tail for
+/// batches that do not fill the last chunk. Eight lanes keep each column in
+/// a single cache line and give the out-of-order core eight independent
+/// dependency chains to overlap (the transcendental calls of the device
+/// model are latency-bound when evaluated die-by-die).
+pub const LANES: usize = 8;
+
 /// Temperature-independent constants of one MOSFET.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct DeviceConsts {
@@ -228,6 +236,99 @@ impl DelayCache {
         Seconds(0.5 * (hl + lh))
     }
 
+    /// Lane-parallel [`DelayCache::thermal`]: one [`ThermalPoint`] per
+    /// active lane, each bit-identical to the scalar evaluation at that
+    /// lane's temperature. Inactive lanes keep a zero filler point — their
+    /// downstream consumers are masked off the same way, so the filler is
+    /// never read.
+    #[must_use]
+    pub fn thermal_lanes(
+        &self,
+        temps: &[f64; LANES],
+        active: &[bool; LANES],
+    ) -> [ThermalPoint; LANES] {
+        let mut out = [ThermalPoint {
+            vt_th: 0.0,
+            dt: 0.0,
+            mu_pow: 0.0,
+        }; LANES];
+        for l in 0..LANES {
+            if active[l] {
+                out[l] = self.thermal(Celsius(temps[l]));
+            }
+        }
+        out
+    }
+
+    /// Lane-parallel [`DelayCache::drain_factor`] (per-lane thermal points,
+    /// one shared supply). Inactive lanes are skipped; their `out` entries
+    /// keep whatever the caller left there.
+    #[inline]
+    pub fn drain_factor_lanes(
+        th: &[ThermalPoint; LANES],
+        vdd: Volt,
+        active: &[bool; LANES],
+        out: &mut [f64; LANES],
+    ) {
+        for l in 0..LANES {
+            if active[l] {
+                out[l] = Self::drain_factor(&th[l], vdd);
+            }
+        }
+    }
+
+    /// Lane-parallel [`DelayCache::nmos_current`]: evaluates every active
+    /// lane, each bit-identical to the scalar call with that lane's
+    /// operands. Inactive lanes are skipped entirely (their
+    /// transcendental-heavy device evaluation is the whole point of
+    /// masking) and keep their previous `out` values.
+    // Column-wise mirror of the scalar signature: every parameter is one
+    // SoA column, so bundling them would just invent a struct for one call.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn nmos_current_lanes(
+        &self,
+        th: &[ThermalPoint; LANES],
+        vdd: Volt,
+        d_vtn: &[f64; LANES],
+        mu_n: &[f64; LANES],
+        drain: &[f64; LANES],
+        active: &[bool; LANES],
+        out: &mut [f64; LANES],
+    ) {
+        for l in 0..LANES {
+            if active[l] {
+                out[l] = Self::current(
+                    &self.nmos, self.two_n, &th[l], vdd.0, d_vtn[l], mu_n[l], drain[l],
+                );
+            }
+        }
+    }
+
+    /// Lane-parallel [`DelayCache::pmos_current`].
+    // Column-wise mirror of the scalar signature: every parameter is one
+    // SoA column, so bundling them would just invent a struct for one call.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn pmos_current_lanes(
+        &self,
+        th: &[ThermalPoint; LANES],
+        vdd: Volt,
+        d_vtp: &[f64; LANES],
+        mu_p: &[f64; LANES],
+        drain: &[f64; LANES],
+        active: &[bool; LANES],
+        out: &mut [f64; LANES],
+    ) {
+        for l in 0..LANES {
+            if active[l] {
+                out[l] = Self::current(
+                    &self.pmos, self.two_n, &th[l], vdd.0, d_vtp[l], mu_p[l], drain[l],
+                );
+            }
+        }
+    }
+
     /// Bit-identical to [`Inverter::leakage_current`].
     #[must_use]
     pub fn leakage_current(&self, th: &ThermalPoint, vdd: Volt, env: &CmosEnv) -> Ampere {
@@ -325,5 +426,62 @@ mod tests {
         let (tech, inv, cache) = fixture(0.15, 2.4);
         assert_eq!(cache.input_cap(), inv.input_cap(&tech));
         assert_eq!(cache.output_cap(), inv.output_cap(&tech));
+    }
+
+    forall! {
+        #[test]
+        fn lane_kernels_match_scalar_per_lane(
+            t0 in -55.0f64..150.0,
+            spread in 0.0f64..40.0,
+            dn in -0.06f64..0.06,
+            dp in -0.06f64..0.06,
+            mu in 0.8f64..1.25,
+            vdd in 0.35f64..1.1,
+        ) {
+            let (_, _, cache) = fixture(0.2, 2.0);
+            let mut temps = [0.0; LANES];
+            let mut dns = [0.0; LANES];
+            let mut dps = [0.0; LANES];
+            let mut mus = [0.0; LANES];
+            for l in 0..LANES {
+                let f = l as f64 / LANES as f64;
+                temps[l] = t0 + spread * f;
+                dns[l] = dn * (1.0 - f);
+                dps[l] = dp * (1.0 - f);
+                mus[l] = mu + 0.01 * f;
+            }
+            // One inactive lane: its outputs must stay at the filler values
+            // while every active lane matches the scalar path bit for bit.
+            let mut mask = [true; LANES];
+            mask[5] = false;
+            let th = cache.thermal_lanes(&temps, &mask);
+            let mut drains = [0.0; LANES];
+            DelayCache::drain_factor_lanes(&th, Volt(vdd), &mask, &mut drains);
+            let mut ion_n = [0.0; LANES];
+            let mut ion_p = [0.0; LANES];
+            cache.nmos_current_lanes(&th, Volt(vdd), &dns, &mus, &drains, &mask, &mut ion_n);
+            cache.pmos_current_lanes(&th, Volt(vdd), &dps, &mus, &drains, &mask, &mut ion_p);
+            assert_eq!(th[5].vt_th, 0.0);
+            assert_eq!(drains[5], 0.0);
+            assert_eq!(ion_n[5], 0.0);
+            assert_eq!(ion_p[5], 0.0);
+            for l in 0..LANES {
+                if l == 5 {
+                    continue;
+                }
+                let th_s = cache.thermal(Celsius(temps[l]));
+                assert_eq!(th[l], th_s);
+                let d = DelayCache::drain_factor(&th_s, Volt(vdd));
+                assert_eq!(drains[l].to_bits(), d.to_bits());
+                assert_eq!(
+                    ion_n[l].to_bits(),
+                    cache.nmos_current(&th_s, Volt(vdd), dns[l], mus[l], d).to_bits(),
+                );
+                assert_eq!(
+                    ion_p[l].to_bits(),
+                    cache.pmos_current(&th_s, Volt(vdd), dps[l], mus[l], d).to_bits(),
+                );
+            }
+        }
     }
 }

@@ -78,6 +78,15 @@ pub fn die_rng(base: u64, index: u64) -> Pcg64 {
     Pcg64::seed_from_u64(mix_seed(base, index))
 }
 
+/// Deterministic root seed of die `index`'s counter-based within-die field
+/// draws (the sparse batch-sampling discipline; see
+/// `ptsim_mc::model::DieSampler::sample_die_sparse`). Salted so it is
+/// decorrelated from the same die's [`die_rng`] stream.
+#[must_use]
+pub fn die_field_seed(base: u64, index: u64) -> u64 {
+    mix_seed(base ^ 0xa02f_7c57_115e_6f1d, index)
+}
+
 /// Runs `f(die_index, rng)` for every die, in parallel, and returns results
 /// in die order.
 ///
@@ -167,6 +176,145 @@ where
     let mut out = recover(results.into_inner());
     out.sort_by_key(|(i, _)| *i);
     out.into_iter().map(|(_, t)| t).collect()
+}
+
+/// [`run_parallel_with`] over fixed-size *chunks* of consecutive dies: the
+/// closure receives `(ctx, start_die, len, out)` and must push exactly
+/// `len` results for dies `start_die .. start_die + len`, in die order,
+/// deriving each die's stream itself via [`die_rng`]`(cfg.base_seed, i)`.
+///
+/// Work is distributed by *chunk index*, so the partition of dies into
+/// chunks — and therefore anything chunk-shaped the closure computes, like
+/// a lane-parallel solve across the chunk — is **identical for every
+/// `threads` setting**: determinism holds chunk-wise, not just die-wise.
+/// The final chunk is short when `n_dies` is not a multiple of `chunk`.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero or the closure pushes a wrong result count.
+pub fn run_parallel_chunked_with<C, T, FI, F>(
+    cfg: &McConfig,
+    chunk: usize,
+    init: FI,
+    f: F,
+) -> Vec<T>
+where
+    C: Send,
+    T: Send,
+    FI: Fn() -> C + Sync,
+    F: Fn(&mut C, u64, usize, &mut Vec<T>) + Sync,
+{
+    run_parallel_chunked_metered(cfg, chunk, init, f).0
+}
+
+/// [`run_parallel_chunked_with`] plus per-worker execution reports (see
+/// [`run_parallel_metered`]) — `dies` counts dies, not chunks.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero or the closure pushes a wrong result count.
+pub fn run_parallel_chunked_metered<C, T, FI, F>(
+    cfg: &McConfig,
+    chunk: usize,
+    init: FI,
+    f: F,
+) -> (Vec<T>, Vec<WorkerReport<C>>)
+where
+    C: Send,
+    T: Send,
+    FI: Fn() -> C + Sync,
+    F: Fn(&mut C, u64, usize, &mut Vec<T>) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    if cfg.n_dies == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let n = cfg.n_dies as u64;
+    let chunk_u = chunk as u64;
+    let n_chunks = cfg.n_dies.div_ceil(chunk);
+    let threads = cfg.effective_threads().max(1).min(n_chunks);
+    // Runs the chunks handed out by `take` on one worker, pushing
+    // `(start_die, results)` pairs into `local`.
+    let run_chunks =
+        |ctx: &mut C, local: &mut Vec<(u64, Vec<T>)>, take: &dyn Fn() -> u64, dies: &mut u64| {
+            let mut buf: Vec<T> = Vec::with_capacity(chunk);
+            loop {
+                let c = take();
+                if c >= n_chunks as u64 {
+                    break;
+                }
+                let start = c * chunk_u;
+                let len = chunk_u.min(n - start) as usize;
+                buf.clear();
+                f(ctx, start, len, &mut buf);
+                assert_eq!(buf.len(), len, "chunk closure must push one result per die");
+                *dies += len as u64;
+                local.push((
+                    start,
+                    std::mem::replace(&mut buf, Vec::with_capacity(chunk)),
+                ));
+            }
+        };
+
+    if threads == 1 {
+        let start_t = Instant::now();
+        let mut ctx = init();
+        let mut local: Vec<(u64, Vec<T>)> = Vec::with_capacity(n_chunks);
+        let mut dies = 0u64;
+        let cursor = std::cell::Cell::new(0u64);
+        run_chunks(
+            &mut ctx,
+            &mut local,
+            &|| {
+                let c = cursor.get();
+                cursor.set(c + 1);
+                c
+            },
+            &mut dies,
+        );
+        let report = WorkerReport {
+            ctx,
+            dies,
+            busy: start_t.elapsed(),
+        };
+        let mut out = Vec::with_capacity(cfg.n_dies);
+        for (_, mut chunk_results) in local {
+            out.append(&mut chunk_results);
+        }
+        return (out, vec![report]);
+    }
+
+    let next = AtomicU64::new(0);
+    let results: Mutex<Vec<(u64, Vec<T>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    let reports: Mutex<Vec<WorkerReport<C>>> = Mutex::new(Vec::with_capacity(threads));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let start_t = Instant::now();
+                let mut ctx = init();
+                let mut local: Vec<(u64, Vec<T>)> = Vec::new();
+                let mut dies = 0u64;
+                run_chunks(
+                    &mut ctx,
+                    &mut local,
+                    &|| next.fetch_add(1, Ordering::Relaxed),
+                    &mut dies,
+                );
+                let busy = start_t.elapsed();
+                recover(results.lock()).extend(local);
+                recover(reports.lock()).push(WorkerReport { ctx, dies, busy });
+            });
+        }
+    });
+
+    let mut merged = recover(results.into_inner());
+    merged.sort_by_key(|(start, _)| *start);
+    let mut out = Vec::with_capacity(cfg.n_dies);
+    for (_, mut chunk_results) in merged {
+        out.append(&mut chunk_results);
+    }
+    let reports = recover(reports.into_inner());
+    (out, reports)
 }
 
 /// Per-worker execution report returned by [`run_parallel_metered`]: the

@@ -3,10 +3,10 @@
 
 use crate::die::DieSample;
 use crate::gaussian::{normal, truncated_normal};
-use crate::spatial::{SpatialConfig, SpatialStencil};
+use crate::spatial::{FieldMask, SpatialConfig, SpatialStencil};
 use ptsim_device::process::{ProcessCorner, Technology};
 use ptsim_device::units::Volt;
-use ptsim_rng::Rng;
+use ptsim_rng::{Rng, SplitMix64};
 
 /// Statistical model of process variation for one technology.
 ///
@@ -110,6 +110,13 @@ impl VariationModel {
     }
 }
 
+/// Per-polarity salts for the counter-based field streams: both within-die
+/// fields of a die share one `field_seed` root, so each polarity xors in a
+/// distinct constant before the avalanche finalizer to get an independent
+/// stream.
+const VTN_FIELD_SALT: u64 = 0xd1b5_4a32_d192_ed03;
+const VTP_FIELD_SALT: u64 = 0x8cb9_2ba7_2f3d_8dd7;
+
 /// Reusable die-drawing state snapshotted from a [`VariationModel`]: the
 /// die-to-die parameters plus the two within-die [`SpatialStencil`]s, built
 /// once and reused for every die of a population (the Monte-Carlo hot path).
@@ -135,6 +142,80 @@ impl DieSampler {
 
     /// Draws one die, tagging it with `die_id` for traceability.
     pub fn sample_die_with_id<R: Rng + ?Sized>(&mut self, rng: &mut R, die_id: u64) -> DieSample {
+        self.sample_die_inner(rng, die_id)
+    }
+
+    /// Draws one die with **sparse, counter-based** within-die fields: only
+    /// the cells the masks mark as read are realized; every other cell is
+    /// never drawn and stores `0.0` (see
+    /// [`SpatialStencil::generate_sparse`]).
+    ///
+    /// This is the batch-population sampling discipline, split over two
+    /// documented streams:
+    ///
+    /// * the **main stream** `rng` carries exactly the die-to-die draws, in
+    ///   [`DieSampler::sample_die_with_id`]'s order (shared, zn, zp, μn,
+    ///   μp), and is left positioned right after them — the caller keeps
+    ///   using it for the die's measurement-gating draws;
+    /// * the **field streams**, rooted at `field_seed` (salted per
+    ///   polarity), make every field cell a pure function of
+    ///   `(field_seed, field, cell)` — unread cells cost nothing, and read
+    ///   cells are invariant under mask changes, sampling order, and
+    ///   chunking.
+    ///
+    /// The die-to-die parameters are bit-identical to
+    /// [`DieSampler::sample_die_with_id`] from the same `rng` state; the
+    /// within-die fields are an equally-distributed but numerically
+    /// different population (the sequential sampler draws them from the
+    /// main stream instead).
+    pub fn sample_die_sparse<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        field_seed: u64,
+        die_id: u64,
+        vtn_mask: &FieldMask,
+        vtp_mask: &FieldMask,
+    ) -> DieSample {
+        let k = self.d2d_truncation;
+        let s = self.sigma_vt_d2d.0;
+        let rho = self.nvt_pvt_correlation;
+        let shared = truncated_normal(rng, 0.0, 1.0, k);
+        let zn = truncated_normal(rng, 0.0, 1.0, k);
+        let zp = truncated_normal(rng, 0.0, 1.0, k);
+        let d_vtn = s * (rho.sqrt() * shared + (1.0 - rho).sqrt() * zn);
+        let d_vtp = s * (rho.sqrt() * shared + (1.0 - rho).sqrt() * zp);
+        let mu_n = (1.0 + normal(rng, 0.0, self.sigma_mu_d2d)).max(0.5);
+        let mu_p = (1.0 + normal(rng, 0.0, self.sigma_mu_d2d)).max(0.5);
+        let vtn_wid = self
+            .vtn_stencil
+            .generate_sparse(SplitMix64::finalize(field_seed ^ VTN_FIELD_SALT), vtn_mask);
+        let vtp_wid = self
+            .vtp_stencil
+            .generate_sparse(SplitMix64::finalize(field_seed ^ VTP_FIELD_SALT), vtp_mask);
+        DieSample {
+            die_id,
+            d_vtn_d2d: Volt(d_vtn),
+            d_vtp_d2d: Volt(d_vtp),
+            mu_n_d2d: mu_n,
+            mu_p_d2d: mu_p,
+            vtn_wid,
+            vtp_wid,
+        }
+    }
+
+    /// Masks for both within-die fields covering bilinear reads at the given
+    /// normalized die coordinates.
+    #[must_use]
+    pub fn field_masks(&self, points: &[(f64, f64)]) -> (FieldMask, FieldMask) {
+        let (nnx, nny) = self.vtn_stencil.resolution();
+        let (pnx, pny) = self.vtp_stencil.resolution();
+        (
+            FieldMask::for_reads(nnx, nny, points),
+            FieldMask::for_reads(pnx, pny, points),
+        )
+    }
+
+    fn sample_die_inner<R: Rng + ?Sized>(&mut self, rng: &mut R, die_id: u64) -> DieSample {
         let k = self.d2d_truncation;
         let s = self.sigma_vt_d2d.0;
         // Correlated bivariate normal for (ΔVtn, ΔVtp): shared + independent.
@@ -148,14 +229,16 @@ impl DieSampler {
         let mu_n = (1.0 + normal(rng, 0.0, self.sigma_mu_d2d)).max(0.5);
         let mu_p = (1.0 + normal(rng, 0.0, self.sigma_mu_d2d)).max(0.5);
 
+        let vtn_wid = self.vtn_stencil.generate(rng);
+        let vtp_wid = self.vtp_stencil.generate(rng);
         DieSample {
             die_id,
             d_vtn_d2d: Volt(d_vtn),
             d_vtp_d2d: Volt(d_vtp),
             mu_n_d2d: mu_n,
             mu_p_d2d: mu_p,
-            vtn_wid: self.vtn_stencil.generate(rng),
-            vtp_wid: self.vtp_stencil.generate(rng),
+            vtn_wid,
+            vtp_wid,
         }
     }
 }
@@ -249,6 +332,81 @@ mod tests {
         let a = m.corner_die(ProcessCorner::FF, &tech);
         let b = m.corner_die(ProcessCorner::FF, &tech);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sparse_sampling_reuses_the_scalar_d2d_draw_order() {
+        // The main stream carries exactly the die-to-die draws: the sparse
+        // sampler's d2d parameters are bit-identical to full sampling from
+        // the same stream state, and the stream afterwards sits right
+        // after them (field draws never touch it).
+        let m = model();
+        let sites = [(0.496, 0.5), (0.504, 0.5), (0.5, 0.504)];
+        let mut full = m.sampler();
+        let mut sparse = m.sampler();
+        let (vtn_mask, vtp_mask) = sparse.field_masks(&sites);
+        for i in 0..16u64 {
+            let mut rng_a = Pcg64::seed_from_u64(99 + i);
+            let mut rng_b = Pcg64::seed_from_u64(99 + i);
+            let a = full.sample_die_with_id(&mut rng_a, i);
+            let b = sparse.sample_die_sparse(&mut rng_b, 7 * i, i, &vtn_mask, &vtp_mask);
+            assert_eq!(a.d_vtn_d2d, b.d_vtn_d2d);
+            assert_eq!(a.d_vtp_d2d, b.d_vtp_d2d);
+            assert_eq!(a.mu_n_d2d.to_bits(), b.mu_n_d2d.to_bits());
+            assert_eq!(a.mu_p_d2d.to_bits(), b.mu_p_d2d.to_bits());
+        }
+    }
+
+    #[test]
+    fn sparse_sampling_is_mask_invariant_and_deterministic() {
+        let m = model();
+        let shared_sites = [(0.496, 0.5), (0.504, 0.5)];
+        let mut narrow = m.sampler();
+        let mut wide = m.sampler();
+        let (vtn_narrow, vtp_narrow) = narrow.field_masks(&shared_sites);
+        let mut wide_pts = shared_sites.to_vec();
+        wide_pts.push((0.1, 0.9));
+        let (vtn_wide, vtp_wide) = wide.field_masks(&wide_pts);
+        for i in 0..8u64 {
+            let mut rng_a = Pcg64::seed_from_u64(7 + i);
+            let mut rng_b = Pcg64::seed_from_u64(7 + i);
+            let a = narrow.sample_die_sparse(&mut rng_a, 1000 + i, i, &vtn_narrow, &vtp_narrow);
+            let b = wide.sample_die_sparse(&mut rng_b, 1000 + i, i, &vtn_wide, &vtp_wide);
+            for &(x, y) in &shared_sites {
+                assert_eq!(
+                    a.vtn_wid.at(x, y).to_bits(),
+                    b.vtn_wid.at(x, y).to_bits(),
+                    "vtn field value depends on the mask at ({x}, {y})"
+                );
+                assert_eq!(a.vtp_wid.at(x, y).to_bits(), b.vtp_wid.at(x, y).to_bits());
+            }
+            // Residual main streams agree: neither mask touched them.
+            assert_eq!(rng_a.next(), rng_b.next());
+        }
+    }
+
+    #[test]
+    fn sparse_field_streams_leave_the_main_stream_alone() {
+        let m = model();
+        let mut sampler = m.sampler();
+        let (vtn_mask, vtp_mask) = sampler.field_masks(&[(0.5, 0.5)]);
+        let mut rng = Pcg64::seed_from_u64(42);
+        let die = sampler.sample_die_sparse(&mut rng, 3, 0, &vtn_mask, &vtp_mask);
+        // Replay just the d2d draws by hand; the streams must line up.
+        let mut replay = Pcg64::seed_from_u64(42);
+        let k = m.d2d_truncation;
+        for _ in 0..3 {
+            let _ = crate::gaussian::truncated_normal(&mut replay, 0.0, 1.0, k);
+        }
+        for _ in 0..2 {
+            let _ = crate::gaussian::normal(&mut replay, 0.0, m.sigma_mu_d2d);
+        }
+        assert_eq!(rng.next(), replay.next());
+        // And the two polarities drew independent (distinct) fields.
+        assert_ne!(
+            die.vtn_wid.at(0.5, 0.5).to_bits(),
+            die.vtp_wid.at(0.5, 0.5).to_bits()
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! mixed so the total variance equals `sigma²`.
 
 use crate::gaussian::standard_normal;
-use ptsim_rng::Rng;
+use ptsim_rng::{Rng, SplitMix64};
 
 /// Configuration of a within-die variation field.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -124,6 +124,80 @@ impl SpatialField {
     }
 }
 
+/// The set of fine-grid cells a workload will actually read from a
+/// [`SpatialField`], built from the normalized coordinates it samples
+/// through [`SpatialField::at`]. Each read point marks the (up to) four
+/// grid nodes its bilinear interpolation touches, using the same
+/// clamp/floor index math as the interpolator itself.
+///
+/// [`SpatialStencil::generate_sparse`] realizes only the marked cells;
+/// see there for the counter-based sampling contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldMask {
+    nx: usize,
+    ny: usize,
+    needed: Vec<bool>,
+}
+
+impl FieldMask {
+    /// An empty mask (no cell needed) over an `nx × ny` fine grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-sized grid.
+    #[must_use]
+    pub fn new(nx: usize, ny: usize) -> Self {
+        assert!(nx >= 1 && ny >= 1, "grid must be at least 1x1");
+        FieldMask {
+            nx,
+            ny,
+            needed: vec![false; nx * ny],
+        }
+    }
+
+    /// A mask covering bilinear reads at the given normalized points.
+    #[must_use]
+    pub fn for_reads(nx: usize, ny: usize, points: &[(f64, f64)]) -> Self {
+        let mut mask = FieldMask::new(nx, ny);
+        for &(x, y) in points {
+            mask.mark_read(x, y);
+        }
+        mask
+    }
+
+    /// Marks the grid nodes a bilinear sample at `(x, y)` reads.
+    pub fn mark_read(&mut self, x: f64, y: f64) {
+        let (nx, ny) = (self.nx, self.ny);
+        if nx == 1 && ny == 1 {
+            self.needed[0] = true;
+            return;
+        }
+        let x = x.clamp(0.0, 1.0);
+        let y = y.clamp(0.0, 1.0);
+        let gx = x * (nx - 1).max(1) as f64;
+        let gy = y * (ny - 1).max(1) as f64;
+        let x0 = (gx.floor() as usize).min(nx - 1);
+        let y0 = (gy.floor() as usize).min(ny - 1);
+        let x1 = (x0 + 1).min(nx - 1);
+        let y1 = (y0 + 1).min(ny - 1);
+        for (ix, iy) in [(x0, y0), (x1, y0), (x0, y1), (x1, y1)] {
+            self.needed[iy * nx + ix] = true;
+        }
+    }
+
+    /// Grid resolution `(nx, ny)`.
+    #[must_use]
+    pub fn resolution(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Number of cells marked as needed.
+    #[must_use]
+    pub fn needed_cells(&self) -> usize {
+        self.needed.iter().filter(|&&b| b).count()
+    }
+}
+
 /// Precomputed interpolation geometry of one fine-grid cell: the coarse
 /// nodes it reads, their effective (edge-folded) bilinear weights, and the
 /// unit-variance renormalization divisor — everything in
@@ -234,6 +308,23 @@ pub struct SpatialStencil {
     cells: Vec<CellStencil>,
     /// Reused coarse-grid realization buffer (drawn afresh per die).
     coarse: Vec<f64>,
+    /// Reused sparse-path scratch: which coarse nodes any masked cell reads.
+    coarse_needed: Vec<bool>,
+}
+
+/// One draw of the counter-based field sampler: standard normal number
+/// `draw` of the stream rooted at `field_seed`, computed on a throwaway
+/// [`SplitMix64`] generator seeded by an avalanche mix of the pair. The
+/// value is a pure function of `(field_seed, draw)` — no shared stream, no
+/// ordering constraints — which is what lets [`SpatialStencil::generate_sparse`]
+/// skip unread draws entirely instead of replaying them. A dedicated
+/// generator per draw absorbs the variable word count of the polar
+/// sampler's rejection loop.
+fn field_normal(field_seed: u64, draw: u64) -> f64 {
+    let mut rng = SplitMix64::new(SplitMix64::finalize(
+        field_seed ^ draw.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    ));
+    standard_normal(&mut rng)
 }
 
 impl SpatialStencil {
@@ -274,6 +365,7 @@ impl SpatialStencil {
             w_local: (1.0 - cfg.correlated_fraction).sqrt(),
             cells,
             coarse: Vec::new(),
+            coarse_needed: Vec::new(),
         }
     }
 
@@ -296,6 +388,79 @@ impl SpatialStencil {
             ny: self.ny,
             values,
         }
+    }
+
+    /// [`SpatialStencil::generate`] restricted to the cells a [`FieldMask`]
+    /// marks as read — the sparse form the batch conversion hot path uses,
+    /// where only the few cells under the sensor bank sites are ever
+    /// sampled.
+    ///
+    /// Unlike [`SpatialStencil::generate`], which draws the whole field
+    /// from one sequential RNG stream, the sparse generator is
+    /// **counter-based**: every coarse node and every fine cell owns draw
+    /// index `k` of the stream rooted at `field_seed`, and its value is a
+    /// pure function of `(field_seed, k)` (coarse node `k` uses index `k`;
+    /// fine cell `c` uses index `n_coarse + c`). Draws nobody reads are
+    /// therefore *never made* — unmarked cells store `0.0` and cost
+    /// nothing, and coarse nodes outside every marked cell's bilinear
+    /// support are skipped too. The marked values are independent of the
+    /// mask: any two masks that both mark a cell realize it bit-identically
+    /// from the same `field_seed`, so sparse populations are deterministic
+    /// in `(field_seed)` alone, with no stream-position coupling between
+    /// cells or dies.
+    ///
+    /// The field statistics match [`SpatialStencil::generate`] exactly in
+    /// distribution (same two-layer construction, i.i.d. standard-normal
+    /// coarse and local draws), but a given seed realizes *different*
+    /// numbers than the sequential path — the two samplers define separate,
+    /// individually-documented populations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask resolution differs from the stencil's.
+    pub fn generate_sparse(&mut self, field_seed: u64, mask: &FieldMask) -> SpatialField {
+        assert_eq!(
+            (mask.nx, mask.ny),
+            (self.nx, self.ny),
+            "mask/stencil resolution mismatch"
+        );
+        self.coarse_needed.clear();
+        self.coarse_needed.resize(self.n_coarse, false);
+        for (cell, &needed) in self.cells.iter().zip(&mask.needed) {
+            if needed {
+                for &i in &cell.idxs[..cell.len as usize] {
+                    self.coarse_needed[i as usize] = true;
+                }
+            }
+        }
+        self.coarse.clear();
+        self.coarse.resize(self.n_coarse, 0.0);
+        for k in 0..self.n_coarse {
+            if self.coarse_needed[k] {
+                self.coarse[k] = field_normal(field_seed, k as u64);
+            }
+        }
+        let mut values = Vec::with_capacity(self.nx * self.ny);
+        for (c_idx, (cell, &needed)) in self.cells.iter().zip(&mask.needed).enumerate() {
+            if needed {
+                let c = cell.apply(&self.coarse);
+                let l = field_normal(field_seed, (self.n_coarse + c_idx) as u64);
+                values.push(self.sigma * (self.w_corr * c + self.w_local * l));
+            } else {
+                values.push(0.0);
+            }
+        }
+        SpatialField {
+            nx: self.nx,
+            ny: self.ny,
+            values,
+        }
+    }
+
+    /// Fine-grid resolution `(nx, ny)` the stencil generates.
+    #[must_use]
+    pub fn resolution(&self) -> (usize, usize) {
+        (self.nx, self.ny)
     }
 }
 
@@ -482,6 +647,124 @@ mod tests {
                 assert_eq!(rng_a.next(), rng_b.next());
             }
         }
+    }
+
+    ptsim_rng::forall! {
+        #![cases = 24]
+        #[test]
+        fn sparse_generate_is_mask_invariant_at_shared_points(
+            seed in 0u64..1_000_000,
+            nx in 1usize..20,
+            ny in 1usize..20,
+            corr_frac in 0.0f64..1.0,
+            px in -0.2f64..1.2,
+            py in -0.2f64..1.2,
+        ) {
+            let cfg = SpatialConfig {
+                nx,
+                ny,
+                sigma: 1.3,
+                correlation_length: 0.4,
+                correlated_fraction: corr_frac,
+            };
+            let shared = [(px, py), (0.5, 0.5)];
+            let narrow = FieldMask::for_reads(nx, ny, &shared);
+            let mut wide_pts = shared.to_vec();
+            wide_pts.extend([(0.0, 1.0), (1.0, 0.0), (0.2, 0.8)]);
+            let wide = FieldMask::for_reads(nx, ny, &wide_pts);
+            let mut stencil = SpatialStencil::new(&cfg);
+            // Counter-based draws: a cell's value depends only on
+            // (field_seed, cell), never on which other cells a mask marks.
+            let a = stencil.generate_sparse(seed, &narrow);
+            let b = stencil.generate_sparse(seed, &wide);
+            for &(x, y) in &shared {
+                assert_eq!(a.at(x, y).to_bits(), b.at(x, y).to_bits());
+            }
+            // And the generator is deterministic in the seed alone.
+            let c = stencil.generate_sparse(seed, &narrow);
+            assert_eq!(a, c);
+        }
+    }
+
+    #[test]
+    fn sparse_generate_zeroes_unread_cells() {
+        let cfg = SpatialConfig::vt_default(1.0);
+        let mask = FieldMask::for_reads(cfg.nx, cfg.ny, &[(0.5, 0.5)]);
+        assert_eq!(mask.needed_cells(), 4, "one interior read touches 4 nodes");
+        let mut stencil = SpatialStencil::new(&cfg);
+        let sparse = stencil.generate_sparse(3, &mask);
+        let zeroes = (0..cfg.ny)
+            .flat_map(|iy| (0..cfg.nx).map(move |ix| (ix, iy)))
+            .filter(|&(ix, iy)| sparse.cell(ix, iy) == 0.0)
+            .count();
+        assert_eq!(zeroes, cfg.nx * cfg.ny - 4);
+    }
+
+    #[test]
+    fn sparse_generate_has_the_configured_moments() {
+        // The counter-based sampler must realize the same two-layer
+        // statistics as the sequential one: unit-normal coarse + local
+        // layers mixed to total variance sigma² at every read point.
+        let cfg = SpatialConfig {
+            nx: 16,
+            ny: 16,
+            sigma: 2.0,
+            correlation_length: 0.3,
+            correlated_fraction: 0.5,
+        };
+        // Read an exact fine-grid node: bilinear interpolation *between*
+        // fine cells shrinks variance for the sequential sampler too, so
+        // the sigma contract is stated on cell values.
+        let point = (5.0 / 15.0, 9.0 / 15.0);
+        let mask = FieldMask::for_reads(cfg.nx, cfg.ny, &[point]);
+        let mut stencil = SpatialStencil::new(&cfg);
+        let mut stats = OnlineStats::new();
+        for seed in 0..4000u64 {
+            let f = stencil.generate_sparse(seed, &mask);
+            stats.push(f.cell(5, 9));
+        }
+        assert!(stats.mean().abs() < 0.1, "mean {}", stats.mean());
+        assert!(
+            (stats.std_dev() - 2.0).abs() < 0.15,
+            "sd {}",
+            stats.std_dev()
+        );
+    }
+
+    #[test]
+    fn sparse_neighbours_more_correlated_than_far_cells() {
+        let cfg = SpatialConfig {
+            nx: 32,
+            ny: 32,
+            sigma: 1.0,
+            correlation_length: 0.5,
+            correlated_fraction: 0.9,
+        };
+        let pts = [(0.0, 0.0), (1.0 / 31.0, 0.0), (1.0, 1.0)];
+        let mask = FieldMask::for_reads(cfg.nx, cfg.ny, &pts);
+        let mut stencil = SpatialStencil::new(&cfg);
+        let (mut near, mut far) = (0.0, 0.0);
+        let n = 400;
+        for seed in 0..n {
+            let f = stencil.generate_sparse(seed, &mask);
+            near += f.cell(0, 0) * f.cell(1, 0);
+            far += f.cell(0, 0) * f.cell(31, 31);
+        }
+        near /= f64::from(n as u32);
+        far /= f64::from(n as u32);
+        assert!(
+            near > far + 0.1,
+            "near correlation {near} should exceed far {far}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution mismatch")]
+    fn sparse_generate_rejects_wrong_resolution() {
+        let cfg = SpatialConfig::vt_default(1.0);
+        let mut stencil = SpatialStencil::new(&cfg);
+        let mask = FieldMask::new(2, 2);
+        let _ = stencil.generate_sparse(0, &mask);
     }
 
     #[test]

@@ -164,6 +164,12 @@ impl Fleet {
                 deadline_ms,
                 ..
             } => (*die, *priority, *deadline_ms),
+            Request::BatchRead {
+                die0,
+                priority,
+                deadline_ms,
+                ..
+            } => (*die0, *priority, *deadline_ms),
             Request::Calibrate { die, deadline_ms } => (*die, 2, *deadline_ms),
             // Chaos injections must land even under overload: top priority.
             Request::Inject { die, .. } => (*die, u8::MAX, DEFAULT_DEADLINE_MS),
@@ -178,6 +184,24 @@ impl Fleet {
                 Rejection::BadRequest,
                 format!("die {die} outside fleet of {}", self.cfg.n_dies),
             );
+        }
+        if let Request::BatchRead { die0, count, .. } = &req {
+            // The stripe `die0, die0+S, …` must stay inside the fleet; the
+            // parser bounds `count` but a directly-constructed request may
+            // still run off the end (or overflow).
+            let last = count
+                .checked_sub(1)
+                .and_then(|c| c.checked_mul(self.cfg.n_shards))
+                .and_then(|offset| die0.checked_add(offset));
+            if last.is_none_or(|last| last >= self.cfg.n_dies) {
+                return Response::rejected(
+                    Rejection::BadRequest,
+                    format!(
+                        "batch of {count} dies striding from die {die0} leaves the fleet of {}",
+                        self.cfg.n_dies
+                    ),
+                );
+            }
         }
         let shard = &self.shards[(die % self.cfg.n_shards) as usize];
         let state = recover(shard.status.lock()).state;

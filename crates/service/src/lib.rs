@@ -39,8 +39,8 @@ pub mod shard;
 pub use client::{Client, ClientError};
 pub use fleet::{Fleet, FleetConfig};
 pub use protocol::{
-    FrameError, HealthWire, InjectKind, ProtoError, Quality, Rejection, Request, Response,
-    MAX_FRAME,
+    BatchItem, FrameError, HealthWire, InjectKind, ProtoError, Quality, Rejection, Request,
+    Response, MAX_BATCH, MAX_FRAME,
 };
 pub use server::{Server, ServerConfig};
 pub use shard::{ShardState, SvcMetrics};

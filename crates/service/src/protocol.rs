@@ -38,6 +38,11 @@ pub const TEMP_BOUNDS: (f64, f64) = (-100.0, 400.0);
 /// Largest `pad` a ping may request, bytes.
 pub const MAX_PAD: u64 = 32 * 1024;
 
+/// Largest `count` a `batch_read` may request. Sized so a full batch of
+/// reading items (≲190 bytes each on the wire) always fits one
+/// [`MAX_FRAME`] response frame.
+pub const MAX_BATCH: u64 = 256;
+
 /// One request frame, already bounds-checked.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -50,6 +55,25 @@ pub enum Request {
         /// Shedding priority, `0..=MAX_PRIORITY` (higher survives longer).
         priority: u8,
         /// Deadline budget, ms.
+        deadline_ms: u64,
+    },
+    /// Convert a stripe of dies on one shard in a single frame: the
+    /// targets are `die0, die0+S, die0+2S, …` where `S` is the fleet's
+    /// shard count — i.e. the `count` lowest-indexed dies ≥ `die0` owned
+    /// by `die0`'s shard. The shard drains the whole stripe through the
+    /// lane-parallel solve kernel and answers with one item per die, in
+    /// die order; a failing die yields a per-item rejection, never a
+    /// failed batch.
+    BatchRead {
+        /// First die of the stripe (also selects the shard).
+        die0: u64,
+        /// Stripe length, `1..=MAX_BATCH`.
+        count: u64,
+        /// True junction temperature every die simulates, °C.
+        temp_c: f64,
+        /// Shedding priority, `0..=MAX_PRIORITY`.
+        priority: u8,
+        /// Deadline budget for the whole batch, ms.
         deadline_ms: u64,
     },
     /// Re-run the boot-time self-calibration on `die`.
@@ -215,6 +239,36 @@ pub struct HealthWire {
     pub uptime_ms: u64,
 }
 
+/// One die's outcome inside a [`Response::Batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchItem {
+    /// The die converted (same fields as [`Response::Reading`]).
+    Reading {
+        /// Die that converted.
+        die: u64,
+        /// Sensor-reported temperature, °C.
+        temp_c: f64,
+        /// Tracked NMOS threshold shift, mV.
+        d_vtn_mv: f64,
+        /// Tracked PMOS threshold shift, mV.
+        d_vtp_mv: f64,
+        /// Conversion energy, pJ.
+        energy_pj: f64,
+        /// Quality flag.
+        quality: Quality,
+    },
+    /// The die's conversion was refused; the rest of the batch still
+    /// serves.
+    Rejected {
+        /// Die that failed.
+        die: u64,
+        /// Why.
+        rejection: Rejection,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
 /// One response frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -233,6 +287,11 @@ pub enum Response {
         energy_pj: f64,
         /// Quality flag.
         quality: Quality,
+    },
+    /// A served `batch_read`: one item per stripe die, in die order.
+    Batch {
+        /// Per-die outcomes.
+        items: Vec<BatchItem>,
     },
     /// A completed recalibration.
     Calibrated {
@@ -375,6 +434,39 @@ impl Request {
                     deadline_ms,
                 })
             }
+            "batch_read" => {
+                let die0 = field_u64(&v, "die0")?;
+                let count = field_u64(&v, "count")?;
+                if count == 0 || count > MAX_BATCH {
+                    return Err(ProtoError::OutOfBounds {
+                        field: "count",
+                        bound: format!("{count} outside 1..={MAX_BATCH}"),
+                    });
+                }
+                if die0.checked_add(count).is_none() {
+                    return Err(ProtoError::OutOfBounds {
+                        field: "die0",
+                        bound: format!("{die0} + {count} overflows the die index space"),
+                    });
+                }
+                let temp_c = field_f64(&v, "temp_c")?;
+                if !(TEMP_BOUNDS.0..=TEMP_BOUNDS.1).contains(&temp_c) {
+                    return Err(ProtoError::OutOfBounds {
+                        field: "temp_c",
+                        bound: format!("{temp_c} outside {:?}", TEMP_BOUNDS),
+                    });
+                }
+                let priority = bounded_u64(&v, "priority", 1, u64::from(MAX_PRIORITY))? as u8;
+                let deadline_ms =
+                    bounded_u64(&v, "deadline_ms", DEFAULT_DEADLINE_MS, MAX_DEADLINE_MS)?;
+                Ok(Request::BatchRead {
+                    die0,
+                    count,
+                    temp_c,
+                    priority,
+                    deadline_ms,
+                })
+            }
             "calibrate" => Ok(Request::Calibrate {
                 die: field_u64(&v, "die")?,
                 deadline_ms: bounded_u64(&v, "deadline_ms", DEFAULT_DEADLINE_MS, MAX_DEADLINE_MS)?,
@@ -415,6 +507,20 @@ impl Request {
             } => obj(vec![
                 ("op", Value::Str("read".into())),
                 ("die", Value::Num(*die as f64)),
+                ("temp_c", Value::Num(*temp_c)),
+                ("priority", Value::Num(f64::from(*priority))),
+                ("deadline_ms", Value::Num(*deadline_ms as f64)),
+            ]),
+            Request::BatchRead {
+                die0,
+                count,
+                temp_c,
+                priority,
+                deadline_ms,
+            } => obj(vec![
+                ("op", Value::Str("batch_read".into())),
+                ("die0", Value::Num(*die0 as f64)),
+                ("count", Value::Num(*count as f64)),
                 ("temp_c", Value::Num(*temp_c)),
                 ("priority", Value::Num(f64::from(*priority))),
                 ("deadline_ms", Value::Num(*deadline_ms as f64)),
@@ -467,6 +573,46 @@ impl Response {
                 ("d_vtp_mv", Value::Num(*d_vtp_mv)),
                 ("energy_pj", Value::Num(*energy_pj)),
                 ("quality", Value::Str(quality.name().into())),
+            ]),
+            Response::Batch { items } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", Value::Str("batch_read".into())),
+                (
+                    "items",
+                    Value::Arr(
+                        items
+                            .iter()
+                            .map(|item| match item {
+                                BatchItem::Reading {
+                                    die,
+                                    temp_c,
+                                    d_vtn_mv,
+                                    d_vtp_mv,
+                                    energy_pj,
+                                    quality,
+                                } => obj(vec![
+                                    ("die", Value::Num(*die as f64)),
+                                    ("ok", Value::Bool(true)),
+                                    ("temp_c", Value::Num(*temp_c)),
+                                    ("d_vtn_mv", Value::Num(*d_vtn_mv)),
+                                    ("d_vtp_mv", Value::Num(*d_vtp_mv)),
+                                    ("energy_pj", Value::Num(*energy_pj)),
+                                    ("quality", Value::Str(quality.name().into())),
+                                ]),
+                                BatchItem::Rejected {
+                                    die,
+                                    rejection,
+                                    detail,
+                                } => obj(vec![
+                                    ("die", Value::Num(*die as f64)),
+                                    ("ok", Value::Bool(false)),
+                                    ("error", Value::Str(rejection.name().into())),
+                                    ("detail", Value::Str(detail.clone())),
+                                ]),
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
             Response::Calibrated { die, quality } => obj(vec![
                 ("ok", Value::Bool(true)),
@@ -569,6 +715,50 @@ impl Response {
                     .and_then(Quality::from_name)
                     .ok_or(ProtoError::BadField("quality"))?,
             }),
+            "batch_read" => {
+                let items = v
+                    .get("items")
+                    .and_then(Value::as_arr)
+                    .ok_or(ProtoError::BadField("items"))?
+                    .iter()
+                    .map(|item| {
+                        let die = field_u64(item, "die")?;
+                        let served = item
+                            .get("ok")
+                            .and_then(Value::as_bool)
+                            .ok_or(ProtoError::BadField("items"))?;
+                        if served {
+                            Ok(BatchItem::Reading {
+                                die,
+                                temp_c: field_f64(item, "temp_c")?,
+                                d_vtn_mv: field_f64(item, "d_vtn_mv")?,
+                                d_vtp_mv: field_f64(item, "d_vtp_mv")?,
+                                energy_pj: field_f64(item, "energy_pj")?,
+                                quality: item
+                                    .get("quality")
+                                    .and_then(Value::as_str)
+                                    .and_then(Quality::from_name)
+                                    .ok_or(ProtoError::BadField("quality"))?,
+                            })
+                        } else {
+                            Ok(BatchItem::Rejected {
+                                die,
+                                rejection: item
+                                    .get("error")
+                                    .and_then(Value::as_str)
+                                    .and_then(Rejection::from_name)
+                                    .ok_or(ProtoError::BadField("error"))?,
+                                detail: item
+                                    .get("detail")
+                                    .and_then(Value::as_str)
+                                    .unwrap_or_default()
+                                    .to_string(),
+                            })
+                        }
+                    })
+                    .collect::<Result<Vec<_>, ProtoError>>()?;
+                Ok(Response::Batch { items })
+            }
             "calibrate" => Ok(Response::Calibrated {
                 die: field_u64(&v, "die")?,
                 quality: v
@@ -835,6 +1025,93 @@ mod tests {
         ] {
             assert!(Request::from_json_bytes(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn batch_read_bounds_are_enforced() {
+        let ok = Request::from_json_bytes(
+            br#"{"op":"batch_read","die0":2,"count":16,"temp_c":85.0,"priority":2,"deadline_ms":100}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            ok,
+            Request::BatchRead {
+                die0: 2,
+                count: 16,
+                temp_c: 85.0,
+                priority: 2,
+                deadline_ms: 100
+            }
+        );
+        // Defaults apply when optional fields are absent.
+        let defaulted =
+            Request::from_json_bytes(br#"{"op":"batch_read","die0":0,"count":1,"temp_c":25}"#)
+                .unwrap();
+        assert_eq!(
+            defaulted,
+            Request::BatchRead {
+                die0: 0,
+                count: 1,
+                temp_c: 25.0,
+                priority: 1,
+                deadline_ms: DEFAULT_DEADLINE_MS
+            }
+        );
+        for bad in [
+            &br#"{"op":"batch_read","die0":0,"count":0,"temp_c":25}"#[..],
+            br#"{"op":"batch_read","die0":0,"count":257,"temp_c":25}"#,
+            br#"{"op":"batch_read","die0":18446744073709551615,"count":2,"temp_c":25}"#,
+            br#"{"op":"batch_read","die0":0,"count":4,"temp_c":1000.0}"#,
+            br#"{"op":"batch_read","die0":0,"count":4,"temp_c":25,"priority":9}"#,
+            br#"{"op":"batch_read","die0":0,"temp_c":25}"#,
+            br#"{"op":"batch_read","count":4,"temp_c":25}"#,
+            br#"{"op":"batch_read","die0":0,"count":4}"#,
+        ] {
+            assert!(Request::from_json_bytes(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn batch_response_round_trips_mixed_items() {
+        let resp = Response::Batch {
+            items: vec![
+                BatchItem::Reading {
+                    die: 3,
+                    temp_c: 61.25,
+                    d_vtn_mv: -4.5,
+                    d_vtp_mv: 2.0,
+                    energy_pj: 123.0,
+                    quality: Quality::Nominal,
+                },
+                BatchItem::Rejected {
+                    die: 7,
+                    rejection: Rejection::ConversionFailed,
+                    detail: "channel failed".to_string(),
+                },
+            ],
+        };
+        let parsed = Response::from_json_bytes(resp.to_json().as_bytes()).unwrap();
+        assert_eq!(parsed, resp);
+    }
+
+    #[test]
+    fn full_batch_response_fits_one_frame() {
+        // MAX_BATCH is sized so the largest possible batch response still
+        // frames: fill every item with worst-case-width numbers.
+        let items = (0..MAX_BATCH)
+            .map(|die| BatchItem::Reading {
+                die: u64::MAX - die,
+                temp_c: -99.123_456_789_012_345,
+                d_vtn_mv: -123.456_789_012_345_67,
+                d_vtp_mv: -123.456_789_012_345_67,
+                energy_pj: 123_456.789_012_345_67,
+                quality: Quality::Recovered,
+            })
+            .collect();
+        let payload = Response::Batch { items }.to_json();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload.as_bytes())
+            .expect("a full batch response must fit MAX_FRAME");
     }
 
     #[test]

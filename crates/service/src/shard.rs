@@ -13,7 +13,8 @@
 //! degraded across a crash, or the chaos campaign could never observe
 //! "recovered but still degraded" serving.
 
-use crate::protocol::{InjectKind, Quality, Rejection, Request, Response};
+use crate::protocol::{BatchItem, InjectKind, Quality, Rejection, Request, Response};
+use ptsim_core::pipeline::read_group;
 use ptsim_core::{HealthStatus, PtSensor, SensorInputs, SensorSpec};
 use ptsim_device::process::Technology;
 use ptsim_device::units::Celsius;
@@ -408,6 +409,8 @@ fn serve(shared: &ShardShared, worker: &mut WorkerCtx, job: Job) {
         Request::Read { die, .. }
         | Request::Calibrate { die, .. }
         | Request::Inject { die, .. } => die,
+        // A batch takes its one-shot chaos flags from its anchor die.
+        Request::BatchRead { die0, .. } => die0,
         // Ping carries no die; Health/Shutdown are answered by the fleet
         // front-end and never queued.
         _ => 0,
@@ -494,6 +497,12 @@ fn serve(shared: &ShardShared, worker: &mut WorkerCtx, job: Job) {
                 }
             }
         }
+        Request::BatchRead {
+            die0,
+            count,
+            temp_c,
+            ..
+        } => serve_batch(shared, worker, die0, count, temp_c, flags, job.enqueued),
         Request::Calibrate { die, .. } => {
             // Recalibration rebuilds the slot from scratch (fresh sample of
             // the same deterministic die, fresh calibration).
@@ -547,6 +556,159 @@ fn serve(shared: &ShardShared, worker: &mut WorkerCtx, job: Job) {
     // A failed send means the client already gave up (typed timeout);
     // never an error here.
     let _ = job.reply.send(response);
+}
+
+/// The stripe a `batch_read` anchored at `die0` addresses: the `count`
+/// lowest-indexed dies ≥ `die0` owned by `die0`'s shard (stride =
+/// `n_shards`, so their local indices are consecutive). `None` when the
+/// request is empty or runs off the fleet — the fleet validates this
+/// before queueing, but a worker never trusts a job it did not admit.
+fn stripe(cfg: &ShardConfig, die0: u64, count: u64) -> Option<Vec<u64>> {
+    if count == 0 {
+        return None;
+    }
+    let mut dies = Vec::with_capacity(count as usize);
+    for k in 0..count {
+        let die = k
+            .checked_mul(cfg.n_shards)
+            .and_then(|offset| die0.checked_add(offset))?;
+        if die >= cfg.n_dies {
+            return None;
+        }
+        dies.push(die);
+    }
+    Some(dies)
+}
+
+/// Drains one `batch_read` stripe through the lane-grouped read path:
+/// every requested die's slot is built (or reused) lazily, then the whole
+/// stripe converts via [`read_group`] — per-die gating draws stay on each
+/// die's own deterministic stream while the RNG-free Newton solves run up
+/// to `LANES` wide across the stripe. Every item is therefore
+/// bit-identical to the plain `read` the die would have served at the same
+/// point in its stream, and a failing die yields a per-item rejection,
+/// never a failed batch. An escaped panic rebuilds the whole stripe's
+/// slots from the deterministic seeds, exactly like the single-read path
+/// rebuilds its one slot.
+fn serve_batch(
+    shared: &ShardShared,
+    worker: &mut WorkerCtx,
+    die0: u64,
+    count: u64,
+    temp_c: f64,
+    flags: DieFlags,
+    enqueued: Instant,
+) -> Response {
+    let cfg = &shared.cfg;
+    let Some(dies) = stripe(cfg, die0, count) else {
+        shared.count(|m| m.rej_bad_request);
+        return Response::rejected(
+            Rejection::BadRequest,
+            format!("batch of {count} dies striding from die {die0} leaves this shard"),
+        );
+    };
+    // Persistent degrade flags are honored per die; the one-shot chaos
+    // flags (stall, panics) were taken from the anchor die by the caller
+    // and cover the batch as a whole.
+    let degraded: Vec<bool> = {
+        let all = recover(shared.flags.lock());
+        dies.iter()
+            .map(|&d| all[cfg.local_index(d)].degraded)
+            .collect()
+    };
+    let base_local = cfg.local_index(die0);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        assert!(
+            !flags.panic_conversion,
+            "injected conversion panic (die {die0})"
+        );
+        let mut build_errs: Vec<Option<String>> = vec![None; dies.len()];
+        for (j, &die) in dies.iter().enumerate() {
+            if let Err(e) = worker.slot(cfg, die, degraded[j]) {
+                build_errs[j] = Some(e.to_string());
+            }
+        }
+        let mut sensors: Vec<&PtSensor> = Vec::with_capacity(dies.len());
+        let mut inputs: Vec<SensorInputs<'_>> = Vec::with_capacity(dies.len());
+        let mut rngs: Vec<&mut Pcg64> = Vec::with_capacity(dies.len());
+        for (j, slot) in worker.slots[base_local..base_local + dies.len()]
+            .iter_mut()
+            .enumerate()
+        {
+            if build_errs[j].is_some() {
+                continue;
+            }
+            let DieSlot {
+                sensor, die, rng, ..
+            } = slot.as_mut().expect("slot built above");
+            sensors.push(&*sensor);
+            inputs.push(SensorInputs::new(&*die, DieSite::CENTER, Celsius(temp_c)));
+            rngs.push(rng);
+        }
+        let mut results = read_group(&sensors, &inputs, &mut rngs).into_iter();
+        dies.iter()
+            .zip(&mut build_errs)
+            .map(|(&die, build_err)| match build_err.take() {
+                Some(detail) => BatchItem::Rejected {
+                    die,
+                    rejection: Rejection::ConversionFailed,
+                    detail,
+                },
+                None => match results.next().expect("one result per grouped die") {
+                    Ok(reading) => BatchItem::Reading {
+                        die,
+                        temp_c: reading.temperature.0,
+                        d_vtn_mv: reading.d_vtn.millivolts(),
+                        d_vtp_mv: reading.d_vtp.millivolts(),
+                        energy_pj: reading.energy.total().picojoules(),
+                        quality: quality_of(reading.health.status()),
+                    },
+                    Err(e) => BatchItem::Rejected {
+                        die,
+                        rejection: Rejection::ConversionFailed,
+                        detail: e.to_string(),
+                    },
+                },
+            })
+            .collect::<Vec<_>>()
+    }));
+    match outcome {
+        Err(_) => {
+            // The panic may have left any touched slot mid-update: rebuild
+            // the whole stripe from the deterministic seeds on next touch.
+            for slot in &mut worker.slots[base_local..base_local + dies.len()] {
+                *slot = None;
+            }
+            shared.count(|m| m.rej_worker_panicked);
+            Response::rejected(
+                Rejection::WorkerPanicked,
+                format!("batch drain anchored at die {die0} panicked; stripe state rebuilt"),
+            )
+        }
+        Ok(items) => {
+            let mut m = recover(shared.metrics.lock());
+            for item in &items {
+                match item {
+                    BatchItem::Reading { quality, .. } => {
+                        let id = m.served;
+                        m.reg.inc(id);
+                        if *quality == Quality::Degraded {
+                            let id = m.degraded_served;
+                            m.reg.inc(id);
+                        }
+                    }
+                    BatchItem::Rejected { .. } => {
+                        let id = m.rej_conversion_failed;
+                        m.reg.inc(id);
+                    }
+                }
+            }
+            let lat = m.latency_us;
+            m.reg.observe(lat, enqueued.elapsed().as_secs_f64() * 1e6);
+            drop(m);
+            Response::Batch { items }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -6,8 +6,9 @@
 use ptsim_rng::check::{vec_in, Strategy};
 use ptsim_rng::forall;
 use ptsim_service::protocol::{
-    read_frame, write_frame, FrameError, InjectKind, Quality, Rejection, Request, Response,
-    DEFAULT_DEADLINE_MS, MAX_DEADLINE_MS, MAX_FRAME, MAX_PAD, MAX_PRIORITY, TEMP_BOUNDS,
+    read_frame, write_frame, BatchItem, FrameError, InjectKind, Quality, Rejection, Request,
+    Response, DEFAULT_DEADLINE_MS, MAX_BATCH, MAX_DEADLINE_MS, MAX_FRAME, MAX_PAD, MAX_PRIORITY,
+    TEMP_BOUNDS,
 };
 use std::io::Cursor;
 
@@ -22,7 +23,7 @@ forall! {
         temp in TEMP_BOUNDS.0..TEMP_BOUNDS.1,
         priority in 0u32..4,
         deadline in 1u64..MAX_DEADLINE_MS,
-        pick in 0u32..6
+        pick in 0u32..7
     ) {
         let req = match pick {
             0 => Request::Read { die, temp_c: temp, priority: priority as u8, deadline_ms: deadline },
@@ -30,6 +31,13 @@ forall! {
             2 => Request::Health,
             3 => Request::Ping { pad: deadline.min(MAX_PAD) },
             4 => Request::Inject { die, kind: InjectKind::StallMs(deadline) },
+            5 => Request::BatchRead {
+                die0: die,
+                count: 1 + die % MAX_BATCH,
+                temp_c: temp,
+                priority: priority as u8,
+                deadline_ms: deadline,
+            },
             _ => Request::Shutdown,
         };
         let back = Request::from_json_bytes(req.to_json().as_bytes()).unwrap();
@@ -42,7 +50,7 @@ forall! {
         temp in -50.0f64..150.0,
         mv in -80.0f64..80.0,
         pj in 0.0f64..1e6,
-        pick in 0u32..6,
+        pick in 0u32..7,
         q in 0u32..3
     ) {
         let quality = [Quality::Nominal, Quality::Recovered, Quality::Degraded][q as usize];
@@ -60,6 +68,23 @@ forall! {
             2 => Response::Pong { pad: "x".repeat((die % 64) as usize) },
             3 => Response::Injected { die },
             4 => Response::rejected(rejection, format!("detail {die}")),
+            5 => Response::Batch {
+                items: vec![
+                    BatchItem::Reading {
+                        die,
+                        temp_c: temp,
+                        d_vtn_mv: mv,
+                        d_vtp_mv: -mv,
+                        energy_pj: pj,
+                        quality,
+                    },
+                    BatchItem::Rejected {
+                        die: die + 1,
+                        rejection,
+                        detail: format!("item detail {die}"),
+                    },
+                ],
+            },
             _ => Response::ShuttingDown,
         };
         let back = Response::from_json_bytes(resp.to_json().as_bytes()).unwrap();
@@ -105,9 +130,50 @@ forall! {
     #[test]
     fn garbage_payloads_never_panic_the_request_parser(garbage in bytes(0..256)) {
         // Typed error or a fully bounds-checked request; never a panic.
-        if let Ok(Request::Read { temp_c, priority, deadline_ms, .. }) =
-            Request::from_json_bytes(&garbage)
+        match Request::from_json_bytes(&garbage) {
+            Ok(Request::Read { temp_c, priority, deadline_ms, .. }) => {
+                assert!((TEMP_BOUNDS.0..=TEMP_BOUNDS.1).contains(&temp_c));
+                assert!(priority <= MAX_PRIORITY);
+                assert!(deadline_ms <= MAX_DEADLINE_MS);
+            }
+            Ok(Request::BatchRead { die0, count, temp_c, priority, deadline_ms }) => {
+                assert!((1..=MAX_BATCH).contains(&count));
+                assert!(die0.checked_add(count).is_some());
+                assert!((TEMP_BOUNDS.0..=TEMP_BOUNDS.1).contains(&temp_c));
+                assert!(priority <= MAX_PRIORITY);
+                assert!(deadline_ms <= MAX_DEADLINE_MS);
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn mutated_valid_batch_requests_keep_bounds(
+        die0 in 0u64..64,
+        count in 1u64..MAX_BATCH + 1,
+        temp in TEMP_BOUNDS.0..TEMP_BOUNDS.1,
+        flip_at_frac in 0.0f64..1.0,
+        flip_to in 0u32..256
+    ) {
+        // Single-byte corruption of a well-formed batch_read: either still
+        // a valid in-bounds request, or a typed error — never a panic, and
+        // never an out-of-bounds batch admitted.
+        let mut payload = Request::BatchRead {
+            die0,
+            count,
+            temp_c: temp,
+            priority: 1,
+            deadline_ms: DEFAULT_DEADLINE_MS,
+        }
+        .to_json()
+        .into_bytes();
+        let at = (payload.len() as f64 * flip_at_frac) as usize % payload.len();
+        payload[at] = flip_to as u8;
+        if let Ok(Request::BatchRead { die0, count, temp_c, priority, deadline_ms }) =
+            Request::from_json_bytes(&payload)
         {
+            assert!((1..=MAX_BATCH).contains(&count));
+            assert!(die0.checked_add(count).is_some());
             assert!((TEMP_BOUNDS.0..=TEMP_BOUNDS.1).contains(&temp_c));
             assert!(priority <= MAX_PRIORITY);
             assert!(deadline_ms <= MAX_DEADLINE_MS);

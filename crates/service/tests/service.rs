@@ -3,7 +3,9 @@
 //! connection-hardening paths (malformed frames, oversize prefixes, slow
 //! clients, idle reaping).
 
-use ptsim_service::protocol::{write_frame, InjectKind, Quality, Rejection, Request, Response};
+use ptsim_service::protocol::{
+    write_frame, BatchItem, InjectKind, Quality, Rejection, Request, Response,
+};
 use ptsim_service::{Client, Fleet, FleetConfig, Server, ServerConfig};
 use std::io::Write;
 use std::net::TcpStream;
@@ -249,6 +251,149 @@ fn slow_client_is_dropped_not_wedged() {
     ));
     server.stop();
     server.join();
+}
+
+fn batch(die0: u64, count: u64) -> Request {
+    Request::BatchRead {
+        die0,
+        count,
+        temp_c: 75.0,
+        priority: 1,
+        deadline_ms: 30_000,
+    }
+}
+
+#[test]
+fn batch_read_matches_individual_reads_bit_for_bit() {
+    // Fleet A serves one batch over die 1's stripe (dies 1,3,5,7 on the
+    // 2-shard fleet); an identically-seeded fleet B serves the same dies
+    // through plain reads. The lane-grouped drain must be invisible: same
+    // per-die values to the last bit, because each die's deterministic
+    // stream sees exactly the draws the scalar read path makes.
+    let fleet_a = Fleet::start(test_fleet_cfg());
+    let resp = fleet_a.submit(batch(1, 4));
+    fleet_a.shutdown();
+    let Response::Batch { items } = resp else {
+        panic!("expected batch, got {resp:?}");
+    };
+    assert_eq!(items.len(), 4);
+
+    let fleet_b = Fleet::start(test_fleet_cfg());
+    for (k, item) in items.iter().enumerate() {
+        let expected_die = 1 + 2 * k as u64;
+        let single = fleet_b.submit(read(expected_die));
+        let Response::Reading {
+            die,
+            temp_c,
+            d_vtn_mv,
+            d_vtp_mv,
+            energy_pj,
+            quality,
+        } = single
+        else {
+            panic!("expected reading, got {single:?}");
+        };
+        assert_eq!(die, expected_die);
+        assert_eq!(
+            *item,
+            BatchItem::Reading {
+                die,
+                temp_c,
+                d_vtn_mv,
+                d_vtp_mv,
+                energy_pj,
+                quality
+            },
+            "batch item {k} must be bit-identical to the plain read"
+        );
+    }
+    fleet_b.shutdown();
+}
+
+#[test]
+fn batch_read_serves_over_tcp_with_per_item_quality() {
+    let (server, addr) = start_server(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+    // Degrade one die of the stripe; the batch must keep serving every
+    // die, flagging only the degraded one.
+    let _ = client
+        .call(&Request::Inject {
+            die: 3,
+            kind: InjectKind::DegradeDie,
+        })
+        .unwrap();
+    let r = client.call(&batch(1, 4)).unwrap();
+    let Response::Batch { items } = r else {
+        panic!("expected batch, got {r:?}");
+    };
+    assert_eq!(items.len(), 4);
+    for item in &items {
+        let BatchItem::Reading {
+            die,
+            temp_c,
+            quality,
+            ..
+        } = item
+        else {
+            panic!("every stripe die must serve, got {item:?}");
+        };
+        let expected = if *die == 3 {
+            Quality::Degraded
+        } else {
+            Quality::Nominal
+        };
+        assert_eq!(*quality, expected, "die {die}");
+        assert!((temp_c - 75.0).abs() < 5.0, "die {die} temp off: {temp_c}");
+    }
+
+    // A stripe that runs off the 8-die fleet is a typed bad_request.
+    let bad = client.call(&batch(1, 5)).unwrap();
+    assert!(
+        matches!(
+            bad,
+            Response::Rejected {
+                rejection: Rejection::BadRequest,
+                ..
+            }
+        ),
+        "got {bad:?}"
+    );
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn batch_read_panic_is_isolated_and_stripe_rebuilds() {
+    let fleet = Fleet::start(test_fleet_cfg());
+    let before = fleet.submit(batch(0, 4));
+    let Response::Batch { items: first } = before else {
+        panic!("expected batch, got {before:?}");
+    };
+
+    let _ = fleet.submit(Request::Inject {
+        die: 0,
+        kind: InjectKind::PanicConversion,
+    });
+    let tripped = fleet.submit(batch(0, 4));
+    assert!(
+        matches!(
+            tripped,
+            Response::Rejected {
+                rejection: Rejection::WorkerPanicked,
+                ..
+            }
+        ),
+        "got {tripped:?}"
+    );
+
+    // The stripe rebuilds from the deterministic seeds: the next batch is
+    // a first touch again and must reproduce the first batch exactly.
+    let rebuilt = fleet.submit(batch(0, 4));
+    let Response::Batch { items: again } = rebuilt else {
+        panic!("expected batch, got {rebuilt:?}");
+    };
+    assert_eq!(again, first, "rebuilt stripe must serve identical values");
+    fleet.shutdown();
 }
 
 #[test]

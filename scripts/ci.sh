@@ -86,13 +86,19 @@ assert c["ok"] and c["op"] == "calibrate", c
 h = call(s, json.dumps({"op": "health"}).encode())
 assert h["ok"] and {sh["state"] for sh in h["shards"]} == {"up"}, h
 assert h["counters"]["svc.served"] >= 2, h
+b = call(s, json.dumps({"op": "batch_read", "die0": 1, "count": 3, "temp_c": 70.0}).encode())
+assert b["ok"] and b["op"] == "batch_read" and len(b["items"]) == 3, b
+assert [it["die"] for it in b["items"]] == [1, 3, 5], b
+assert all(it["ok"] and abs(it["temp_c"] - 70.0) < 2.0 for it in b["items"]), b
+overrun = call(s, json.dumps({"op": "batch_read", "die0": 1, "count": 5, "temp_c": 70.0}).encode())
+assert not overrun["ok"] and overrun["error"] == "bad_request", overrun
 bad = call(s, b"definitely not json")
 assert not bad["ok"] and bad["error"] == "bad_request", bad
 oob = call(s, json.dumps({"op": "read", "die": 3, "temp_c": 9999}).encode())
 assert not oob["ok"] and oob["error"] == "bad_request", oob
 bye = call(s, json.dumps({"op": "shutdown"}).encode())
 assert bye["ok"] and bye["op"] == "shutdown", bye
-print("service smoke: read/calibrate/health/malformed/typed-rejection/shutdown OK")
+print("service smoke: read/calibrate/batch/health/malformed/typed-rejection/shutdown OK")
 EOF
 wait "$FLEETD_PID"
 
@@ -110,7 +116,8 @@ for obj in lines[1:]:
     assert obj["samples"] > 0 and obj["p50_us"] > 0, obj
     assert obj["p99_us"] >= obj["p50_us"] and obj["conversions_per_sec"] > 0, obj
     names.add(obj["name"])
-assert {"service/read_seq", "service/read_concurrent", "service/health"} <= names, names
+assert {"service/read_seq", "service/read_concurrent", "service/batch_read",
+        "service/health"} <= names, names
 print(f"service bench: {len(lines) - 1} scenarios, schema OK")
 EOF
 
@@ -121,6 +128,11 @@ echo "==> solver-equivalence smoke (GS oracle vs CG vs multigrid, release FP pat
 # campaign actually execute.
 cargo test -q --release --offline -p ptsim-thermal --test properties all_three_steady_solvers_agree
 cargo test -q --release --offline -p ptsim-thermal --test determinism
+
+echo "==> SoA-vs-scalar bit-identity smoke (lane kernel, release FP paths)"
+# Same rationale: the lane kernel's bit-identity to the scalar oracle must
+# hold under the release float codegen the benches and the fleet daemon run.
+cargo test -q --release --offline -p ptsim-core --test lane_equivalence
 
 echo "==> bench smoke (1 sample, parse-only — timing never gates CI)"
 # Keeps every bench binary buildable and its JSON output machine-parseable;
@@ -145,6 +157,8 @@ for l in lines:
 assert names, "bench smoke emitted no results"
 assert "steady_state/64" in names, "multigrid 64-grid bench missing"
 assert "steady_state_gs/16" in names, "Gauss-Seidel oracle bench missing"
+assert "batch_convert_100" in names, "lane-kernel population bench missing"
+assert "batch_convert_scalar_100" in names, "scalar-oracle population bench missing"
 print(f"bench smoke: {len(names)} benchmarks, JSON OK")
 '
 
