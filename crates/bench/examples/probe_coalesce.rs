@@ -1,0 +1,73 @@
+//! Diagnostic: confirm the shard coalescing scheduler engages under
+//! concurrent single-read load.
+//!
+//! Boots a loadgen-shaped fleet (16 dies, 4 shards, `coalesce_max` 64),
+//! drives 8 concurrent v2 connections, then prints the derived
+//! `svc.coalesced_*` health counters. A healthy run shows a substantial
+//! fraction of `svc.served` arriving via grouped wakes; all-zero counters
+//! mean per-shard queue depth never exceeded one and the scheduler had
+//! nothing to group.
+//!
+//! ```text
+//! cargo run --release -p ptsim-bench --example probe_coalesce
+//! ```
+
+use ptsim_service::protocol::{Request, Response};
+use ptsim_service::{Client, Fleet, FleetConfig, Server, ServerConfig};
+
+fn read(die: u64) -> Request {
+    Request::Read {
+        die,
+        temp_c: 60.0,
+        priority: 1,
+        deadline_ms: 30_000,
+    }
+}
+
+fn main() {
+    let fleet = Fleet::start(FleetConfig {
+        n_dies: 16,
+        n_shards: 4,
+        queue_depth: 256,
+        base_seed: 0x10ad,
+        coalesce_max: 64,
+        ..FleetConfig::default()
+    });
+    let server =
+        Server::bind(fleet, "127.0.0.1:0", ServerConfig::default()).expect("bind probe daemon");
+    let addr = server.local_addr().to_string();
+
+    // First touch pays calibration; keep it out of the contended phase.
+    {
+        let mut warm = Client::connect(&addr).expect("warmup connect");
+        for die in 0..16 {
+            warm.call(&read(die)).expect("warmup read");
+        }
+    }
+
+    let handles: Vec<_> = (0..8u64)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect_v2(&addr).expect("probe connect");
+                for i in 0..600u64 {
+                    let _ = client.call(&read((c * 600 + i) % 16));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("probe worker join");
+    }
+
+    let mut client = Client::connect(&addr).expect("health connect");
+    if let Ok(Response::Health(h)) = client.call(&Request::Health) {
+        for (k, v) in &h.counters {
+            if k.contains("coalesc") || k == "svc.served" {
+                println!("{k} = {v}");
+            }
+        }
+    }
+    server.stop();
+    server.join();
+}

@@ -11,9 +11,19 @@
 //!
 //! Knobs: `PTSIM_LOADGEN_REQUESTS` (per scenario, default 200),
 //! `PTSIM_LOADGEN_CONNS` (concurrent connections, default 4),
-//! `PTSIM_LOADGEN_DIES` (fleet size, default 16). A meta header line with
+//! `PTSIM_LOADGEN_DIES` (fleet size, default 16),
+//! `PTSIM_LOADGEN_COALESCE_CONNS` (clients of the `read_coalesced`
+//! scenario, default `2 × CONNS`, min 8 — past ~2× the core count the
+//! extra client threads cost more than the deeper queues pay),
+//! `PTSIM_LOADGEN_COALESCE_MAX` (the fleet's coalescing budget,
+//! default 64; set 1 for an A/B with the scheduler off). A meta header
+//! line with
 //! the git rev/date is emitted first, exactly like the other bench
 //! binaries, so the trajectory files share one schema.
+//!
+//! Scenario codecs: `read_seq`, `read_concurrent`, `batch_read`, and
+//! `health` drive the JSON (v1) protocol; `read_seq_v2` and
+//! `read_coalesced` negotiate the v2 binary codec.
 
 use ptsim_mc::stats::quantile_in_place;
 use ptsim_service::protocol::{BatchItem, Request, Response};
@@ -70,14 +80,22 @@ impl Scenario {
     }
 }
 
-fn drive(addr: &str, name: &str, conns: usize, requests: usize, n_dies: u64) -> Scenario {
+fn drive(addr: &str, name: &str, conns: usize, requests: usize, n_dies: u64, v2: bool) -> Scenario {
     let started = Instant::now();
     let per_conn = requests.div_ceil(conns);
     let handles: Vec<_> = (0..conns)
         .map(|c| {
             let addr = addr.to_string();
             std::thread::spawn(move || {
-                let mut client = Client::connect(&addr).expect("loadgen connect");
+                let mut client = if v2 {
+                    Client::connect_v2(&addr).expect("loadgen v2 connect")
+                } else {
+                    Client::connect(&addr).expect("loadgen connect")
+                };
+                // One untimed call absorbs connection setup (accept poll,
+                // thread spawn, warm buffers): the scenario measures
+                // steady-state service latency, not provisioning.
+                let _ = client.call(&read_req((c as u64) % n_dies));
                 let mut lat = Vec::with_capacity(per_conn);
                 let mut served = 0usize;
                 for i in 0..per_conn {
@@ -148,11 +166,13 @@ fn main() {
     let conns = env_usize("PTSIM_LOADGEN_CONNS", 4).max(1);
     let n_dies = env_usize("PTSIM_LOADGEN_DIES", 16).max(1) as u64;
 
+    let coalesce_max = env_usize("PTSIM_LOADGEN_COALESCE_MAX", 64).max(1);
     let fleet = Fleet::start(FleetConfig {
         n_dies,
         n_shards: 4,
         queue_depth: 256,
         base_seed: 0x10ad,
+        coalesce_max,
         ..FleetConfig::default()
     });
     let server =
@@ -173,13 +193,37 @@ fn main() {
     }
 
     ptsim_bench::harness::emit_meta();
-    drive(&addr, "service/read_seq", 1, requests, n_dies).emit();
-    drive(&addr, "service/read_concurrent", conns, requests, n_dies).emit();
+    drive(&addr, "service/read_seq", 1, requests, n_dies, false).emit();
+    drive(&addr, "service/read_seq_v2", 1, requests, n_dies, true).emit();
+    drive(
+        &addr,
+        "service/read_concurrent",
+        conns,
+        requests,
+        n_dies,
+        true,
+    )
+    .emit();
+    // The coalescing showcase: enough concurrent single-read clients to
+    // build per-shard queue depth, over the binary codec, so worker wakes
+    // drain whole groups through the lane kernel.
+    let coalesce_conns = env_usize("PTSIM_LOADGEN_COALESCE_CONNS", (conns * 2).max(8));
+    drive(
+        &addr,
+        "service/read_coalesced",
+        coalesce_conns,
+        requests.max(coalesce_conns * 8),
+        n_dies,
+        true,
+    )
+    .emit();
     drive_batch(&addr, "service/batch_read", requests, n_dies, 4).emit();
 
     // Health is the operator's availability probe: it must stay cheap.
     {
         let mut client = Client::connect(&addr).expect("health connect");
+        // Untimed warm-up: connection setup is not probe latency.
+        let _ = client.call(&Request::Health);
         let started = Instant::now();
         let mut lat = Vec::with_capacity(64);
         let mut served = 0;

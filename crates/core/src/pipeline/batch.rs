@@ -220,7 +220,7 @@ impl BatchPlan {
     }
 
     /// [`BatchPlan::run_population`] with per-worker
-    /// [`PipelineMetrics`](crate::PipelineMetrics) attached and merged
+    /// [`PipelineMetrics`] attached and merged
     /// after the run. The readings are bit-identical to the unmetered run
     /// — observability reads, never perturbs — and the merged deterministic
     /// subset (counters, energy histogram) is independent of the thread

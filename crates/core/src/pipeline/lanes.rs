@@ -191,7 +191,7 @@ impl LaneBatch {
     }
 }
 
-/// Lane-parallel form of [`solve_gated`](crate::pipeline::solve_gated):
+/// Lane-parallel form of the scalar `solve_gated` solver:
 /// solves every occupied lane of `batch` jointly, writing lane `l`'s result
 /// to `out[l]` and recording its health events in `healths[l]`.
 ///
@@ -948,12 +948,35 @@ pub fn read_group<R: Rng>(
     inputs: &[SensorInputs<'_>],
     rngs: &mut [&mut R],
 ) -> Vec<Result<Reading, SensorError>> {
+    let mut scratch = Scratch::new();
+    let mut results = Vec::with_capacity(sensors.len());
+    read_group_with(sensors, inputs, rngs, &mut scratch, &mut results);
+    results
+}
+
+/// [`read_group`] with caller-owned working state: the solver [`Scratch`]
+/// and the result vector are reused across calls, so a long-running caller
+/// (the fleet daemon's coalescing scheduler drains thousands of groups per
+/// second) pays the scratch and result-buffer allocations once per worker
+/// instead of once per group. `results` is cleared and refilled; values
+/// are bit-identical to [`read_group`].
+///
+/// # Panics
+///
+/// Panics if the three slices disagree in length.
+pub fn read_group_with<R: Rng>(
+    sensors: &[&PtSensor],
+    inputs: &[SensorInputs<'_>],
+    rngs: &mut [&mut R],
+    scratch: &mut Scratch,
+    results: &mut Vec<Result<Reading, SensorError>>,
+) {
     assert!(
         sensors.len() == inputs.len() && inputs.len() == rngs.len(),
         "group shape mismatch"
     );
-    let mut scratch = Scratch::new();
-    let mut results = Vec::with_capacity(sensors.len());
+    results.clear();
+    results.reserve(sensors.len());
     let mut start = 0;
     while start < sensors.len() {
         let len = (sensors.len() - start).min(LANES);
@@ -984,7 +1007,7 @@ pub fn read_group<R: Rng>(
                 &mut *rngs[start + k],
                 &mut ledger,
                 &mut health,
-                &mut scratch,
+                &mut *scratch,
             ) {
                 Ok(gated) => {
                     if LaneBatch::accepts(sensor, &gated) {
@@ -1008,7 +1031,7 @@ pub fn read_group<R: Rng>(
             }
         }
         if let Some(shared) = lane_sensor {
-            solve_gated_lanes(shared, &batch, &mut healths, &mut scratch, &mut solved_out);
+            solve_gated_lanes(shared, &batch, &mut healths, &mut *scratch, &mut solved_out);
         }
         for k in 0..len {
             if let Some(e) = errs[k].take() {
@@ -1024,7 +1047,7 @@ pub fn read_group<R: Rng>(
             } else {
                 let Scratch {
                     newton, metrics, ..
-                } = &mut scratch;
+                } = &mut *scratch;
                 solve::solve_gated_with(sensor, &cal, &gated, &mut health, newton, metrics)
             };
             results.push(
@@ -1033,5 +1056,4 @@ pub fn read_group<R: Rng>(
         }
         start += len;
     }
-    results
 }

@@ -6,6 +6,7 @@
 //! PTSIM_FLEET_SHARDS=4           supervised worker shards
 //! PTSIM_FLEET_SEED=0x5eed        base seed of the per-die streams
 //! PTSIM_FLEET_IDLE_SECS=30      idle-connection reap timeout
+//! PTSIM_FLEET_COALESCE=64       reads one worker wake may coalesce (1 = off)
 //! ```
 //!
 //! Prints `ptsim-fleetd listening on <addr>` once bound (scripts parse
@@ -32,6 +33,7 @@ fn main() {
         n_dies: env_u64("PTSIM_FLEET_DIES", 64),
         n_shards: env_u64("PTSIM_FLEET_SHARDS", 4),
         base_seed: env_u64("PTSIM_FLEET_SEED", 0x5eed),
+        coalesce_max: env_u64("PTSIM_FLEET_COALESCE", 64).clamp(1, 1024) as usize,
         ..FleetConfig::default()
     };
     let server_cfg = ServerConfig {

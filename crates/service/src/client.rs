@@ -3,10 +3,12 @@
 //! in-flight request at a time.
 
 use crate::protocol::{
-    read_frame, write_frame, FrameError, ProtoError, Request, Response, MAX_FRAME,
+    begin_frame, finish_frame, read_frame_into, FrameError, ProtoError, Request, Response,
+    MAX_FRAME,
 };
+use crate::wire::{self, WIRE_MAGIC, WIRE_V1, WIRE_V2};
 use std::fmt;
-use std::io;
+use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -43,10 +45,16 @@ impl From<io::Error> for ClientError {
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    /// Negotiated wire version: [`WIRE_V2`] after a successful binary
+    /// handshake, [`WIRE_V1`] (JSON) otherwise.
+    version: u8,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
 }
 
 impl Client {
-    /// Connects to `addr` (e.g. `"127.0.0.1:7421"`).
+    /// Connects to `addr` (e.g. `"127.0.0.1:7421"`) speaking JSON (v1) —
+    /// the codec every daemon understands.
     ///
     /// # Errors
     ///
@@ -54,7 +62,55 @@ impl Client {
     pub fn connect(addr: &str) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            version: WIRE_V1,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+        })
+    }
+
+    /// Connects and negotiates the v2 binary protocol: sends
+    /// [`WIRE_MAGIC`] + [`WIRE_V2`] and adopts whatever version the daemon
+    /// answers with (a pre-v2 daemon that rejects the hello outright
+    /// surfaces as an error, not a silent downgrade — it never sent a
+    /// magic back).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/handshake failures; [`ClientError::Frame`] if
+    /// the server's hello is malformed.
+    pub fn connect_v2(addr: &str) -> Result<Self, ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut hello = [0u8; 5];
+        hello[..4].copy_from_slice(&WIRE_MAGIC);
+        hello[4] = WIRE_V2;
+        stream.write_all(&hello)?;
+        stream.flush()?;
+        let mut reply = [0u8; 5];
+        stream.read_exact(&mut reply)?;
+        if reply[..4] != WIRE_MAGIC {
+            return Err(ClientError::Frame(FrameError::Truncated { missing: 0 }));
+        }
+        let version = if reply[4] >= WIRE_V2 {
+            WIRE_V2
+        } else {
+            WIRE_V1
+        };
+        Ok(Client {
+            stream,
+            version,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+        })
+    }
+
+    /// The wire version this connection negotiated ([`WIRE_V1`] or
+    /// [`WIRE_V2`]).
+    #[must_use]
+    pub fn wire_version(&self) -> u8 {
+        self.version
     }
 
     /// Bounds how long [`Client::call`] waits for the reply frame.
@@ -74,9 +130,16 @@ impl Client {
     /// Typed client errors; a server-side refusal is an `Ok` carrying
     /// [`Response::Rejected`].
     pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, req.to_json().as_bytes())?;
-        let payload = read_frame(&mut self.stream, MAX_FRAME).map_err(ClientError::Frame)?;
-        Response::from_json_bytes(&payload).map_err(ClientError::Proto)
+        begin_frame(&mut self.wbuf);
+        if self.version >= WIRE_V2 {
+            wire::encode_request(req, &mut self.wbuf);
+        } else {
+            self.wbuf.extend_from_slice(req.to_json().as_bytes());
+        }
+        finish_frame(&mut self.wbuf)?;
+        self.stream.write_all(&self.wbuf)?;
+        self.stream.flush()?;
+        self.read_response()
     }
 
     /// Writes raw bytes on the wire, bypassing framing — for fuzz/chaos
@@ -86,7 +149,6 @@ impl Client {
     ///
     /// Propagates I/O failures.
     pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
-        use io::Write;
         self.stream.write_all(bytes)?;
         self.stream.flush()?;
         Ok(())
@@ -99,7 +161,11 @@ impl Client {
     ///
     /// Typed client errors.
     pub fn read_response(&mut self) -> Result<Response, ClientError> {
-        let payload = read_frame(&mut self.stream, MAX_FRAME).map_err(ClientError::Frame)?;
-        Response::from_json_bytes(&payload).map_err(ClientError::Proto)
+        read_frame_into(&mut self.stream, MAX_FRAME, &mut self.rbuf).map_err(ClientError::Frame)?;
+        if self.version >= WIRE_V2 {
+            wire::decode_response(&self.rbuf).map_err(ClientError::Proto)
+        } else {
+            Response::from_json_bytes(&self.rbuf).map_err(ClientError::Proto)
+        }
     }
 }

@@ -63,6 +63,10 @@ pub struct FleetConfig {
     pub queue_depth: usize,
     /// Base seed of the deterministic per-die streams.
     pub base_seed: u64,
+    /// How many queued single-die reads one worker wake may coalesce into
+    /// a lane-grouped conversion (1 disables coalescing). Exposed in
+    /// `/health` so operators can confirm the scheduler is grouping.
+    pub coalesce_max: usize,
     /// Worker restarts a shard may consume before going `Dead`.
     pub max_restarts: u64,
     /// First restart backoff; doubles per consecutive restart.
@@ -78,6 +82,7 @@ impl Default for FleetConfig {
             n_shards: 4,
             queue_depth: 64,
             base_seed: 0x5eed,
+            coalesce_max: 64,
             max_restarts: 5,
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_millis(500),
@@ -113,6 +118,7 @@ impl Fleet {
         let cfg = FleetConfig {
             n_shards: cfg.n_shards.clamp(1, 64),
             queue_depth: cfg.queue_depth.max(1),
+            coalesce_max: cfg.coalesce_max.max(1),
             ..cfg
         };
         let shards: Vec<Arc<ShardShared>> = (0..cfg.n_shards)
@@ -123,6 +129,7 @@ impl Fleet {
                     n_dies: cfg.n_dies,
                     queue_depth: cfg.queue_depth,
                     base_seed: cfg.base_seed,
+                    coalesce_max: cfg.coalesce_max,
                 }))
             })
             .collect();
@@ -298,17 +305,32 @@ impl Fleet {
                 }
             })
             .collect();
-        let counters = merged
-            .reg
-            .snapshot()
+        let snap = merged.reg.snapshot();
+        let mut counters: Vec<(String, u64)> = snap
             .counters
             .iter()
             .map(|(k, v)| ((*k).to_string(), *v))
             .collect();
+        // Project the coalesce-width histogram into the counter list so a
+        // plain /health poll can confirm the scheduler is actually grouping:
+        // wakes = grouped worker wakes (each served ≥ 2 reads), reads = reads
+        // those wakes served. Unit-width bins make the sum exact.
+        if let Some(h) = snap.histogram("svc.coalesce_width") {
+            let reads: u64 = h
+                .counts
+                .iter()
+                .enumerate()
+                .map(|(w, &n)| w as u64 * n)
+                .sum();
+            counters.push(("svc.coalesced_wakes".to_string(), h.total));
+            counters.push(("svc.coalesced_reads".to_string(), reads));
+        }
         HealthWire {
             shards,
             counters,
             uptime_ms: self.started.elapsed().as_millis() as u64,
+            coalesce_max: self.cfg.coalesce_max as u64,
+            wire_version: u64::from(crate::wire::WIRE_V2),
         }
     }
 
@@ -414,6 +436,7 @@ mod tests {
             n_shards: 2,
             queue_depth: 16,
             base_seed: 0xfeed,
+            coalesce_max: 8,
             max_restarts: 3,
             backoff_base: Duration::from_millis(5),
             backoff_cap: Duration::from_millis(20),

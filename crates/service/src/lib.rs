@@ -14,10 +14,12 @@
 //!   priority-aware shedding (lowest-priority reads go first). A request
 //!   is always *answered*; it is never dropped silently ([`fleet`],
 //!   [`shard`]).
-//! * **Protocol hardening** — length-prefixed JSON frames with a hard
+//! * **Protocol hardening** — length-prefixed frames with a hard
 //!   frame-size bound enforced before allocation, per-field bounds on
 //!   every request, slow-client write timeouts, and idle-connection
-//!   reaping ([`protocol`], [`server`]).
+//!   reaping ([`protocol`], [`server`]). Two codecs share that framing:
+//!   JSON (v1, the fallback every client speaks) and a fixed-width binary
+//!   codec negotiated by magic at connect (v2, [`wire`]).
 //! * **Graceful degradation** — a die whose process readout dies keeps
 //!   serving temperature-only readings carrying an explicit
 //!   `"degraded"` quality flag ([`shard`]).
@@ -35,6 +37,7 @@ pub mod json;
 pub mod protocol;
 pub mod server;
 pub mod shard;
+pub mod wire;
 
 pub use client::{Client, ClientError};
 pub use fleet::{Fleet, FleetConfig};
@@ -44,3 +47,4 @@ pub use protocol::{
 };
 pub use server::{Server, ServerConfig};
 pub use shard::{ShardState, SvcMetrics};
+pub use wire::{WIRE_MAGIC, WIRE_V1, WIRE_V2};

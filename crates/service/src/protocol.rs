@@ -237,6 +237,14 @@ pub struct HealthWire {
     pub counters: Vec<(String, u64)>,
     /// Milliseconds since the fleet started.
     pub uptime_ms: u64,
+    /// Coalescing budget in force: how many queued reads one worker wake
+    /// may drain into a single lane-grouped conversion. Operators confirm
+    /// the scheduler is actually grouping by reading this next to the
+    /// derived `svc.coalesced_wakes` / `svc.coalesced_reads` counters.
+    pub coalesce_max: u64,
+    /// Highest wire-protocol version this daemon negotiates (`2` = the
+    /// binary codec; JSON is always available as v1).
+    pub wire_version: u64,
 }
 
 /// One die's outcome inside a [`Response::Batch`].
@@ -624,6 +632,8 @@ impl Response {
                 ("ok", Value::Bool(true)),
                 ("op", Value::Str("health".into())),
                 ("uptime_ms", Value::Num(h.uptime_ms as f64)),
+                ("coalesce_max", Value::Num(h.coalesce_max as f64)),
+                ("wire_version", Value::Num(h.wire_version as f64)),
                 (
                     "shards",
                     Value::Arr(
@@ -803,6 +813,10 @@ impl Response {
                     shards,
                     counters,
                     uptime_ms: field_u64(&v, "uptime_ms")?,
+                    // Absent on pre-v2 daemons; default rather than reject so a
+                    // new client can still health-check an old fleet.
+                    coalesce_max: field_u64(&v, "coalesce_max").unwrap_or(0),
+                    wire_version: field_u64(&v, "wire_version").unwrap_or(1),
                 }))
             }
             "ping" => Ok(Response::Pong {
@@ -905,6 +919,41 @@ fn is_poll_timeout(e: &io::Error) -> bool {
 /// [`FrameError::Oversize`] / [`FrameError::Truncated`] on protocol
 /// violations, [`FrameError::Io`] otherwise.
 pub fn read_frame<R: Read>(r: &mut R, max: usize) -> Result<Vec<u8>, FrameError> {
+    let mut payload = Vec::new();
+    read_frame_into(r, max, &mut payload)?;
+    Ok(payload)
+}
+
+/// Reads one length-prefixed frame into a caller-owned buffer, reusing its
+/// capacity. A warm connection that recycles the same buffer serves every
+/// frame at or below the high-water mark without touching the allocator.
+///
+/// Same timeout/truncation semantics as [`read_frame`].
+///
+/// # Errors
+///
+/// As [`read_frame`].
+pub fn read_frame_into<R: Read>(
+    r: &mut R,
+    max: usize,
+    buf: &mut Vec<u8>,
+) -> Result<(), FrameError> {
+    let header = read_prefix(r)?;
+    read_body_into(r, header, max, buf)
+}
+
+/// Reads the 4-byte frame prefix, tolerating idle-poll timeouts only when
+/// zero bytes have been consumed (the frame-boundary rule of
+/// [`read_frame`]). The server also calls this directly during version
+/// negotiation: the first four bytes of a connection are either the v2
+/// magic or a JSON frame's length prefix.
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] on clean EOF before any byte,
+/// [`FrameError::Truncated`] on EOF/timeout mid-prefix, [`FrameError::Io`]
+/// otherwise.
+pub fn read_prefix<R: Read>(r: &mut R) -> Result<[u8; 4], FrameError> {
     let mut header = [0u8; 4];
     let mut got = 0;
     while got < 4 {
@@ -924,14 +973,52 @@ pub fn read_frame<R: Read>(r: &mut R, max: usize) -> Result<Vec<u8>, FrameError>
             Err(e) => return Err(FrameError::Io(e)),
         }
     }
+    Ok(header)
+}
+
+/// Reads one byte mid-stream (the v2 version byte during negotiation).
+/// Unlike the prefix read, a timeout here is always [`FrameError::Truncated`]
+/// — the peer already committed to a handshake.
+///
+/// # Errors
+///
+/// [`FrameError::Truncated`] on EOF/timeout, [`FrameError::Io`] otherwise.
+pub fn read_byte<R: Read>(r: &mut R) -> Result<u8, FrameError> {
+    let mut b = [0u8; 1];
+    loop {
+        match r.read(&mut b) {
+            Ok(0) => return Err(FrameError::Truncated { missing: 1 }),
+            Ok(_) => return Ok(b[0]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_poll_timeout(&e) => return Err(FrameError::Truncated { missing: 1 }),
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+}
+
+/// Reads a frame body whose 4-byte prefix was already consumed (by
+/// [`read_prefix`]), bounds-checking the advertised length before growing
+/// the buffer. The buffer's capacity is reused across calls.
+///
+/// # Errors
+///
+/// [`FrameError::Oversize`] / [`FrameError::Truncated`] on protocol
+/// violations, [`FrameError::Io`] otherwise.
+pub fn read_body_into<R: Read>(
+    r: &mut R,
+    header: [u8; 4],
+    max: usize,
+    buf: &mut Vec<u8>,
+) -> Result<(), FrameError> {
     let advertised = u32::from_be_bytes(header) as usize;
     if advertised > max {
         return Err(FrameError::Oversize { advertised, max });
     }
-    let mut payload = vec![0u8; advertised];
+    buf.clear();
+    buf.resize(advertised, 0);
     let mut filled = 0;
     while filled < advertised {
-        match r.read(&mut payload[filled..]) {
+        match r.read(&mut buf[filled..]) {
             Ok(0) => {
                 return Err(FrameError::Truncated {
                     missing: advertised - filled,
@@ -947,7 +1034,35 @@ pub fn read_frame<R: Read>(r: &mut R, max: usize) -> Result<Vec<u8>, FrameError>
             Err(e) => return Err(FrameError::Io(e)),
         }
     }
-    Ok(payload)
+    Ok(())
+}
+
+/// Starts a reusable outgoing frame: clears the buffer and reserves the
+/// 4-byte length slot. Encode the payload directly after, then call
+/// [`finish_frame`] to patch the prefix — one buffer, one `write_all`, no
+/// intermediate copies.
+pub fn begin_frame(buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.extend_from_slice(&[0u8; 4]);
+}
+
+/// Patches the length prefix of a frame started with [`begin_frame`].
+///
+/// # Errors
+///
+/// Refuses payloads longer than [`MAX_FRAME`] with `InvalidInput`, mirroring
+/// [`write_frame`].
+pub fn finish_frame(buf: &mut [u8]) -> io::Result<()> {
+    debug_assert!(buf.len() >= 4, "finish_frame on a buffer without a prefix");
+    let payload = buf.len() - 4;
+    if payload > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame payload exceeds MAX_FRAME",
+        ));
+    }
+    buf[0..4].copy_from_slice(&(payload as u32).to_be_bytes());
+    Ok(())
 }
 
 #[cfg(test)]

@@ -12,10 +12,12 @@
 
 use crate::fleet::Fleet;
 use crate::protocol::{
-    read_frame, write_frame, FrameError, Rejection, Request, Response, MAX_FRAME,
+    begin_frame, finish_frame, read_body_into, read_byte, read_frame_into, read_prefix, FrameError,
+    Rejection, Request, Response, MAX_FRAME,
 };
 use crate::shard::recover;
-use std::io;
+use crate::wire::{self, WIRE_MAGIC, WIRE_V1, WIRE_V2};
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -122,11 +124,11 @@ fn accept_loop(
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                {
-                    let mut m = recover(fleet.front_metrics.lock());
-                    let id = m.conns;
-                    m.reg.inc(id);
-                }
+                // Everything per-connection — metrics included — happens on
+                // the connection thread: the accept loop only spawns, so a
+                // burst of setup work (or a contended front-metrics lock)
+                // never delays the next accept. This is what keeps the
+                // health-probe tail flat under load.
                 let fleet = Arc::clone(fleet);
                 let stop = Arc::clone(stop);
                 let handle = thread::Builder::new()
@@ -141,7 +143,10 @@ fn accept_loop(
                 guard.retain(|h| !h.is_finished());
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(10));
+                // 1 ms, not 10: the accept-poll gap is the floor of every
+                // fresh connection's first-byte latency, and a coarse sleep
+                // here was the dominant term of the health p99 tail.
+                thread::sleep(Duration::from_millis(1));
             }
             Err(_) => thread::sleep(Duration::from_millis(10)),
         }
@@ -149,6 +154,28 @@ fn accept_loop(
     for h in recover(conns.lock()).drain(..) {
         let _ = h.join();
     }
+}
+
+/// Encodes `resp` into the connection's reusable write buffer (binary for
+/// a v2 connection, JSON otherwise) and sends it as one frame. On a warm
+/// connection the v2 path allocates nothing: the payload is encoded
+/// directly behind the reserved length slot and shipped with a single
+/// `write_all`.
+fn send_response(
+    stream: &mut TcpStream,
+    wbuf: &mut Vec<u8>,
+    resp: &Response,
+    v2: bool,
+) -> io::Result<()> {
+    begin_frame(wbuf);
+    if v2 {
+        wire::encode_response(resp, wbuf);
+    } else {
+        wbuf.extend_from_slice(resp.to_json().as_bytes());
+    }
+    finish_frame(wbuf)?;
+    stream.write_all(wbuf)?;
+    stream.flush()
 }
 
 fn serve_conn(
@@ -162,19 +189,90 @@ fn serve_conn(
     let _ = stream.set_nodelay(true);
     let mut strikes = 0u32;
     let mut last_frame = Instant::now();
+    let mut rbuf: Vec<u8> = Vec::new();
+    let mut wbuf: Vec<u8> = Vec::new();
     let count = |pick: fn(&crate::shard::SvcMetrics) -> ptsim_obs::CounterId| {
         let mut m = recover(fleet.front_metrics.lock());
         let id = pick(&m);
         m.reg.inc(id);
     };
+    count(|m| m.conns);
+
+    // Version negotiation on the first four bytes. A binary-capable client
+    // opens with `WIRE_MAGIC` + the version it wants; anything else is a
+    // JSON frame's length prefix (always `0x00`-leading, since MAX_FRAME
+    // fits 17 bits) and locks the connection to v1 — the header already
+    // consumed becomes the first frame's prefix.
+    let mut v2 = false;
+    let mut consumed_header: Option<[u8; 4]> = None;
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        let payload = match read_frame(&mut stream, MAX_FRAME) {
-            Ok(p) => {
+        match read_prefix(&mut stream) {
+            Ok(header) if header == WIRE_MAGIC => {
+                let wanted = match read_byte(&mut stream) {
+                    Ok(b) => b,
+                    Err(_) => {
+                        count(|m| m.bad_frames);
+                        return;
+                    }
+                };
+                let accepted = if wanted >= WIRE_V2 { WIRE_V2 } else { WIRE_V1 };
+                let mut hello = [0u8; 5];
+                hello[..4].copy_from_slice(&WIRE_MAGIC);
+                hello[4] = accepted;
+                if stream
+                    .write_all(&hello)
+                    .and_then(|()| stream.flush())
+                    .is_err()
+                {
+                    return;
+                }
+                v2 = accepted == WIRE_V2;
+                if v2 {
+                    count(|m| m.wire_v2_conns);
+                }
                 last_frame = Instant::now();
-                p
+                break;
+            }
+            Ok(header) => {
+                consumed_header = Some(header);
+                break;
+            }
+            Err(FrameError::Closed) => return,
+            Err(FrameError::Io(e))
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if last_frame.elapsed() >= cfg.idle_timeout {
+                    count(|m| m.idle_reaps);
+                    return;
+                }
+            }
+            Err(FrameError::Truncated { .. }) => {
+                count(|m| m.bad_frames);
+                return;
+            }
+            // read_prefix never length-checks, so Oversize cannot occur.
+            Err(FrameError::Oversize { .. }) | Err(FrameError::Io(_)) => return,
+        }
+    }
+
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // The negotiation loop may have consumed the first frame's prefix.
+        let read = match consumed_header.take() {
+            Some(header) => read_body_into(&mut stream, header, MAX_FRAME, &mut rbuf),
+            None => read_frame_into(&mut stream, MAX_FRAME, &mut rbuf),
+        };
+        match read {
+            Ok(()) => {
+                last_frame = Instant::now();
             }
             Err(FrameError::Closed) => return,
             Err(FrameError::Io(e))
@@ -198,7 +296,7 @@ fn serve_conn(
                     Rejection::BadRequest,
                     format!("frame of {advertised} bytes exceeds the {max}-byte bound"),
                 );
-                let _ = write_frame(&mut stream, resp.to_json().as_bytes());
+                let _ = send_response(&mut stream, &mut wbuf, &resp, v2);
                 return;
             }
             Err(FrameError::Truncated { .. }) => {
@@ -206,16 +304,22 @@ fn serve_conn(
                 return;
             }
             Err(FrameError::Io(_)) => return,
-        };
+        }
 
-        let response = match Request::from_json_bytes(&payload) {
+        let parsed = if v2 {
+            count(|m| m.wire_v2_frames);
+            wire::decode_request(&rbuf)
+        } else {
+            Request::from_json_bytes(&rbuf)
+        };
+        let response = match parsed {
             Err(e) => {
                 count(|m| m.bad_frames);
                 strikes += 1;
                 Response::rejected(Rejection::BadRequest, e.to_string())
             }
             Ok(Request::Shutdown) => {
-                let _ = write_frame(&mut stream, Response::ShuttingDown.to_json().as_bytes());
+                let _ = send_response(&mut stream, &mut wbuf, &Response::ShuttingDown, v2);
                 stop.store(true, Ordering::SeqCst);
                 return;
             }
@@ -228,7 +332,7 @@ fn serve_conn(
         {
             count(|m| m.rej_bad_request);
         }
-        match write_frame(&mut stream, response.to_json().as_bytes()) {
+        match send_response(&mut stream, &mut wbuf, &response, v2) {
             Ok(()) => {}
             Err(e)
                 if matches!(

@@ -14,8 +14,8 @@
 //! "recovered but still degraded" serving.
 
 use crate::protocol::{BatchItem, InjectKind, Quality, Rejection, Request, Response};
-use ptsim_core::pipeline::read_group;
-use ptsim_core::{HealthStatus, PtSensor, SensorInputs, SensorSpec};
+use ptsim_core::pipeline::{read_group, read_group_with};
+use ptsim_core::{HealthStatus, PtSensor, Reading, Scratch, SensorError, SensorInputs, SensorSpec};
 use ptsim_device::process::Technology;
 use ptsim_device::units::Celsius;
 use ptsim_mc::die::{DieSample, DieSite};
@@ -79,10 +79,20 @@ pub struct SvcMetrics {
     pub slow_client_drops: CounterId,
     /// Connections reaped for idleness.
     pub idle_reaps: CounterId,
+    /// Connections that negotiated the v2 binary protocol.
+    pub wire_v2_conns: CounterId,
+    /// Frames served over the v2 binary protocol.
+    pub wire_v2_frames: CounterId,
     /// High-water mark of any shard queue.
     pub queue_peak: GaugeId,
     /// Queue-to-reply latency of served requests, µs.
     pub latency_us: HistogramId,
+    /// How many reads a *grouped* worker wake drained into one
+    /// lane-grouped conversion. Solo wakes are not recorded (keeping the
+    /// single-read hot path lock-count unchanged), so any sample here is
+    /// ≥ 2 and proof the scheduler is grouping; compare the sample count
+    /// against `svc.served` for the grouped fraction.
+    pub coalesce_width: HistogramId,
 }
 
 impl SvcMetrics {
@@ -107,8 +117,13 @@ impl SvcMetrics {
         let oversize_frames = reg.counter("svc.oversize_frames");
         let slow_client_drops = reg.counter("svc.slow_client_drops");
         let idle_reaps = reg.counter("svc.idle_reaps");
+        let wire_v2_conns = reg.counter("svc.wire_v2_conns");
+        let wire_v2_frames = reg.counter("svc.wire_v2_frames");
         let queue_peak = reg.gauge("svc.queue_peak");
         let latency_us = reg.histogram("svc.latency_us", 0.0, 1.0e6, 48);
+        // Unit-width bins over 0..=64 so every integer group width lands
+        // exactly in bin `width` (no clamping at the default cap of 64).
+        let coalesce_width = reg.histogram("svc.coalesce_width", 0.0, 65.0, 65);
         SvcMetrics {
             reg,
             requests,
@@ -128,8 +143,11 @@ impl SvcMetrics {
             oversize_frames,
             slow_client_drops,
             idle_reaps,
+            wire_v2_conns,
+            wire_v2_frames,
             queue_peak,
             latency_us,
+            coalesce_width,
         }
     }
 }
@@ -222,6 +240,12 @@ pub struct ShardConfig {
     pub queue_depth: usize,
     /// Base seed of the fleet's deterministic per-die streams.
     pub base_seed: u64,
+    /// How many queued single-die reads one worker wake may drain into a
+    /// lane-grouped conversion (1 disables coalescing). Purely a
+    /// scheduling knob: dies are independently calibrated with independent
+    /// RNG streams, so a coalesced read is bit-identical to the same read
+    /// served alone.
+    pub coalesce_max: usize,
 }
 
 impl ShardConfig {
@@ -304,6 +328,11 @@ pub struct WorkerCtx {
     sampler: DieSampler,
     boot_temp: Celsius,
     slots: Vec<Option<DieSlot>>,
+    /// Heap buffers of the lane kernel, reused across coalesced groups so
+    /// a warm worker converts without touching the allocator.
+    scratch: Scratch,
+    /// Result buffer of [`read_group_with`], reused alongside `scratch`.
+    group_results: Vec<Result<Reading, SensorError>>,
 }
 
 impl WorkerCtx {
@@ -326,6 +355,8 @@ impl WorkerCtx {
             sampler: model.sampler(),
             boot_temp,
             slots: (0..cfg.owned_dies()).map(|_| None).collect(),
+            scratch: Scratch::new(),
+            group_results: Vec::new(),
         }
     }
 
@@ -382,22 +413,56 @@ fn quality_of(status: HealthStatus) -> Quality {
 /// so an escaped panic discards it (`None`) and the next incarnation
 /// rebuilds every touched die from the deterministic seeds.
 pub fn worker_loop(shared: &ShardShared, ctx: &mut Option<WorkerCtx>) {
+    let mut group: Vec<Job> = Vec::new();
     loop {
-        let job = {
+        group.clear();
+        {
             let mut q = recover(shared.queue.lock());
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
                 if let Some(j) = q.pop_front() {
-                    break j;
+                    group.push(j);
+                    break;
                 }
                 let (guard, _) = recover(shared.cv.wait_timeout(q, Duration::from_millis(25)));
                 q = guard;
             }
-        };
+            // Opportunistic coalescing: when the wake lands on a single-die
+            // read, drain the longest queue *prefix* of further reads to
+            // distinct dies (up to `coalesce_max`) into one lane-grouped
+            // conversion. Stopping at the first non-read or repeated die
+            // preserves total queue order — in particular two reads of the
+            // same die still advance that die's RNG stream in admission
+            // order, which is what keeps a coalesced read bit-identical to
+            // the same read served alone.
+            if matches!(group[0].req, Request::Read { .. }) {
+                while group.len() < shared.cfg.coalesce_max.max(1) {
+                    let Some(next) = q.front() else { break };
+                    let Request::Read { die, .. } = next.req else {
+                        break;
+                    };
+                    if group
+                        .iter()
+                        .any(|j| matches!(j.req, Request::Read { die: d, .. } if d == die))
+                    {
+                        break;
+                    }
+                    group.push(q.pop_front().expect("front() was Some under the lock"));
+                }
+            }
+        }
         let worker = ctx.get_or_insert_with(|| WorkerCtx::new(&shared.cfg));
-        serve(shared, worker, job);
+        if group.len() == 1 {
+            serve(
+                shared,
+                worker,
+                group.pop().expect("group holds the one job"),
+            );
+        } else {
+            serve_read_group(shared, worker, &mut group);
+        }
     }
 }
 
@@ -556,6 +621,189 @@ fn serve(shared: &ShardShared, worker: &mut WorkerCtx, job: Job) {
     // A failed send means the client already gave up (typed timeout);
     // never an error here.
     let _ = job.reply.send(response);
+}
+
+/// Serves a coalesced group of single-die reads (all jobs are
+/// `Request::Read` to mutually distinct dies, by construction in
+/// [`worker_loop`]). Semantics are job-for-job identical to serving the
+/// group sequentially through [`serve`]:
+///
+/// * each job is deadline-checked at dequeue and silently discarded past
+///   its deadline (the fleet already answered the client with a typed
+///   timeout), with a `deadline_drops` count;
+/// * any one-shot chaos flag (stall/panic) on a group die falls the whole
+///   group back to the sequential path, so take-once flag arming stays
+///   exactly per-job;
+/// * a die that fails to build or convert answers *its own* job with a
+///   typed rejection and degrades nothing else;
+/// * every reply carries its own queue-to-reply latency sample.
+///
+/// The payoff is purely in the hot path: one wake, one flags lock, one
+/// metrics lock, and one lane-grouped [`read_group_with`] pass over the
+/// worker's persistent [`Scratch`] serve the whole group. Grouping cannot
+/// perturb any value: dies are independently calibrated, gating draws stay
+/// on each die's own deterministic stream, and the Newton solves are
+/// RNG-free, so cross-die conversion order is immaterial.
+fn serve_read_group(shared: &ShardShared, worker: &mut WorkerCtx, group: &mut Vec<Job>) {
+    let cfg = shared.cfg;
+    let chaos = {
+        let all = recover(shared.flags.lock());
+        group.iter().any(|j| {
+            let f = &all[cfg.local_index(die_of(&j.req))];
+            f.panic_conversion || f.panic_worker || f.stall_ms > 0
+        })
+    };
+    if chaos {
+        for job in group.drain(..) {
+            serve(shared, worker, job);
+        }
+        return;
+    }
+
+    let now = Instant::now();
+    let mut ready: Vec<(Job, u64, f64)> = Vec::with_capacity(group.len());
+    for job in group.drain(..) {
+        let Request::Read { die, temp_c, .. } = job.req else {
+            // Unreachable by construction; route defensively.
+            serve(shared, worker, job);
+            continue;
+        };
+        if now >= job.deadline {
+            shared.count(|m| m.deadline_drops);
+            continue;
+        }
+        ready.push((job, die, temp_c));
+    }
+    if ready.is_empty() {
+        return;
+    }
+
+    let degraded: Vec<bool> = {
+        let all = recover(shared.flags.lock());
+        ready
+            .iter()
+            .map(|&(_, die, _)| all[cfg.local_index(die)].degraded)
+            .collect()
+    };
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut outs: Vec<Option<Result<Reading, String>>> = vec![None; ready.len()];
+        for (j, &(_, die, _)) in ready.iter().enumerate() {
+            if let Err(e) = worker.slot(&cfg, die, degraded[j]) {
+                outs[j] = Some(Err(e.to_string()));
+            }
+        }
+        // Gather the group's slots in ascending local-index order — the
+        // only order a single pass of disjoint `&mut` borrows can yield —
+        // and remember the permutation back to job order. Cross-die order
+        // is irrelevant to the values (independent streams, RNG-free
+        // solves).
+        let mut order: Vec<usize> = (0..ready.len()).filter(|&j| outs[j].is_none()).collect();
+        order.sort_unstable_by_key(|&j| cfg.local_index(ready[j].1));
+        let mut sensors: Vec<&PtSensor> = Vec::with_capacity(order.len());
+        let mut inputs: Vec<SensorInputs<'_>> = Vec::with_capacity(order.len());
+        let mut rngs: Vec<&mut Pcg64> = Vec::with_capacity(order.len());
+        let mut k = 0;
+        for (idx, slot) in worker.slots.iter_mut().enumerate() {
+            if k == order.len() {
+                break;
+            }
+            if idx != cfg.local_index(ready[order[k]].1) {
+                continue;
+            }
+            let DieSlot {
+                sensor, die, rng, ..
+            } = slot.as_mut().expect("slot built above");
+            sensors.push(&*sensor);
+            inputs.push(SensorInputs::new(
+                &*die,
+                DieSite::CENTER,
+                Celsius(ready[order[k]].2),
+            ));
+            rngs.push(rng);
+            k += 1;
+        }
+        read_group_with(
+            &sensors,
+            &inputs,
+            &mut rngs,
+            &mut worker.scratch,
+            &mut worker.group_results,
+        );
+        for (k, res) in worker.group_results.drain(..).enumerate() {
+            outs[order[k]] = Some(res.map_err(|e| e.to_string()));
+        }
+        outs
+    }));
+
+    match outcome {
+        Err(_) => {
+            // The panic may have left any touched slot mid-update: rebuild
+            // every group die from the deterministic seeds on next touch.
+            let mut m = recover(shared.metrics.lock());
+            let w = m.coalesce_width;
+            m.reg.observe(w, ready.len() as f64);
+            for &(_, die, _) in &ready {
+                worker.slots[cfg.local_index(die)] = None;
+                let id = m.rej_worker_panicked;
+                m.reg.inc(id);
+            }
+            drop(m);
+            for (job, die, _) in &ready {
+                let _ = job.reply.send(Response::rejected(
+                    Rejection::WorkerPanicked,
+                    format!("conversion on die {die} panicked; die state rebuilt"),
+                ));
+            }
+        }
+        Ok(outs) => {
+            let mut m = recover(shared.metrics.lock());
+            let w = m.coalesce_width;
+            m.reg.observe(w, ready.len() as f64);
+            for ((job, die, _), out) in ready.iter().zip(outs) {
+                let response = match out.expect("every live job has an outcome") {
+                    Ok(reading) => {
+                        let quality = quality_of(reading.health.status());
+                        let id = m.served;
+                        m.reg.inc(id);
+                        if quality == Quality::Degraded {
+                            let id = m.degraded_served;
+                            m.reg.inc(id);
+                        }
+                        let lat = m.latency_us;
+                        m.reg
+                            .observe(lat, job.enqueued.elapsed().as_secs_f64() * 1e6);
+                        Response::Reading {
+                            die: *die,
+                            temp_c: reading.temperature.0,
+                            d_vtn_mv: reading.d_vtn.millivolts(),
+                            d_vtp_mv: reading.d_vtp.millivolts(),
+                            energy_pj: reading.energy.total().picojoules(),
+                            quality,
+                        }
+                    }
+                    Err(detail) => {
+                        let id = m.rej_conversion_failed;
+                        m.reg.inc(id);
+                        Response::rejected(Rejection::ConversionFailed, detail)
+                    }
+                };
+                let _ = job.reply.send(response);
+            }
+        }
+    }
+}
+
+/// The die a queued, die-addressed request targets (`0` for ops the
+/// coalescer never groups).
+fn die_of(req: &Request) -> u64 {
+    match req {
+        Request::Read { die, .. }
+        | Request::Calibrate { die, .. }
+        | Request::Inject { die, .. } => *die,
+        Request::BatchRead { die0, .. } => *die0,
+        _ => 0,
+    }
 }
 
 /// The stripe a `batch_read` anchored at `die0` addresses: the `count`
@@ -722,6 +970,7 @@ mod tests {
             n_dies: 10,
             queue_depth: 8,
             base_seed: 7,
+            coalesce_max: 8,
         }
     }
 

@@ -17,6 +17,7 @@ fn test_fleet_cfg() -> FleetConfig {
         n_shards: 2,
         queue_depth: 8,
         base_seed: 0xd1e5,
+        coalesce_max: 8,
         max_restarts: 3,
         backoff_base: Duration::from_millis(5),
         backoff_cap: Duration::from_millis(40),

@@ -21,6 +21,12 @@ PTSIM_BENCH_GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 PTSIM_BENCH_DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 export PTSIM_BENCH_GIT_REV PTSIM_BENCH_DATE
 
+# Pin the request count for recorded runs: the loadgen's own warm-up
+# (die calibration + one untimed call per connection) plus a fixed sample
+# size keeps successive trajectory entries comparable.
+PTSIM_LOADGEN_REQUESTS="${PTSIM_LOADGEN_REQUESTS:-600}"
+export PTSIM_LOADGEN_REQUESTS
+
 cargo build --release --offline -p ptsim-bench --bin service_loadgen
 
 touch "$out"

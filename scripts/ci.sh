@@ -62,20 +62,21 @@ python3 - "$FLEET_ADDR" <<'EOF'
 import json, socket, struct, sys
 host, port = sys.argv[1].rsplit(":", 1)
 
+def recvn(sock, n):
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        assert chunk, "connection closed mid-read"
+        buf += chunk
+    return buf
+
+def read_frame(sock):
+    (n,) = struct.unpack(">I", recvn(sock, 4))
+    return recvn(sock, n)
+
 def call(sock, payload: bytes):
     sock.sendall(struct.pack(">I", len(payload)) + payload)
-    buf = b""
-    while len(buf) < 4:
-        chunk = sock.recv(4 - len(buf))
-        assert chunk, "connection closed mid-header"
-        buf += chunk
-    (n,) = struct.unpack(">I", buf)
-    body = b""
-    while len(body) < n:
-        chunk = sock.recv(n - len(body))
-        assert chunk, "connection closed mid-frame"
-        body += chunk
-    return json.loads(body)
+    return json.loads(read_frame(sock))
 
 s = socket.create_connection((host, int(port)), timeout=60)
 r = call(s, json.dumps({"op": "read", "die": 3, "temp_c": 80.0}).encode())
@@ -86,6 +87,7 @@ assert c["ok"] and c["op"] == "calibrate", c
 h = call(s, json.dumps({"op": "health"}).encode())
 assert h["ok"] and {sh["state"] for sh in h["shards"]} == {"up"}, h
 assert h["counters"]["svc.served"] >= 2, h
+assert h["coalesce_max"] >= 1 and h["wire_version"] == 2, h
 b = call(s, json.dumps({"op": "batch_read", "die0": 1, "count": 3, "temp_c": 70.0}).encode())
 assert b["ok"] and b["op"] == "batch_read" and len(b["items"]) == 3, b
 assert [it["die"] for it in b["items"]] == [1, 3, 5], b
@@ -96,9 +98,27 @@ bad = call(s, b"definitely not json")
 assert not bad["ok"] and bad["error"] == "bad_request", bad
 oob = call(s, json.dumps({"op": "read", "die": 3, "temp_c": 9999}).encode())
 assert not oob["ok"] and oob["error"] == "bad_request", oob
+
+# A v2 binary client against the same daemon: hello negotiation, then one
+# fixed-width little-endian read while the JSON connection stays v1.
+b2 = socket.create_connection((host, int(port)), timeout=60)
+b2.sendall(b"PTSV" + bytes([2]))
+hello = recvn(b2, 5)
+assert hello[:4] == b"PTSV" and hello[4] == 2, hello
+req = struct.pack("<BQdBQ", 1, 5, 72.0, 1, 30_000)  # read die 5 @ 72C
+b2.sendall(struct.pack(">I", len(req)) + req)
+tag, die, temp, vtn, vtp, pj, q = struct.unpack("<BQddddB", read_frame(b2))
+assert tag == 1 and die == 5 and abs(temp - 72.0) < 2.0, (tag, die, temp)
+assert pj > 0 and q == 0, (pj, q)
+# JSON (v1) still works on the original connection after the binary round.
+again = call(s, json.dumps({"op": "read", "die": 5, "temp_c": 72.0}).encode())
+assert again["ok"] and abs(again["temp_c"] - 72.0) < 2.0, again
+b2.close()
+
 bye = call(s, json.dumps({"op": "shutdown"}).encode())
 assert bye["ok"] and bye["op"] == "shutdown", bye
-print("service smoke: read/calibrate/batch/health/malformed/typed-rejection/shutdown OK")
+print("service smoke: read/calibrate/batch/health/v2-binary/malformed/"
+      "typed-rejection/shutdown OK")
 EOF
 wait "$FLEETD_PID"
 
@@ -116,7 +136,8 @@ for obj in lines[1:]:
     assert obj["samples"] > 0 and obj["p50_us"] > 0, obj
     assert obj["p99_us"] >= obj["p50_us"] and obj["conversions_per_sec"] > 0, obj
     names.add(obj["name"])
-assert {"service/read_seq", "service/read_concurrent", "service/batch_read",
+assert {"service/read_seq", "service/read_seq_v2", "service/read_concurrent",
+        "service/read_coalesced", "service/batch_read",
         "service/health"} <= names, names
 print(f"service bench: {len(lines) - 1} scenarios, schema OK")
 EOF
