@@ -1,0 +1,159 @@
+//! Dual-mode DTM sensing: the 2012 PT sensor on the nominal rail, handing
+//! conversions to the 2013 dynamic-voltage-selection sensor whenever a
+//! DVFS actuation drops the core rail into its 0.25–0.5 V range.
+//!
+//! This is the DVS arm of the R3 closed-loop campaign. The policy mirrors
+//! what the 2013 paper motivates: at nominal supply the 2012 sensor's
+//! short 14 µs window gives near-instantaneous readings; once the rail is
+//! throttled below [`DVS_VDD_MAX`] the always-on rail assumption no longer
+//! buys anything, and the 2013 sensor converts *from the throttled rail
+//! itself* — cheaper per conversion (the CV²f of a 0.25 V ring is tiny)
+//! at the price of an exponentially longer counting window, i.e. more
+//! sensing lag for the control loop.
+
+use crate::pvt2013::Pvt2013Sensor;
+use ptsim_core::dtm::{DtmSensing, SensingMode};
+use ptsim_core::error::SensorError;
+use ptsim_core::pipeline::Conversion;
+use ptsim_core::sensor::{PtSensor, Reading, SensorInputs, SensorSpec};
+use ptsim_device::process::Technology;
+use ptsim_device::units::{Seconds, Volt};
+use ptsim_rng::RngCore;
+
+/// Highest rail voltage the 2013 sensor's DVS mode covers; actuations at
+/// or below this hand sensing over to it.
+pub const DVS_VDD_MAX: f64 = 0.5;
+
+/// The dual-mode sensing stack ([`SensingMode::Nominal`] 2012 sensor +
+/// [`SensingMode::DynamicVoltageSelection`] 2013 sensor).
+#[derive(Debug, Clone)]
+pub struct DvsDtmSensing {
+    nominal: PtSensor,
+    spec: SensorSpec,
+    dvs: Pvt2013Sensor,
+    mode: SensingMode,
+}
+
+impl DvsDtmSensing {
+    /// Builds the stack at the nominal operating point; the DVS sensor
+    /// boots parked at the top of its range (0.5 V).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from either sensor.
+    pub fn new(tech: &Technology, spec: SensorSpec) -> Result<Self, SensorError> {
+        Ok(DvsDtmSensing {
+            nominal: PtSensor::new(tech.clone(), spec)?,
+            spec,
+            dvs: Pvt2013Sensor::new(tech.clone(), Volt(DVS_VDD_MAX))?,
+            mode: SensingMode::Nominal,
+        })
+    }
+
+    /// The 2013 sensor (its selected bin tracks the rail actuations).
+    #[must_use]
+    pub fn dvs_sensor(&self) -> &Pvt2013Sensor {
+        &self.dvs
+    }
+}
+
+impl DtmSensing for DvsDtmSensing {
+    /// Boot: self-calibrate the 2012 sensor *and* characterize every
+    /// supply bin of the 2013 sensor, so later rail moves need no
+    /// re-calibration.
+    fn calibrate(
+        &mut self,
+        inputs: &SensorInputs<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Result<(), SensorError> {
+        self.nominal.calibrate(inputs, rng)?;
+        self.dvs.prepare_all_bins(inputs, rng)
+    }
+
+    fn set_operating_point(&mut self, vdd: Volt) -> Result<SensingMode, SensorError> {
+        if vdd.0 <= DVS_VDD_MAX {
+            self.dvs.set_vdd_op(vdd)?;
+            self.mode = SensingMode::DynamicVoltageSelection;
+        } else {
+            self.mode = SensingMode::Nominal;
+        }
+        Ok(self.mode)
+    }
+
+    fn mode(&self) -> SensingMode {
+        self.mode
+    }
+
+    fn read(
+        &self,
+        inputs: &SensorInputs<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Result<Reading, SensorError> {
+        match self.mode {
+            SensingMode::Nominal => self.nominal.read(inputs, rng),
+            SensingMode::DynamicVoltageSelection => self.dvs.convert(inputs, rng),
+        }
+    }
+
+    fn conversion_window(&self) -> Seconds {
+        match self.mode {
+            SensingMode::Nominal => Seconds(self.spec.window_cycles as f64 / self.spec.ref_clock.0),
+            SensingMode::DynamicVoltageSelection => self.dvs.conversion_window(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsim_device::units::Celsius;
+    use ptsim_mc::die::{DieSample, DieSite};
+    use ptsim_rng::Pcg64;
+
+    fn booted() -> (DvsDtmSensing, DieSample, Pcg64) {
+        let mut s = DvsDtmSensing::new(&Technology::n65(), SensorSpec::default_65nm()).unwrap();
+        let die = DieSample::nominal();
+        let mut rng = Pcg64::seed_from_u64(99);
+        let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(25.0));
+        s.calibrate(&inputs, &mut rng).unwrap();
+        (s, die, rng)
+    }
+
+    #[test]
+    fn mode_follows_the_rail() {
+        let (mut s, _, _) = booted();
+        assert_eq!(s.mode(), SensingMode::Nominal);
+        assert_eq!(
+            s.set_operating_point(Volt(0.45)).unwrap(),
+            SensingMode::DynamicVoltageSelection
+        );
+        assert_eq!(s.dvs_sensor().selected_bin(), 4);
+        assert_eq!(
+            s.set_operating_point(Volt(1.0)).unwrap(),
+            SensingMode::Nominal
+        );
+    }
+
+    #[test]
+    fn reads_accurately_in_both_modes() {
+        let (mut s, die, mut rng) = booted();
+        let inputs = SensorInputs::new(&die, DieSite::CENTER, Celsius(55.0));
+        let nominal = s.read(&inputs, &mut rng).unwrap();
+        assert!((nominal.temperature.0 - 55.0).abs() < 2.0);
+        s.set_operating_point(Volt(0.25)).unwrap();
+        let dvs = s.read(&inputs, &mut rng).unwrap();
+        assert!((dvs.temperature.0 - 55.0).abs() < 2.5);
+        // The DVS conversion rides the throttled rail and is cheaper.
+        assert!(dvs.energy_total().0 < nominal.energy_total().0);
+    }
+
+    #[test]
+    fn windows_stretch_in_dvs_mode() {
+        let (mut s, _, _) = booted();
+        let w_nom = s.conversion_window().0;
+        assert!((w_nom - 14e-6).abs() < 1e-9);
+        s.set_operating_point(Volt(0.25)).unwrap();
+        let w_dvs = s.conversion_window().0;
+        assert!((w_dvs - 896e-6).abs() < 1e-9, "window {w_dvs}");
+    }
+}

@@ -51,12 +51,14 @@
 
 pub mod adapter;
 pub mod bjt;
+pub mod dvs;
 pub mod pvt2013;
 pub mod ro_thermometer;
 pub mod traits;
 
 pub use adapter::PtSensorThermometer;
 pub use bjt::BjtSensor;
+pub use dvs::DvsDtmSensing;
 pub use pvt2013::Pvt2013Sensor;
 pub use ro_thermometer::{RoCalibration, RoThermometer};
 pub use traits::{Conversion, TempReading, Thermometer};

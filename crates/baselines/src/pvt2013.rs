@@ -27,6 +27,15 @@ pub const VDD_BINS: [f64; 6] = [0.25, 0.30, 0.35, 0.40, 0.45, 0.50];
 /// Resolution of the on-chip voltage-status measurement.
 pub const VDD_SENSE_RESOLUTION: f64 = 0.002;
 
+/// Hysteresis margin on dynamic TSRO bin re-selection, volts.
+///
+/// When [`Pvt2013Sensor::set_vdd_op`] moves the supply, the sensor leaves
+/// its current bin only if the sensed supply sits closer to the candidate
+/// bin's centre than to the current bin's centre *by more than this
+/// margin* — repeated reads with the supply dithering around a bin
+/// boundary must not flap between two characterizations.
+pub const BIN_HYSTERESIS: f64 = 0.01;
+
 /// Resolution of the on-chip PV (process) status readout.
 pub const PV_SENSE_RESOLUTION_V: f64 = 0.001;
 
@@ -46,6 +55,9 @@ pub struct Pvt2013Sensor {
     pv_status: Option<CmosEnv>,
     /// Supply the sensor currently operates from.
     vdd_op: Volt,
+    /// Currently selected TSRO bin (sticky across supply dithers — see
+    /// [`BIN_HYSTERESIS`]).
+    bin: usize,
     ref_clock: Hertz,
     counter_bits: u32,
     assumed_boot_temp: Celsius,
@@ -67,7 +79,7 @@ impl Pvt2013Sensor {
         }
         let inv = Inverter::balanced(Micron(0.3), 2.0, &tech)?;
         let ring = InverterRing::new(31, inv, Farad(0.3e-15), vdd_op)?;
-        Ok(Pvt2013Sensor {
+        let mut sensor = Pvt2013Sensor {
             tech,
             ring,
             // Sub-Vth bins count much longer to preserve resolution.
@@ -75,10 +87,93 @@ impl Pvt2013Sensor {
             ln_scales: [None; 6],
             pv_status: None,
             vdd_op,
+            bin: 0,
             ref_clock: Hertz(32.0e6),
             counter_bits: 20,
             assumed_boot_temp: Celsius(25.0),
-        })
+        };
+        sensor.bin = Self::nearest_bin(sensor.sensed_vdd().0);
+        Ok(sensor)
+    }
+
+    /// Index of the bin whose centre is nearest to supply `v` (first bin
+    /// wins on exact ties).
+    fn nearest_bin(v: f64) -> usize {
+        VDD_BINS
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                (v - **a)
+                    .abs()
+                    .partial_cmp(&(v - **b).abs())
+                    .expect("finite")
+            })
+            .map(|(i, _)| i)
+            .expect("bins non-empty")
+    }
+
+    /// Moves the sensor to a new operating supply (a DVFS actuation): the
+    /// ring now runs from `vdd`, and the TSRO bin re-selects with
+    /// hysteresis — the bin changes only when the sensed supply is closer
+    /// to the candidate bin than to the current one by more than
+    /// [`BIN_HYSTERESIS`], so supply dither around a bin boundary never
+    /// flaps between characterizations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::InvalidConfig`] for a supply outside the
+    /// supported 0.24–0.52 V range; the sensor state is unchanged.
+    pub fn set_vdd_op(&mut self, vdd: Volt) -> Result<(), SensorError> {
+        if !(0.24..=0.52).contains(&vdd.0) {
+            return Err(SensorError::InvalidConfig {
+                name: "vdd_op",
+                value: vdd.0,
+            });
+        }
+        self.vdd_op = vdd;
+        self.ring = self.ring.with_vdd(vdd);
+        let v = self.sensed_vdd().0;
+        let candidate = Self::nearest_bin(v);
+        if candidate != self.bin {
+            let d_cur = (v - VDD_BINS[self.bin]).abs();
+            let d_new = (v - VDD_BINS[candidate]).abs();
+            if d_cur - d_new > BIN_HYSTERESIS {
+                self.bin = candidate;
+            }
+        }
+        Ok(())
+    }
+
+    /// Characterizes **every** TSRO bin against the die's PV status in one
+    /// boot-time pass (each bin measured at its centre supply), then
+    /// restores the original operating point. After this the sensor can be
+    /// actuated across the whole 0.25–0.5 V range by
+    /// [`Pvt2013Sensor::set_vdd_op`] without re-calibration — the hand-off
+    /// a closed-loop DVFS controller needs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates measurement errors from any bin's characterization.
+    pub fn prepare_all_bins(
+        &mut self,
+        inputs: &SensorInputs<'_>,
+        rng: &mut dyn ptsim_rng::RngCore,
+    ) -> Result<(), SensorError> {
+        let restore = self.vdd_op;
+        for vdd in VDD_BINS {
+            self.set_vdd_op(Volt(vdd))?;
+            self.prepare(inputs, rng)?;
+        }
+        self.set_vdd_op(restore)
+    }
+
+    /// Gating window of one conversion at the present operating point.
+    /// Sub-Vth bins count exponentially longer (896 µs at 0.25 V vs 28 µs
+    /// at 0.5 V from the 32 MHz reference) — the sensing lag a control
+    /// loop inherits when it drops into DVS mode.
+    #[must_use]
+    pub fn conversion_window(&self) -> ptsim_device::units::Seconds {
+        ptsim_device::units::Seconds(self.windows[self.bin] as f64 / self.ref_clock.0)
     }
 
     /// Operating supply.
@@ -94,21 +189,13 @@ impl Pvt2013Sensor {
         Volt((self.vdd_op.0 / VDD_SENSE_RESOLUTION).round() * VDD_SENSE_RESOLUTION)
     }
 
-    /// Index of the TSRO bin selected for the present supply.
+    /// Index of the TSRO bin selected for the present supply. On a fresh
+    /// sensor this is the bin nearest the sensed supply; after
+    /// [`Pvt2013Sensor::set_vdd_op`] actuations it is sticky per
+    /// [`BIN_HYSTERESIS`].
     #[must_use]
     pub fn selected_bin(&self) -> usize {
-        let v = self.sensed_vdd().0;
-        VDD_BINS
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                (v - **a)
-                    .abs()
-                    .partial_cmp(&(v - **b).abs())
-                    .expect("finite")
-            })
-            .map(|(i, _)| i)
-            .expect("bins non-empty")
+        self.bin
     }
 
     fn env_for(&self, inputs: &SensorInputs<'_>) -> CmosEnv {
@@ -308,6 +395,134 @@ mod tests {
             .conversion_power()
             .0;
         assert!(lo < hi);
+    }
+
+    #[test]
+    fn reads_temperature_at_supply_range_edges() {
+        // 0.24 and 0.52 V are the extreme supplies the sensor accepts —
+        // outside every bin centre, clamped onto the outermost bins.
+        let die = DieSample::nominal();
+        let mut rng = Pcg64::seed_from_u64(7);
+        for (vdd, bin) in [(0.24, 0), (0.52, 5)] {
+            let mut s = Pvt2013Sensor::new(Technology::n65(), Volt(vdd)).unwrap();
+            assert_eq!(s.selected_bin(), bin, "vdd {vdd}");
+            s.prepare(&inputs(&die, 25.0), &mut rng).unwrap();
+            let r = s.read_temperature(&inputs(&die, 70.0), &mut rng).unwrap();
+            assert!(
+                (r.temperature.0 - 70.0).abs() < 2.5,
+                "vdd {vdd}: read {} vs 70 °C",
+                r.temperature
+            );
+        }
+    }
+
+    #[test]
+    fn set_vdd_op_validates_and_moves_the_ring() {
+        let mut s = Pvt2013Sensor::new(Technology::n65(), Volt(0.30)).unwrap();
+        assert!(s.set_vdd_op(Volt(0.60)).is_err());
+        assert!(s.set_vdd_op(Volt(0.10)).is_err());
+        assert_eq!(s.vdd_op(), Volt(0.30), "failed actuation must not move");
+        s.set_vdd_op(Volt(0.50)).unwrap();
+        assert_eq!(s.vdd_op(), Volt(0.50));
+        assert_eq!(s.selected_bin(), 5);
+    }
+
+    #[test]
+    fn prepare_all_bins_enables_every_operating_point() {
+        let die = DieSample::nominal();
+        let mut rng = Pcg64::seed_from_u64(9);
+        let mut s = Pvt2013Sensor::new(Technology::n65(), Volt(0.50)).unwrap();
+        s.prepare_all_bins(&inputs(&die, 25.0), &mut rng).unwrap();
+        assert_eq!(s.vdd_op(), Volt(0.50), "operating point restored");
+        for vdd in VDD_BINS {
+            s.set_vdd_op(Volt(vdd)).unwrap();
+            let r = s.read_temperature(&inputs(&die, 60.0), &mut rng).unwrap();
+            assert!(
+                (r.temperature.0 - 60.0).abs() < 2.5,
+                "vdd {vdd}: read {} vs 60 °C",
+                r.temperature
+            );
+        }
+    }
+
+    #[test]
+    fn conversion_window_stretches_at_low_supply() {
+        let mut s = Pvt2013Sensor::new(Technology::n65(), Volt(0.50)).unwrap();
+        let fast = s.conversion_window().0;
+        s.set_vdd_op(Volt(0.25)).unwrap();
+        let slow = s.conversion_window().0;
+        assert!((fast - 28e-6).abs() < 1e-9, "0.5 V window: {fast}");
+        assert!((slow - 896e-6).abs() < 1e-9, "0.25 V window: {slow}");
+    }
+
+    ptsim_rng::forall! {
+        #![cases = 32]
+
+        /// Any accepted supply selects a bin whose centre is within half a
+        /// bin pitch + edge margin of the sensed supply, and a fresh
+        /// sensor's choice is the true nearest bin.
+        #[test]
+        fn fresh_selection_is_nearest_bin(vdd in 0.24f64..0.52) {
+            let s = Pvt2013Sensor::new(Technology::n65(), Volt(vdd)).unwrap();
+            let bin = s.selected_bin();
+            let d = (s.sensed_vdd().0 - VDD_BINS[bin]).abs();
+            for (i, c) in VDD_BINS.iter().enumerate() {
+                assert!(
+                    d <= (s.sensed_vdd().0 - c).abs() + 1e-12,
+                    "vdd {vdd}: bin {bin} farther than bin {i}"
+                );
+            }
+        }
+
+        /// Exactly on a bin boundary the selection is deterministic: one of
+        /// the two adjacent bins (whichever the quantized voltage status
+        /// tips toward), and re-applying the same supply never changes it.
+        #[test]
+        fn bin_boundaries_select_deterministically(k in 0usize..5) {
+            let boundary = 0.5 * (VDD_BINS[k] + VDD_BINS[k + 1]);
+            let mut s = Pvt2013Sensor::new(Technology::n65(), Volt(boundary)).unwrap();
+            let first = s.selected_bin();
+            assert!(
+                first == k || first == k + 1,
+                "boundary {boundary} selected non-adjacent bin {first}"
+            );
+            for _ in 0..4 {
+                s.set_vdd_op(Volt(boundary)).unwrap();
+                assert_eq!(s.selected_bin(), first, "re-applying {boundary} flapped");
+            }
+        }
+
+        /// Supply dither smaller than the hysteresis margin around a bin
+        /// boundary never flaps the selected bin across repeated
+        /// actuations.
+        #[test]
+        fn no_bin_flapping_near_boundary(
+            k in 0usize..5,
+            dither in ptsim_rng::check::vec_in(-0.004f64..0.004, 12..20),
+        ) {
+            let boundary = 0.5 * (VDD_BINS[k] + VDD_BINS[k + 1]);
+            let mut s = Pvt2013Sensor::new(Technology::n65(), Volt(boundary)).unwrap();
+            let home = s.selected_bin();
+            for d in dither {
+                s.set_vdd_op(Volt(boundary + d)).unwrap();
+                assert_eq!(
+                    s.selected_bin(),
+                    home,
+                    "bin flapped at {boundary} + {d}"
+                );
+            }
+        }
+
+        /// Hysteresis is sticky, not stuck: a decisive move to another
+        /// bin's centre always lands in that bin.
+        #[test]
+        fn decisive_supply_moves_always_switch(from in 0usize..6, to in 0usize..6) {
+            let mut s =
+                Pvt2013Sensor::new(Technology::n65(), Volt(VDD_BINS[from])).unwrap();
+            assert_eq!(s.selected_bin(), from);
+            s.set_vdd_op(Volt(VDD_BINS[to])).unwrap();
+            assert_eq!(s.selected_bin(), to);
+        }
     }
 
     #[test]

@@ -10,7 +10,9 @@ use ptsim_bench::harness::{bench, emit_meta};
 use ptsim_device::units::{Seconds, Watt};
 use ptsim_thermal::multigrid::{solve_steady_state_mg, MgOptions};
 use ptsim_thermal::power::PowerMap;
-use ptsim_thermal::solve::{solve_steady_state, step_transient, SolveOptions};
+use ptsim_thermal::solve::{
+    solve_steady_state, step_transient, step_transient_with, SolveOptions, TransientScratch,
+};
 use ptsim_thermal::stack::{StackConfig, ThermalStack};
 use std::hint::black_box;
 
@@ -44,5 +46,15 @@ fn main() {
     let mut s = stack(16);
     bench("transient_step_16x16x4", || {
         black_box(step_transient(&mut s, Seconds(1e-4)));
+    });
+
+    // The DTM control-loop tick: caller-held scratch, no per-step heap
+    // traffic (the counting-allocator gate in ptsim-core enforces zero
+    // allocations; this tracks what the saved allocations buy in time).
+    let mut s = stack(16);
+    let mut scratch = TransientScratch::new();
+    step_transient_with(&mut s, Seconds(1e-4), &mut scratch);
+    bench("transient_step_warm_16x16x4", || {
+        black_box(step_transient_with(&mut s, Seconds(1e-4), &mut scratch));
     });
 }

@@ -2,7 +2,7 @@
 use ptsim_bench::experiments as exp;
 
 fn main() {
-    let sections: [(&str, fn() -> String); 14] = [
+    let sections: [(&str, fn() -> String); 15] = [
         ("F1", exp::f1_ro_vs_temp::run),
         ("F2", exp::f2_ro_vs_vt::run),
         ("F3", exp::f3_temp_error::run),
@@ -17,6 +17,7 @@ fn main() {
         ("X2", exp::x2_aging::run),
         ("X3", exp::x3_placement::run),
         ("R1", exp::r1_faults::run),
+        ("R3", exp::r3_dtm::run),
     ];
     for (id, f) in sections {
         println!("{}", "=".repeat(78));

@@ -10,6 +10,7 @@ pub mod f5_stack_tracking;
 pub mod f6_tsv_stress;
 pub mod r1_faults;
 pub mod r2_chaos;
+pub mod r3_dtm;
 pub mod t1_energy;
 pub mod t2_comparison;
 pub mod t3_corners;

@@ -42,6 +42,7 @@
 
 pub mod bank;
 pub mod calib;
+pub mod dtm;
 pub mod error;
 pub mod fieldest;
 pub mod golden;
@@ -55,6 +56,10 @@ pub mod vsense;
 
 pub use bank::{BankCache, BankSpec, RoBank, RoClass};
 pub use calib::Calibration;
+pub use dtm::{
+    hottest_site, run_dtm_loop, DtmConfig, DtmController, DtmOutcome, DtmSensing, DtmStepRecord,
+    DvfsTable, NominalSensing, OperatingPoint, SensingMode, WorkloadTrace,
+};
 pub use error::SensorError;
 pub use fieldest::{place_sensors_greedy, refine_placement_swaps, FieldEstimator};
 pub use golden::{CharacterizationSpace, GoldenModel};

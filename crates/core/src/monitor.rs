@@ -155,9 +155,37 @@ impl StackMonitor {
     ) -> Result<SensorInputs<'a>, ptsim_thermal::error::ThermalError> {
         let node = &self.nodes[node_index];
         let t = thermal.temperature_at(node.tier, node.site.x, node.site.y)?;
+        Ok(self.inputs_at(node_index, t))
+    }
+
+    /// The sensor inputs a node sees at an externally supplied site
+    /// temperature — e.g. the lag-adjusted estimate a closed control loop
+    /// attributes to a conversion that integrated over the previous
+    /// sample period. Stress-induced threshold shifts are evaluated from
+    /// the topology at that temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_index` is out of range.
+    #[must_use]
+    pub fn inputs_at(&self, node_index: usize, temp: Celsius) -> SensorInputs<'_> {
+        let node = &self.nodes[node_index];
         let (x, y) = self.site_um(node);
-        let (svtn, svtp) = self.topology.stress_vt_shift_at(node.tier, x, y, t);
-        Ok(SensorInputs::new(&self.dies[node.tier], node.site, t).with_stress(svtn, svtp))
+        let (svtn, svtp) = self.topology.stress_vt_shift_at(node.tier, x, y, temp);
+        SensorInputs::new(&self.dies[node.tier], node.site, temp).with_stress(svtn, svtp)
+    }
+
+    /// The inputs a node sees with the stack idle at ambient — the
+    /// calibration condition [`StackMonitor::calibrate_all`] uses, exposed
+    /// so external sensing stacks (e.g. the DTM loop's DVS-mode sensors)
+    /// can boot under identical conditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_index` is out of range.
+    #[must_use]
+    pub fn calibration_inputs(&self, node_index: usize) -> SensorInputs<'_> {
+        self.inputs_at(node_index, self.topology.thermal_config().ambient)
     }
 
     /// Calibrates every sensor with the stack idle at ambient.

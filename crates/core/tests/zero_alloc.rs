@@ -13,9 +13,10 @@ use ptsim_core::pipeline::{gate, run_conversion_with, solve_gated_lanes, LaneBat
 use ptsim_core::sensor::{PtSensor, SensorInputs, SensorSpec};
 use ptsim_core::Scratch;
 use ptsim_device::process::Technology;
-use ptsim_device::units::{Celsius, Volt};
+use ptsim_device::units::{Celsius, Seconds, Volt, Watt};
 use ptsim_mc::die::{DieSample, DieSite};
 use ptsim_rng::Pcg64;
+use ptsim_thermal::{step_transient_with, StackConfig, ThermalStack, TransientScratch};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -158,6 +159,43 @@ fn warm_conversion_path_with_metrics_is_allocation_free() {
         let snap = scratch.metrics().expect("metrics attached").snapshot();
         assert_eq!(snap.counter("pipeline.conversions"), Some(33));
     }
+}
+
+#[test]
+fn warm_transient_step_is_allocation_free() {
+    // The 2 ms DTM control-loop tick: retune per-cell power in place
+    // (`power_mut` + `set_cell`), then advance the 16×16×4 stack with the
+    // caller-held scratch. The first step sizes the stencil and derivative
+    // buffers; every warm step after that must not touch the heap.
+    let mut stack = ThermalStack::new(StackConfig::four_tier_5mm()).unwrap();
+    stack
+        .power_mut(0)
+        .unwrap()
+        .add_hotspot(0.5, 0.5, 0.15, Watt(2.0));
+    let mut scratch = TransientScratch::new();
+    let dt = Seconds(0.002);
+
+    // Warm-up step.
+    assert!(step_transient_with(&mut stack, dt, &mut scratch) >= 1);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..16usize {
+        // A moving hotspot, written straight into the stored map.
+        let map = stack.power_mut(0).unwrap();
+        map.set_cell(i % 16, (3 * i) % 16, Watt(4.0));
+        map.set_cell((i + 7) % 16, i % 16, Watt(0.5));
+        step_transient_with(&mut stack, dt, &mut scratch);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    let probe = stack.max_temperature(0).unwrap();
+    assert!(probe.0.is_finite() && probe.0 > 25.0);
+    assert_eq!(
+        after - before,
+        0,
+        "warm transient steps allocated {} times",
+        after - before
+    );
 }
 
 #[test]

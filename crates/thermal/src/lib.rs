@@ -57,5 +57,8 @@ pub use error::ThermalError;
 pub use material::Material;
 pub use multigrid::{solve_steady_state_mg, MgOptions, MultigridSolver};
 pub use power::PowerMap;
-pub use solve::{run_transient, solve_steady_state, step_transient, SolveOptions, SolveStats};
+pub use solve::{
+    run_transient, solve_steady_state, step_transient, step_transient_with, SolveOptions,
+    SolveStats, TransientScratch,
+};
 pub use stack::{StackConfig, ThermalStack};

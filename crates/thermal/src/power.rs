@@ -71,9 +71,31 @@ impl PowerMap {
         self.cells[iy * self.nx + ix] = p.0.max(0.0);
     }
 
+    /// Flat index of the cell whose centre is nearest to the normalized
+    /// point `(px, py)` after clamping it onto the die. Non-finite
+    /// coordinates clamp to the die centre so the deposit stays on-map.
+    fn nearest_cell_index(&self, px: f64, py: f64) -> usize {
+        let snap = |p: f64, n: usize| -> usize {
+            let p = if p.is_finite() {
+                p.clamp(0.0, 1.0)
+            } else {
+                0.5
+            };
+            // Cell centres sit at (i + 0.5) / n; invert and round.
+            let i = (p * n as f64 - 0.5).round().max(0.0) as usize;
+            i.min(n - 1)
+        };
+        snap(py, self.ny) * self.nx + snap(px, self.nx)
+    }
+
     /// Adds a Gaussian hotspot centred at normalized coordinates
     /// `(cx, cy)` with the given normalized radius (standard deviation),
     /// carrying `total` additional watts.
+    ///
+    /// Injected power is always conserved: if the centre is so far off-die
+    /// (or the radius so small) that every cell weight underflows to zero,
+    /// the full wattage lands in the cell nearest the clamped centre
+    /// instead of being silently dropped.
     pub fn add_hotspot(&mut self, cx: f64, cy: f64, radius: f64, total: Watt) {
         let r = radius.max(1e-6);
         let mut weights = vec![0.0; self.cells.len()];
@@ -92,11 +114,19 @@ impl PowerMap {
             for (c, w) in self.cells.iter_mut().zip(&weights) {
                 *c += total.0 * w / sum;
             }
+        } else {
+            let i = self.nearest_cell_index(cx, cy);
+            self.cells[i] += total.0;
         }
     }
 
     /// Adds a rectangular power block covering normalized `[x0,x1]×[y0,y1]`,
     /// carrying `total` additional watts spread uniformly over the block.
+    ///
+    /// Injected power is always conserved: a footprint thin enough to slip
+    /// between cell centres (or lying off-die entirely) deposits the full
+    /// wattage in the cell nearest the clamped block centre instead of
+    /// being silently dropped.
     pub fn add_block(&mut self, x0: f64, y0: f64, x1: f64, y1: f64, total: Watt) {
         let mut indices = Vec::new();
         for iy in 0..self.ny {
@@ -113,6 +143,11 @@ impl PowerMap {
             for i in indices {
                 self.cells[i] += per;
             }
+        } else {
+            let cx = 0.5 * (x0 + x1);
+            let cy = 0.5 * (y0 + y1);
+            let i = self.nearest_cell_index(cx, cy);
+            self.cells[i] += total.0;
         }
     }
 
@@ -193,5 +228,82 @@ mod tests {
     fn cell_bounds_checked() {
         let m = PowerMap::zero(2, 2).unwrap();
         let _ = m.cell(2, 0);
+    }
+
+    #[test]
+    fn thin_block_between_cell_centers_conserves_power() {
+        // On an 8×8 grid the cell centres sit at odd multiples of 1/16; a
+        // block spanning [0.26, 0.30] contains none of them and used to
+        // drop the full wattage on the floor.
+        let mut m = PowerMap::zero(8, 8).unwrap();
+        m.add_block(0.26, 0.26, 0.30, 0.30, Watt(1.5));
+        assert!((m.total().0 - 1.5).abs() < 1e-12);
+        // Snapped to the cell whose centre is nearest the block centre.
+        assert_eq!(m.cell(2, 2).0, Watt(1.5).0);
+    }
+
+    #[test]
+    fn off_die_block_snaps_to_nearest_edge_cell() {
+        let mut m = PowerMap::zero(4, 4).unwrap();
+        m.add_block(1.2, -0.7, 1.4, -0.5, Watt(0.8));
+        assert!((m.total().0 - 0.8).abs() < 1e-12);
+        assert_eq!(m.cell(3, 0).0, Watt(0.8).0);
+    }
+
+    #[test]
+    fn far_off_die_hotspot_conserves_power() {
+        // exp(-d²/2r²) underflows to 0.0 for every cell when the centre is
+        // far off-die and the radius tiny; the watts must still arrive.
+        let mut m = PowerMap::zero(8, 8).unwrap();
+        m.add_hotspot(50.0, 50.0, 1e-6, Watt(2.0));
+        assert!((m.total().0 - 2.0).abs() < 1e-12);
+        assert_eq!(m.cell(7, 7).0, Watt(2.0).0);
+    }
+
+    #[test]
+    fn non_finite_hotspot_center_still_conserves_power() {
+        let mut m = PowerMap::zero(4, 4).unwrap();
+        m.add_hotspot(f64::NAN, f64::INFINITY, 0.05, Watt(1.0));
+        assert!((m.total().0 - 1.0).abs() < 1e-12);
+    }
+
+    ptsim_rng::forall! {
+        #![cases = 64]
+
+        /// Headline conservation property: whatever the geometry — covered,
+        /// thin, degenerate, or entirely off-die — `total()` rises by
+        /// exactly the injected watts.
+        #[test]
+        fn block_injection_conserves_power(
+            x0 in -0.5f64..1.5, y0 in -0.5f64..1.5,
+            w in 0.0f64..0.8, h in 0.0f64..0.8,
+            watts in 0.0f64..10.0,
+        ) {
+            let mut m = PowerMap::uniform(8, 8, Watt(1.0)).unwrap();
+            let before = m.total().0;
+            m.add_block(x0, y0, x0 + w, y0 + h, Watt(watts));
+            let gained = m.total().0 - before;
+            assert!(
+                (gained - watts).abs() < 1e-9 * watts.max(1.0),
+                "block ({x0:.3},{y0:.3})+({w:.3},{h:.3}) lost power: \
+                 injected {watts:.6}, gained {gained:.6}"
+            );
+        }
+
+        #[test]
+        fn hotspot_injection_conserves_power(
+            cx in -2.0f64..3.0, cy in -2.0f64..3.0,
+            radius in 0.0f64..0.3, watts in 0.0f64..10.0,
+        ) {
+            let mut m = PowerMap::uniform(8, 8, Watt(1.0)).unwrap();
+            let before = m.total().0;
+            m.add_hotspot(cx, cy, radius, Watt(watts));
+            let gained = m.total().0 - before;
+            assert!(
+                (gained - watts).abs() < 1e-9 * watts.max(1.0),
+                "hotspot ({cx:.3},{cy:.3}) r={radius:.4} lost power: \
+                 injected {watts:.6}, gained {gained:.6}"
+            );
+        }
     }
 }

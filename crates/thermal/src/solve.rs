@@ -7,7 +7,7 @@
 //! residual-norm convergence (see DESIGN.md, "Thermal solver hierarchy").
 
 use crate::error::ThermalError;
-use crate::stack::ThermalStack;
+use crate::stack::{Stencil, ThermalStack};
 use ptsim_device::units::Seconds;
 
 /// Options for the steady-state Gauss–Seidel/SOR solve.
@@ -100,13 +100,51 @@ pub fn solve_steady_state(
     })
 }
 
+/// Reusable workspace for [`step_transient_with`]: the flattened stencil
+/// and the derivative buffer, both refreshed in place each step.
+///
+/// A 2 ms control-loop tick on a 16×16×4 stack used to allocate a fresh
+/// stencil and `derivs` vector per call; keeping one scratch per loop makes
+/// the warm transient step allocation-free (gated by the counting-allocator
+/// test in `ptsim-core`).
+#[derive(Debug, Clone, Default)]
+pub struct TransientScratch {
+    stencil: Option<Stencil>,
+    derivs: Vec<f64>,
+}
+
+impl TransientScratch {
+    /// An empty scratch; buffers grow to fit on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        TransientScratch::default()
+    }
+}
+
 /// Advances the stack by `dt` of wall-clock time using explicit Euler
 /// integration, automatically substepping to respect the stability limit
 /// `dt_cell < C / Σg`.
 ///
 /// Returns the number of substeps taken.
+///
+/// Allocates stencil and derivative buffers on every call; hot loops
+/// should hold a [`TransientScratch`] and call [`step_transient_with`],
+/// which is bit-identical and allocation-free once warm.
 pub fn step_transient(stack: &mut ThermalStack, dt: Seconds) -> usize {
-    let st = stack.stencil();
+    step_transient_with(stack, dt, &mut TransientScratch::new())
+}
+
+/// [`step_transient`] with caller-provided scratch buffers. The stencil is
+/// refreshed in place each call (power maps may have changed between
+/// steps), so results are bit-identical to [`step_transient`] while a warm
+/// scratch performs no heap allocation.
+pub fn step_transient_with(
+    stack: &mut ThermalStack,
+    dt: Seconds,
+    scratch: &mut TransientScratch,
+) -> usize {
+    let st = scratch.stencil.get_or_insert_with(Stencil::empty);
+    stack.stencil_into(st);
     // Stability: the stiffest cell bounds the step. The stencil's
     // precomputed per-cell Σg is scanned in the same flat order the
     // historical tier/row/column loops used.
@@ -117,10 +155,12 @@ pub fn step_transient(stack: &mut ThermalStack, dt: Seconds) -> usize {
     let h = dt.0 / substeps as f64;
 
     let temps = stack.temps_mut();
-    let mut derivs = vec![0.0; st.len()];
+    scratch.derivs.clear();
+    scratch.derivs.resize(st.len(), 0.0);
+    let derivs = &mut scratch.derivs;
     for _ in 0..substeps {
-        st.derivs_into(temps, cap, &mut derivs);
-        for (t, d) in temps.iter_mut().zip(&derivs) {
+        st.derivs_into(temps, cap, derivs);
+        for (t, d) in temps.iter_mut().zip(derivs.iter()) {
             *t += h * d;
         }
     }
@@ -128,7 +168,15 @@ pub fn step_transient(stack: &mut ThermalStack, dt: Seconds) -> usize {
 }
 
 /// Runs the transient solver for `duration`, sampling the mean temperature
-/// of `probe_tier` every `sample_interval`. Returns `(time, °C)` pairs.
+/// of `probe_tier` every `sample_interval`. Returns `(time, °C)` pairs:
+/// the initial state at `t = 0`, one sample at every multiple of
+/// `sample_interval`, and a final sample pinned to exactly `duration` (a
+/// shorter last step when the interval does not divide the duration).
+///
+/// Sample timestamps are computed as `i · sample_interval` rather than by
+/// accumulation, so long runs carry no float drift and an
+/// exactly-dividing interval never emits a spurious near-zero sliver step
+/// or duplicated final sample.
 ///
 /// # Errors
 ///
@@ -140,12 +188,25 @@ pub fn run_transient(
     probe_tier: usize,
 ) -> Result<Vec<(Seconds, f64)>, ThermalError> {
     let mut out = Vec::new();
-    let mut t = 0.0;
     out.push((Seconds(0.0), stack.mean_temperature(probe_tier)?.0));
-    while t < duration.0 {
-        let step = sample_interval.0.min(duration.0 - t);
-        step_transient(stack, Seconds(step));
-        t += step;
+    let positive = |v: f64| v.is_finite() && v > 0.0;
+    if !positive(duration.0) || !positive(sample_interval.0) {
+        return Ok(out);
+    }
+    // Number of steps: ceil(duration / interval), with a relative guard so
+    // float division error on an exact multiple can't add a sliver step.
+    let ratio = duration.0 / sample_interval.0;
+    let steps = (ratio * (1.0 - 1e-12)).ceil().max(1.0) as usize;
+    let mut scratch = TransientScratch::new();
+    let mut t_prev = 0.0;
+    for i in 1..=steps {
+        let t = if i == steps {
+            duration.0
+        } else {
+            i as f64 * sample_interval.0
+        };
+        step_transient_with(stack, Seconds(t - t_prev), &mut scratch);
+        t_prev = t;
         out.push((Seconds(t), stack.mean_temperature(probe_tier)?.0));
     }
     Ok(out)
@@ -369,6 +430,79 @@ mod tests {
         let small = step_transient(&mut s, Seconds(1e-6));
         let big = step_transient(&mut s, Seconds(1e-3));
         assert!(big >= small);
+    }
+
+    #[test]
+    fn run_transient_exact_multiple_has_no_sliver_step() {
+        // 5.0 / 0.5: exactly 10 steps — 11 samples, final pinned at 5.0,
+        // strictly increasing timestamps, no duplicated final sample.
+        let mut s = ThermalStack::new(StackConfig::single_die_5mm()).unwrap();
+        s.set_power(0, PowerMap::uniform(16, 16, Watt(1.0)).unwrap())
+            .unwrap();
+        let trace = run_transient(&mut s, Seconds(5.0), Seconds(0.5), 0).unwrap();
+        assert_eq!(trace.len(), 11);
+        assert_eq!(trace.last().unwrap().0 .0, 5.0);
+        for (i, (t, _)) in trace.iter().enumerate() {
+            assert_eq!(t.0, i as f64 * 0.5, "sample {i} timestamp drifted");
+        }
+    }
+
+    #[test]
+    fn run_transient_non_dividing_interval_pins_final_timestamp() {
+        // 1.0 / 0.3 → samples at 0, 0.3, 0.6, 0.9 and a short final step
+        // to exactly 1.0: five samples total.
+        let mut s = ThermalStack::new(StackConfig::single_die_5mm()).unwrap();
+        s.set_power(0, PowerMap::uniform(16, 16, Watt(1.0)).unwrap())
+            .unwrap();
+        let trace = run_transient(&mut s, Seconds(1.0), Seconds(0.3), 0).unwrap();
+        assert_eq!(trace.len(), 5);
+        assert_eq!(trace[1].0 .0, 0.3);
+        assert_eq!(trace[2].0 .0, 2.0 * 0.3);
+        assert_eq!(trace[3].0 .0, 3.0 * 0.3);
+        assert_eq!(trace.last().unwrap().0 .0, 1.0);
+        for w in trace.windows(2) {
+            assert!(w[1].0 .0 > w[0].0 .0, "timestamps must strictly increase");
+        }
+    }
+
+    #[test]
+    fn run_transient_drift_regression_many_steps() {
+        // 2000 accumulations of 1e-3 drift visibly off 2.0 in the old
+        // `t += step` scheme; index-based stepping stays exact.
+        let mut s = ThermalStack::new(StackConfig::single_die_5mm()).unwrap();
+        let trace = run_transient(&mut s, Seconds(2.0), Seconds(1e-3), 0).unwrap();
+        assert_eq!(trace.len(), 2001);
+        assert_eq!(trace.last().unwrap().0 .0, 2.0);
+        assert_eq!(trace[1000].0 .0, 1000.0 * 1e-3);
+    }
+
+    #[test]
+    fn run_transient_degenerate_durations_yield_initial_sample_only() {
+        let mut s = ThermalStack::new(StackConfig::single_die_5mm()).unwrap();
+        for d in [0.0, -1.0, f64::NAN] {
+            let trace = run_transient(&mut s, Seconds(d), Seconds(0.5), 0).unwrap();
+            assert_eq!(trace.len(), 1);
+            assert_eq!(trace[0].0 .0, 0.0);
+        }
+    }
+
+    #[test]
+    fn scratch_step_is_bit_identical_and_tracks_power_changes() {
+        let mut fresh = irregular_stack(0.4, 0.6, 1.2, 2e-4);
+        let mut warm = fresh.clone();
+        let mut scratch = TransientScratch::new();
+        for step in 0..4 {
+            // Mutate power between steps: the scratch must pick up the new
+            // map exactly like a freshly built stencil does.
+            let mut p = PowerMap::uniform(8, 8, Watt(0.3 + 0.1 * step as f64)).unwrap();
+            p.add_hotspot(0.3, 0.7, 0.1, Watt(0.5));
+            fresh.set_power(2, p.clone()).unwrap();
+            warm.set_power(2, p).unwrap();
+            let a = step_transient(&mut fresh, Seconds(5e-4));
+            let b = step_transient_with(&mut warm, Seconds(5e-4), &mut scratch);
+            assert_eq!(a, b);
+        }
+        assert_temps_bit_identical(&fresh, &warm);
     }
 
     /// The pre-stencil Gauss–Seidel/SOR loop, kept verbatim as the

@@ -235,6 +235,19 @@ impl ThermalStack {
         Ok(())
     }
 
+    /// Mutable access to a tier's power map, for retuning cell power in
+    /// place between transient steps without rebuilding (and reallocating)
+    /// a fresh map — the allocation-free warm-loop companion to
+    /// [`set_power`](Self::set_power).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::TierOutOfRange`] for a bad tier index.
+    pub fn power_mut(&mut self, tier: usize) -> Result<&mut PowerMap, ThermalError> {
+        self.check_tier(tier)?;
+        Ok(&mut self.power[tier])
+    }
+
     /// Adds extra vertical conductance (e.g. a TSV bundle) between tiers
     /// `interface` and `interface + 1` at one cell.
     ///
@@ -525,11 +538,26 @@ impl ThermalStack {
     /// `x + 0.0` is not always `x` in IEEE 754 (`-0.0`), and pre-summing
     /// would reassociate.
     pub(crate) fn stencil(&self) -> Stencil {
+        let mut st = Stencil::empty();
+        self.stencil_into(&mut st);
+        st
+    }
+
+    /// Refreshes `st` in place from the current network coefficients and
+    /// power maps. Equivalent to `*st = self.stencil()` but reuses the
+    /// stencil's existing vector storage, so a warm control loop that
+    /// rebuilds the stencil every tick (power maps change between steps)
+    /// performs no heap allocation once capacities have grown to fit.
+    pub(crate) fn stencil_into(&self, st: &mut Stencil) {
         let (tiers, nx, ny) = self.grid();
         let n_cells = nx * ny;
         let ambient = self.cfg.ambient.0;
-        let mut g_sum = Vec::with_capacity(tiers * n_cells);
-        let mut power = Vec::with_capacity(tiers * n_cells);
+        let g_sum = &mut st.g_sum;
+        let power = &mut st.power;
+        g_sum.clear();
+        power.clear();
+        g_sum.reserve(tiers * n_cells);
+        power.reserve(tiers * n_cells);
         for tier in 0..tiers {
             for iy in 0..ny {
                 for ix in 0..nx {
@@ -564,21 +592,17 @@ impl ThermalStack {
                 }
             }
         }
-        let mut g_vert = Vec::with_capacity(tiers.saturating_sub(1) * n_cells);
+        st.g_vert.clear();
+        st.g_vert.reserve(tiers.saturating_sub(1) * n_cells);
         for iface in &self.g_vert {
-            g_vert.extend_from_slice(iface);
+            st.g_vert.extend_from_slice(iface);
         }
-        Stencil {
-            tiers,
-            nx,
-            ny,
-            g_lat: self.g_lat,
-            g_vert,
-            board_gt: self.g_board * ambient,
-            sink_gt: self.g_sink * ambient,
-            g_sum,
-            power,
-        }
+        st.tiers = tiers;
+        st.nx = nx;
+        st.ny = ny;
+        st.g_lat = self.g_lat;
+        st.board_gt = self.g_board * ambient;
+        st.sink_gt = self.g_sink * ambient;
     }
 }
 
@@ -608,6 +632,22 @@ pub(crate) struct Stencil {
 }
 
 impl Stencil {
+    /// A zero-cell stencil, ready to be filled by
+    /// [`ThermalStack::stencil_into`].
+    pub(crate) fn empty() -> Stencil {
+        Stencil {
+            tiers: 0,
+            nx: 0,
+            ny: 0,
+            g_lat: 0.0,
+            g_vert: Vec::new(),
+            board_gt: 0.0,
+            sink_gt: 0.0,
+            g_sum: Vec::new(),
+            power: Vec::new(),
+        }
+    }
+
     /// Number of cells.
     pub(crate) fn len(&self) -> usize {
         self.g_sum.len()

@@ -1,104 +1,99 @@
 //! Closed-loop dynamic thermal management (DTM): sensors in the loop.
 //!
-//! A 4-tier stack runs a bursty workload on tier 0. A DTM controller reads
-//! the per-tier sensors every 2 ms and throttles the workload whenever any
-//! *reported* temperature crosses the limit; it recovers when readings drop
-//! below the release threshold. The experiment shows (a) the loop regulates
-//! the true temperature even though it only ever sees sensor readings, and
-//! (b) a whole-tier picture reconstructed from three sensors via
-//! inverse-distance weighting.
+//! A 4-tier stack runs a seeded synthetic workload trace on tier 0. The
+//! [`DtmController`] reads the per-tier sensors every 2 ms and walks a
+//! six-point DVFS ladder on the *reported* temperature only; deep
+//! operating points (0.25–0.5 V) hand sensing over to the 2013 sensor's
+//! dynamic-voltage-selection mode through the dual-mode [`DvsDtmSensing`]
+//! stack. The printout shows the loop regulating the true temperature it
+//! never directly sees, the ladder level over time, and the sensing mode
+//! switching as the rail drops. The graded fixed-seed version of this
+//! loop is the R3 campaign (`cargo run --release -p ptsim-bench --bin
+//! dtm_campaign`); a whole-tier reconstruction from three sensors closes
+//! the demo.
 //!
 //! Run with: `cargo run --release --example dtm_loop`
 
 use tsv_pt_sensor::core::fieldest::FieldEstimator;
 use tsv_pt_sensor::prelude::*;
 
-const T_LIMIT: f64 = 45.0;
-const T_RELEASE: f64 = 42.0;
-
-fn tier0_power(throttled: bool) -> Result<PowerMap, Box<dyn std::error::Error>> {
-    let scale = if throttled { 0.35 } else { 1.0 };
-    let mut p = PowerMap::zero(16, 16)?;
-    p.add_hotspot(0.3, 0.3, 0.10, Watt(4.0 * scale));
-    p.add_block(0.55, 0.55, 0.95, 0.95, Watt(1.0 * scale));
-    Ok(p)
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = Technology::n65();
     let model = VariationModel::new(&tech);
+    let spec = SensorSpec::default_65nm();
     let mut rng = ptsim_rng::Pcg64::seed_from_u64(77);
     let dies: Vec<DieSample> = (0..4)
         .map(|i| model.sample_die_with_id(&mut rng, i))
         .collect();
 
-    let mut monitor = StackMonitor::new(
-        StackTopology::reference_four_tier(),
-        dies,
-        DieSite::new(0.3, 0.3), // sensor co-located with the hotspot block
-        &tech,
-        SensorSpec::default_65nm(),
-    )?;
-    monitor.calibrate_all(&mut rng)?;
-
+    let steps = 150;
+    let trace = WorkloadTrace::synth(77, steps);
+    // Place the sensors at the floorplan's hottest cell (steady solve at
+    // peak demand) — the spot the controller must defend.
+    let topo = StackTopology::reference_four_tier();
+    let mut scratch_stack = topo.build_thermal()?;
+    let site = hottest_site(&mut scratch_stack, &trace, 0)?;
+    let monitor = StackMonitor::new(topo, dies, site, &tech, spec)?;
     let mut thermal = monitor.build_thermal()?;
-    let mut throttled = false;
-    thermal.set_power(0, tier0_power(throttled)?)?;
+
+    // One dual-mode sensing stack per tier: 2012 sensor at nominal rail,
+    // 2013 DVS sensor once the ladder drops to 0.5 V or below.
+    let mut sensing: Vec<DvsDtmSensing> = (0..4)
+        .map(|_| DvsDtmSensing::new(&tech, spec))
+        .collect::<Result<_, _>>()?;
+
+    let mut controller = DtmController::new(DvfsTable::default_six_point(), DtmConfig::default())?;
+    let cfg = *controller.config();
+    let outcome = run_dtm_loop(
+        &monitor,
+        &mut thermal,
+        &mut sensing,
+        &mut controller,
+        &trace,
+        0,
+        steps,
+        &mut rng,
+    )?;
 
     println!(
-        "{:>7}  {:>10}  {:>10}  {:>10}  {:>9}",
-        "t [ms]", "T0 true", "T0 read", "throttle", "err [°C]"
+        "{:>7}  {:>7}  {:>6}  {:>10}  {:>10}  {:>8}",
+        "t [ms]", "demand", "level", "T peak", "T read", "mode"
     );
-    let mut throttle_events = 0;
-    let mut max_true: f64 = 0.0;
-    for step in 1..=40 {
-        step_transient(&mut thermal, Seconds(0.002));
-        let readings = monitor.read_all(&thermal, &mut rng)?;
-        let hottest_read = readings
-            .iter()
-            .map(|r| r.reading.temperature.0)
-            .fold(f64::NEG_INFINITY, f64::max);
-
-        // Hysteresis control on the *reported* temperature.
-        let was = throttled;
-        if !throttled && hottest_read > T_LIMIT {
-            throttled = true;
-            throttle_events += 1;
-        } else if throttled && hottest_read < T_RELEASE {
-            throttled = false;
-        }
-        if was != throttled {
-            thermal.set_power(0, tier0_power(throttled)?)?;
-        }
-
-        max_true = max_true.max(readings[0].true_temp.0);
-        if step % 4 == 0 || was != throttled {
-            println!(
-                "{:>7}  {:>10.2}  {:>10.2}  {:>10}  {:>9.3}",
-                step * 2,
-                readings[0].true_temp.0,
-                readings[0].reading.temperature.0,
-                if throttled { "ON" } else { "off" },
-                readings[0].temp_error(),
-            );
-        }
+    for r in outcome.records.iter().step_by(4) {
+        println!(
+            "{:>7.0}  {:>7.2}  {:>6}  {:>10.2}  {:>10.2}  {:>8}",
+            r.step as f64 * cfg.sample_period.0 * 1e3,
+            r.demand,
+            r.level,
+            r.true_peak.0,
+            r.reported_hottest.0,
+            match r.mode {
+                SensingMode::Nominal => "nominal",
+                SensingMode::DynamicVoltageSelection => "DVS",
+            },
+        );
     }
 
     println!(
-        "\n{} throttle event(s); true tier-0 peak {:.2} °C vs {:.1} °C limit \
-         (+{:.2} °C overshoot budget incl. the sensor's ±1.5 °C band)",
-        throttle_events,
-        max_true,
-        T_LIMIT,
-        (max_true - T_LIMIT).max(0.0),
+        "\ntrue peak {:.2} °C vs {:.1} °C limit (overshoot {:.2} °C); \
+         {} actuation(s), duty {:.2}, deepest level {}",
+        outcome.peak_true.0,
+        cfg.t_limit.0,
+        outcome.overshoot,
+        outcome.actuations,
+        outcome.throttle_duty,
+        outcome.min_level,
+    );
+    println!(
+        "sensing: worst decision-instant error {:.2} °C, {:.0}% of conversions in DVS mode, \
+         total conversion energy {:.1} nJ",
+        outcome.worst_lag_error,
+        100.0 * outcome.dvs_read_fraction,
+        outcome.sensing_energy.0 * 1e9,
     );
 
     // Whole-tier view from three sensors (placement: hotspot, block, far corner).
-    let sites = vec![
-        DieSite::new(0.3, 0.3),
-        DieSite::new(0.75, 0.75),
-        DieSite::new(0.8, 0.15),
-    ];
+    let sites = vec![site, DieSite::new(0.75, 0.75), DieSite::new(0.8, 0.15)];
     let readings: Vec<Celsius> = sites
         .iter()
         .map(|s| thermal.temperature_at(0, s.x, s.y))

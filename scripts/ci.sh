@@ -47,6 +47,10 @@ print(f"metrics snapshot: {len(snap['counters'])} counters, "
       f"{len(snap['gauges'])} gauges, {len(snap['histograms'])} histograms, schema OK")
 EOF
 
+echo "==> R3 DTM-campaign smoke (8 dies, closed-loop DVFS gates)"
+PTSIM_BENCH_DIES=8 PTSIM_DTM_STEPS=80 \
+    cargo run -q --release --offline -p ptsim-bench --bin dtm_campaign > /dev/null
+
 echo "==> fleet-service smoke (daemon on ephemeral port, hardened protocol)"
 : > target/fleetd_smoke.log
 PTSIM_FLEET_DIES=8 PTSIM_FLEET_SHARDS=2 \
@@ -178,6 +182,7 @@ for l in lines:
 assert names, "bench smoke emitted no results"
 assert "steady_state/64" in names, "multigrid 64-grid bench missing"
 assert "steady_state_gs/16" in names, "Gauss-Seidel oracle bench missing"
+assert "transient_step_warm_16x16x4" in names, "warm transient-step bench missing"
 assert "batch_convert_100" in names, "lane-kernel population bench missing"
 assert "batch_convert_scalar_100" in names, "scalar-oracle population bench missing"
 print(f"bench smoke: {len(names)} benchmarks, JSON OK")

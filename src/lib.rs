@@ -64,14 +64,16 @@ pub use ptsim_tsv as tsv;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use ptsim_baselines::{
-        BjtSensor, PtSensorThermometer, Pvt2013Sensor, RoCalibration, RoThermometer, TempReading,
-        Thermometer,
+        BjtSensor, DvsDtmSensing, PtSensorThermometer, Pvt2013Sensor, RoCalibration, RoThermometer,
+        TempReading, Thermometer,
     };
     pub use ptsim_circuit::{EnergyLedger, Fixed, GatedCounter, InverterRing, Prescaler, QFormat};
     pub use ptsim_core::{
-        BankSpec, BatchPlan, Calibration, Conversion, DieConversion, HardeningSpec, Health,
-        HealthEvent, HealthStatus, PtSensor, Reading, RoBank, RoClass, SensorError, SensorInputs,
-        SensorSpec, StackMonitor, TierReading, VddMonitor,
+        hottest_site, run_dtm_loop, BankSpec, BatchPlan, Calibration, Conversion, DieConversion,
+        DtmConfig, DtmController, DtmOutcome, DtmSensing, DvfsTable, HardeningSpec, Health,
+        HealthEvent, HealthStatus, NominalSensing, OperatingPoint, PtSensor, Reading, RoBank,
+        RoClass, SensingMode, SensorError, SensorInputs, SensorSpec, StackMonitor, TierReading,
+        VddMonitor, WorkloadTrace,
     };
     pub use ptsim_device::units::{
         Ampere, Celsius, Farad, Hertz, Joule, Kelvin, Micron, Ohm, Pascal, Seconds, Volt, Watt,
@@ -87,8 +89,8 @@ pub mod prelude {
     };
     pub use ptsim_rng::{Pcg64, Rng, RngCore};
     pub use ptsim_thermal::{
-        run_transient, solve_steady_state, step_transient, PowerMap, SolveOptions, StackConfig,
-        ThermalStack,
+        run_transient, solve_steady_state, step_transient, step_transient_with, PowerMap,
+        SolveOptions, StackConfig, ThermalStack, TransientScratch,
     };
     pub use ptsim_tsv::{StackTopology, StressModel, TsvArray, TsvGeometry};
 }
